@@ -1,0 +1,105 @@
+// Ablation of the paper's design choices (google-benchmark):
+//  - minimization mode (exact QM / heuristic / merge-only / raw cubes)
+//  - sublist split vs flat two-level SOP
+//  - structural hashing (CSE) on/off
+// for sigma in {1, 2, 6.15543} at n = 128. Counters report the netlist op
+// count so speed can be correlated with circuit size.
+
+#include <benchmark/benchmark.h>
+
+#include "ct/bitsliced_sampler.h"
+#include "ct/flat_baseline.h"
+#include "ct/wide_sampler.h"
+#include "prng/splitmix.h"
+
+namespace {
+
+using namespace cgs;
+
+gauss::GaussianParams params_for(int idx) {
+  switch (idx) {
+    case 0: return gauss::GaussianParams::sigma_1(128);
+    case 1: return gauss::GaussianParams::sigma_2(128);
+    default: return gauss::GaussianParams::sigma_6_15543(128);
+  }
+}
+
+void run_batches(benchmark::State& state, ct::BitslicedSampler& s) {
+  prng::SplitMix64Source rng(9);
+  std::uint32_t out[64];
+  for (auto _ : state) benchmark::DoNotOptimize(s.sample_magnitudes(rng, out));
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["netlist_ops"] =
+      static_cast<double>(s.synth().stats.netlist_ops);
+  state.counters["Delta"] = s.synth().stats.delta;
+}
+
+void BM_SplitMode(benchmark::State& state) {
+  const gauss::ProbMatrix m(params_for(static_cast<int>(state.range(0))));
+  ct::SynthesisConfig cfg;
+  cfg.mode = static_cast<ct::MinimizeMode>(state.range(1));
+  ct::BitslicedSampler s(ct::synthesize(m, cfg));
+  run_batches(state, s);
+}
+BENCHMARK(BM_SplitMode)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3}})
+    ->ArgNames({"sigma_idx", "mode"});
+
+void BM_FlatBaseline(benchmark::State& state) {
+  const gauss::ProbMatrix m(params_for(static_cast<int>(state.range(0))));
+  ct::FlatConfig cfg;
+  cfg.merge = state.range(1) != 0;
+  ct::BitslicedSampler s(ct::synthesize_flat(m, cfg));
+  run_batches(state, s);
+}
+BENCHMARK(BM_FlatBaseline)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->ArgNames({"sigma_idx", "merge"});
+
+void BM_CseOff(benchmark::State& state) {
+  const gauss::ProbMatrix m(params_for(static_cast<int>(state.range(0))));
+  ct::SynthesisConfig cfg;
+  cfg.cse = false;
+  ct::BitslicedSampler s(ct::synthesize(m, cfg));
+  run_batches(state, s);
+}
+BENCHMARK(BM_CseOff)->Arg(1)->Arg(2)->ArgName("sigma_idx");
+
+// Batch width: 64 lanes (uint64) vs 256 lanes (vector extension / AVX2).
+void BM_BatchWidth64(benchmark::State& state) {
+  const gauss::ProbMatrix m(params_for(static_cast<int>(state.range(0))));
+  ct::BitslicedSampler s(ct::synthesize(m, {}));
+  prng::SplitMix64Source rng(10);
+  std::uint32_t out[64];
+  for (auto _ : state) benchmark::DoNotOptimize(s.sample_magnitudes(rng, out));
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BatchWidth64)->Arg(1)->Arg(2)->ArgName("sigma_idx");
+
+void BM_BatchWidth256(benchmark::State& state) {
+  const gauss::ProbMatrix m(params_for(static_cast<int>(state.range(0))));
+  ct::WideBitslicedSampler s(ct::synthesize(m, {}));
+  prng::SplitMix64Source rng(11);
+  std::uint32_t out[256];
+  std::uint64_t valid[4];
+  for (auto _ : state) {
+    s.sample_magnitudes(rng, out, valid);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BatchWidth256)->Arg(1)->Arg(2)->ArgName("sigma_idx");
+
+// Synthesis-time cost of the pipeline itself (one-off, but worth tracking).
+void BM_SynthesisTime(benchmark::State& state) {
+  const gauss::ProbMatrix m(params_for(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto s = ct::synthesize(m, {});
+    benchmark::DoNotOptimize(s.stats.netlist_ops);
+  }
+}
+BENCHMARK(BM_SynthesisTime)->Arg(0)->Arg(1)->Arg(2)->ArgName("sigma_idx");
+
+}  // namespace
+
+BENCHMARK_MAIN();

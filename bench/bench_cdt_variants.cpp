@@ -1,0 +1,87 @@
+// Sampler-only microbenchmarks of the four base samplers (google-benchmark):
+// ns/sample at sigma = 2, n = 128 — the raw ranking underlying Table 1.
+
+#include <benchmark/benchmark.h>
+
+#include "cdt/cdt_samplers.h"
+#include "ct/bitsliced_sampler.h"
+#include "ct/compiled_sampler.h"
+#include "ddg/kysampler.h"
+#include "ct/buffered.h"
+#include "prng/splitmix.h"
+
+namespace {
+
+using namespace cgs;
+
+const gauss::ProbMatrix& matrix() {
+  static const gauss::ProbMatrix m(gauss::GaussianParams::sigma_2(128));
+  return m;
+}
+
+const cdt::CdtTable& table() {
+  static const cdt::CdtTable t(matrix());
+  return t;
+}
+
+void BM_CdtByteScan(benchmark::State& state) {
+  cdt::CdtByteScanSampler s(table());
+  prng::SplitMix64Source rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(s.sample(rng));
+}
+BENCHMARK(BM_CdtByteScan);
+
+void BM_CdtBinarySearch(benchmark::State& state) {
+  cdt::CdtBinarySearchSampler s(table());
+  prng::SplitMix64Source rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(s.sample(rng));
+}
+BENCHMARK(BM_CdtBinarySearch);
+
+void BM_CdtLinearCt(benchmark::State& state) {
+  cdt::CdtLinearCtSampler s(table());
+  prng::SplitMix64Source rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(s.sample(rng));
+}
+BENCHMARK(BM_CdtLinearCt);
+
+void BM_BitslicedCt(benchmark::State& state) {
+  ct::BufferedBitslicedSampler s(ct::synthesize(matrix(), {}));
+  prng::SplitMix64Source rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(s.sample(rng));
+}
+BENCHMARK(BM_BitslicedCt);
+
+void BM_BitslicedCtCompiled(benchmark::State& state) {
+  if (!ct::CompiledKernel::is_available()) {
+    state.SkipWithError("no host compiler");
+    return;
+  }
+  ct::BufferedCompiledSampler s(ct::synthesize(matrix(), {}));
+  prng::SplitMix64Source rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(s.sample(rng));
+}
+BENCHMARK(BM_BitslicedCtCompiled);
+
+void BM_KnuthYaoReference(benchmark::State& state) {
+  ct::ReferenceKySampler s(matrix());
+  prng::SplitMix64Source rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(s.sample(rng));
+}
+BENCHMARK(BM_KnuthYaoReference);
+
+// Full 64-sample batch of the bit-sliced core (amortized view).
+void BM_BitslicedBatch64(benchmark::State& state) {
+  ct::BitslicedSampler s(ct::synthesize(matrix(), {}));
+  prng::SplitMix64Source rng(6);
+  std::int32_t out[64];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.sample_batch(rng, out));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BitslicedBatch64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

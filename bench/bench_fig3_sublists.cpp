@@ -1,0 +1,63 @@
+// Fig. 3: the leaf list L sorted into sublists l_kappa (sigma = 2, n = 16),
+// plus the Delta values of §5 for all four paper parameter sets at n = 128.
+
+#include <cstdio>
+
+#include "ct/sublists.h"
+
+int main() {
+  using namespace cgs;
+  std::printf("Fig. 3 reproduction: list L split into sublists, sigma=2, "
+              "n=16\n");
+  std::printf("(draw order: kappa ones, a zero, then j suffix bits)\n\n");
+  {
+    const gauss::ProbMatrix m(gauss::GaussianParams::sigma_2(16));
+    const auto list = ct::enumerate_leaves(m);
+    const auto split = ct::split_by_kappa(list);
+    for (const auto& sl : split.sublists) {
+      if (sl.leaves.empty()) continue;
+      std::printf("l_%d (delta=%d):\n", sl.kappa, sl.delta);
+      for (const auto& leaf : sl.leaves) {
+        std::printf("  ");
+        for (int b : leaf.bits()) std::printf("%d", b);
+        std::printf("  -> %u (level %d)\n", leaf.value, leaf.level);
+      }
+    }
+    std::printf("\nDelta = %d, n' = %d, leaves = %zu\n\n", list.delta,
+                list.max_kappa, list.leaves.size());
+  }
+
+  std::printf("§5 Delta values at n = 128 (paper reports 4, 4, 6, 15):\n");
+  struct Entry {
+    const char* name;
+    gauss::GaussianParams p;
+  } entries[] = {
+      {"sigma = 1", gauss::GaussianParams::sigma_1(128)},
+      {"sigma = 2", gauss::GaussianParams::sigma_2(128)},
+      {"sigma = 6.15543", gauss::GaussianParams::sigma_6_15543(128)},
+      {"sigma = 215", gauss::GaussianParams::sigma_215(128)},
+  };
+  std::printf("  %-18s %28s %28s\n", "", "truncate", "round-to-nearest");
+  for (const auto& e : entries) {
+    std::printf("  %-18s", e.name);
+    for (auto rounding : {gauss::Rounding::kTruncate, gauss::Rounding::kNearest}) {
+      for (auto norm : {gauss::Normalization::kDiscrete,
+                        gauss::Normalization::kContinuous}) {
+        auto p = e.p;
+        p.rounding = rounding;
+        p.normalization = norm;
+        const gauss::ProbMatrix m(p);
+        const auto list = ct::enumerate_leaves(m);
+        std::printf("  %s D=%2d", norm == gauss::Normalization::kDiscrete
+                                      ? "disc" : "cont",
+                    list.delta);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(the Delta constant depends on the probability pipeline's\n"
+              " normalizer and rounding; the paper does not pin these down —\n"
+              " the structural claim is that Delta stays tiny, which holds\n"
+              " in every variant)\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Emit the synthesized constant-time sampler as standalone C — the shape of
+// artifact the paper's companion tool produced (github.com/Angshumank/
+// const_gauss_split). Pipe to a file, compile with any C compiler, link
+// anywhere.
+//
+// Usage: codegen_c [sigma_num sigma_den [precision]]   (default: sigma=2, n=32)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bf/codegen.h"
+#include "ct/synthesis.h"
+
+int main(int argc, char** argv) {
+  using namespace cgs;
+
+  std::uint64_t num = 2, den = 1;
+  int precision = 32;
+  if (argc >= 3) {
+    num = std::strtoull(argv[1], nullptr, 10);
+    den = std::strtoull(argv[2], nullptr, 10);
+  }
+  if (argc >= 4) precision = std::atoi(argv[3]);
+
+  const auto params =
+      gauss::GaussianParams::from_sigma(num, den, /*tau=*/13, precision);
+  const gauss::ProbMatrix matrix(params);
+  const ct::SynthesizedSampler synth = ct::synthesize(matrix, {});
+
+  std::fprintf(stderr, "// %s\n// %s\n", params.describe().c_str(),
+               synth.stats.describe().c_str());
+  std::fprintf(stderr,
+               "// outputs: %d sample bits (LSB first) + 1 valid bit\n"
+               "// inputs: %d words, lane i of word k = path bit k of "
+               "sample i\n",
+               synth.num_output_bits, synth.precision);
+  std::printf("%s", bf::emit_c(synth.netlist, "sample_gauss_ct").c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "bf/codegen.h"
+
+#include <sstream>
+
+namespace cgs::bf {
+
+std::string emit_c(const Netlist& nl, const std::string& name) {
+  std::ostringstream os;
+  os << "#include <stdint.h>\n\n"
+     << "/* Auto-generated constant-time bit-sliced sampler core.\n"
+     << " * " << nl.stats() << "\n"
+     << " * Straight-line code: no branches, no table lookups. */\n"
+     << "void " << name << "(const uint64_t in[" << nl.num_inputs()
+     << "], uint64_t out[" << nl.outputs().size() << "]) {\n";
+  const auto& nodes = nl.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    os << "  const uint64_t t" << i << " = ";
+    switch (n.op) {
+      case Op::kConst0: os << "UINT64_C(0)"; break;
+      case Op::kConst1: os << "~UINT64_C(0)"; break;
+      case Op::kInput:  os << "in[" << n.a << "]"; break;
+      case Op::kNot:    os << "~t" << n.a; break;
+      case Op::kAnd:    os << "t" << n.a << " & t" << n.b; break;
+      case Op::kOr:     os << "t" << n.a << " | t" << n.b; break;
+      case Op::kXor:    os << "t" << n.a << " ^ t" << n.b; break;
+    }
+    os << ";\n";
+  }
+  const auto& outs = nl.outputs();
+  for (std::size_t o = 0; o < outs.size(); ++o)
+    os << "  out[" << o << "] = t" << outs[o] << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cgs::bf

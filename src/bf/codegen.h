@@ -1,0 +1,16 @@
+#pragma once
+// Emits a synthesized netlist as a self-contained C function operating on
+// uint64_t lanes — the shape of artifact the paper's companion tool
+// (github.com/Angshumank/const_gauss_split) produced.
+
+#include <string>
+
+#include "bf/netlist.h"
+
+namespace cgs::bf {
+
+/// C11 source for:
+///   void <name>(const uint64_t in[num_inputs], uint64_t out[num_outputs]);
+std::string emit_c(const Netlist& nl, const std::string& name);
+
+}  // namespace cgs::bf

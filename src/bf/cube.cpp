@@ -1,0 +1,71 @@
+#include "bf/cube.h"
+
+#include <bit>
+
+namespace cgs::bf {
+
+Cube Cube::minterm(std::uint64_t m, int nv) {
+  CGS_CHECK(nv >= 1 && nv <= 64);
+  CGS_CHECK(nv == 64 || m < (std::uint64_t(1) << nv));
+  Cube c(nv);
+  c.mask_[0] = (nv == 64) ? ~std::uint64_t(0) : ((std::uint64_t(1) << nv) - 1);
+  c.val_[0] = m;
+  return c;
+}
+
+int Cube::literal_count() const {
+  return std::popcount(mask_[0]) + std::popcount(mask_[1]);
+}
+
+bool Cube::covers_minterm(std::uint64_t m) const {
+  CGS_DCHECK(nv_ <= 64);
+  return ((m ^ val_[0]) & mask_[0]) == 0;
+}
+
+bool Cube::contains(const Cube& o) const {
+  // Every variable we specify, o must specify identically.
+  const bool spec_subset = ((mask_[0] & ~o.mask_[0]) | (mask_[1] & ~o.mask_[1])) == 0;
+  if (!spec_subset) return false;
+  return (((val_[0] ^ o.val_[0]) & mask_[0]) | ((val_[1] ^ o.val_[1]) & mask_[1])) == 0;
+}
+
+std::optional<Cube> Cube::merge_adjacent(const Cube& o) const {
+  if (nv_ != o.nv_) return std::nullopt;
+  if (mask_[0] != o.mask_[0] || mask_[1] != o.mask_[1]) return std::nullopt;
+  const std::uint64_t d0 = (val_[0] ^ o.val_[0]) & mask_[0];
+  const std::uint64_t d1 = (val_[1] ^ o.val_[1]) & mask_[1];
+  const int diff = std::popcount(d0) + std::popcount(d1);
+  if (diff != 1) return std::nullopt;
+  Cube r = *this;
+  r.mask_[0] &= ~d0;
+  r.mask_[1] &= ~d1;
+  r.val_[0] &= ~d0;
+  r.val_[1] &= ~d1;
+  return r;
+}
+
+bool Cube::intersects(const Cube& o) const {
+  const std::uint64_t both0 = mask_[0] & o.mask_[0];
+  const std::uint64_t both1 = mask_[1] & o.mask_[1];
+  return (((val_[0] ^ o.val_[0]) & both0) | ((val_[1] ^ o.val_[1]) & both1)) == 0;
+}
+
+std::uint64_t Cube::hash() const {
+  std::uint64_t h = 0x243f6a8885a308d3ull ^ static_cast<std::uint64_t>(nv_);
+  for (std::uint64_t w : {mask_[0], mask_[1], val_[0], val_[1]}) {
+    h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Cube::to_string() const {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(nv_));
+  for (int v = 0; v < nv_; ++v) {
+    const int st = var(v);
+    s += (st < 0) ? 'x' : static_cast<char>('0' + st);
+  }
+  return s;
+}
+
+}  // namespace cgs::bf

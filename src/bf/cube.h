@@ -1,0 +1,89 @@
+#pragma once
+// Product-term cubes over up to 128 Boolean variables. A cube is a partial
+// assignment: each variable is 0, 1, or don't-care. Cubes are the currency
+// of two-level minimization (QM, espresso-lite) and of the leaf list L —
+// every Theorem-1 string x^i (0/1)^j 0 1^k *is* a cube.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/check.h"
+
+namespace cgs::bf {
+
+class Cube {
+ public:
+  /// All-don't-care cube over nv variables (the tautology product).
+  explicit Cube(int nv = 0) : nv_(nv) {
+    CGS_CHECK(nv >= 0 && nv <= 128);
+  }
+
+  /// Minterm cube: all nv variables specified from the bits of `minterm`
+  /// (bit v of minterm = variable v).
+  static Cube minterm(std::uint64_t m, int nv);
+
+  int num_vars() const { return nv_; }
+
+  /// Variable state: -1 don't-care, 0, or 1.
+  int var(int v) const {
+    CGS_DCHECK(v >= 0 && v < nv_);
+    if (!get(mask_, v)) return -1;
+    return get(val_, v);
+  }
+
+  void set_var(int v, int state) {
+    CGS_DCHECK(v >= 0 && v < nv_);
+    if (state < 0) {
+      clear(mask_, v);
+      clear(val_, v);
+    } else {
+      put(mask_, v);
+      if (state) put(val_, v); else clear(val_, v);
+    }
+  }
+
+  /// Number of specified literals.
+  int literal_count() const;
+
+  /// True if the fully specified minterm lies inside this cube.
+  bool covers_minterm(std::uint64_t m) const;
+
+  /// True if `o`'s cube (as a set of minterms) is inside this cube.
+  bool contains(const Cube& o) const;
+
+  /// Combine two cubes that differ in exactly one specified variable and
+  /// agree elsewhere (QM adjacency step). nullopt if not adjacent.
+  std::optional<Cube> merge_adjacent(const Cube& o) const;
+
+  /// Set intersection is non-empty?
+  bool intersects(const Cube& o) const;
+
+  bool operator==(const Cube& o) const {
+    return nv_ == o.nv_ && mask_[0] == o.mask_[0] && mask_[1] == o.mask_[1] &&
+           val_[0] == o.val_[0] && val_[1] == o.val_[1];
+  }
+
+  /// Stable key for hashing / dedup.
+  std::uint64_t hash() const;
+
+  /// "1-0x" style rendering, variable 0 first.
+  std::string to_string() const;
+
+ private:
+  using Words = std::uint64_t[2];
+
+  static bool get(const Words& w, int v) {
+    return (w[v >> 6] >> (v & 63)) & 1u;
+  }
+  static void put(Words& w, int v) { w[v >> 6] |= std::uint64_t(1) << (v & 63); }
+  static void clear(Words& w, int v) {
+    w[v >> 6] &= ~(std::uint64_t(1) << (v & 63));
+  }
+
+  int nv_;
+  std::uint64_t mask_[2] = {0, 0};  // 1 = variable specified
+  std::uint64_t val_[2] = {0, 0};   // value where specified
+};
+
+}  // namespace cgs::bf

@@ -1,0 +1,169 @@
+#include "bf/espresso_lite.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace cgs::bf {
+
+namespace {
+
+// All minterms of `c` lie in ON ∪ DC?
+bool cube_in_care_set(const TruthTable& tt, const Cube& c) {
+  // Enumerate assignments of the don't-care variables of c.
+  const int nv = tt.num_vars();
+  std::vector<int> free_vars;
+  std::uint64_t base = 0;
+  for (int v = 0; v < nv; ++v) {
+    const int st = c.var(v);
+    if (st < 0)
+      free_vars.push_back(v);
+    else if (st == 1)
+      base |= std::uint64_t(1) << v;
+  }
+  const std::uint64_t count = std::uint64_t(1) << free_vars.size();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t m = base;
+    for (std::size_t k = 0; k < free_vars.size(); ++k)
+      if ((i >> k) & 1) m |= std::uint64_t(1) << free_vars[k];
+    if (tt.state(m) == TruthTable::State::kOff) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Cube> espresso_lite(const TruthTable& tt, std::vector<Cube> cover) {
+  const int nv = tt.num_vars();
+
+  // EXPAND: try dropping literals, highest variable first (the trailing
+  // variables of sublist functions are the most often redundant ones).
+  for (Cube& c : cover) {
+    for (int v = nv - 1; v >= 0; --v) {
+      if (c.var(v) < 0) continue;
+      Cube widened = c;
+      widened.set_var(v, -1);
+      if (cube_in_care_set(tt, widened)) c = widened;
+    }
+  }
+
+  // Dedup + drop contained cubes.
+  std::vector<Cube> dedup;
+  for (const Cube& c : cover) {
+    bool dominated = false;
+    for (const Cube& d : dedup)
+      if (d.contains(c)) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) {
+      std::erase_if(dedup, [&](const Cube& d) { return c.contains(d); });
+      dedup.push_back(c);
+    }
+  }
+  cover = std::move(dedup);
+
+  // IRREDUNDANT: count, per ON minterm, how many cubes cover it; a cube all
+  // of whose ON minterms have count >= 2 can go. Process widest-first so the
+  // cheap cubes are the ones dropped.
+  const auto on = tt.on_set();
+  std::vector<std::vector<std::size_t>> covering(on.size());
+  for (std::size_t k = 0; k < on.size(); ++k)
+    for (std::size_t ci = 0; ci < cover.size(); ++ci)
+      if (cover[ci].covers_minterm(on[k])) covering[k].push_back(ci);
+
+  std::vector<std::size_t> order(cover.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cover[a].literal_count() > cover[b].literal_count();
+  });
+
+  std::vector<std::uint8_t> removed(cover.size(), 0);
+  std::vector<int> count(on.size(), 0);
+  for (std::size_t k = 0; k < on.size(); ++k)
+    count[k] = static_cast<int>(covering[k].size());
+  for (std::size_t ci : order) {
+    bool removable = true;
+    for (std::size_t k = 0; k < on.size(); ++k) {
+      if (count[k] == 1 && !removed[ci] &&
+          std::find(covering[k].begin(), covering[k].end(), ci) !=
+              covering[k].end()) {
+        removable = false;
+        break;
+      }
+    }
+    if (!removable) continue;
+    // Check: every ON minterm of ci has another cover.
+    for (std::size_t k = 0; k < on.size() && removable; ++k) {
+      if (std::find(covering[k].begin(), covering[k].end(), ci) !=
+          covering[k].end())
+        removable = count[k] >= 2;
+    }
+    if (removable) {
+      removed[ci] = 1;
+      for (std::size_t k = 0; k < on.size(); ++k)
+        if (std::find(covering[k].begin(), covering[k].end(), ci) !=
+            covering[k].end())
+          --count[k];
+    }
+  }
+
+  std::vector<Cube> result;
+  for (std::size_t ci = 0; ci < cover.size(); ++ci)
+    if (!removed[ci]) result.push_back(cover[ci]);
+
+  CGS_CHECK_MSG(tt.cover_matches(result), "espresso_lite broke the cover");
+  return result;
+}
+
+std::vector<Cube> merge_only(std::vector<Cube> cover) {
+  // Cubes can only merge when they share the same specified-variable mask,
+  // so bucket by mask and only compare within buckets. Iterate to fixpoint
+  // (a merge changes the mask, moving the result to another bucket).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    for (std::size_t i = 0; i < cover.size(); ++i) {
+      // Mask-only key: fold the cube hash of a value-stripped copy.
+      Cube masked = cover[i];
+      for (int v = 0; v < masked.num_vars(); ++v)
+        if (masked.var(v) == 1) masked.set_var(v, 0);
+      buckets[masked.hash()].push_back(i);
+    }
+    std::vector<std::uint8_t> dead(cover.size(), 0);
+    std::vector<Cube> merged_cubes;
+    for (auto& [key, ids] : buckets) {
+      (void)key;
+      for (std::size_t a = 0; a < ids.size(); ++a) {
+        if (dead[ids[a]]) continue;
+        for (std::size_t b = a + 1; b < ids.size(); ++b) {
+          if (dead[ids[b]]) continue;
+          if (cover[ids[a]] == cover[ids[b]]) {
+            dead[ids[b]] = 1;
+            changed = true;
+            continue;
+          }
+          if (auto m = cover[ids[a]].merge_adjacent(cover[ids[b]])) {
+            dead[ids[a]] = dead[ids[b]] = 1;
+            merged_cubes.push_back(*m);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (changed) {
+      std::vector<Cube> next;
+      next.reserve(cover.size());
+      for (std::size_t i = 0; i < cover.size(); ++i)
+        if (!dead[i]) next.push_back(cover[i]);
+      next.insert(next.end(), merged_cubes.begin(), merged_cubes.end());
+      cover = std::move(next);
+    }
+  }
+  return cover;
+}
+
+}  // namespace cgs::bf

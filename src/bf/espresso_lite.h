@@ -1,0 +1,25 @@
+#pragma once
+// Heuristic two-level minimization in the espresso style (EXPAND +
+// IRREDUNDANT over explicit minterm sets), plus the cheap merge-only pass
+// used for the flat [21]-style baseline. Not exact, but always correct;
+// used when the variable count makes QM + Petrick too expensive.
+
+#include <vector>
+
+#include "bf/cube.h"
+#include "bf/truthtable.h"
+
+namespace cgs::bf {
+
+/// EXPAND each cube greedily (drop literals while staying inside ON ∪ DC),
+/// then IRREDUNDANT (drop cubes whose ON minterms are all covered by
+/// others). Input cover must already be a correct cover of ON.
+std::vector<Cube> espresso_lite(const TruthTable& tt,
+                                std::vector<Cube> cover);
+
+/// Repeatedly merge adjacent cube pairs (same mask, one differing value bit)
+/// until fixpoint. Works on arbitrary-width cubes (no truth table needed),
+/// preserves the covered set exactly.
+std::vector<Cube> merge_only(std::vector<Cube> cover);
+
+}  // namespace cgs::bf

@@ -1,0 +1,183 @@
+#include "bf/quine_mccluskey.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace cgs::bf {
+
+namespace {
+
+struct CubeHash {
+  std::size_t operator()(const Cube& c) const { return c.hash(); }
+};
+
+using CubeSet = std::unordered_set<Cube, CubeHash>;
+
+}  // namespace
+
+std::vector<Cube> prime_implicants(const TruthTable& tt) {
+  const int nv = tt.num_vars();
+  CubeSet current;
+  for (std::uint64_t m = 0; m < tt.size(); ++m) {
+    if (tt.state(m) != TruthTable::State::kOff)
+      current.insert(nv == 0 ? Cube(0) : Cube::minterm(m, nv));
+  }
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    CubeSet next;
+    std::vector<const Cube*> merged(current.size(), nullptr);
+    std::vector<Cube> cubes(current.begin(), current.end());
+    std::vector<bool> was_merged(cubes.size(), false);
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      for (std::size_t j = i + 1; j < cubes.size(); ++j) {
+        if (auto m = cubes[i].merge_adjacent(cubes[j])) {
+          next.insert(*m);
+          was_merged[i] = was_merged[j] = true;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < cubes.size(); ++i)
+      if (!was_merged[i]) primes.push_back(cubes[i]);
+    current = std::move(next);
+  }
+  return primes;
+}
+
+namespace {
+
+struct CoverSearch {
+  const std::vector<Cube>* primes;
+  const std::vector<std::vector<int>>* covers_of;  // per ON minterm: prime ids
+  std::size_t budget;
+  std::size_t visited = 0;
+  std::vector<int> best;       // prime ids of best cover
+  long best_cost = -1;         // cubes * 1000 + literals
+  std::vector<int> chosen;
+
+  long cost_of(const std::vector<int>& ids) const {
+    long lits = 0;
+    for (int id : ids) lits += (*primes)[std::size_t(id)].literal_count();
+    return static_cast<long>(ids.size()) * 1000 + lits;
+  }
+
+  void search(std::vector<std::uint8_t>& covered, std::size_t uncovered) {
+    if (visited++ > budget) return;
+    if (best_cost >= 0 && cost_of(chosen) >= best_cost) return;  // prune
+    if (uncovered == 0) {
+      const long c = cost_of(chosen);
+      if (best_cost < 0 || c < best_cost) {
+        best_cost = c;
+        best = chosen;
+      }
+      return;
+    }
+    // Pick the uncovered minterm with the fewest candidate primes.
+    int pick = -1;
+    std::size_t fewest = ~std::size_t(0);
+    for (std::size_t m = 0; m < covered.size(); ++m) {
+      if (covered[m]) continue;
+      const std::size_t k = (*covers_of)[m].size();
+      if (k < fewest) {
+        fewest = k;
+        pick = static_cast<int>(m);
+      }
+    }
+    CGS_CHECK_MSG(fewest > 0, "ON minterm covered by no prime implicant");
+    for (int id : (*covers_of)[std::size_t(pick)]) {
+      // Apply prime `id`.
+      std::vector<std::size_t> newly;
+      for (std::size_t m = 0; m < covered.size(); ++m) {
+        if (!covered[m] && (*covers_of)[m].end() !=
+                               std::find((*covers_of)[m].begin(),
+                                         (*covers_of)[m].end(), id)) {
+          covered[m] = 1;
+          newly.push_back(m);
+        }
+      }
+      chosen.push_back(id);
+      search(covered, uncovered - newly.size());
+      chosen.pop_back();
+      for (std::size_t m : newly) covered[m] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+MinimizeResult minimize_exact(const TruthTable& tt, std::size_t node_budget) {
+  MinimizeResult res;
+  const std::vector<std::uint64_t> on = tt.on_set();
+  if (on.empty()) return res;  // empty cover == constant 0
+
+  std::vector<Cube> primes = prime_implicants(tt);
+  // covers_of[k] = indices of primes covering ON minterm k.
+  std::vector<std::vector<int>> covers_of(on.size());
+  for (std::size_t k = 0; k < on.size(); ++k) {
+    for (std::size_t p = 0; p < primes.size(); ++p)
+      if (primes[p].covers_minterm(on[k]))
+        covers_of[k].push_back(static_cast<int>(p));
+  }
+
+  // Essential primes first: minterms with exactly one candidate.
+  std::vector<std::uint8_t> covered(on.size(), 0);
+  std::vector<int> essential;
+  for (std::size_t k = 0; k < on.size(); ++k) {
+    if (covers_of[k].size() == 1) {
+      const int id = covers_of[k][0];
+      if (std::find(essential.begin(), essential.end(), id) == essential.end())
+        essential.push_back(id);
+    }
+  }
+  std::size_t uncovered = on.size();
+  for (int id : essential) {
+    for (std::size_t k = 0; k < on.size(); ++k) {
+      if (!covered[k] && primes[std::size_t(id)].covers_minterm(on[k])) {
+        covered[k] = 1;
+        --uncovered;
+      }
+    }
+  }
+
+  CoverSearch s;
+  s.primes = &primes;
+  s.covers_of = &covers_of;
+  s.budget = node_budget;
+  s.search(covered, uncovered);
+
+  res.exact = s.visited <= node_budget;
+  std::vector<int> ids = essential;
+  if (s.best_cost >= 0) {
+    ids.insert(ids.end(), s.best.begin(), s.best.end());
+  } else if (uncovered > 0) {
+    // Budget exhausted before any full cover: greedy fallback.
+    res.exact = false;
+    while (uncovered > 0) {
+      int best_id = -1;
+      std::size_t best_gain = 0;
+      for (std::size_t p = 0; p < primes.size(); ++p) {
+        std::size_t gain = 0;
+        for (std::size_t k = 0; k < on.size(); ++k)
+          if (!covered[k] && primes[p].covers_minterm(on[k])) ++gain;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_id = static_cast<int>(p);
+        }
+      }
+      CGS_CHECK(best_id >= 0);
+      ids.push_back(best_id);
+      for (std::size_t k = 0; k < on.size(); ++k)
+        if (!covered[k] && primes[std::size_t(best_id)].covers_minterm(on[k])) {
+          covered[k] = 1;
+          --uncovered;
+        }
+    }
+  }
+
+  for (int id : ids) res.cover.push_back(primes[std::size_t(id)]);
+  CGS_CHECK_MSG(tt.cover_matches(res.cover), "QM produced an invalid cover");
+  return res;
+}
+
+}  // namespace cgs::bf

@@ -1,0 +1,28 @@
+#pragma once
+// Exact two-level minimization: Quine–McCluskey prime-implicant generation
+// followed by branch-and-bound minimum cover (Petrick-style, with pruning).
+// This plays the role of `espresso -Dso -S1` in the paper: exact single-
+// output minimization of the small Delta-variable sublist functions.
+
+#include <vector>
+
+#include "bf/cube.h"
+#include "bf/truthtable.h"
+
+namespace cgs::bf {
+
+/// All prime implicants of the (incompletely specified) function.
+std::vector<Cube> prime_implicants(const TruthTable& tt);
+
+struct MinimizeResult {
+  std::vector<Cube> cover;
+  bool exact = true;  // false if branch-and-bound hit its node budget
+};
+
+/// Minimum-cube (ties: minimum-literal) SOP cover of ON using DC freely.
+/// `node_budget` bounds the search; on exhaustion the best cover found so
+/// far is returned with exact=false (still a *correct* cover).
+MinimizeResult minimize_exact(const TruthTable& tt,
+                              std::size_t node_budget = 200000);
+
+}  // namespace cgs::bf

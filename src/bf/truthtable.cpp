@@ -1,0 +1,36 @@
+#include "bf/truthtable.h"
+
+namespace cgs::bf {
+
+void TruthTable::set_block(std::uint64_t m, int span, State s) {
+  CGS_CHECK(span >= 0 && span <= nv_);
+  const std::uint64_t count = std::uint64_t(1) << span;
+  CGS_CHECK(m + count <= size());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    State& cur = states_[m + i];
+    if (cur == State::kDc) {
+      cur = s;
+    } else {
+      CGS_CHECK_MSG(cur == s,
+                    "conflicting ON/OFF assignment — overlapping leaves?");
+    }
+  }
+}
+
+bool TruthTable::eval_cover(const std::vector<Cube>& cover, std::uint64_t m) {
+  for (const Cube& c : cover)
+    if (c.covers_minterm(m)) return true;
+  return false;
+}
+
+bool TruthTable::cover_matches(const std::vector<Cube>& cover) const {
+  for (std::uint64_t m = 0; m < size(); ++m) {
+    const State s = states_[m];
+    if (s == State::kDc) continue;
+    const bool v = eval_cover(cover, m);
+    if (v != (s == State::kOn)) return false;
+  }
+  return true;
+}
+
+}  // namespace cgs::bf

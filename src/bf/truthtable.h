@@ -1,0 +1,56 @@
+#pragma once
+// Incompletely specified single-output Boolean functions over a small number
+// of variables (<= 20): explicit ON / OFF / DC minterm sets. This is the
+// input language of the minimizers; the sublist functions f^{iota,kappa}_D
+// of the paper are instances with Delta variables.
+
+#include <cstdint>
+#include <vector>
+
+#include "bf/cube.h"
+#include "common/check.h"
+
+namespace cgs::bf {
+
+class TruthTable {
+ public:
+  enum class State : std::uint8_t { kOff = 0, kOn = 1, kDc = 2 };
+
+  explicit TruthTable(int nv) : nv_(nv), states_(std::size_t(1) << nv, State::kDc) {
+    CGS_CHECK(nv >= 0 && nv <= 20);
+  }
+
+  int num_vars() const { return nv_; }
+  std::uint64_t size() const { return std::uint64_t(1) << nv_; }
+
+  State state(std::uint64_t m) const { return states_[m]; }
+  void set(std::uint64_t m, State s) { states_[m] = s; }
+
+  /// Marks [m, m + 2^span) — the minterm block of a cube with `span`
+  /// trailing don't-care variables. Throws if it would flip ON<->OFF.
+  void set_block(std::uint64_t m, int span, State s);
+
+  std::vector<std::uint64_t> on_set() const { return collect(State::kOn); }
+  std::vector<std::uint64_t> dc_set() const { return collect(State::kDc); }
+  std::vector<std::uint64_t> off_set() const { return collect(State::kOff); }
+
+  /// Does the cover (OR of cubes) equal this function on ON and OFF sets?
+  /// (DC minterms may fall either way.)
+  bool cover_matches(const std::vector<Cube>& cover) const;
+
+  /// Evaluate a cover at a minterm.
+  static bool eval_cover(const std::vector<Cube>& cover, std::uint64_t m);
+
+ private:
+  std::vector<std::uint64_t> collect(State s) const {
+    std::vector<std::uint64_t> r;
+    for (std::uint64_t m = 0; m < size(); ++m)
+      if (states_[m] == s) r.push_back(m);
+    return r;
+  }
+
+  int nv_;
+  std::vector<State> states_;
+};
+
+}  // namespace cgs::bf

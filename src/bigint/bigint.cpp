@@ -1,0 +1,273 @@
+#include "bigint/bigint.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace cgs::bigint {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+BigInt::BigInt(std::int64_t v) {
+  if (v == 0) return;
+  negative_ = v < 0;
+  const u64 mag = negative_ ? (~static_cast<u64>(v) + 1) : static_cast<u64>(v);
+  limbs_.push_back(mag);
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return static_cast<int>(64 * (limbs_.size() - 1)) +
+         std::bit_width(limbs_.back());
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.negative_ = false;
+  return r;
+}
+
+int BigInt::compare_mag(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;)
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  return 0;
+}
+
+int BigInt::compare(const BigInt& o) const {
+  if (negative_ != o.negative_) return negative_ ? -1 : 1;
+  const int m = compare_mag(*this, o);
+  return negative_ ? -m : m;
+}
+
+BigInt BigInt::add_mag(const BigInt& a, const BigInt& b, bool negative) {
+  BigInt r;
+  r.negative_ = negative;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  r.limbs_.resize(n, 0);
+  u128 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u128 s = carry;
+    if (i < a.limbs_.size()) s += a.limbs_[i];
+    if (i < b.limbs_.size()) s += b.limbs_[i];
+    r.limbs_[i] = static_cast<u64>(s);
+    carry = s >> 64;
+  }
+  if (carry) r.limbs_.push_back(static_cast<u64>(carry));
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::sub_mag(const BigInt& a, const BigInt& b) {
+  CGS_DCHECK(compare_mag(a, b) >= 0);
+  BigInt r;
+  r.limbs_.resize(a.limbs_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const u64 bv = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    const u64 av = a.limbs_[i];
+    r.limbs_[i] = av - bv - borrow;
+    borrow = (static_cast<u128>(bv) + borrow > av) ? 1 : 0;
+  }
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  if (negative_ == o.negative_) return add_mag(*this, o, negative_);
+  const int m = compare_mag(*this, o);
+  if (m == 0) return BigInt();
+  if (m > 0) {
+    BigInt r = sub_mag(*this, o);
+    r.negative_ = negative_;
+    r.trim();
+    return r;
+  }
+  BigInt r = sub_mag(o, *this);
+  r.negative_ = o.negative_;
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return BigInt();
+  BigInt r;
+  r.negative_ = negative_ != o.negative_;
+  r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    if (limbs_[i] == 0) continue;
+    u128 carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      const u128 cur =
+          static_cast<u128>(limbs_[i]) * o.limbs_[j] + r.limbs_[i + j] + carry;
+      r.limbs_[i + j] = static_cast<u64>(cur);
+      carry = cur >> 64;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry) {
+      const u128 cur = static_cast<u128>(r.limbs_[k]) + carry;
+      r.limbs_[k] = static_cast<u64>(cur);
+      carry = cur >> 64;
+      ++k;
+    }
+  }
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::shifted_left(int bits) const {
+  CGS_CHECK(bits >= 0);
+  if (is_zero() || bits == 0) return *this;
+  const int limb_shift = bits / 64;
+  const int bit_shift = bits % 64;
+  BigInt r;
+  r.negative_ = negative_;
+  r.limbs_.assign(limbs_.size() + static_cast<std::size_t>(limb_shift) + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::size_t k = i + static_cast<std::size_t>(limb_shift);
+    r.limbs_[k] |= bit_shift ? (limbs_[i] << bit_shift) : limbs_[i];
+    if (bit_shift) r.limbs_[k + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::shifted_right(int bits) const {
+  CGS_CHECK(bits >= 0);
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = static_cast<std::size_t>(bits) / 64;
+  const int bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt r;
+  r.negative_ = negative_;
+  r.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < r.limbs_.size(); ++i) {
+    const std::size_t k = i + limb_shift;
+    r.limbs_[i] = bit_shift ? (limbs_[k] >> bit_shift) : limbs_[k];
+    if (bit_shift && k + 1 < limbs_.size())
+      r.limbs_[i] |= limbs_[k + 1] << (64 - bit_shift);
+  }
+  r.trim();
+  return r;
+}
+
+double BigInt::to_double_scaled(int& exponent) const {
+  if (is_zero()) {
+    exponent = 0;
+    return 0.0;
+  }
+  const int bl = bit_length();
+  const int drop = std::max(0, bl - 53);
+  const BigInt top = abs().shifted_right(drop);
+  double m = 0.0;
+  for (std::size_t i = top.limbs_.size(); i-- > 0;)
+    m = m * 18446744073709551616.0 + static_cast<double>(top.limbs_[i]);
+  exponent = drop + 53;
+  m = std::ldexp(m, -53);  // into [0.5, 1)
+  return negative_ ? -m : m;
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (is_zero()) return 0;
+  CGS_CHECK_MSG(limbs_.size() == 1 && limbs_[0] <= (1ull << 63),
+                "BigInt does not fit int64");
+  const u64 mag = limbs_[0];
+  if (negative_) return -static_cast<std::int64_t>(mag - 1) - 1;
+  CGS_CHECK(mag < (1ull << 63));
+  return static_cast<std::int64_t>(mag);
+}
+
+std::string BigInt::to_string_hex() const {
+  if (is_zero()) return "0";
+  std::string s = negative_ ? "-0x" : "0x";
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%llx",
+                static_cast<unsigned long long>(limbs_.back()));
+  s += buf;
+  for (std::size_t i = limbs_.size() - 1; i-- > 0;) {
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(limbs_[i]));
+    s += buf;
+  }
+  return s;
+}
+
+BigInt BigInt::xgcd(const BigInt& a_in, const BigInt& b_in, BigInt& u_out,
+                    BigInt& v_out) {
+  // Binary extended GCD (HAC 14.61). Cofactors for the original signed
+  // inputs are fixed up at the end.
+  BigInt x = a_in.abs(), y = b_in.abs();
+  if (x.is_zero()) {
+    u_out = BigInt(0);
+    v_out = BigInt(b_in.is_negative() ? -1 : 1);
+    return y;
+  }
+  if (y.is_zero()) {
+    u_out = BigInt(a_in.is_negative() ? -1 : 1);
+    v_out = BigInt(0);
+    return x;
+  }
+  int shift = 0;
+  while (!x.is_odd() && !y.is_odd()) {
+    x = x.shifted_right(1);
+    y = y.shifted_right(1);
+    ++shift;
+  }
+  const BigInt g = x, h = y;
+  BigInt u = x, v = y;
+  BigInt A(1), B(0), C(0), D(1);
+  while (!u.is_zero()) {
+    while (!u.is_odd()) {
+      u = u.shifted_right(1);
+      if (A.is_odd() || B.is_odd()) {
+        A = A + h;
+        B = B - g;
+      }
+      A = A.shifted_right(1);
+      B = B.shifted_right(1);
+    }
+    while (!v.is_odd()) {
+      v = v.shifted_right(1);
+      if (C.is_odd() || D.is_odd()) {
+        C = C + h;
+        D = D - g;
+      }
+      C = C.shifted_right(1);
+      D = D.shifted_right(1);
+    }
+    // Ties must reduce u (u -> 0 ends the loop); reducing v on a tie would
+    // zero v and the halving loop above would spin on an even 0 forever.
+    if (!(u < v)) {
+      u = u - v;
+      A = A - C;
+      B = B - D;
+    } else {
+      v = v - u;
+      C = C - A;
+      D = D - B;
+    }
+  }
+  const BigInt gcd = v.shifted_left(shift);
+  u_out = a_in.is_negative() ? -C : C;
+  v_out = b_in.is_negative() ? -D : D;
+  return gcd;
+}
+
+}  // namespace cgs::bigint

@@ -1,0 +1,66 @@
+#pragma once
+// Signed arbitrary-precision integers, sized for NTRUSolve: resultants of
+// degree-1024 NTRU polynomials run to a few thousand bits, and the solver
+// needs exact add/sub/mul, bit shifts, binary XGCD, and top-53-bit doubles
+// for the Babai reduction. Division is deliberately absent — nothing in the
+// solver needs it (XGCD is the binary variant).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgs::bigint {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+
+  /// Bits in the magnitude (0 for zero).
+  int bit_length() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+
+  BigInt shifted_left(int bits) const;
+  BigInt shifted_right(int bits) const;  // arithmetic toward zero on magnitude
+
+  /// Sign-aware comparison: <0, 0, >0.
+  int compare(const BigInt& o) const;
+  bool operator==(const BigInt& o) const { return compare(o) == 0; }
+  bool operator<(const BigInt& o) const { return compare(o) < 0; }
+
+  /// Approximate value as m * 2^e with m in [0.5, 1) (sign applied to m).
+  /// Exact for magnitudes <= 53 bits.
+  double to_double_scaled(int& exponent) const;
+
+  /// Exact conversion when |*this| < 2^63; throws otherwise.
+  std::int64_t to_int64() const;
+
+  std::string to_string_hex() const;
+
+  /// Extended GCD: returns g = gcd(|a|, |b|) with u*a + v*b = g.
+  /// (Binary XGCD; no division required.)
+  static BigInt xgcd(const BigInt& a, const BigInt& b, BigInt& u, BigInt& v);
+
+ private:
+  static BigInt add_mag(const BigInt& a, const BigInt& b, bool negative);
+  static BigInt sub_mag(const BigInt& a, const BigInt& b);  // |a| >= |b|
+  static int compare_mag(const BigInt& a, const BigInt& b);
+  void trim();
+
+  bool negative_ = false;
+  std::vector<std::uint64_t> limbs_;  // little endian, no trailing zeros
+};
+
+}  // namespace cgs::bigint

@@ -1,0 +1,55 @@
+#include "cdt/cdt_samplers.h"
+
+namespace cgs::cdt {
+
+std::uint32_t CdtBinarySearchSampler::sample_magnitude(RandomBitSource& rng) {
+  for (;;) {
+    const U128 r = detail::draw_u128(rng);
+    // Smallest v with r < cum(v): classic lower-bound search.
+    std::size_t lo = 0, hi = t_->size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (r < t_->cum(mid))
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    if (lo < t_->size()) return static_cast<std::uint32_t>(lo);
+    // r landed in the truncation deficit: restart (probability ~ 2^-115).
+  }
+}
+
+std::uint32_t CdtByteScanSampler::sample_magnitude(RandomBitSource& rng) {
+  for (;;) {
+    const U128 r = detail::draw_u128(rng);
+    std::uint8_t rb[16];
+    for (int k = 0; k < 8; ++k) {
+      rb[k] = static_cast<std::uint8_t>(r.hi >> (56 - 8 * k));
+      rb[8 + k] = static_cast<std::uint8_t>(r.lo >> (56 - 8 * k));
+    }
+    // Skip rows ruled out by the first byte, then byte-wise compares with
+    // early exit — almost always decided by byte 0 or 1.
+    for (std::size_t v = t_->first_row_for_byte(rb[0]); v < t_->size(); ++v) {
+      for (int k = 0; k < 16; ++k) {
+        const std::uint8_t cb = t_->byte(v, k);
+        if (rb[k] < cb) return static_cast<std::uint32_t>(v);
+        if (rb[k] > cb) break;  // r > cum(v) at this byte: next row
+        // equal: look at the next byte
+      }
+    }
+  }
+}
+
+std::uint32_t CdtLinearCtSampler::sample_magnitude(RandomBitSource& rng) {
+  for (;;) {
+    const U128 r = detail::draw_u128(rng);
+    // v = number of rows with cum(v) <= r, accumulated branch-free over the
+    // whole table regardless of where the answer lies.
+    std::uint64_t ge_count = 0;
+    for (std::size_t v = 0; v < t_->size(); ++v)
+      ge_count += 1u - U128::lt_ct(r, t_->cum(v));
+    if (ge_count < t_->size()) return static_cast<std::uint32_t>(ge_count);
+  }
+}
+
+}  // namespace cgs::cdt

@@ -1,0 +1,72 @@
+#pragma once
+// The three CDT samplers Table 1 compares against, all over the shared
+// 128-bit CdtTable:
+//  - CdtBinarySearchSampler: Peikert-style inversion sampling with binary
+//    search. Fast, variable time (search path depends on the secret draw).
+//  - CdtByteScanSampler: Du-Bai byte-scanning — first-byte skip table plus
+//    byte-wise early-exit compares. The fastest non-constant-time entry.
+//  - CdtLinearCtSampler: Bos et al. linear scan touching every row with
+//    branch-free 128-bit compares. Constant time, slowest.
+
+#include "cdt/cdt_table.h"
+#include "common/sampler.h"
+
+namespace cgs::cdt {
+
+namespace detail {
+inline U128 draw_u128(RandomBitSource& rng) {
+  // hi = first 64 random bits (fraction bits 1..64).
+  U128 r;
+  r.hi = rng.next_word();
+  r.lo = rng.next_word();
+  return r;
+}
+inline std::int32_t apply_sign(std::uint32_t mag, RandomBitSource& rng) {
+  const std::int32_t s = -static_cast<std::int32_t>(rng.next_word() & 1u);
+  return (static_cast<std::int32_t>(mag) ^ s) - s;
+}
+}  // namespace detail
+
+class CdtBinarySearchSampler final : public IntSampler {
+ public:
+  explicit CdtBinarySearchSampler(const CdtTable& table) : t_(&table) {}
+  std::uint32_t sample_magnitude(RandomBitSource& rng) override;
+  std::int32_t sample(RandomBitSource& rng) override {
+    return detail::apply_sign(sample_magnitude(rng), rng);
+  }
+  const char* name() const override { return "cdt-binary-search"; }
+  bool constant_time() const override { return false; }
+
+ private:
+  const CdtTable* t_;
+};
+
+class CdtByteScanSampler final : public IntSampler {
+ public:
+  explicit CdtByteScanSampler(const CdtTable& table) : t_(&table) {}
+  std::uint32_t sample_magnitude(RandomBitSource& rng) override;
+  std::int32_t sample(RandomBitSource& rng) override {
+    return detail::apply_sign(sample_magnitude(rng), rng);
+  }
+  const char* name() const override { return "cdt-byte-scan"; }
+  bool constant_time() const override { return false; }
+
+ private:
+  const CdtTable* t_;
+};
+
+class CdtLinearCtSampler final : public IntSampler {
+ public:
+  explicit CdtLinearCtSampler(const CdtTable& table) : t_(&table) {}
+  std::uint32_t sample_magnitude(RandomBitSource& rng) override;
+  std::int32_t sample(RandomBitSource& rng) override {
+    return detail::apply_sign(sample_magnitude(rng), rng);
+  }
+  const char* name() const override { return "cdt-linear-ct"; }
+  bool constant_time() const override { return true; }
+
+ private:
+  const CdtTable* t_;
+};
+
+}  // namespace cgs::cdt

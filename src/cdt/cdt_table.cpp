@@ -1,0 +1,54 @@
+#include "cdt/cdt_table.h"
+
+#include "common/check.h"
+#include "fp/bigfix.h"
+
+namespace cgs::cdt {
+
+CdtTable::CdtTable(const gauss::ProbMatrix& m) : matrix_(&m) {
+  CGS_CHECK_MSG(m.precision() <= 128, "CDT stores 128 fraction bits");
+  fp::BigFix acc(fp::BigFix::kDefaultFracLimbs);
+  cum_.reserve(m.rows());
+  bytes_.reserve(m.rows());
+  for (std::size_t v = 0; v < m.rows(); ++v) {
+    acc = acc.add(m.probability(v));
+    U128 c;
+    for (int i = 1; i <= 128; ++i) {
+      const int bit = (i <= m.precision()) ? acc.frac_bit(i) : 0;
+      if (i <= 64)
+        c.hi |= static_cast<std::uint64_t>(bit) << (64 - i);
+      else
+        c.lo |= static_cast<std::uint64_t>(bit) << (128 - i);
+    }
+    // A cumulative sum that reaches exactly 1.0 would need an integer bit;
+    // the truncation deficit guarantees acc < 1 so 128 fraction bits suffice.
+    CGS_CHECK(acc.int_part() == 0);
+    cum_.push_back(c);
+    std::array<std::uint8_t, 16> by{};
+    for (int k = 0; k < 8; ++k) {
+      by[static_cast<std::size_t>(k)] =
+          static_cast<std::uint8_t>(c.hi >> (56 - 8 * k));
+      by[static_cast<std::size_t>(8 + k)] =
+          static_cast<std::uint8_t>(c.lo >> (56 - 8 * k));
+    }
+    bytes_.push_back(by);
+  }
+
+  // first_row_[b]: smallest v whose cum first byte is >= b. Rows before it
+  // can never satisfy r < cum(v) when r's first byte is b.
+  std::size_t v = 0;
+  for (int b = 0; b < 256; ++b) {
+    while (v < cum_.size() &&
+           bytes_[v][0] < static_cast<std::uint8_t>(b))
+      ++v;
+    first_row_[static_cast<std::size_t>(b)] = v;
+  }
+}
+
+std::size_t CdtTable::lookup_linear_reference(const U128& r) const {
+  for (std::size_t v = 0; v < cum_.size(); ++v)
+    if (r < cum_[v]) return v;
+  return cum_.size();
+}
+
+}  // namespace cgs::cdt

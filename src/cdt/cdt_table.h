@@ -1,0 +1,69 @@
+#pragma once
+// Cumulative distribution table at 128-bit precision, shared by the three
+// CDT samplers of Table 1 (binary search [26], byte-scanning [13], linear
+// constant-time scan [7]). Built from the same truncated probability matrix
+// as the Knuth-Yao samplers so all samplers target the identical
+// distribution.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gauss/probmatrix.h"
+
+namespace cgs::cdt {
+
+/// 128 fraction bits as (hi, lo): hi holds bits 1..64 (bit 1 = weight 1/2).
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator<(const U128& a, const U128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+  friend bool operator==(const U128& a, const U128& b) = default;
+
+  /// Constant-time "a < b" returning all-ones / all-zeros avoidance: plain
+  /// 0/1 without data-dependent branches.
+  static std::uint64_t lt_ct(const U128& a, const U128& b) {
+    // borrow of (a - b): 1 iff a < b, computed branch-free.
+    const std::uint64_t lo_borrow = (a.lo < b.lo) ? 1u : 0u;  // cmov, no branch
+    const unsigned __int128 ahi = a.hi;
+    const unsigned __int128 sub = ahi - b.hi - lo_borrow;
+    return static_cast<std::uint64_t>(sub >> 127);
+  }
+};
+
+class CdtTable {
+ public:
+  explicit CdtTable(const gauss::ProbMatrix& matrix);
+
+  const gauss::ProbMatrix& matrix() const { return *matrix_; }
+  std::size_t size() const { return cum_.size(); }
+
+  /// Cumulative probability of magnitudes <= v.
+  const U128& cum(std::size_t v) const { return cum_[v]; }
+
+  /// Big-endian byte k (0 = most significant) of cum(v).
+  std::uint8_t byte(std::size_t v, int k) const {
+    return bytes_[v][static_cast<std::size_t>(k)];
+  }
+
+  /// Smallest v with r < cum(v), or size() if none (restart region).
+  std::size_t lookup_linear_reference(const U128& r) const;
+
+  /// Range of candidate rows whose answer cannot be decided by the first
+  /// byte of r alone: [first_ge[b], first_gt[b]) style index. Used by the
+  /// byte-scanning sampler's first-byte skip table.
+  std::size_t first_row_for_byte(std::uint8_t b) const {
+    return first_row_[b];
+  }
+
+ private:
+  const gauss::ProbMatrix* matrix_;
+  std::vector<U128> cum_;
+  std::vector<std::array<std::uint8_t, 16>> bytes_;
+  std::array<std::size_t, 256> first_row_{};
+};
+
+}  // namespace cgs::cdt

@@ -1,0 +1,39 @@
+#pragma once
+// Small bit-manipulation helpers shared across modules.
+
+#include <bit>
+#include <cstdint>
+
+namespace cgs {
+
+/// Number of bits needed to represent v (bit_width), with bit_width(0) == 1
+/// so that even a zero-valued sample occupies one output bit.
+constexpr int sample_bit_width(std::uint64_t v) {
+  return v == 0 ? 1 : std::bit_width(v);
+}
+
+/// Extract bit `i` (0 = LSB) of `v`.
+constexpr int bit_at(std::uint64_t v, int i) {
+  return static_cast<int>((v >> i) & 1u);
+}
+
+/// Count of leading one-bits of `v` when viewed as a `width`-bit string,
+/// MSB first. Example: v=0b1101, width=4 -> 2.
+constexpr int leading_ones(std::uint64_t v, int width) {
+  int k = 0;
+  for (int i = width - 1; i >= 0; --i) {
+    if (((v >> i) & 1u) == 0) break;
+    ++k;
+  }
+  return k;
+}
+
+/// Parity-safe 64-bit rotation (used by PRNG cores).
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) {
+  return std::rotl(x, r);
+}
+constexpr std::uint32_t rotl32(std::uint32_t x, int r) {
+  return std::rotl(x, r);
+}
+
+}  // namespace cgs

@@ -1,0 +1,49 @@
+#pragma once
+// Lightweight precondition / invariant checking used across the library.
+//
+// CGS_CHECK is always on (library-level API misuse should never be silent);
+// CGS_DCHECK compiles out in release builds and guards hot inner loops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cgs {
+
+/// Thrown on violated preconditions or internal invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CGS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace cgs
+
+#define CGS_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::cgs::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CGS_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream cgs_os_;                                    \
+      cgs_os_ << msg;                                                \
+      ::cgs::detail::check_failed(#expr, __FILE__, __LINE__, cgs_os_.str()); \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define CGS_DCHECK(expr) ((void)0)
+#else
+#define CGS_DCHECK(expr) CGS_CHECK(expr)
+#endif

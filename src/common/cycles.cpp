@@ -1,0 +1,54 @@
+#include "common/cycles.h"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define CGS_HAVE_RDTSC 1
+#endif
+
+namespace cgs {
+
+std::uint64_t cycles_begin() {
+#ifdef CGS_HAVE_RDTSC
+  unsigned aux = 0;
+  _mm_lfence();
+  std::uint64_t t = __rdtscp(&aux);
+  _mm_lfence();
+  return t;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+std::uint64_t cycles_end() {
+#ifdef CGS_HAVE_RDTSC
+  unsigned aux = 0;
+  _mm_lfence();
+  std::uint64_t t = __rdtscp(&aux);
+  _mm_lfence();
+  return t;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+double cycles_per_second() {
+  static const double rate = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t c0 = cycles_begin();
+    // Busy-wait ~20ms; enough for a stable estimate in benches.
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::milliseconds(20)) {
+    }
+    const std::uint64_t c1 = cycles_end();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(c1 - c0) / secs;
+  }();
+  return rate;
+}
+
+}  // namespace cgs

@@ -1,0 +1,18 @@
+#pragma once
+// Cycle counting for sampler-only measurements (Table 2) and the dudect
+// leakage detector. Uses rdtsc on x86-64, a steady_clock fallback elsewhere.
+
+#include <cstdint>
+
+namespace cgs {
+
+/// Serialized timestamp read (cpuid+rdtsc style fencing via intrinsics).
+std::uint64_t cycles_begin();
+
+/// Serialized timestamp read suitable for the end of a measured region.
+std::uint64_t cycles_end();
+
+/// Rough cycles-per-second estimate (calibrated once, cached).
+double cycles_per_second();
+
+}  // namespace cgs

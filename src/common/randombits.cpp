@@ -1,0 +1,23 @@
+#include "common/randombits.h"
+
+#include "common/check.h"
+
+namespace cgs {
+
+DeterministicBitSource::DeterministicBitSource(std::vector<int> bits)
+    : bits_(std::move(bits)) {
+  CGS_CHECK_MSG(!bits_.empty(), "DeterministicBitSource needs >= 1 bit");
+  for (int b : bits_) CGS_CHECK(b == 0 || b == 1);
+}
+
+std::uint64_t DeterministicBitSource::next_word() {
+  std::uint64_t w = 0;
+  for (int i = 0; i < 64; ++i) {
+    w |= static_cast<std::uint64_t>(bits_[pos_]) << i;
+    pos_ = (pos_ + 1) % bits_.size();
+    ++served_;
+  }
+  return w;
+}
+
+}  // namespace cgs

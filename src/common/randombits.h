@@ -1,0 +1,66 @@
+#pragma once
+// RandomBitSource: the single abstraction every sampler draws randomness
+// through. Concrete sources live in src/prng (ChaCha20, SHAKE, SplitMix64);
+// tests use DeterministicBitSource to replay exact bit strings.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cgs {
+
+/// Interface producing uniformly random bits. Single-bit draws are buffered
+/// from 64-bit words, consumed LSB-first: the i-th call to next_bit() after a
+/// refill returns bit i of the buffered word.
+class RandomBitSource {
+ public:
+  virtual ~RandomBitSource() = default;
+
+  /// 64 fresh uniform bits.
+  virtual std::uint64_t next_word() = 0;
+
+  /// One uniform bit (buffered from next_word()).
+  int next_bit() {
+    if (bits_left_ == 0) {
+      buffer_ = next_word();
+      bits_left_ = 64;
+    }
+    const int b = static_cast<int>(buffer_ & 1u);
+    buffer_ >>= 1;
+    --bits_left_;
+    return b;
+  }
+
+  /// Fill a span with fresh words (bulk path for bit-sliced batches).
+  void fill_words(std::span<std::uint64_t> out) {
+    for (auto& w : out) w = next_word();
+  }
+
+  /// Discard any partially consumed word so the next next_bit() starts a
+  /// fresh word. Samplers call this between independent samples when exact
+  /// bit accounting matters in tests.
+  void flush_bit_buffer() { bits_left_ = 0; }
+
+ private:
+  std::uint64_t buffer_ = 0;
+  int bits_left_ = 0;
+};
+
+/// Replays a fixed bit sequence; wraps around at the end. Tests use this to
+/// drive samplers down chosen DDG-tree paths.
+class DeterministicBitSource final : public RandomBitSource {
+ public:
+  explicit DeterministicBitSource(std::vector<int> bits);
+
+  std::uint64_t next_word() override;
+
+  /// Total single bits served so far (before wrap accounting).
+  std::size_t bits_served() const { return served_; }
+
+ private:
+  std::vector<int> bits_;
+  std::size_t pos_ = 0;
+  std::size_t served_ = 0;
+};
+
+}  // namespace cgs

@@ -1,0 +1,30 @@
+#pragma once
+// The plug-in point Table 1 revolves around: Falcon's signer (and anything
+// else) draws base Gaussian integers through this interface, so the four
+// samplers of the paper — byte-scanning CDT, binary-search CDT, linear CDT,
+// and the bit-sliced constant-time sampler — are interchangeable.
+
+#include <cstdint>
+
+#include "common/randombits.h"
+
+namespace cgs {
+
+class IntSampler {
+ public:
+  virtual ~IntSampler() = default;
+
+  /// Signed sample from the discrete Gaussian.
+  virtual std::int32_t sample(RandomBitSource& rng) = 0;
+
+  /// Magnitude-only sample (|X| under the folded distribution).
+  virtual std::uint32_t sample_magnitude(RandomBitSource& rng) = 0;
+
+  /// Human-readable name for benches/tables.
+  virtual const char* name() const = 0;
+
+  /// Whether the implementation is constant-time by construction.
+  virtual bool constant_time() const = 0;
+};
+
+}  // namespace cgs

@@ -1,0 +1,36 @@
+#include "conv/convolution.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cgs::conv {
+
+ConvolutionSampler::ConvolutionSampler(IntSampler& base, int k)
+    : base_(&base), k_(k) {
+  CGS_CHECK(k >= 1);
+}
+
+std::int32_t ConvolutionSampler::sample(RandomBitSource& rng) {
+  const std::int32_t x1 = base_->sample(rng);
+  const std::int32_t x2 = base_->sample(rng);
+  return x1 + k_ * x2;
+}
+
+std::uint32_t ConvolutionSampler::sample_magnitude(RandomBitSource& rng) {
+  const std::int32_t s = sample(rng);
+  return static_cast<std::uint32_t>(s < 0 ? -s : s);
+}
+
+double ConvolutionSampler::combined_sigma(double base_sigma, int k) {
+  return base_sigma * std::sqrt(1.0 + static_cast<double>(k) * k);
+}
+
+int ConvolutionSampler::stride_for(double base_sigma, double target_sigma) {
+  CGS_CHECK(base_sigma > 0 && target_sigma >= base_sigma);
+  int k = 1;
+  while (combined_sigma(base_sigma, k) < target_sigma) ++k;
+  return k;
+}
+
+}  // namespace cgs::conv

@@ -1,0 +1,35 @@
+#pragma once
+// Convolution of base samplers into a wide discrete Gaussian
+// (Poppelmann-Ducas-Guneysu CHES'14 / Micciancio-Walter style): the paper's
+// §3 notes its sampler is meant as the *base* sampler inside such schemes.
+// x = x1 + k * x2 with x1, x2 ~ D_sigma0 gives sigma = sigma0 * sqrt(1+k^2)
+// (up to smoothing-parameter loss, reported by the stats module).
+
+#include <memory>
+
+#include "common/sampler.h"
+
+namespace cgs::conv {
+
+class ConvolutionSampler final : public IntSampler {
+ public:
+  /// Combines two draws from `base` (not owned) with stride k.
+  ConvolutionSampler(IntSampler& base, int k);
+
+  std::int32_t sample(RandomBitSource& rng) override;
+  std::uint32_t sample_magnitude(RandomBitSource& rng) override;
+  const char* name() const override { return "convolution"; }
+  bool constant_time() const override { return base_->constant_time(); }
+
+  /// Resulting sigma given the base sigma.
+  static double combined_sigma(double base_sigma, int k);
+
+  /// Smallest k with combined sigma >= target.
+  static int stride_for(double base_sigma, double target_sigma);
+
+ private:
+  IntSampler* base_;
+  int k_;
+};
+
+}  // namespace cgs::conv

@@ -1,0 +1,67 @@
+#include "ct/bitsliced_sampler.h"
+
+#include "common/check.h"
+
+namespace cgs::ct {
+
+BitslicedSampler::BitslicedSampler(SynthesizedSampler synth)
+    : synth_(std::move(synth)),
+      in_(static_cast<std::size_t>(synth_.precision)),
+      out_words_(synth_.netlist.outputs().size()) {
+  CGS_CHECK(synth_.netlist.num_inputs() == synth_.precision);
+}
+
+std::uint64_t BitslicedSampler::sample_magnitudes(
+    RandomBitSource& rng, std::span<std::uint32_t> out) {
+  CGS_CHECK(out.size() >= kBatch);
+  rng.fill_words(in_);
+  synth_.netlist.eval(in_, out_words_);
+  const int m = synth_.num_output_bits;
+  for (int lane = 0; lane < kBatch; ++lane) {
+    std::uint32_t v = 0;
+    for (int iota = 0; iota < m; ++iota)
+      v |= static_cast<std::uint32_t>(
+               (out_words_[static_cast<std::size_t>(iota)] >> lane) & 1u)
+           << iota;
+    out[static_cast<std::size_t>(lane)] = v;
+  }
+  return synth_.has_valid_bit ? out_words_[static_cast<std::size_t>(m)]
+                              : ~std::uint64_t(0);
+}
+
+std::uint64_t BitslicedSampler::sample_batch(RandomBitSource& rng,
+                                             std::span<std::int32_t> out) {
+  std::uint32_t mags[kBatch];
+  const std::uint64_t valid = sample_magnitudes(rng, mags);
+  const std::uint64_t signs = rng.next_word();
+  for (int lane = 0; lane < kBatch; ++lane) {
+    const auto mag = static_cast<std::int32_t>(mags[lane]);
+    // Branch-free sign application: negate iff the sign bit is set.
+    const std::int32_t s = -static_cast<std::int32_t>((signs >> lane) & 1u);
+    out[static_cast<std::size_t>(lane)] = (mag ^ s) - s;
+  }
+  return valid;
+}
+
+void BufferedBitslicedSampler::refill(RandomBitSource& rng) {
+  buf_.clear();
+  while (buf_.empty()) {
+    std::int32_t batch[BitslicedSampler::kBatch];
+    const std::uint64_t valid = core_.sample_batch(rng, batch);
+    for (int lane = 0; lane < BitslicedSampler::kBatch; ++lane)
+      if ((valid >> lane) & 1u) buf_.push_back(batch[lane]);
+  }
+  pos_ = 0;
+}
+
+std::int32_t BufferedBitslicedSampler::sample(RandomBitSource& rng) {
+  if (pos_ >= buf_.size()) refill(rng);
+  return buf_[pos_++];
+}
+
+std::uint32_t BufferedBitslicedSampler::sample_magnitude(RandomBitSource& rng) {
+  const std::int32_t s = sample(rng);
+  return static_cast<std::uint32_t>(s < 0 ? -s : s);
+}
+
+}  // namespace cgs::ct

@@ -1,0 +1,62 @@
+#pragma once
+// The runtime half of the paper: feed 64 lanes of random bits through the
+// synthesized netlist, unpack 64 magnitude samples per batch, fold in a sign
+// word. One netlist input word per precision bit; lane i of input word k is
+// b_k of sample i.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/sampler.h"
+#include "ct/synthesis.h"
+
+namespace cgs::ct {
+
+class BitslicedSampler {
+ public:
+  static constexpr int kBatch = 64;
+
+  explicit BitslicedSampler(SynthesizedSampler synth);
+
+  const SynthesizedSampler& synth() const { return synth_; }
+
+  /// One batch of magnitude samples. Returns the valid-lane mask (bit i set
+  /// iff lane i hit a DDG leaf; ~always all-ones at cryptographic
+  /// precision). `out` must hold kBatch entries.
+  std::uint64_t sample_magnitudes(RandomBitSource& rng,
+                                  std::span<std::uint32_t> out);
+
+  /// One batch of signed samples (consumes one extra word for signs).
+  std::uint64_t sample_batch(RandomBitSource& rng, std::span<std::int32_t> out);
+
+  /// Random words consumed per batch (PRNG-cost accounting: n + 1 sign).
+  int words_per_batch() const { return synth_.precision + 1; }
+
+ private:
+  SynthesizedSampler synth_;
+  std::vector<std::uint64_t> in_;
+  std::vector<std::uint64_t> out_words_;
+};
+
+/// IntSampler adapter: batches internally, serves one sample at a time,
+/// discards invalid lanes (a restart, exactly like the reference sampler).
+class BufferedBitslicedSampler final : public IntSampler {
+ public:
+  explicit BufferedBitslicedSampler(SynthesizedSampler synth)
+      : core_(std::move(synth)) {}
+
+  std::int32_t sample(RandomBitSource& rng) override;
+  std::uint32_t sample_magnitude(RandomBitSource& rng) override;
+  const char* name() const override { return "bitsliced-ct(this work)"; }
+  bool constant_time() const override { return true; }
+
+ private:
+  void refill(RandomBitSource& rng);
+
+  BitslicedSampler core_;
+  std::vector<std::int32_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cgs::ct

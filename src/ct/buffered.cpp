@@ -1,0 +1,2 @@
+#include "ct/buffered.h"
+// Adapters are header-only; this TU anchors the target.

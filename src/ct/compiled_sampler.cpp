@@ -1,0 +1,128 @@
+#include "ct/compiled_sampler.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "bf/codegen.h"
+#include "common/check.h"
+
+namespace cgs::ct {
+
+namespace {
+
+std::string unique_stem() {
+  static std::atomic<unsigned> counter{0};
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "/tmp/cgs_kernel_%d_%u", getpid(),
+                counter.fetch_add(1));
+  return buf;
+}
+
+int run_quiet(const std::string& cmd) {
+  return std::system((cmd + " > /dev/null 2>&1").c_str());
+}
+
+}  // namespace
+
+bool CompiledKernel::is_available() {
+  static const bool ok = [] {
+    return run_quiet("cc --version") == 0 || run_quiet("gcc --version") == 0;
+  }();
+  return ok;
+}
+
+CompiledKernel::CompiledKernel(const SynthesizedSampler& synth)
+    : num_inputs_(static_cast<std::size_t>(synth.netlist.num_inputs())),
+      num_outputs_(synth.netlist.outputs().size()) {
+  const std::string stem = unique_stem();
+  const std::string c_path = stem + ".c";
+  so_path_ = stem + ".so";
+  {
+    std::ofstream out(c_path);
+    CGS_CHECK_MSG(out.good(), "cannot write kernel source");
+    out << bf::emit_c(synth.netlist, "cgs_kernel");
+  }
+  const std::string compiler =
+      run_quiet("cc --version") == 0 ? "cc" : "gcc";
+  const std::string cmd = compiler + " -O2 -shared -fPIC -w -o " + so_path_ +
+                          " " + c_path;
+  CGS_CHECK_MSG(std::system(cmd.c_str()) == 0, "kernel compilation failed");
+  std::remove(c_path.c_str());
+
+  handle_ = dlopen(so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
+  CGS_CHECK_MSG(handle_ != nullptr, "dlopen failed");
+  fn_ = reinterpret_cast<Fn>(dlsym(handle_, "cgs_kernel"));
+  CGS_CHECK_MSG(fn_ != nullptr, "kernel symbol missing");
+}
+
+CompiledKernel::~CompiledKernel() {
+  if (handle_) dlclose(handle_);
+  if (!so_path_.empty()) std::remove(so_path_.c_str());
+}
+
+void CompiledKernel::eval(std::span<const std::uint64_t> in,
+                          std::span<std::uint64_t> out) const {
+  CGS_DCHECK(in.size() == num_inputs_ && out.size() == num_outputs_);
+  fn_(in.data(), out.data());
+}
+
+CompiledBitslicedSampler::CompiledBitslicedSampler(SynthesizedSampler synth)
+    : synth_(std::move(synth)),
+      kernel_(synth_),
+      in_(static_cast<std::size_t>(synth_.precision)),
+      out_words_(synth_.netlist.outputs().size()) {}
+
+std::uint64_t CompiledBitslicedSampler::sample_magnitudes(
+    RandomBitSource& rng, std::span<std::uint32_t> out) {
+  CGS_CHECK(out.size() >= kBatch);
+  rng.fill_words(in_);
+  kernel_.eval(in_, out_words_);
+  const int m = synth_.num_output_bits;
+  for (int lane = 0; lane < kBatch; ++lane) {
+    std::uint32_t v = 0;
+    for (int iota = 0; iota < m; ++iota)
+      v |= static_cast<std::uint32_t>(
+               (out_words_[static_cast<std::size_t>(iota)] >> lane) & 1u)
+           << iota;
+    out[static_cast<std::size_t>(lane)] = v;
+  }
+  return synth_.has_valid_bit ? out_words_[static_cast<std::size_t>(m)]
+                              : ~std::uint64_t(0);
+}
+
+std::uint64_t CompiledBitslicedSampler::sample_batch(
+    RandomBitSource& rng, std::span<std::int32_t> out) {
+  std::uint32_t mags[kBatch];
+  const std::uint64_t valid = sample_magnitudes(rng, mags);
+  const std::uint64_t signs = rng.next_word();
+  for (int lane = 0; lane < kBatch; ++lane) {
+    const auto mag = static_cast<std::int32_t>(mags[lane]);
+    const std::int32_t s = -static_cast<std::int32_t>((signs >> lane) & 1u);
+    out[static_cast<std::size_t>(lane)] = (mag ^ s) - s;
+  }
+  return valid;
+}
+
+std::int32_t BufferedCompiledSampler::sample(RandomBitSource& rng) {
+  while (pos_ >= buf_.size()) {
+    buf_.clear();
+    std::int32_t batch[CompiledBitslicedSampler::kBatch];
+    const std::uint64_t valid = core_.sample_batch(rng, batch);
+    for (int lane = 0; lane < CompiledBitslicedSampler::kBatch; ++lane)
+      if ((valid >> lane) & 1u) buf_.push_back(batch[lane]);
+    pos_ = 0;
+  }
+  return buf_[pos_++];
+}
+
+std::uint32_t BufferedCompiledSampler::sample_magnitude(RandomBitSource& rng) {
+  const std::int32_t s = sample(rng);
+  return static_cast<std::uint32_t>(s < 0 ? -s : s);
+}
+
+}  // namespace cgs::ct

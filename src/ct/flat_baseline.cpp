@@ -1,0 +1,66 @@
+#include "ct/flat_baseline.h"
+
+#include "bf/espresso_lite.h"
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace cgs::ct {
+
+namespace {
+
+// Full-width cube of a leaf: variable v is path bit b_v. 1^kappa 0 suffix,
+// trailing don't-cares.
+bf::Cube flat_cube(const Leaf& leaf, int n) {
+  bf::Cube c(n);
+  for (int v = 0; v < leaf.kappa; ++v) c.set_var(v, 1);
+  c.set_var(leaf.kappa, 0);
+  for (int u = 0; u < leaf.j; ++u)
+    c.set_var(leaf.kappa + 1 + u, (leaf.suffix >> (leaf.j - 1 - u)) & 1u);
+  return c;
+}
+
+}  // namespace
+
+SynthesizedSampler synthesize_flat(const gauss::ProbMatrix& matrix,
+                                   const FlatConfig& config) {
+  const int n = matrix.precision();
+  CGS_CHECK_MSG(n <= 128, "flat baseline cubes limited to 128 variables");
+  const LeafList list = enumerate_leaves(matrix);
+
+  std::uint32_t max_value = 0;
+  for (const Leaf& leaf : list.leaves)
+    max_value = std::max(max_value, leaf.value);
+  const int m = sample_bit_width(max_value);
+
+  SynthesizedSampler out;
+  out.precision = n;
+  out.num_output_bits = m;
+  out.has_valid_bit = config.emit_valid_bit;
+  out.stats.num_leaves = list.leaves.size();
+  out.stats.max_kappa = list.max_kappa;
+  out.stats.delta = list.delta;
+
+  bf::NetlistBuilder b(n, config.cse);
+  for (int iota = 0; iota < m; ++iota) {
+    std::vector<bf::Cube> cover;
+    for (const Leaf& leaf : list.leaves)
+      if (bit_at(leaf.value, iota)) cover.push_back(flat_cube(leaf, n));
+    out.stats.cubes_raw += cover.size();
+    if (config.merge) cover = bf::merge_only(std::move(cover));
+    out.stats.cubes_minimized += cover.size();
+    b.add_output(b.sop(cover, /*base_input=*/0));
+  }
+  if (config.emit_valid_bit) {
+    std::vector<bf::Cube> cover;
+    for (const Leaf& leaf : list.leaves) cover.push_back(flat_cube(leaf, n));
+    if (config.merge) cover = bf::merge_only(std::move(cover));
+    b.add_output(b.sop(cover, /*base_input=*/0));
+  }
+
+  out.netlist = b.take();
+  out.stats.netlist_ops = out.netlist.op_count();
+  out.stats.all_exact = false;  // "simple minimization" is not exact
+  return out;
+}
+
+}  // namespace cgs::ct

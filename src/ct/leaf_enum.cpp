@@ -1,0 +1,97 @@
+#include "ct/leaf_enum.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cgs::ct {
+
+namespace {
+
+// Minimal 256-bit unsigned integer: enough for path values at precision
+// n <= 256. Little-endian limbs.
+struct U256 {
+  std::array<std::uint64_t, 4> w{};
+
+  // *this = *this * 2 + add (add may be any 64-bit value, not just a bit)
+  void shl1_add(std::uint64_t add) {
+    unsigned __int128 carry = add;
+    for (auto& limb : w) {
+      const unsigned __int128 cur = (static_cast<unsigned __int128>(limb) << 1) + carry;
+      limb = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    CGS_CHECK_MSG(carry == 0, "U256 overflow");
+  }
+
+  U256 sub_small(std::uint64_t d) const {
+    U256 r = *this;
+    std::size_t i = 0;
+    while (d != 0) {
+      CGS_CHECK(i < r.w.size());
+      const std::uint64_t before = r.w[i];
+      r.w[i] = before - d;
+      d = (before < d) ? 1 : 0;
+      ++i;
+    }
+    return r;
+  }
+
+  int bit(int i) const { return (w[std::size_t(i >> 6)] >> (i & 63)) & 1u; }
+};
+
+}  // namespace
+
+std::vector<int> Leaf::bits() const {
+  std::vector<int> b;
+  b.reserve(static_cast<std::size_t>(level) + 1);
+  for (int i = 0; i < kappa; ++i) b.push_back(1);
+  b.push_back(0);
+  for (int u = j - 1; u >= 0; --u) b.push_back((suffix >> u) & 1u);
+  return b;
+}
+
+LeafList enumerate_leaves(const gauss::ProbMatrix& m) {
+  const int n = m.precision();
+  CGS_CHECK_MSG(n <= 250, "leaf enumeration limited to 250-bit precision");
+
+  LeafList out;
+  U256 H;  // H_c, updated per level
+  double covered = 0.0;
+  for (int c = 0; c < n; ++c) {
+    const int h = m.column_weight(c);
+    H.shl1_add(static_cast<std::uint64_t>(h));
+    // Sample values in bottom-up leaf order: leaf with d_pre = h-t gets the
+    // (h-t+1)-th highest set row. Collect the set rows (descending).
+    std::vector<std::uint32_t> set_rows;
+    set_rows.reserve(static_cast<std::size_t>(h));
+    for (int row = static_cast<int>(m.rows()) - 1; row >= 0; --row)
+      if (m.bit(static_cast<std::size_t>(row), c))
+        set_rows.push_back(static_cast<std::uint32_t>(row));
+
+    for (int t = 1; t <= h; ++t) {
+      const U256 v = H.sub_small(static_cast<std::uint64_t>(t));
+      // v is a (c+1)-bit string: bit c = b_0 (first drawn), bit 0 = b_c.
+      int kappa = 0;
+      while (kappa <= c && v.bit(c - kappa) == 1) ++kappa;
+      CGS_CHECK_MSG(kappa <= c, "Theorem 1 violated: all-ones leaf string");
+      const int j = c - kappa;
+      CGS_CHECK_MSG(j <= 31, "suffix wider than 31 bits — Delta assumption broken");
+      std::uint32_t suffix = 0;
+      for (int u = 0; u < j; ++u)
+        suffix |= static_cast<std::uint32_t>(v.bit(j - 1 - u)) << (j - 1 - u);
+      // d_pre = h - t; sample = (d_pre + 1)-th highest set row.
+      const std::uint32_t value = set_rows[static_cast<std::size_t>(h - t)];
+      out.leaves.push_back(Leaf{c, kappa, j, suffix, value});
+      out.max_kappa = std::max(out.max_kappa, kappa);
+      out.delta = std::max(out.delta, j);
+      covered += std::pow(0.5, c + 1);
+    }
+  }
+  out.covered_probability = covered;
+  return out;
+}
+
+}  // namespace cgs::ct

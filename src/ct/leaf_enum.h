@@ -1,0 +1,42 @@
+#pragma once
+// Enumeration of the DDG-tree leaves as Theorem-1 strings. Every leaf of the
+// tree is reached by exactly one bit string `1^kappa 0 s` (draw order) where
+// `s` is the j-bit suffix; this module produces the full list L of the paper
+// (§5.1) directly from the column weights, in O(total leaves) time, without
+// materializing the tree.
+//
+// Derivation used here (matches Alg. 1): let V_c = value of the first c+1
+// bits (b_0 = MSB) and H_c = h_0*2^c + h_1*2^(c-1) + ... + h_c. The walk
+// hits a leaf at level c iff V_c in [H_c - h_c, H_c - 1]; the leaf is the
+// (H_c - V_c)-th highest set row of column c. Earlier non-hit is automatic:
+// V_c >= H_c - h_c implies V_{c'} >= H_{c'} for all c' < c.
+
+#include <cstdint>
+#include <vector>
+
+#include "gauss/probmatrix.h"
+
+namespace cgs::ct {
+
+struct Leaf {
+  int level = 0;           // c: leaf found after consuming c+1 bits
+  int kappa = 0;           // leading ones (sublist index)
+  int j = 0;               // suffix bit count = level - kappa
+  std::uint32_t suffix = 0;  // j bits, MSB = b_{kappa+1}
+  std::uint32_t value = 0;   // sample magnitude
+
+  /// The full bit string in draw order: 1^kappa, 0, then the suffix.
+  std::vector<int> bits() const;
+};
+
+struct LeafList {
+  std::vector<Leaf> leaves;
+  int max_kappa = -1;   // n' in the paper
+  int delta = 0;        // max j over all leaves (the paper's Delta)
+  double covered_probability = 0.0;  // sum of leaf weights 2^-(level+1)
+};
+
+/// Enumerate every leaf reachable within the matrix precision.
+LeafList enumerate_leaves(const gauss::ProbMatrix& matrix);
+
+}  // namespace cgs::ct

@@ -1,0 +1,69 @@
+#include "ct/sublists.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace cgs::ct {
+
+namespace {
+
+// Minterm block of a leaf inside a Delta-wide table: the suffix occupies the
+// top j variable positions; the remaining Delta-j are don't-care expansion.
+struct Block {
+  std::uint64_t base;
+  int span;
+};
+
+Block block_of(const Leaf& leaf, int delta) {
+  CGS_CHECK(leaf.j <= delta);
+  const int span = delta - leaf.j;
+  return Block{static_cast<std::uint64_t>(leaf.suffix) << span, span};
+}
+
+}  // namespace
+
+bf::TruthTable Sublist::output_bit_table(int iota) const {
+  bf::TruthTable tt(delta);
+  for (const Leaf& leaf : leaves) {
+    const Block b = block_of(leaf, delta);
+    const bool on = bit_at(leaf.value, iota) != 0;
+    tt.set_block(b.base, b.span,
+                 on ? bf::TruthTable::State::kOn : bf::TruthTable::State::kOff);
+  }
+  return tt;
+}
+
+bf::TruthTable Sublist::valid_table() const {
+  bf::TruthTable tt(delta);
+  // Everything starts DC; covered blocks become ON, the rest OFF.
+  for (const Leaf& leaf : leaves) {
+    const Block b = block_of(leaf, delta);
+    tt.set_block(b.base, b.span, bf::TruthTable::State::kOn);
+  }
+  for (std::uint64_t m = 0; m < tt.size(); ++m)
+    if (tt.state(m) == bf::TruthTable::State::kDc)
+      tt.set(m, bf::TruthTable::State::kOff);
+  return tt;
+}
+
+SublistSplit split_by_kappa(const LeafList& list) {
+  SublistSplit out;
+  out.delta = list.delta;
+  out.sublists.resize(static_cast<std::size_t>(list.max_kappa) + 1);
+  for (std::size_t k = 0; k < out.sublists.size(); ++k)
+    out.sublists[k].kappa = static_cast<int>(k);
+
+  std::uint32_t max_value = 0;
+  for (const Leaf& leaf : list.leaves) {
+    Sublist& sl = out.sublists[static_cast<std::size_t>(leaf.kappa)];
+    sl.delta = std::max(sl.delta, leaf.j);
+    sl.leaves.push_back(leaf);
+    max_value = std::max(max_value, leaf.value);
+  }
+  out.num_output_bits = sample_bit_width(max_value);
+  return out;
+}
+
+}  // namespace cgs::ct

@@ -1,0 +1,36 @@
+#pragma once
+// The paper's §5.1 split: sort the leaf list L by the count kappa of
+// trailing ones and group into sublists l_kappa. Each sublist's sample bits
+// depend only on the next Delta_kappa suffix bits, so each f^{iota,kappa}
+// becomes a tiny truth table the exact minimizer can handle.
+
+#include <vector>
+
+#include "bf/truthtable.h"
+#include "ct/leaf_enum.h"
+
+namespace cgs::ct {
+
+struct Sublist {
+  int kappa = 0;
+  int delta = 0;                 // max suffix width within this sublist
+  std::vector<Leaf> leaves;      // members (any order)
+
+  /// Truth table over `delta` variables for output bit `iota` of the sample
+  /// value. Variable Delta-1 (the minterm MSB) is b_{kappa+1}. Minterms not
+  /// covered by any leaf are don't-cares.
+  bf::TruthTable output_bit_table(int iota) const;
+
+  /// Truth table of the "a leaf was hit" indicator (no don't-cares).
+  bf::TruthTable valid_table() const;
+};
+
+struct SublistSplit {
+  std::vector<Sublist> sublists;  // index == kappa; may contain empty ones
+  int num_output_bits = 0;        // m: bits in the widest sample value
+  int delta = 0;                  // global max
+};
+
+SublistSplit split_by_kappa(const LeafList& list);
+
+}  // namespace cgs::ct

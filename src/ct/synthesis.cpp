@@ -1,0 +1,140 @@
+#include "ct/synthesis.h"
+
+#include <sstream>
+
+#include "bf/espresso_lite.h"
+#include "bf/quine_mccluskey.h"
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace cgs::ct {
+
+namespace {
+
+// Raw cube of a leaf inside its sublist's Delta-variable space. Variable v
+// corresponds to minterm bit v; the suffix occupies the top j variables.
+bf::Cube leaf_cube(const Leaf& leaf, int delta) {
+  bf::Cube c(delta);
+  for (int u = 0; u < leaf.j; ++u) {
+    const int var = delta - 1 - u;  // b_{kappa+1+u}
+    c.set_var(var, (leaf.suffix >> (leaf.j - 1 - u)) & 1u);
+  }
+  return c;
+}
+
+// Minimize one sublist output function according to the config.
+std::vector<bf::Cube> minimize(const bf::TruthTable& tt,
+                               std::vector<bf::Cube> raw,
+                               const SynthesisConfig& cfg, bool* exact) {
+  switch (cfg.mode) {
+    case MinimizeMode::kNone:
+      return raw;
+    case MinimizeMode::kMergeOnly:
+      return bf::merge_only(std::move(raw));
+    case MinimizeMode::kHeuristic:
+      return bf::espresso_lite(tt, std::move(raw));
+    case MinimizeMode::kExact:
+      if (tt.num_vars() > cfg.exact_max_vars) {
+        *exact = false;
+        return bf::espresso_lite(tt, std::move(raw));
+      }
+      auto res = bf::minimize_exact(tt, cfg.qm_node_budget);
+      if (!res.exact) *exact = false;
+      return std::move(res.cover);
+  }
+  CGS_CHECK(false);
+  return raw;
+}
+
+}  // namespace
+
+std::string SynthesisStats::describe() const {
+  std::ostringstream os;
+  os << "leaves=" << num_leaves << " n'=" << max_kappa << " Delta=" << delta
+     << " cubes " << cubes_raw << "->" << cubes_minimized
+     << " ops=" << netlist_ops << (all_exact ? " (exact)" : " (heuristic)");
+  return os.str();
+}
+
+SynthesizedSampler synthesize(const gauss::ProbMatrix& matrix,
+                              const SynthesisConfig& config) {
+  const int n = matrix.precision();
+  const LeafList list = enumerate_leaves(matrix);
+  const SublistSplit split = split_by_kappa(list);
+
+  SynthesizedSampler out;
+  out.precision = n;
+  out.num_output_bits = split.num_output_bits;
+  out.has_valid_bit = config.emit_valid_bit;
+  out.stats.num_leaves = list.leaves.size();
+  out.stats.max_kappa = list.max_kappa;
+  out.stats.delta = list.delta;
+
+  const int m = split.num_output_bits;
+  bf::NetlistBuilder b(n, config.cse);
+
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(m), b.const0());
+  std::int32_t acc_valid = b.const0();
+  std::int32_t prefix = b.const1();  // b_0 & ... & b_{kappa-1}
+
+  for (const Sublist& sl : split.sublists) {
+    const int kappa = sl.kappa;
+    if (!sl.leaves.empty()) {
+      const std::int32_t c_kappa = b.land(prefix, b.lnot(b.input(kappa)));
+      // Variable v of the sublist space reads global input kappa+delta-v
+      // (v = delta-1 is b_{kappa+1}).
+      auto product = [&](const bf::Cube& cube) {
+        std::int32_t p = b.const1();
+        for (int v = sl.delta - 1; v >= 0; --v) {
+          const int st = cube.var(v);
+          if (st < 0) continue;
+          const int input_idx = kappa + sl.delta - v;
+          CGS_CHECK(input_idx < n);
+          const std::int32_t lit =
+              st ? b.input(input_idx) : b.lnot(b.input(input_idx));
+          p = b.land(p, lit);
+        }
+        return p;
+      };
+      auto sop = [&](const std::vector<bf::Cube>& cover) {
+        std::int32_t s = b.const0();
+        for (const bf::Cube& cube : cover) s = b.lor(s, product(cube));
+        return s;
+      };
+
+      for (int iota = 0; iota < m; ++iota) {
+        const bf::TruthTable tt = sl.output_bit_table(iota);
+        std::vector<bf::Cube> raw;
+        for (const Leaf& leaf : sl.leaves)
+          if (bit_at(leaf.value, iota)) raw.push_back(leaf_cube(leaf, sl.delta));
+        out.stats.cubes_raw += raw.size();
+        const std::vector<bf::Cube> cover =
+            minimize(tt, std::move(raw), config, &out.stats.all_exact);
+        out.stats.cubes_minimized += cover.size();
+        acc[static_cast<std::size_t>(iota)] = b.lor(
+            acc[static_cast<std::size_t>(iota)], b.land(c_kappa, sop(cover)));
+      }
+
+      if (config.emit_valid_bit) {
+        const bf::TruthTable vt = sl.valid_table();
+        std::vector<bf::Cube> raw;
+        for (const Leaf& leaf : sl.leaves) raw.push_back(leaf_cube(leaf, sl.delta));
+        bool ignore = true;
+        const std::vector<bf::Cube> cover =
+            minimize(vt, std::move(raw), config, &ignore);
+        acc_valid = b.lor(acc_valid, b.land(c_kappa, sop(cover)));
+      }
+    }
+    if (kappa + 1 < n) prefix = b.land(prefix, b.input(kappa));
+  }
+
+  for (int iota = 0; iota < m; ++iota)
+    b.add_output(acc[static_cast<std::size_t>(iota)]);
+  if (config.emit_valid_bit) b.add_output(acc_valid);
+
+  out.netlist = b.take();
+  out.stats.netlist_ops = out.netlist.op_count();
+  return out;
+}
+
+}  // namespace cgs::ct

@@ -1,0 +1,54 @@
+#include "ct/wide_sampler.h"
+
+#include "common/check.h"
+
+namespace cgs::ct {
+
+WideBitslicedSampler::WideBitslicedSampler(SynthesizedSampler synth)
+    : synth_(std::move(synth)),
+      in_(static_cast<std::size_t>(synth_.precision)),
+      out_words_(synth_.netlist.outputs().size()),
+      scratch_(synth_.netlist.nodes().size()) {}
+
+void WideBitslicedSampler::sample_magnitudes(
+    RandomBitSource& rng, std::span<std::uint32_t> out,
+    std::span<std::uint64_t> valid_mask) {
+  CGS_CHECK(out.size() >= kBatch && valid_mask.size() >= 4);
+  for (auto& w : in_)
+    w = Word256{rng.next_word(), rng.next_word(), rng.next_word(),
+                rng.next_word()};
+  synth_.netlist.eval_wide(in_.data(), out_words_.data(), scratch_.data());
+
+  const int m = synth_.num_output_bits;
+  for (int group = 0; group < 4; ++group) {
+    for (int lane = 0; lane < 64; ++lane) {
+      std::uint32_t v = 0;
+      for (int iota = 0; iota < m; ++iota)
+        v |= static_cast<std::uint32_t>(
+                 (out_words_[static_cast<std::size_t>(iota)][group] >> lane) &
+                 1u)
+             << iota;
+      out[static_cast<std::size_t>(64 * group + lane)] = v;
+    }
+    valid_mask[static_cast<std::size_t>(group)] =
+        synth_.has_valid_bit ? out_words_[static_cast<std::size_t>(m)][group]
+                             : ~std::uint64_t(0);
+  }
+}
+
+void WideBitslicedSampler::sample_batch(RandomBitSource& rng,
+                                        std::span<std::int32_t> out,
+                                        std::span<std::uint64_t> valid_mask) {
+  std::uint32_t mags[kBatch];
+  sample_magnitudes(rng, mags, valid_mask);
+  for (int group = 0; group < 4; ++group) {
+    const std::uint64_t signs = rng.next_word();
+    for (int lane = 0; lane < 64; ++lane) {
+      const auto mag = static_cast<std::int32_t>(mags[64 * group + lane]);
+      const std::int32_t s = -static_cast<std::int32_t>((signs >> lane) & 1u);
+      out[static_cast<std::size_t>(64 * group + lane)] = (mag ^ s) - s;
+    }
+  }
+}
+
+}  // namespace cgs::ct

@@ -1,0 +1,42 @@
+#pragma once
+// 256-lane bit-sliced sampling via GCC vector extensions (compiles to AVX2
+// where available, SSE pairs otherwise). The paper's §3.2 observes that the
+// method rides processor word width — this is the natural widening of the
+// 64-lane sampler, used by the batch-width ablation bench.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/randombits.h"
+#include "ct/synthesis.h"
+
+namespace cgs::ct {
+
+/// Four 64-bit lanes per SIMD word; lane group g of input word k holds path
+/// bit k of samples 64g..64g+63.
+using Word256 = std::uint64_t __attribute__((vector_size(32)));
+
+class WideBitslicedSampler {
+ public:
+  static constexpr int kBatch = 256;
+
+  explicit WideBitslicedSampler(SynthesizedSampler synth);
+
+  const SynthesizedSampler& synth() const { return synth_; }
+
+  /// 256 magnitude samples; returns the number of valid lanes written to
+  /// `valid_mask` (4 x 64-bit masks, one per lane group).
+  void sample_magnitudes(RandomBitSource& rng, std::span<std::uint32_t> out,
+                         std::span<std::uint64_t> valid_mask);
+
+  /// 256 signed samples with per-group validity masks.
+  void sample_batch(RandomBitSource& rng, std::span<std::int32_t> out,
+                    std::span<std::uint64_t> valid_mask);
+
+ private:
+  SynthesizedSampler synth_;
+  std::vector<Word256> in_, out_words_, scratch_;
+};
+
+}  // namespace cgs::ct

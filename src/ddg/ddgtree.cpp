@@ -1,0 +1,51 @@
+#include "ddg/ddgtree.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cgs::ddg {
+
+DdgTree::DdgTree(const gauss::ProbMatrix& m) {
+  std::size_t internal_prev = 1;  // the root
+  for (int i = 0; i < m.precision(); ++i) {
+    DdgLevel lvl;
+    lvl.level = i;
+    lvl.node_count = 2 * internal_prev;
+    const int h = m.column_weight(i);
+    CGS_CHECK_MSG(static_cast<std::size_t>(h) <= lvl.node_count,
+                  "column weight exceeds level width — matrix invalid");
+    // Leaf d is the (d+1)-th highest set row of column i (Alg.1 scans rows
+    // from MAXROW down, decrementing d per set bit).
+    lvl.leaf_values.reserve(static_cast<std::size_t>(h));
+    for (int row = static_cast<int>(m.rows()) - 1;
+         row >= 0 && lvl.leaf_values.size() < static_cast<std::size_t>(h);
+         --row) {
+      if (m.bit(static_cast<std::size_t>(row), i))
+        lvl.leaf_values.push_back(static_cast<std::uint32_t>(row));
+    }
+    total_leaves_ += lvl.leaf_values.size();
+    internal_prev = lvl.internal_count();
+    levels_.push_back(std::move(lvl));
+    if (internal_prev == 0) {
+      complete_ = true;
+      break;
+    }
+  }
+}
+
+std::string DdgTree::to_string(int max_levels) const {
+  std::ostringstream os;
+  for (const auto& lvl : levels_) {
+    if (lvl.level >= max_levels) break;
+    os << "L" << lvl.level << ": nodes=" << lvl.node_count << " leaves=[";
+    for (std::size_t d = 0; d < lvl.leaf_values.size(); ++d) {
+      if (d) os << ' ';
+      os << lvl.leaf_values[d];
+    }
+    os << "] internal=" << lvl.internal_count() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cgs::ddg

@@ -1,0 +1,48 @@
+#pragma once
+// Explicit DDG (discrete distribution generating) tree built from a
+// probability matrix — the object in the paper's Fig. 1. The sampler itself
+// never materializes this tree (it scans columns on the fly); the explicit
+// form exists for tests, visualization, and the leaf enumerator's goldens.
+//
+// Level conventions follow the paper: children of the root live at level 0;
+// level i corresponds to probability-matrix column i. Within a level, nodes
+// are indexed by the Alg.1 counter d (0-based): d in [0, h_i) are leaves,
+// with d mapping to the (d+1)-th highest set row of column i; the remaining
+// nodes are internal.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gauss/probmatrix.h"
+
+namespace cgs::ddg {
+
+struct DdgLevel {
+  int level = 0;                       // == matrix column
+  std::size_t node_count = 0;          // 2 * internal nodes of level-1
+  std::vector<std::uint32_t> leaf_values;  // leaf_values[d] for d < h_i
+  std::size_t internal_count() const { return node_count - leaf_values.size(); }
+};
+
+class DdgTree {
+ public:
+  explicit DdgTree(const gauss::ProbMatrix& matrix);
+
+  const std::vector<DdgLevel>& levels() const { return levels_; }
+  std::size_t total_leaves() const { return total_leaves_; }
+
+  /// True if every node is eventually a leaf within the matrix precision
+  /// (only possible when the truncated mass sums exactly to 1).
+  bool complete() const { return complete_; }
+
+  /// ASCII dump of the first `max_levels` levels (Fig. 1 style).
+  std::string to_string(int max_levels = 8) const;
+
+ private:
+  std::vector<DdgLevel> levels_;
+  std::size_t total_leaves_ = 0;
+  bool complete_ = false;
+};
+
+}  // namespace cgs::ddg

@@ -1,0 +1,63 @@
+#include "ddg/kysampler.h"
+
+#include "common/check.h"
+
+namespace cgs::ddg {
+
+namespace {
+
+// Core of Alg. 1: one level step. `d` is the running distance counter
+// (pre-update). Returns the sampled row if the walk hit a leaf this level.
+std::optional<std::uint32_t> level_step(const gauss::ProbMatrix& m, int col,
+                                        std::int64_t& d, int random_bit) {
+  d = 2 * d + random_bit;
+  for (int row = static_cast<int>(m.rows()) - 1; row >= 0; --row) {
+    d -= m.bit(static_cast<std::size_t>(row), col);
+    if (d == -1) return static_cast<std::uint32_t>(row);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+WalkResult KnuthYaoSampler::walk(RandomBitSource& rng) const {
+  std::int64_t d = 0;
+  for (int col = 0; col < matrix_->precision(); ++col) {
+    const int r = rng.next_bit();
+    if (auto row = level_step(*matrix_, col, d, r)) {
+      return WalkResult{*row, col + 1, true};
+    }
+  }
+  return WalkResult{0, matrix_->precision(), false};
+}
+
+std::uint32_t KnuthYaoSampler::sample_magnitude(RandomBitSource& rng) const {
+  for (;;) {
+    const WalkResult w = walk(rng);
+    if (w.hit) return w.value;
+    ++restarts_;
+  }
+}
+
+std::int32_t KnuthYaoSampler::sample(RandomBitSource& rng) const {
+  const auto mag = static_cast<std::int32_t>(sample_magnitude(rng));
+  const int sign = rng.next_bit();
+  return sign ? -mag : mag;
+}
+
+std::optional<WalkResult> KnuthYaoSampler::walk_bits(
+    const std::vector<int>& bits) const {
+  std::int64_t d = 0;
+  const int n = matrix_->precision();
+  for (int col = 0; col < n && col < static_cast<int>(bits.size()); ++col) {
+    CGS_DCHECK(bits[static_cast<std::size_t>(col)] == 0 ||
+               bits[static_cast<std::size_t>(col)] == 1);
+    if (auto row = level_step(*matrix_, col, d,
+                              bits[static_cast<std::size_t>(col)])) {
+      return WalkResult{*row, col + 1, true};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cgs::ddg

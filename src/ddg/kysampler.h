@@ -1,0 +1,50 @@
+#pragma once
+// Algorithm 1 from the paper: column-scanning Knuth-Yao sampling. This is
+// the non-constant-time *reference* sampler — the oracle every other sampler
+// in the library is checked against, and the generator of ground truth for
+// the Boolean-function synthesis.
+
+#include <cstdint>
+#include <optional>
+
+#include "common/randombits.h"
+#include "gauss/probmatrix.h"
+
+namespace cgs::ddg {
+
+/// Outcome of one random walk, including how many bits were consumed —
+/// needed by the Theorem-1 tests and the leaf enumerator cross-check.
+struct WalkResult {
+  std::uint32_t value = 0;  // magnitude sample
+  int bits_used = 0;        // c+1: levels visited until the leaf hit
+  bool hit = false;         // false: walked past the last column (restart)
+};
+
+class KnuthYaoSampler {
+ public:
+  explicit KnuthYaoSampler(const gauss::ProbMatrix& matrix)
+      : matrix_(&matrix) {}
+
+  /// One walk; does not restart on a miss.
+  WalkResult walk(RandomBitSource& rng) const;
+
+  /// Magnitude sample with restart-on-miss (the practical sampler).
+  std::uint32_t sample_magnitude(RandomBitSource& rng) const;
+
+  /// Signed sample: magnitude plus a uniform sign bit. Folding makes this
+  /// exact: P(0) is stored unscaled, P(v>0) stored as 2*D(v), and the sign
+  /// halves it back.
+  std::int32_t sample(RandomBitSource& rng) const;
+
+  /// Deterministic walk over a caller-supplied bit string (b[0] consumed
+  /// first). Returns nullopt if the string misses or is too short.
+  std::optional<WalkResult> walk_bits(const std::vector<int>& bits) const;
+
+  std::uint64_t restarts() const { return restarts_; }
+
+ private:
+  const gauss::ProbMatrix* matrix_;
+  mutable std::uint64_t restarts_ = 0;
+};
+
+}  // namespace cgs::ddg

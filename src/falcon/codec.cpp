@@ -1,0 +1,76 @@
+#include "falcon/codec.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace cgs::falcon {
+
+void BitWriter::put(int bit) {
+  if (bit_pos_ == 0) bytes_.push_back(0);
+  if (bit) bytes_.back() |= static_cast<std::uint8_t>(1u << (7 - bit_pos_));
+  bit_pos_ = (bit_pos_ + 1) % 8;
+}
+
+void BitWriter::put_bits(std::uint32_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) put((value >> i) & 1u);
+}
+
+const std::vector<std::uint8_t>& BitWriter::bytes() { return bytes_; }
+
+int BitReader::get() {
+  const std::size_t byte = pos_ / 8;
+  if (byte >= bytes_->size()) return -1;
+  const int bit = ((*bytes_)[byte] >> (7 - pos_ % 8)) & 1u;
+  ++pos_;
+  return bit;
+}
+
+std::optional<std::uint32_t> BitReader::get_bits(int count) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < count; ++i) {
+    const int b = get();
+    if (b < 0) return std::nullopt;
+    v = (v << 1) | static_cast<std::uint32_t>(b);
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> compress_s1(const IPoly& s1) {
+  BitWriter w;
+  for (std::int32_t c : s1) {
+    CGS_CHECK_MSG(c > -2048 && c < 2048, "coefficient out of codec range");
+    const std::uint32_t mag = static_cast<std::uint32_t>(std::abs(c));
+    w.put(c < 0 ? 1 : 0);
+    w.put_bits(mag & 0x7f, 7);
+    // High part in unary: (mag >> 7) zeros, then a one.
+    for (std::uint32_t k = 0; k < (mag >> 7); ++k) w.put(0);
+    w.put(1);
+  }
+  return w.bytes();
+}
+
+std::optional<IPoly> decompress_s1(const std::vector<std::uint8_t>& bytes,
+                                   std::size_t n) {
+  BitReader r(bytes);
+  IPoly s1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int sign = r.get();
+    if (sign < 0) return std::nullopt;
+    const auto low = r.get_bits(7);
+    if (!low) return std::nullopt;
+    std::uint32_t high = 0;
+    for (;;) {
+      const int b = r.get();
+      if (b < 0 || high > 16) return std::nullopt;
+      if (b == 1) break;
+      ++high;
+    }
+    const auto mag = static_cast<std::int32_t>((high << 7) | *low);
+    if (sign && mag == 0) return std::nullopt;  // canonical: no minus zero
+    s1[i] = sign ? -mag : mag;
+  }
+  return s1;
+}
+
+}  // namespace cgs::falcon

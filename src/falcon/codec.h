@@ -1,0 +1,46 @@
+#pragma once
+// Signature compression (Falcon's Golomb-Rice-style coding of s1): sign
+// bit, 7 literal low bits, then the high part in unary. Also a bit-level
+// reader/writer pair reused by the examples.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "falcon/poly.h"
+
+namespace cgs::falcon {
+
+class BitWriter {
+ public:
+  void put(int bit);
+  void put_bits(std::uint32_t value, int count);  // MSB first
+  const std::vector<std::uint8_t>& bytes();       // flushes padding zeros
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int bit_pos_ = 0;  // bits used in the last byte
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(&bytes) {}
+  /// -1 on exhaustion.
+  int get();
+  std::optional<std::uint32_t> get_bits(int count);
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Compress a signature polynomial. Coefficients must be in (-2048, 2048),
+/// which the signature norm bound guarantees with huge margin.
+std::vector<std::uint8_t> compress_s1(const IPoly& s1);
+
+/// Decompress; nullopt on malformed input.
+std::optional<IPoly> decompress_s1(const std::vector<std::uint8_t>& bytes,
+                                   std::size_t n);
+
+}  // namespace cgs::falcon

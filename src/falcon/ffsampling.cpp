@@ -1,0 +1,113 @@
+#include "falcon/ffsampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cgs::falcon {
+
+std::unique_ptr<FfNode> FalconTree::build(const CVec& g00, const CVec& g01,
+                                          const CVec& g11, double sigma_sig) {
+  const std::size_t m = g00.size();
+  auto node = std::make_unique<FfNode>();
+  // LDL*: G = [[1,0],[l10,1]] diag(d00,d11) [[1,l10*],[0,1]] with
+  // l10 = g10/g00 = adj(g01)/g00 and d11 = g11 - l10 g01 (g00 self-adjoint).
+  node->l10 = div_fft(adj_fft(g01), g00);
+  const CVec d11 = sub_fft(g11, mul_fft(node->l10, g01));
+
+  if (m == 1) {
+    const double d0 = g00[0].real();
+    const double d1 = d11[0].real();
+    CGS_CHECK_MSG(d0 > 0 && d1 > 0, "LDL diagonal not positive definite");
+    node->sigma0 = sigma_sig / std::sqrt(d0);
+    node->sigma1 = sigma_sig / std::sqrt(d1);
+    min_sigma_ = std::min({min_sigma_, node->sigma0, node->sigma1});
+    max_sigma_ = std::max({max_sigma_, node->sigma0, node->sigma1});
+    return node;
+  }
+
+  // Recurse: a self-adjoint diagonal d (dim m) becomes the 2x2 Gram
+  // [[d_0, d_1], [adj(d_1), d_0]] over dim m/2.
+  CVec a0, a1;
+  split_fft(g00, a0, a1);
+  node->child0 = build(a0, a1, a0, sigma_sig);
+  CVec b0, b1;
+  split_fft(d11, b0, b1);
+  node->child1 = build(b0, b1, b0, sigma_sig);
+  return node;
+}
+
+FalconTree::FalconTree(const KeyPair& kp) {
+  const std::size_t n = kp.params.n;
+  IPoly neg_f(n), neg_f_cap(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    neg_f[i] = -kp.f[i];
+    neg_f_cap[i] = -kp.f_cap[i];
+  }
+  b00_ = fft(to_doubles(kp.g));
+  b01_ = fft(to_doubles(neg_f));
+  b10_ = fft(to_doubles(kp.g_cap));
+  b11_ = fft(to_doubles(neg_f_cap));
+
+  const CVec g00 = add_fft(mul_fft(b00_, adj_fft(b00_)),
+                           mul_fft(b01_, adj_fft(b01_)));
+  const CVec g01 = add_fft(mul_fft(b00_, adj_fft(b10_)),
+                           mul_fft(b01_, adj_fft(b11_)));
+  const CVec g11 = add_fft(mul_fft(b10_, adj_fft(b10_)),
+                           mul_fft(b11_, adj_fft(b11_)));
+  root_ = build(g00, g01, g11, kp.params.sigma_sig);
+  CGS_CHECK_MSG(min_sigma_ >= kp.params.sigma_min &&
+                    max_sigma_ <= kp.params.sigma_max,
+                "tree leaf sigma escaped the base-sampler envelope");
+}
+
+namespace {
+
+// Recursive nearest-plane sampling; returns FFT-domain z0, z1 (integers
+// embedded as complex spectra).
+std::pair<CVec, CVec> ffsamp_rec(const CVec& t0, const CVec& t1,
+                                 const FfNode& node, SamplerZ& sz,
+                                 RandomBitSource& rng) {
+  const std::size_t m = t0.size();
+  if (m == 1) {
+    const double z1 =
+        static_cast<double>(sz.sample(t1[0].real(), node.sigma1, rng));
+    const cplx t0_adj = t0[0] + (t1[0] - z1) * node.l10[0];
+    const double z0 =
+        static_cast<double>(sz.sample(t0_adj.real(), node.sigma0, rng));
+    return {CVec{cplx(z0, 0)}, CVec{cplx(z1, 0)}};
+  }
+  CVec t1a, t1b;
+  split_fft(t1, t1a, t1b);
+  const auto [z1a, z1b] = ffsamp_rec(t1a, t1b, *node.child1, sz, rng);
+  const CVec z1 = merge_fft(z1a, z1b);
+
+  const CVec t0_adj = add_fft(t0, mul_fft(sub_fft(t1, z1), node.l10));
+  CVec t0a, t0b;
+  split_fft(t0_adj, t0a, t0b);
+  const auto [z0a, z0b] = ffsamp_rec(t0a, t0b, *node.child0, sz, rng);
+  return {merge_fft(z0a, z0b), z1};
+}
+
+std::vector<std::int32_t> round_ifft(const CVec& z) {
+  const std::vector<double> c = ifft(z);
+  std::vector<std::int32_t> r(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const double v = std::nearbyint(c[i]);
+    CGS_CHECK_MSG(std::fabs(v - c[i]) < 0.4,
+                  "ffSampling output drifted from integrality");
+    r[i] = static_cast<std::int32_t>(v);
+  }
+  return r;
+}
+
+}  // namespace
+
+FfSample ff_sampling(const CVec& t0, const CVec& t1, const FalconTree& tree,
+                     SamplerZ& samplerz, RandomBitSource& rng) {
+  const auto [z0, z1] = ffsamp_rec(t0, t1, tree.root(), samplerz, rng);
+  return FfSample{round_ifft(z0), round_ifft(z1)};
+}
+
+}  // namespace cgs::falcon

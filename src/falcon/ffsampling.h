@@ -1,0 +1,56 @@
+#pragma once
+// The Falcon tree (ffLDL* decomposition of the secret basis Gram matrix in
+// FFT representation) and fast-Fourier nearest-plane sampling over it.
+
+#include <memory>
+
+#include "falcon/fft.h"
+#include "falcon/keygen.h"
+#include "falcon/samplerz.h"
+
+namespace cgs::falcon {
+
+/// One node of the LDL tree over ring dimension m: l10 steers the
+/// nearest-plane recursion; leaves (m == 1) carry the per-coordinate
+/// Gaussian widths.
+struct FfNode {
+  CVec l10;
+  std::unique_ptr<FfNode> child0, child1;  // for d00 / d11, dim m/2
+  double sigma0 = 0.0, sigma1 = 0.0;       // leaf widths (m == 1 only)
+};
+
+class FalconTree {
+ public:
+  /// Build from a key pair; throws if a leaf width escapes
+  /// [sigma_min, sigma_max] (keygen guarantees it does not).
+  explicit FalconTree(const KeyPair& kp);
+
+  const FfNode& root() const { return *root_; }
+
+  /// Basis rows in FFT: b = [[g, -f], [G, -F]].
+  const CVec& b00() const { return b00_; }
+  const CVec& b01() const { return b01_; }
+  const CVec& b10() const { return b10_; }
+  const CVec& b11() const { return b11_; }
+
+  double min_leaf_sigma() const { return min_sigma_; }
+  double max_leaf_sigma() const { return max_sigma_; }
+
+ private:
+  std::unique_ptr<FfNode> build(const CVec& g00, const CVec& g01,
+                                const CVec& g11, double sigma_sig);
+
+  std::unique_ptr<FfNode> root_;
+  CVec b00_, b01_, b10_, b11_;
+  double min_sigma_ = 1e9, max_sigma_ = 0.0;
+};
+
+/// ffSampling: z ~ lattice Gaussian around target (t0, t1) (FFT domain).
+/// Returns integer vectors z0, z1 (coefficient domain).
+struct FfSample {
+  std::vector<std::int32_t> z0, z1;
+};
+FfSample ff_sampling(const CVec& t0, const CVec& t1, const FalconTree& tree,
+                     SamplerZ& samplerz, RandomBitSource& rng);
+
+}  // namespace cgs::falcon

@@ -1,0 +1,134 @@
+#include "falcon/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace cgs::falcon {
+
+namespace {
+
+bool is_pow2(std::size_t m) { return m != 0 && (m & (m - 1)) == 0; }
+
+CVec fft_rec(const CVec& f) {
+  const std::size_t m = f.size();
+  if (m == 1) return f;
+  CVec even(m / 2), odd(m / 2);
+  for (std::size_t i = 0; i < m / 2; ++i) {
+    even[i] = f[2 * i];
+    odd[i] = f[2 * i + 1];
+  }
+  const CVec e = fft_rec(even);
+  const CVec o = fft_rec(odd);
+  CVec out(m);
+  for (std::size_t k = 0; k < m / 2; ++k) {
+    const cplx w = root_of_unity(m, k);
+    out[k] = e[k] + w * o[k];
+    out[k + m / 2] = e[k] - w * o[k];
+  }
+  return out;
+}
+
+CVec ifft_rec(const CVec& s) {
+  const std::size_t m = s.size();
+  if (m == 1) return s;
+  CVec e(m / 2), o(m / 2);
+  for (std::size_t k = 0; k < m / 2; ++k) {
+    const cplx w = root_of_unity(m, k);
+    e[k] = (s[k] + s[k + m / 2]) * 0.5;
+    o[k] = (s[k] - s[k + m / 2]) * 0.5 / w;
+  }
+  const CVec fe = ifft_rec(e);
+  const CVec fo = ifft_rec(o);
+  CVec f(m);
+  for (std::size_t i = 0; i < m / 2; ++i) {
+    f[2 * i] = fe[i];
+    f[2 * i + 1] = fo[i];
+  }
+  return f;
+}
+
+}  // namespace
+
+cplx root_of_unity(std::size_t m, std::size_t k) {
+  const double ang =
+      std::numbers::pi * (2.0 * static_cast<double>(k) + 1.0) /
+      static_cast<double>(m);
+  return {std::cos(ang), std::sin(ang)};
+}
+
+CVec fft(std::span<const double> coeffs) {
+  CGS_CHECK(is_pow2(coeffs.size()));
+  CVec f(coeffs.size());
+  for (std::size_t i = 0; i < coeffs.size(); ++i) f[i] = coeffs[i];
+  return fft_rec(f);
+}
+
+std::vector<double> ifft(std::span<const cplx> spectrum) {
+  CGS_CHECK(is_pow2(spectrum.size()));
+  const CVec f = ifft_rec(CVec(spectrum.begin(), spectrum.end()));
+  std::vector<double> out(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) out[i] = f[i].real();
+  return out;
+}
+
+void split_fft(std::span<const cplx> f, CVec& f0, CVec& f1) {
+  const std::size_t m = f.size();
+  CGS_CHECK(is_pow2(m) && m >= 2);
+  f0.resize(m / 2);
+  f1.resize(m / 2);
+  for (std::size_t k = 0; k < m / 2; ++k) {
+    const cplx w = root_of_unity(m, k);
+    f0[k] = (f[k] + f[k + m / 2]) * 0.5;
+    f1[k] = (f[k] - f[k + m / 2]) * 0.5 / w;
+  }
+}
+
+CVec merge_fft(std::span<const cplx> f0, std::span<const cplx> f1) {
+  const std::size_t half = f0.size();
+  CGS_CHECK(f1.size() == half);
+  CVec f(2 * half);
+  for (std::size_t k = 0; k < half; ++k) {
+    const cplx w = root_of_unity(2 * half, k);
+    f[k] = f0[k] + w * f1[k];
+    f[k + half] = f0[k] - w * f1[k];
+  }
+  return f;
+}
+
+CVec mul_fft(std::span<const cplx> a, std::span<const cplx> b) {
+  CGS_CHECK(a.size() == b.size());
+  CVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] * b[i];
+  return r;
+}
+
+CVec add_fft(std::span<const cplx> a, std::span<const cplx> b) {
+  CGS_CHECK(a.size() == b.size());
+  CVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+CVec sub_fft(std::span<const cplx> a, std::span<const cplx> b) {
+  CGS_CHECK(a.size() == b.size());
+  CVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+CVec adj_fft(std::span<const cplx> a) {
+  CVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = std::conj(a[i]);
+  return r;
+}
+
+CVec div_fft(std::span<const cplx> a, std::span<const cplx> b) {
+  CGS_CHECK(a.size() == b.size());
+  CVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] / b[i];
+  return r;
+}
+
+}  // namespace cgs::falcon

@@ -1,0 +1,43 @@
+#pragma once
+// Negacyclic complex FFT over R[x]/(x^m+1), m a power of two: the numeric
+// backbone of Falcon's keygen (Babai reduction), ffLDL tree and ffSampling.
+// Polynomials of size m are evaluated at the m odd 2m-th roots of unity
+// zeta_k = exp(i pi (2k+1)/m); the full complex spectrum is kept (no
+// Hermitian packing) for clarity.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace cgs::falcon {
+
+using cplx = std::complex<double>;
+using CVec = std::vector<cplx>;
+
+/// Forward FFT of real coefficients (size must be a power of two).
+CVec fft(std::span<const double> coeffs);
+
+/// Inverse FFT back to real coefficients (imaginary parts discarded; they
+/// are ~1e-12 for genuinely real polynomials).
+std::vector<double> ifft(std::span<const CVec::value_type> spectrum);
+
+/// FFT-domain split: spectrum of f (size m) -> spectra of f0, f1 (size m/2)
+/// where f(x) = f0(x^2) + x f1(x^2).
+void split_fft(std::span<const cplx> f, CVec& f0, CVec& f1);
+
+/// Inverse of split_fft.
+CVec merge_fft(std::span<const cplx> f0, std::span<const cplx> f1);
+
+/// Pointwise helpers.
+CVec mul_fft(std::span<const cplx> a, std::span<const cplx> b);
+CVec add_fft(std::span<const cplx> a, std::span<const cplx> b);
+CVec sub_fft(std::span<const cplx> a, std::span<const cplx> b);
+/// Adjoint f*(x) = f(1/x): complex conjugate per evaluation point.
+CVec adj_fft(std::span<const cplx> a);
+/// a / b pointwise (b must be nonzero everywhere).
+CVec div_fft(std::span<const cplx> a, std::span<const cplx> b);
+
+/// The k-th evaluation point zeta_k for ring size m.
+cplx root_of_unity(std::size_t m, std::size_t k);
+
+}  // namespace cgs::falcon

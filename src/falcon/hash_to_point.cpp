@@ -1,0 +1,30 @@
+#include "falcon/hash_to_point.h"
+
+#include "falcon/ntt.h"
+#include "prng/keccak.h"
+
+namespace cgs::falcon {
+
+std::vector<std::uint32_t> hash_to_point(std::span<const std::uint8_t> nonce,
+                                         std::string_view message,
+                                         std::size_t n) {
+  prng::Shake shake(prng::Shake::Variant::kShake256);
+  shake.absorb(nonce);
+  shake.absorb(message);
+
+  // Accept 16-bit big-endian chunks below k*q with k = floor(2^16/q) = 5;
+  // reduce mod q. Rejection keeps the output exactly uniform.
+  constexpr std::uint32_t kLimit = 5 * kQ;  // 61445
+  std::vector<std::uint32_t> c;
+  c.reserve(n);
+  std::uint8_t chunk[2];
+  while (c.size() < n) {
+    shake.squeeze(std::span<std::uint8_t>(chunk, 2));
+    const std::uint32_t v =
+        (static_cast<std::uint32_t>(chunk[0]) << 8) | chunk[1];
+    if (v < kLimit) c.push_back(v % kQ);
+  }
+  return c;
+}
+
+}  // namespace cgs::falcon

@@ -1,0 +1,16 @@
+#pragma once
+// SHAKE-256 hash-to-point: message + nonce -> uniform polynomial mod q
+// (rejection sampling of 16-bit chunks below 5*q, as in the Falcon spec).
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace cgs::falcon {
+
+std::vector<std::uint32_t> hash_to_point(std::span<const std::uint8_t> nonce,
+                                         std::string_view message,
+                                         std::size_t n);
+
+}  // namespace cgs::falcon

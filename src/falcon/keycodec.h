@@ -1,0 +1,40 @@
+#pragma once
+// Wire formats for keys and signatures, in the spirit of the Falcon
+// specification: a header byte carrying log2(N), 14-bit packed public keys
+// (q = 12289 < 2^14), fixed-width signed secret keys, and signatures as
+// header || nonce || Golomb-Rice-compressed s1.
+
+#include <optional>
+
+#include "falcon/sign.h"
+
+namespace cgs::falcon {
+
+/// h packed at 14 bits per coefficient after a header byte 0x00 | logn.
+std::vector<std::uint8_t> encode_public_key(const KeyPair& kp);
+
+struct DecodedPublicKey {
+  std::vector<std::uint32_t> h;
+  FalconParams params;
+};
+std::optional<DecodedPublicKey> decode_public_key(
+    const std::vector<std::uint8_t>& bytes);
+
+/// f, g, F, G at a fixed signed width chosen from the maximum magnitude;
+/// header byte 0x50 | logn, then the width, then the packed values.
+std::vector<std::uint8_t> encode_secret_key(const KeyPair& kp);
+
+struct DecodedSecretKey {
+  IPoly f, g, f_cap, g_cap;
+  FalconParams params;
+};
+std::optional<DecodedSecretKey> decode_secret_key(
+    const std::vector<std::uint8_t>& bytes);
+
+/// header 0x30 | logn, 40-byte nonce, compressed s1.
+std::vector<std::uint8_t> encode_signature(const Signature& sig,
+                                           std::size_t n);
+std::optional<Signature> decode_signature(
+    const std::vector<std::uint8_t>& bytes, std::size_t expected_n);
+
+}  // namespace cgs::falcon

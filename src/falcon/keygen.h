@@ -1,0 +1,40 @@
+#pragma once
+// Falcon key generation: sample small (f, g), require invertibility and a
+// well-conditioned Gram–Schmidt norm, solve the NTRU equation for (F, G),
+// publish h = g f^{-1} mod q.
+
+#include <cstdint>
+
+#include "common/randombits.h"
+#include "falcon/poly.h"
+
+namespace cgs::falcon {
+
+struct FalconParams {
+  std::size_t n = 512;       // ring degree (paper's N; power of two)
+  double sigma_sig = 165.7;  // signature Gaussian width
+  double sigma_min = 1.1;    // sanity floor for tree leaves
+  double sigma_max = 1.95;   // leaf ceiling; must stay below the sigma=2 base
+  std::int64_t norm_bound_sq = 0;  // beta^2; 0 = derive from sigma_sig
+
+  static FalconParams for_degree(std::size_t n);
+  std::int64_t bound_sq() const;
+};
+
+struct KeyPair {
+  FalconParams params;
+  IPoly f, g;        // secret short pair
+  IPoly f_cap, g_cap;  // F, G from NTRUSolve
+  std::vector<std::uint32_t> h;  // public key, coefficient domain [0,q)
+};
+
+struct KeygenStats {
+  int fg_resamples = 0;     // rejected (f,g) candidates
+  int ntru_failures = 0;    // gcd != 1 in NTRUSolve
+};
+
+/// Generate a key pair. Deterministic given the bit source.
+KeyPair keygen(const FalconParams& params, RandomBitSource& rng,
+               KeygenStats* stats = nullptr);
+
+}  // namespace cgs::falcon

@@ -1,0 +1,124 @@
+#include "falcon/ntt.h"
+
+#include "common/check.h"
+
+namespace cgs::falcon {
+
+namespace {
+
+constexpr std::uint64_t kQ64 = kQ;
+
+std::uint32_t mul_mod(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::uint32_t>((static_cast<std::uint64_t>(a) * b) % kQ64);
+}
+
+// Smallest primitive root of q (q - 1 = 2^12 * 3): g is primitive iff
+// g^((q-1)/2) != 1 and g^((q-1)/3) != 1.
+std::uint32_t primitive_root() {
+  for (std::uint32_t g = 2;; ++g) {
+    if (pow_mod_q(g, (kQ - 1) / 2) != 1 && pow_mod_q(g, (kQ - 1) / 3) != 1)
+      return g;
+  }
+}
+
+}  // namespace
+
+std::uint32_t pow_mod_q(std::uint32_t base, std::uint32_t exp) {
+  std::uint64_t r = 1, b = base % kQ64;
+  while (exp) {
+    if (exp & 1u) r = (r * b) % kQ64;
+    b = (b * b) % kQ64;
+    exp >>= 1;
+  }
+  return static_cast<std::uint32_t>(r);
+}
+
+NttContext::NttContext(std::size_t n) : n_(n) {
+  CGS_CHECK(n >= 2 && (n & (n - 1)) == 0 && n <= 2048);
+  const std::uint32_t g = primitive_root();
+  const std::uint32_t psi =
+      pow_mod_q(g, (kQ - 1) / static_cast<std::uint32_t>(2 * n));
+  CGS_CHECK(pow_mod_q(psi, static_cast<std::uint32_t>(n)) == kQ - 1);
+  psi_.resize(2 * n);
+  psi_inv_.resize(2 * n);
+  const std::uint32_t psi_i = pow_mod_q(psi, static_cast<std::uint32_t>(2 * n) - 1);
+  psi_[0] = psi_inv_[0] = 1;
+  for (std::size_t i = 1; i < 2 * n; ++i) {
+    psi_[i] = mul_mod(psi_[i - 1], psi);
+    psi_inv_[i] = mul_mod(psi_inv_[i - 1], psi_i);
+  }
+  n_inv_ = pow_mod_q(static_cast<std::uint32_t>(n), kQ - 2);
+}
+
+void NttContext::forward(std::vector<std::uint32_t>& a) const {
+  CGS_CHECK(a.size() == n_);
+  // Pre-twist by psi^i turns negacyclic into cyclic, then iterative
+  // Cooley-Tukey with omega = psi^2.
+  for (std::size_t i = 0; i < n_; ++i) a[i] = mul_mod(a[i], psi_[i]);
+  // Bit reversal.
+  for (std::size_t i = 1, j = 0; i < n_; ++i) {
+    std::size_t bit = n_ >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t step = 2 * n_ / len;  // exponent stride for omega
+    for (std::size_t i = 0; i < n_; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::uint32_t w = psi_[2 * k * step / 2];  // omega^k = psi^(2k n/len)
+        const std::uint32_t u = a[i + k];
+        const std::uint32_t v = mul_mod(a[i + k + len / 2], w);
+        a[i + k] = (u + v) % kQ;
+        a[i + k + len / 2] = (u + kQ - v) % kQ;
+      }
+    }
+  }
+}
+
+void NttContext::inverse(std::vector<std::uint32_t>& a) const {
+  CGS_CHECK(a.size() == n_);
+  for (std::size_t i = 1, j = 0; i < n_; ++i) {
+    std::size_t bit = n_ >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    for (std::size_t i = 0; i < n_; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::uint32_t w = psi_inv_[2 * k * n_ / len];
+        const std::uint32_t u = a[i + k];
+        const std::uint32_t v = mul_mod(a[i + k + len / 2], w);
+        a[i + k] = (u + v) % kQ;
+        a[i + k + len / 2] = (u + kQ - v) % kQ;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i)
+    a[i] = mul_mod(mul_mod(a[i], n_inv_), psi_inv_[i]);
+}
+
+std::vector<std::uint32_t> NttContext::multiply(
+    std::vector<std::uint32_t> a, std::vector<std::uint32_t> b) const {
+  forward(a);
+  forward(b);
+  for (std::size_t i = 0; i < n_; ++i) a[i] = mul_mod(a[i], b[i]);
+  inverse(a);
+  return a;
+}
+
+bool NttContext::try_invert(const std::vector<std::uint32_t>& a,
+                            std::vector<std::uint32_t>& inv) const {
+  std::vector<std::uint32_t> t = a;
+  forward(t);
+  for (auto& v : t) {
+    if (v == 0) return false;
+    v = pow_mod_q(v, kQ - 2);
+  }
+  inverse(t);
+  inv = std::move(t);
+  return true;
+}
+
+}  // namespace cgs::falcon

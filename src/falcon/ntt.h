@@ -1,0 +1,54 @@
+#pragma once
+// Number-theoretic transform mod q = 12289 over Z_q[x]/(x^N+1): used for
+// public-key arithmetic (h = g/f, s1 = c - s2 h) and invertibility checks.
+// q - 1 = 2^12 * 3, so negacyclic transforms exist for all N <= 2048.
+
+#include <cstdint>
+#include <vector>
+
+namespace cgs::falcon {
+
+inline constexpr std::uint32_t kQ = 12289;
+
+/// Modular exponentiation mod q.
+std::uint32_t pow_mod_q(std::uint32_t base, std::uint32_t exp);
+
+class NttContext {
+ public:
+  explicit NttContext(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward negacyclic NTT (values in [0,q)).
+  void forward(std::vector<std::uint32_t>& a) const;
+  /// In-place inverse.
+  void inverse(std::vector<std::uint32_t>& a) const;
+
+  /// c = a * b in the ring (all in coefficient domain).
+  std::vector<std::uint32_t> multiply(std::vector<std::uint32_t> a,
+                                      std::vector<std::uint32_t> b) const;
+
+  /// Inverse of `a` in the ring if it exists (all NTT slots nonzero).
+  bool try_invert(const std::vector<std::uint32_t>& a,
+                  std::vector<std::uint32_t>& inv) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint32_t> psi_;      // psi^i, psi a primitive 2n-th root
+  std::vector<std::uint32_t> psi_inv_;  // psi^-i
+  std::uint32_t n_inv_;
+};
+
+/// Centered representative in (-q/2, q/2].
+inline std::int32_t center_mod_q(std::uint32_t v) {
+  const auto x = static_cast<std::int32_t>(v % kQ);
+  return x > static_cast<std::int32_t>(kQ / 2) ? x - static_cast<std::int32_t>(kQ) : x;
+}
+
+/// Map a signed value into [0, q).
+inline std::uint32_t to_mod_q(std::int64_t v) {
+  const std::int64_t m = v % static_cast<std::int64_t>(kQ);
+  return static_cast<std::uint32_t>(m < 0 ? m + kQ : m);
+}
+
+}  // namespace cgs::falcon

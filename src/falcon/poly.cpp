@@ -1,0 +1,52 @@
+#include "falcon/poly.h"
+
+#include "common/check.h"
+
+namespace cgs::falcon {
+
+std::int64_t norm_sq(const IPoly& a) {
+  std::int64_t s = 0;
+  for (std::int32_t v : a) s += static_cast<std::int64_t>(v) * v;
+  return s;
+}
+
+std::int64_t norm_sq_pair(const IPoly& a, const IPoly& b) {
+  return norm_sq(a) + norm_sq(b);
+}
+
+std::vector<double> to_doubles(const IPoly& a) {
+  std::vector<double> r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i];
+  return r;
+}
+
+ZPoly to_zpoly(const IPoly& a) {
+  ZPoly r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = bigint::BigInt(a[i]);
+  return r;
+}
+
+IPoly from_zpoly(const ZPoly& a) {
+  IPoly r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int64_t v = a[i].to_int64();
+    CGS_CHECK_MSG(v >= INT32_MIN && v <= INT32_MAX,
+                  "coefficient too large for IPoly");
+    r[i] = static_cast<std::int32_t>(v);
+  }
+  return r;
+}
+
+std::vector<std::uint32_t> to_mod_q_poly(const IPoly& a) {
+  std::vector<std::uint32_t> r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = to_mod_q(a[i]);
+  return r;
+}
+
+IPoly centered(const std::vector<std::uint32_t>& a) {
+  IPoly r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = center_mod_q(a[i]);
+  return r;
+}
+
+}  // namespace cgs::falcon

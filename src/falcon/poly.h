@@ -1,0 +1,31 @@
+#pragma once
+// Small helpers for integer ring polynomials (the coefficient-domain side
+// of Falcon): norms, conversions between signed ints, mod-q vectors,
+// doubles and BigInt polys.
+
+#include <cstdint>
+#include <vector>
+
+#include "falcon/ntt.h"
+#include "falcon/zpoly.h"
+
+namespace cgs::falcon {
+
+using IPoly = std::vector<std::int32_t>;
+
+/// Squared Euclidean norm (exact in int64 for Falcon-scale vectors).
+std::int64_t norm_sq(const IPoly& a);
+
+/// Concatenated-norm of a pair.
+std::int64_t norm_sq_pair(const IPoly& a, const IPoly& b);
+
+std::vector<double> to_doubles(const IPoly& a);
+ZPoly to_zpoly(const IPoly& a);
+IPoly from_zpoly(const ZPoly& a);  // throws if a coefficient overflows
+
+/// Signed -> [0, q) vector.
+std::vector<std::uint32_t> to_mod_q_poly(const IPoly& a);
+/// [0, q) -> centered signed vector.
+IPoly centered(const std::vector<std::uint32_t>& a);
+
+}  // namespace cgs::falcon

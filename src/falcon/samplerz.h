@@ -1,0 +1,34 @@
+#pragma once
+// SamplerZ: the integer Gaussian with arbitrary center c and width
+// sigma' <= sigma_base that ffSampling calls ~2N times per signature. It is
+// a rejection sampler whose *proposals* come from the pluggable base
+// sampler — exactly the experiment of Table 1: swapping the base sampler
+// between byte-scan CDT / binary CDT / linear CDT / the bit-sliced
+// constant-time sampler changes only this inner loop.
+
+#include <cstdint>
+
+#include "common/randombits.h"
+#include "common/sampler.h"
+
+namespace cgs::falcon {
+
+class SamplerZ {
+ public:
+  /// `base` (not owned) samples D_{Z, sigma_base} (signed, centered at 0).
+  SamplerZ(IntSampler& base, double sigma_base);
+
+  /// One sample from D_{Z, c, sigma}; requires sigma <= sigma_base.
+  std::int32_t sample(double c, double sigma, RandomBitSource& rng);
+
+  std::uint64_t base_calls() const { return base_calls_; }
+  std::uint64_t rejections() const { return rejections_; }
+
+ private:
+  IntSampler* base_;
+  double sigma_base_;
+  std::uint64_t base_calls_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace cgs::falcon

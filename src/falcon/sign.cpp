@@ -1,0 +1,65 @@
+#include "falcon/sign.h"
+
+#include "common/check.h"
+
+namespace cgs::falcon {
+
+Signer::Signer(const KeyPair& kp, IntSampler& base, double sigma_base)
+    : kp_(&kp), tree_(kp), samplerz_(base, sigma_base) {}
+
+Signature Signer::sign(std::string_view message, RandomBitSource& rng,
+                       SignStats* stats) {
+  const std::size_t n = kp_->params.n;
+  Signature sig;
+  for (auto& b : sig.nonce) b = static_cast<std::uint8_t>(rng.next_word());
+
+  const std::vector<std::uint32_t> c = hash_to_point(sig.nonce, message, n);
+  std::vector<double> c_real(n);
+  for (std::size_t i = 0; i < n; ++i) c_real[i] = static_cast<double>(c[i]);
+  const CVec c_fft = fft(c_real);
+
+  // t = (c, 0) B^-1 = (c (-F)/q, c f/q); b11 = FFT(-F), b01 = FFT(-f).
+  const double inv_q = 1.0 / static_cast<double>(kQ);
+  CVec t0(n), t1(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    t0[k] = c_fft[k] * tree_.b11()[k] * inv_q;
+    t1[k] = -c_fft[k] * tree_.b01()[k] * inv_q;
+  }
+
+  const std::int64_t bound = kp_->params.bound_sq();
+  const std::uint64_t base_before = samplerz_.base_calls();
+  std::uint64_t attempts = 0;
+  for (;;) {
+    ++attempts;
+    const FfSample z = ff_sampling(t0, t1, tree_, samplerz_, rng);
+    // s = (t - z) B, evaluated in FFT.
+    const CVec z0_fft = fft(to_doubles(z.z0));
+    const CVec z1_fft = fft(to_doubles(z.z1));
+    CVec s0_fft(n), s1_fft(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const cplx d0 = t0[k] - z0_fft[k];
+      const cplx d1 = t1[k] - z1_fft[k];
+      s0_fft[k] = d0 * tree_.b00()[k] + d1 * tree_.b10()[k];
+      s1_fft[k] = d0 * tree_.b01()[k] + d1 * tree_.b11()[k];
+    }
+    const std::vector<double> s0_r = ifft(s0_fft);
+    const std::vector<double> s1_r = ifft(s1_fft);
+    IPoly s0(n), s1(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s0[i] = static_cast<std::int32_t>(std::nearbyint(s0_r[i]));
+      s1[i] = static_cast<std::int32_t>(std::nearbyint(s1_r[i]));
+    }
+    if (norm_sq_pair(s0, s1) <= bound) {
+      sig.s1 = std::move(s1);
+      break;
+    }
+  }
+  if (stats) {
+    stats->attempts += attempts;
+    stats->base_samples += samplerz_.base_calls() - base_before;
+    stats->samplerz_calls += 2 * n * attempts;
+  }
+  return sig;
+}
+
+}  // namespace cgs::falcon

@@ -1,0 +1,43 @@
+#pragma once
+// Falcon signing: hash-to-point, ffSampling over the secret basis, norm
+// check, signature compression. The base Gaussian sampler is injected —
+// this is the knob Table 1 turns.
+
+#include <array>
+#include <string_view>
+
+#include "falcon/codec.h"
+#include "falcon/ffsampling.h"
+#include "falcon/hash_to_point.h"
+
+namespace cgs::falcon {
+
+struct Signature {
+  std::array<std::uint8_t, 40> nonce{};
+  IPoly s1;  // second half of the short vector; s0 is recomputed by verify
+};
+
+struct SignStats {
+  std::uint64_t attempts = 0;       // ffSampling passes (norm-check retries)
+  std::uint64_t samplerz_calls = 0;
+  std::uint64_t base_samples = 0;   // draws from the base Gaussian sampler
+};
+
+class Signer {
+ public:
+  /// `base` (not owned) is the sigma=2 base sampler under test.
+  Signer(const KeyPair& kp, IntSampler& base, double sigma_base = 2.0);
+
+  Signature sign(std::string_view message, RandomBitSource& rng,
+                 SignStats* stats = nullptr);
+
+  const FalconTree& tree() const { return tree_; }
+  const KeyPair& key() const { return *kp_; }
+
+ private:
+  const KeyPair* kp_;
+  FalconTree tree_;
+  SamplerZ samplerz_;
+};
+
+}  // namespace cgs::falcon

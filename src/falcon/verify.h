@@ -1,0 +1,24 @@
+#pragma once
+// Falcon verification: recompute s0 = c - s1 h mod q (centered) and accept
+// iff ||(s0, s1)||^2 stays under the signature bound. Needs only the public
+// key.
+
+#include <string_view>
+
+#include "falcon/sign.h"
+
+namespace cgs::falcon {
+
+class Verifier {
+ public:
+  Verifier(std::vector<std::uint32_t> public_key_h, FalconParams params);
+
+  bool verify(std::string_view message, const Signature& sig) const;
+
+ private:
+  std::vector<std::uint32_t> h_;
+  FalconParams params_;
+  NttContext ntt_;
+};
+
+}  // namespace cgs::falcon

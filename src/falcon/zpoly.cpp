@@ -1,0 +1,79 @@
+#include "falcon/zpoly.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cgs::falcon {
+
+using bigint::BigInt;
+
+ZPoly zp_mul(const ZPoly& a, const ZPoly& b) {
+  const std::size_t m = a.size();
+  CGS_CHECK(b.size() == m);
+  ZPoly c(m, BigInt(0));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (a[i].is_zero()) continue;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (b[j].is_zero()) continue;
+      const BigInt prod = a[i] * b[j];
+      const std::size_t k = i + j;
+      if (k < m)
+        c[k] += prod;
+      else
+        c[k - m] -= prod;  // x^m = -1
+    }
+  }
+  return c;
+}
+
+ZPoly zp_add(const ZPoly& a, const ZPoly& b) {
+  CGS_CHECK(a.size() == b.size());
+  ZPoly c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+ZPoly zp_sub(const ZPoly& a, const ZPoly& b) {
+  CGS_CHECK(a.size() == b.size());
+  ZPoly c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+ZPoly zp_conjugate(const ZPoly& f) {
+  ZPoly g = f;
+  for (std::size_t i = 1; i < g.size(); i += 2) g[i] = -g[i];
+  return g;
+}
+
+ZPoly zp_field_norm(const ZPoly& f) {
+  CGS_CHECK(f.size() >= 2);
+  const ZPoly prod = zp_mul(f, zp_conjugate(f));
+  ZPoly norm(f.size() / 2);
+  for (std::size_t i = 0; i < norm.size(); ++i) {
+    // Odd coefficients of f * f(-x) vanish identically.
+    CGS_DCHECK(prod[2 * i + 1].is_zero());
+    norm[i] = prod[2 * i];
+  }
+  return norm;
+}
+
+ZPoly zp_lift(const ZPoly& f) {
+  ZPoly g(2 * f.size(), BigInt(0));
+  for (std::size_t i = 0; i < f.size(); ++i) g[2 * i] = f[i];
+  return g;
+}
+
+int zp_max_bits(const ZPoly& f) {
+  int bits = 0;
+  for (const BigInt& c : f) bits = std::max(bits, c.bit_length());
+  return bits;
+}
+
+bool zp_is_zero(const ZPoly& f) {
+  return std::all_of(f.begin(), f.end(),
+                     [](const BigInt& c) { return c.is_zero(); });
+}
+
+}  // namespace cgs::falcon

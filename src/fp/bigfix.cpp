@@ -1,0 +1,238 @@
+#include "fp/bigfix.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cgs::fp {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+BigFix::BigFix(int frac_limbs) : frac_limbs_(frac_limbs) {
+  CGS_CHECK(frac_limbs >= 1 && frac_limbs <= 64);
+  limbs_.assign(static_cast<std::size_t>(frac_limbs_) + 1, 0);
+}
+
+BigFix BigFix::from_uint(u64 v, int frac_limbs) {
+  BigFix r(frac_limbs);
+  r.limbs_.back() = v;
+  return r;
+}
+
+BigFix BigFix::from_double(double v, int frac_limbs) {
+  CGS_CHECK_MSG(v >= 0.0 && std::isfinite(v), "from_double needs finite v>=0");
+  BigFix r(frac_limbs);
+  double ip = 0;
+  double fp = std::modf(v, &ip);
+  CGS_CHECK(ip < 1.8446744073709552e19);  // fits one limb
+  r.limbs_.back() = static_cast<u64>(ip);
+  // Peel the fraction 64 bits at a time; doubles only carry ~53 bits but the
+  // Newton seeds this feeds only need that much.
+  for (int i = frac_limbs - 1; i >= 0; --i) {
+    fp *= 18446744073709551616.0;  // 2^64
+    double limb_ip = 0;
+    fp = std::modf(fp, &limb_ip);
+    r.limbs_[static_cast<std::size_t>(i)] = static_cast<u64>(limb_ip);
+  }
+  return r;
+}
+
+bool BigFix::is_zero() const {
+  for (u64 l : limbs_)
+    if (l != 0) return false;
+  return true;
+}
+
+int BigFix::compare(const BigFix& o) const {
+  CGS_CHECK(frac_limbs_ == o.frac_limbs_);
+  for (int i = static_cast<int>(limbs_.size()) - 1; i >= 0; --i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    if (limbs_[k] != o.limbs_[k]) return limbs_[k] < o.limbs_[k] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigFix BigFix::add(const BigFix& o) const {
+  CGS_CHECK(frac_limbs_ == o.frac_limbs_);
+  BigFix r(frac_limbs_);
+  u128 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u128 s = static_cast<u128>(limbs_[i]) + o.limbs_[i] + carry;
+    r.limbs_[i] = static_cast<u64>(s);
+    carry = s >> 64;
+  }
+  CGS_CHECK_MSG(carry == 0, "BigFix::add overflow");
+  return r;
+}
+
+BigFix BigFix::sub(const BigFix& o) const {
+  CGS_CHECK(frac_limbs_ == o.frac_limbs_);
+  CGS_CHECK_MSG(o.compare(*this) <= 0, "BigFix::sub would go negative");
+  BigFix r(frac_limbs_);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 oi = o.limbs_[i];
+    const u64 li = limbs_[i];
+    const u64 d = li - oi - borrow;
+    borrow = (li < oi + (u128)borrow) ? 1 : 0;
+    r.limbs_[i] = d;
+  }
+  return r;
+}
+
+BigFix BigFix::mul(const BigFix& o) const {
+  CGS_CHECK(frac_limbs_ == o.frac_limbs_);
+  const std::size_t n = limbs_.size();
+  // Full 2n-limb product, then keep limbs [F, F+n) (floor toward zero).
+  std::vector<u64> prod(2 * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (limbs_[i] == 0) continue;
+    u128 carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const u128 cur = static_cast<u128>(limbs_[i]) * o.limbs_[j] +
+                       prod[i + j] + carry;
+      prod[i + j] = static_cast<u64>(cur);
+      carry = cur >> 64;
+    }
+    std::size_t k = i + n;
+    while (carry != 0) {
+      const u128 cur = static_cast<u128>(prod[k]) + carry;
+      prod[k] = static_cast<u64>(cur);
+      carry = cur >> 64;
+      ++k;
+    }
+  }
+  const std::size_t f = static_cast<std::size_t>(frac_limbs_);
+  for (std::size_t i = f + n; i < 2 * n; ++i)
+    CGS_CHECK_MSG(prod[i] == 0, "BigFix::mul overflow");
+  BigFix r(frac_limbs_);
+  for (std::size_t i = 0; i < n; ++i) r.limbs_[i] = prod[f + i];
+  return r;
+}
+
+BigFix BigFix::mul_small(u64 k) const {
+  BigFix r(frac_limbs_);
+  u128 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u128 cur = static_cast<u128>(limbs_[i]) * k + carry;
+    r.limbs_[i] = static_cast<u64>(cur);
+    carry = cur >> 64;
+  }
+  CGS_CHECK_MSG(carry == 0, "BigFix::mul_small overflow");
+  return r;
+}
+
+BigFix BigFix::div_small(u64 d) const {
+  CGS_CHECK(d != 0);
+  BigFix r(frac_limbs_);
+  u128 rem = 0;
+  for (int i = static_cast<int>(limbs_.size()) - 1; i >= 0; --i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    const u128 cur = (rem << 64) | limbs_[k];
+    r.limbs_[k] = static_cast<u64>(cur / d);
+    rem = cur % d;
+  }
+  return r;
+}
+
+BigFix BigFix::half() const {
+  BigFix r(frac_limbs_);
+  u64 carry = 0;
+  for (int i = static_cast<int>(limbs_.size()) - 1; i >= 0; --i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    r.limbs_[k] = (limbs_[k] >> 1) | (carry << 63);
+    carry = limbs_[k] & 1u;
+  }
+  return r;
+}
+
+int BigFix::frac_bit(int i) const {
+  CGS_CHECK(i >= 1 && i <= frac_bits());
+  const int pos = frac_bits() - i;  // bit index from the bottom of fraction
+  const std::size_t limb = static_cast<std::size_t>(pos / 64);
+  return static_cast<int>((limbs_[limb] >> (pos % 64)) & 1u);
+}
+
+BigFix BigFix::truncated_to(int n) const {
+  CGS_CHECK(n >= 0 && n <= frac_bits());
+  BigFix r = *this;
+  const int drop = frac_bits() - n;  // low fraction bits to clear
+  for (int i = 0; i < drop; ++i) {
+    const std::size_t limb = static_cast<std::size_t>(i / 64);
+    r.limbs_[limb] &= ~(static_cast<u64>(1) << (i % 64));
+  }
+  return r;
+}
+
+BigFix BigFix::reciprocal() const {
+  CGS_CHECK_MSG(!is_zero(), "reciprocal of zero");
+  const double seed = 1.0 / to_double();
+  BigFix y = from_double(seed, frac_limbs_);
+  const BigFix two = from_uint(2, frac_limbs_);
+  // Newton doubles correct bits per step: ~50 seed bits -> need
+  // ceil(log2(frac_bits/50)) + margin iterations.
+  for (int it = 0; it < 8; ++it) {
+    const BigFix sy = mul(y);
+    CGS_CHECK_MSG(sy < two, "reciprocal diverged");
+    y = y.mul(two.sub(sy));
+  }
+  return y;
+}
+
+BigFix BigFix::sqrt() const {
+  if (is_zero()) return BigFix(frac_limbs_);
+  // Inverse-sqrt Newton: z <- z(3 - x z^2)/2, converges quadratically from a
+  // double seed; finally sqrt(x) = x * z.
+  const double xd = to_double();
+  CGS_CHECK_MSG(xd > 0, "sqrt of value too small for double seeding");
+  BigFix z = from_double(1.0 / std::sqrt(xd), frac_limbs_);
+  const BigFix three = from_uint(3, frac_limbs_);
+  for (int it = 0; it < 8; ++it) {
+    const BigFix xzz = mul(z).mul(z);
+    CGS_CHECK_MSG(xzz < three, "sqrt diverged");
+    z = z.mul(three.sub(xzz)).half();
+  }
+  return mul(z);
+}
+
+BigFix BigFix::pi(int frac_limbs) {
+  CGS_CHECK_MSG(frac_limbs <= 5, "pi constant stored to 320 fraction bits");
+  BigFix p(5);
+  p.limbs_ = {0x452821e638d01377ull, 0x082efa98ec4e6c89ull,
+              0xa4093822299f31d0ull, 0x13198a2e03707344ull,
+              0x243f6a8885a308d3ull, 3ull};
+  if (frac_limbs == 5) return p;
+  // Truncate to the requested width (drop low limbs).
+  BigFix q(frac_limbs);
+  for (int i = 0; i <= frac_limbs; ++i)
+    q.limbs_[static_cast<std::size_t>(i)] =
+        p.limbs_[static_cast<std::size_t>(i + 5 - frac_limbs)];
+  return q;
+}
+
+double BigFix::to_double() const {
+  double v = static_cast<double>(limbs_.back());
+  double scale = 1.0;
+  for (int i = frac_limbs_ - 1; i >= 0; --i) {
+    scale /= 18446744073709551616.0;
+    v += static_cast<double>(limbs_[static_cast<std::size_t>(i)]) * scale;
+  }
+  return v;
+}
+
+std::string BigFix::to_hex() const {
+  char buf[32];
+  std::string s;
+  std::snprintf(buf, sizeof buf, "%llx.",
+                static_cast<unsigned long long>(limbs_.back()));
+  s += buf;
+  for (int i = frac_limbs_ - 1; i >= 0; --i) {
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(
+                      limbs_[static_cast<std::size_t>(i)]));
+    s += buf;
+  }
+  return s;
+}
+
+}  // namespace cgs::fp

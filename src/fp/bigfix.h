@@ -1,0 +1,91 @@
+#pragma once
+// BigFix: unsigned fixed-point numbers with one 64-bit integer limb and a
+// configurable number of 64-bit fraction limbs. This is the arithmetic the
+// probability-matrix builder uses to evaluate exp(-v^2 / 2 sigma^2) and the
+// normalization constant of D_sigma to well beyond the paper's n = 128 bits
+// of precision (default: 320 fraction bits, leaving guard bits for the
+// squaring ladder inside exp and the Newton reciprocal).
+//
+// Representation: value = (sum_i limb[i] * 2^(64 i)) / 2^(64 F), limbs little
+// endian, limb[F] being the integer limb. All operations are exact except
+// mul/reciprocal, which truncate below the last fraction limb.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cgs::fp {
+
+class BigFix {
+ public:
+  static constexpr int kDefaultFracLimbs = 5;  // 320 fraction bits
+
+  /// Zero with the given fraction width.
+  explicit BigFix(int frac_limbs = kDefaultFracLimbs);
+
+  /// Integer value `v` with the given fraction width.
+  static BigFix from_uint(std::uint64_t v, int frac_limbs = kDefaultFracLimbs);
+
+  /// Approximate conversion from a non-negative double (used only to seed
+  /// Newton iterations; never for final probabilities).
+  static BigFix from_double(double v, int frac_limbs = kDefaultFracLimbs);
+
+  int frac_limbs() const { return frac_limbs_; }
+  int frac_bits() const { return 64 * frac_limbs_; }
+
+  bool is_zero() const;
+
+  /// Comparison: <0, 0, >0 like memcmp.
+  int compare(const BigFix& o) const;
+  bool operator==(const BigFix& o) const { return compare(o) == 0; }
+  bool operator<(const BigFix& o) const { return compare(o) < 0; }
+  bool operator<=(const BigFix& o) const { return compare(o) <= 0; }
+
+  /// Exact addition; throws on integer-limb overflow.
+  BigFix add(const BigFix& o) const;
+  /// Exact subtraction; requires *this >= o.
+  BigFix sub(const BigFix& o) const;
+  /// Truncating multiplication (floor to the fraction width).
+  BigFix mul(const BigFix& o) const;
+  /// Exact multiplication by a small integer; throws on overflow.
+  BigFix mul_small(std::uint64_t k) const;
+  /// Exact long division by a small non-zero integer (floor).
+  BigFix div_small(std::uint64_t d) const;
+  /// Halve (exact shift right by one bit).
+  BigFix half() const;
+
+  /// Floor of the value as a uint64 (integer limb).
+  std::uint64_t int_part() const { return limbs_.back(); }
+
+  /// Fraction bit with weight 2^-i, i >= 1.
+  int frac_bit(int i) const;
+
+  /// Keep only the top `n` fraction bits (truncate the rest to zero) — this
+  /// is exactly the paper's D^n_sigma truncation.
+  BigFix truncated_to(int n) const;
+
+  /// Newton-Raphson reciprocal 1/(*this); requires *this > 0. Accurate to
+  /// within a few ULPs of the fraction width.
+  BigFix reciprocal() const;
+
+  /// Newton square root; requires *this >= 0.
+  BigFix sqrt() const;
+
+  /// pi to the full fraction width (frac_limbs <= 5).
+  static BigFix pi(int frac_limbs = kDefaultFracLimbs);
+
+  /// Lossy conversion for diagnostics.
+  double to_double() const;
+
+  /// Hex rendering "I.FFFF..." for debugging/goldens.
+  std::string to_hex() const;
+
+ private:
+  friend class BigFixTestPeer;
+  int frac_limbs_;
+  std::vector<std::uint64_t> limbs_;  // size frac_limbs_ + 1, little endian
+};
+
+}  // namespace cgs::fp

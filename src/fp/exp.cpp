@@ -1,0 +1,51 @@
+#include "fp/exp.h"
+
+namespace cgs::fp {
+
+BigFix exp_neg(const BigFix& x) {
+  const int F = x.frac_limbs();
+  // Halve until y <= 1/2 so the Taylor series converges fast and partial
+  // sums stay positive.
+  BigFix y = x;
+  const BigFix half_one = BigFix::from_uint(1, F).half();
+  int k = 0;
+  while (half_one < y) {
+    y = y.half();
+    ++k;
+    CGS_CHECK_MSG(k < 64, "exp_neg argument unreasonably large");
+  }
+
+  // e^{-y} = sum_t (-y)^t / t!. Terms decrease monotonically for y <= 1/2,
+  // so the alternating partial sums bracket the limit and never go negative.
+  BigFix acc = BigFix::from_uint(1, F);
+  BigFix term = BigFix::from_uint(1, F);
+  for (std::uint64_t t = 1; t < 4096; ++t) {
+    term = term.mul(y).div_small(t);
+    if (term.is_zero()) break;
+    if (t & 1)
+      acc = acc.sub(term);
+    else
+      acc = acc.add(term);
+  }
+
+  // Square back: e^{-x} = (e^{-y})^(2^k). Each squaring costs ~1 bit of
+  // accuracy; BigFix carries enough guard bits for k <= 64.
+  for (int i = 0; i < k; ++i) acc = acc.mul(acc);
+  return acc;
+}
+
+BigFix gaussian_weight(std::uint64_t v, std::uint64_t sigma_sq_num,
+                       std::uint64_t sigma_sq_den, int frac_limbs) {
+  CGS_CHECK(sigma_sq_num != 0 && sigma_sq_den != 0);
+  // x = v^2 * den / (2 * num); v^2 * den must fit 64 bits — true for every
+  // parameter set in the paper (checked).
+  const unsigned __int128 v2 =
+      static_cast<unsigned __int128>(v) * v * sigma_sq_den;
+  CGS_CHECK_MSG(v2 <= ~static_cast<std::uint64_t>(0),
+                "v^2 * sigma_sq_den overflows; use a coarser rational");
+  BigFix x = BigFix::from_uint(static_cast<std::uint64_t>(v2), frac_limbs);
+  x = x.div_small(2).div_small(sigma_sq_num);
+  return exp_neg(x);
+}
+
+}  // namespace cgs::fp

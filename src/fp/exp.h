@@ -1,0 +1,22 @@
+#pragma once
+// High-precision exp(-x) on BigFix, plus the Gaussian weight helper used by
+// the probability-matrix builder.
+
+#include <cstdint>
+
+#include "fp/bigfix.h"
+
+namespace cgs::fp {
+
+/// exp(-x) for x >= 0, accurate to within a few ULPs of x's fraction width.
+/// Strategy: halve x until y <= 1/2, alternating Taylor series on y, then
+/// square back up. Result is in (0, 1].
+BigFix exp_neg(const BigFix& x);
+
+/// exp(-v^2 * den / (2 * num)) — the unnormalized weight of |sample| = v
+/// under a discrete Gaussian with sigma^2 = num/den (exact rational).
+BigFix gaussian_weight(std::uint64_t v, std::uint64_t sigma_sq_num,
+                       std::uint64_t sigma_sq_den,
+                       int frac_limbs = BigFix::kDefaultFracLimbs);
+
+}  // namespace cgs::fp

@@ -1,0 +1,65 @@
+#include "gauss/params.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cgs::gauss {
+
+GaussianParams GaussianParams::from_sigma(std::uint64_t num, std::uint64_t den,
+                                          int tau, int precision) {
+  CGS_CHECK(num != 0 && den != 0 && tau >= 1 && precision >= 1);
+  // sigma^2 as an exact rational; overflow-check the squares.
+  CGS_CHECK_MSG(num < (1ull << 32) && den < (1ull << 32),
+                "sigma rational too wide to square exactly");
+  GaussianParams p;
+  p.sigma_num = num;
+  p.sigma_den = den;
+  p.sigma_sq_num = num * num;
+  p.sigma_sq_den = den * den;
+  p.tau = tau;
+  p.precision = precision;
+  return p;
+}
+
+GaussianParams GaussianParams::from_sigma_sq(std::uint64_t num,
+                                             std::uint64_t den, int tau,
+                                             int precision) {
+  CGS_CHECK(num != 0 && den != 0 && tau >= 1 && precision >= 1);
+  GaussianParams p;
+  p.sigma_sq_num = num;
+  p.sigma_sq_den = den;
+  const double s = std::sqrt(static_cast<double>(num) / den);
+  // Approximate rational for tail bound only: ceil via 1e6 denominator.
+  p.sigma_den = 1000000;
+  p.sigma_num = static_cast<std::uint64_t>(std::ceil(s * 1e6));
+  p.tau = tau;
+  p.precision = precision;
+  return p;
+}
+
+GaussianParams GaussianParams::sigma_1(int precision) {
+  return from_sigma(1, 1, 13, precision);
+}
+GaussianParams GaussianParams::sigma_2(int precision) {
+  return from_sigma(2, 1, 13, precision);
+}
+GaussianParams GaussianParams::sigma_sqrt5(int precision) {
+  return from_sigma_sq(5, 1, 13, precision);
+}
+GaussianParams GaussianParams::sigma_6_15543(int precision) {
+  return from_sigma(615543, 100000, 13, precision);
+}
+GaussianParams GaussianParams::sigma_215(int precision) {
+  return from_sigma(215, 1, 13, precision);
+}
+
+std::string GaussianParams::describe() const {
+  std::ostringstream os;
+  os << "D[sigma=" << sigma() << ", tau=" << tau << ", n=" << precision
+     << ", support 0.." << max_value() << "]";
+  return os.str();
+}
+
+}  // namespace cgs::gauss

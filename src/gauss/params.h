@@ -1,0 +1,80 @@
+#pragma once
+// Parameter sets for discrete Gaussian samplers. sigma is carried as an
+// exact rational (and sigma^2 as an exact rational) so that probabilities
+// can be computed to 128+ bits — a double-precision sigma would poison the
+// low bits of every table.
+
+#include <cstdint>
+#include <string>
+
+namespace cgs::gauss {
+
+/// How each probability row is cut to n bits. The paper says "calculated
+/// only up to n-bit precision" without fixing the rounding; the choice
+/// perturbs the low-order matrix bits and thereby the exact Delta constant
+/// (see EXPERIMENTS.md), so both variants are provided.
+enum class Rounding {
+  kTruncate,  // floor to n bits (default)
+  kNearest,   // round to nearest n-bit value (half up)
+};
+
+/// How the pmf is normalized before truncation.
+enum class Normalization {
+  /// Exact discrete sum over Z — the mathematically exact folded pmf and
+  /// the library default (best distribution quality).
+  kDiscrete,
+  /// 1/(sigma*sqrt(2*pi)) — the paper's §3.1 definition (a continuous
+  /// approximation of the discrete mass; what [32] and the paper tabulate).
+  /// For small sigma this over-fills the DDG tree by ~2 e^{-2 pi^2 sigma^2};
+  /// the unreachable bits are clipped (see ProbMatrix::clipped_bits).
+  kContinuous,
+};
+
+struct GaussianParams {
+  // sigma = sigma_num / sigma_den, sigma^2 = sigma_sq_num / sigma_sq_den.
+  std::uint64_t sigma_num = 1;
+  std::uint64_t sigma_den = 1;
+  std::uint64_t sigma_sq_num = 1;
+  std::uint64_t sigma_sq_den = 1;
+  int tau = 13;        // tail cut: support is [0, floor(tau * sigma)]
+  int precision = 128; // n: bits kept per probability
+  Normalization normalization = Normalization::kDiscrete;
+  Rounding rounding = Rounding::kTruncate;
+
+  /// sigma = num/den (sigma^2 derived by squaring; num^2, den^2 must fit).
+  static GaussianParams from_sigma(std::uint64_t num, std::uint64_t den,
+                                   int tau = 13, int precision = 128);
+
+  /// sigma^2 = num/den given directly (e.g. sigma = sqrt(5)); the rational
+  /// sigma_num/sigma_den is then only an approximation used for the tail
+  /// bound and diagnostics.
+  static GaussianParams from_sigma_sq(std::uint64_t num, std::uint64_t den,
+                                      int tau = 13, int precision = 128);
+
+  /// Paper parameter sets.
+  static GaussianParams sigma_1(int precision = 128);
+  static GaussianParams sigma_2(int precision = 128);        // Falcon base
+  static GaussianParams sigma_sqrt5(int precision = 128);    // Falcon alt
+  static GaussianParams sigma_6_15543(int precision = 128);  // [21] compare
+  static GaussianParams sigma_215(int precision = 128);      // large-sigma
+
+  double sigma() const {
+    return static_cast<double>(sigma_num) / static_cast<double>(sigma_den);
+  }
+  double sigma_sq() const {
+    return static_cast<double>(sigma_sq_num) /
+           static_cast<double>(sigma_sq_den);
+  }
+
+  /// Largest magnitude in the support: floor(tau * sigma).
+  std::uint64_t max_value() const {
+    return (static_cast<std::uint64_t>(tau) * sigma_num) / sigma_den;
+  }
+
+  /// Rows in the probability matrix (= max_value() + 1).
+  std::size_t support_size() const { return max_value() + 1; }
+
+  std::string describe() const;
+};
+
+}  // namespace cgs::gauss

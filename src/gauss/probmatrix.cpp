@@ -1,0 +1,150 @@
+#include "gauss/probmatrix.h"
+
+#include <sstream>
+
+#include "fp/exp.h"
+
+namespace cgs::gauss {
+
+using fp::BigFix;
+
+ProbMatrix::ProbMatrix(const GaussianParams& params)
+    : params_(params), deficit_(BigFix::kDefaultFracLimbs) {
+  const int n = params_.precision;
+  CGS_CHECK_MSG(n <= 256, "precision beyond 256 bits not supported");
+  const int F = BigFix::kDefaultFracLimbs;
+  const std::size_t support = params_.support_size();
+
+  // Weights, computed past the tail cut so the discrete normalizer is
+  // numerically complete: exp(-v^2/2s^2) < 2^-320 once v > 21.1 * sigma.
+  const std::uint64_t norm_max =
+      (22 * params_.sigma_num) / params_.sigma_den + 2;
+  std::vector<BigFix> weights;
+  weights.reserve(norm_max + 1);
+  BigFix sum(F);
+  for (std::uint64_t v = 0; v <= norm_max; ++v) {
+    BigFix w = fp::gaussian_weight(v, params_.sigma_sq_num,
+                                   params_.sigma_sq_den, F);
+    if (v >= 1) {
+      sum = sum.add(w).add(w);  // folded: +/- v
+    } else {
+      sum = sum.add(w);
+    }
+    weights.push_back(std::move(w));
+  }
+  // Normalizer: the paper's definition uses the continuous constant
+  // sigma*sqrt(2*pi) = sqrt(2*pi*sigma^2); kDiscrete uses the exact sum.
+  BigFix inv_sum(F);
+  if (params_.normalization == Normalization::kContinuous) {
+    const BigFix two_pi_s2 = fp::BigFix::pi(F)
+                                 .mul_small(2)
+                                 .mul_small(params_.sigma_sq_num)
+                                 .div_small(params_.sigma_sq_den);
+    inv_sum = two_pi_s2.sqrt().reciprocal();
+  } else {
+    inv_sum = sum.reciprocal();
+  }
+
+  bits_.resize(support);
+  exact_.reserve(support);
+  for (std::size_t v = 0; v < support; ++v) {
+    BigFix p = weights[v].mul(inv_sum);
+    if (v >= 1) p = p.add(p);  // folded magnitude: 2*D(v)
+    exact_.push_back(p);
+    BigFix cut = p;
+    if (params_.rounding == Rounding::kNearest) {
+      // Half-up rounding: add 2^-(n+1), then floor. The feasibility pass
+      // below absorbs any resulting over-mass.
+      BigFix half_ulp = BigFix::from_uint(1, F);
+      for (int i = 0; i <= n; ++i) half_ulp = half_ulp.half();
+      cut = cut.add(half_ulp);
+    }
+    const BigFix trunc = cut.truncated_to(n);
+    bits_[v].resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      bits_[v][static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(trunc.frac_bit(i + 1));
+  }
+
+  // DDG feasibility: the level-i node budget X_i = 2*X_{i-1} - h_i must stay
+  // >= 0 (X_{-1} = 1). The continuous normalizer of the paper can over-fill
+  // the tree by ~2 e^{-2 pi^2 sigma^2}; where that happens the deeper tree
+  // levels are physically unreachable, so we clip the offending bits from
+  // the bottom (largest-v, least-probable) rows — exactly the mass Alg. 1
+  // could never return anyway.
+  std::uint64_t budget = 1;  // X_{i-1}, saturating (cannot shrink once large)
+  constexpr std::uint64_t kBudgetCap = std::uint64_t(1) << 62;
+  for (int i = 0; i < n; ++i) {
+    budget = std::min(kBudgetCap, budget * 2);
+    std::uint64_t h = 0;
+    for (std::size_t v = 0; v < support; ++v) h += bits_[v][static_cast<std::size_t>(i)];
+    // Keep at least one internal node per level (h <= budget - 1): a tree
+    // that completes would make the all-ones path a leaf, breaking the
+    // Theorem-1 structure every consumer relies on.
+    if (h + 1 > budget) {
+      std::uint64_t excess = h + 1 - budget;
+      clipped_bits_ += excess;
+      for (std::size_t v = support; v-- > 0 && excess > 0;) {
+        if (bits_[v][static_cast<std::size_t>(i)]) {
+          bits_[v][static_cast<std::size_t>(i)] = 0;
+          --excess;
+          --h;
+        }
+      }
+    }
+    budget -= h;
+  }
+
+  // Rebuild exact fixed-point row probabilities from the (possibly clipped)
+  // bits so every consumer (CDT tables, statistics) sees one distribution.
+  probs_.reserve(support);
+  BigFix total(F);
+  const BigFix one = BigFix::from_uint(1, F);
+  for (std::size_t v = 0; v < support; ++v) {
+    BigFix p(F);
+    BigFix weight = one.half();  // 2^-1
+    for (int i = 0; i < n; ++i) {
+      if (bits_[v][static_cast<std::size_t>(i)]) p = p.add(weight);
+      weight = weight.half();
+    }
+    total = total.add(p);
+    probs_.push_back(std::move(p));
+  }
+  CGS_CHECK_MSG(total <= one, "probability mass exceeds 1 after clipping");
+  deficit_ = one.sub(total);
+
+  h_.assign(static_cast<std::size_t>(n), 0);
+  for (std::size_t v = 0; v < support; ++v)
+    for (int i = 0; i < n; ++i) h_[static_cast<std::size_t>(i)] += bits_[v][static_cast<std::size_t>(i)];
+}
+
+unsigned __int128 ProbMatrix::column_weight_prefix(int i) const {
+  CGS_CHECK(i >= 0 && i < precision() && i < 120);
+  unsigned __int128 H = 0;
+  for (int j = 0; j <= i; ++j)
+    H = 2 * H + static_cast<unsigned>(h_[static_cast<std::size_t>(j)]);
+  return H;
+}
+
+double ProbMatrix::truncation_statistical_distance() const {
+  // SD = 1/2 sum_v |p_trunc(v) - p_exact(v)| + 1/2 * (cut tail mass).
+  // Truncation only ever lowers a row, so each |diff| = exact - trunc, and
+  // the deficit equals exactly sum(diffs) + tail. Hence SD = deficit / 2.
+  return deficit_.to_double() / 2.0;
+}
+
+std::string ProbMatrix::to_string(int max_cols) const {
+  std::ostringstream os;
+  const int n = std::min(precision(), max_cols);
+  for (std::size_t v = 0; v < rows(); ++v) {
+    os << "P" << v << (v < 10 ? "  " : " ");
+    for (int i = 0; i < n; ++i) os << ' ' << int(bits_[v][static_cast<std::size_t>(i)]);
+    os << '\n';
+  }
+  os << "h  ";
+  for (int i = 0; i < n; ++i) os << ' ' << h_[static_cast<std::size_t>(i)];
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace cgs::gauss

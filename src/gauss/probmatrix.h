@@ -1,0 +1,72 @@
+#pragma once
+// The Knuth-Yao probability matrix: row v holds the n-bit truncation of the
+// folded magnitude distribution P(|X| = v), i.e. D^n(0) for v = 0 and
+// 2*D^n(v) for v >= 1 (paper §3.2). Column i carries weight 2^-(i+1) and
+// corresponds to DDG-tree level i.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fp/bigfix.h"
+#include "gauss/params.h"
+
+namespace cgs::gauss {
+
+class ProbMatrix {
+ public:
+  /// Build from parameters: evaluates exp to high precision, normalizes by
+  /// the (numerically complete) Gaussian mass over all of Z, truncates each
+  /// row to `params.precision` bits.
+  explicit ProbMatrix(const GaussianParams& params);
+
+  const GaussianParams& params() const { return params_; }
+  int precision() const { return params_.precision; }
+  std::size_t rows() const { return bits_.size(); }
+
+  /// Bit of row v at column i (weight 2^-(i+1)).
+  int bit(std::size_t v, int i) const { return bits_[v][static_cast<std::size_t>(i)]; }
+
+  /// Hamming weight of column i (the paper's h_i).
+  int column_weight(int i) const { return h_[static_cast<std::size_t>(i)]; }
+
+  /// H_i = h_0*2^i + h_1*2^(i-1) + ... + h_i, used by the leaf enumerator.
+  /// (Fits in unsigned __int128 for n <= 120; we keep H as the running value
+  /// via level recursion instead, so this returns the exact low 128 bits.)
+  unsigned __int128 column_weight_prefix(int i) const;
+
+  /// Truncated probability of row v as exact fixed point (n-bit value).
+  const fp::BigFix& probability(std::size_t v) const { return probs_[v]; }
+
+  /// 1 - sum of all truncated rows: the restart/miss mass. Bounded by
+  /// support * 2^-n plus the tau tail.
+  const fp::BigFix& deficit() const { return deficit_; }
+  double deficit_double() const { return deficit_.to_double(); }
+
+  /// Exact (pre-truncation) probability of magnitude v, for statistics.
+  const fp::BigFix& exact_probability(std::size_t v) const {
+    return exact_[v];
+  }
+
+  /// Statistical distance between the truncated and exact folded pmfs
+  /// (including the cut tail as part of the distance).
+  double truncation_statistical_distance() const;
+
+  /// Probability bits cleared to keep the DDG tree feasible (non-zero only
+  /// under the continuous normalization, and tiny: ~2 e^{-2 pi^2 sigma^2}).
+  std::uint64_t clipped_bits() const { return clipped_bits_; }
+
+  /// ASCII rendering of the matrix (Fig. 1 style) for small n.
+  std::string to_string(int max_cols = 64) const;
+
+ private:
+  GaussianParams params_;
+  std::vector<std::vector<std::uint8_t>> bits_;  // [row][col]
+  std::vector<int> h_;                           // column weights
+  std::vector<fp::BigFix> probs_;                // truncated, exact fixed point
+  std::vector<fp::BigFix> exact_;                // pre-truncation
+  fp::BigFix deficit_;
+  std::uint64_t clipped_bits_ = 0;
+};
+
+}  // namespace cgs::gauss

@@ -1,0 +1,87 @@
+#include "prng/chacha20.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+
+namespace cgs::prng {
+
+namespace {
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const std::array<std::uint8_t, 32>& key,
+                    const std::array<std::uint8_t, 12>& nonce,
+                    std::uint32_t counter, std::span<std::uint8_t, 64> out) {
+  std::uint32_t st[16];
+  st[0] = 0x61707865u; st[1] = 0x3320646eu;
+  st[2] = 0x79622d32u; st[3] = 0x6b206574u;
+  for (int i = 0; i < 8; ++i) st[4 + i] = load32(key.data() + 4 * i);
+  st[12] = counter;
+  for (int i = 0; i < 3; ++i) st[13 + i] = load32(nonce.data() + 4 * i);
+
+  std::uint32_t x[16];
+  std::memcpy(x, st, sizeof x);
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) store32(out.data() + 4 * i, x[i] + st[i]);
+}
+
+ChaCha20Source::ChaCha20Source(std::uint64_t seed) {
+  // Expand the seed across the key with distinct lane constants; this is a
+  // convenience constructor for benches/tests, not a KDF.
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t lane = seed ^ (0x9e3779b97f4a7c15ull * (i + 1));
+    std::memcpy(key_.data() + 8 * i, &lane, 8);
+  }
+  nonce_.fill(0);
+}
+
+ChaCha20Source::ChaCha20Source(const std::array<std::uint8_t, 32>& key,
+                               const std::array<std::uint8_t, 12>& nonce)
+    : key_(key), nonce_(nonce) {}
+
+void ChaCha20Source::refill() {
+  chacha20_block(key_, nonce_, counter_++, block_);
+  pos_ = 0;
+}
+
+std::uint64_t ChaCha20Source::next_word() {
+  if (pos_ >= 64) refill();
+  std::uint64_t w;
+  std::memcpy(&w, block_.data() + pos_, 8);
+  pos_ += 8;
+  return w;
+}
+
+}  // namespace cgs::prng

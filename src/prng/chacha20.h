@@ -1,0 +1,44 @@
+#pragma once
+// ChaCha20 stream cipher used as the pseudo-random generator for sampling —
+// the same choice as the Falcon reference implementation and this paper's
+// Table 1 ("with ChaCha as the pseudo random number generator").
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/randombits.h"
+
+namespace cgs::prng {
+
+/// Raw ChaCha20 block function (RFC 8439 layout): 32-byte key, 12-byte
+/// nonce, 32-bit block counter -> 64-byte keystream block.
+void chacha20_block(const std::array<std::uint8_t, 32>& key,
+                    const std::array<std::uint8_t, 12>& nonce,
+                    std::uint32_t counter, std::span<std::uint8_t, 64> out);
+
+/// RandomBitSource over the ChaCha20 keystream.
+class ChaCha20Source final : public RandomBitSource {
+ public:
+  /// Deterministic stream from a 64-bit seed (expanded into the key).
+  explicit ChaCha20Source(std::uint64_t seed);
+
+  ChaCha20Source(const std::array<std::uint8_t, 32>& key,
+                 const std::array<std::uint8_t, 12>& nonce);
+
+  std::uint64_t next_word() override;
+
+  /// Number of 64-byte blocks generated so far (PRNG-cost accounting).
+  std::uint64_t blocks_generated() const { return counter_; }
+
+ private:
+  void refill();
+
+  std::array<std::uint8_t, 32> key_{};
+  std::array<std::uint8_t, 12> nonce_{};
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, 64> block_{};
+  int pos_ = 64;  // byte offset into block_, 64 == empty
+};
+
+}  // namespace cgs::prng

@@ -1,0 +1,2 @@
+#include "prng/splitmix.h"
+// SplitMix64Source is header-only; this TU anchors the library target.

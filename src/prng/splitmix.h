@@ -1,0 +1,27 @@
+#pragma once
+// SplitMix64: tiny non-cryptographic generator for tests and for isolating
+// sampler cost from PRNG cost in the Table-2 benches (its cost is ~1ns/word,
+// effectively "free" randomness).
+
+#include <cstdint>
+
+#include "common/randombits.h"
+
+namespace cgs::prng {
+
+class SplitMix64Source final : public RandomBitSource {
+ public:
+  explicit SplitMix64Source(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_word() override {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cgs::prng

@@ -1,0 +1,159 @@
+#include "stats/chisquare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cgs::stats {
+
+std::string Histogram::render(int width) const {
+  std::ostringstream os;
+  std::uint64_t peak = 1;
+  for (const auto& [v, c] : counts_) peak = std::max(peak, c);
+  for (const auto& [v, c] : counts_) {
+    const int bar = static_cast<int>(
+        static_cast<double>(c) / static_cast<double>(peak) * width);
+    os << (v < 0 ? "" : " ") << v << "\t" << c << "\t";
+    for (int i = 0; i < bar; ++i) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+// Lanczos log-gamma (Numerical Recipes coefficients).
+double log_gamma(double x) {
+  static const double cof[6] = {76.18009172947146,  -86.50532032941677,
+                                24.01409824083091,  -1.231739572450155,
+                                0.1208650973866179e-2, -0.5395239384953e-5};
+  double y = x;
+  double tmp = x + 5.5;
+  tmp -= (x + 0.5) * std::log(tmp);
+  double ser = 1.000000000190015;
+  for (double c : cof) ser += c / ++y;
+  return -tmp + std::log(2.5066282746310005 * ser / x);
+}
+
+// Regularized lower incomplete gamma P(a,x) by series; Q by continued
+// fraction; standard split at x < a+1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ++ap;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+double gamma_q_cf(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+}
+
+}  // namespace
+
+double gamma_q(double a, double x) {
+  CGS_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+ChiSquareResult chi_square(const std::vector<std::uint64_t>& observed,
+                           const std::vector<double>& expected_probs,
+                           double min_expected) {
+  CGS_CHECK(observed.size() == expected_probs.size());
+  std::uint64_t total = 0;
+  for (auto c : observed) total += c;
+  CGS_CHECK_MSG(total > 0, "empty observation set");
+
+  // Pool adjacent low-expectation cells (the Gaussian tails).
+  std::vector<double> exp_pooled;
+  std::vector<double> obs_pooled;
+  double e_acc = 0.0, o_acc = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    e_acc += expected_probs[i] * static_cast<double>(total);
+    o_acc += static_cast<double>(observed[i]);
+    if (e_acc >= min_expected) {
+      exp_pooled.push_back(e_acc);
+      obs_pooled.push_back(o_acc);
+      e_acc = o_acc = 0.0;
+    }
+  }
+  if (e_acc > 0.0 || o_acc > 0.0) {
+    if (exp_pooled.empty()) {
+      exp_pooled.push_back(e_acc);
+      obs_pooled.push_back(o_acc);
+    } else {
+      exp_pooled.back() += e_acc;
+      obs_pooled.back() += o_acc;
+    }
+  }
+
+  ChiSquareResult r;
+  for (std::size_t i = 0; i < exp_pooled.size(); ++i) {
+    if (exp_pooled[i] <= 0.0) {
+      CGS_CHECK_MSG(obs_pooled[i] == 0.0,
+                    "observed mass where expected probability is zero");
+      continue;
+    }
+    const double d = obs_pooled[i] - exp_pooled[i];
+    r.statistic += d * d / exp_pooled[i];
+    ++r.dof;
+  }
+  r.dof = std::max(1, r.dof - 1);
+  r.p_value = gamma_q(r.dof / 2.0, r.statistic / 2.0);
+  return r;
+}
+
+std::vector<double> signed_expected_probs(const gauss::ProbMatrix& m) {
+  const auto maxv = static_cast<std::int64_t>(m.rows()) - 1;
+  // Conditional on landing in the table (restarts discard the deficit).
+  double mass = 0.0;
+  for (std::size_t v = 0; v < m.rows(); ++v)
+    mass += m.probability(v).to_double();
+  std::vector<double> probs(static_cast<std::size_t>(2 * maxv + 1), 0.0);
+  for (std::int64_t v = -maxv; v <= maxv; ++v) {
+    const double p_mag =
+        m.probability(static_cast<std::size_t>(std::llabs(v))).to_double() /
+        mass;
+    probs[static_cast<std::size_t>(v + maxv)] = (v == 0) ? p_mag : p_mag / 2.0;
+  }
+  return probs;
+}
+
+ChiSquareResult chi_square_signed(const Histogram& h,
+                                  const gauss::ProbMatrix& m) {
+  const auto maxv = static_cast<std::int64_t>(m.rows()) - 1;
+  std::vector<std::uint64_t> obs(static_cast<std::size_t>(2 * maxv + 1), 0);
+  for (const auto& [v, c] : h.counts()) {
+    CGS_CHECK_MSG(std::llabs(v) <= maxv, "sample outside the support");
+    obs[static_cast<std::size_t>(v + maxv)] = c;
+  }
+  return chi_square(obs, signed_expected_probs(m));
+}
+
+}  // namespace cgs::stats

@@ -1,0 +1,60 @@
+#pragma once
+// Goodness-of-fit machinery for validating sampler output distributions
+// (Fig. 5's histograms, plus the chi-square checks behind them).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gauss/probmatrix.h"
+
+namespace cgs::stats {
+
+/// Histogram over signed sample values.
+class Histogram {
+ public:
+  void add(std::int32_t v) { ++counts_[v]; ++total_; }
+  std::uint64_t count(std::int32_t v) const {
+    auto it = counts_.find(v);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  std::uint64_t total() const { return total_; }
+  const std::map<std::int32_t, std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+  /// ASCII bar rendering (Fig. 5 style).
+  std::string render(int width = 60) const;
+
+ private:
+  std::map<std::int32_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  int dof = 0;
+  double p_value = 0.0;  // upper-tail probability
+};
+
+/// Chi-square test of observed counts against expected probabilities.
+/// Cells with expected count below `min_expected` are pooled into their
+/// neighbour to keep the approximation sound.
+ChiSquareResult chi_square(const std::vector<std::uint64_t>& observed,
+                           const std::vector<double>& expected_probs,
+                           double min_expected = 5.0);
+
+/// Expected signed-distribution probabilities from a probability matrix
+/// (conditional on no restart): index i maps to value i - max_value.
+std::vector<double> signed_expected_probs(const gauss::ProbMatrix& m);
+
+/// Chi-square of a signed-sample histogram against the matrix distribution.
+ChiSquareResult chi_square_signed(const Histogram& h,
+                                  const gauss::ProbMatrix& m);
+
+/// Regularized upper incomplete gamma Q(a, x) — chi-square tail probability
+/// is Q(dof/2, stat/2).
+double gamma_q(double a, double x);
+
+}  // namespace cgs::stats

@@ -1,0 +1,78 @@
+#include "stats/divergence.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cgs::stats {
+
+namespace {
+
+// Folded-magnitude pmfs as doubles: (truncated, exact) per magnitude, plus
+// total truncated mass for conditioning.
+struct Pmfs {
+  std::vector<double> trunc;
+  std::vector<double> exact;
+  double trunc_mass = 0.0;
+};
+
+Pmfs pmfs(const gauss::ProbMatrix& m) {
+  Pmfs p;
+  p.trunc.reserve(m.rows());
+  p.exact.reserve(m.rows());
+  for (std::size_t v = 0; v < m.rows(); ++v) {
+    p.trunc.push_back(m.probability(v).to_double());
+    p.exact.push_back(m.exact_probability(v).to_double());
+    p.trunc_mass += p.trunc.back();
+  }
+  return p;
+}
+
+}  // namespace
+
+double statistical_distance(const gauss::ProbMatrix& m, bool conditional) {
+  const Pmfs p = pmfs(m);
+  const double scale = conditional ? 1.0 / p.trunc_mass : 1.0;
+  double sd = 0.0;
+  for (std::size_t v = 0; v < p.trunc.size(); ++v)
+    sd += std::fabs(p.trunc[v] * scale - p.exact[v]);
+  // Mass of the exact distribution beyond the tail cut contributes fully.
+  double exact_mass = 0.0;
+  for (double q : p.exact) exact_mass += q;
+  sd += std::max(0.0, 1.0 - exact_mass);
+  return sd / 2.0;
+}
+
+double renyi_divergence(const gauss::ProbMatrix& m, double alpha) {
+  CGS_CHECK_MSG(alpha > 1.0, "Renyi order must be > 1");
+  const Pmfs p = pmfs(m);
+  double sum = 0.0;
+  for (std::size_t v = 0; v < p.trunc.size(); ++v) {
+    const double pv = p.trunc[v] / p.trunc_mass;  // sampled distribution
+    const double qv = p.exact[v];
+    if (pv == 0.0) continue;
+    CGS_CHECK_MSG(qv > 0.0, "sampled mass outside exact support");
+    sum += std::pow(pv, alpha) / std::pow(qv, alpha - 1.0);
+  }
+  return std::pow(sum, 1.0 / (alpha - 1.0));
+}
+
+double max_log_distance(const gauss::ProbMatrix& m) {
+  const Pmfs p = pmfs(m);
+  double worst = 0.0;
+  for (std::size_t v = 0; v < p.trunc.size(); ++v) {
+    const double pv = p.trunc[v] / p.trunc_mass;
+    const double qv = p.exact[v];
+    if (pv == 0.0 || qv == 0.0) continue;
+    worst = std::max(worst, std::fabs(std::log(pv) - std::log(qv)));
+  }
+  return worst;
+}
+
+int required_precision_bits(const gauss::GaussianParams& params, int lambda) {
+  // SD <= support * 2^-n (row truncation) — solve for n with a 1-bit margin.
+  const double support = static_cast<double>(params.support_size());
+  return lambda + static_cast<int>(std::ceil(std::log2(support))) + 1;
+}
+
+}  // namespace cgs::stats

@@ -1,0 +1,31 @@
+#pragma once
+// Distance measures between the truncated sampled distribution and the ideal
+// discrete Gaussian: statistical distance, Renyi divergence, and max-log
+// distance — the measures the paper's §7 points to for reducing precision
+// requirements ([25] max-log, [28] Renyi).
+
+#include <vector>
+
+#include "gauss/probmatrix.h"
+
+namespace cgs::stats {
+
+/// 1/2 * sum |p - q| over the signed support (q = exact, p = truncated,
+/// conditioned or not per `conditional`).
+double statistical_distance(const gauss::ProbMatrix& m,
+                            bool conditional = false);
+
+/// Renyi divergence R_a(P || Q) of order a > 1 between the truncated
+/// (sampled) distribution P and the exact distribution Q, over the common
+/// support. Returns the divergence value (not its log).
+double renyi_divergence(const gauss::ProbMatrix& m, double alpha);
+
+/// Max-log distance: max_v |ln p(v) - ln q(v)| over the common support.
+double max_log_distance(const gauss::ProbMatrix& m);
+
+/// Precision bits n needed so the statistical distance of an n-bit
+/// truncation stays below 2^-lambda, estimated from the matrix dimensions
+/// (support * 2^-n bound).
+int required_precision_bits(const gauss::GaussianParams& params, int lambda);
+
+}  // namespace cgs::stats

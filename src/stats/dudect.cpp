@@ -1,0 +1,83 @@
+#include "stats/dudect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/cycles.h"
+
+namespace cgs::stats {
+
+std::string WelchResult::describe() const {
+  std::ostringstream os;
+  os << "t=" << t << " (n0=" << n0 << " mean0=" << mean0 << ", n1=" << n1
+     << " mean1=" << mean1 << ") => " << (leaky() ? "LEAKY" : "ok");
+  return os.str();
+}
+
+void WelchTTest::push(int cls, double value) {
+  CGS_CHECK(cls == 0 || cls == 1);
+  auto& n = n_[cls];
+  auto& mean = mean_[cls];
+  auto& m2 = m2_[cls];
+  ++n;
+  const double d = value - mean;
+  mean += d / static_cast<double>(n);
+  m2 += d * (value - mean);
+}
+
+WelchResult WelchTTest::result() const {
+  WelchResult r;
+  r.n0 = n_[0];
+  r.n1 = n_[1];
+  r.mean0 = mean_[0];
+  r.mean1 = mean_[1];
+  if (n_[0] < 2 || n_[1] < 2) return r;
+  const double var0 = m2_[0] / static_cast<double>(n_[0] - 1);
+  const double var1 = m2_[1] / static_cast<double>(n_[1] - 1);
+  const double denom = std::sqrt(var0 / static_cast<double>(n_[0]) +
+                                 var1 / static_cast<double>(n_[1]));
+  r.t = denom > 0 ? (mean_[0] - mean_[1]) / denom : 0.0;
+  return r;
+}
+
+WelchResult dudect(const std::function<void(int)>& fn,
+                   const DudectConfig& cfg) {
+  CGS_CHECK(cfg.keep_percentile > 0.0 && cfg.keep_percentile <= 1.0);
+  // Deterministic class schedule (LCG) — interleaving defeats drift.
+  std::uint64_t lcg = 0x853c49e6748fea9bull;
+  auto next_cls = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<int>(lcg >> 63);
+  };
+
+  for (std::size_t i = 0; i < cfg.warmup; ++i) fn(next_cls());
+
+  std::vector<std::pair<int, double>> meas;
+  meas.reserve(cfg.measurements);
+  for (std::size_t i = 0; i < cfg.measurements; ++i) {
+    const int cls = next_cls();
+    const std::uint64_t t0 = cycles_begin();
+    fn(cls);
+    const std::uint64_t t1 = cycles_end();
+    meas.emplace_back(cls, static_cast<double>(t1 - t0));
+  }
+
+  // Percentile cropping: discard the slowest tail (interrupts, SMIs).
+  std::vector<double> times;
+  times.reserve(meas.size());
+  for (const auto& [c, t] : meas) times.push_back(t);
+  std::sort(times.begin(), times.end());
+  const double cutoff =
+      times[static_cast<std::size_t>(static_cast<double>(times.size() - 1) *
+                                     cfg.keep_percentile)];
+
+  WelchTTest test;
+  for (const auto& [c, t] : meas)
+    if (t <= cutoff) test.push(c, t);
+  return test.result();
+}
+
+}  // namespace cgs::stats

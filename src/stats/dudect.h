@@ -1,0 +1,49 @@
+#pragma once
+// dudect-style timing-leakage detection (Reparaz, Balasch, Verbauwhede,
+// DATE 2017) — the tool the paper used to affirm constant-time behaviour.
+// Two input classes are measured interleaved; Welch's t-test on the timing
+// populations flags a data-dependent timing difference when |t| exceeds
+// ~4.5. Constant-time code stays near |t| ~ 1.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cgs::stats {
+
+struct WelchResult {
+  double t = 0.0;        // Welch t statistic
+  double mean0 = 0.0, mean1 = 0.0;
+  std::size_t n0 = 0, n1 = 0;
+  bool leaky(double threshold = 4.5) const {
+    return t > threshold || t < -threshold;
+  }
+  std::string describe() const;
+};
+
+/// Online Welch accumulator.
+class WelchTTest {
+ public:
+  void push(int cls, double value);
+  WelchResult result() const;
+
+ private:
+  double mean_[2] = {0, 0};
+  double m2_[2] = {0, 0};
+  std::size_t n_[2] = {0, 0};
+};
+
+struct DudectConfig {
+  std::size_t measurements = 20000;
+  std::size_t warmup = 500;
+  /// Drop measurements above this percentile (interrupt noise), 0 < p <= 1.
+  double keep_percentile = 0.95;
+};
+
+/// Measure `fn(cls)` with cls alternating pseudo-randomly between 0 and 1.
+/// The callable runs the operation under test with class-dependent input
+/// (e.g. class 0: fixed random bits, class 1: fresh random bits).
+WelchResult dudect(const std::function<void(int cls)>& fn,
+                   const DudectConfig& cfg = {});
+
+}  // namespace cgs::stats

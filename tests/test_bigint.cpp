@@ -1,0 +1,146 @@
+// BigInt arithmetic, checked against __int128 on random inputs, plus the
+// binary XGCD and the scaled-double extraction NTRUSolve depends on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "bigint/bigint.h"
+
+namespace cgs::bigint {
+namespace {
+
+using i128 = __int128;
+
+BigInt from_i128(i128 v) {
+  // Build via shifts so the test does not rely on the 64-bit constructor
+  // alone.
+  const bool neg = v < 0;
+  unsigned __int128 mag = neg ? static_cast<unsigned __int128>(-(v + 1)) + 1
+                              : static_cast<unsigned __int128>(v);
+  BigInt r(static_cast<std::int64_t>(mag & 0x7fffffffffffffffull));
+  BigInt hi(static_cast<std::int64_t>(mag >> 63));
+  r = r + hi.shifted_left(63);
+  return neg ? -r : r;
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (std::int64_t v : {0ll, 1ll, -1ll, 42ll, -12289ll,
+                         9223372036854775807ll, -9223372036854775807ll}) {
+    EXPECT_EQ(BigInt(v).to_int64(), v);
+  }
+}
+
+TEST(BigInt, SignBasics) {
+  EXPECT_TRUE(BigInt(0).is_zero());
+  EXPECT_FALSE(BigInt(0).is_negative());
+  EXPECT_TRUE(BigInt(-3).is_negative());
+  EXPECT_TRUE((-BigInt(-3) == BigInt(3)));
+  EXPECT_TRUE((-BigInt(0)).is_zero());
+  EXPECT_EQ(BigInt(-7).abs().to_int64(), 7);
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(0).bit_length(), 0);
+  EXPECT_EQ(BigInt(1).bit_length(), 1);
+  EXPECT_EQ(BigInt(255).bit_length(), 8);
+  EXPECT_EQ(BigInt(256).bit_length(), 9);
+  EXPECT_EQ(BigInt(1).shifted_left(1000).bit_length(), 1001);
+}
+
+class BigIntRandomArith : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntRandomArith, MatchesInt128) {
+  std::mt19937_64 gen(GetParam());
+  std::uniform_int_distribution<std::int64_t> d(-1000000000000ll,
+                                                1000000000000ll);
+  for (int it = 0; it < 200; ++it) {
+    const std::int64_t a = d(gen), b = d(gen);
+    const BigInt A(a), B(b);
+    // Compare exactly in BigInt space (products reach ~80 bits, beyond
+    // double's 53-bit mantissa, so no lossy conversions here).
+    EXPECT_EQ((A + B).compare(from_i128(static_cast<i128>(a) + b)), 0);
+    EXPECT_EQ((A - B).compare(from_i128(static_cast<i128>(a) - b)), 0);
+    EXPECT_EQ((A * B).compare(from_i128(static_cast<i128>(a) * b)), 0);
+    EXPECT_EQ(A.compare(B), (a < b ? -1 : (a == b ? 0 : 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRandomArith,
+                         ::testing::Values(1, 2, 3, 7, 1234));
+
+TEST(BigInt, ShiftRoundTrip) {
+  std::mt19937_64 gen(99);
+  for (int it = 0; it < 100; ++it) {
+    const auto v = static_cast<std::int64_t>(gen() >> 2);
+    const int s = static_cast<int>(gen() % 300);
+    const BigInt x(v);
+    EXPECT_EQ(x.shifted_left(s).shifted_right(s).compare(x), 0);
+  }
+}
+
+TEST(BigInt, ShiftIsMultiplication) {
+  const BigInt x(12345);
+  EXPECT_EQ((x.shifted_left(5)).compare(x * BigInt(32)), 0);
+}
+
+TEST(BigInt, LargeMultiplicationAssociates) {
+  // (a*b)*c == a*(b*c) at ~600 bits.
+  const BigInt a = BigInt(0x123456789abcdefll).shifted_left(150) + BigInt(981);
+  const BigInt b = BigInt(-0x0fedcba987654321ll).shifted_left(180) + BigInt(7);
+  const BigInt c = BigInt(0x1111111111111ll).shifted_left(200) - BigInt(13);
+  EXPECT_EQ(((a * b) * c).compare(a * (b * c)), 0);
+  EXPECT_EQ((a * b).compare(b * a), 0);
+}
+
+TEST(BigInt, ToDoubleScaledNormalized) {
+  const BigInt v = BigInt(0x123456789abcdefll).shifted_left(500);
+  int e = 0;
+  const double m = v.to_double_scaled(e);
+  EXPECT_GE(std::fabs(m), 0.5);
+  EXPECT_LT(std::fabs(m), 1.0);
+  EXPECT_EQ(e, v.bit_length());
+  EXPECT_NEAR(std::fabs(m) * std::pow(2.0, 20),
+              std::ldexp(0x123456789abcdefll, 20 - 57), 1e3);
+}
+
+class XgcdRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XgcdRandom, BezoutIdentityHolds) {
+  std::mt19937_64 gen(GetParam());
+  std::uniform_int_distribution<std::int64_t> d(-100000000, 100000000);
+  for (int it = 0; it < 100; ++it) {
+    std::int64_t a = d(gen), b = d(gen);
+    if (a == 0 && b == 0) continue;
+    BigInt u, v;
+    const BigInt g = BigInt::xgcd(BigInt(a), BigInt(b), u, v);
+    // g == gcd(|a|, |b|)
+    const std::int64_t ref = std::gcd(std::llabs(a), std::llabs(b));
+    EXPECT_EQ(g.to_int64(), ref) << a << "," << b;
+    // u a + v b == g
+    const BigInt lhs = u * BigInt(a) + v * BigInt(b);
+    EXPECT_EQ(lhs.compare(g), 0) << a << "," << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XgcdRandom, ::testing::Values(11, 22, 33));
+
+TEST(BigInt, XgcdHugeInputs) {
+  // Coprime pair at ~1000 bits: 2^1000 - 1 (odd) and 2^999 (power of two).
+  const BigInt a = BigInt(1).shifted_left(1000) - BigInt(1);
+  const BigInt b = BigInt(1).shifted_left(999);
+  BigInt u, v;
+  const BigInt g = BigInt::xgcd(a, b, u, v);
+  EXPECT_EQ(g.to_int64(), 1);
+  EXPECT_EQ((u * a + v * b).compare(BigInt(1)), 0);
+}
+
+TEST(BigInt, HexRendering) {
+  EXPECT_EQ(BigInt(0).to_string_hex(), "0");
+  EXPECT_EQ(BigInt(255).to_string_hex(), "0xff");
+  EXPECT_EQ(BigInt(-16).to_string_hex(), "-0x10");
+}
+
+}  // namespace
+}  // namespace cgs::bigint

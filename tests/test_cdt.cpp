@@ -1,0 +1,150 @@
+// CDT table construction and the three CDT samplers: mutual agreement on
+// identical inputs, distribution quality, and the constant-time compare.
+
+#include <gtest/gtest.h>
+
+#include "cdt/cdt_samplers.h"
+#include "cdt/cdt_table.h"
+#include "prng/splitmix.h"
+#include "stats/chisquare.h"
+
+namespace cgs::cdt {
+namespace {
+
+TEST(U128, OrderingAndCtCompare) {
+  const U128 a{1, 5}, b{1, 6}, c{2, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_FALSE(c < a);
+  EXPECT_EQ(U128::lt_ct(a, b), 1u);
+  EXPECT_EQ(U128::lt_ct(b, a), 0u);
+  EXPECT_EQ(U128::lt_ct(a, a), 0u);
+  EXPECT_EQ(U128::lt_ct(a, c), 1u);
+  // Borrow propagation edge: lo underflow.
+  const U128 x{5, 0}, y{4, ~std::uint64_t(0)};
+  EXPECT_EQ(U128::lt_ct(x, y), 0u);
+  EXPECT_EQ(U128::lt_ct(y, x), 1u);
+}
+
+TEST(CdtTable, CumulativeStrictlyIncreasing) {
+  const gauss::ProbMatrix m(gauss::GaussianParams::sigma_2(128));
+  const CdtTable t(m);
+  ASSERT_EQ(t.size(), m.rows());
+  for (std::size_t v = 1; v < t.size(); ++v) {
+    EXPECT_TRUE(t.cum(v - 1) < t.cum(v) || t.cum(v - 1) == t.cum(v));
+  }
+  // Head rows carry real mass.
+  EXPECT_TRUE(t.cum(0) < t.cum(5));
+}
+
+TEST(CdtTable, BytesMatchWords) {
+  const gauss::ProbMatrix m(gauss::GaussianParams::sigma_2(128));
+  const CdtTable t(m);
+  for (std::size_t v = 0; v < t.size(); ++v) {
+    std::uint64_t hi = 0, lo = 0;
+    for (int k = 0; k < 8; ++k) {
+      hi = (hi << 8) | t.byte(v, k);
+      lo = (lo << 8) | t.byte(v, 8 + k);
+    }
+    EXPECT_EQ(hi, t.cum(v).hi);
+    EXPECT_EQ(lo, t.cum(v).lo);
+  }
+}
+
+TEST(CdtTable, FirstRowSkipTableIsSound) {
+  const gauss::ProbMatrix m(gauss::GaussianParams::sigma_6_15543(128));
+  const CdtTable t(m);
+  for (int b = 0; b < 256; ++b) {
+    const std::size_t first = t.first_row_for_byte(static_cast<std::uint8_t>(b));
+    // All rows before `first` have first byte < b, so r (first byte b) can
+    // never be < cum(v) there... verify directly.
+    for (std::size_t v = 0; v < first; ++v)
+      EXPECT_LT(t.byte(v, 0), b);
+  }
+}
+
+TEST(CdtSamplers, AllThreeAgreeOnIdenticalRandomness) {
+  const gauss::ProbMatrix m(gauss::GaussianParams::sigma_2(128));
+  const CdtTable t(m);
+  CdtBinarySearchSampler bin(t);
+  CdtByteScanSampler byte(t);
+  CdtLinearCtSampler lin(t);
+  // Same seed three times: identical draw sequences -> identical samples.
+  prng::SplitMix64Source r1(5), r2(5), r3(5);
+  for (int it = 0; it < 5000; ++it) {
+    const auto a = bin.sample_magnitude(r1);
+    const auto b = byte.sample_magnitude(r2);
+    const auto c = lin.sample_magnitude(r3);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+  }
+}
+
+TEST(CdtSamplers, AgreeWithReferenceLookup) {
+  const gauss::ProbMatrix m(gauss::GaussianParams::sigma_2(128));
+  const CdtTable t(m);
+  prng::SplitMix64Source rng(9);
+  for (int it = 0; it < 3000; ++it) {
+    const U128 r = detail::draw_u128(rng);
+    const std::size_t ref = t.lookup_linear_reference(r);
+    // Reconstruct each sampler's core on this exact draw.
+    std::size_t lo = 0, hi = t.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (r < t.cum(mid)) hi = mid; else lo = mid + 1;
+    }
+    EXPECT_EQ(lo, ref);
+    std::uint64_t ge = 0;
+    for (std::size_t v = 0; v < t.size(); ++v)
+      ge += 1u - U128::lt_ct(r, t.cum(v));
+    EXPECT_EQ(static_cast<std::size_t>(ge), ref);
+  }
+}
+
+class CdtDistribution : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdtDistribution, ChiSquareAgainstMatrix) {
+  const gauss::ProbMatrix m(gauss::GaussianParams::sigma_2(128));
+  const CdtTable t(m);
+  CdtBinarySearchSampler bin(t);
+  CdtByteScanSampler byte(t);
+  CdtLinearCtSampler lin(t);
+  IntSampler* samplers[] = {&bin, &byte, &lin};
+  IntSampler& s = *samplers[GetParam()];
+
+  prng::SplitMix64Source rng(100 + GetParam());
+  stats::Histogram h;
+  for (int it = 0; it < 200000; ++it) h.add(s.sample(rng));
+  const auto res = stats::chi_square_signed(h, m);
+  EXPECT_GT(res.p_value, 1e-6) << s.name() << " chi2=" << res.statistic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Samplers, CdtDistribution, ::testing::Values(0, 1, 2));
+
+TEST(CdtSamplers, NamesAndCtFlags) {
+  const gauss::ProbMatrix m(gauss::GaussianParams::sigma_2(64));
+  const CdtTable t(m);
+  EXPECT_FALSE(CdtBinarySearchSampler(t).constant_time());
+  EXPECT_FALSE(CdtByteScanSampler(t).constant_time());
+  EXPECT_TRUE(CdtLinearCtSampler(t).constant_time());
+  EXPECT_STREQ(CdtByteScanSampler(t).name(), "cdt-byte-scan");
+}
+
+TEST(CdtSamplers, MatchKnuthYaoDistribution) {
+  // CDT and Knuth-Yao consume the same probability matrix, so their
+  // distributions are identical by construction; cross-check empirically.
+  const gauss::ProbMatrix m(gauss::GaussianParams::sigma_2(128));
+  const CdtTable t(m);
+  CdtLinearCtSampler lin(t);
+  prng::SplitMix64Source rng(31);
+  double var = 0;
+  const int k = 50000;
+  for (int i = 0; i < k; ++i) {
+    const double v = lin.sample(rng);
+    var += v * v;
+  }
+  EXPECT_NEAR(var / k, 4.0, 0.15);
+}
+
+}  // namespace
+}  // namespace cgs::cdt

@@ -1,0 +1,162 @@
+// BigFix fixed-point arithmetic and the high-precision exp/sqrt/pi kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/bigfix.h"
+#include "fp/exp.h"
+
+namespace cgs::fp {
+namespace {
+
+constexpr double kTol = 1e-14;
+
+TEST(BigFix, FromUintRoundTrip) {
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 539ull, 1234567ull}) {
+    EXPECT_DOUBLE_EQ(BigFix::from_uint(v).to_double(), static_cast<double>(v));
+    EXPECT_EQ(BigFix::from_uint(v).int_part(), v);
+  }
+}
+
+TEST(BigFix, FromDoubleApproximates) {
+  for (double v : {0.0, 0.5, 0.25, 1.75, 3.141592653589793, 123.456}) {
+    EXPECT_NEAR(BigFix::from_double(v).to_double(), v, 1e-15 * (1 + v));
+  }
+}
+
+TEST(BigFix, AddSubInverse) {
+  const BigFix a = BigFix::from_double(1.625);
+  const BigFix b = BigFix::from_double(0.375);
+  EXPECT_DOUBLE_EQ(a.add(b).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(a.add(b).sub(b).to_double(), a.to_double());
+}
+
+TEST(BigFix, SubNegativeThrows) {
+  const BigFix a = BigFix::from_uint(1);
+  const BigFix b = BigFix::from_uint(2);
+  EXPECT_THROW((void)a.sub(b), Error);
+}
+
+TEST(BigFix, MulMatchesDoubles) {
+  const double xs[] = {0.3, 1.7, 2.25, 0.001, 14.0};
+  for (double x : xs)
+    for (double y : xs)
+      EXPECT_NEAR(BigFix::from_double(x).mul(BigFix::from_double(y)).to_double(),
+                  x * y, kTol * (1 + x * y));
+}
+
+TEST(BigFix, MulSmallAndDivSmallInverse) {
+  const BigFix a = BigFix::from_double(0.7182818);
+  for (std::uint64_t k : {2ull, 3ull, 7ull, 1000ull, 615543ull}) {
+    const BigFix prod = a.mul_small(k);
+    EXPECT_NEAR(prod.to_double(), a.to_double() * static_cast<double>(k),
+                1e-9);
+    // div after mul is exact (no truncation loss).
+    EXPECT_EQ(prod.div_small(k).compare(a), 0);
+  }
+}
+
+TEST(BigFix, HalfIsExactShift) {
+  const BigFix a = BigFix::from_uint(13);
+  EXPECT_DOUBLE_EQ(a.half().to_double(), 6.5);
+  EXPECT_DOUBLE_EQ(a.half().half().to_double(), 3.25);
+}
+
+TEST(BigFix, CompareTotalOrder) {
+  const BigFix a = BigFix::from_double(0.5);
+  const BigFix b = BigFix::from_double(0.500000001);
+  EXPECT_LT(a.compare(b), 0);
+  EXPECT_GT(b.compare(a), 0);
+  EXPECT_EQ(a.compare(a), 0);
+  EXPECT_TRUE(a < b);
+}
+
+TEST(BigFix, FracBitReadsBinaryExpansion) {
+  // 0.8125 = 0.1101b
+  const BigFix a = BigFix::from_double(0.8125);
+  EXPECT_EQ(a.frac_bit(1), 1);
+  EXPECT_EQ(a.frac_bit(2), 1);
+  EXPECT_EQ(a.frac_bit(3), 0);
+  EXPECT_EQ(a.frac_bit(4), 1);
+  EXPECT_EQ(a.frac_bit(5), 0);
+}
+
+TEST(BigFix, TruncatedToKeepsTopBits) {
+  const BigFix a = BigFix::from_double(0.8125);
+  const BigFix t = a.truncated_to(2);
+  EXPECT_DOUBLE_EQ(t.to_double(), 0.75);
+  EXPECT_TRUE(t <= a);
+  // Truncating to the full width is the identity.
+  EXPECT_EQ(a.truncated_to(a.frac_bits()).compare(a), 0);
+}
+
+TEST(BigFix, ReciprocalHighPrecision) {
+  for (double v : {1.5, 2.0, 539.33, 3.0, 12289.0}) {
+    const BigFix r = BigFix::from_double(v).reciprocal();
+    EXPECT_NEAR(r.to_double() * v, 1.0, 1e-15);
+    // Verify well beyond double precision: x * (1/x) == 1 +- 2^-300.
+    const BigFix prod = BigFix::from_double(v).mul(r);
+    const BigFix one = BigFix::from_uint(1);
+    const BigFix err = one < prod ? prod.sub(one) : one.sub(prod);
+    EXPECT_EQ(err.truncated_to(290).compare(BigFix(err.frac_limbs())), 0)
+        << "reciprocal error above 2^-290 for v=" << v;
+  }
+}
+
+TEST(BigFix, SqrtMatchesAndIsDeep) {
+  for (double v : {2.0, 5.0, 6.0, 77209.0}) {
+    const BigFix s = BigFix::from_uint(static_cast<std::uint64_t>(v)).sqrt();
+    EXPECT_NEAR(s.to_double(), std::sqrt(v), 1e-12);
+    const BigFix sq = s.mul(s);
+    const BigFix x = BigFix::from_uint(static_cast<std::uint64_t>(v));
+    const BigFix err = x < sq ? sq.sub(x) : x.sub(sq);
+    EXPECT_EQ(err.truncated_to(280).compare(BigFix(err.frac_limbs())), 0);
+  }
+}
+
+TEST(BigFix, PiMatchesDouble) {
+  EXPECT_NEAR(BigFix::pi().to_double(), 3.14159265358979323846, 1e-15);
+}
+
+TEST(Exp, MatchesStdExpAtDoublePrecision) {
+  for (double x : {0.0, 0.1, 0.5, 1.0, 2.0, 10.0, 33.3, 84.5}) {
+    const BigFix e = exp_neg(BigFix::from_double(x));
+    EXPECT_NEAR(e.to_double(), std::exp(-x), 1e-13 * std::exp(-x) + 1e-300)
+        << "x=" << x;
+  }
+}
+
+TEST(Exp, FunctionalEquationHalving) {
+  // exp(-x)^2 == exp(-2x) to ~2^-280.
+  const BigFix x = BigFix::from_double(1.3);
+  const BigFix e1 = exp_neg(x);
+  const BigFix e2 = exp_neg(x.add(x));
+  const BigFix sq = e1.mul(e1);
+  const BigFix err = e2 < sq ? sq.sub(e2) : e2.sub(sq);
+  EXPECT_EQ(err.truncated_to(280).compare(BigFix(err.frac_limbs())), 0);
+}
+
+TEST(Exp, GaussianWeightRationalSigma) {
+  // sigma^2 = 4 (sigma = 2): weight(v) = exp(-v^2/8).
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 5ull, 13ull}) {
+    const BigFix w = gaussian_weight(v, 4, 1);
+    EXPECT_NEAR(w.to_double(), std::exp(-static_cast<double>(v * v) / 8.0),
+                1e-13);
+  }
+  // Irrational sigma via sigma^2 = 5.
+  const BigFix w = gaussian_weight(3, 5, 1);
+  EXPECT_NEAR(w.to_double(), std::exp(-9.0 / 10.0), 1e-13);
+}
+
+TEST(Exp, MonotoneDecreasing) {
+  BigFix prev = exp_neg(BigFix::from_uint(0));
+  for (int v = 1; v <= 20; ++v) {
+    const BigFix cur = exp_neg(BigFix::from_uint(static_cast<std::uint64_t>(v)));
+    EXPECT_LT(cur.compare(prev), 0) << "v=" << v;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace cgs::fp

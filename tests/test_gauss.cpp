@@ -1,0 +1,152 @@
+// Probability-matrix construction: exactness, truncation accounting, both
+// normalizations, DDG feasibility, and the parameter sets of the paper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gauss/probmatrix.h"
+#include "stats/divergence.h"
+
+namespace cgs::gauss {
+namespace {
+
+TEST(Params, PaperParameterSets) {
+  EXPECT_DOUBLE_EQ(GaussianParams::sigma_2().sigma(), 2.0);
+  EXPECT_NEAR(GaussianParams::sigma_6_15543().sigma(), 6.15543, 1e-12);
+  EXPECT_DOUBLE_EQ(GaussianParams::sigma_215().sigma(), 215.0);
+  EXPECT_DOUBLE_EQ(GaussianParams::sigma_sqrt5().sigma_sq(), 5.0);
+  EXPECT_EQ(GaussianParams::sigma_2().max_value(), 26u);   // tau=13
+  EXPECT_EQ(GaussianParams::sigma_2().support_size(), 27u);
+  EXPECT_EQ(GaussianParams::sigma_215().max_value(), 2795u);
+}
+
+TEST(Params, DescribeMentionsEverything) {
+  const std::string d = GaussianParams::sigma_2().describe();
+  EXPECT_NE(d.find("sigma=2"), std::string::npos);
+  EXPECT_NE(d.find("tau=13"), std::string::npos);
+  EXPECT_NE(d.find("n=128"), std::string::npos);
+}
+
+class MatrixBothNorms : public ::testing::TestWithParam<Normalization> {};
+
+TEST_P(MatrixBothNorms, MassAtMostOneAndDeficitTiny) {
+  auto p = GaussianParams::sigma_2(64);
+  p.normalization = GetParam();
+  const ProbMatrix m(p);
+  EXPECT_EQ(m.rows(), 27u);
+  // Total mass <= 1 and the DDG stays incomplete (deficit > 0).
+  EXPECT_GT(m.deficit_double(), 0.0);
+  // Deficit is tiny: bounded by support * 2^-n plus the normalizer slack.
+  EXPECT_LT(m.deficit_double(), 1e-8);
+}
+
+TEST_P(MatrixBothNorms, BitsMatchStoredProbabilities) {
+  auto p = GaussianParams::sigma_1(32);
+  p.normalization = GetParam();
+  const ProbMatrix m(p);
+  for (std::size_t v = 0; v < m.rows(); ++v) {
+    double from_bits = 0.0;
+    for (int i = 0; i < 32; ++i)
+      if (m.bit(v, i)) from_bits += std::pow(0.5, i + 1);
+    EXPECT_NEAR(from_bits, m.probability(v).to_double(), 1e-15);
+  }
+}
+
+TEST_P(MatrixBothNorms, ColumnWeightsConsistent) {
+  auto p = GaussianParams::sigma_2(48);
+  p.normalization = GetParam();
+  const ProbMatrix m(p);
+  for (int i = 0; i < 48; ++i) {
+    int h = 0;
+    for (std::size_t v = 0; v < m.rows(); ++v) h += m.bit(v, i);
+    EXPECT_EQ(h, m.column_weight(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Norms, MatrixBothNorms,
+                         ::testing::Values(Normalization::kDiscrete,
+                                           Normalization::kContinuous));
+
+TEST(Matrix, DiscreteNormalizerNeverClips) {
+  for (int prec : {16, 32, 64, 128}) {
+    const ProbMatrix m(GaussianParams::sigma_2(prec));
+    EXPECT_EQ(m.clipped_bits(), 0u) << "precision " << prec;
+  }
+}
+
+TEST(Matrix, ContinuousNormalizerClipsOnlySmallSigma) {
+  auto p1 = GaussianParams::sigma_1(128);
+  p1.normalization = Normalization::kContinuous;
+  EXPECT_GT(ProbMatrix(p1).clipped_bits(), 0u);
+
+  auto p6 = GaussianParams::sigma_6_15543(128);
+  p6.normalization = Normalization::kContinuous;
+  EXPECT_EQ(ProbMatrix(p6).clipped_bits(), 0u);
+}
+
+TEST(Matrix, ProbabilitiesMatchClosedForm) {
+  // Discrete normalization at high precision should match a directly
+  // computed folded pmf to double accuracy.
+  const ProbMatrix m(GaussianParams::sigma_2(128));
+  const double s2 = 2.0;
+  double z = 1.0;
+  for (int v = 1; v < 200; ++v)
+    z += 2.0 * std::exp(-v * v / (2.0 * s2 * s2));
+  for (std::size_t v = 0; v < m.rows(); ++v) {
+    const double expect =
+        (v == 0 ? 1.0 : 2.0) * std::exp(-static_cast<double>(v * v) / (2.0 * s2 * s2)) / z;
+    EXPECT_NEAR(m.probability(v).to_double(), expect, 1e-12) << "v=" << v;
+  }
+}
+
+TEST(Matrix, RowZeroLargestThenDecreasing) {
+  const ProbMatrix m(GaussianParams::sigma_6_15543(96));
+  // Folded pmf: p(1) = 2 D(1) > D(0) can hold for large sigma; from v>=1 the
+  // rows must strictly decrease.
+  for (std::size_t v = 2; v < m.rows(); ++v)
+    EXPECT_TRUE(m.probability(v) <= m.probability(v - 1)) << "v=" << v;
+}
+
+TEST(Matrix, StatisticalDistanceShrinksWithPrecision) {
+  const double sd16 = ProbMatrix(GaussianParams::sigma_2(16))
+                          .truncation_statistical_distance();
+  const double sd32 = ProbMatrix(GaussianParams::sigma_2(32))
+                          .truncation_statistical_distance();
+  const double sd64 = ProbMatrix(GaussianParams::sigma_2(64))
+                          .truncation_statistical_distance();
+  EXPECT_GT(sd16, sd32);
+  EXPECT_GT(sd32, sd64);
+  EXPECT_LT(sd64, 1e-15);
+}
+
+TEST(Divergence, MeasuresAgreeOnQuality) {
+  const ProbMatrix m(GaussianParams::sigma_2(128));
+  EXPECT_LT(stats::statistical_distance(m), 1e-30);
+  const double renyi = stats::renyi_divergence(m, 2.0);
+  EXPECT_GE(renyi, 1.0 - 1e-9);
+  EXPECT_LT(renyi, 1.0 + 1e-9);
+  // max-log is dominated by the deepest tail row (p ~ 2^-122 truncated to
+  // 128 bits keeps only ~6 significant bits): ~0.01, not ~2^-128.
+  EXPECT_LT(stats::max_log_distance(m), 0.05);
+  EXPECT_GT(stats::max_log_distance(m), 0.0);
+}
+
+TEST(Divergence, RequiredPrecisionScalesWithLambda) {
+  const auto p = GaussianParams::sigma_2();
+  const int n128 = stats::required_precision_bits(p, 128);
+  const int n64 = stats::required_precision_bits(p, 64);
+  EXPECT_GT(n128, n64);
+  EXPECT_GE(n128, 128);
+  EXPECT_LE(n128, 160);
+}
+
+TEST(Matrix, ToStringRendersFig1Style) {
+  const ProbMatrix m(GaussianParams::sigma_2(8));
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("P0"), std::string::npos);
+  EXPECT_NE(s.find("h "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgs::gauss

@@ -1,0 +1,148 @@
+// NTRUSolve: the exact NTRU equation f G - g F = q across ring sizes,
+// Babai reduction behaviour, and keygen integration.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "falcon/keygen.h"
+#include "falcon/ntrusolve.h"
+#include "prng/chacha20.h"
+
+namespace cgs::falcon {
+namespace {
+
+using bigint::BigInt;
+
+ZPoly random_small(std::size_t n, std::mt19937_64& gen, int bound) {
+  std::uniform_int_distribution<int> d(-bound, bound);
+  ZPoly p(n);
+  for (auto& c : p) c = BigInt(d(gen));
+  return p;
+}
+
+void expect_ntru_equation(const ZPoly& f, const ZPoly& g, const ZPoly& F,
+                          const ZPoly& G, std::int64_t q) {
+  const ZPoly lhs = zp_sub(zp_mul(f, G), zp_mul(g, F));
+  EXPECT_EQ(lhs[0].compare(BigInt(q)), 0);
+  for (std::size_t i = 1; i < lhs.size(); ++i)
+    EXPECT_TRUE(lhs[i].is_zero()) << i;
+}
+
+TEST(ZPoly, MulNegacyclicWrap) {
+  // (x^3) * (x) = x^4 = -1 in Z[x]/(x^4+1).
+  ZPoly a(4, BigInt(0)), b(4, BigInt(0));
+  a[3] = BigInt(1);
+  b[1] = BigInt(1);
+  const ZPoly c = zp_mul(a, b);
+  EXPECT_EQ(c[0].to_int64(), -1);
+  for (int i = 1; i < 4; ++i) EXPECT_TRUE(c[static_cast<std::size_t>(i)].is_zero());
+}
+
+TEST(ZPoly, FieldNormIsMultiplicative) {
+  std::mt19937_64 gen(3);
+  const ZPoly f = random_small(8, gen, 20);
+  const ZPoly g = random_small(8, gen, 20);
+  const ZPoly nf = zp_field_norm(f);
+  const ZPoly ng = zp_field_norm(g);
+  const ZPoly nfg = zp_field_norm(zp_mul(f, g));
+  const ZPoly prod = zp_mul(nf, ng);
+  for (std::size_t i = 0; i < nfg.size(); ++i)
+    EXPECT_EQ(nfg[i].compare(prod[i]), 0) << i;
+}
+
+TEST(ZPoly, LiftConjugateIdentity) {
+  // f(x) f(-x) == N(f)(x^2).
+  std::mt19937_64 gen(4);
+  const ZPoly f = random_small(16, gen, 50);
+  const ZPoly lhs = zp_mul(f, zp_conjugate(f));
+  const ZPoly rhs = zp_lift(zp_field_norm(f));
+  for (std::size_t i = 0; i < lhs.size(); ++i)
+    EXPECT_EQ(lhs[i].compare(rhs[i]), 0) << i;
+}
+
+class NtruSolveSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NtruSolveSizes, SolvesAndVerifies) {
+  std::mt19937_64 gen(GetParam() * 7 + 1);
+  int solved = 0;
+  for (int attempt = 0; attempt < 12 && solved < 3; ++attempt) {
+    const ZPoly f = random_small(GetParam(), gen, 6);
+    const ZPoly g = random_small(GetParam(), gen, 6);
+    const auto s = ntru_solve(f, g, 12289);
+    if (!s) continue;  // gcd != 1; fine
+    expect_ntru_equation(f, g, s->f_cap, s->g_cap, 12289);
+    ++solved;
+  }
+  EXPECT_GE(solved, 1) << "no solvable (f,g) found in 12 draws";
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, NtruSolveSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+TEST(NtruSolve, SolutionsAreShort) {
+  // After Babai reduction the returned F,G should be within a small factor
+  // of f,g's magnitude — not resultant-sized.
+  std::mt19937_64 gen(11);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const ZPoly f = random_small(32, gen, 5);
+    const ZPoly g = random_small(32, gen, 5);
+    const auto s = ntru_solve(f, g, 12289);
+    if (!s) continue;
+    EXPECT_LT(zp_max_bits(s->f_cap), 40) << "F not reduced";
+    EXPECT_LT(zp_max_bits(s->g_cap), 40) << "G not reduced";
+    return;
+  }
+  GTEST_SKIP() << "no solvable pair drawn";
+}
+
+TEST(NtruSolve, ReduceAgainstShrinksInflatedSolution) {
+  std::mt19937_64 gen(13);
+  const ZPoly f = random_small(16, gen, 5);
+  const ZPoly g = random_small(16, gen, 5);
+  const auto s = ntru_solve(f, g, 12289);
+  if (!s) GTEST_SKIP();
+  // Inflate (F,G) by adding a huge multiple of (f,g): reduction must undo it.
+  ZPoly F = s->f_cap, G = s->g_cap;
+  ZPoly k(16, BigInt(0));
+  k[3] = BigInt(987654321).shifted_left(40);
+  F = zp_add(F, zp_mul(k, f));
+  G = zp_add(G, zp_mul(k, g));
+  expect_ntru_equation(f, g, F, G, 12289);  // still a solution
+  reduce_against(f, g, F, G);
+  expect_ntru_equation(f, g, F, G, 12289);  // reduction preserves it
+  EXPECT_LT(zp_max_bits(F), 40);
+}
+
+TEST(NtruSolve, GcdObstructionReturnsNullopt) {
+  // f = g = 2 (constant): gcd of resultants is 2 -> no solution.
+  ZPoly f = {BigInt(2)}, g = {BigInt(2)};
+  EXPECT_FALSE(ntru_solve(f, g, 12289).has_value());
+}
+
+TEST(Keygen, ProducesValidKeysAndEquation) {
+  prng::ChaCha20Source rng(2024);
+  const auto params = FalconParams::for_degree(64);
+  KeygenStats stats;
+  const KeyPair kp = keygen(params, rng, &stats);
+  EXPECT_EQ(kp.f.size(), 64u);
+  expect_ntru_equation(to_zpoly(kp.f), to_zpoly(kp.g), to_zpoly(kp.f_cap),
+                       to_zpoly(kp.g_cap), kQ);
+  // h f == g mod q.
+  const NttContext ntt(64);
+  const auto hf = ntt.multiply(kp.h, to_mod_q_poly(kp.f));
+  const auto gq = to_mod_q_poly(kp.g);
+  EXPECT_EQ(hf, gq);
+}
+
+TEST(Keygen, DeterministicGivenSeed) {
+  const auto params = FalconParams::for_degree(16);
+  prng::ChaCha20Source r1(5), r2(5);
+  const KeyPair a = keygen(params, r1);
+  const KeyPair b = keygen(params, r2);
+  EXPECT_EQ(a.f, b.f);
+  EXPECT_EQ(a.h, b.h);
+}
+
+}  // namespace
+}  // namespace cgs::falcon

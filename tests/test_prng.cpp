@@ -1,0 +1,120 @@
+// PRNG correctness: ChaCha20 against the RFC 8439 vector, SHAKE against the
+// NIST empty-message digests, plus stream/bit-buffer semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "prng/chacha20.h"
+#include "prng/keccak.h"
+#include "prng/splitmix.h"
+
+namespace cgs::prng {
+namespace {
+
+std::string hex(std::span<const std::uint8_t> b) {
+  static const char* d = "0123456789abcdef";
+  std::string s;
+  for (std::uint8_t x : b) {
+    s += d[x >> 4];
+    s += d[x & 15];
+  }
+  return s;
+}
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  std::array<std::uint8_t, 32> key{};
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, 12> nonce = {0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  std::array<std::uint8_t, 64> block{};
+  chacha20_block(key, nonce, 1, block);
+  EXPECT_EQ(hex(block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(Shake, Shake128EmptyMessage) {
+  std::vector<std::uint8_t> out =
+      Shake::hash(Shake::Variant::kShake128, {}, 32);
+  EXPECT_EQ(hex(out),
+            "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26");
+}
+
+TEST(Shake, Shake256EmptyMessage) {
+  std::vector<std::uint8_t> out =
+      Shake::hash(Shake::Variant::kShake256, {}, 32);
+  EXPECT_EQ(hex(out),
+            "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f");
+}
+
+TEST(Shake, IncrementalAbsorbMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Shake a(Shake::Variant::kShake256);
+  a.absorb(msg);
+  std::vector<std::uint8_t> out1(64);
+  a.squeeze(out1);
+
+  Shake b(Shake::Variant::kShake256);
+  b.absorb(msg.substr(0, 10));
+  b.absorb(msg.substr(10));
+  std::vector<std::uint8_t> out2(64);
+  b.squeeze(out2);
+  EXPECT_EQ(out1, out2);
+}
+
+TEST(Shake, SqueezeInPiecesMatches) {
+  Shake a(Shake::Variant::kShake128);
+  a.absorb("seed");
+  std::vector<std::uint8_t> big(300);
+  a.squeeze(big);
+
+  Shake b(Shake::Variant::kShake128);
+  b.absorb("seed");
+  std::vector<std::uint8_t> parts(300);
+  for (std::size_t off = 0; off < 300; off += 37) {
+    const std::size_t len = std::min<std::size_t>(37, 300 - off);
+    b.squeeze(std::span<std::uint8_t>(parts.data() + off, len));
+  }
+  EXPECT_EQ(big, parts);
+}
+
+TEST(Sources, DeterministicPerSeed) {
+  ChaCha20Source a(7), b(7), c(8);
+  ShakeSource d(7), e(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_word(), b.next_word());
+    EXPECT_EQ(d.next_word(), e.next_word());
+  }
+  bool differs = false;
+  ChaCha20Source a2(7);
+  for (int i = 0; i < 10; ++i) differs |= a2.next_word() != c.next_word();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Sources, BitBufferIsLsbFirst) {
+  DeterministicBitSource src({1, 0, 1, 1, 0, 0, 0, 1});
+  // next_word packs bits LSB-first; next_bit consumes in the same order.
+  EXPECT_EQ(src.next_bit(), 1);
+  EXPECT_EQ(src.next_bit(), 0);
+  EXPECT_EQ(src.next_bit(), 1);
+  EXPECT_EQ(src.next_bit(), 1);
+  EXPECT_EQ(src.next_bit(), 0);
+}
+
+TEST(Sources, SplitMixUniformish) {
+  SplitMix64Source s(1);
+  int ones = 0;
+  for (int i = 0; i < 1000; ++i) ones += __builtin_popcountll(s.next_word());
+  // 64000 bits, expect ~32000 ones within 5 sigma (~630).
+  EXPECT_NEAR(ones, 32000, 700);
+}
+
+TEST(Sources, ChaChaKeystreamBalance) {
+  ChaCha20Source s(99);
+  int ones = 0;
+  for (int i = 0; i < 1000; ++i) ones += __builtin_popcountll(s.next_word());
+  EXPECT_NEAR(ones, 32000, 700);
+}
+
+}  // namespace
+}  // namespace cgs::prng

@@ -1,0 +1,157 @@
+// Statistics toolkit: chi-square machinery, Welch t-test / dudect, and the
+// convolution sampler for large sigma.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "cdt/cdt_samplers.h"
+#include "conv/convolution.h"
+#include "prng/splitmix.h"
+#include "stats/chisquare.h"
+#include "stats/dudect.h"
+
+namespace cgs::stats {
+namespace {
+
+TEST(GammaQ, KnownValues) {
+  // Q(1/2, x) = erfc(sqrt(x)); spot-check a few points.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(gamma_q(0.5, x), std::erfc(std::sqrt(x)), 1e-10) << x;
+  }
+  // Chi-square with 2 dof: Q(1, x/2) = exp(-x/2).
+  for (double x : {1.0, 3.0, 10.0})
+    EXPECT_NEAR(gamma_q(1.0, x / 2), std::exp(-x / 2), 1e-10);
+  EXPECT_NEAR(gamma_q(3.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(ChiSquare, PerfectFitHasHighP) {
+  std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  std::vector<std::uint64_t> obs = {2500, 2500, 2500, 2500};
+  const auto r = chi_square(obs, probs);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_GT(r.p_value, 0.999);
+}
+
+TEST(ChiSquare, GrossMismatchHasLowP) {
+  std::vector<double> probs = {0.25, 0.25, 0.25, 0.25};
+  std::vector<std::uint64_t> obs = {4000, 1000, 2500, 2500};
+  EXPECT_LT(chi_square(obs, probs).p_value, 1e-10);
+}
+
+TEST(ChiSquare, PoolsSparseTails) {
+  // Tail cells with expected < 5 are pooled instead of blowing up.
+  std::vector<double> probs = {0.9, 0.05, 0.03, 0.015, 0.004, 0.0009, 0.0001};
+  std::vector<std::uint64_t> obs = {903, 47, 31, 14, 4, 1, 0};
+  const auto r = chi_square(obs, probs);
+  EXPECT_GT(r.p_value, 0.01);
+  EXPECT_LT(r.dof, 7);
+}
+
+TEST(ChiSquare, UniformRandomPassesItself) {
+  std::mt19937_64 gen(3);
+  std::vector<std::uint64_t> obs(16, 0);
+  for (int i = 0; i < 160000; ++i) ++obs[gen() % 16];
+  std::vector<double> probs(16, 1.0 / 16);
+  EXPECT_GT(chi_square(obs, probs).p_value, 1e-5);
+}
+
+TEST(Histogram, CountsAndRender) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(0);
+  for (int i = 0; i < 5; ++i) h.add(-2);
+  h.add(7);
+  EXPECT_EQ(h.total(), 16u);
+  EXPECT_EQ(h.count(0), 10u);
+  EXPECT_EQ(h.count(-2), 5u);
+  EXPECT_EQ(h.count(3), 0u);
+  const std::string r = h.render(20);
+  EXPECT_NE(r.find("####"), std::string::npos);
+}
+
+TEST(Welch, IdenticalPopulationsLowT) {
+  std::mt19937_64 gen(4);
+  std::normal_distribution<double> d(100.0, 5.0);
+  WelchTTest t;
+  for (int i = 0; i < 20000; ++i) t.push(static_cast<int>(gen() & 1), d(gen));
+  EXPECT_LT(std::fabs(t.result().t), 4.5);
+  EXPECT_FALSE(t.result().leaky());
+}
+
+TEST(Welch, ShiftedPopulationsHighT) {
+  std::mt19937_64 gen(5);
+  std::normal_distribution<double> d0(100.0, 5.0), d1(101.0, 5.0);
+  WelchTTest t;
+  for (int i = 0; i < 20000; ++i) {
+    const int cls = static_cast<int>(gen() & 1);
+    t.push(cls, cls ? d1(gen) : d0(gen));
+  }
+  EXPECT_TRUE(t.result().leaky());
+  EXPECT_NE(t.result().describe().find("LEAKY"), std::string::npos);
+}
+
+TEST(Dudect, FlagsArtificialTimingLeak) {
+  // Class-dependent busy loop: a blatant leak the harness must flag.
+  volatile int sink = 0;
+  const auto r = dudect(
+      [&](int cls) {
+        const int iters = 60 + 80 * cls;
+        for (int i = 0; i < iters; ++i) sink = sink + i;
+      },
+      {.measurements = 6000, .warmup = 200, .keep_percentile = 0.9});
+  EXPECT_TRUE(r.leaky()) << r.describe();
+}
+
+TEST(Dudect, ClassIndependentWorkLooksFlat) {
+  volatile int sink = 0;
+  const auto r = dudect(
+      [&](int) {
+        for (int i = 0; i < 100; ++i) sink = sink + i;
+      },
+      {.measurements = 6000, .warmup = 200, .keep_percentile = 0.9});
+  // Generous threshold: CI machines are noisy, but identical work should
+  // not produce a strong signal.
+  EXPECT_LT(std::fabs(r.t), 15.0) << r.describe();
+}
+
+TEST(Convolution, SigmaFormulaAndStride) {
+  EXPECT_NEAR(conv::ConvolutionSampler::combined_sigma(6.15543, 35),
+              6.15543 * std::sqrt(1226.0), 1e-9);
+  const int k = conv::ConvolutionSampler::stride_for(6.15543, 215.0);
+  EXPECT_GE(conv::ConvolutionSampler::combined_sigma(6.15543, k), 215.0);
+  EXPECT_LT(conv::ConvolutionSampler::combined_sigma(6.15543, k - 1), 215.0);
+}
+
+TEST(Convolution, EmpiricalVarianceMatches) {
+  const gauss::ProbMatrix m(gauss::GaussianParams::sigma_6_15543(128));
+  const cdt::CdtTable t(m);
+  cdt::CdtBinarySearchSampler base(t);
+  const int k = conv::ConvolutionSampler::stride_for(6.15543, 215.0);
+  conv::ConvolutionSampler conv_sampler(base, k);
+  prng::SplitMix64Source rng(6);
+  double sum_sq = 0;
+  const int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = conv_sampler.sample(rng);
+    sum_sq += v * v;
+  }
+  const double sigma_hat = std::sqrt(sum_sq / kSamples);
+  const double sigma_target =
+      conv::ConvolutionSampler::combined_sigma(6.15543, k);
+  EXPECT_NEAR(sigma_hat / sigma_target, 1.0, 0.02);
+}
+
+TEST(Convolution, MagnitudeIsAbs) {
+  const gauss::ProbMatrix m(gauss::GaussianParams::sigma_2(64));
+  const cdt::CdtTable t(m);
+  cdt::CdtLinearCtSampler base(t);
+  conv::ConvolutionSampler cs(base, 3);
+  EXPECT_TRUE(cs.constant_time());
+  prng::SplitMix64Source rng(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_GE(static_cast<std::int64_t>(cs.sample_magnitude(rng)), 0);
+}
+
+}  // namespace
+}  // namespace cgs::stats
