@@ -6,6 +6,7 @@
 #include <string>
 
 #include "ct/bitsliced_sampler.h"
+#include "engine/registry.h"
 #include "falcon/codec.h"
 #include "falcon/sign.h"
 #include "falcon/verify.h"
@@ -33,8 +34,10 @@ int main(int argc, char** argv) {
   std::printf("  (short: NTRUSolve + Babai reduction)\n");
 
   std::printf("\n== sign with the constant-time bit-sliced sampler ==\n");
-  const gauss::ProbMatrix matrix(gauss::GaussianParams::sigma_2(128));
-  ct::BufferedBitslicedSampler base(ct::synthesize(matrix, {}));
+  // Registry, not synthesize(): the base sampler is warm-loaded from the
+  // on-disk cache after the first ever run on this machine.
+  ct::BufferedBitslicedSampler base(*engine::SamplerRegistry::global().get(
+      gauss::GaussianParams::sigma_2(128)));
   falcon::Signer signer(kp, base);
   falcon::SignStats sstats;
   const falcon::Signature sig = signer.sign(message, rng, &sstats);

@@ -4,6 +4,43 @@
 
 namespace cgs::bf {
 
+Netlist Netlist::from_parts(int num_inputs, std::vector<Node> nodes,
+                            std::vector<std::int32_t> outputs) {
+  CGS_CHECK_MSG(num_inputs >= 0, "netlist: negative input count");
+  const auto size = static_cast<std::int32_t>(nodes.size());
+  for (std::int32_t i = 0; i < size; ++i) {
+    const Node& n = nodes[static_cast<std::size_t>(i)];
+    switch (n.op) {
+      case Op::kConst0:
+      case Op::kConst1:
+        break;
+      case Op::kInput:
+        CGS_CHECK_MSG(n.a >= 0 && n.a < num_inputs,
+                      "netlist: input index out of range");
+        break;
+      case Op::kNot:
+        CGS_CHECK_MSG(n.a >= 0 && n.a < i,
+                      "netlist: NOT operand not an earlier node");
+        break;
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+        CGS_CHECK_MSG(n.a >= 0 && n.a < i && n.b >= 0 && n.b < i,
+                      "netlist: binary operand not an earlier node");
+        break;
+      default:
+        CGS_CHECK_MSG(false, "netlist: unknown op");
+    }
+  }
+  for (std::int32_t o : outputs)
+    CGS_CHECK_MSG(o >= 0 && o < size, "netlist: output id out of range");
+  Netlist nl;
+  nl.num_inputs_ = num_inputs;
+  nl.nodes_ = std::move(nodes);
+  nl.outputs_ = std::move(outputs);
+  return nl;
+}
+
 std::size_t Netlist::op_count() const {
   std::size_t n = 0;
   for (const Node& node : nodes_)

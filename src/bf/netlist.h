@@ -26,6 +26,14 @@ struct Node {
 
 class Netlist {
  public:
+  /// Rebuild a netlist from serialized parts (src/serial). Validates the
+  /// straight-line invariants — operands refer to strictly earlier nodes,
+  /// input indices are in range, outputs name existing nodes — and throws
+  /// cgs::Error on any violation, so a hostile or corrupted file can never
+  /// produce an out-of-bounds eval.
+  static Netlist from_parts(int num_inputs, std::vector<Node> nodes,
+                            std::vector<std::int32_t> outputs);
+
   int num_inputs() const { return num_inputs_; }
   const std::vector<Node>& nodes() const { return nodes_; }
   const std::vector<std::int32_t>& outputs() const { return outputs_; }

@@ -73,15 +73,29 @@ void CompiledKernel::eval(std::span<const std::uint64_t> in,
 
 CompiledBitslicedSampler::CompiledBitslicedSampler(SynthesizedSampler synth)
     : synth_(std::move(synth)),
-      kernel_(synth_),
+      kernel_(std::make_shared<const CompiledKernel>(synth_)),
       in_(static_cast<std::size_t>(synth_.precision)),
       out_words_(synth_.netlist.outputs().size()) {}
+
+CompiledBitslicedSampler::CompiledBitslicedSampler(
+    SynthesizedSampler synth, std::shared_ptr<const CompiledKernel> kernel)
+    : synth_(std::move(synth)),
+      kernel_(std::move(kernel)),
+      in_(static_cast<std::size_t>(synth_.precision)),
+      out_words_(synth_.netlist.outputs().size()) {
+  CGS_CHECK_MSG(kernel_ != nullptr, "null shared kernel");
+  // A kernel built from a different netlist would read/write past the
+  // buffers sized above (eval only DCHECKs, compiled out in release).
+  CGS_CHECK_MSG(kernel_->num_inputs() == in_.size() &&
+                    kernel_->num_outputs() == out_words_.size(),
+                "shared kernel dimensions disagree with sampler netlist");
+}
 
 std::uint64_t CompiledBitslicedSampler::sample_magnitudes(
     RandomBitSource& rng, std::span<std::uint32_t> out) {
   CGS_CHECK(out.size() >= kBatch);
   rng.fill_words(in_);
-  kernel_.eval(in_, out_words_);
+  kernel_->eval(in_, out_words_);
   const int m = synth_.num_output_bits;
   for (int lane = 0; lane < kBatch; ++lane) {
     std::uint32_t v = 0;

@@ -7,6 +7,7 @@
 // == false) when no host compiler can be found.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -28,6 +29,9 @@ class CompiledKernel {
   void eval(std::span<const std::uint64_t> in,
             std::span<std::uint64_t> out) const;
 
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_outputs() const { return num_outputs_; }
+
   /// True if a host compiler appears usable (cached probe).
   static bool is_available();
 
@@ -47,6 +51,12 @@ class CompiledBitslicedSampler {
 
   explicit CompiledBitslicedSampler(SynthesizedSampler synth);
 
+  /// Share an already-compiled kernel instead of emitting and compiling a
+  /// fresh .so — the engine compiles once and hands the kernel to every
+  /// worker. `kernel` must have been built from an identical netlist.
+  CompiledBitslicedSampler(SynthesizedSampler synth,
+                           std::shared_ptr<const CompiledKernel> kernel);
+
   const SynthesizedSampler& synth() const { return synth_; }
 
   std::uint64_t sample_magnitudes(RandomBitSource& rng,
@@ -55,7 +65,7 @@ class CompiledBitslicedSampler {
 
  private:
   SynthesizedSampler synth_;
-  CompiledKernel kernel_;
+  std::shared_ptr<const CompiledKernel> kernel_;
   std::vector<std::uint64_t> in_, out_words_;
 };
 

@@ -1,0 +1,230 @@
+#include "engine/engine.h"
+
+#include <thread>
+
+#include "common/check.h"
+#include "ct/bitsliced_sampler.h"
+#include "ct/compiled_sampler.h"
+#include "ct/wide_sampler.h"
+#include "prng/chacha20.h"
+#include "prng/splitmix.h"
+
+namespace cgs::engine {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kAuto: return "auto";
+    case Backend::kCompiled: return "compiled";
+    case Backend::kWide: return "wide-256";
+    case Backend::kBitsliced: return "bitsliced-64";
+  }
+  return "?";
+}
+
+// One worker = one PRNG stream + one backend instance's worth of buffers.
+// The compiled kernel itself lives on the engine (stateless eval); the
+// interpreted backends are per-worker because they carry scratch state.
+struct SamplerEngine::Worker {
+  Worker(SamplerEngine& engine, std::uint64_t seed)
+      : rng(seed), engine_(engine) {
+    const auto& synth = *engine.synth_;
+    switch (engine.backend_) {
+      case Backend::kCompiled:
+        compiled = std::make_unique<ct::CompiledBitslicedSampler>(
+            synth, engine.kernel_);
+        break;
+      case Backend::kWide:
+        wide = std::make_unique<ct::WideBitslicedSampler>(synth);
+        break;
+      case Backend::kBitsliced:
+        interp = std::make_unique<ct::BitslicedSampler>(synth);
+        break;
+      case Backend::kAuto:
+        CGS_CHECK_MSG(false, "engine: backend unresolved");
+    }
+  }
+
+  ~Worker() { CGS_DCHECK(!thread.joinable()); }
+
+  /// Pool loop: wait for a dispatched generation, run the assigned slice,
+  /// report completion. Started only when the engine has > 1 worker.
+  void run() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(engine_.pool_mu_);
+      engine_.work_cv_.wait(lock, [&] {
+        return engine_.stopping_ || engine_.generation_ != seen;
+      });
+      if (engine_.stopping_) return;
+      seen = engine_.generation_;
+      const std::span<std::int32_t> slice = task;
+      lock.unlock();
+      std::exception_ptr error;
+      if (!slice.empty()) {
+        // An escaped exception would std::terminate the process (and leave
+        // pending_ stuck); hand it to the dispatching thread instead.
+        try {
+          fill(slice);
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      lock.lock();
+      if (error && !engine_.pool_error_) engine_.pool_error_ = error;
+      if (--engine_.pending_ == 0) engine_.done_cv_.notify_one();
+    }
+  }
+
+  /// Append valid signed samples until `out` is full. Invalid lanes (a DDG
+  /// restart; ~never at cryptographic precision) are dropped, exactly like
+  /// the buffered single-stream samplers.
+  void fill(std::span<std::int32_t> out) {
+    // At any real precision P(all 64 lanes invalid) is astronomically small,
+    // so consecutive empty batches mean a pathological netlist — e.g. a
+    // crafted cache file whose valid bit is never true, which passes every
+    // static shape check. Fail loudly rather than spin forever.
+    constexpr int kMaxEmptyBatches = 1000;
+    int empty_streak = 0;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+      const std::size_t before = pos;
+      if (wide) {
+        std::int32_t batch[ct::WideBitslicedSampler::kBatch];
+        std::uint64_t mask[4];
+        wide->sample_batch(rng, batch, mask);
+        for (int lane = 0; lane < ct::WideBitslicedSampler::kBatch && pos < out.size(); ++lane)
+          if ((mask[lane / 64] >> (lane % 64)) & 1u) out[pos++] = batch[lane];
+      } else {
+        std::int32_t batch[ct::BitslicedSampler::kBatch];
+        const std::uint64_t valid = interp ? interp->sample_batch(rng, batch)
+                                           : compiled->sample_batch(rng, batch);
+        for (int lane = 0; lane < ct::BitslicedSampler::kBatch && pos < out.size(); ++lane)
+          if ((valid >> lane) & 1u) out[pos++] = batch[lane];
+      }
+      empty_streak = pos == before ? empty_streak + 1 : 0;
+      CGS_CHECK_MSG(empty_streak < kMaxEmptyBatches,
+                    "engine: sampler produced no valid lanes for "
+                        << kMaxEmptyBatches << " consecutive batches");
+    }
+  }
+
+  prng::ChaCha20Source rng;
+  std::thread thread;                // pool thread (empty for worker 0 solo)
+  std::span<std::int32_t> task;      // slice for the current generation
+
+ private:
+  SamplerEngine& engine_;
+  std::unique_ptr<ct::WideBitslicedSampler> wide;
+  std::unique_ptr<ct::BitslicedSampler> interp;
+  std::unique_ptr<ct::CompiledBitslicedSampler> compiled;
+};
+
+SamplerEngine::SamplerEngine(
+    std::shared_ptr<const ct::SynthesizedSampler> synth, EngineOptions options)
+    : synth_(std::move(synth)), backend_(options.backend) {
+  CGS_CHECK_MSG(synth_ != nullptr, "engine: null sampler");
+
+  if (backend_ == Backend::kAuto || backend_ == Backend::kCompiled) {
+    if (ct::CompiledKernel::is_available()) {
+      try {
+        kernel_ = std::make_shared<const ct::CompiledKernel>(*synth_);
+        backend_ = Backend::kCompiled;
+      } catch (const Error&) {
+        CGS_CHECK_MSG(backend_ != Backend::kCompiled,
+                      "engine: compiled backend requested but unavailable");
+        kernel_.reset();
+      }
+    } else {
+      CGS_CHECK_MSG(backend_ != Backend::kCompiled,
+                    "engine: compiled backend requested but no host compiler");
+    }
+    if (!kernel_) backend_ = Backend::kWide;
+  }
+
+  int threads = options.num_threads;
+  if (threads <= 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  // SplitMix64 over the root seed: statistically independent 64-bit seeds
+  // per worker, so the ChaCha20 streams never overlap keys.
+  prng::SplitMix64Source seeder(options.root_seed);
+  for (int i = 0; i < threads; ++i)
+    workers_.push_back(std::make_unique<Worker>(*this, seeder.next_word()));
+  if (workers_.size() > 1) {
+    try {
+      for (auto& w : workers_) w->thread = std::thread([worker = w.get()] {
+        worker->run();
+      });
+    } catch (...) {
+      // A failed spawn (thread exhaustion) must join the threads already
+      // started: unwinding with joinable std::thread members would
+      // std::terminate, and they wait on condvars this object owns.
+      {
+        std::lock_guard<std::mutex> lock(pool_mu_);
+        stopping_ = true;
+      }
+      work_cv_.notify_all();
+      for (auto& w : workers_)
+        if (w->thread.joinable()) w->thread.join();
+      throw;
+    }
+  }
+}
+
+SamplerEngine::~SamplerEngine() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+void SamplerEngine::sample(std::span<std::int32_t> out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = out.size();
+  if (n == 0) return;
+
+  // Below one batch per worker the handshake cost dominates — and a worker
+  // handed less than one batch still pays a full netlist eval (256 lanes on
+  // the wide backend) to keep a fraction of it. Serve inline on the calling
+  // thread (worker 0's stream — safe: no generation is in flight while mu_
+  // is held, so its pool thread is parked).
+  const std::size_t batch = backend_ == Backend::kWide
+                                ? ct::WideBitslicedSampler::kBatch
+                                : ct::BitslicedSampler::kBatch;
+  const std::size_t num_workers = workers_.size();
+  if (num_workers == 1 || n < num_workers * batch) {
+    workers_[0]->fill(out);
+    total_samples_ += n;
+    return;
+  }
+
+  const std::size_t chunk = (n + num_workers - 1) / num_workers;
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    for (std::size_t i = 0; i < num_workers; ++i) {
+      const std::size_t begin = std::min(i * chunk, n);
+      workers_[i]->task = out.subspan(begin, std::min(chunk, n - begin));
+    }
+    pending_ = num_workers;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> pool_lock(pool_mu_);
+    done_cv_.wait(pool_lock, [&] { return pending_ == 0; });
+    std::swap(error, pool_error_);
+  }
+  if (error) std::rethrow_exception(error);
+  total_samples_ += n;
+}
+
+std::vector<std::int32_t> SamplerEngine::sample(std::size_t n) {
+  std::vector<std::int32_t> out(n);
+  sample(out);
+  return out;
+}
+
+}  // namespace cgs::engine

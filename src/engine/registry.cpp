@@ -1,0 +1,148 @@
+#include "engine/registry.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "gauss/probmatrix.h"
+#include "serial/formats.h"
+
+namespace cgs::engine {
+
+namespace {
+
+// Bump whenever ct::synthesize (or anything upstream of it: leaf
+// enumeration, minimization, netlist building, the probability matrix) can
+// produce a different netlist for the same (params, config) — the frame's
+// kFormatVersion only guards the payload *encoding*, not the algorithm, so
+// without this a warm cache would serve pre-fix netlists forever.
+constexpr int kSynthesisRevision = 1;
+
+}  // namespace
+
+std::string cache_key(const gauss::GaussianParams& p,
+                      const ct::SynthesisConfig& c) {
+  std::ostringstream os;
+  os << "r" << kSynthesisRevision << "-";
+  os << "g" << p.sigma_num << "x" << p.sigma_den << "-s" << p.sigma_sq_num
+     << "x" << p.sigma_sq_den << "-t" << p.tau << "-n" << p.precision
+     << (p.normalization == gauss::Normalization::kDiscrete ? "-nd" : "-nc")
+     << (p.rounding == gauss::Rounding::kTruncate ? "rt" : "rn") << "-m"
+     << static_cast<int>(c.mode) << (c.emit_valid_bit ? "v1" : "v0")
+     << (c.cse ? "c1" : "c0") << "-x" << c.exact_max_vars << "-q"
+     << c.qm_node_budget;
+  return os.str();
+}
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("CGS_CACHE_DIR"); env && *env) return env;
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg)
+    return std::string(xdg) + "/cgs-samplers";
+  if (const char* home = std::getenv("HOME"); home && *home)
+    return std::string(home) + "/.cache/cgs-samplers";
+  return ".cgs-cache";
+}
+
+SamplerRegistry::SamplerRegistry(Options options)
+    : options_(std::move(options)) {
+  if (options_.cache_dir.empty()) options_.cache_dir = default_cache_dir();
+}
+
+SamplerRegistry::SamplerPtr SamplerRegistry::get(
+    const gauss::GaussianParams& params, const ct::SynthesisConfig& config,
+    Source* source) {
+  const std::string key = cache_key(params, config);
+
+  std::promise<Entry> promise;
+  std::shared_future<Entry> future;
+  bool creator = false;
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      future = it->second;
+    } else {
+      creator = true;
+      epoch = epoch_;
+      future = promise.get_future().share();
+      cache_.emplace(key, future);
+    }
+  }
+
+  if (creator) {
+    // Materialize outside the lock: a slow synthesis for one key must not
+    // block lookups (or other syntheses) for different keys.
+    try {
+      promise.set_value(materialize(params, config, key));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mu_);
+      // Allow a later retry — but only drop OUR entry: if clear_memory()
+      // ran meanwhile, the key may now hold another thread's fresh
+      // in-flight future, which must survive.
+      if (epoch == epoch_) cache_.erase(key);
+    }
+  }
+
+  const Entry& entry = future.get();  // rethrows a materialization failure
+  // Only the call that did the work reports disk/synthesis; everyone later
+  // (or anyone who waited on the in-flight future) got it from memory.
+  if (source) *source = creator ? entry.source : Source::kMemory;
+  return entry.sampler;
+}
+
+SamplerRegistry::Entry SamplerRegistry::materialize(
+    const gauss::GaussianParams& params, const ct::SynthesisConfig& config,
+    const std::string& key) const {
+  namespace fs = std::filesystem;
+  const std::string path = options_.cache_dir + "/" + key + ".cgs";
+
+  if (options_.use_disk) {
+    if (auto bytes = serial::read_file(path)) {
+      try {
+        serial::SamplerFrame frame = serial::deserialize_sampler(*bytes);
+        // The frame embeds the (params, config) it was synthesized for; a
+        // valid file renamed under the wrong key (sync script, manual copy,
+        // cache_key format change) must count as a miss, not silently serve
+        // the wrong distribution.
+        if (cache_key(frame.params, frame.config) == key) {
+          auto sampler = std::make_shared<ct::SynthesizedSampler>(
+              std::move(frame.sampler));
+          return {std::move(sampler), Source::kDisk};
+        }
+      } catch (const Error&) {
+        // Bad magic / version skew / checksum or shape corruption: treat as
+        // a miss, re-synthesize below and overwrite the bad file.
+      }
+    }
+  }
+
+  const gauss::ProbMatrix matrix(params);
+  auto sampler =
+      std::make_shared<ct::SynthesizedSampler>(ct::synthesize(matrix, config));
+
+  if (options_.use_disk) {
+    std::error_code ec;
+    fs::create_directories(options_.cache_dir, ec);
+    // Persist best-effort: an unwritable cache directory degrades to
+    // synthesize-per-process, never to an error.
+    if (!ec)
+      serial::write_file_atomic(path,
+                                serial::serialize(params, config, *sampler));
+  }
+  return {std::move(sampler), Source::kSynthesized};
+}
+
+void SamplerRegistry::clear_memory() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  ++epoch_;
+}
+
+SamplerRegistry& SamplerRegistry::global() {
+  static SamplerRegistry* instance = new SamplerRegistry();
+  return *instance;
+}
+
+}  // namespace cgs::engine

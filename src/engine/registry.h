@@ -1,0 +1,91 @@
+#pragma once
+// The offline/online split the paper assumes but the library never had:
+// Boolean-function synthesis (Quine–McCluskey exact minimization over a
+// 128-bit probability matrix) is expensive and deterministic, so do it once
+// and persist the resulting straight-line netlist. SamplerRegistry is the
+// process-wide materialization point:
+//
+//   get(params, config)
+//     -> in-process memo hit            (atomically deduplicated per key)
+//     -> on-disk cache hit              (versioned checksummed frame,
+//                                        serial/formats.h)
+//     -> synthesize + persist           (atomic write, best effort)
+//
+// Keys are a canonical filename-safe rendering of every field of
+// (GaussianParams, SynthesisConfig), so two configurations never alias.
+// Corrupted, truncated or version-skewed cache files are rejected by the
+// serial layer and silently fall back to re-synthesis (then overwritten).
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "ct/synthesis.h"
+#include "gauss/params.h"
+
+namespace cgs::engine {
+
+/// Canonical cache key: encodes every distribution and synthesis field,
+/// filename-safe ([a-z0-9._-] only).
+std::string cache_key(const gauss::GaussianParams& params,
+                      const ct::SynthesisConfig& config = {});
+
+/// Cache directory resolution: $CGS_CACHE_DIR if set, else
+/// $XDG_CACHE_HOME/cgs-samplers, else $HOME/.cache/cgs-samplers, else
+/// ./.cgs-cache.
+std::string default_cache_dir();
+
+class SamplerRegistry {
+ public:
+  struct Options {
+    std::string cache_dir;  // empty -> default_cache_dir()
+    bool use_disk = true;   // false -> in-process memoization only
+  };
+
+  /// Where a get() result was materialized from.
+  enum class Source { kMemory, kDisk, kSynthesized };
+
+  SamplerRegistry() : SamplerRegistry(Options{}) {}
+  explicit SamplerRegistry(Options options);
+
+  using SamplerPtr = std::shared_ptr<const ct::SynthesizedSampler>;
+
+  /// The sampler for (params, config): memoized, disk-backed, synthesized on
+  /// first contact. Repeat calls return the same instance. Thread-safe;
+  /// concurrent first calls for one key synthesize exactly once (other keys
+  /// proceed in parallel). `source`, when non-null, reports where this call's
+  /// result came from.
+  SamplerPtr get(const gauss::GaussianParams& params,
+                 const ct::SynthesisConfig& config = {},
+                 Source* source = nullptr);
+
+  const std::string& cache_dir() const { return options_.cache_dir; }
+
+  /// Drop the in-process memo (disk cache untouched). Mostly for tests and
+  /// cache-hierarchy benches.
+  void clear_memory();
+
+  /// Process-wide instance (reads $CGS_CACHE_DIR at first use).
+  static SamplerRegistry& global();
+
+ private:
+  struct Entry {
+    SamplerPtr sampler;
+    Source source;
+  };
+
+  Entry materialize(const gauss::GaussianParams& params,
+                    const ct::SynthesisConfig& config,
+                    const std::string& key) const;
+
+  Options options_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_future<Entry>> cache_;
+  // Bumped by clear_memory(); a failed creator only erases its own entry if
+  // the map has not been wiped (and possibly repopulated) since it inserted.
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace cgs::engine

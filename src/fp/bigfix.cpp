@@ -37,6 +37,14 @@ BigFix BigFix::from_double(double v, int frac_limbs) {
   return r;
 }
 
+BigFix BigFix::from_limbs(int frac_limbs, std::vector<u64> limbs) {
+  BigFix r(frac_limbs);
+  CGS_CHECK_MSG(limbs.size() == static_cast<std::size_t>(frac_limbs) + 1,
+                "from_limbs: wrong limb count");
+  r.limbs_ = std::move(limbs);
+  return r;
+}
+
 bool BigFix::is_zero() const {
   for (u64 l : limbs_)
     if (l != 0) return false;

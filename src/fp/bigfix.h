@@ -76,6 +76,14 @@ class BigFix {
   /// pi to the full fraction width (frac_limbs <= 5).
   static BigFix pi(int frac_limbs = kDefaultFracLimbs);
 
+  /// Raw limbs, little endian, fraction limbs first and the integer limb
+  /// last — the exact in-memory representation, exposed for serialization.
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+  /// Exact inverse of limbs(): rebuild from raw limbs. `limbs.size()` must
+  /// equal `frac_limbs + 1`.
+  static BigFix from_limbs(int frac_limbs, std::vector<std::uint64_t> limbs);
+
   /// Lossy conversion for diagnostics.
   double to_double() const;
 

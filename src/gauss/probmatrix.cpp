@@ -118,6 +118,41 @@ ProbMatrix::ProbMatrix(const GaussianParams& params)
     for (int i = 0; i < n; ++i) h_[static_cast<std::size_t>(i)] += bits_[v][static_cast<std::size_t>(i)];
 }
 
+ProbMatrix ProbMatrix::from_parts(const GaussianParams& params,
+                                  std::vector<std::vector<std::uint8_t>> bits,
+                                  std::vector<fp::BigFix> probs,
+                                  std::vector<fp::BigFix> exact,
+                                  fp::BigFix deficit,
+                                  std::uint64_t clipped_bits) {
+  const std::size_t support = params.support_size();
+  const auto n = static_cast<std::size_t>(params.precision);
+  CGS_CHECK_MSG(bits.size() == support, "probmatrix: row count mismatch");
+  for (const auto& row : bits)
+    CGS_CHECK_MSG(row.size() == n, "probmatrix: column count mismatch");
+  CGS_CHECK_MSG(probs.size() == support && exact.size() == support,
+                "probmatrix: probability vector size mismatch");
+  // Uniform fixed-point width: mixed-width entries would not fail here but
+  // deep inside BigFix arithmetic, far from the deserialization site.
+  const int F = deficit.frac_limbs();
+  for (const auto& p : probs)
+    CGS_CHECK_MSG(p.frac_limbs() == F, "probmatrix: mixed BigFix widths");
+  for (const auto& e : exact)
+    CGS_CHECK_MSG(e.frac_limbs() == F, "probmatrix: mixed BigFix widths");
+  ProbMatrix m;
+  m.params_ = params;
+  m.bits_ = std::move(bits);
+  // Column weights are derived state: recompute exactly as the primary
+  // constructor does rather than trusting a serialized copy.
+  m.h_.assign(n, 0);
+  for (std::size_t v = 0; v < support; ++v)
+    for (std::size_t i = 0; i < n; ++i) m.h_[i] += m.bits_[v][i];
+  m.probs_ = std::move(probs);
+  m.exact_ = std::move(exact);
+  m.deficit_ = std::move(deficit);
+  m.clipped_bits_ = clipped_bits;
+  return m;
+}
+
 unsigned __int128 ProbMatrix::column_weight_prefix(int i) const {
   CGS_CHECK(i >= 0 && i < precision() && i < 120);
   unsigned __int128 H = 0;

@@ -20,6 +20,17 @@ class ProbMatrix {
   /// row to `params.precision` bits.
   explicit ProbMatrix(const GaussianParams& params);
 
+  /// Rebuild from serialized parts (src/serial) without re-running the
+  /// high-precision pipeline. Validates shape consistency (row/column counts,
+  /// limb widths) and recomputes the column weights from the bits (they are
+  /// derived state and are never trusted from a file); the bit content
+  /// itself is covered by the serial layer's checksum.
+  static ProbMatrix from_parts(const GaussianParams& params,
+                               std::vector<std::vector<std::uint8_t>> bits,
+                               std::vector<fp::BigFix> probs,
+                               std::vector<fp::BigFix> exact,
+                               fp::BigFix deficit, std::uint64_t clipped_bits);
+
   const GaussianParams& params() const { return params_; }
   int precision() const { return params_.precision; }
   std::size_t rows() const { return bits_.size(); }
@@ -60,6 +71,8 @@ class ProbMatrix {
   std::string to_string(int max_cols = 64) const;
 
  private:
+  ProbMatrix() = default;
+
   GaussianParams params_;
   std::vector<std::vector<std::uint8_t>> bits_;  // [row][col]
   std::vector<int> h_;                           // column weights

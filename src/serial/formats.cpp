@@ -1,0 +1,296 @@
+#include "serial/formats.h"
+
+#include <limits>
+
+namespace cgs::serial {
+
+namespace {
+
+template <typename E>
+E checked_enum(std::uint8_t raw, std::uint8_t max) {
+  if (raw > max) throw SerialError("serial: enum value out of range");
+  return static_cast<E>(raw);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- netlist ---
+
+void write_netlist(Writer& w, const bf::Netlist& nl) {
+  w.i32(nl.num_inputs());
+  w.u64(nl.nodes().size());
+  for (const bf::Node& n : nl.nodes()) {
+    w.u8(static_cast<std::uint8_t>(n.op));
+    w.i32(n.a);
+    w.i32(n.b);
+  }
+  w.u64(nl.outputs().size());
+  for (std::int32_t o : nl.outputs()) w.i32(o);
+}
+
+bf::Netlist read_netlist(Reader& r) {
+  const std::int32_t num_inputs = r.i32();
+  const std::uint64_t num_nodes = r.u64();
+  // 9 bytes per encoded node: a size claim beyond the remaining payload is
+  // corruption, caught here before attempting a giant allocation.
+  if (num_nodes > r.remaining() / 9 + 1)
+    throw SerialError("serial: netlist node count exceeds payload");
+  std::vector<bf::Node> nodes;
+  nodes.reserve(static_cast<std::size_t>(num_nodes));
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    bf::Node n;
+    n.op = checked_enum<bf::Op>(r.u8(), static_cast<std::uint8_t>(bf::Op::kXor));
+    n.a = r.i32();
+    n.b = r.i32();
+    nodes.push_back(n);
+  }
+  const std::uint64_t num_outputs = r.u64();
+  if (num_outputs > r.remaining() / 4 + 1)
+    throw SerialError("serial: netlist output count exceeds payload");
+  std::vector<std::int32_t> outputs;
+  outputs.reserve(static_cast<std::size_t>(num_outputs));
+  for (std::uint64_t i = 0; i < num_outputs; ++i) outputs.push_back(r.i32());
+  return bf::Netlist::from_parts(num_inputs, std::move(nodes),
+                                 std::move(outputs));
+}
+
+// ----------------------------------------------------- params and config ---
+
+void write_params(Writer& w, const gauss::GaussianParams& p) {
+  w.u64(p.sigma_num);
+  w.u64(p.sigma_den);
+  w.u64(p.sigma_sq_num);
+  w.u64(p.sigma_sq_den);
+  w.i32(p.tau);
+  w.i32(p.precision);
+  w.u8(static_cast<std::uint8_t>(p.normalization));
+  w.u8(static_cast<std::uint8_t>(p.rounding));
+}
+
+gauss::GaussianParams read_params(Reader& r) {
+  gauss::GaussianParams p;
+  p.sigma_num = r.u64();
+  p.sigma_den = r.u64();
+  p.sigma_sq_num = r.u64();
+  p.sigma_sq_den = r.u64();
+  p.tau = r.i32();
+  p.precision = r.i32();
+  p.normalization = checked_enum<gauss::Normalization>(r.u8(), 1);
+  p.rounding = checked_enum<gauss::Rounding>(r.u8(), 1);
+  if (p.sigma_num == 0 || p.sigma_den == 0 || p.sigma_sq_den == 0 ||
+      p.tau < 1 || p.precision < 1 || p.precision > 256)
+    throw SerialError("serial: gaussian params out of range");
+  // max_value() computes tau * sigma_num in uint64; a wrap (including the
+  // residual support_size() == max_value() + 1 == 0 case) would bind the
+  // payload to a support size the parameters don't actually describe.
+  if (static_cast<std::uint64_t>(p.tau) >
+          std::numeric_limits<std::uint64_t>::max() / p.sigma_num ||
+      p.max_value() == std::numeric_limits<std::uint64_t>::max())
+    throw SerialError("serial: tau * sigma overflows");
+  return p;
+}
+
+void write_config(Writer& w, const ct::SynthesisConfig& c) {
+  w.u8(static_cast<std::uint8_t>(c.mode));
+  w.boolean(c.emit_valid_bit);
+  w.boolean(c.cse);
+  w.i32(c.exact_max_vars);
+  w.u64(c.qm_node_budget);
+}
+
+ct::SynthesisConfig read_config(Reader& r) {
+  ct::SynthesisConfig c;
+  c.mode = checked_enum<ct::MinimizeMode>(
+      r.u8(), static_cast<std::uint8_t>(ct::MinimizeMode::kNone));
+  c.emit_valid_bit = r.boolean();
+  c.cse = r.boolean();
+  c.exact_max_vars = r.i32();
+  c.qm_node_budget = r.u64();
+  return c;
+}
+
+// ------------------------------------------------------------------ stats ---
+
+void write_stats(Writer& w, const ct::SynthesisStats& s) {
+  w.u64(s.num_leaves);
+  w.i32(s.max_kappa);
+  w.i32(s.delta);
+  w.u64(s.cubes_raw);
+  w.u64(s.cubes_minimized);
+  w.u64(s.netlist_ops);
+  w.boolean(s.all_exact);
+}
+
+ct::SynthesisStats read_stats(Reader& r) {
+  ct::SynthesisStats s;
+  s.num_leaves = r.u64();
+  s.max_kappa = r.i32();
+  s.delta = r.i32();
+  s.cubes_raw = r.u64();
+  s.cubes_minimized = r.u64();
+  s.netlist_ops = r.u64();
+  s.all_exact = r.boolean();
+  return s;
+}
+
+// ---------------------------------------------------------------- sampler ---
+
+void write_sampler(Writer& w, const ct::SynthesizedSampler& s) {
+  write_netlist(w, s.netlist);
+  w.i32(s.precision);
+  w.i32(s.num_output_bits);
+  w.boolean(s.has_valid_bit);
+  write_stats(w, s.stats);
+}
+
+ct::SynthesizedSampler read_sampler(Reader& r) {
+  ct::SynthesizedSampler s;
+  s.netlist = read_netlist(r);
+  s.precision = r.i32();
+  s.num_output_bits = r.i32();
+  s.has_valid_bit = r.boolean();
+  s.stats = read_stats(r);
+  if (s.precision != s.netlist.num_inputs())
+    throw SerialError("serial: sampler precision/netlist input mismatch");
+  // Magnitudes are assembled into 32-bit lanes with `1 << iota`; more than
+  // 31 output bits would make every runtime backend shift past the operand
+  // width (UB) on a crafted-but-checksummed file.
+  if (s.num_output_bits < 0 || s.num_output_bits > 31)
+    throw SerialError("serial: sampler output bit count out of range");
+  const std::size_t expected_outputs =
+      static_cast<std::size_t>(s.num_output_bits) + (s.has_valid_bit ? 1 : 0);
+  if (s.netlist.outputs().size() != expected_outputs)
+    throw SerialError("serial: sampler output count mismatch");
+  return s;
+}
+
+// ----------------------------------------------------------------- bigfix ---
+
+void write_bigfix(Writer& w, const fp::BigFix& v) {
+  w.i32(v.frac_limbs());
+  for (std::uint64_t limb : v.limbs()) w.u64(limb);
+}
+
+fp::BigFix read_bigfix(Reader& r) {
+  const std::int32_t frac_limbs = r.i32();
+  if (frac_limbs < 1 || frac_limbs > 64)
+    throw SerialError("serial: bigfix limb count out of range");
+  std::vector<std::uint64_t> limbs;
+  limbs.reserve(static_cast<std::size_t>(frac_limbs) + 1);
+  for (std::int32_t i = 0; i <= frac_limbs; ++i) limbs.push_back(r.u64());
+  return fp::BigFix::from_limbs(frac_limbs, std::move(limbs));
+}
+
+// ------------------------------------------------------------- probmatrix ---
+
+void write_probmatrix(Writer& w, const gauss::ProbMatrix& m) {
+  write_params(w, m.params());
+  const std::size_t rows = m.rows();
+  const int n = m.precision();
+  // Matrix bits packed 8 per byte, row-major, LSB-first within each byte.
+  for (std::size_t v = 0; v < rows; ++v) {
+    std::uint8_t acc = 0;
+    for (int i = 0; i < n; ++i) {
+      acc |= static_cast<std::uint8_t>(m.bit(v, i) << (i % 8));
+      if (i % 8 == 7 || i == n - 1) {
+        w.u8(acc);
+        acc = 0;
+      }
+    }
+  }
+  // Column weights are not written: they are derived from the bits and
+  // recomputed on load (a file could otherwise carry an inconsistent pair).
+  for (std::size_t v = 0; v < rows; ++v) write_bigfix(w, m.probability(v));
+  for (std::size_t v = 0; v < rows; ++v) write_bigfix(w, m.exact_probability(v));
+  write_bigfix(w, m.deficit());
+  w.u64(m.clipped_bits());
+}
+
+gauss::ProbMatrix read_probmatrix(Reader& r) {
+  const gauss::GaussianParams params = read_params(r);
+  const std::size_t rows = params.support_size();
+  const int n = params.precision;
+  const int row_bytes = (n + 7) / 8;
+  // A row count implied by crafted params that cannot fit in the remaining
+  // payload is corruption — reject before allocating anything row-sized.
+  if (rows > r.remaining() / static_cast<std::size_t>(row_bytes))
+    throw SerialError("serial: probmatrix row count exceeds payload");
+  std::vector<std::vector<std::uint8_t>> bits(rows);
+  for (std::size_t v = 0; v < rows; ++v) {
+    auto packed = r.bytes(static_cast<std::size_t>(row_bytes));
+    bits[v].resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      bits[v][static_cast<std::size_t>(i)] =
+          (packed[static_cast<std::size_t>(i / 8)] >> (i % 8)) & 1u;
+  }
+  std::vector<fp::BigFix> probs, exact;
+  probs.reserve(rows);
+  exact.reserve(rows);
+  for (std::size_t v = 0; v < rows; ++v) probs.push_back(read_bigfix(r));
+  for (std::size_t v = 0; v < rows; ++v) exact.push_back(read_bigfix(r));
+  fp::BigFix deficit = read_bigfix(r);
+  const std::uint64_t clipped = r.u64();
+  return gauss::ProbMatrix::from_parts(params, std::move(bits),
+                                       std::move(probs), std::move(exact),
+                                       std::move(deficit), clipped);
+}
+
+// ------------------------------------------------------------ framed form ---
+
+namespace {
+
+template <typename WriteFn>
+std::vector<std::uint8_t> framed(TypeTag tag, WriteFn&& fn) {
+  Writer w;
+  fn(w);
+  return wrap(tag, w.take());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const bf::Netlist& nl) {
+  return framed(TypeTag::kNetlist, [&](Writer& w) { write_netlist(w, nl); });
+}
+
+bf::Netlist deserialize_netlist(std::span<const std::uint8_t> frame) {
+  Reader r(unwrap(frame, TypeTag::kNetlist));
+  bf::Netlist nl = read_netlist(r);
+  r.finish();
+  return nl;
+}
+
+std::vector<std::uint8_t> serialize(const gauss::GaussianParams& params,
+                                    const ct::SynthesisConfig& config,
+                                    const ct::SynthesizedSampler& s) {
+  return framed(TypeTag::kSynthesizedSampler, [&](Writer& w) {
+    write_params(w, params);
+    write_config(w, config);
+    write_sampler(w, s);
+  });
+}
+
+SamplerFrame deserialize_sampler(std::span<const std::uint8_t> frame) {
+  Reader r(unwrap(frame, TypeTag::kSynthesizedSampler));
+  SamplerFrame f;
+  f.params = read_params(r);
+  f.config = read_config(r);
+  f.sampler = read_sampler(r);
+  r.finish();
+  if (f.sampler.precision != f.params.precision)
+    throw SerialError("serial: sampler precision disagrees with its params");
+  return f;
+}
+
+std::vector<std::uint8_t> serialize(const gauss::ProbMatrix& m) {
+  return framed(TypeTag::kProbMatrix,
+                [&](Writer& w) { write_probmatrix(w, m); });
+}
+
+gauss::ProbMatrix deserialize_probmatrix(std::span<const std::uint8_t> frame) {
+  Reader r(unwrap(frame, TypeTag::kProbMatrix));
+  gauss::ProbMatrix m = read_probmatrix(r);
+  r.finish();
+  return m;
+}
+
+}  // namespace cgs::serial

@@ -1,0 +1,70 @@
+#pragma once
+// Type-specific binary encoders over the serial core: Netlist, Gaussian
+// parameters, synthesis config/stats, SynthesizedSampler and ProbMatrix.
+//
+// Two levels:
+//  - write_*/read_* operate on a bare Writer/Reader stream, so composite
+//    types embed each other (a sampler embeds a netlist and its stats).
+//  - serialize()/deserialize_* wrap the stream in the versioned checksummed
+//    frame from serial.h — this is the on-disk form the registry caches.
+//
+// Readers validate everything they decode (enum ranges, shape consistency,
+// netlist straight-line invariants) and throw SerialError / cgs::Error on
+// malformed input; callers treat any throw as "cache miss, recompute".
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bf/netlist.h"
+#include "ct/synthesis.h"
+#include "fp/bigfix.h"
+#include "gauss/params.h"
+#include "gauss/probmatrix.h"
+#include "serial/serial.h"
+
+namespace cgs::serial {
+
+void write_netlist(Writer& w, const bf::Netlist& nl);
+bf::Netlist read_netlist(Reader& r);
+
+void write_params(Writer& w, const gauss::GaussianParams& p);
+gauss::GaussianParams read_params(Reader& r);
+
+void write_config(Writer& w, const ct::SynthesisConfig& c);
+ct::SynthesisConfig read_config(Reader& r);
+
+void write_stats(Writer& w, const ct::SynthesisStats& s);
+ct::SynthesisStats read_stats(Reader& r);
+
+void write_sampler(Writer& w, const ct::SynthesizedSampler& s);
+ct::SynthesizedSampler read_sampler(Reader& r);
+
+void write_bigfix(Writer& w, const fp::BigFix& v);
+fp::BigFix read_bigfix(Reader& r);
+
+void write_probmatrix(Writer& w, const gauss::ProbMatrix& m);
+gauss::ProbMatrix read_probmatrix(Reader& r);
+
+/// Framed (magic + version + type + checksum) blobs — the on-disk form.
+std::vector<std::uint8_t> serialize(const bf::Netlist& nl);
+bf::Netlist deserialize_netlist(std::span<const std::uint8_t> frame);
+
+/// The sampler frame binds the netlist to the exact (params, config) it was
+/// synthesized for, so a loader can detect a misfiled or renamed cache entry
+/// instead of silently sampling from the wrong distribution.
+struct SamplerFrame {
+  gauss::GaussianParams params;
+  ct::SynthesisConfig config;
+  ct::SynthesizedSampler sampler;
+};
+
+std::vector<std::uint8_t> serialize(const gauss::GaussianParams& params,
+                                    const ct::SynthesisConfig& config,
+                                    const ct::SynthesizedSampler& s);
+SamplerFrame deserialize_sampler(std::span<const std::uint8_t> frame);
+
+std::vector<std::uint8_t> serialize(const gauss::ProbMatrix& m);
+gauss::ProbMatrix deserialize_probmatrix(std::span<const std::uint8_t> frame);
+
+}  // namespace cgs::serial

@@ -1,0 +1,109 @@
+#pragma once
+// Byte-stream serialization core: a little-endian Writer/Reader pair plus a
+// versioned, checksummed container frame. Every persisted artifact (netlist,
+// synthesized sampler, probability matrix) is one frame:
+//
+//   magic "CGSB" | format version | type tag | payload size | FNV-1a-64 of
+//   payload | payload bytes
+//
+// so a loader can reject foreign files (bad magic), files from a future
+// format (version mismatch), and bit rot (checksum mismatch) before parsing
+// a single payload byte. Type-specific encoders live in serial/formats.h;
+// this header is deliberately type-agnostic so future artifacts join by
+// writing against Reader/Writer alone.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cgs::serial {
+
+/// Thrown on any malformed, truncated, corrupted or foreign input. Loaders
+/// (e.g. the sampler registry's disk cache) catch this and fall back to
+/// recomputing the artifact.
+class SerialError : public Error {
+ public:
+  explicit SerialError(const std::string& what) : Error(what) {}
+};
+
+/// First four file bytes: 'C' 'G' 'S' 'B' (CGS Binary).
+inline constexpr std::uint32_t kMagic = 0x42534743u;
+
+/// Bumped on any incompatible payload-encoding change.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Frame type tags (one per serializable artifact).
+enum class TypeTag : std::uint32_t {
+  kNetlist = 1,
+  kSynthesizedSampler = 2,
+  kProbMatrix = 3,
+};
+
+/// FNV-1a 64-bit over a byte range — the frame's content hash.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// Append-only little-endian byte sink.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void bytes(std::span<const std::uint8_t> v);
+  /// Length-prefixed (u64) string.
+  void str(const std::string& v);
+
+  std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian byte source; throws SerialError on overrun.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  bool boolean();
+  std::span<const std::uint8_t> bytes(std::size_t n);
+  std::string str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Asserts the payload was consumed exactly — trailing garbage is corruption.
+  void finish() const;
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Wrap a payload in the versioned checksummed frame.
+std::vector<std::uint8_t> wrap(TypeTag tag, std::vector<std::uint8_t> payload);
+
+/// Validate a frame (magic, version, tag, size, checksum) and return the
+/// payload bytes. Throws SerialError naming the first failed check.
+std::span<const std::uint8_t> unwrap(std::span<const std::uint8_t> frame,
+                                     TypeTag expected_tag);
+
+/// Read a whole file; nullopt if it does not exist or cannot be opened.
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+/// Write via a temp file + rename so concurrent readers never observe a
+/// half-written frame. Returns false on any I/O failure (cache writes are
+/// best-effort; the caller still holds the in-memory artifact).
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+
+}  // namespace cgs::serial

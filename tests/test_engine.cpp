@@ -1,0 +1,289 @@
+// Sampler engine subsystem: registry memoization, disk-cache hierarchy
+// (synthesize -> persist -> warm load), corruption fallback, and the
+// multi-threaded batch sampling service.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <thread>
+
+#include "ct/bitsliced_sampler.h"
+#include "ct/compiled_sampler.h"
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "prng/chacha20.h"
+#include "serial/serial.h"
+
+namespace cgs::engine {
+namespace {
+
+gauss::GaussianParams test_params() {
+  return gauss::GaussianParams::sigma_2(64);
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "cgs-engine-" + name + "-" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(CacheKey, EncodesEveryField) {
+  const auto base = test_params();
+  const ct::SynthesisConfig cfg;
+  const std::string k = cache_key(base, cfg);
+
+  auto expect_differs = [&](const gauss::GaussianParams& p,
+                            const ct::SynthesisConfig& c) {
+    EXPECT_NE(cache_key(p, c), k);
+  };
+
+  auto p = base;
+  p.sigma_num = 3;
+  expect_differs(p, cfg);
+  p = base;
+  p.precision = 65;
+  expect_differs(p, cfg);
+  p = base;
+  p.tau = 14;
+  expect_differs(p, cfg);
+  p = base;
+  p.normalization = gauss::Normalization::kContinuous;
+  expect_differs(p, cfg);
+  p = base;
+  p.rounding = gauss::Rounding::kNearest;
+  expect_differs(p, cfg);
+
+  auto c = cfg;
+  c.mode = ct::MinimizeMode::kHeuristic;
+  expect_differs(base, c);
+  c = cfg;
+  c.emit_valid_bit = false;
+  expect_differs(base, c);
+  c = cfg;
+  c.cse = false;
+  expect_differs(base, c);
+  c = cfg;
+  c.exact_max_vars = 10;
+  expect_differs(base, c);
+
+  // Filename-safe.
+  EXPECT_EQ(k.find('/'), std::string::npos);
+  EXPECT_EQ(k.find(' '), std::string::npos);
+}
+
+TEST(Registry, RepeatLookupReturnsSameInstance) {
+  SamplerRegistry reg({.cache_dir = fresh_dir("memo"), .use_disk = false});
+  SamplerRegistry::Source src1, src2;
+  auto a = reg.get(test_params(), {}, &src1);
+  auto b = reg.get(test_params(), {}, &src2);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(src1, SamplerRegistry::Source::kSynthesized);
+  EXPECT_EQ(src2, SamplerRegistry::Source::kMemory);
+
+  // A different config is a different sampler.
+  ct::SynthesisConfig heuristic;
+  heuristic.mode = ct::MinimizeMode::kHeuristic;
+  auto c = reg.get(test_params(), heuristic);
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(Registry, PersistsAndWarmLoadsAcrossInstances) {
+  const std::string dir = fresh_dir("warm");
+  SamplerRegistry::Source src;
+
+  SamplerRegistry cold({.cache_dir = dir});
+  auto synthesized = cold.get(test_params(), {}, &src);
+  EXPECT_EQ(src, SamplerRegistry::Source::kSynthesized);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + cache_key(test_params()) +
+                                      ".cgs"));
+
+  // A second registry (a "new process") loads from disk, not synthesis.
+  SamplerRegistry warm({.cache_dir = dir});
+  auto loaded = warm.get(test_params(), {}, &src);
+  EXPECT_EQ(src, SamplerRegistry::Source::kDisk);
+  EXPECT_NE(synthesized.get(), loaded.get());  // distinct memo spaces
+
+  // The cache-loaded sampler's output stream is bit-identical to the
+  // freshly synthesized one under the same PRNG seed.
+  ct::BitslicedSampler a(*synthesized);
+  ct::BitslicedSampler b(*loaded);
+  prng::ChaCha20Source rng_a(99), rng_b(99);
+  std::int32_t batch_a[64], batch_b[64];
+  for (int it = 0; it < 100; ++it) {
+    ASSERT_EQ(a.sample_batch(rng_a, batch_a), b.sample_batch(rng_b, batch_b));
+    for (int lane = 0; lane < 64; ++lane)
+      ASSERT_EQ(batch_a[lane], batch_b[lane]) << it << ":" << lane;
+  }
+}
+
+TEST(Registry, CorruptedCacheFallsBackToSynthesisAndHeals) {
+  const std::string dir = fresh_dir("corrupt");
+  const std::string path = dir + "/" + cache_key(test_params()) + ".cgs";
+  SamplerRegistry::Source src;
+
+  {  // Seed the cache, then corrupt one payload byte.
+    SamplerRegistry reg({.cache_dir = dir});
+    reg.get(test_params());
+    auto bytes = *serial::read_file(path);
+    bytes[bytes.size() - 3] ^= 0x40;
+    ASSERT_TRUE(serial::write_file_atomic(path, bytes));
+  }
+  {  // Corruption is detected (checksum), silently re-synthesized...
+    SamplerRegistry reg({.cache_dir = dir});
+    auto s = reg.get(test_params(), {}, &src);
+    EXPECT_EQ(src, SamplerRegistry::Source::kSynthesized);
+    ASSERT_NE(s, nullptr);
+  }
+  {  // ...and the rewritten file serves the next instance warm.
+    SamplerRegistry reg({.cache_dir = dir});
+    reg.get(test_params(), {}, &src);
+    EXPECT_EQ(src, SamplerRegistry::Source::kDisk);
+  }
+}
+
+TEST(Registry, TruncatedAndForeignFilesRejected) {
+  const std::string dir = fresh_dir("trunc");
+  const std::string path = dir + "/" + cache_key(test_params()) + ".cgs";
+  SamplerRegistry::Source src;
+
+  {  // Truncated frame.
+    SamplerRegistry reg({.cache_dir = dir});
+    reg.get(test_params());
+    auto bytes = *serial::read_file(path);
+    bytes.resize(bytes.size() / 2);
+    ASSERT_TRUE(serial::write_file_atomic(path, bytes));
+    SamplerRegistry reg2({.cache_dir = dir});
+    reg2.get(test_params(), {}, &src);
+    EXPECT_EQ(src, SamplerRegistry::Source::kSynthesized);
+  }
+  {  // A file that is not a CGS frame at all (bad magic).
+    const std::vector<std::uint8_t> junk = {'n', 'o', 't', ' ', 'c', 'g', 's'};
+    ASSERT_TRUE(serial::write_file_atomic(path, junk));
+    SamplerRegistry reg({.cache_dir = dir});
+    reg.get(test_params(), {}, &src);
+    EXPECT_EQ(src, SamplerRegistry::Source::kSynthesized);
+  }
+}
+
+TEST(Registry, MisfiledCacheEntryIsAMiss) {
+  // A structurally valid frame sitting under the WRONG key's filename (a
+  // sync script or manual rename) must not be served: the frame's embedded
+  // (params, config) binding disagrees with the requested key.
+  const std::string dir = fresh_dir("misfile");
+  SamplerRegistry::Source src;
+  {
+    SamplerRegistry reg({.cache_dir = dir});
+    reg.get(test_params());
+  }
+  auto other = gauss::GaussianParams::sigma_1(64);
+  std::filesystem::copy_file(dir + "/" + cache_key(test_params()) + ".cgs",
+                             dir + "/" + cache_key(other) + ".cgs");
+  SamplerRegistry reg({.cache_dir = dir});
+  auto s = reg.get(other, {}, &src);
+  EXPECT_EQ(src, SamplerRegistry::Source::kSynthesized);
+  EXPECT_EQ(s->precision, other.precision);
+}
+
+TEST(Registry, ConcurrentFirstLookupSynthesizesOnce) {
+  SamplerRegistry reg({.cache_dir = fresh_dir("race"), .use_disk = false});
+  constexpr int kThreads = 8;
+  std::vector<SamplerRegistry::SamplerPtr> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back(
+        [&, i] { results[static_cast<std::size_t>(i)] = reg.get(test_params()); });
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i)
+    EXPECT_EQ(results[0].get(), results[static_cast<std::size_t>(i)].get());
+}
+
+// ----------------------------------------------------------------- engine ---
+
+class EngineBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(EngineBackends, StatisticalSanityAndDeterminism) {
+  const Backend backend = GetParam();
+  if (backend == Backend::kCompiled && !ct::CompiledKernel::is_available())
+    GTEST_SKIP() << "no host compiler";
+
+  SamplerRegistry reg({.cache_dir = fresh_dir("eng"), .use_disk = false});
+  auto synth = reg.get(test_params());
+
+  SamplerEngine engine(synth,
+                       {.backend = backend, .num_threads = 3, .root_seed = 5});
+  EXPECT_EQ(engine.backend(), backend);
+  EXPECT_EQ(engine.num_threads(), 3);
+
+  const auto v = engine.sample(120000);
+  ASSERT_EQ(v.size(), 120000u);
+  double sum = 0, sum_sq = 0;
+  for (std::int32_t x : v) {
+    sum += x;
+    sum_sq += static_cast<double>(x) * x;
+  }
+  const double mean = sum / static_cast<double>(v.size());
+  const double sigma =
+      std::sqrt(sum_sq / static_cast<double>(v.size()) - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(sigma, 2.0, 0.05);
+
+  // Same options -> bit-identical output, worker streams included.
+  SamplerEngine replay(synth,
+                       {.backend = backend, .num_threads = 3, .root_seed = 5});
+  EXPECT_EQ(replay.sample(120000), v);
+
+  // Different root seed -> different stream.
+  SamplerEngine other(synth,
+                      {.backend = backend, .num_threads = 3, .root_seed = 6});
+  EXPECT_NE(other.sample(120000), v);
+
+  EXPECT_EQ(engine.total_samples(), 120000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, EngineBackends,
+                         ::testing::Values(Backend::kCompiled, Backend::kWide,
+                                           Backend::kBitsliced));
+
+TEST(Engine, AutoSelectsSomeRealBackend) {
+  SamplerRegistry reg({.cache_dir = fresh_dir("auto"), .use_disk = false});
+  SamplerEngine engine(reg.get(test_params()), {.num_threads = 1});
+  EXPECT_NE(engine.backend(), Backend::kAuto);
+  if (ct::CompiledKernel::is_available())
+    EXPECT_EQ(engine.backend(), Backend::kCompiled);
+  const auto v = engine.sample(1000);
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+TEST(Engine, SmallAndUnevenRequests) {
+  SamplerRegistry reg({.cache_dir = fresh_dir("small"), .use_disk = false});
+  auto synth = reg.get(test_params());
+  SamplerEngine engine(synth, {.backend = Backend::kBitsliced,
+                               .num_threads = 4, .root_seed = 11});
+  EXPECT_TRUE(engine.sample(0).empty());
+  EXPECT_EQ(engine.sample(1).size(), 1u);   // below one batch: inline path
+  EXPECT_EQ(engine.sample(63).size(), 63u);
+  EXPECT_EQ(engine.sample(1001).size(), 1001u);  // uneven split across 4
+}
+
+TEST(Engine, ConcurrentBulkCallsAreSerializedSafely) {
+  SamplerRegistry reg({.cache_dir = fresh_dir("conc"), .use_disk = false});
+  auto synth = reg.get(test_params());
+  SamplerEngine engine(synth, {.backend = Backend::kBitsliced,
+                               .num_threads = 2, .root_seed = 3});
+  std::vector<std::thread> callers;
+  std::vector<std::vector<std::int32_t>> results(4);
+  for (int i = 0; i < 4; ++i)
+    callers.emplace_back([&, i] {
+      results[static_cast<std::size_t>(i)] = engine.sample(5000);
+    });
+  for (auto& t : callers) t.join();
+  for (const auto& r : results) EXPECT_EQ(r.size(), 5000u);
+  EXPECT_EQ(engine.total_samples(), 20000u);
+}
+
+}  // namespace
+}  // namespace cgs::engine
