@@ -11,16 +11,20 @@
 //   4. online throughput — samples/sec per backend, single- vs
 //      multi-threaded, through SamplerEngine.
 //
-// Usage: bench_engine_throughput [samples_per_run] (default 2^21)
+// Usage: bench_engine_throughput [samples_per_run] [--json FILE]
+// (default 2^21 samples; --json writes the measurements as one JSON object
+// so CI can archive a perf trajectory across PRs)
 
 #include <unistd.h>
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "ct/bitsliced_sampler.h"
 #include "ct/compiled_sampler.h"
 #include "engine/engine.h"
@@ -31,16 +35,15 @@
 namespace {
 
 using namespace cgs;
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
+using benchutil::Clock;
+using benchutil::ms_since;
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t n_samples = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 0;
+  const benchutil::Args args = benchutil::parse(argc, argv);
+  const std::string& json_path = args.json_path;
+  std::size_t n_samples = args.n;
   if (n_samples == 0) n_samples = 1u << 21;  // default; also unparseable argv
   const auto params = gauss::GaussianParams::sigma_2(64);
   // Per-process dir: a concurrent bench run must not remove_all() the cache
@@ -111,6 +114,12 @@ int main(int argc, char** argv) {
               n_samples, hw);
   std::printf("%-14s %10s %14s %10s\n", "backend", "threads", "samples/s",
               "scaling");
+  struct ThroughputRow {
+    const char* backend;
+    unsigned threads;
+    double rate;
+  };
+  std::vector<ThroughputRow> rows;
   for (engine::Backend backend :
        {engine::Backend::kCompiled, engine::Backend::kWide,
         engine::Backend::kBitsliced}) {
@@ -134,7 +143,26 @@ int main(int argc, char** argv) {
       if (threads == 1) single = rate;
       std::printf("%-14s %10u %14.3e %9.2fx\n", engine::backend_name(backend),
                   threads, rate, rate / single);
+      rows.push_back({engine::backend_name(backend), threads, rate});
     }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"engine_throughput\",\n"
+        << "  \"n\": " << n_samples << ",\n"
+        << "  \"cold_synthesis_ms\": " << cold_ms << ",\n"
+        << "  \"warm_load_ms\": " << warm_ms << ",\n"
+        << "  \"warm_speedup\": " << speedup << ",\n"
+        << "  \"round_trip_identical\": " << (identical ? "true" : "false")
+        << ",\n  \"throughput\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      out << (i ? "," : "") << "\n    {\"backend\": \"" << rows[i].backend
+          << "\", \"threads\": " << rows[i].threads
+          << ", \"samples_per_sec\": " << rows[i].rate << "}";
+    out << "\n  ]\n}\n";
+    std::printf("\njson written to %s\n", json_path.c_str());
   }
 
   std::filesystem::remove_all(dir);

@@ -36,4 +36,18 @@ constexpr std::uint32_t rotl32(std::uint32_t x, int r) {
   return std::rotl(x, r);
 }
 
+/// Branch-free x < y over uint64: the borrow bit of x - y (Hacker's Delight
+/// §2-13). Used for constant-time Bernoulli draws (compare a uniform word
+/// against a fixed threshold without a data-dependent branch).
+constexpr std::uint64_t ct_lt_u64(std::uint64_t x, std::uint64_t y) {
+  return ((~x & y) | ((~x | y) & (x - y))) >> 63;
+}
+
+/// Branch-free |x| for int32 (two's complement mask trick). INT32_MIN maps
+/// to itself, as with std::abs — callers keep samples far from that edge.
+constexpr std::uint32_t ct_abs_i32(std::int32_t x) {
+  const std::int32_t mask = x >> 31;
+  return static_cast<std::uint32_t>((x ^ mask) - mask);
+}
+
 }  // namespace cgs

@@ -1,25 +1,34 @@
 #include "conv/convolution.h"
 
 #include <cmath>
+#include <limits>
 
+#include "common/bits.h"
 #include "common/check.h"
 
 namespace cgs::conv {
 
 ConvolutionSampler::ConvolutionSampler(IntSampler& base, int k)
     : base_(&base), k_(k) {
-  CGS_CHECK(k >= 1);
+  CGS_CHECK(k >= 1 && k <= max_stride());
 }
 
 std::int32_t ConvolutionSampler::sample(RandomBitSource& rng) {
   const std::int32_t x1 = base_->sample(rng);
   const std::int32_t x2 = base_->sample(rng);
-  return x1 + k_ * x2;
+  // 64-bit combine: max_stride() bounds k but not the base's support, so a
+  // wide base under a huge stride must fail loudly, not wrap int32.
+  const std::int64_t r =
+      static_cast<std::int64_t>(x1) + static_cast<std::int64_t>(k_) * x2;
+  CGS_CHECK_MSG(r >= std::numeric_limits<std::int32_t>::min() &&
+                    r <= std::numeric_limits<std::int32_t>::max(),
+                "convolution combine overflows int32: stride " << k_
+                    << " is too large for this base's support");
+  return static_cast<std::int32_t>(r);
 }
 
 std::uint32_t ConvolutionSampler::sample_magnitude(RandomBitSource& rng) {
-  const std::int32_t s = sample(rng);
-  return static_cast<std::uint32_t>(s < 0 ? -s : s);
+  return ct_abs_i32(sample(rng));
 }
 
 double ConvolutionSampler::combined_sigma(double base_sigma, int k) {
@@ -28,9 +37,105 @@ double ConvolutionSampler::combined_sigma(double base_sigma, int k) {
 
 int ConvolutionSampler::stride_for(double base_sigma, double target_sigma) {
   CGS_CHECK(base_sigma > 0 && target_sigma >= base_sigma);
-  int k = 1;
-  while (combined_sigma(base_sigma, k) < target_sigma) ++k;
+  CGS_CHECK_MSG(std::isfinite(base_sigma) && std::isfinite(target_sigma),
+                "stride_for needs finite sigmas");
+  // Closed form: smallest k with sigma0^2 (1 + k^2) >= target^2, then a
+  // fix-up loop (<= 2 steps) absorbing the floating-point slop. The old
+  // linear scan walked k one by one — quadratic pain for the large-sigma
+  // targets this now serves.
+  const double ratio = target_sigma / base_sigma;
+  const double kd = std::sqrt(std::max(0.0, ratio * ratio - 1.0));
+  CGS_CHECK_MSG(kd <= static_cast<double>(max_stride()),
+                "convolution stride for target sigma="
+                    << target_sigma << " over base " << base_sigma
+                    << " exceeds max_stride() — sample combine would overflow");
+  int k = static_cast<int>(kd);
+  if (k < 1) k = 1;
+  while (combined_sigma(base_sigma, k) < target_sigma) {
+    CGS_CHECK_MSG(k < max_stride(), "convolution stride exceeds max_stride()");
+    ++k;
+  }
   return k;
+}
+
+// ---------------------------------------------------------------- batcher ---
+
+BatchConvolver::BatchConvolver(int k, std::int32_t shift_int,
+                               double shift_frac)
+    : k_(k), shift_int_(shift_int), shift_frac_(shift_frac),
+      threshold_(bernoulli_threshold(shift_frac)) {
+  CGS_CHECK(k >= 1 && k <= ConvolutionSampler::max_stride());
+  CGS_CHECK_MSG(shift_frac >= 0.0 && shift_frac < 1.0,
+                "fractional shift must be in [0, 1)");
+}
+
+std::uint64_t BatchConvolver::bernoulli_threshold(double frac) {
+  CGS_CHECK(frac >= 0.0 && frac < 1.0);
+  if (frac == 0.0) return 0;
+  const double scaled = std::ldexp(frac, 64);  // frac * 2^64, exact scaling
+  if (scaled >= 18446744073709551615.0) return ~0ull;  // saturate near 1
+  return static_cast<std::uint64_t>(scaled);
+}
+
+void BatchConvolver::combine(std::span<const std::int32_t> x1,
+                             std::span<const std::int32_t> x2,
+                             std::span<std::int32_t> out) const {
+  CGS_CHECK(x1.size() == out.size() && x2.size() == out.size());
+  const std::int32_t k = k_, shift = shift_int_;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = x1[i] + k * x2[i] + shift;
+}
+
+void BatchConvolver::combine(std::span<const std::int32_t> x1,
+                             std::span<const std::int32_t> x2,
+                             RandomBitSource& rounding,
+                             std::span<std::int32_t> out) const {
+  if (threshold_ == 0) {
+    combine(x1, x2, out);
+    return;
+  }
+  CGS_CHECK(x1.size() == out.size() && x2.size() == out.size());
+  const std::int32_t k = k_, shift = shift_int_;
+  const std::uint64_t threshold = threshold_;
+  // Bulk-fill rounding words in fixed-size blocks so the (virtual) source
+  // is not called once per sample; the compare itself is branch-free.
+  constexpr std::size_t kBlock = 256;
+  std::uint64_t words[kBlock];
+  for (std::size_t base = 0; base < out.size(); base += kBlock) {
+    const std::size_t m = std::min(kBlock, out.size() - base);
+    rounding.fill_words(std::span<std::uint64_t>(words, m));
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::int32_t bump =
+          static_cast<std::int32_t>(ct_lt_u64(words[j], threshold));
+      out[base + j] = x1[base + j] + k * x2[base + j] + shift + bump;
+    }
+  }
+}
+
+std::size_t BatchConvolver::combine_masked(std::span<const std::int32_t> x1,
+                                           std::span<const std::uint64_t> mask1,
+                                           std::span<const std::int32_t> x2,
+                                           std::span<const std::uint64_t> mask2,
+                                           RandomBitSource& rounding,
+                                           std::span<std::int32_t> out) const {
+  CGS_CHECK(mask1.size() >= (x1.size() + 63) / 64 &&
+            mask2.size() >= (x2.size() + 63) / 64);
+  auto next_valid = [](std::span<const std::int32_t> x,
+                       std::span<const std::uint64_t> mask, std::size_t& i) {
+    while (i < x.size() && !((mask[i / 64] >> (i % 64)) & 1u)) ++i;
+    return i < x.size();
+  };
+  std::size_t i1 = 0, i2 = 0, written = 0;
+  while (written < out.size() && next_valid(x1, mask1, i1) &&
+         next_valid(x2, mask2, i2)) {
+    std::int32_t pair1 = x1[i1++], pair2 = x2[i2++];
+    std::int32_t bump = 0;
+    if (threshold_ != 0)
+      bump = static_cast<std::int32_t>(
+          ct_lt_u64(rounding.next_word(), threshold_));
+    out[written++] = pair1 + k_ * pair2 + shift_int_ + bump;
+  }
+  return written;
 }
 
 }  // namespace cgs::conv

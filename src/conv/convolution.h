@@ -4,8 +4,23 @@
 // §3 notes its sampler is meant as the *base* sampler inside such schemes.
 // x = x1 + k * x2 with x1, x2 ~ D_sigma0 gives sigma = sigma0 * sqrt(1+k^2)
 // (up to smoothing-parameter loss, reported by the stats module).
+//
+// Two layers live here:
+//  - ConvolutionSampler: the scalar two-draws-per-sample IntSampler. Its
+//    combine computes in 64 bits with a masked abs (no value-dependent
+//    ternaries); the only branch is the overflow guard, which cannot fire
+//    for any (base, k) satisfying the planner's reach bound — it exists to
+//    fail loudly on invalid stride/support combinations instead of
+//    wrapping int32 — so constant-time-ness reduces to the base sampler's.
+//  - BatchConvolver: the vectorized combine/shift stage behind
+//    engine::GaussianService — span-in/span-out, valid-mask aware, with a
+//    constant-time Bernoulli(frac) randomized-rounding stage for
+//    non-integer centers (threshold compare against uniform 64-bit words,
+//    no data-dependent branches in the value path).
 
+#include <cstddef>
 #include <memory>
+#include <span>
 
 #include "common/sampler.h"
 
@@ -19,17 +34,86 @@ class ConvolutionSampler final : public IntSampler {
   std::int32_t sample(RandomBitSource& rng) override;
   std::uint32_t sample_magnitude(RandomBitSource& rng) override;
   const char* name() const override { return "convolution"; }
+  /// The combine stage has no value-dependent behavior on any valid
+  /// (base, k) pair — the overflow guard never fires inside the planner's
+  /// reach bound — so constant-time-ness reduces to the base sampler's
+  /// (asserted empirically in test_constant_time).
   bool constant_time() const override { return base_->constant_time(); }
 
   /// Resulting sigma given the base sigma.
   static double combined_sigma(double base_sigma, int k);
 
-  /// Smallest k with combined sigma >= target.
+  /// Smallest k with combined sigma >= target (closed form plus a fix-up
+  /// step). Requires target >= base sigma — a convolution cannot shrink
+  /// sigma — and throws when k would exceed max_stride(). The stride bound
+  /// alone does not cap k * |sample| for arbitrarily wide bases, so the
+  /// combine is computed in 64 bits and throws instead of wrapping int32
+  /// (gauss::plan_recipe additionally bounds the planned reach up front).
   static int stride_for(double base_sigma, double target_sigma);
+
+  /// Largest stride stride_for will return.
+  static constexpr int max_stride() { return 1 << 20; }
 
  private:
   IntSampler* base_;
   int k_;
+};
+
+/// Vectorized combine stage: out = x1 + k * x2 + shift, span-in/span-out.
+/// Fractional centers are served by randomized rounding: each output adds a
+/// Bernoulli(shift_frac) bit drawn constant-time from a uniform 64-bit word
+/// (branch-free threshold compare), preserving the target mean exactly at a
+/// variance cost of shift_frac*(1-shift_frac) <= 1/4.
+///
+/// Contract: callers guarantee (1+k)*max|x| + |shift_int| + 1 fits int32 —
+/// the value loops are deliberately check-free so they vectorize.
+/// gauss::plan_recipe enforces this bound for every recipe it emits.
+class BatchConvolver {
+ public:
+  explicit BatchConvolver(int k, std::int32_t shift_int = 0,
+                          double shift_frac = 0.0);
+
+  int stride() const { return k_; }
+  std::int32_t shift_int() const { return shift_int_; }
+  double shift_frac() const { return shift_frac_; }
+  /// True when outputs consume rounding randomness (shift_frac > 0).
+  bool randomized_rounding() const { return threshold_ != 0; }
+
+  /// Integer-center fast path: out[i] = x1[i] + k*x2[i] + shift_int.
+  /// Spans must have equal sizes; out may alias x1.
+  void combine(std::span<const std::int32_t> x1,
+               std::span<const std::int32_t> x2,
+               std::span<std::int32_t> out) const;
+
+  /// Full path with randomized rounding for the fractional center; draws
+  /// one word per output from `rounding` only when randomized_rounding().
+  void combine(std::span<const std::int32_t> x1,
+               std::span<const std::int32_t> x2, RandomBitSource& rounding,
+               std::span<std::int32_t> out) const;
+
+  /// Valid-mask aware combine over raw lane batches (as produced by the
+  /// bit-sliced backends): lane l of xN is live iff bit l%64 of maskN[l/64]
+  /// is set. Valid lanes of each input are compacted independently, paired
+  /// in order, combined, and appended to `out`; returns the number written
+  /// (= min(valid1, valid2, out.size())). Restart masks are public values
+  /// (independent of sample magnitudes), so the compaction branch leaks
+  /// nothing the valid bit did not already.
+  std::size_t combine_masked(std::span<const std::int32_t> x1,
+                             std::span<const std::uint64_t> mask1,
+                             std::span<const std::int32_t> x2,
+                             std::span<const std::uint64_t> mask2,
+                             RandomBitSource& rounding,
+                             std::span<std::int32_t> out) const;
+
+  /// Bernoulli(frac) as a 64-bit compare threshold: round(frac * 2^64),
+  /// saturated; frac == 0 maps to 0 (never add), frac -> 1 to ~2^64-1.
+  static std::uint64_t bernoulli_threshold(double frac);
+
+ private:
+  int k_;
+  std::int32_t shift_int_;
+  double shift_frac_;
+  std::uint64_t threshold_;
 };
 
 }  // namespace cgs::conv

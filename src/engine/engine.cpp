@@ -125,7 +125,16 @@ SamplerEngine::SamplerEngine(
   CGS_CHECK_MSG(synth_ != nullptr, "engine: null sampler");
 
   if (backend_ == Backend::kAuto || backend_ == Backend::kCompiled) {
-    if (ct::CompiledKernel::is_available()) {
+    if (options.shared_kernel) {
+      CGS_CHECK_MSG(
+          options.shared_kernel->num_inputs() ==
+                  static_cast<std::size_t>(synth_->precision) &&
+              options.shared_kernel->num_outputs() ==
+                  synth_->netlist.outputs().size(),
+          "engine: shared kernel shape does not match the sampler netlist");
+      kernel_ = options.shared_kernel;
+      backend_ = Backend::kCompiled;
+    } else if (ct::CompiledKernel::is_available()) {
       try {
         kernel_ = std::make_shared<const ct::CompiledKernel>(*synth_);
         backend_ = Backend::kCompiled;

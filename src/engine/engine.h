@@ -47,6 +47,11 @@ struct EngineOptions {
   Backend backend = Backend::kAuto;
   int num_threads = 0;          // 0 -> hardware concurrency (min 1)
   std::uint64_t root_seed = 0;  // per-worker streams derived from this
+  /// Optional pre-compiled kernel for this synth (see SamplerEngine::
+  /// kernel()): hosting the netlist C takes seconds for large supports, so
+  /// services running several engines over one base compile once and share.
+  /// Must have been built from the identical netlist; shape-checked.
+  std::shared_ptr<const ct::CompiledKernel> shared_kernel;
 };
 
 class SamplerEngine {
@@ -62,6 +67,9 @@ class SamplerEngine {
   Backend backend() const { return backend_; }
   int num_threads() const { return static_cast<int>(workers_.size()); }
   const ct::SynthesizedSampler& synth() const { return *synth_; }
+  /// The compiled kernel in use (null on interpreted backends) — hand it to
+  /// another engine over the same synth via EngineOptions::shared_kernel.
+  std::shared_ptr<const ct::CompiledKernel> kernel() const { return kernel_; }
 
   /// Fill `out` with signed base-Gaussian samples, the request split evenly
   /// across the persistent worker pool (requests smaller than one batch per

@@ -1,9 +1,13 @@
 #include "engine/registry.h"
 
+#include <bit>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <iomanip>
 #include <sstream>
 
+#include "common/check.h"
 #include "gauss/probmatrix.h"
 #include "serial/formats.h"
 
@@ -18,6 +22,21 @@ namespace {
 // without this a warm cache would serve pre-fix netlists forever.
 constexpr int kSynthesisRevision = 1;
 
+// Same idea for recipes: bump when gauss::plan_recipe (or the default
+// candidate base set it scores) changes, so a warm cache never serves a
+// recipe the current planner would no longer produce.
+constexpr int kRecipeRevision = 1;
+
+// Canonical filename-safe rendering of a double: the IEEE-754 bit pattern
+// in lowercase hex, with -0 collapsed to +0 so the two spellings of zero
+// share one cache entry.
+std::string hex_bits(double v) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v);
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << bits;
+  return os.str();
+}
+
 }  // namespace
 
 std::string cache_key(const gauss::GaussianParams& p,
@@ -31,6 +50,19 @@ std::string cache_key(const gauss::GaussianParams& p,
      << static_cast<int>(c.mode) << (c.emit_valid_bit ? "v1" : "v0")
      << (c.cse ? "c1" : "c0") << "-x" << c.exact_max_vars << "-q"
      << c.qm_node_budget;
+  return os.str();
+}
+
+std::string recipe_cache_key(double target_sigma, double target_center,
+                             double eps, int base_precision) {
+  CGS_CHECK_MSG(std::isfinite(target_sigma) && target_sigma > 0.0,
+                "recipe key: sigma must be finite and positive");
+  CGS_CHECK_MSG(std::isfinite(target_center), "recipe key: non-finite center");
+  CGS_CHECK(eps > 0.0 && eps < 1.0 && base_precision >= 1);
+  std::ostringstream os;
+  os << "recipe-r" << kRecipeRevision << "-s" << hex_bits(target_sigma)
+     << "-c" << hex_bits(target_center) << "-e" << hex_bits(eps) << "-p"
+     << base_precision;
   return os.str();
 }
 
@@ -134,9 +166,69 @@ SamplerRegistry::Entry SamplerRegistry::materialize(
   return {std::move(sampler), Source::kSynthesized};
 }
 
+gauss::ConvolutionRecipe SamplerRegistry::get_recipe(double target_sigma,
+                                                     double target_center,
+                                                     double eps,
+                                                     int base_precision,
+                                                     Source* source) {
+  const std::string key =
+      recipe_cache_key(target_sigma, target_center, eps, base_precision);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = recipes_.find(key); it != recipes_.end()) {
+      if (source) *source = Source::kMemory;
+      return it->second;
+    }
+  }
+
+  namespace fs = std::filesystem;
+  const std::string path = options_.cache_dir + "/" + key + ".cgs";
+  gauss::ConvolutionRecipe recipe;
+  Source src = Source::kSynthesized;  // "planned" for recipes
+  bool loaded = false;
+  if (options_.use_disk) {
+    if (auto bytes = serial::read_file(path)) {
+      try {
+        gauss::ConvolutionRecipe cand = serial::deserialize_recipe(*bytes);
+        // Like sampler frames: a valid frame misfiled under the wrong key
+        // must count as a miss, not serve the wrong target.
+        if (recipe_cache_key(cand.target_sigma, cand.target_center, cand.eps,
+                             cand.base.precision) == key) {
+          recipe = std::move(cand);
+          src = Source::kDisk;
+          loaded = true;
+        }
+      } catch (const Error&) {
+        // Corrupted/foreign frame: replan below and overwrite.
+      }
+    }
+  }
+
+  if (!loaded) {
+    const auto bases = gauss::default_recipe_bases(base_precision);
+    recipe = gauss::plan_recipe(target_sigma, target_center, bases, eps);
+    if (options_.use_disk) {
+      std::error_code ec;
+      fs::create_directories(options_.cache_dir, ec);
+      if (!ec) serial::write_file_atomic(path, serial::serialize(recipe));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = recipes_.emplace(key, recipe);
+    // A concurrent planner may have won the race; both computed the same
+    // deterministic recipe, so either value serves.
+    (void)inserted;
+  }
+  if (source) *source = src;
+  return recipe;
+}
+
 void SamplerRegistry::clear_memory() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
+  recipes_.clear();
   ++epoch_;
 }
 

@@ -24,6 +24,7 @@
 
 #include "ct/synthesis.h"
 #include "gauss/params.h"
+#include "gauss/recipe.h"
 
 namespace cgs::engine {
 
@@ -31,6 +32,15 @@ namespace cgs::engine {
 /// filename-safe ([a-z0-9._-] only).
 std::string cache_key(const gauss::GaussianParams& params,
                       const ct::SynthesisConfig& config = {});
+
+/// Canonical key for an arbitrary-(sigma, c) recipe request against the
+/// default candidate base set at `base_precision`. Doubles are keyed by
+/// their IEEE-754 bit pattern (after collapsing -0 to +0), so two requests
+/// alias exactly when the planner would see identical inputs; non-finite
+/// or non-positive sigma throws. Filename-safe like cache_key().
+std::string recipe_cache_key(double target_sigma, double target_center,
+                             double eps = gauss::kDefaultSmoothingEps,
+                             int base_precision = 64);
 
 /// Cache directory resolution: $CGS_CACHE_DIR if set, else
 /// $XDG_CACHE_HOME/cgs-samplers, else $HOME/.cache/cgs-samplers, else
@@ -63,6 +73,17 @@ class SamplerRegistry {
 
   const std::string& cache_dir() const { return options_.cache_dir; }
 
+  /// The planned recipe for an arbitrary (sigma, center) target over the
+  /// default candidate bases at `base_precision`: memoized, disk-backed
+  /// (one small kRecipe frame per key, next to the sampler frames), planned
+  /// on first contact. Misfiled or corrupted frames fall back to replanning
+  /// exactly like sampler frames fall back to re-synthesis. Thread-safe.
+  gauss::ConvolutionRecipe get_recipe(double target_sigma,
+                                      double target_center,
+                                      double eps = gauss::kDefaultSmoothingEps,
+                                      int base_precision = 64,
+                                      Source* source = nullptr);
+
   /// Drop the in-process memo (disk cache untouched). Mostly for tests and
   /// cache-hierarchy benches.
   void clear_memory();
@@ -86,6 +107,11 @@ class SamplerRegistry {
   // Bumped by clear_memory(); a failed creator only erases its own entry if
   // the map has not been wiped (and possibly repopulated) since it inserted.
   std::uint64_t epoch_ = 0;
+
+  // Recipe memo: planning is cheap and deterministic, so plain values under
+  // the same mutex (no in-flight future machinery needed — a duplicated
+  // concurrent plan is harmless and both sides compute the same recipe).
+  std::unordered_map<std::string, gauss::ConvolutionRecipe> recipes_;
 };
 
 }  // namespace cgs::engine

@@ -1,0 +1,118 @@
+#include "gauss/recipe.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "conv/convolution.h"
+
+namespace cgs::gauss {
+
+double smoothing_eta(double eps) {
+  CGS_CHECK_MSG(eps > 0.0 && eps < 1.0, "smoothing eps must be in (0, 1)");
+  const double pi = std::acos(-1.0);
+  return std::sqrt(std::log(2.0 * (1.0 + 1.0 / eps)) / (2.0 * pi * pi));
+}
+
+std::string ConvolutionRecipe::describe() const {
+  std::ostringstream os;
+  os << "recipe[target sigma=" << target_sigma << " c=" << target_center
+     << ": base sigma0=" << base.sigma() << " k=" << k
+     << " -> sigma=" << achieved_sigma << " (+" << sigma_loss * 100.0
+     << "%), shift=" << shift_int;
+  if (shift_frac > 0.0) os << "+Bern(" << shift_frac << ")";
+  os << "]";
+  return os.str();
+}
+
+std::vector<GaussianParams> default_recipe_bases(int precision) {
+  // Paper sets first, then the ladder rungs filling the coverage gaps; each
+  // rung's reach is ~sigma_0^2/eta, so ~sqrt(3) spacing keeps windows
+  // overlapping while the support (13 sigma_0 rows to synthesize) stays as
+  // small as the target allows.
+  return {GaussianParams::sigma_2(precision),
+          GaussianParams::sigma_sqrt5(precision),
+          GaussianParams::sigma_6_15543(precision),
+          GaussianParams::from_sigma(12, 1, 13, precision),
+          GaussianParams::from_sigma(21, 1, 13, precision),
+          GaussianParams::from_sigma(36, 1, 13, precision),
+          GaussianParams::from_sigma(64, 1, 13, precision),
+          GaussianParams::from_sigma(115, 1, 13, precision),
+          GaussianParams::sigma_215(precision)};
+}
+
+ConvolutionRecipe plan_recipe(double target_sigma, double target_center,
+                              std::span<const GaussianParams> bases,
+                              double eps) {
+  CGS_CHECK_MSG(std::isfinite(target_sigma) && target_sigma > 0.0,
+                "recipe target sigma must be finite and positive");
+  CGS_CHECK_MSG(std::isfinite(target_center),
+                "recipe target center must be finite");
+  CGS_CHECK_MSG(!bases.empty(), "recipe planning needs candidate bases");
+  const double eta = smoothing_eta(eps);
+
+  ConvolutionRecipe best;
+  bool found = false;
+  for (const GaussianParams& base : bases) {
+    const double sigma0 = base.sigma();
+    int k;
+    if (target_sigma <= sigma0) {
+      k = 1;  // convolution cannot shrink sigma; minimal overshoot is k=1
+    } else {
+      try {
+        k = conv::ConvolutionSampler::stride_for(sigma0, target_sigma);
+      } catch (const Error&) {
+        continue;  // stride beyond the overflow guard: base too small
+      }
+    }
+    // sigma_0 must smooth the stride-k comb (sigma_0 >= eta_eps(kZ)); a
+    // smaller k misses the target and a larger one is worse, so skip.
+    if (static_cast<double>(k) * eta > sigma0) continue;
+    // The combined support is (1+k) * max_value per sign; keep it well
+    // inside int32 so x1 + k*x2 (+shift) can never wrap.
+    const double reach = static_cast<double>(base.max_value()) *
+                         (1.0 + static_cast<double>(k));
+    if (reach > static_cast<double>(std::numeric_limits<std::int32_t>::max() / 4))
+      continue;
+
+    const double achieved = conv::ConvolutionSampler::combined_sigma(sigma0, k);
+    const double loss = (achieved - target_sigma) / target_sigma;
+    if (!found || loss < best.sigma_loss ||
+        (loss == best.sigma_loss &&
+         base.support_size() < best.base.support_size())) {
+      best.base = base;
+      best.k = k;
+      best.achieved_sigma = achieved;
+      best.sigma_loss = loss;
+      found = true;
+    }
+  }
+  CGS_CHECK_MSG(found, "no candidate base is eligible for target sigma="
+                           << target_sigma << " (eta=" << eta << ")");
+
+  best.target_sigma = target_sigma;
+  best.target_center = target_center;
+  best.eps = eps;
+  const CenterSplit split = split_center(target_center);
+  best.shift_int = split.shift_int;
+  best.shift_frac = split.shift_frac;
+  return best;
+}
+
+CenterSplit split_center(double center) {
+  CGS_CHECK_MSG(std::isfinite(center), "center must be finite");
+  double shift = std::floor(center);
+  double frac = center - shift;
+  if (frac >= 1.0) {  // floor rounding at representability edge
+    shift += 1.0;
+    frac = 0.0;
+  }
+  CGS_CHECK_MSG(
+      std::fabs(shift) <
+          static_cast<double>(std::numeric_limits<std::int32_t>::max() / 2),
+      "center shift overflows int32");
+  return {static_cast<std::int32_t>(shift), frac};
+}
+
+}  // namespace cgs::gauss

@@ -1,0 +1,84 @@
+#pragma once
+// Recipe selection for arbitrary-(sigma, c) sampling: given a target sigma
+// and center, pick a synthesized base sigma_0 and a convolution stride k
+// (Poppelmann-Ducas-Guneysu CHES'14 / Micciancio-Walter style, the schemes
+// the paper's §3 positions its sampler as the base of) so that
+//
+//   x = x_1 + k * x_2,  x_1, x_2 ~ D_{sigma_0}
+//
+// has sigma_0 * sqrt(1 + k^2) >= target sigma. The choice is smoothing-
+// parameter aware: k*x_2 lives on the sublattice kZ, and x_1 can only blur
+// that k-spaced comb into a Gaussian when sigma_0 >= eta_eps(kZ) =
+// k * eta_eps(Z) — by Poisson summation the residue-class ripple is
+// ~2 exp(-2 pi^2 sigma_0^2 / k^2), so a (sigma_0, k) pair violating the
+// bound produces a visibly spiky distribution (the stats/acceptance Renyi
+// check catches exactly this) and is rejected outright. This caps each
+// base's reach at roughly sigma_0^2 / eta, which is why the default
+// candidate set is a geometric ladder rather than just the paper's sets.
+// Non-integer centers are split into an integer shift plus a fractional
+// part served by randomized rounding (a Bernoulli(frac) increment), which
+// preserves the mean exactly and costs at most frac*(1-frac) <= 1/4 of
+// extra variance — negligible against the sigma^2 of any target this
+// layer serves.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gauss/params.h"
+
+namespace cgs::gauss {
+
+/// Smoothing parameter of Z in sigma units (Micciancio-Regev bound):
+/// eta_eps(Z) <= sqrt(ln(2 (1 + 1/eps)) / (2 pi^2)), about 1.51 at
+/// eps = 2^-64. A base smooths the stride-k comb iff sigma_0 >= k * eta.
+double smoothing_eta(double eps);
+
+/// Default smoothing slack for recipe planning.
+inline constexpr double kDefaultSmoothingEps = 0x1p-64;
+
+/// A planned (sigma, center) sampling recipe: everything the online layer
+/// needs to serve the target from two base-sampler streams.
+struct ConvolutionRecipe {
+  GaussianParams base;             // the synthesized base distribution
+  int k = 1;                       // convolution stride
+  double target_sigma = 0.0;
+  double target_center = 0.0;
+  double eps = kDefaultSmoothingEps;  // smoothing slack used in planning
+  double achieved_sigma = 0.0;     // base.sigma() * sqrt(1 + k^2), >= target
+  double sigma_loss = 0.0;         // relative overshoot (achieved-target)/target
+  std::int32_t shift_int = 0;      // floor(target_center)
+  double shift_frac = 0.0;         // target_center - shift_int, in [0, 1)
+
+  std::string describe() const;
+};
+
+/// How recipes carry a center: shift_int = floor(center) and shift_frac =
+/// center - shift_int in [0, 1) (snapped at the floating-point
+/// representability edge). One definition shared by the planner and the
+/// serial validator, so a recipe frame whose shift fields disagree with
+/// its own target_center can never load.
+struct CenterSplit {
+  std::int32_t shift_int = 0;
+  double shift_frac = 0.0;
+};
+CenterSplit split_center(double center);
+
+/// The candidate base set the planner (and the registry's recipe cache)
+/// consider by default: the paper's parameter sets plus a geometric ladder
+/// (~sqrt(3) steps) at the given precision, so consecutive bases' coverage
+/// windows [sigma_0 sqrt(2), ~sigma_0^2/eta] overlap up to sigma ~ 3*10^4.
+std::vector<GaussianParams> default_recipe_bases(int precision = 64);
+
+/// Pick the (base, k) pair for the target: bases whose required stride
+/// violates sigma_0 >= k * eta_eps(Z) (cannot smooth the comb) or whose
+/// convolved support would overflow the 32-bit sample range are skipped;
+/// among the rest the smallest relative sigma overshoot wins (ties go to the
+/// smaller support, i.e. the cheaper synthesis). Throws cgs::Error when the
+/// target is non-finite/non-positive or no candidate is eligible.
+ConvolutionRecipe plan_recipe(double target_sigma, double target_center,
+                              std::span<const GaussianParams> bases,
+                              double eps = kDefaultSmoothingEps);
+
+}  // namespace cgs::gauss

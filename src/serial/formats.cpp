@@ -1,6 +1,10 @@
 #include "serial/formats.h"
 
+#include <bit>
+#include <cmath>
 #include <limits>
+
+#include "conv/convolution.h"
 
 namespace cgs::serial {
 
@@ -291,6 +295,77 @@ gauss::ProbMatrix deserialize_probmatrix(std::span<const std::uint8_t> frame) {
   gauss::ProbMatrix m = read_probmatrix(r);
   r.finish();
   return m;
+}
+
+// ----------------------------------------------------------------- recipe ---
+
+namespace {
+
+void write_f64(Writer& w, double v) { w.u64(std::bit_cast<std::uint64_t>(v)); }
+
+double read_f64(Reader& r, bool allow_negative = true) {
+  const double v = std::bit_cast<double>(r.u64());
+  if (!std::isfinite(v) || (!allow_negative && v < 0.0))
+    throw SerialError("serial: recipe double out of range");
+  return v;
+}
+
+}  // namespace
+
+void write_recipe(Writer& w, const gauss::ConvolutionRecipe& rec) {
+  write_params(w, rec.base);
+  w.i32(rec.k);
+  write_f64(w, rec.target_sigma);
+  write_f64(w, rec.target_center);
+  write_f64(w, rec.eps);
+  write_f64(w, rec.achieved_sigma);
+  write_f64(w, rec.sigma_loss);
+  w.i32(rec.shift_int);
+  write_f64(w, rec.shift_frac);
+}
+
+gauss::ConvolutionRecipe read_recipe(Reader& r) {
+  gauss::ConvolutionRecipe rec;
+  rec.base = read_params(r);
+  rec.k = r.i32();
+  rec.target_sigma = read_f64(r, /*allow_negative=*/false);
+  rec.target_center = read_f64(r);
+  rec.eps = read_f64(r, /*allow_negative=*/false);
+  rec.achieved_sigma = read_f64(r, /*allow_negative=*/false);
+  rec.sigma_loss = read_f64(r);
+  rec.shift_int = r.i32();
+  rec.shift_frac = read_f64(r, /*allow_negative=*/false);
+  if (rec.k < 1 || rec.k > conv::ConvolutionSampler::max_stride())
+    throw SerialError("serial: recipe stride out of range");
+  if (rec.target_sigma <= 0.0 || rec.achieved_sigma < rec.target_sigma ||
+      rec.eps <= 0.0 || rec.eps >= 1.0 || rec.shift_frac >= 1.0)
+    throw SerialError("serial: recipe fields inconsistent");
+  // The combined support (1+k)*max_value must stay well inside int32 (the
+  // planner's own bound): a frame violating it would overflow the combine
+  // and the acceptance pmf even though every field is individually valid.
+  if ((1 + static_cast<std::int64_t>(rec.k)) *
+          static_cast<std::int64_t>(rec.base.max_value()) >
+      std::numeric_limits<std::int32_t>::max() / 4)
+    throw SerialError("serial: recipe stride too large for its base support");
+  // The shift stage is derived state: a frame whose shift disagrees with
+  // its own target_center would serve a wrong-centered (or, for a huge
+  // shift_int, combine-overflowing) distribution despite a valid checksum.
+  const gauss::CenterSplit split = gauss::split_center(rec.target_center);
+  if (rec.shift_int != split.shift_int || rec.shift_frac != split.shift_frac)
+    throw SerialError("serial: recipe shift disagrees with its center");
+  return rec;
+}
+
+std::vector<std::uint8_t> serialize(const gauss::ConvolutionRecipe& rec) {
+  return framed(TypeTag::kRecipe, [&](Writer& w) { write_recipe(w, rec); });
+}
+
+gauss::ConvolutionRecipe deserialize_recipe(
+    std::span<const std::uint8_t> frame) {
+  Reader r(unwrap(frame, TypeTag::kRecipe));
+  gauss::ConvolutionRecipe rec = read_recipe(r);
+  r.finish();
+  return rec;
 }
 
 }  // namespace cgs::serial

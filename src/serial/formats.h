@@ -21,6 +21,7 @@
 #include "fp/bigfix.h"
 #include "gauss/params.h"
 #include "gauss/probmatrix.h"
+#include "gauss/recipe.h"
 #include "serial/serial.h"
 
 namespace cgs::serial {
@@ -66,5 +67,17 @@ SamplerFrame deserialize_sampler(std::span<const std::uint8_t> frame);
 
 std::vector<std::uint8_t> serialize(const gauss::ProbMatrix& m);
 gauss::ProbMatrix deserialize_probmatrix(std::span<const std::uint8_t> frame);
+
+/// Convolution recipes (the (sigma, c) planning result) are cached next to
+/// raw samplers: the frame embeds the full target so a loader can detect a
+/// misfiled entry exactly like the sampler frame does. Doubles travel as
+/// IEEE-754 bit patterns (exact round trip); readers reject non-finite
+/// values and out-of-range strides/fractions.
+void write_recipe(Writer& w, const gauss::ConvolutionRecipe& r);
+gauss::ConvolutionRecipe read_recipe(Reader& r);
+
+std::vector<std::uint8_t> serialize(const gauss::ConvolutionRecipe& r);
+gauss::ConvolutionRecipe deserialize_recipe(
+    std::span<const std::uint8_t> frame);
 
 }  // namespace cgs::serial

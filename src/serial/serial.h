@@ -41,6 +41,7 @@ enum class TypeTag : std::uint32_t {
   kNetlist = 1,
   kSynthesizedSampler = 2,
   kProbMatrix = 3,
+  kRecipe = 4,
 };
 
 /// FNV-1a 64-bit over a byte range — the frame's content hash.

@@ -1,0 +1,119 @@
+#include "stats/acceptance.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cgs::stats {
+
+SignedPmf convolution_design_pmf(const gauss::ProbMatrix& base,
+                                 const gauss::ConvolutionRecipe& recipe) {
+  CGS_CHECK_MSG(base.params().support_size() == recipe.base.support_size() &&
+                    base.precision() == recipe.base.precision,
+                "matrix does not match the recipe's base params");
+  const std::vector<double> q = signed_expected_probs(base);
+  const auto maxv = static_cast<std::int32_t>(base.rows()) - 1;
+  const std::int32_t k = recipe.k;
+
+  // Support of x1 + k*x2: [-(1+k)maxv, (1+k)maxv]; the Bernoulli bump adds
+  // one more value at the top when the center has a fractional part. A
+  // crafted-but-checksummed recipe frame can carry a huge (k, support)
+  // pair; bound the reach in 64 bits before sizing anything by it.
+  const std::int64_t reach64 =
+      (1 + static_cast<std::int64_t>(k)) * static_cast<std::int64_t>(maxv);
+  CGS_CHECK_MSG(reach64 <= (std::int64_t{1} << 22),
+                "design pmf support too large: stride " << k << " over "
+                    << base.rows() << " rows");
+  const auto reach = static_cast<std::int32_t>(reach64);
+  const double frac = recipe.shift_frac;
+  SignedPmf out;
+  out.min_value = -reach + recipe.shift_int;
+  out.probs.assign(static_cast<std::size_t>(2 * reach + 1) + (frac > 0.0),
+                   0.0);
+
+  // conv[(a + k*b) + reach] += q(a) * q(b), then mix the rounding stage:
+  // p(v) = (1-frac) * conv(v - shift) + frac * conv(v - shift - 1).
+  std::vector<double> conv(static_cast<std::size_t>(2 * reach + 1), 0.0);
+  for (std::int32_t a = -maxv; a <= maxv; ++a) {
+    const double qa = q[static_cast<std::size_t>(a + maxv)];
+    if (qa == 0.0) continue;
+    for (std::int32_t b = -maxv; b <= maxv; ++b) {
+      const double qb = q[static_cast<std::size_t>(b + maxv)];
+      conv[static_cast<std::size_t>(a + k * b + reach)] += qa * qb;
+    }
+  }
+  for (std::size_t i = 0; i < conv.size(); ++i) {
+    out.probs[i] += (1.0 - frac) * conv[i];
+    if (frac > 0.0) out.probs[i + 1] += frac * conv[i];
+  }
+  return out;
+}
+
+SignedPmf ideal_gaussian_pmf(double sigma, double center,
+                             std::int32_t min_value, std::int32_t max_value) {
+  CGS_CHECK(sigma > 0.0 && max_value >= min_value);
+  SignedPmf out;
+  out.min_value = min_value;
+  out.probs.resize(static_cast<std::size_t>(max_value - min_value) + 1);
+  double mass = 0.0;
+  for (std::int32_t v = min_value; v <= max_value; ++v) {
+    const double d = (static_cast<double>(v) - center) / sigma;
+    const double p = std::exp(-0.5 * d * d);
+    out.probs[static_cast<std::size_t>(v - min_value)] = p;
+    mass += p;
+  }
+  for (double& p : out.probs) p /= mass;
+  return out;
+}
+
+double renyi_divergence(const SignedPmf& p, const SignedPmf& q, double alpha) {
+  CGS_CHECK_MSG(alpha > 1.0, "Renyi order must be > 1");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.probs.size(); ++i) {
+    const double pv = p.probs[i];
+    if (pv == 0.0) continue;
+    const double qv = q.at(p.min_value + static_cast<std::int32_t>(i));
+    CGS_CHECK_MSG(qv > 0.0, "P has mass outside Q's support");
+    sum += std::pow(pv, alpha) / std::pow(qv, alpha - 1.0);
+  }
+  return std::pow(sum, 1.0 / (alpha - 1.0));
+}
+
+std::string AcceptanceResult::describe() const {
+  std::ostringstream os;
+  os << (accepted() ? "ACCEPTED" : "REJECTED") << " [chi2 stat=" << chi.statistic
+     << " dof=" << chi.dof << " p=" << chi.p_value
+     << (chi_ok ? " ok" : " FAIL") << "; Renyi2=" << renyi
+     << (renyi_ok ? " ok" : " FAIL") << "]";
+  return os.str();
+}
+
+AcceptanceResult accept_convolution(std::span<const std::int32_t> samples,
+                                    const gauss::ProbMatrix& base,
+                                    const gauss::ConvolutionRecipe& recipe,
+                                    const AcceptanceBounds& bounds) {
+  CGS_CHECK_MSG(!samples.empty(), "acceptance needs samples");
+  const SignedPmf design = convolution_design_pmf(base, recipe);
+
+  std::vector<std::uint64_t> observed(design.probs.size(), 0);
+  for (std::int32_t s : samples) {
+    const std::int64_t i = static_cast<std::int64_t>(s) - design.min_value;
+    CGS_CHECK_MSG(i >= 0 && i < static_cast<std::int64_t>(observed.size()),
+                  "sample " << s << " outside the design support");
+    ++observed[static_cast<std::size_t>(i)];
+  }
+
+  AcceptanceResult r;
+  r.chi = chi_square(observed, design.probs);
+  r.chi_ok = r.chi.p_value >= bounds.min_chi_p;
+
+  const SignedPmf ideal =
+      ideal_gaussian_pmf(recipe.achieved_sigma, recipe.target_center,
+                         design.min_value, design.max_value());
+  r.renyi = renyi_divergence(design, ideal, bounds.renyi_alpha);
+  r.renyi_ok = r.renyi <= bounds.max_renyi;
+  return r;
+}
+
+}  // namespace cgs::stats

@@ -1,0 +1,84 @@
+#pragma once
+// Acceptance testing for the convolution service: does a batch of convolved
+// samples actually follow D_{sigma, c}? Two checks, combined:
+//
+//  1. chi-square of the observed histogram against the *design* pmf — the
+//     exact distribution the pipeline is built to produce (base signed pmf
+//     convolved with its k-strided copy, integer-shifted, mixed by the
+//     Bernoulli(frac) rounding stage). This catches implementation bugs:
+//     wrong stride, wrong shift, broken rounding, biased streams.
+//  2. Renyi divergence of that design pmf against the ideal discrete
+//     Gaussian at (achieved sigma, c) — an analytic closeness certificate
+//     in the measure the paper's §7 points to ([28]): it catches *planning*
+//     bugs (a base below smoothing, a sigma mis-reported) that the
+//     self-consistent chi-square can never see.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gauss/probmatrix.h"
+#include "gauss/recipe.h"
+#include "stats/chisquare.h"
+
+namespace cgs::stats {
+
+/// A pmf over the contiguous signed support [min_value, min_value + size).
+struct SignedPmf {
+  std::int32_t min_value = 0;
+  std::vector<double> probs;
+
+  std::int32_t max_value() const {
+    return min_value + static_cast<std::int32_t>(probs.size()) - 1;
+  }
+  double at(std::int32_t v) const {
+    const std::int64_t i = static_cast<std::int64_t>(v) - min_value;
+    return (i < 0 || i >= static_cast<std::int64_t>(probs.size()))
+               ? 0.0
+               : probs[static_cast<std::size_t>(i)];
+  }
+};
+
+/// The exact pmf of x1 + k*x2 + shift_int + Bernoulli(shift_frac) with
+/// x1, x2 drawn from `base`'s signed distribution (conditional on no
+/// restart, matching what the engine emits).
+SignedPmf convolution_design_pmf(const gauss::ProbMatrix& base,
+                                 const gauss::ConvolutionRecipe& recipe);
+
+/// Discrete Gaussian D_{sigma, center} restricted to [min_value, max_value]
+/// and renormalized over that range.
+SignedPmf ideal_gaussian_pmf(double sigma, double center,
+                             std::int32_t min_value, std::int32_t max_value);
+
+/// Renyi divergence R_alpha(P || Q), alpha > 1, over P's support; requires
+/// Q > 0 wherever P > 0.
+double renyi_divergence(const SignedPmf& p, const SignedPmf& q, double alpha);
+
+/// Tabulated acceptance bounds. The Renyi bound is calibrated for bases at
+/// or above eta_eps(Z): the convolution then tracks the ideal Gaussian to
+/// R_2 - 1 well below 1e-4, while a ~1%-misplanned sigma already exceeds
+/// the default bound.
+struct AcceptanceBounds {
+  double min_chi_p = 1e-4;     // reject implementation-level mismatch
+  double renyi_alpha = 2.0;
+  double max_renyi = 1.0 + 1e-3;  // reject planning-level mismatch
+};
+
+struct AcceptanceResult {
+  ChiSquareResult chi;   // observed vs design pmf
+  double renyi = 0.0;    // design pmf vs ideal D_{achieved sigma, c}
+  bool chi_ok = false;
+  bool renyi_ok = false;
+  bool accepted() const { return chi_ok && renyi_ok; }
+  std::string describe() const;
+};
+
+/// Run both checks on a sample batch produced under `recipe` from `base`
+/// (which must be the matrix of recipe.base).
+AcceptanceResult accept_convolution(std::span<const std::int32_t> samples,
+                                    const gauss::ProbMatrix& base,
+                                    const gauss::ConvolutionRecipe& recipe,
+                                    const AcceptanceBounds& bounds = {});
+
+}  // namespace cgs::stats

@@ -12,8 +12,12 @@
 
 #include <array>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "cdt/cdt_samplers.h"
+#include "common/bits.h"
+#include "conv/convolution.h"
 #include "ct/bitsliced_sampler.h"
 #include "prng/splitmix.h"
 #include "stats/dudect.h"
@@ -147,6 +151,50 @@ TEST_F(TimingFixture, LinearCdtFlat) {
   const auto r = stats::dudect(
       [&](int cls) { (void)s.sample_magnitude(source_for(cls)); },
       {.measurements = 12000, .warmup = 500, .keep_percentile = 0.9});
+  EXPECT_LT(std::fabs(r.t), 30.0) << r.describe();
+}
+
+TEST(StructuralCt, BranchFreePrimitivesMatchTheirSpecs) {
+  // The combine/shift stage is built on these two; verify them against the
+  // branchy spec over adversarial and random inputs.
+  prng::SplitMix64Source rng(2024);
+  const std::uint64_t edges[] = {0ull, 1ull, (1ull << 63) - 1, 1ull << 63,
+                                 ~0ull, ~0ull - 1};
+  for (std::uint64_t x : edges)
+    for (std::uint64_t y : edges)
+      ASSERT_EQ(ct_lt_u64(x, y), x < y ? 1u : 0u) << x << " " << y;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t x = rng.next_word(), y = rng.next_word();
+    ASSERT_EQ(ct_lt_u64(x, y), x < y ? 1u : 0u);
+  }
+  const std::int32_t iedges[] = {0, 1, -1, 1000000, -1000000,
+                                 std::numeric_limits<std::int32_t>::max(),
+                                 std::numeric_limits<std::int32_t>::min() + 1};
+  for (std::int32_t v : iedges)
+    ASSERT_EQ(ct_abs_i32(v), static_cast<std::uint32_t>(std::abs(
+                                 static_cast<std::int64_t>(v))));
+}
+
+TEST_F(TimingFixture, ConvolutionCombineStageFlat) {
+  // The fix under test: the combine/shift/randomized-rounding stage must be
+  // branch-free on the *values* — class 0 feeds all-zero inputs, class 1
+  // fresh random in-support samples, and the Welch t statistic over the
+  // combine runtime must stay below the (noise-tolerant, CI-stable)
+  // threshold the other structurally-flat samplers use.
+  conv::BatchConvolver cv(13, -3, 0.5);
+  constexpr std::size_t kN = 256;
+  std::array<std::int32_t, kN> zero1{}, zero2{}, rand1{}, rand2{}, out{};
+  prng::SplitMix64Source seed(77);
+  for (std::size_t i = 0; i < kN; ++i) {
+    rand1[i] = static_cast<std::int32_t>(seed.next_word() % 561) - 280;
+    rand2[i] = static_cast<std::int32_t>(seed.next_word() % 561) - 280;
+  }
+  const auto r = stats::dudect(
+      [&](int cls) {
+        auto& rounding = source_for(cls);  // class-independent serving cost
+        cv.combine(cls ? rand1 : zero1, cls ? rand2 : zero2, rounding, out);
+      },
+      {.measurements = 8000, .warmup = 500, .keep_percentile = 0.9});
   EXPECT_LT(std::fabs(r.t), 30.0) << r.describe();
 }
 

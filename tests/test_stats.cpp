@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include "cdt/cdt_samplers.h"
@@ -121,6 +122,115 @@ TEST(Convolution, SigmaFormulaAndStride) {
   const int k = conv::ConvolutionSampler::stride_for(6.15543, 215.0);
   EXPECT_GE(conv::ConvolutionSampler::combined_sigma(6.15543, k), 215.0);
   EXPECT_LT(conv::ConvolutionSampler::combined_sigma(6.15543, k - 1), 215.0);
+}
+
+TEST(Convolution, StrideEdgeCases) {
+  using CS = conv::ConvolutionSampler;
+  // k=1 boundary: target equal to the base, and up to base*sqrt(2), both
+  // resolve to the minimal stride; just past sqrt(2) bumps to 2.
+  EXPECT_EQ(CS::stride_for(6.15543, 6.15543), 1);
+  EXPECT_EQ(CS::stride_for(6.15543, 6.15543 * std::sqrt(2.0) - 1e-9), 1);
+  EXPECT_EQ(CS::stride_for(6.15543, 6.15543 * std::sqrt(2.0) + 1e-9), 2);
+
+  // Closed form agrees with the definition across magnitudes.
+  for (double target : {10.0, 215.0, 1e4, 1e6}) {
+    const int k = CS::stride_for(2.0, target);
+    EXPECT_GE(CS::combined_sigma(2.0, k), target);
+    if (k > 1) EXPECT_LT(CS::combined_sigma(2.0, k - 1), target);
+  }
+
+  // Target below the base is a contract violation (a convolution cannot
+  // shrink sigma), not a silent k=1.
+  EXPECT_THROW(CS::stride_for(6.15543, 3.0), Error);
+  // Large-sigma overflow: a stride beyond max_stride() would overflow the
+  // int32 combine; the guard throws instead of wrapping.
+  EXPECT_THROW(CS::stride_for(1.0, 3e6), Error);
+  EXPECT_THROW(
+      CS::stride_for(1.0, std::numeric_limits<double>::infinity()), Error);
+  // The largest admissible stride still resolves exactly.
+  const double at_max =
+      CS::combined_sigma(1.0, CS::max_stride());
+  EXPECT_EQ(CS::stride_for(1.0, at_max), CS::max_stride());
+}
+
+TEST(Convolution, CombineOverflowIsCaughtNotWrapped) {
+  // max_stride() bounds k, not k * support: a wide base under the maximal
+  // stride must throw from the 64-bit combine instead of wrapping int32.
+  struct WideBase final : IntSampler {
+    std::int32_t sample(RandomBitSource&) override { return 3000; }
+    std::uint32_t sample_magnitude(RandomBitSource&) override { return 3000; }
+    const char* name() const override { return "wide-stub"; }
+    bool constant_time() const override { return true; }
+  } base;
+  conv::ConvolutionSampler cs(base, conv::ConvolutionSampler::max_stride());
+  prng::SplitMix64Source rng(1);
+  EXPECT_THROW(cs.sample(rng), Error);
+}
+
+TEST(BatchConvolver, MatchesScalarCombineAndAllowsAliasing) {
+  conv::BatchConvolver cv(7, -3, 0.0);
+  EXPECT_FALSE(cv.randomized_rounding());
+  prng::SplitMix64Source rng(9);
+  std::vector<std::int32_t> x1(257), x2(257), out(257);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    x1[i] = static_cast<std::int32_t>(rng.next_word() % 201) - 100;
+    x2[i] = static_cast<std::int32_t>(rng.next_word() % 201) - 100;
+  }
+  cv.combine(x1, x2, out);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], x1[i] + 7 * x2[i] - 3) << i;
+
+  // Documented aliasing: out == x1.
+  std::vector<std::int32_t> inplace = x1;
+  cv.combine(inplace, x2, inplace);
+  EXPECT_EQ(inplace, out);
+}
+
+TEST(BatchConvolver, RandomizedRoundingIsBernoulliFrac) {
+  const double frac = 0.25;
+  conv::BatchConvolver cv(1, 0, frac);
+  EXPECT_TRUE(cv.randomized_rounding());
+  // threshold = frac * 2^64 exactly for dyadic frac.
+  EXPECT_EQ(conv::BatchConvolver::bernoulli_threshold(0.0), 0u);
+  EXPECT_EQ(conv::BatchConvolver::bernoulli_threshold(0.5), 1ull << 63);
+  EXPECT_EQ(conv::BatchConvolver::bernoulli_threshold(0.25), 1ull << 62);
+
+  prng::SplitMix64Source rng(11);
+  std::vector<std::int32_t> zero(100000, 0), out(100000);
+  cv.combine(zero, zero, rng, out);
+  std::uint64_t ones = 0;
+  for (auto v : out) {
+    ASSERT_TRUE(v == 0 || v == 1);
+    ones += static_cast<std::uint64_t>(v);
+  }
+  // Binomial(1e5, 0.25): sd ~ 137; allow 5 sigma.
+  EXPECT_NEAR(static_cast<double>(ones), 25000.0, 700.0);
+}
+
+TEST(BatchConvolver, MaskedCombineCompactsValidPairs) {
+  conv::BatchConvolver cv(10, 1, 0.0);
+  prng::SplitMix64Source rng(13);
+  // 128 lanes each; x1 keeps even lanes, x2 keeps lanes not divisible by 3.
+  std::vector<std::int32_t> x1(128), x2(128);
+  std::vector<std::uint64_t> m1(2, 0), m2(2, 0);
+  for (int i = 0; i < 128; ++i) {
+    x1[static_cast<std::size_t>(i)] = i;
+    x2[static_cast<std::size_t>(i)] = 1000 + i;
+    if (i % 2 == 0) m1[static_cast<std::size_t>(i / 64)] |= 1ull << (i % 64);
+    if (i % 3 != 0) m2[static_cast<std::size_t>(i / 64)] |= 1ull << (i % 64);
+  }
+  std::vector<std::int32_t> out(64);
+  const std::size_t n = cv.combine_masked(x1, m1, x2, m2, rng, out);
+  // 64 valid lanes in x1, 85 in x2 -> 64 pairs, capped by out size.
+  EXPECT_EQ(n, 64u);
+  // First pair: lane 0 of x1 with lane 1 of x2 (lane 0 of x2 is dropped).
+  EXPECT_EQ(out[0], 0 + 10 * 1001 + 1);
+  // Second pair: lane 2 of x1, lane 2 of x2.
+  EXPECT_EQ(out[1], 2 + 10 * 1002 + 1);
+
+  // Short output: stops exactly at capacity.
+  std::vector<std::int32_t> small(5);
+  EXPECT_EQ(cv.combine_masked(x1, m1, x2, m2, rng, small), 5u);
 }
 
 TEST(Convolution, EmpiricalVarianceMatches) {
