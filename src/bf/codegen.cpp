@@ -4,6 +4,33 @@
 
 namespace cgs::bf {
 
+namespace {
+
+// Shared emitter: `word` is the lane-word C type, `zero`/`ones` its
+// constants, `load` renders the input expression for netlist input k.
+template <typename LoadFn>
+void emit_body(std::ostringstream& os, const Netlist& nl,
+               const std::string& word, const std::string& zero,
+               const std::string& ones, LoadFn load) {
+  const auto& nodes = nl.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    os << "  const " << word << " t" << i << " = ";
+    switch (n.op) {
+      case Op::kConst0: os << zero; break;
+      case Op::kConst1: os << ones; break;
+      case Op::kInput:  os << load(n.a); break;
+      case Op::kNot:    os << "~t" << n.a; break;
+      case Op::kAnd:    os << "t" << n.a << " & t" << n.b; break;
+      case Op::kOr:     os << "t" << n.a << " | t" << n.b; break;
+      case Op::kXor:    os << "t" << n.a << " ^ t" << n.b; break;
+    }
+    os << ";\n";
+  }
+}
+
+}  // namespace
+
 std::string emit_c(const Netlist& nl, const std::string& name) {
   std::ostringstream os;
   os << "#include <stdint.h>\n\n"
@@ -12,24 +39,33 @@ std::string emit_c(const Netlist& nl, const std::string& name) {
      << " * Straight-line code: no branches, no table lookups. */\n"
      << "void " << name << "(const uint64_t in[" << nl.num_inputs()
      << "], uint64_t out[" << nl.outputs().size() << "]) {\n";
-  const auto& nodes = nl.nodes();
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const Node& n = nodes[i];
-    os << "  const uint64_t t" << i << " = ";
-    switch (n.op) {
-      case Op::kConst0: os << "UINT64_C(0)"; break;
-      case Op::kConst1: os << "~UINT64_C(0)"; break;
-      case Op::kInput:  os << "in[" << n.a << "]"; break;
-      case Op::kNot:    os << "~t" << n.a; break;
-      case Op::kAnd:    os << "t" << n.a << " & t" << n.b; break;
-      case Op::kOr:     os << "t" << n.a << " | t" << n.b; break;
-      case Op::kXor:    os << "t" << n.a << " ^ t" << n.b; break;
-    }
-    os << ";\n";
-  }
+  emit_body(os, nl, "uint64_t", "UINT64_C(0)", "~UINT64_C(0)",
+            [](int k) { return "in[" + std::to_string(k) + "]"; });
   const auto& outs = nl.outputs();
   for (std::size_t o = 0; o < outs.size(); ++o)
     os << "  out[" << o << "] = t" << outs[o] << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string emit_c_wide(const Netlist& nl, const std::string& name) {
+  std::ostringstream os;
+  os << "#include <stdint.h>\n\n"
+     << "/* Auto-generated constant-time bit-sliced sampler core, 256-lane\n"
+     << " * form: the same straight-line netlist on 4x64-bit vector words\n"
+     << " * (GCC vector extensions; compiles to AVX2 where available).\n"
+     << " * " << nl.stats() << " */\n"
+     << "typedef uint64_t cgs_w4 "
+        "__attribute__((vector_size(32), aligned(8)));\n\n"
+     << "void " << name << "(const uint64_t in[" << 4 * nl.num_inputs()
+     << "], uint64_t out[" << 4 * nl.outputs().size() << "]) {\n";
+  emit_body(os, nl, "cgs_w4", "((cgs_w4){0, 0, 0, 0})",
+            "~((cgs_w4){0, 0, 0, 0})", [](int k) {
+              return "*(const cgs_w4*)(in + " + std::to_string(4 * k) + ")";
+            });
+  const auto& outs = nl.outputs();
+  for (std::size_t o = 0; o < outs.size(); ++o)
+    os << "  *(cgs_w4*)(out + " << 4 * o << ") = t" << outs[o] << ";\n";
   os << "}\n";
   return os.str();
 }

@@ -13,4 +13,12 @@ namespace cgs::bf {
 ///   void <name>(const uint64_t in[num_inputs], uint64_t out[num_outputs]);
 std::string emit_c(const Netlist& nl, const std::string& name);
 
+/// Same straight-line netlist on 4x64 = 256 lanes via GCC vector
+/// extensions (the paper's §3.2 word-width scaling, applied to the
+/// compiled artifact): in/out are 4 uint64 words per netlist bit,
+/// group-major (word g of bit k at index 4*k + g). The typedef carries
+/// aligned(8) so callers need not over-align their buffers.
+///   void <name>(const uint64_t in[4*num_inputs], uint64_t out[4*num_outputs]);
+std::string emit_c_wide(const Netlist& nl, const std::string& name);
+
 }  // namespace cgs::bf

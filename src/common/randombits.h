@@ -32,7 +32,9 @@ class RandomBitSource {
   }
 
   /// Fill a span with fresh words (bulk path for bit-sliced batches).
-  void fill_words(std::span<std::uint64_t> out) {
+  /// Overrides must produce exactly the words repeated next_word() calls
+  /// would — block-refill consumers and scalar consumers share streams.
+  virtual void fill_words(std::span<std::uint64_t> out) {
     for (auto& w : out) w = next_word();
   }
 

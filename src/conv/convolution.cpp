@@ -16,15 +16,7 @@ ConvolutionSampler::ConvolutionSampler(IntSampler& base, int k)
 std::int32_t ConvolutionSampler::sample(RandomBitSource& rng) {
   const std::int32_t x1 = base_->sample(rng);
   const std::int32_t x2 = base_->sample(rng);
-  // 64-bit combine: max_stride() bounds k but not the base's support, so a
-  // wide base under a huge stride must fail loudly, not wrap int32.
-  const std::int64_t r =
-      static_cast<std::int64_t>(x1) + static_cast<std::int64_t>(k_) * x2;
-  CGS_CHECK_MSG(r >= std::numeric_limits<std::int32_t>::min() &&
-                    r <= std::numeric_limits<std::int32_t>::max(),
-                "convolution combine overflows int32: stride " << k_
-                    << " is too large for this base's support");
-  return static_cast<std::int32_t>(r);
+  return BatchConvolver::combine_one(x1, x2, k_);
 }
 
 std::uint32_t ConvolutionSampler::sample_magnitude(RandomBitSource& rng) {
@@ -67,6 +59,19 @@ BatchConvolver::BatchConvolver(int k, std::int32_t shift_int,
   CGS_CHECK(k >= 1 && k <= ConvolutionSampler::max_stride());
   CGS_CHECK_MSG(shift_frac >= 0.0 && shift_frac < 1.0,
                 "fractional shift must be in [0, 1)");
+}
+
+std::int32_t BatchConvolver::combine_one(std::int32_t x1, std::int32_t x2,
+                                         int k) {
+  // 64-bit combine: max_stride() bounds k but not the base's support, so a
+  // wide base under a huge stride must fail loudly, not wrap int32.
+  const std::int64_t r =
+      static_cast<std::int64_t>(x1) + static_cast<std::int64_t>(k) * x2;
+  CGS_CHECK_MSG(r >= std::numeric_limits<std::int32_t>::min() &&
+                    r <= std::numeric_limits<std::int32_t>::max(),
+                "convolution combine overflows int32: stride " << k
+                    << " is too large for this base's support");
+  return static_cast<std::int32_t>(r);
 }
 
 std::uint64_t BatchConvolver::bernoulli_threshold(double frac) {

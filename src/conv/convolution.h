@@ -109,6 +109,13 @@ class BatchConvolver {
   /// saturated; frac == 0 maps to 0 (never add), frac -> 1 to ~2^64-1.
   static std::uint64_t bernoulli_threshold(double frac);
 
+  /// Single-pair combine, the one place the x1 + k*x2 arithmetic and its
+  /// failure mode live: computed in 64 bits and throws instead of wrapping
+  /// int32 when the stride/support combination overflows (the planner's
+  /// reach bound guarantees it cannot for recipes it emits). The scalar
+  /// ConvolutionSampler routes through this.
+  static std::int32_t combine_one(std::int32_t x1, std::int32_t x2, int k);
+
  private:
   int k_;
   std::int32_t shift_int_;

@@ -1,2 +1,28 @@
 #include "ct/buffered.h"
-// Adapters are header-only; this TU anchors the target.
+
+#include "common/check.h"
+
+namespace cgs::ct {
+
+void BitslicedBlockSource::fill_base(std::span<std::int32_t> out) {
+  // Invalid lanes (a DDG restart; ~never at cryptographic precision) are
+  // dropped. Consecutive all-invalid batches mean a pathological netlist —
+  // fail loudly rather than spin (same guard as the engine workers).
+  constexpr int kMaxEmptyBatches = 1000;
+  int empty_streak = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t before = pos;
+    std::int32_t batch[BitslicedSampler::kBatch];
+    const std::uint64_t valid = core_.sample_batch(*rng_, batch);
+    for (int lane = 0; lane < BitslicedSampler::kBatch && pos < out.size();
+         ++lane)
+      if ((valid >> lane) & 1u) out[pos++] = batch[lane];
+    empty_streak = pos == before ? empty_streak + 1 : 0;
+    CGS_CHECK_MSG(empty_streak < kMaxEmptyBatches,
+                  "block source produced no valid lanes for "
+                      << kMaxEmptyBatches << " consecutive batches");
+  }
+}
+
+}  // namespace cgs::ct

@@ -42,22 +42,39 @@ CompiledKernel::CompiledKernel(const SynthesizedSampler& synth)
   const std::string stem = unique_stem();
   const std::string c_path = stem + ".c";
   so_path_ = stem + ".so";
-  {
+  const auto write_source = [&](bool with_wide) {
     std::ofstream out(c_path);
     CGS_CHECK_MSG(out.good(), "cannot write kernel source");
     out << bf::emit_c(synth.netlist, "cgs_kernel");
-  }
+    if (with_wide)
+      out << "\n" << bf::emit_c_wide(synth.netlist, "cgs_kernel_w4");
+  };
   const std::string compiler =
       run_quiet("cc --version") == 0 ? "cc" : "gcc";
-  const std::string cmd = compiler + " -O2 -shared -fPIC -w -o " + so_path_ +
-                          " " + c_path;
-  CGS_CHECK_MSG(std::system(cmd.c_str()) == 0, "kernel compilation failed");
+  // The kernel is compiled on the host it runs on — exactly the case
+  // -march=native exists for (the wide form roughly doubles on AVX2).
+  // Fallback ladder: native with the 256-lane form -> generic with it ->
+  // scalar-only source (a host compiler without GCC vector extensions
+  // rejects the wide function; the 64-lane kernel must still serve).
+  const std::string flags = " -O2 -shared -fPIC -w -o ";
+  const std::string native_cmd =
+      compiler + " -march=native" + flags + so_path_ + " " + c_path;
+  const std::string generic_cmd = compiler + flags + so_path_ + " " + c_path;
+  write_source(/*with_wide=*/true);
+  if (run_quiet(native_cmd) != 0 && run_quiet(generic_cmd) != 0) {
+    write_source(/*with_wide=*/false);
+    CGS_CHECK_MSG(std::system(generic_cmd.c_str()) == 0,
+                  "kernel compilation failed");
+  }
   std::remove(c_path.c_str());
 
   handle_ = dlopen(so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
   CGS_CHECK_MSG(handle_ != nullptr, "dlopen failed");
   fn_ = reinterpret_cast<Fn>(dlsym(handle_, "cgs_kernel"));
   CGS_CHECK_MSG(fn_ != nullptr, "kernel symbol missing");
+  // Absent only if the host compiler rejects vector extensions — the
+  // scalar form still serves, callers check has_wide().
+  fn_wide_ = reinterpret_cast<Fn>(dlsym(handle_, "cgs_kernel_w4"));
 }
 
 CompiledKernel::~CompiledKernel() {
@@ -69,6 +86,13 @@ void CompiledKernel::eval(std::span<const std::uint64_t> in,
                           std::span<std::uint64_t> out) const {
   CGS_DCHECK(in.size() == num_inputs_ && out.size() == num_outputs_);
   fn_(in.data(), out.data());
+}
+
+void CompiledKernel::eval_wide(std::span<const std::uint64_t> in,
+                               std::span<std::uint64_t> out) const {
+  CGS_CHECK_MSG(fn_wide_ != nullptr, "kernel has no wide form");
+  CGS_DCHECK(in.size() == 4 * num_inputs_ && out.size() == 4 * num_outputs_);
+  fn_wide_(in.data(), out.data());
 }
 
 CompiledBitslicedSampler::CompiledBitslicedSampler(SynthesizedSampler synth)
@@ -120,6 +144,95 @@ std::uint64_t CompiledBitslicedSampler::sample_batch(
     out[static_cast<std::size_t>(lane)] = (mag ^ s) - s;
   }
   return valid;
+}
+
+WideCompiledSampler::WideCompiledSampler(
+    SynthesizedSampler synth, std::shared_ptr<const CompiledKernel> kernel)
+    : synth_(std::move(synth)),
+      kernel_(std::move(kernel)),
+      in_(4 * static_cast<std::size_t>(synth_.precision)),
+      out_words_(4 * synth_.netlist.outputs().size()) {
+  CGS_CHECK_MSG(kernel_ != nullptr && kernel_->has_wide(),
+                "WideCompiledSampler needs a kernel with the wide form");
+  CGS_CHECK_MSG(kernel_->num_inputs() * 4 == in_.size() &&
+                    kernel_->num_outputs() * 4 == out_words_.size(),
+                "shared kernel dimensions disagree with sampler netlist");
+}
+
+namespace {
+
+// kSpread[b] holds the 8 bits of byte b spread one-per-byte (bit i ->
+// byte i, value 0 or 1): the lane unpack becomes m table lookups per 8
+// lanes instead of m shift/mask/or chains per lane.
+constexpr std::array<std::uint64_t, 256> make_spread_table() {
+  std::array<std::uint64_t, 256> t{};
+  for (int b = 0; b < 256; ++b) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      if ((b >> i) & 1) v |= std::uint64_t{1} << (8 * i);
+    t[static_cast<std::size_t>(b)] = v;
+  }
+  return t;
+}
+constexpr std::array<std::uint64_t, 256> kSpread = make_spread_table();
+
+}  // namespace
+
+void WideCompiledSampler::sample_magnitudes(
+    RandomBitSource& rng, std::span<std::uint32_t> out,
+    std::span<std::uint64_t> valid_mask) {
+  CGS_CHECK(out.size() >= kBatch && valid_mask.size() >= 4);
+  rng.fill_words(in_);
+  kernel_->eval_wide(in_, out_words_);
+  const int m = synth_.num_output_bits;
+  for (int group = 0; group < 4; ++group) {
+    if (m <= 8) {
+      // Byte-parallel transpose: magnitudes fit a byte, so 8 lanes at a
+      // time accumulate as the 8 bytes of one word.
+      for (int chunk = 0; chunk < 8; ++chunk) {
+        std::uint64_t acc = 0;
+        for (int iota = 0; iota < m; ++iota)
+          acc |= kSpread[(out_words_[static_cast<std::size_t>(4 * iota +
+                                                              group)] >>
+                          (8 * chunk)) &
+                         0xff]
+                 << iota;
+        for (int j = 0; j < 8; ++j)
+          out[static_cast<std::size_t>(64 * group + 8 * chunk + j)] =
+              static_cast<std::uint32_t>((acc >> (8 * j)) & 0xff);
+      }
+    } else {
+      for (int lane = 0; lane < 64; ++lane) {
+        std::uint32_t v = 0;
+        for (int iota = 0; iota < m; ++iota)
+          v |= static_cast<std::uint32_t>(
+                   (out_words_[static_cast<std::size_t>(4 * iota + group)] >>
+                    lane) &
+                   1u)
+               << iota;
+        out[static_cast<std::size_t>(64 * group + lane)] = v;
+      }
+    }
+    valid_mask[static_cast<std::size_t>(group)] =
+        synth_.has_valid_bit
+            ? out_words_[static_cast<std::size_t>(4 * m + group)]
+            : ~std::uint64_t(0);
+  }
+}
+
+void WideCompiledSampler::sample_batch(RandomBitSource& rng,
+                                       std::span<std::int32_t> out,
+                                       std::span<std::uint64_t> valid_mask) {
+  std::uint32_t mags[kBatch];
+  sample_magnitudes(rng, mags, valid_mask);
+  for (int group = 0; group < 4; ++group) {
+    const std::uint64_t signs = rng.next_word();
+    for (int lane = 0; lane < 64; ++lane) {
+      const auto mag = static_cast<std::int32_t>(mags[64 * group + lane]);
+      const std::int32_t s = -static_cast<std::int32_t>((signs >> lane) & 1u);
+      out[static_cast<std::size_t>(64 * group + lane)] = (mag ^ s) - s;
+    }
+  }
 }
 
 std::int32_t BufferedCompiledSampler::sample(RandomBitSource& rng) {

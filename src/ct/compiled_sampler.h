@@ -18,8 +18,9 @@ namespace cgs::ct {
 
 class CompiledKernel {
  public:
-  /// Emits, compiles and loads the kernel. Throws cgs::Error if the host
-  /// compiler fails; use try_compile for a soft probe.
+  /// Emits, compiles and loads the kernel — both the 64-lane form and the
+  /// 256-lane vector form (one compile, two symbols). Throws cgs::Error if
+  /// the host compiler fails; use is_available for a soft probe.
   explicit CompiledKernel(const SynthesizedSampler& synth);
   ~CompiledKernel();
 
@@ -28,6 +29,12 @@ class CompiledKernel {
 
   void eval(std::span<const std::uint64_t> in,
             std::span<std::uint64_t> out) const;
+
+  /// 256-lane form: 4 words per netlist bit, group-major (word g of bit k
+  /// at index 4*k + g). Spans must be 4x the scalar sizes.
+  void eval_wide(std::span<const std::uint64_t> in,
+                 std::span<std::uint64_t> out) const;
+  bool has_wide() const { return fn_wide_ != nullptr; }
 
   std::size_t num_inputs() const { return num_inputs_; }
   std::size_t num_outputs() const { return num_outputs_; }
@@ -39,6 +46,7 @@ class CompiledKernel {
   using Fn = void (*)(const std::uint64_t*, std::uint64_t*);
   void* handle_ = nullptr;
   Fn fn_ = nullptr;
+  Fn fn_wide_ = nullptr;
   std::size_t num_inputs_ = 0;
   std::size_t num_outputs_ = 0;
   std::string so_path_;
@@ -67,6 +75,31 @@ class CompiledBitslicedSampler {
   SynthesizedSampler synth_;
   std::shared_ptr<const CompiledKernel> kernel_;
   std::vector<std::uint64_t> in_, out_words_;
+};
+
+/// 256-lane runner over the compiled kernel's vector form — the fastest
+/// single-stream base-sample producer in the library (the engine's
+/// compiled backend uses it when the kernel carries the wide symbol).
+/// Mirrors WideBitslicedSampler's batch/mask interface.
+class WideCompiledSampler {
+ public:
+  static constexpr int kBatch = 256;
+
+  /// `kernel` must carry the wide form (has_wide()) and match the synth.
+  WideCompiledSampler(SynthesizedSampler synth,
+                      std::shared_ptr<const CompiledKernel> kernel);
+
+  const SynthesizedSampler& synth() const { return synth_; }
+
+  void sample_magnitudes(RandomBitSource& rng, std::span<std::uint32_t> out,
+                         std::span<std::uint64_t> valid_mask);
+  void sample_batch(RandomBitSource& rng, std::span<std::int32_t> out,
+                    std::span<std::uint64_t> valid_mask);
+
+ private:
+  SynthesizedSampler synth_;
+  std::shared_ptr<const CompiledKernel> kernel_;
+  std::vector<std::uint64_t> in_, out_words_;  // 4 words per netlist bit
 };
 
 /// Buffered IntSampler over the compiled kernel (Table 1's "this work").

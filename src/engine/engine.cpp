@@ -30,8 +30,15 @@ struct SamplerEngine::Worker {
     const auto& synth = *engine.synth_;
     switch (engine.backend_) {
       case Backend::kCompiled:
-        compiled = std::make_unique<ct::CompiledBitslicedSampler>(
-            synth, engine.kernel_);
+        // The kernel's 256-lane vector form is ~the wide interpreter's
+        // batch width at compiled speed; fall back to the 64-lane symbol
+        // on host compilers without vector extensions.
+        if (engine.kernel_->has_wide())
+          wide_compiled =
+              std::make_unique<ct::WideCompiledSampler>(synth, engine.kernel_);
+        else
+          compiled = std::make_unique<ct::CompiledBitslicedSampler>(
+              synth, engine.kernel_);
         break;
       case Backend::kWide:
         wide = std::make_unique<ct::WideBitslicedSampler>(synth);
@@ -88,10 +95,13 @@ struct SamplerEngine::Worker {
     std::size_t pos = 0;
     while (pos < out.size()) {
       const std::size_t before = pos;
-      if (wide) {
+      if (wide || wide_compiled) {
         std::int32_t batch[ct::WideBitslicedSampler::kBatch];
         std::uint64_t mask[4];
-        wide->sample_batch(rng, batch, mask);
+        if (wide)
+          wide->sample_batch(rng, batch, mask);
+        else
+          wide_compiled->sample_batch(rng, batch, mask);
         for (int lane = 0; lane < ct::WideBitslicedSampler::kBatch && pos < out.size(); ++lane)
           if ((mask[lane / 64] >> (lane % 64)) & 1u) out[pos++] = batch[lane];
       } else {
@@ -115,6 +125,7 @@ struct SamplerEngine::Worker {
  private:
   SamplerEngine& engine_;
   std::unique_ptr<ct::WideBitslicedSampler> wide;
+  std::unique_ptr<ct::WideCompiledSampler> wide_compiled;
   std::unique_ptr<ct::BitslicedSampler> interp;
   std::unique_ptr<ct::CompiledBitslicedSampler> compiled;
 };
@@ -199,9 +210,11 @@ void SamplerEngine::sample(std::span<std::int32_t> out) {
   // the wide backend) to keep a fraction of it. Serve inline on the calling
   // thread (worker 0's stream — safe: no generation is in flight while mu_
   // is held, so its pool thread is parked).
-  const std::size_t batch = backend_ == Backend::kWide
-                                ? ct::WideBitslicedSampler::kBatch
-                                : ct::BitslicedSampler::kBatch;
+  const std::size_t batch =
+      backend_ == Backend::kWide ||
+              (backend_ == Backend::kCompiled && kernel_->has_wide())
+          ? ct::WideBitslicedSampler::kBatch
+          : ct::BitslicedSampler::kBatch;
   const std::size_t num_workers = workers_.size();
   if (num_workers == 1 || n < num_workers * batch) {
     workers_[0]->fill(out);

@@ -2,11 +2,13 @@
 // SamplerEngine: the online half of the offline/online split — a batch
 // sampling service over one synthesized netlist. Auto-selection picks the
 // fastest runtime backend available on this machine: the CompiledKernel
-// (netlist emitted as C, host-compiled, ~10x the interpreter) when a host
-// compiler exists, else the 256-lane WideBitslicedSampler (GCC vector
-// extensions, always available on the gcc/clang toolchains this library
-// targets). The 64-lane interpreted BitslicedSampler remains explicitly
-// selectable for comparison runs. Bulk requests are served from N worker
+// (netlist emitted as C, host-compiled with -march=native when the flag
+// exists; runs the 256-lane vector form when the host compiler accepts
+// it, else the 64-lane symbol) when a host compiler exists, else the
+// 256-lane WideBitslicedSampler (GCC vector extensions, always available
+// on the gcc/clang toolchains this library targets). The 64-lane
+// interpreted BitslicedSampler remains explicitly selectable for
+// comparison runs. Bulk requests are served from N worker
 // threads. Each worker owns an
 // independent ChaCha20 stream whose key is derived from the engine's root
 // seed and the worker index (SplitMix64 mixing), so output is fully

@@ -22,6 +22,8 @@ std::unique_ptr<FfNode> FalconTree::build(const CVec& g00, const CVec& g01,
     CGS_CHECK_MSG(d0 > 0 && d1 > 0, "LDL diagonal not positive definite");
     node->sigma0 = sigma_sig / std::sqrt(d0);
     node->sigma1 = sigma_sig / std::sqrt(d1);
+    node->isq0 = 1.0 / (2.0 * node->sigma0 * node->sigma0);
+    node->isq1 = 1.0 / (2.0 * node->sigma1 * node->sigma1);
     min_sigma_ = std::min({min_sigma_, node->sigma0, node->sigma1});
     max_sigma_ = std::max({max_sigma_, node->sigma0, node->sigma1});
     return node;
@@ -62,35 +64,129 @@ FalconTree::FalconTree(const KeyPair& kp) {
                 "tree leaf sigma escaped the base-sampler envelope");
 }
 
-namespace {
-
-// Recursive nearest-plane sampling; returns FFT-domain z0, z1 (integers
-// embedded as complex spectra).
-std::pair<CVec, CVec> ffsamp_rec(const CVec& t0, const CVec& t1,
-                                 const FfNode& node, SamplerZ& sz,
-                                 RandomBitSource& rng) {
-  const std::size_t m = t0.size();
-  if (m == 1) {
-    const double z1 =
-        static_cast<double>(sz.sample(t1[0].real(), node.sigma1, rng));
-    const cplx t0_adj = t0[0] + (t1[0] - z1) * node.l10[0];
-    const double z0 =
-        static_cast<double>(sz.sample(t0_adj.real(), node.sigma0, rng));
-    return {CVec{cplx(z0, 0)}, CVec{cplx(z1, 0)}};
+void FfScratch::prepare(std::size_t dim) {
+  if (n == dim) return;
+  levels.clear();
+  for (std::size_t m = dim; m >= 2; m /= 2) {
+    Level level;
+    level.t0.resize(m / 2);
+    level.t1.resize(m / 2);
+    level.z0.resize(m / 2);
+    level.z1.resize(m / 2);
+    levels.push_back(std::move(level));
   }
-  CVec t1a, t1b;
-  split_fft(t1, t1a, t1b);
-  const auto [z1a, z1b] = ffsamp_rec(t1a, t1b, *node.child1, sz, rng);
-  const CVec z1 = merge_fft(z1a, z1b);
-
-  const CVec t0_adj = add_fft(t0, mul_fft(sub_fft(t1, z1), node.l10));
-  CVec t0a, t0b;
-  split_fft(t0_adj, t0a, t0b);
-  const auto [z0a, z0b] = ffsamp_rec(t0a, t0b, *node.child0, sz, rng);
-  return {merge_fft(z0a, z0b), z1};
+  t0.resize(dim);
+  t1.resize(dim);
+  z0.resize(dim);
+  z1.resize(dim);
+  sig_t0.resize(dim);
+  sig_t1.resize(dim);
+  sig_s0f.resize(dim);
+  sig_s1f.resize(dim);
+  n = dim;
 }
 
-std::vector<std::int32_t> round_ifft(const CVec& z) {
+namespace {
+
+// The whole bottom of the tree, inlined: at m == 2 a split produces two
+// scalars (zeta_{2,0} = i, so the odd part is just a conjugate rotation),
+// the children are leaf pairs, and the merge of two real samples (a, b)
+// is the spectrum {a + ib, a - ib}. Spelling this out removes four
+// split/merge calls plus two recursion frames for every m == 2 node —
+// half the nodes of the tree.
+inline void ffsamp_node2(cplx* t0, const cplx* t1, const FfNode& node,
+                         SamplerZ& sz, cplx* z0, cplx* z1) {
+  const auto leaf_pair = [&sz](const FfNode& leaf, cplx ta, cplx tb,
+                               double& a, double& b) {
+    b = static_cast<double>(sz.sample(tb.real(), leaf.sigma1, leaf.isq1));
+    const cplx ta_adj = ta + cmul(tb - b, leaf.l10[0]);
+    a = static_cast<double>(sz.sample(ta_adj.real(), leaf.sigma0,
+                                      leaf.isq0));
+  };
+  cplx d = (t1[0] - t1[1]) * 0.5;
+  double a1, b1;
+  leaf_pair(*node.child1, (t1[0] + t1[1]) * 0.5, cplx(d.imag(), -d.real()),
+            a1, b1);
+  z1[0] = cplx(a1, b1);
+  z1[1] = cplx(a1, -b1);
+  t0[0] += cmul(t1[0] - z1[0], node.l10[0]);
+  t0[1] += cmul(t1[1] - z1[1], node.l10[1]);
+  d = (t0[0] - t0[1]) * 0.5;
+  double a0, b0;
+  leaf_pair(*node.child0, (t0[0] + t0[1]) * 0.5, cplx(d.imag(), -d.real()),
+            a0, b0);
+  z0[0] = cplx(a0, b0);
+  z0[1] = cplx(a0, -b0);
+}
+
+// Recursive nearest-plane sampling over preallocated per-level buffers:
+// (t0, t1) is the target pair (t0 is clobbered in place for the adjusted
+// target), integer outputs land in (z0, z1) as FFT-domain spectra. The
+// children of one node run sequentially, so one Level per depth suffices.
+void ffsamp_rec(std::span<cplx> t0, std::span<cplx> t1, const FfNode& node,
+                SamplerZ& sz, FfScratch& scratch, std::size_t depth,
+                std::span<cplx> z0, std::span<cplx> z1) {
+  const std::size_t m = t0.size();
+  if (m == 1) {
+    const double s1 = static_cast<double>(
+        sz.sample(t1[0].real(), node.sigma1, node.isq1));
+    const cplx t0_adj = t0[0] + cmul(t1[0] - s1, node.l10[0]);
+    const double s0 = static_cast<double>(
+        sz.sample(t0_adj.real(), node.sigma0, node.isq0));
+    z0[0] = cplx(s0, 0);
+    z1[0] = cplx(s1, 0);
+    return;
+  }
+  if (m == 2) {
+    ffsamp_node2(t0.data(), t1.data(), node, sz, z0.data(), z1.data());
+    return;
+  }
+  if (m == 4) {
+    // One more level inlined with literal twiddles (zeta_{4,0} and
+    // zeta_{4,1} are (+-sqrt2/2, sqrt2/2)): the m == 4 nodes are a quarter
+    // of the tree, and their split/merge bodies are four complex ops each.
+    constexpr double kR = 0.70710678118654752440;  // sqrt(2)/2
+    constexpr cplx w0{kR, kR}, w1{-kR, kR};
+    cplx a[2], b[2];
+    a[0] = (t1[0] + t1[2]) * 0.5;
+    a[1] = (t1[1] + t1[3]) * 0.5;
+    b[0] = cmul_conj((t1[0] - t1[2]) * 0.5, w0);
+    b[1] = cmul_conj((t1[1] - t1[3]) * 0.5, w1);
+    cplx za[2], zb[2];
+    ffsamp_node2(a, b, *node.child1, sz, za, zb);
+    z1[0] = za[0] + cmul(w0, zb[0]);
+    z1[1] = za[1] + cmul(w1, zb[1]);
+    z1[2] = za[0] - cmul(w0, zb[0]);
+    z1[3] = za[1] - cmul(w1, zb[1]);
+    for (std::size_t k = 0; k < 4; ++k)
+      t0[k] += cmul(t1[k] - z1[k], node.l10[k]);
+    a[0] = (t0[0] + t0[2]) * 0.5;
+    a[1] = (t0[1] + t0[3]) * 0.5;
+    b[0] = cmul_conj((t0[0] - t0[2]) * 0.5, w0);
+    b[1] = cmul_conj((t0[1] - t0[3]) * 0.5, w1);
+    ffsamp_node2(a, b, *node.child0, sz, za, zb);
+    z0[0] = za[0] + cmul(w0, zb[0]);
+    z0[1] = za[1] + cmul(w1, zb[1]);
+    z0[2] = za[0] - cmul(w0, zb[0]);
+    z0[3] = za[1] - cmul(w1, zb[1]);
+    return;
+  }
+  FfScratch::Level& lv = scratch.levels[depth];
+  split_fft(t1, std::span<cplx>(lv.t0), std::span<cplx>(lv.t1));
+  ffsamp_rec(lv.t0, lv.t1, *node.child1, sz, scratch, depth + 1, lv.z0,
+             lv.z1);
+  merge_fft(lv.z0, lv.z1, z1);
+
+  // t0 <- t0 + (t1 - z1) l10, in place.
+  for (std::size_t k = 0; k < m; ++k)
+    t0[k] += cmul(t1[k] - z1[k], node.l10[k]);
+  split_fft(t0, std::span<cplx>(lv.t0), std::span<cplx>(lv.t1));
+  ffsamp_rec(lv.t0, lv.t1, *node.child0, sz, scratch, depth + 1, lv.z0,
+             lv.z1);
+  merge_fft(lv.z0, lv.z1, z0);
+}
+
+std::vector<std::int32_t> round_ifft(std::span<const cplx> z) {
   const std::vector<double> c = ifft(z);
   std::vector<std::int32_t> r(c.size());
   for (std::size_t i = 0; i < c.size(); ++i) {
@@ -104,10 +200,20 @@ std::vector<std::int32_t> round_ifft(const CVec& z) {
 
 }  // namespace
 
+void ff_sampling_fft(const CVec& t0, const CVec& t1, const FalconTree& tree,
+                     SamplerZ& samplerz, FfScratch& scratch) {
+  CGS_CHECK(t0.size() == t1.size());
+  scratch.prepare(t0.size());
+  std::copy(t0.begin(), t0.end(), scratch.t0.begin());
+  std::copy(t1.begin(), t1.end(), scratch.t1.begin());
+  ffsamp_rec(scratch.t0, scratch.t1, tree.root(), samplerz, scratch, 0,
+             scratch.z0, scratch.z1);
+}
+
 FfSample ff_sampling(const CVec& t0, const CVec& t1, const FalconTree& tree,
-                     SamplerZ& samplerz, RandomBitSource& rng) {
-  const auto [z0, z1] = ffsamp_rec(t0, t1, tree.root(), samplerz, rng);
-  return FfSample{round_ifft(z0), round_ifft(z1)};
+                     SamplerZ& samplerz, FfScratch& scratch) {
+  ff_sampling_fft(t0, t1, tree, samplerz, scratch);
+  return FfSample{round_ifft(scratch.z0), round_ifft(scratch.z1)};
 }
 
 }  // namespace cgs::falcon

@@ -17,6 +17,8 @@ struct FfNode {
   CVec l10;
   std::unique_ptr<FfNode> child0, child1;  // for d00 / d11, dim m/2
   double sigma0 = 0.0, sigma1 = 0.0;       // leaf widths (m == 1 only)
+  double isq0 = 0.0, isq1 = 0.0;  // 1/(2 sigma^2), precomputed for the ~2N
+                                  // SamplerZ parabola setups per signature
 };
 
 class FalconTree {
@@ -45,12 +47,46 @@ class FalconTree {
   double min_sigma_ = 1e9, max_sigma_ = 0.0;
 };
 
+/// Per-consumer scratch for the ffSampling recursion: split/merge buffers
+/// for every recursion level, so a signature performs no heap allocation
+/// inside the nearest-plane descent. This is the block context threaded
+/// through the recursion — one instance per signing thread, reused across
+/// signatures (not thread-safe; pair it with that thread's SamplerZ).
+struct FfScratch {
+  /// Buffers for the sub-problems of one level (dim m/2 each): the child's
+  /// target pair and its integer outputs.
+  struct Level {
+    CVec t0, t1, z0, z1;
+  };
+
+  /// (Re)size for ring dimension n; idempotent, called by ff_sampling.
+  void prepare(std::size_t n);
+
+  std::vector<Level> levels;  // levels[l] holds dim n >> (l + 1)
+  CVec t0, t1, z0, z1;        // top-level working copies and outputs
+  CVec sig_t0, sig_t1, sig_s0f, sig_s1f;  // sign_with's per-signature
+                                          // targets and s spectra
+  std::size_t n = 0;
+};
+
 /// ffSampling: z ~ lattice Gaussian around target (t0, t1) (FFT domain).
-/// Returns integer vectors z0, z1 (coefficient domain).
+/// Randomness — proposals and rejection uniforms both — is pulled from the
+/// SamplerZ's block rings; `scratch` carries the recursion's working
+/// memory and receives the results: scratch.z0/.z1 hold the FFT-domain
+/// spectra of the integer vectors (exact images of integers up to FFT
+/// rounding). The signer consumes the spectra directly — s = (t - z) B is
+/// a pointwise FFT computation — so the hot path never round-trips z
+/// through coefficient space.
+void ff_sampling_fft(const CVec& t0, const CVec& t1, const FalconTree& tree,
+                     SamplerZ& samplerz, FfScratch& scratch);
+
+/// Coefficient-domain form: runs ff_sampling_fft, then rounds the spectra
+/// back to integer vectors (with an integrality drift check). Kept for
+/// tests and direct lattice-sampling callers.
 struct FfSample {
   std::vector<std::int32_t> z0, z1;
 };
 FfSample ff_sampling(const CVec& t0, const CVec& t1, const FalconTree& tree,
-                     SamplerZ& samplerz, RandomBitSource& rng);
+                     SamplerZ& samplerz, FfScratch& scratch);
 
 }  // namespace cgs::falcon

@@ -1,7 +1,13 @@
 #include "falcon/fft.h"
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <numbers>
+#include <vector>
 
 #include "common/check.h"
 
@@ -11,42 +17,67 @@ namespace {
 
 bool is_pow2(std::size_t m) { return m != 0 && (m & (m - 1)) == 0; }
 
-CVec fft_rec(const CVec& f) {
-  const std::size_t m = f.size();
-  if (m == 1) return f;
-  CVec even(m / 2), odd(m / 2);
-  for (std::size_t i = 0; i < m / 2; ++i) {
-    even[i] = f[2 * i];
-    odd[i] = f[2 * i + 1];
+// Precomputed butterfly schedule for ring size m. The negacyclic recursion
+// evaluates both the even and the odd half over the *same* root set, so —
+// unlike the cyclic FFT — every block of a level shares one twiddle array:
+// level l holds root_of_unity(s, k) for s = 2 << l, k < s/2, split into
+// separate re/im arrays (with __restrict pointers below, the split form is
+// what lets the butterfly loops vectorize). bitrev pairs the iterative
+// bottom-up traversal with the recursive even/odd definition.
+//
+// The old implementation recomputed cos/sin per butterfly — n log n trig
+// calls per transform, which dominated the whole signing path. The tables
+// hold identical values, so results match the recursive form butterfly for
+// butterfly.
+struct FftPlan {
+  std::vector<std::vector<double>> twr, twi;  // per level, k < s/2
+  std::vector<std::uint32_t> bitrev;
+};
+
+const FftPlan& plan_for(std::size_t m) {
+  // Lock-free lookup once published: signing threads hit this on every
+  // split/merge, so the hot path is one acquire load per call.
+  static std::array<std::atomic<const FftPlan*>, 64> plans{};
+  static std::mutex build_mu;
+  static std::vector<std::unique_ptr<const FftPlan>> owner;
+
+  const int logm = std::countr_zero(m);
+  if (const FftPlan* p = plans[logm].load(std::memory_order_acquire))
+    return *p;
+  std::lock_guard<std::mutex> lock(build_mu);
+  if (const FftPlan* p = plans[logm].load(std::memory_order_acquire))
+    return *p;
+
+  auto plan = std::make_unique<FftPlan>();
+  for (std::size_t s = 2; s <= m; s <<= 1) {
+    std::vector<double> re(s / 2), im(s / 2);
+    for (std::size_t k = 0; k < s / 2; ++k) {
+      const cplx w = root_of_unity(s, k);
+      re[k] = w.real();
+      im[k] = w.imag();
+    }
+    plan->twr.push_back(std::move(re));
+    plan->twi.push_back(std::move(im));
   }
-  const CVec e = fft_rec(even);
-  const CVec o = fft_rec(odd);
-  CVec out(m);
-  for (std::size_t k = 0; k < m / 2; ++k) {
-    const cplx w = root_of_unity(m, k);
-    out[k] = e[k] + w * o[k];
-    out[k + m / 2] = e[k] - w * o[k];
+  plan->bitrev.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t r = 0;
+    for (int b = 0; b < logm; ++b) r |= ((i >> b) & 1u) << (logm - 1 - b);
+    plan->bitrev[i] = static_cast<std::uint32_t>(r);
   }
-  return out;
+
+  const FftPlan* raw = plan.get();
+  owner.push_back(std::move(plan));
+  plans[logm].store(raw, std::memory_order_release);
+  return *raw;
 }
 
-CVec ifft_rec(const CVec& s) {
-  const std::size_t m = s.size();
-  if (m == 1) return s;
-  CVec e(m / 2), o(m / 2);
-  for (std::size_t k = 0; k < m / 2; ++k) {
-    const cplx w = root_of_unity(m, k);
-    e[k] = (s[k] + s[k + m / 2]) * 0.5;
-    o[k] = (s[k] - s[k + m / 2]) * 0.5 / w;
-  }
-  const CVec fe = ifft_rec(e);
-  const CVec fo = ifft_rec(o);
-  CVec f(m);
-  for (std::size_t i = 0; i < m / 2; ++i) {
-    f[2 * i] = fe[i];
-    f[2 * i + 1] = fo[i];
-  }
-  return f;
+// std::complex<double> is layout-compatible with double[2] (re, im) by
+// [complex.numbers.general]; the butterfly kernels run on the raw doubles
+// with __restrict so the compiler vectorizes across lanes.
+double* as_doubles(cplx* p) { return reinterpret_cast<double*>(p); }
+const double* as_doubles(const cplx* p) {
+  return reinterpret_cast<const double*>(p);
 }
 
 }  // namespace
@@ -59,48 +90,139 @@ cplx root_of_unity(std::size_t m, std::size_t k) {
 }
 
 CVec fft(std::span<const double> coeffs) {
-  CGS_CHECK(is_pow2(coeffs.size()));
-  CVec f(coeffs.size());
-  for (std::size_t i = 0; i < coeffs.size(); ++i) f[i] = coeffs[i];
-  return fft_rec(f);
+  const std::size_t m = coeffs.size();
+  CGS_CHECK(is_pow2(m));
+  CVec f(m);
+  if (m == 1) {
+    f[0] = coeffs[0];
+    return f;
+  }
+  const FftPlan& plan = plan_for(m);
+  for (std::size_t i = 0; i < m; ++i) f[i] = coeffs[plan.bitrev[i]];
+  double* const fd = as_doubles(f.data());
+  std::size_t level = 0;
+  for (std::size_t s = 2; s <= m; s <<= 1, ++level) {
+    const double* __restrict wr = plan.twr[level].data();
+    const double* __restrict wi = plan.twi[level].data();
+    const std::size_t half = s / 2;
+    for (std::size_t o = 0; o < m; o += s) {
+      double* __restrict pa = fd + 2 * o;
+      double* __restrict pb = fd + 2 * (o + half);
+      for (std::size_t k = 0; k < half; ++k) {
+        const double ar = pa[2 * k], ai = pa[2 * k + 1];
+        const double xr = pb[2 * k], xi = pb[2 * k + 1];
+        const double br = wr[k] * xr - wi[k] * xi;
+        const double bi = wr[k] * xi + wi[k] * xr;
+        pa[2 * k] = ar + br;
+        pa[2 * k + 1] = ai + bi;
+        pb[2 * k] = ar - br;
+        pb[2 * k + 1] = ai - bi;
+      }
+    }
+  }
+  return f;
 }
 
 std::vector<double> ifft(std::span<const cplx> spectrum) {
-  CGS_CHECK(is_pow2(spectrum.size()));
-  const CVec f = ifft_rec(CVec(spectrum.begin(), spectrum.end()));
-  std::vector<double> out(f.size());
-  for (std::size_t i = 0; i < f.size(); ++i) out[i] = f[i].real();
+  const std::size_t m = spectrum.size();
+  CGS_CHECK(is_pow2(m));
+  std::vector<double> out(m);
+  if (m == 1) {
+    out[0] = spectrum[0].real();
+    return out;
+  }
+  const FftPlan& plan = plan_for(m);
+  CVec f(spectrum.begin(), spectrum.end());
+  double* const fd = as_doubles(f.data());
+  std::size_t level = plan.twr.size();
+  for (std::size_t s = m; s >= 2; s >>= 1) {
+    --level;
+    const double* __restrict wr = plan.twr[level].data();
+    const double* __restrict wi = plan.twi[level].data();
+    const std::size_t half = s / 2;
+    for (std::size_t o = 0; o < m; o += s) {
+      double* __restrict pa = fd + 2 * o;
+      double* __restrict pb = fd + 2 * (o + half);
+      for (std::size_t k = 0; k < half; ++k) {
+        const double ar = pa[2 * k], ai = pa[2 * k + 1];
+        const double br = pb[2 * k], bi = pb[2 * k + 1];
+        const double dr = (ar - br) * 0.5, di = (ai - bi) * 0.5;
+        pa[2 * k] = (ar + br) * 0.5;
+        pa[2 * k + 1] = (ai + bi) * 0.5;
+        // d * conj(w), |w| == 1.
+        pb[2 * k] = dr * wr[k] + di * wi[k];
+        pb[2 * k + 1] = di * wr[k] - dr * wi[k];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) out[i] = f[plan.bitrev[i]].real();
   return out;
 }
 
-void split_fft(std::span<const cplx> f, CVec& f0, CVec& f1) {
+void split_fft(std::span<const cplx> f, std::span<cplx> f0,
+               std::span<cplx> f1) {
   const std::size_t m = f.size();
   CGS_CHECK(is_pow2(m) && m >= 2);
-  f0.resize(m / 2);
-  f1.resize(m / 2);
+  CGS_CHECK(f0.size() == m / 2 && f1.size() == m / 2);
+  const FftPlan& plan = plan_for(m);
+  const double* __restrict wr = plan.twr.back().data();
+  const double* __restrict wi = plan.twi.back().data();
+  const double* __restrict pa = as_doubles(f.data());
+  const double* __restrict pb = as_doubles(f.data() + m / 2);
+  double* __restrict q0 = as_doubles(f0.data());
+  double* __restrict q1 = as_doubles(f1.data());
   for (std::size_t k = 0; k < m / 2; ++k) {
-    const cplx w = root_of_unity(m, k);
-    f0[k] = (f[k] + f[k + m / 2]) * 0.5;
-    f1[k] = (f[k] - f[k + m / 2]) * 0.5 / w;
+    const double ar = pa[2 * k], ai = pa[2 * k + 1];
+    const double br = pb[2 * k], bi = pb[2 * k + 1];
+    const double dr = (ar - br) * 0.5, di = (ai - bi) * 0.5;
+    q0[2 * k] = (ar + br) * 0.5;
+    q0[2 * k + 1] = (ai + bi) * 0.5;
+    q1[2 * k] = dr * wr[k] + di * wi[k];
+    q1[2 * k + 1] = di * wr[k] - dr * wi[k];
+  }
+}
+
+void split_fft(std::span<const cplx> f, CVec& f0, CVec& f1) {
+  f0.resize(f.size() / 2);
+  f1.resize(f.size() / 2);
+  split_fft(f, std::span<cplx>(f0), std::span<cplx>(f1));
+}
+
+void merge_fft(std::span<const cplx> f0, std::span<const cplx> f1,
+               std::span<cplx> out) {
+  const std::size_t half = f0.size();
+  CGS_CHECK(f1.size() == half && out.size() == 2 * half);
+  // plan_for indexes by log2: a non-power-of-two size would silently pick
+  // the wrong plan and read past its twiddle table.
+  CGS_CHECK(is_pow2(2 * half));
+  const FftPlan& plan = plan_for(2 * half);
+  const double* __restrict wr = plan.twr.back().data();
+  const double* __restrict wi = plan.twi.back().data();
+  const double* __restrict q0 = as_doubles(f0.data());
+  const double* __restrict q1 = as_doubles(f1.data());
+  double* __restrict pa = as_doubles(out.data());
+  double* __restrict pb = as_doubles(out.data() + half);
+  for (std::size_t k = 0; k < half; ++k) {
+    const double xr = q1[2 * k], xi = q1[2 * k + 1];
+    const double br = wr[k] * xr - wi[k] * xi;
+    const double bi = wr[k] * xi + wi[k] * xr;
+    pa[2 * k] = q0[2 * k] + br;
+    pa[2 * k + 1] = q0[2 * k + 1] + bi;
+    pb[2 * k] = q0[2 * k] - br;
+    pb[2 * k + 1] = q0[2 * k + 1] - bi;
   }
 }
 
 CVec merge_fft(std::span<const cplx> f0, std::span<const cplx> f1) {
-  const std::size_t half = f0.size();
-  CGS_CHECK(f1.size() == half);
-  CVec f(2 * half);
-  for (std::size_t k = 0; k < half; ++k) {
-    const cplx w = root_of_unity(2 * half, k);
-    f[k] = f0[k] + w * f1[k];
-    f[k + half] = f0[k] - w * f1[k];
-  }
+  CVec f(2 * f0.size());
+  merge_fft(f0, f1, f);
   return f;
 }
 
 CVec mul_fft(std::span<const cplx> a, std::span<const cplx> b) {
   CGS_CHECK(a.size() == b.size());
   CVec r(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] * b[i];
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = cmul(a[i], b[i]);
   return r;
 }
 

@@ -24,9 +24,17 @@ std::vector<double> ifft(std::span<const CVec::value_type> spectrum);
 /// FFT-domain split: spectrum of f (size m) -> spectra of f0, f1 (size m/2)
 /// where f(x) = f0(x^2) + x f1(x^2).
 void split_fft(std::span<const cplx> f, CVec& f0, CVec& f1);
+/// Allocation-free form: f0, f1 must be sized m/2 and must not alias f
+/// (ffSampling hot path; the kernels assume distinct buffers).
+void split_fft(std::span<const cplx> f, std::span<cplx> f0,
+               std::span<cplx> f1);
 
 /// Inverse of split_fft.
 CVec merge_fft(std::span<const cplx> f0, std::span<const cplx> f1);
+/// Allocation-free form: out must be sized 2 * f0.size() and must not
+/// alias f0 or f1.
+void merge_fft(std::span<const cplx> f0, std::span<const cplx> f1,
+               std::span<cplx> out);
 
 /// Pointwise helpers.
 CVec mul_fft(std::span<const cplx> a, std::span<const cplx> b);
@@ -39,5 +47,21 @@ CVec div_fft(std::span<const cplx> a, std::span<const cplx> b);
 
 /// The k-th evaluation point zeta_k for ring size m.
 cplx root_of_unity(std::size_t m, std::size_t k);
+
+/// Explicit complex multiply for finite operands: std::complex operator*
+/// lowers to the __muldc3 inf/nan fix-up without -ffast-math, several
+/// times the cost of the four real multiplies. Spectra here are finite by
+/// construction, so hot loops (butterflies, ffSampling pointwise stages)
+/// use the plain formula.
+inline cplx cmul(cplx a, cplx b) {
+  return {a.real() * b.real() - a.imag() * b.imag(),
+          a.real() * b.imag() + a.imag() * b.real()};
+}
+
+/// a * conj(b) (adjoint products, inverse butterflies with |b| == 1).
+inline cplx cmul_conj(cplx a, cplx b) {
+  return {a.real() * b.real() + a.imag() * b.imag(),
+          a.imag() * b.real() - a.real() * b.imag()};
+}
 
 }  // namespace cgs::falcon

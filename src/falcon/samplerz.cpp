@@ -1,44 +1,54 @@
 #include "falcon/samplerz.h"
 
-#include <cmath>
-
 #include "common/check.h"
 
 namespace cgs::falcon {
 
-SamplerZ::SamplerZ(IntSampler& base, double sigma_base)
-    : base_(&base), sigma_base_(sigma_base) {
+namespace {
+
+std::size_t ring_size(const BlockSource& src) {
+  const std::size_t block = src.preferred_block();
+  return block < 1 ? 1 : block;
+}
+
+}  // namespace
+
+SamplerZ::SamplerZ(BlockSource& source, double sigma_base)
+    : src_(&source),
+      sigma_base_(sigma_base),
+      inv_2sb2_(1.0 / (2.0 * sigma_base * sigma_base)),
+      base_ring_(ring_size(source)),
+      word_ring_(ring_size(source)),
+      base_pos_(base_ring_.size()),
+      word_pos_(word_ring_.size()) {
   CGS_CHECK(sigma_base > 0);
 }
 
+SamplerZ::SamplerZ(IntSampler& base, double sigma_base)
+    : shim_(std::make_unique<ScalarBlockSource>(base)),
+      src_(shim_.get()),
+      sigma_base_(sigma_base),
+      inv_2sb2_(1.0 / (2.0 * sigma_base * sigma_base)),
+      base_ring_(1),
+      word_ring_(1),
+      base_pos_(1),
+      word_pos_(1) {
+  CGS_CHECK(sigma_base > 0);
+}
+
+void SamplerZ::bind(RandomBitSource& rng) {
+  CGS_CHECK_MSG(shim_ != nullptr,
+                "bind() is only valid on the scalar-shim SamplerZ");
+  shim_->bind(rng);
+}
+
+std::int32_t SamplerZ::sample(double c, double sigma) {
+  return sample(c, sigma, 1.0 / (2.0 * sigma * sigma));
+}
+
 std::int32_t SamplerZ::sample(double c, double sigma, RandomBitSource& rng) {
-  CGS_CHECK_MSG(sigma <= sigma_base_ && sigma > 0,
-                "SamplerZ needs sigma <= sigma_base");
-  const double s = std::floor(c);
-  const double r = c - s;  // fractional center in [0, 1)
-
-  // Propose y ~ D_{Z, sigma_base}; accept with probability
-  //   exp(g(y) - g_max),  g(y) = y^2/(2 sb^2) - (y - r)^2/(2 sigma^2),
-  // which shapes the output into D_{Z, r, sigma}. g is a downward parabola
-  // (sigma <= sb), so g_max is at the vertex.
-  const double a = 1.0 / (2.0 * sigma_base_ * sigma_base_) -
-                   1.0 / (2.0 * sigma * sigma);  // < 0 (or 0 when equal)
-  const double b = r / (sigma * sigma);
-  const double c0 = -r * r / (2.0 * sigma * sigma);
-  const double g_max = (a < 0.0) ? (c0 - b * b / (4.0 * a)) : c0;
-
-  for (;;) {
-    ++base_calls_;
-    const double y = static_cast<double>(base_->sample(rng));
-    const double g = a * y * y + b * y + c0;
-    const double accept_p = std::exp(g - g_max);
-    // Uniform in [0,1) from 53 random bits.
-    const double u =
-        std::ldexp(static_cast<double>(rng.next_word() >> 11), -53);
-    if (u < accept_p)
-      return static_cast<std::int32_t>(s) + static_cast<std::int32_t>(y);
-    ++rejections_;
-  }
+  bind(rng);
+  return sample(c, sigma);
 }
 
 }  // namespace cgs::falcon

@@ -1,13 +1,33 @@
 #pragma once
 // SamplerZ: the integer Gaussian with arbitrary center c and width
 // sigma' <= sigma_base that ffSampling calls ~2N times per signature. It is
-// a rejection sampler whose *proposals* come from the pluggable base
-// sampler — exactly the experiment of Table 1: swapping the base sampler
-// between byte-scan CDT / binary CDT / linear CDT / the bit-sliced
-// constant-time sampler changes only this inner loop.
+// a rejection sampler whose *proposals* come from a pluggable supply —
+// exactly the experiment of Table 1: swapping the base sampler between
+// byte-scan CDT / binary CDT / linear CDT / the bit-sliced constant-time
+// sampler changes only this inner loop.
+//
+// Batch-first since PR 3: proposals and rejection uniforms are drained
+// from prefetched rings refilled one BlockSource block at a time, so the
+// bit-sliced backends amortize a whole netlist pass (64-256 lanes, or an
+// engine fan-out) per refill instead of paying the scalar pull per
+// proposal. The legacy scalar path survives as a ScalarBlockSource shim
+// (preferred block 1 — identical draw order to the historical loop), which
+// is how the CDT variants still plug in.
+//
+// Threading contract: a SamplerZ is single-consumer. The stats counters
+// are plain per-instance fields — the SigningService gives every worker
+// its own SamplerZ and aggregates base_calls()/rejections() on demand
+// while no request is in flight, so there is no shared mutable state to
+// race on (and no atomics on the hot path).
 
+#include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
 
+#include "common/blocksource.h"
+#include "common/check.h"
 #include "common/randombits.h"
 #include "common/sampler.h"
 
@@ -15,18 +35,141 @@ namespace cgs::falcon {
 
 class SamplerZ {
  public:
-  /// `base` (not owned) samples D_{Z, sigma_base} (signed, centered at 0).
+  /// Batch-aware: `source` (not owned) supplies base samples from
+  /// D_{Z, sigma_base} (signed, centered at 0) and uniform words, pulled
+  /// in blocks of its preferred size.
+  SamplerZ(BlockSource& source, double sigma_base);
+
+  /// Legacy scalar shim: `base` (not owned) is wrapped in an internal
+  /// ScalarBlockSource; randomness must be bound per call through
+  /// sample(c, sigma, rng) or bind().
   SamplerZ(IntSampler& base, double sigma_base);
 
+  SamplerZ(const SamplerZ&) = delete;
+  SamplerZ& operator=(const SamplerZ&) = delete;
+
   /// One sample from D_{Z, c, sigma}; requires sigma <= sigma_base.
+  std::int32_t sample(double c, double sigma);
+
+  /// Hot-path form with the caller's precomputed 1/(2 sigma^2) — the tree
+  /// leaves carry it so the ~2N parabola setups per signature skip the
+  /// divisions. Inline (header-defined) so the ffSampling leaves fold the
+  /// whole rejection loop into the recursion.
+  std::int32_t sample(double c, double sigma, double inv_two_sigma_sq) {
+    CGS_CHECK_MSG(sigma <= sigma_base_ && sigma > 0,
+                  "SamplerZ needs sigma <= sigma_base");
+    const double s = std::floor(c);
+    const double r = c - s;  // fractional center in [0, 1)
+
+    // Propose y ~ D_{Z, sigma_base}; accept with probability
+    //   exp(g(y) - g_max),  g(y) = y^2/(2 sb^2) - (y - r)^2/(2 sigma^2),
+    // which shapes the output into D_{Z, r, sigma}. g is a downward
+    // parabola (sigma <= sb), so g_max is at the vertex.
+    const double isq = inv_two_sigma_sq;
+    const double a = inv_2sb2_ - isq;  // < 0 (or 0 when equal)
+    const double b = r * (2.0 * isq);  // r / sigma^2
+    const double c0 = -r * r * isq;
+    const double g_max = (a < 0.0) ? (c0 - b * b / (4.0 * a)) : c0;
+
+    for (;;) {
+      ++base_calls_;
+      const double y = static_cast<double>(next_base());
+      const double g = a * y * y + b * y + c0;
+      const double accept_p = exp_neg(g_max - g);
+      // Uniform in [0,1) from 53 random bits (0x1p-53 multiply == ldexp
+      // for a power-of-two scale, without the libm call).
+      const double u = static_cast<double>(next_word() >> 11) * 0x1.0p-53;
+      if (u < accept_p)
+        return static_cast<std::int32_t>(s) + static_cast<std::int32_t>(y);
+      ++rejections_;
+    }
+  }
+
+  /// Legacy entry: binds `rng` into the scalar shim, then samples. Only
+  /// valid on shim-constructed instances.
   std::int32_t sample(double c, double sigma, RandomBitSource& rng);
+
+  /// Rebind the scalar shim's bit source (shim-constructed instances only).
+  void bind(RandomBitSource& rng);
+
+  /// One uniform word off the word ring — nonces ride the same prefetched
+  /// supply as the rejection uniforms.
+  std::uint64_t next_word() {
+    if (word_pos_ == word_ring_.size()) {
+      src_->fill_words(word_ring_);
+      word_pos_ = 0;
+    }
+    return word_ring_[word_pos_++];
+  }
+
+  BlockSource& source() { return *src_; }
+  double sigma_base() const { return sigma_base_; }
 
   std::uint64_t base_calls() const { return base_calls_; }
   std::uint64_t rejections() const { return rejections_; }
 
  private:
-  IntSampler* base_;
+  std::int32_t next_base() {
+    if (base_pos_ == base_ring_.size()) {
+      src_->fill_base(base_ring_);
+      base_pos_ = 0;
+    }
+    return base_ring_[base_pos_++];
+  }
+
+  /// exp(-x) for x >= 0 without the libm round trip: split x = k ln2 + r
+  /// (Cody-Waite two-term reduction, so the reduced argument keeps full
+  /// precision out to the k <= ~75 this sampler ever sees), evaluate a
+  /// degree-16 Taylor Horner chain for exp(-r) on r in [0, ln2)
+  /// (truncation error ln2^17/17! ~= 5.5e-18, below one ulp of the
+  /// result), scale by a bit-assembled 2^-k. Total error a few ulps —
+  /// the same order as the std::exp it replaces, and far below the
+  /// 2^-53 quantization of the uniform the result is compared against.
+  /// x <= 0 returns 1 (accept), matching the std::exp clamp semantics.
+  static double exp_neg(double x) {
+    if (!(x > 0.0)) return 1.0;
+    constexpr double kInvLn2 = 1.4426950408889634074;
+    // ln2 split with 27 zero low bits in the high part: kd (integral,
+    // < 2^10 here) times kLn2Hi is exact, so r carries no cancellation
+    // error from the reduction.
+    constexpr double kLn2Hi = 0x1.62e42fefa38p-1;
+    constexpr double kLn2Lo = 0x1.ef35793c7673p-45;
+    const double kd = std::floor(x * kInvLn2);
+    if (kd >= 1022.0) return 0.0;  // below every representable uniform
+    const double t = -((x - kd * kLn2Hi) - kd * kLn2Lo);  // in (-ln2, 0]
+    double p = 1.0 + t * (1.0 / 16.0);
+    p = 1.0 + t * (1.0 / 15.0) * p;
+    p = 1.0 + t * (1.0 / 14.0) * p;
+    p = 1.0 + t * (1.0 / 13.0) * p;
+    p = 1.0 + t * (1.0 / 12.0) * p;
+    p = 1.0 + t * (1.0 / 11.0) * p;
+    p = 1.0 + t * (1.0 / 10.0) * p;
+    p = 1.0 + t * (1.0 / 9.0) * p;
+    p = 1.0 + t * (1.0 / 8.0) * p;
+    p = 1.0 + t * (1.0 / 7.0) * p;
+    p = 1.0 + t * (1.0 / 6.0) * p;
+    p = 1.0 + t * (1.0 / 5.0) * p;
+    p = 1.0 + t * (1.0 / 4.0) * p;
+    p = 1.0 + t * (1.0 / 3.0) * p;
+    p = 1.0 + t * (1.0 / 2.0) * p;
+    p = 1.0 + t * p;
+    // 2^-k assembled from the exponent field (k in [0, 1021]).
+    const std::uint64_t bits = (1023ull - static_cast<std::uint64_t>(kd))
+                               << 52;
+    double scale;
+    std::memcpy(&scale, &bits, sizeof scale);
+    return p * scale;
+  }
+
+  std::unique_ptr<ScalarBlockSource> shim_;  // legacy path only
+  BlockSource* src_;
   double sigma_base_;
+  double inv_2sb2_;  // 1/(2 sigma_base^2)
+  // Prefetched rings: pos == size means empty (refill on next pull).
+  std::vector<std::int32_t> base_ring_;
+  std::vector<std::uint64_t> word_ring_;
+  std::size_t base_pos_ = 0;
+  std::size_t word_pos_ = 0;
   std::uint64_t base_calls_ = 0;
   std::uint64_t rejections_ = 0;
 };

@@ -4,14 +4,17 @@
 
 namespace cgs::falcon {
 
-Signer::Signer(const KeyPair& kp, IntSampler& base, double sigma_base)
-    : kp_(&kp), tree_(kp), samplerz_(base, sigma_base) {}
-
-Signature Signer::sign(std::string_view message, RandomBitSource& rng,
-                       SignStats* stats) {
-  const std::size_t n = kp_->params.n;
+Signature sign_with(const KeyPair& kp, const FalconTree& tree,
+                    std::string_view message, SamplerZ& sz,
+                    FfScratch& scratch, SignStats* stats) {
+  const std::size_t n = kp.params.n;
   Signature sig;
-  for (auto& b : sig.nonce) b = static_cast<std::uint8_t>(rng.next_word());
+  // 40 nonce bytes from 5 words of the block supply.
+  for (std::size_t i = 0; i < sig.nonce.size(); i += 8) {
+    std::uint64_t w = sz.next_word();
+    for (std::size_t b = 0; b < 8; ++b, w >>= 8)
+      sig.nonce[i + b] = static_cast<std::uint8_t>(w);
+  }
 
   const std::vector<std::uint32_t> c = hash_to_point(sig.nonce, message, n);
   std::vector<double> c_real(n);
@@ -19,47 +22,112 @@ Signature Signer::sign(std::string_view message, RandomBitSource& rng,
   const CVec c_fft = fft(c_real);
 
   // t = (c, 0) B^-1 = (c (-F)/q, c f/q); b11 = FFT(-F), b01 = FFT(-f).
+  // Targets and s spectra live in the per-thread scratch — the batched
+  // path signs thousands of messages per second, so per-signature
+  // allocations are kept off the hot path.
+  scratch.prepare(n);
   const double inv_q = 1.0 / static_cast<double>(kQ);
-  CVec t0(n), t1(n);
+  CVec& t0 = scratch.sig_t0;
+  CVec& t1 = scratch.sig_t1;
   for (std::size_t k = 0; k < n; ++k) {
-    t0[k] = c_fft[k] * tree_.b11()[k] * inv_q;
-    t1[k] = -c_fft[k] * tree_.b01()[k] * inv_q;
+    t0[k] = cmul(c_fft[k], tree.b11()[k]) * inv_q;
+    t1[k] = -cmul(c_fft[k], tree.b01()[k]) * inv_q;
   }
 
-  const std::int64_t bound = kp_->params.bound_sq();
-  const std::uint64_t base_before = samplerz_.base_calls();
+  const std::int64_t bound = kp.params.bound_sq();
+  const std::uint64_t base_before = sz.base_calls();
   std::uint64_t attempts = 0;
+  CVec& s0_fft = scratch.sig_s0f;
+  CVec& s1_fft = scratch.sig_s1f;
   for (;;) {
     ++attempts;
-    const FfSample z = ff_sampling(t0, t1, tree_, samplerz_, rng);
-    // s = (t - z) B, evaluated in FFT.
-    const CVec z0_fft = fft(to_doubles(z.z0));
-    const CVec z1_fft = fft(to_doubles(z.z1));
-    CVec s0_fft(n), s1_fft(n);
+    // z stays in FFT domain: the spectra in scratch.z0/.z1 are exact
+    // images of the sampled integers (up to FFT rounding, absorbed by the
+    // nearbyint below), so s = (t - z) B needs no z round-trip through
+    // coefficient space.
+    ff_sampling_fft(t0, t1, tree, sz, scratch);
     for (std::size_t k = 0; k < n; ++k) {
-      const cplx d0 = t0[k] - z0_fft[k];
-      const cplx d1 = t1[k] - z1_fft[k];
-      s0_fft[k] = d0 * tree_.b00()[k] + d1 * tree_.b10()[k];
-      s1_fft[k] = d0 * tree_.b01()[k] + d1 * tree_.b11()[k];
+      const cplx d0 = t0[k] - scratch.z0[k];
+      const cplx d1 = t1[k] - scratch.z1[k];
+      s0_fft[k] = cmul(d0, tree.b00()[k]) + cmul(d1, tree.b10()[k]);
+      s1_fft[k] = cmul(d0, tree.b01()[k]) + cmul(d1, tree.b11()[k]);
     }
-    const std::vector<double> s0_r = ifft(s0_fft);
+    // ||s0||^2 via Parseval (rows of the negacyclic transform are
+    // orthogonal with norm sqrt(n)) — s0 itself is only ever used for the
+    // norm check, so it never leaves the FFT domain. The spectrum images a
+    // near-integer vector, so the float energy sits within ~1e-3 of the
+    // rounded-integer norm; attempts inside a +-2 guard band of the bound
+    // fall back to the exact rounded check (typical norms sit at ~0.7x
+    // the bound, so the band is ~never entered).
+    double s0_energy = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+      s0_energy += s0_fft[k].real() * s0_fft[k].real() +
+                   s0_fft[k].imag() * s0_fft[k].imag();
+    s0_energy /= static_cast<double>(n);
     const std::vector<double> s1_r = ifft(s1_fft);
-    IPoly s0(n), s1(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      s0[i] = static_cast<std::int32_t>(std::nearbyint(s0_r[i]));
+    IPoly s1(n);
+    for (std::size_t i = 0; i < n; ++i)
       s1[i] = static_cast<std::int32_t>(std::nearbyint(s1_r[i]));
+    const double total = s0_energy + static_cast<double>(norm_sq(s1));
+    bool accept;
+    if (total <= static_cast<double>(bound) - 2.0) {
+      accept = true;
+    } else if (total > static_cast<double>(bound) + 2.0) {
+      accept = false;
+    } else {
+      const std::vector<double> s0_r = ifft(s0_fft);
+      IPoly s0(n);
+      for (std::size_t i = 0; i < n; ++i)
+        s0[i] = static_cast<std::int32_t>(std::nearbyint(s0_r[i]));
+      accept = norm_sq_pair(s0, s1) <= bound;
     }
-    if (norm_sq_pair(s0, s1) <= bound) {
+    if (accept) {
       sig.s1 = std::move(s1);
       break;
     }
   }
   if (stats) {
     stats->attempts += attempts;
-    stats->base_samples += samplerz_.base_calls() - base_before;
+    stats->base_samples += sz.base_calls() - base_before;
     stats->samplerz_calls += 2 * n * attempts;
   }
   return sig;
+}
+
+Signer::Signer(const KeyPair& kp, IntSampler& base, double sigma_base)
+    : kp_(&kp),
+      tree_(std::make_shared<const FalconTree>(kp)),
+      samplerz_(base, sigma_base),
+      legacy_(true) {}
+
+Signer::Signer(const KeyPair& kp, BlockSource& source, double sigma_base)
+    : kp_(&kp),
+      tree_(std::make_shared<const FalconTree>(kp)),
+      samplerz_(source, sigma_base),
+      legacy_(false) {}
+
+Signer::Signer(std::shared_ptr<const FalconTree> tree, const KeyPair& kp,
+               BlockSource& source, double sigma_base)
+    : kp_(&kp),
+      tree_(std::move(tree)),
+      samplerz_(source, sigma_base),
+      legacy_(false) {
+  CGS_CHECK_MSG(tree_ != nullptr, "Signer needs a tree");
+}
+
+Signature Signer::sign(std::string_view message, SignStats* stats) {
+  CGS_CHECK_MSG(!legacy_,
+                "IntSampler-constructed Signer needs sign(message, rng)");
+  return sign_with(*kp_, *tree_, message, samplerz_, scratch_, stats);
+}
+
+Signature Signer::sign(std::string_view message, RandomBitSource& rng,
+                       SignStats* stats) {
+  CGS_CHECK_MSG(legacy_,
+                "BlockSource-constructed Signer draws its own randomness; "
+                "use sign(message)");
+  samplerz_.bind(rng);
+  return sign_with(*kp_, *tree_, message, samplerz_, scratch_, stats);
 }
 
 }  // namespace cgs::falcon

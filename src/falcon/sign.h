@@ -1,11 +1,15 @@
 #pragma once
 // Falcon signing: hash-to-point, ffSampling over the secret basis, norm
-// check, signature compression. The base Gaussian sampler is injected —
-// this is the knob Table 1 turns.
+// check, signature compression. The base Gaussian supply is injected —
+// this is the knob Table 1 turns — either as a legacy scalar IntSampler or
+// as a batch BlockSource (engine-backed in production; see
+// falcon/signing_service.h for the multi-key, multi-thread front end).
 
 #include <array>
+#include <memory>
 #include <string_view>
 
+#include "common/blocksource.h"
 #include "falcon/codec.h"
 #include "falcon/ffsampling.h"
 #include "falcon/hash_to_point.h"
@@ -23,21 +27,45 @@ struct SignStats {
   std::uint64_t base_samples = 0;   // draws from the base Gaussian sampler
 };
 
+/// Core signing step shared by Signer and SigningService: one signature
+/// over a prebuilt tree. All randomness — proposals, rejection uniforms
+/// and the nonce — is pulled from `sz`'s block rings; `scratch` is the
+/// per-thread recursion context.
+Signature sign_with(const KeyPair& kp, const FalconTree& tree,
+                    std::string_view message, SamplerZ& sz,
+                    FfScratch& scratch, SignStats* stats = nullptr);
+
 class Signer {
  public:
-  /// `base` (not owned) is the sigma=2 base sampler under test.
+  /// Legacy scalar path: `base` (not owned) is the sigma=2 base sampler
+  /// under test; randomness arrives per call via sign(message, rng).
   Signer(const KeyPair& kp, IntSampler& base, double sigma_base = 2.0);
 
+  /// Batch path: everything (proposals, uniforms, nonces) rides `source`
+  /// (not owned); use sign(message) — no per-call rng.
+  Signer(const KeyPair& kp, BlockSource& source, double sigma_base = 2.0);
+
+  /// Batch path over a pre-built tree shared with other signers (the
+  /// SigningService hands every worker the same cached tree).
+  Signer(std::shared_ptr<const FalconTree> tree, const KeyPair& kp,
+         BlockSource& source, double sigma_base = 2.0);
+
+  /// Block-source form; only valid on the BlockSource constructors.
+  Signature sign(std::string_view message, SignStats* stats = nullptr);
+
+  /// Legacy form; only valid on the IntSampler constructor.
   Signature sign(std::string_view message, RandomBitSource& rng,
                  SignStats* stats = nullptr);
 
-  const FalconTree& tree() const { return tree_; }
+  const FalconTree& tree() const { return *tree_; }
   const KeyPair& key() const { return *kp_; }
 
  private:
   const KeyPair* kp_;
-  FalconTree tree_;
+  std::shared_ptr<const FalconTree> tree_;
   SamplerZ samplerz_;
+  FfScratch scratch_;
+  bool legacy_;
 };
 
 }  // namespace cgs::falcon

@@ -1,0 +1,186 @@
+#include "falcon/signing_service.h"
+
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/check.h"
+#include "gauss/params.h"
+#include "prng/splitmix.h"
+#include "serial/serial.h"
+
+namespace cgs::falcon {
+
+namespace {
+
+// The registry netlist is the sigma=2 Falcon base; every tree leaf width
+// keygen admits sits below it (params.sigma_max < 2).
+constexpr double kSigmaBase = 2.0;
+
+// Fingerprint of the tree's actual inputs: the secret basis (f, g, F, G)
+// plus the degree. Collisions are checked against a stored (f, g) copy, so
+// a (astronomically unlikely) 64-bit clash degrades to a CGS_CHECK, never
+// to signing under the wrong tree.
+std::uint64_t key_fingerprint(const KeyPair& kp) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(8 + 16 * kp.params.n);
+  const auto append = [&bytes](const void* p, std::size_t len) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes.insert(bytes.end(), b, b + len);
+  };
+  const std::uint64_t n = kp.params.n;
+  append(&n, sizeof n);
+  for (const IPoly* poly : {&kp.f, &kp.g, &kp.f_cap, &kp.g_cap})
+    append(poly->data(), poly->size() * sizeof(std::int32_t));
+  return serial::fnv1a64(bytes);
+}
+
+}  // namespace
+
+SigningService::SigningService(engine::SamplerRegistry& registry,
+                               SigningOptions options)
+    : options_(options) {
+  CGS_CHECK_MSG(options_.precision >= 1 && options_.block >= 1,
+                "signing service needs positive precision and block size");
+  int threads = options_.num_threads;
+  if (threads <= 0)
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  options_.num_threads = threads;
+
+  const auto synth =
+      registry.get(gauss::GaussianParams::sigma_2(options_.precision));
+
+  // SplitMix64 over the root seed: independent (engine, word) seed pairs
+  // per worker, so streams never overlap and adding workers only extends
+  // the derivation sequence.
+  prng::SplitMix64Source seeder(options_.root_seed);
+  std::shared_ptr<const ct::CompiledKernel> shared_kernel;
+  for (int t = 0; t < threads; ++t) {
+    const std::uint64_t engine_seed = seeder.next_word();
+    const std::uint64_t word_seed = seeder.next_word();
+    auto worker = std::make_unique<Worker>();
+    engine::EngineOptions eng;
+    eng.backend = options_.backend;
+    eng.num_threads = 1;  // the service owns the fan-out, not the engine
+    eng.root_seed = engine_seed;
+    eng.shared_kernel = shared_kernel;  // compile once, share across workers
+    worker->engine = std::make_unique<engine::SamplerEngine>(synth, eng);
+    if (t == 0) shared_kernel = worker->engine->kernel();
+    worker->source = std::make_unique<engine::EngineBlockSource>(
+        *worker->engine, word_seed, options_.block);
+    worker->samplerz =
+        std::make_unique<SamplerZ>(*worker->source, kSigmaBase);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+engine::Backend SigningService::backend() const {
+  return workers_.front()->engine->backend();
+}
+
+std::shared_ptr<const FalconTree> SigningService::tree_for(
+    const KeyPair& kp) {
+  const std::uint64_t fp = key_fingerprint(kp);
+  std::lock_guard<std::mutex> lock(tree_mu_);
+  if (auto it = trees_.find(fp); it != trees_.end()) {
+    CGS_CHECK_MSG(it->second.f == kp.f && it->second.g == kp.g,
+                  "key fingerprint collision in the tree cache");
+    return it->second.tree;
+  }
+  auto tree = std::make_shared<const FalconTree>(kp);
+  trees_.emplace(fp, TreeEntry{kp.f, kp.g, tree});
+  return tree;
+}
+
+std::vector<Signature> SigningService::sign_many(
+    const KeyPair& kp, std::span<const std::string_view> messages,
+    SignStats* stats) {
+  std::lock_guard<std::mutex> lock(req_mu_);
+  const auto tree = tree_for(kp);
+  std::vector<Signature> out(messages.size());
+  if (messages.empty()) return out;
+
+  const std::size_t num_workers = workers_.size();
+  // Message i is pinned to worker i % T — the assignment is part of the
+  // deterministic contract, not a scheduling decision.
+  std::vector<SignStats> call_stats(num_workers);
+  std::vector<std::exception_ptr> errors(num_workers);
+  const auto run_slice = [&](std::size_t t) {
+    try {
+      Worker& w = *workers_[t];
+      for (std::size_t i = t; i < messages.size(); i += num_workers)
+        out[i] = sign_with(kp, *tree, messages[i], *w.samplerz, w.scratch,
+                           &call_stats[t]);
+    } catch (...) {
+      errors[t] = std::current_exception();
+    }
+  };
+
+  // Threads are spawned per request (worker *state* persists; only the
+  // OS threads are fresh). Spawn cost is ~100us per thread against
+  // multi-ms batch slices, so a parked pool (as SamplerEngine keeps) only
+  // starts paying for itself under many-thread, tiny-batch workloads —
+  // revisit if that shape shows up.
+  const std::size_t active = std::min(num_workers, messages.size());
+  std::vector<std::thread> threads;
+  threads.reserve(active > 0 ? active - 1 : 0);
+  for (std::size_t t = 1; t < active; ++t)
+    threads.emplace_back(run_slice, t);
+  run_slice(0);
+  for (auto& th : threads) th.join();
+
+  for (std::size_t t = 0; t < num_workers; ++t) {
+    const SignStats& cs = call_stats[t];
+    Worker& w = *workers_[t];
+    w.totals.attempts += cs.attempts;
+    w.totals.samplerz_calls += cs.samplerz_calls;
+    w.totals.base_samples += cs.base_samples;
+    if (stats) {
+      stats->attempts += cs.attempts;
+      stats->samplerz_calls += cs.samplerz_calls;
+      stats->base_samples += cs.base_samples;
+    }
+  }
+  for (const auto& error : errors)
+    if (error) std::rethrow_exception(error);
+  return out;
+}
+
+Signature SigningService::sign(const KeyPair& kp, std::string_view message,
+                               SignStats* stats) {
+  const std::string_view one[] = {message};
+  return std::move(sign_many(kp, one, stats).front());
+}
+
+SignStats SigningService::stats() const {
+  std::lock_guard<std::mutex> lock(req_mu_);
+  SignStats total;
+  for (const auto& w : workers_) {
+    total.attempts += w->totals.attempts;
+    total.samplerz_calls += w->totals.samplerz_calls;
+    total.base_samples += w->totals.base_samples;
+  }
+  return total;
+}
+
+std::uint64_t SigningService::base_calls() const {
+  std::lock_guard<std::mutex> lock(req_mu_);
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->samplerz->base_calls();
+  return total;
+}
+
+std::uint64_t SigningService::rejections() const {
+  std::lock_guard<std::mutex> lock(req_mu_);
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->samplerz->rejections();
+  return total;
+}
+
+std::size_t SigningService::num_cached_trees() const {
+  std::lock_guard<std::mutex> lock(tree_mu_);
+  return trees_.size();
+}
+
+}  // namespace cgs::falcon

@@ -1,0 +1,99 @@
+#pragma once
+// SigningService: the batch-first Falcon signing front end, mirroring
+// engine::GaussianService one layer up. The offline artifacts (synthesized
+// sigma=2 netlist via the registry, per-key ffLDL trees) are materialized
+// once and cached; the online path is a pool of stateful workers, each
+// owning a private engine-backed BlockSource, SamplerZ and ffSampling
+// scratch, so sign_many() fans a batch of messages out across threads with
+// zero shared mutable sampling state.
+//
+// Determinism: worker seeds are derived from (root_seed, worker index) via
+// SplitMix64 and message i is pinned to worker i % num_threads, so for a
+// fixed (root_seed, num_threads) the same sequence of sign_many() calls
+// produces bit-identical signatures regardless of scheduling. Two workers
+// never share PRNG state; each worker's streams simply continue across
+// calls and keys.
+//
+// Stats: every worker accumulates into its own counters (its SamplerZ is
+// single-consumer by contract); stats()/base_calls()/rejections()
+// aggregate on demand under the request lock, so there is no data race
+// and no atomic traffic on the signing hot path.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "engine/block_source.h"
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "falcon/sign.h"
+
+namespace cgs::falcon {
+
+struct SigningOptions {
+  engine::Backend backend = engine::Backend::kAuto;
+  int num_threads = 0;          // 0 -> hardware concurrency (min 1)
+  std::uint64_t root_seed = 0;  // per-worker streams derived from this
+  int precision = 128;          // base sampler probability precision
+  std::size_t block = 1024;     // base samples prefetched per ring refill
+};
+
+class SigningService {
+ public:
+  /// `registry` (not owned) supplies the synthesized sigma=2 base sampler;
+  /// it must outlive the service.
+  explicit SigningService(engine::SamplerRegistry& registry,
+                          SigningOptions options = {});
+
+  /// Sign every message in `messages` with `kp`, the batch split across
+  /// the worker pool. Returns signatures in message order. Thread-safe
+  /// (concurrent calls serialize). `stats`, when non-null, accumulates
+  /// this call's totals.
+  std::vector<Signature> sign_many(const KeyPair& kp,
+                                   std::span<const std::string_view> messages,
+                                   SignStats* stats = nullptr);
+
+  /// Single-message convenience (still batch-fed under the hood).
+  Signature sign(const KeyPair& kp, std::string_view message,
+                 SignStats* stats = nullptr);
+
+  /// Lifetime totals aggregated across all workers.
+  SignStats stats() const;
+  std::uint64_t base_calls() const;
+  std::uint64_t rejections() const;
+
+  /// Number of distinct keys whose ffLDL tree is cached.
+  std::size_t num_cached_trees() const;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  engine::Backend backend() const;
+  const SigningOptions& options() const { return options_; }
+
+ private:
+  struct Worker {
+    std::unique_ptr<engine::SamplerEngine> engine;
+    std::unique_ptr<engine::EngineBlockSource> source;
+    std::unique_ptr<SamplerZ> samplerz;
+    FfScratch scratch;
+    SignStats totals;  // lifetime; owned by this worker's thread during a
+                       // request, read under req_mu_ otherwise
+  };
+  struct TreeEntry {
+    IPoly f, g;  // fingerprint collision guard (the tree's actual inputs)
+    std::shared_ptr<const FalconTree> tree;
+  };
+
+  std::shared_ptr<const FalconTree> tree_for(const KeyPair& kp);
+
+  SigningOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  mutable std::mutex req_mu_;  // serializes sign_many (workers are stateful)
+  mutable std::mutex tree_mu_;
+  std::map<std::uint64_t, TreeEntry> trees_;
+};
+
+}  // namespace cgs::falcon

@@ -1,5 +1,6 @@
 #include "prng/chacha20.h"
 
+#include <bit>
 #include <cstring>
 
 #include "common/bits.h"
@@ -30,20 +31,97 @@ inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
   c += d; b ^= c; b = rotl32(b, 7);
 }
 
-}  // namespace
+// Eight blocks per call via GCC vector extensions: lane j of every vector
+// is block (counter + j)'s state word, so the rounds are the scalar code
+// verbatim on 8-wide words. The byte stream is identical to eight
+// sequential scalar blocks. On generic x86-64 builds the 256-bit vectors
+// lower to SSE pairs; target_clones adds a runtime-dispatched AVX2 clone
+// on ELF hosts that support it, roughly doubling bulk keystream.
+using u32x8 = std::uint32_t __attribute__((vector_size(32)));
 
-void chacha20_block(const std::array<std::uint8_t, 32>& key,
-                    const std::array<std::uint8_t, 12>& nonce,
-                    std::uint32_t counter, std::span<std::uint8_t, 64> out) {
-  std::uint32_t st[16];
+#if defined(__x86_64__) && defined(__ELF__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define CGS_CHACHA_CLONES __attribute__((target_clones("avx2", "default")))
+#endif
+#endif
+#ifndef CGS_CHACHA_CLONES
+#define CGS_CHACHA_CLONES
+#endif
+
+inline u32x8 rotl_v(u32x8 v, int r) {
+  return (v << r) | (v >> (32 - r));
+}
+
+inline void quarter_round_v(u32x8& a, u32x8& b, u32x8& c, u32x8& d) {
+  a += b; d ^= a; d = rotl_v(d, 16);
+  c += d; b ^= c; b = rotl_v(b, 12);
+  a += b; d ^= a; d = rotl_v(d, 8);
+  c += d; b ^= c; b = rotl_v(b, 7);
+}
+
+CGS_CHACHA_CLONES
+void chacha20_blocks8(const std::array<std::uint32_t, 16>& state,
+                      std::uint32_t counter, std::uint8_t out[512]) {
+  u32x8 s[16], x[16];
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t w = state[i];
+    s[i] = u32x8{w, w, w, w, w, w, w, w};
+  }
+  s[12] = u32x8{counter,     counter + 1, counter + 2, counter + 3,
+                counter + 4, counter + 5, counter + 6, counter + 7};
+  for (int i = 0; i < 16; ++i) x[i] = s[i];
+  for (int round = 0; round < 10; ++round) {
+    quarter_round_v(x[0], x[4], x[8], x[12]);
+    quarter_round_v(x[1], x[5], x[9], x[13]);
+    quarter_round_v(x[2], x[6], x[10], x[14]);
+    quarter_round_v(x[3], x[7], x[11], x[15]);
+    quarter_round_v(x[0], x[5], x[10], x[15]);
+    quarter_round_v(x[1], x[6], x[11], x[12]);
+    quarter_round_v(x[2], x[7], x[8], x[13]);
+    quarter_round_v(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) x[i] += s[i];
+  for (int j = 0; j < 8; ++j) {
+    for (int i = 0; i < 16; ++i) {
+      if constexpr (std::endian::native == std::endian::little) {
+        // Single u32 store == store32's byte order on LE; the per-byte
+        // form defeats the vector lane extract and costs ~a third of the
+        // whole block function.
+        const std::uint32_t v = x[i][j];
+        std::memcpy(out + 64 * j + 4 * i, &v, 4);
+      } else {
+        store32(out + 64 * j + 4 * i, x[i][j]);
+      }
+    }
+  }
+}
+
+std::array<std::uint32_t, 16> make_state(
+    const std::array<std::uint8_t, 32>& key,
+    const std::array<std::uint8_t, 12>& nonce) {
+  std::array<std::uint32_t, 16> st;
   st[0] = 0x61707865u; st[1] = 0x3320646eu;
   st[2] = 0x79622d32u; st[3] = 0x6b206574u;
   for (int i = 0; i < 8; ++i) st[4 + i] = load32(key.data() + 4 * i);
-  st[12] = counter;
+  st[12] = 0;  // per-block counter, patched at generation time
   for (int i = 0; i < 3; ++i) st[13 + i] = load32(nonce.data() + 4 * i);
+  return st;
+}
 
+}  // namespace
+
+namespace {
+
+// One scalar block from precomputed input words (counter patched in) —
+// the single place the key/nonce-derived state is consumed, shared by the
+// public RFC entry point and the source's refill().
+void chacha20_block_state(const std::array<std::uint32_t, 16>& state,
+                          std::uint32_t counter,
+                          std::span<std::uint8_t, 64> out) {
+  std::array<std::uint32_t, 16> st = state;
+  st[12] = counter;
   std::uint32_t x[16];
-  std::memcpy(x, st, sizeof x);
+  std::memcpy(x, st.data(), sizeof x);
   for (int round = 0; round < 10; ++round) {
     quarter_round(x[0], x[4], x[8], x[12]);
     quarter_round(x[1], x[5], x[9], x[13]);
@@ -54,7 +132,16 @@ void chacha20_block(const std::array<std::uint8_t, 32>& key,
     quarter_round(x[2], x[7], x[8], x[13]);
     quarter_round(x[3], x[4], x[9], x[14]);
   }
-  for (int i = 0; i < 16; ++i) store32(out.data() + 4 * i, x[i] + st[i]);
+  for (int i = 0; i < 16; ++i)
+    store32(out.data() + 4 * i, x[i] + st[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace
+
+void chacha20_block(const std::array<std::uint8_t, 32>& key,
+                    const std::array<std::uint8_t, 12>& nonce,
+                    std::uint32_t counter, std::span<std::uint8_t, 64> out) {
+  chacha20_block_state(make_state(key, nonce), counter, out);
 }
 
 ChaCha20Source::ChaCha20Source(std::uint64_t seed) {
@@ -65,14 +152,15 @@ ChaCha20Source::ChaCha20Source(std::uint64_t seed) {
     std::memcpy(key_.data() + 8 * i, &lane, 8);
   }
   nonce_.fill(0);
+  state_ = make_state(key_, nonce_);
 }
 
 ChaCha20Source::ChaCha20Source(const std::array<std::uint8_t, 32>& key,
                                const std::array<std::uint8_t, 12>& nonce)
-    : key_(key), nonce_(nonce) {}
+    : key_(key), nonce_(nonce), state_(make_state(key, nonce)) {}
 
 void ChaCha20Source::refill() {
-  chacha20_block(key_, nonce_, counter_++, block_);
+  chacha20_block_state(state_, counter_++, block_);
   pos_ = 0;
 }
 
@@ -82,6 +170,33 @@ std::uint64_t ChaCha20Source::next_word() {
   std::memcpy(&w, block_.data() + pos_, 8);
   pos_ += 8;
   return w;
+}
+
+void ChaCha20Source::fill_words(std::span<std::uint64_t> out) {
+  std::size_t i = 0;
+  // Drain the partially consumed block first so the combined stream equals
+  // the same sequence of next_word() calls.
+  while (i < out.size() && pos_ < 64) {
+    std::memcpy(&out[i++], block_.data() + pos_, 8);
+    pos_ += 8;
+  }
+  // Whole blocks straight into the destination, eight at a time.
+  std::uint8_t octet[512];
+  while (out.size() - i >= 64) {
+    chacha20_blocks8(state_, counter_, octet);
+    counter_ += 8;
+    std::memcpy(&out[i], octet, 512);
+    i += 64;
+  }
+  // Tail: buffer one block and serve the leading words; the rest stays for
+  // future next_word()/fill_words() calls.
+  while (i < out.size()) {
+    refill();
+    while (i < out.size() && pos_ < 64) {
+      std::memcpy(&out[i++], block_.data() + pos_, 8);
+      pos_ += 8;
+    }
+  }
 }
 
 }  // namespace cgs::prng

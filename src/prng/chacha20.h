@@ -1,7 +1,12 @@
 #pragma once
-// ChaCha20 stream cipher used as the pseudo-random generator for sampling —
-// the same choice as the Falcon reference implementation and this paper's
-// Table 1 ("with ChaCha as the pseudo random number generator").
+// ChaCha20 (RFC 8439 block function) as a RandomBitSource — the PRNG the
+// paper benches against (its Table 1/2 rows all draw path bits from
+// ChaCha20). fill_words() is overridden with a bulk path that generates
+// eight blocks per core call via GCC vector extensions (with a
+// runtime-dispatched AVX2 clone on hosts that support it): the bit-sliced
+// samplers consume one word per precision bit per batch, so at 128-bit
+// precision the PRNG is a first-order term of the whole online path
+// (exactly the overhead the paper's §3.3 accounts for).
 
 #include <array>
 #include <cstdint>
@@ -11,13 +16,11 @@
 
 namespace cgs::prng {
 
-/// Raw ChaCha20 block function (RFC 8439 layout): 32-byte key, 12-byte
-/// nonce, 32-bit block counter -> 64-byte keystream block.
+/// One RFC 8439 block: 64 bytes of keystream for (key, nonce, counter).
 void chacha20_block(const std::array<std::uint8_t, 32>& key,
                     const std::array<std::uint8_t, 12>& nonce,
                     std::uint32_t counter, std::span<std::uint8_t, 64> out);
 
-/// RandomBitSource over the ChaCha20 keystream.
 class ChaCha20Source final : public RandomBitSource {
  public:
   /// Deterministic stream from a 64-bit seed (expanded into the key).
@@ -28,6 +31,12 @@ class ChaCha20Source final : public RandomBitSource {
 
   std::uint64_t next_word() override;
 
+  /// Bulk keystream: bit-identical to the same number of next_word()
+  /// calls, but generated eight blocks at a time (vectorized core)
+  /// straight into `out` — no per-word virtual dispatch, no byte-buffer
+  /// shuffling.
+  void fill_words(std::span<std::uint64_t> out) override;
+
   /// Number of 64-byte blocks generated so far (PRNG-cost accounting).
   std::uint64_t blocks_generated() const { return counter_; }
 
@@ -36,6 +45,7 @@ class ChaCha20Source final : public RandomBitSource {
 
   std::array<std::uint8_t, 32> key_{};
   std::array<std::uint8_t, 12> nonce_{};
+  std::array<std::uint32_t, 16> state_{};  // input words (counter at [12])
   std::uint32_t counter_ = 0;
   std::array<std::uint8_t, 64> block_{};
   int pos_ = 64;  // byte offset into block_, 64 == empty
