@@ -22,7 +22,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <string>
 
 #include "bench_util.h"
@@ -99,26 +98,26 @@ int main(int argc, char** argv) {
   std::printf("== acceptance: %s ==\n", acc.describe().c_str());
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n"
-        << "  \"bench\": \"conv_service\",\n"
-        << "  \"target_sigma\": " << target_sigma << ",\n"
-        << "  \"target_center\": " << target_center << ",\n"
-        << "  \"base_sigma\": " << recipe.base.sigma() << ",\n"
-        << "  \"stride\": " << recipe.k << ",\n"
-        << "  \"achieved_sigma\": " << recipe.achieved_sigma << ",\n"
-        << "  \"sigma_loss\": " << recipe.sigma_loss << ",\n"
-        << "  \"n\": " << n_samples << ",\n"
-        << "  \"synthesis_ms\": " << synth_ms << ",\n"
-        << "  \"bringup_ms\": " << bringup_ms << ",\n"
-        << "  \"scalar_samples_per_sec\": " << scalar_rate << ",\n"
-        << "  \"service_samples_per_sec\": " << service_rate << ",\n"
-        << "  \"speedup\": " << speedup << ",\n"
-        << "  \"chi_p_value\": " << acc.chi.p_value << ",\n"
-        << "  \"renyi2\": " << acc.renyi << ",\n"
-        << "  \"accepted\": " << (acc.accepted() ? "true" : "false") << "\n"
-        << "}\n";
-    std::printf("json written to %s\n", json_path.c_str());
+    benchutil::JsonWriter json;
+    json.begin_object()
+        .field("bench", "conv_service")
+        .field("target_sigma", target_sigma)
+        .field("target_center", target_center)
+        .field("base_sigma", recipe.base.sigma())
+        .field("stride", recipe.k)
+        .field("achieved_sigma", recipe.achieved_sigma)
+        .field("sigma_loss", recipe.sigma_loss)
+        .field("n", n_samples)
+        .field("synthesis_ms", synth_ms)
+        .field("bringup_ms", bringup_ms)
+        .field("scalar_samples_per_sec", scalar_rate)
+        .field("service_samples_per_sec", service_rate)
+        .field("speedup", speedup)
+        .field("chi_p_value", acc.chi.p_value)
+        .field("renyi2", acc.renyi)
+        .field("accepted", acc.accepted())
+        .end_object();
+    json.write_file(json_path);
   }
 
   std::filesystem::remove_all(dir);

@@ -20,7 +20,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -148,21 +147,23 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n"
-        << "  \"bench\": \"engine_throughput\",\n"
-        << "  \"n\": " << n_samples << ",\n"
-        << "  \"cold_synthesis_ms\": " << cold_ms << ",\n"
-        << "  \"warm_load_ms\": " << warm_ms << ",\n"
-        << "  \"warm_speedup\": " << speedup << ",\n"
-        << "  \"round_trip_identical\": " << (identical ? "true" : "false")
-        << ",\n  \"throughput\": [";
-    for (std::size_t i = 0; i < rows.size(); ++i)
-      out << (i ? "," : "") << "\n    {\"backend\": \"" << rows[i].backend
-          << "\", \"threads\": " << rows[i].threads
-          << ", \"samples_per_sec\": " << rows[i].rate << "}";
-    out << "\n  ]\n}\n";
-    std::printf("\njson written to %s\n", json_path.c_str());
+    benchutil::JsonWriter json;
+    json.begin_object()
+        .field("bench", "engine_throughput")
+        .field("n", n_samples)
+        .field("cold_synthesis_ms", cold_ms)
+        .field("warm_load_ms", warm_ms)
+        .field("warm_speedup", speedup)
+        .field("round_trip_identical", identical)
+        .begin_array("throughput");
+    for (const ThroughputRow& row : rows)
+      json.begin_object()
+          .field("backend", row.backend)
+          .field("threads", row.threads)
+          .field("samples_per_sec", row.rate)
+          .end_object();
+    json.end_array().end_object();
+    json.write_file(json_path);
   }
 
   std::filesystem::remove_all(dir);

@@ -1,0 +1,234 @@
+// Serving-layer latency/throughput/occupancy under offered load: the
+// number the async layer exists for. Three phases over one tenant key at
+// N = 64 (keygen-cheap; the serving overheads under test are degree-
+// independent):
+//
+//   1. baseline  — the pre-serving-layer shape: requests handled one at a
+//      time, one sign_many(1) per request on a single dispatch thread, so
+//      however many workers exist, each request uses one and the rest
+//      idle;
+//   2. load      — the same number of requests stormed through the
+//      Dispatcher from several client threads (backpressure retries on
+//      kQueueFull), which the MicroBatcher turns into full bit-sliced
+//      batches fanned across every worker;
+//   3. idle      — single in-flight requests (submit, wait, repeat): the
+//      price one lone client pays for batching is bounded by the linger.
+//
+// Self-check gates (ISSUE 4 acceptance):
+//   - every returned signature verifies             (always gated)
+//   - mean achieved batch occupancy >= 32 at load   (always gated)
+//   - load throughput >= 2x the baseline            (timing gate)
+//   - idle p99 latency <= 2 * max_linger_us         (timing gate)
+// Timing gates are skipped when CGS_BENCH_SKIP_TIMING_GATE is set (shared
+// CI runners jitter both wall-clock and core availability).
+//
+// Usage: bench_serve_latency [requests] [--json FILE]
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/registry.h"
+#include "falcon/keygen.h"
+#include "falcon/verify.h"
+#include "prng/chacha20.h"
+#include "serve/dispatcher.h"
+
+namespace {
+
+using namespace cgs;
+using benchutil::Clock;
+using benchutil::ms_since;
+
+constexpr double kThroughputGate = 2.0;  // load vs baseline
+constexpr std::uint64_t kLingerUs = 4000;
+constexpr std::size_t kMaxBatch = 64;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Args args = benchutil::parse(argc, argv);
+  const std::size_t n_requests = args.n ? args.n : 512;
+  const std::size_t n_idle = std::min<std::size_t>(64, n_requests);
+
+  // Per-process cache dir: hermetic against concurrent runs (same
+  // reasoning as the other benches).
+  const std::string dir =
+      std::filesystem::temp_directory_path() /
+      ("cgs-bench-serve-cache-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  engine::SamplerRegistry reg({.cache_dir = dir});
+
+  prng::ChaCha20Source rng(0x5E7F);
+  const falcon::KeyPair kp =
+      falcon::keygen(falcon::FalconParams::for_degree(64), rng);
+  const falcon::Verifier verifier(kp.h, kp.params);
+
+  serve::DispatcherOptions opts;
+  opts.queue_capacity = 256;
+  opts.max_batch = kMaxBatch;
+  opts.max_linger_us = kLingerUs;
+  opts.sign_lanes = 1;  // one tenant key -> one shard; isolation is tested
+                        // in test_serve, occupancy is measured here
+  opts.signing.root_seed = 0x5E7F;
+  serve::Dispatcher dispatcher(reg, opts);
+  const std::uint64_t key_id = dispatcher.add_key(kp);
+
+  std::printf("== serving-layer bench: %zu requests, max_batch %zu, "
+              "max_linger %llu us, %d signing workers ==\n\n",
+              n_requests, kMaxBatch,
+              static_cast<unsigned long long>(kLingerUs),
+              dispatcher.signing_service().num_threads());
+
+  bool all_verified = true;
+
+  // 1. Baseline: one-request-per-sign_many on one dispatch thread.
+  falcon::SigningService& svc = dispatcher.signing_service();
+  (void)svc.sign(kp, "warmup");  // tree build + ring fill
+  const auto t_base = Clock::now();
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    const falcon::Signature sig =
+        svc.sign(kp, "baseline " + std::to_string(i));
+    if (i % 17 == 0 &&
+        !verifier.verify("baseline " + std::to_string(i), sig))
+      all_verified = false;
+  }
+  const double base_ms = ms_since(t_base);
+  const double base_rate = static_cast<double>(n_requests) / base_ms * 1e3;
+  std::printf("baseline: %8.0f signs/s (one sign_many(1) per request)\n",
+              base_rate);
+
+  // 2. Offered-load storm through the dispatcher.
+  std::vector<std::future<falcon::Signature>> futures(n_requests);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> retries{0};
+  const unsigned n_clients =
+      std::min(8u, std::max(2u, std::thread::hardware_concurrency()));
+  const auto t_load = Clock::now();
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n_requests) return;
+        while (true) {
+          auto sub =
+              dispatcher.submit_sign(key_id, "load " + std::to_string(i));
+          if (sub.ok()) {
+            futures[i] = std::move(sub.future);
+            break;
+          }
+          retries.fetch_add(1);  // kQueueFull backpressure: spin politely
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    const falcon::Signature sig = futures[i].get();
+    if (!verifier.verify("load " + std::to_string(i), sig))
+      all_verified = false;
+  }
+  const double load_ms = ms_since(t_load);
+  const double load_rate = static_cast<double>(n_requests) / load_ms * 1e3;
+  const serve::MetricsSnapshot after_load = dispatcher.metrics();
+  const double occupancy = after_load.sign_occupancy();
+  const double speedup = load_rate / base_rate;
+  std::printf("load:     %8.0f signs/s (%.2fx baseline) from %u clients, "
+              "%llu backpressure retries\n",
+              load_rate, speedup, n_clients,
+              static_cast<unsigned long long>(retries.load()));
+  std::printf("          occupancy %.1f req/batch over %llu batches, "
+              "p50/p95/p99 %.0f/%.0f/%.0f us\n",
+              occupancy,
+              static_cast<unsigned long long>(after_load.sign_batches()),
+              after_load.p50_us, after_load.p95_us, after_load.p99_us);
+
+  // 3. Idle: single in-flight request latency (fresh histogram via a
+  // second dispatcher so the load phase's latencies don't pollute p99).
+  serve::Dispatcher idle_dispatcher(reg, opts);
+  const std::uint64_t idle_key = idle_dispatcher.add_key(kp);
+  (void)idle_dispatcher.submit_sign(idle_key, "warmup").future.get();
+  std::vector<double> idle_us;
+  for (std::size_t i = 0; i < n_idle; ++i) {
+    const auto t0 = Clock::now();
+    auto sub = idle_dispatcher.submit_sign(idle_key, "idle");
+    const falcon::Signature sig = sub.future.get();
+    idle_us.push_back(ms_since(t0) * 1e3);
+    if (i % 9 == 0 && !verifier.verify("idle", sig)) all_verified = false;
+  }
+  std::sort(idle_us.begin(), idle_us.end());
+  const double idle_p50 = idle_us[idle_us.size() / 2];
+  const double idle_p99 = idle_us[idle_us.size() * 99 / 100];
+  std::printf("idle:     p50 %.0f us, p99 %.0f us single in-flight "
+              "(linger %llu us)\n\n",
+              idle_p50, idle_p99,
+              static_cast<unsigned long long>(kLingerUs));
+
+  if (!args.json_path.empty()) {
+    benchutil::JsonWriter json;
+    json.begin_object()
+        .field("bench", "serve_latency")
+        .field("n_requests", n_requests)
+        .field("max_batch", kMaxBatch)
+        .field("max_linger_us", kLingerUs)
+        .field("signing_workers", dispatcher.signing_service().num_threads())
+        .field("clients", n_clients)
+        .field("baseline_signs_per_sec", base_rate)
+        .field("load_signs_per_sec", load_rate)
+        .field("speedup_vs_baseline", speedup)
+        .field("occupancy", occupancy)
+        .field("batches",
+               static_cast<std::uint64_t>(after_load.sign_batches()))
+        .field("backpressure_retries", retries.load())
+        .field("load_p50_us", after_load.p50_us)
+        .field("load_p95_us", after_load.p95_us)
+        .field("load_p99_us", after_load.p99_us)
+        .field("idle_p50_us", idle_p50)
+        .field("idle_p99_us", idle_p99)
+        .field("all_verified", all_verified)
+        .end_object();
+    json.write_file(args.json_path);
+  }
+
+  std::filesystem::remove_all(dir);
+
+  // Gates. Occupancy is load-driven, not wall-clock-driven, so it holds on
+  // noisy runners and always gates alongside signature validity; the two
+  // rate/latency gates are wall-clock and honor the skip env.
+  const char* skip_env = std::getenv("CGS_BENCH_SKIP_TIMING_GATE");
+  const bool gate_timing = !(skip_env && *skip_env && *skip_env != '0');
+  if (!all_verified) {
+    std::printf("FAIL: a served signature did not verify\n");
+    return 1;
+  }
+  if (occupancy < 32.0) {
+    std::printf("FAIL: mean batch occupancy %.1f < 32 lanes under load\n",
+                occupancy);
+    return 1;
+  }
+  if (gate_timing && speedup < kThroughputGate) {
+    std::printf("FAIL: load throughput %.2fx baseline < %.1fx gate\n",
+                speedup, kThroughputGate);
+    return 1;
+  }
+  if (gate_timing && idle_p99 > 2.0 * static_cast<double>(kLingerUs)) {
+    std::printf("FAIL: idle p99 %.0f us > 2x linger (%llu us)\n", idle_p99,
+                static_cast<unsigned long long>(2 * kLingerUs));
+    return 1;
+  }
+  std::printf("OK: occupancy %.1f >= 32, every signature verified%s\n",
+              occupancy,
+              gate_timing ? ", throughput and idle-latency gates passed"
+                          : " (timing gates skipped)");
+  return 0;
+}

@@ -20,12 +20,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "bench_util.h"
 #include "cdt/cdt_samplers.h"
 #include "ct/bitsliced_sampler.h"
 #include "ct/compiled_sampler.h"
@@ -248,42 +248,40 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n  \"bench\": \"table1_falcon\",\n";
-    out << "  \"budget_sec\": " << budget << ",\n";
-    out << "  \"degrees\": [";
-    for (std::size_t i = 0; i < degrees.size(); ++i)
-      out << (i ? ", " : "") << degrees[i];
-    out << "],\n  \"rows\": {\n";
+    benchutil::JsonWriter json;
+    json.begin_object()
+        .field("bench", "table1_falcon")
+        .field("budget_sec", budget)
+        .begin_array("degrees");
+    for (std::size_t n : degrees) json.item(n);
+    json.end_array().begin_object("rows");
     for (std::size_t s = 0; s < samplers.size(); ++s) {
-      out << "    \"" << samplers[s].key << "\": [";
-      for (std::size_t i = 0; i < results[s].size(); ++i)
-        out << (i ? ", " : "") << results[s][i];
-      out << "]" << (s + 1 < samplers.size() ? "," : "") << "\n";
+      json.begin_array(samplers[s].key);
+      for (double r : results[s]) json.item(r);
+      json.end_array();
     }
-    out << "  },\n  \"batched\": {\n";
-    out << "    \"backend\": \"" << engine::backend_name(service.backend())
-        << "\",\n";
-    out << "    \"num_threads\": " << service.num_threads() << ",\n";
-    out << "    \"signs_per_sec\": [";
+    json.end_object()
+        .begin_object("batched")
+        .field("backend", engine::backend_name(service.backend()))
+        .field("num_threads", service.num_threads())
+        .begin_array("signs_per_sec");
+    for (double b : batched) json.item(b);
+    json.end_array().begin_array("speedup_vs_scalar_bitsliced");
     for (std::size_t i = 0; i < batched.size(); ++i)
-      out << (i ? ", " : "") << batched[i];
-    out << "],\n    \"speedup_vs_scalar_bitsliced\": [";
-    for (std::size_t i = 0; i < batched.size(); ++i)
-      out << (i ? ", " : "")
-          << (results[baseline_row][i] > 0
-                  ? batched[i] / results[baseline_row][i]
-                  : 0.0);
-    out << "],\n    \"all_verified\": "
-        << (batched_verified ? "true" : "false") << "\n";
-    out << "  },\n  \"gate\": {\"min_speedup_required\": " << kGateSpeedup
-        << ", \"min_speedup_measured\": " << min_speedup << ", \"pass\": "
-        << ((min_speedup >= kGateSpeedup && batched_verified &&
-             scalar_verified)
-                ? "true"
-                : "false")
-        << "}\n}\n";
-    std::printf("\njson written to %s\n", json_path.c_str());
+      json.item(results[baseline_row][i] > 0
+                    ? batched[i] / results[baseline_row][i]
+                    : 0.0);
+    json.end_array()
+        .field("all_verified", batched_verified)
+        .end_object()
+        .begin_object("gate")
+        .field("min_speedup_required", kGateSpeedup)
+        .field("min_speedup_measured", min_speedup)
+        .field("pass", min_speedup >= kGateSpeedup && batched_verified &&
+                           scalar_verified)
+        .end_object()
+        .end_object();
+    json.write_file(json_path);
   }
 
   if (!scalar_verified || !batched_verified) {

@@ -9,10 +9,13 @@
 // netlist, so absolute cycles are higher; the split-vs-flat ratio is the
 // reproduction target.
 
+// Usage: bench_table2_sampler [--json FILE]
+
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/cycles.h"
 #include "ct/bitsliced_sampler.h"
 #include "ct/compiled_sampler.h"
@@ -22,6 +25,15 @@
 namespace {
 
 using namespace cgs;
+
+struct Row {
+  const char* sigma;
+  const char* mode;  // interpreted | compiled
+  double flat_cycles;
+  double split_cycles;
+  std::size_t flat_ops;
+  std::size_t split_ops;
+};
 
 // Pre-generated randomness so serving a word is a pointer bump.
 class PoolSource final : public RandomBitSource {
@@ -58,7 +70,8 @@ double median_batch_cycles(Sampler& s) {
   return runs[runs.size() / 2];
 }
 
-void run_sigma(const char* label, const gauss::GaussianParams& params) {
+void run_sigma(const char* label, const gauss::GaussianParams& params,
+               std::vector<Row>& rows) {
   const gauss::ProbMatrix matrix(params);
 
   ct::BitslicedSampler split(ct::synthesize(matrix, {}));
@@ -68,6 +81,9 @@ void run_sigma(const char* label, const gauss::GaussianParams& params) {
   std::printf("%-9s %-12s %14.0f %14.0f %12.1f%%   (ops %zu vs %zu)\n", label,
               "interpreted", flat_i, split_i, 100.0 * (1.0 - split_i / flat_i),
               flat.synth().stats.netlist_ops, split.synth().stats.netlist_ops);
+  rows.push_back({label, "interpreted", flat_i, split_i,
+                  flat.synth().stats.netlist_ops,
+                  split.synth().stats.netlist_ops});
 
   if (ct::CompiledKernel::is_available()) {
     // The paper's numbers are for compiled generated C — this row is the
@@ -78,19 +94,44 @@ void run_sigma(const char* label, const gauss::GaussianParams& params) {
     const double split_c = median_batch_cycles(csplit);
     std::printf("%-9s %-12s %14.0f %14.0f %12.1f%%\n", label, "compiled",
                 flat_c, split_c, 100.0 * (1.0 - split_c / flat_c));
+    rows.push_back({label, "compiled", flat_c, split_c,
+                    cflat.synth().stats.netlist_ops,
+                    csplit.synth().stats.netlist_ops});
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::Args args = benchutil::parse(argc, argv);
   std::printf("Table 2 reproduction: cycles per 64-sample batch, PRNG "
               "excluded\n");
   std::printf("(paper, compiled C on i7-6600U: sigma=2: 3787 -> 2293, 37%%; "
               "sigma=6.15543: 11136 -> 9880, 11%%)\n\n");
   std::printf("%-9s %-12s %14s %14s %13s\n", "sigma", "mode", "[21] flat",
               "this work", "improvement");
-  run_sigma("2", gauss::GaussianParams::sigma_2(128));
-  run_sigma("6.15543", gauss::GaussianParams::sigma_6_15543(128));
+  std::vector<Row> rows;
+  run_sigma("2", gauss::GaussianParams::sigma_2(128), rows);
+  run_sigma("6.15543", gauss::GaussianParams::sigma_6_15543(128), rows);
+
+  if (!args.json_path.empty()) {
+    benchutil::JsonWriter json;
+    json.begin_object()
+        .field("bench", "table2_sampler")
+        .begin_array("rows");
+    for (const Row& row : rows)
+      json.begin_object()
+          .field("sigma", row.sigma)
+          .field("mode", row.mode)
+          .field("flat_cycles", row.flat_cycles)
+          .field("split_cycles", row.split_cycles)
+          .field("improvement",
+                 1.0 - row.split_cycles / row.flat_cycles)
+          .field("flat_ops", row.flat_ops)
+          .field("split_ops", row.split_ops)
+          .end_object();
+    json.end_array().end_object();
+    json.write_file(args.json_path);
+  }
   return 0;
 }

@@ -1,0 +1,222 @@
+// The serving layer end to end over a real socket: a loopback TCP signing
+// server (wire frames -> Dispatcher -> SigningService) and a handful of
+// concurrent demo clients. Each client connects, pipelines a burst of
+// kSignRequest frames for its tenant key, half-closes, then reads the
+// kSignResponse frames back and verifies every signature against the
+// tenant's public key. Exits nonzero on any failure (this example doubles
+// as a ctest smoke test).
+//
+// Usage: sign_server [degree] [clients] [requests_per_client]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/registry.h"
+#include "falcon/keygen.h"
+#include "falcon/verify.h"
+#include "prng/chacha20.h"
+#include "serve/dispatcher.h"
+#include "serve/wire.h"
+
+namespace {
+
+using namespace cgs;
+
+// One connection: read every request, submit it, then stream the
+// responses back in submission order (ids let the client match them
+// regardless). Rejected submissions come back as error frames — the
+// client sees typed backpressure, not a hang.
+void serve_connection(int fd, serve::Dispatcher& dispatcher,
+                      std::atomic<bool>& server_ok) {
+  struct Pending {
+    std::uint64_t id;
+    serve::Submission<falcon::Signature> submission;
+  };
+  std::vector<Pending> pending;
+  try {
+    while (auto frame = serve::read_message(fd)) {
+      serve::SignRequestFrame req = serve::decode_sign_request(*frame);
+      auto submission =
+          dispatcher.submit_sign(req.key_id, std::move(req.message));
+      pending.push_back({req.request_id, std::move(submission)});
+    }
+    for (Pending& p : pending) {
+      serve::SignResponseFrame resp =
+          p.submission.ok()
+              ? serve::SignResponseFrame::success(p.id,
+                                                  p.submission.future.get())
+              : serve::SignResponseFrame::failure(
+                    p.id, serve::to_string(p.submission.status));
+      if (!serve::write_message(fd, serve::encode(resp))) {
+        server_ok = false;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "server connection error: %s\n", e.what());
+    server_ok = false;
+  }
+  ::close(fd);
+}
+
+int run_client(int port, std::uint64_t key_id, const falcon::Verifier& verifier,
+               int client_idx, int requests) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return 0;
+  }
+
+  // Pipeline the whole burst, then half-close: the server learns the
+  // request stream is complete without any in-band terminator.
+  std::vector<std::string> messages;
+  for (int i = 0; i < requests; ++i) {
+    messages.push_back("client " + std::to_string(client_idx) + " message " +
+                       std::to_string(i));
+    serve::SignRequestFrame req;
+    req.request_id = static_cast<std::uint64_t>(i);
+    req.key_id = key_id;
+    req.message = messages.back();
+    if (!serve::write_message(fd, serve::encode(req))) {
+      ::close(fd);
+      return 0;
+    }
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  int verified = 0;
+  try {
+    while (auto frame = serve::read_message(fd)) {
+      const serve::SignResponseFrame resp =
+          serve::decode_sign_response(*frame);
+      if (!resp.ok) {
+        std::fprintf(stderr, "client %d: request %llu rejected: %s\n",
+                     client_idx,
+                     static_cast<unsigned long long>(resp.request_id),
+                     resp.error.c_str());
+        continue;
+      }
+      const falcon::Signature sig = resp.to_signature();
+      if (resp.request_id < messages.size() &&
+          verifier.verify(messages[static_cast<std::size_t>(resp.request_id)],
+                          sig))
+        ++verified;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "client %d error: %s\n", client_idx, e.what());
+  }
+  ::close(fd);
+  return verified;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t degree =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
+  const int num_clients =
+      argc > 2 ? std::atoi(argv[2]) : 4;
+  const int per_client =
+      argc > 3 ? std::atoi(argv[3]) : 8;
+
+  // Two tenant keys: odd clients sign under key B — one server, several
+  // keys, each under its own cached ffLDL tree.
+  std::printf("== keygen: two tenant keys, N = %zu ==\n", degree);
+  prng::ChaCha20Source rng_a(0x5E7F1), rng_b(0x5E7F2);
+  const falcon::KeyPair kp_a =
+      falcon::keygen(falcon::FalconParams::for_degree(degree), rng_a);
+  const falcon::KeyPair kp_b =
+      falcon::keygen(falcon::FalconParams::for_degree(degree), rng_b);
+  const falcon::Verifier verifier_a(kp_a.h, kp_a.params);
+  const falcon::Verifier verifier_b(kp_b.h, kp_b.params);
+
+  serve::DispatcherOptions opts;
+  opts.max_batch = 32;
+  opts.max_linger_us = 2000;
+  opts.sign_lanes = 2;
+  opts.signing.root_seed = 0x5E7F0;
+  serve::Dispatcher dispatcher(engine::SamplerRegistry::global(), opts);
+  const std::uint64_t id_a = dispatcher.add_key(kp_a);
+  const std::uint64_t id_b = dispatcher.add_key(kp_b);
+
+  // Loopback listener on an ephemeral port.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return 1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listener, 16) != 0) {
+    std::perror("bind/listen");
+    return 1;
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  const int port = ntohs(addr.sin_port);
+  std::printf("== serving on 127.0.0.1:%d (%d clients x %d requests) ==\n",
+              port, num_clients, per_client);
+
+  std::atomic<bool> server_ok{true};
+  std::thread acceptor([&] {
+    std::vector<std::thread> connections;
+    for (int c = 0; c < num_clients; ++c) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) {
+        server_ok = false;
+        break;
+      }
+      connections.emplace_back(serve_connection, fd, std::ref(dispatcher),
+                               std::ref(server_ok));
+    }
+    for (auto& t : connections) t.join();
+  });
+
+  std::vector<std::thread> clients;
+  std::atomic<int> total_verified{0};
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      const bool is_b = (c % 2) == 1;
+      total_verified += run_client(port, is_b ? id_b : id_a,
+                                   is_b ? verifier_b : verifier_a, c,
+                                   per_client);
+    });
+  }
+  for (auto& t : clients) t.join();
+  acceptor.join();
+  ::close(listener);
+  dispatcher.shutdown();
+
+  const serve::MetricsSnapshot m = dispatcher.metrics();
+  std::printf("\n== results ==\n");
+  std::printf("verified %d / %d signatures across %d clients, 2 keys\n",
+              total_verified.load(), num_clients * per_client, num_clients);
+  std::printf("lanes: %zu  batches: %llu  occupancy: %.1f req/batch\n",
+              m.sign_lanes.size(),
+              static_cast<unsigned long long>(m.sign_batches()),
+              m.sign_occupancy());
+  std::printf("latency: p50 %.0fus  p95 %.0fus  p99 %.0fus\n", m.p50_us,
+              m.p95_us, m.p99_us);
+  std::printf("cached trees: %zu\n",
+              dispatcher.signing_service().num_cached_trees());
+
+  const bool ok = server_ok && total_verified == num_clients * per_client &&
+                  dispatcher.signing_service().num_cached_trees() == 2;
+  std::printf("\n%s\n", ok ? "all checks passed" : "A CHECK FAILED");
+  return ok ? 0 : 1;
+}

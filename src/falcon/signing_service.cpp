@@ -17,6 +17,8 @@ namespace {
 // keygen admits sits below it (params.sigma_max < 2).
 constexpr double kSigmaBase = 2.0;
 
+}  // namespace
+
 // Fingerprint of the tree's actual inputs: the secret basis (f, g, F, G)
 // plus the degree. Collisions are checked against a stored (f, g) copy, so
 // a (astronomically unlikely) 64-bit clash degrades to a CGS_CHECK, never
@@ -34,8 +36,6 @@ std::uint64_t key_fingerprint(const KeyPair& kp) {
     append(poly->data(), poly->size() * sizeof(std::int32_t));
   return serial::fnv1a64(bytes);
 }
-
-}  // namespace
 
 SigningService::SigningService(engine::SamplerRegistry& registry,
                                SigningOptions options)
@@ -93,23 +93,64 @@ std::shared_ptr<const FalconTree> SigningService::tree_for(
   return tree;
 }
 
+std::vector<SigningService::Worker*> SigningService::checkout(
+    std::size_t want) {
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  pool_cv_.wait(lock, [this] {
+    for (const auto& w : workers_)
+      if (!w->busy) return true;
+    return false;
+  });
+  std::vector<Worker*> taken;
+  for (const auto& w : workers_) {
+    if (taken.size() == want) break;
+    if (!w->busy) {
+      w->busy = true;
+      taken.push_back(w.get());
+    }
+  }
+  return taken;
+}
+
+void SigningService::checkin(std::span<Worker* const> taken) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    for (Worker* w : taken) {
+      // Publish the live SamplerZ counters now that no thread drives them.
+      w->base_calls = w->samplerz->base_calls();
+      w->rejections = w->samplerz->rejections();
+      w->busy = false;
+    }
+  }
+  pool_cv_.notify_all();
+}
+
 std::vector<Signature> SigningService::sign_many(
     const KeyPair& kp, std::span<const std::string_view> messages,
     SignStats* stats) {
-  std::lock_guard<std::mutex> lock(req_mu_);
   const auto tree = tree_for(kp);
   std::vector<Signature> out(messages.size());
   if (messages.empty()) return out;
 
-  const std::size_t num_workers = workers_.size();
-  // Message i is pinned to worker i % T — the assignment is part of the
-  // deterministic contract, not a scheduling decision.
-  std::vector<SignStats> call_stats(num_workers);
-  std::vector<std::exception_ptr> errors(num_workers);
+  // Take whatever is free, at most one worker per message — the pool lock
+  // is never held across the signing itself, so a batch on another key
+  // only ever waits for one worker to come back, not for a whole batch.
+  // An uncontended caller gets workers 0..k-1 in index order and message
+  // i pinned to worker i % k — the deterministic single-caller contract.
+  const std::vector<Worker*> taken =
+      checkout(std::min(workers_.size(), messages.size()));
+  struct CheckinGuard {
+    SigningService* svc;
+    std::span<Worker* const> taken;
+    ~CheckinGuard() { svc->checkin(taken); }
+  } guard{this, taken};
+  const std::size_t k = taken.size();
+  std::vector<SignStats> call_stats(k);
+  std::vector<std::exception_ptr> errors(k);
   const auto run_slice = [&](std::size_t t) {
     try {
-      Worker& w = *workers_[t];
-      for (std::size_t i = t; i < messages.size(); i += num_workers)
+      Worker& w = *taken[t];
+      for (std::size_t i = t; i < messages.size(); i += k)
         out[i] = sign_with(kp, *tree, messages[i], *w.samplerz, w.scratch,
                            &call_stats[t]);
     } catch (...) {
@@ -122,24 +163,25 @@ std::vector<Signature> SigningService::sign_many(
   // multi-ms batch slices, so a parked pool (as SamplerEngine keeps) only
   // starts paying for itself under many-thread, tiny-batch workloads —
   // revisit if that shape shows up.
-  const std::size_t active = std::min(num_workers, messages.size());
   std::vector<std::thread> threads;
-  threads.reserve(active > 0 ? active - 1 : 0);
-  for (std::size_t t = 1; t < active; ++t)
-    threads.emplace_back(run_slice, t);
+  threads.reserve(k > 0 ? k - 1 : 0);
+  for (std::size_t t = 1; t < k; ++t) threads.emplace_back(run_slice, t);
   run_slice(0);
   for (auto& th : threads) th.join();
 
-  for (std::size_t t = 0; t < num_workers; ++t) {
-    const SignStats& cs = call_stats[t];
-    Worker& w = *workers_[t];
-    w.totals.attempts += cs.attempts;
-    w.totals.samplerz_calls += cs.samplerz_calls;
-    w.totals.base_samples += cs.base_samples;
-    if (stats) {
-      stats->attempts += cs.attempts;
-      stats->samplerz_calls += cs.samplerz_calls;
-      stats->base_samples += cs.base_samples;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    for (std::size_t t = 0; t < k; ++t) {
+      const SignStats& cs = call_stats[t];
+      Worker& w = *taken[t];
+      w.totals.attempts += cs.attempts;
+      w.totals.samplerz_calls += cs.samplerz_calls;
+      w.totals.base_samples += cs.base_samples;
+      if (stats) {
+        stats->attempts += cs.attempts;
+        stats->samplerz_calls += cs.samplerz_calls;
+        stats->base_samples += cs.base_samples;
+      }
     }
   }
   for (const auto& error : errors)
@@ -154,7 +196,7 @@ Signature SigningService::sign(const KeyPair& kp, std::string_view message,
 }
 
 SignStats SigningService::stats() const {
-  std::lock_guard<std::mutex> lock(req_mu_);
+  std::lock_guard<std::mutex> lock(pool_mu_);
   SignStats total;
   for (const auto& w : workers_) {
     total.attempts += w->totals.attempts;
@@ -165,16 +207,20 @@ SignStats SigningService::stats() const {
 }
 
 std::uint64_t SigningService::base_calls() const {
-  std::lock_guard<std::mutex> lock(req_mu_);
+  std::lock_guard<std::mutex> lock(pool_mu_);
   std::uint64_t total = 0;
-  for (const auto& w : workers_) total += w->samplerz->base_calls();
+  // Idle workers read the live counter (equal to the snapshot); a busy
+  // worker's in-flight delta lands at its check-in.
+  for (const auto& w : workers_)
+    total += w->busy ? w->base_calls : w->samplerz->base_calls();
   return total;
 }
 
 std::uint64_t SigningService::rejections() const {
-  std::lock_guard<std::mutex> lock(req_mu_);
+  std::lock_guard<std::mutex> lock(pool_mu_);
   std::uint64_t total = 0;
-  for (const auto& w : workers_) total += w->samplerz->rejections();
+  for (const auto& w : workers_)
+    total += w->busy ? w->rejections : w->samplerz->rejections();
   return total;
 }
 

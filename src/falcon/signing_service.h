@@ -7,18 +7,31 @@
 // scratch, so sign_many() fans a batch of messages out across threads with
 // zero shared mutable sampling state.
 //
+// Concurrency: sign_many() holds the pool lock only to check workers out
+// and back in, never across the signing work itself, so two concurrent
+// batches (e.g. the serve::Dispatcher's per-key lanes) overlap: each call
+// takes whatever workers are free — at least one, up to one per message —
+// and runs its batch on those while other calls run on the rest.
+//
 // Determinism: worker seeds are derived from (root_seed, worker index) via
-// SplitMix64 and message i is pinned to worker i % num_threads, so for a
-// fixed (root_seed, num_threads) the same sequence of sign_many() calls
-// produces bit-identical signatures regardless of scheduling. Two workers
-// never share PRNG state; each worker's streams simply continue across
-// calls and keys.
+// SplitMix64 and message i is pinned to checked-out worker i % k. A
+// NON-OVERLAPPING caller always finds every worker free, so it checks out
+// workers 0..min(T, batch)-1 in index order and, for a fixed (root_seed,
+// num_threads), the same sequence of sign_many() calls produces
+// bit-identical signatures regardless of scheduling — the original
+// single-caller contract. Overlapping callers split the pool by arrival
+// order, which is inherently scheduling-dependent; every signature is
+// still a valid draw from the signing distribution, just not a replayable
+// one. Two workers never share PRNG state; each worker's streams simply
+// continue across calls and keys.
 //
 // Stats: every worker accumulates into its own counters (its SamplerZ is
-// single-consumer by contract); stats()/base_calls()/rejections()
-// aggregate on demand under the request lock, so there is no data race
-// and no atomic traffic on the signing hot path.
+// single-consumer by contract) and publishes them into service-level
+// totals at check-in, so stats()/base_calls()/rejections() read under the
+// pool lock without racing in-flight work — they reflect completed
+// sign_many() calls.
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -33,6 +46,12 @@
 #include "falcon/sign.h"
 
 namespace cgs::falcon {
+
+/// Stable 64-bit fingerprint of a key pair's secret basis (f, g, F, G) and
+/// degree — the identity the tree cache and the serving layer's shard
+/// router key on. Collision handling is the cache's job (it stores the
+/// actual (f, g) and checks), not the fingerprint's.
+std::uint64_t key_fingerprint(const KeyPair& kp);
 
 struct SigningOptions {
   engine::Backend backend = engine::Backend::kAuto;
@@ -50,9 +69,11 @@ class SigningService {
                           SigningOptions options = {});
 
   /// Sign every message in `messages` with `kp`, the batch split across
-  /// the worker pool. Returns signatures in message order. Thread-safe
-  /// (concurrent calls serialize). `stats`, when non-null, accumulates
-  /// this call's totals.
+  /// the worker pool. Returns signatures in message order. Thread-safe;
+  /// concurrent calls overlap on disjoint worker subsets (each call checks
+  /// out at least one free worker, so a call on one key never waits for a
+  /// whole batch on another key to finish — only for one worker to free
+  /// up). `stats`, when non-null, accumulates this call's totals.
   std::vector<Signature> sign_many(const KeyPair& kp,
                                    std::span<const std::string_view> messages,
                                    SignStats* stats = nullptr);
@@ -79,8 +100,13 @@ class SigningService {
     std::unique_ptr<engine::EngineBlockSource> source;
     std::unique_ptr<SamplerZ> samplerz;
     FfScratch scratch;
-    SignStats totals;  // lifetime; owned by this worker's thread during a
-                       // request, read under req_mu_ otherwise
+    bool busy = false;  // guarded by pool_mu_
+    // Published-at-check-in lifetime counters, read under pool_mu_. The
+    // live SamplerZ counters belong to the checked-out thread and are only
+    // snapshotted here once the worker is returned.
+    SignStats totals;
+    std::uint64_t base_calls = 0;
+    std::uint64_t rejections = 0;
   };
   struct TreeEntry {
     IPoly f, g;  // fingerprint collision guard (the tree's actual inputs)
@@ -89,9 +115,15 @@ class SigningService {
 
   std::shared_ptr<const FalconTree> tree_for(const KeyPair& kp);
 
+  /// Blocks until at least one worker is free, then takes up to `want` of
+  /// them in index order. Never holds pool_mu_ while signing runs.
+  std::vector<Worker*> checkout(std::size_t want);
+  void checkin(std::span<Worker* const> taken);
+
   SigningOptions options_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  mutable std::mutex req_mu_;  // serializes sign_many (workers are stateful)
+  mutable std::mutex pool_mu_;  // guards Worker::busy + published counters
+  std::condition_variable pool_cv_;
   mutable std::mutex tree_mu_;
   std::map<std::uint64_t, TreeEntry> trees_;
 };

@@ -39,7 +39,19 @@ inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
 // on ELF hosts that support it, roughly doubling bulk keystream.
 using u32x8 = std::uint32_t __attribute__((vector_size(32)));
 
-#if defined(__x86_64__) && defined(__ELF__) && defined(__has_attribute)
+// ThreadSanitizer cannot run IFUNC resolvers (they fire during relocation,
+// before the TSan runtime exists — instant segfault at load), so the clone
+// dispatch is compiled out under TSan; the generic vector path remains.
+#if defined(__SANITIZE_THREAD__)
+#define CGS_CHACHA_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CGS_CHACHA_TSAN 1
+#endif
+#endif
+
+#if defined(__x86_64__) && defined(__ELF__) && defined(__has_attribute) && \
+    !defined(CGS_CHACHA_TSAN)
 #if __has_attribute(target_clones)
 #define CGS_CHACHA_CLONES __attribute__((target_clones("avx2", "default")))
 #endif

@@ -42,6 +42,11 @@ enum class TypeTag : std::uint32_t {
   kSynthesizedSampler = 2,
   kProbMatrix = 3,
   kRecipe = 4,
+  // Serving-layer wire messages (serve/wire.h): these travel over sockets
+  // rather than the disk cache, but share the frame so the receive path
+  // gets magic/version/checksum validation for free.
+  kSignRequest = 5,
+  kSignResponse = 6,
 };
 
 /// FNV-1a 64-bit over a byte range — the frame's content hash.

@@ -1,0 +1,271 @@
+#include "serve/dispatcher.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cgs::serve {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+// SplitMix64 finalizer: the shard router's mixing step. Fingerprints and
+// IEEE-754 bit patterns are far from uniform in their low bits; lane index
+// = mix(key) % lanes must not systematically collide tenants.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t gauss_shard_key(double sigma, double center) {
+  return mix64(std::bit_cast<std::uint64_t>(sigma)) ^
+         mix64(~std::bit_cast<std::uint64_t>(center));
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
+                       DispatcherOptions options)
+    : registry_(&registry), options_(options) {
+  CGS_CHECK_MSG(options_.sign_lanes >= 1 && options_.gauss_lanes >= 1,
+                "dispatcher needs at least one lane of each kind");
+  CGS_CHECK_MSG(options_.max_batch >= 1, "dispatcher needs max_batch >= 1");
+  signing_ = std::make_unique<falcon::SigningService>(*registry_,
+                                                      options_.signing);
+  gaussian_ = std::make_unique<engine::GaussianService>(*registry_,
+                                                        options_.gaussian);
+  for (int i = 0; i < options_.sign_lanes; ++i)
+    sign_lanes_.push_back(
+        std::make_unique<Lane<SignJob>>(options_.queue_capacity));
+  for (int i = 0; i < options_.gauss_lanes; ++i)
+    gauss_lanes_.push_back(
+        std::make_unique<Lane<GaussJob>>(options_.queue_capacity));
+  // Lanes start only after every queue exists — a lane thread never sees a
+  // half-constructed dispatcher.
+  for (auto& lane : sign_lanes_) {
+    Lane<SignJob>* l = lane.get();
+    lane->thread = std::thread([this, l] { run_sign_lane(*l); });
+  }
+  for (auto& lane : gauss_lanes_) {
+    Lane<GaussJob>* l = lane.get();
+    lane->thread = std::thread([this, l] { run_gauss_lane(*l); });
+  }
+}
+
+Dispatcher::~Dispatcher() { shutdown(); }
+
+void Dispatcher::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  for (auto& lane : sign_lanes_) lane->queue.close();
+  for (auto& lane : gauss_lanes_) lane->queue.close();
+  for (auto& lane : sign_lanes_)
+    if (lane->thread.joinable()) lane->thread.join();
+  for (auto& lane : gauss_lanes_)
+    if (lane->thread.joinable()) lane->thread.join();
+}
+
+std::uint64_t Dispatcher::add_key(falcon::KeyPair kp) {
+  const std::uint64_t id = falcon::key_fingerprint(kp);
+  std::lock_guard<std::mutex> lock(keys_mu_);
+  auto it = keys_.find(id);
+  if (it == keys_.end()) {
+    keys_.emplace(id, std::move(kp));
+  } else {
+    // Same fingerprint must mean the same key material — a collision here
+    // would route a tenant's messages to another tenant's tree.
+    CGS_CHECK_MSG(it->second.f == kp.f && it->second.g == kp.g,
+                  "key fingerprint collision between distinct tenant keys");
+  }
+  return id;
+}
+
+const falcon::KeyPair* Dispatcher::key(std::uint64_t key_id) const {
+  std::lock_guard<std::mutex> lock(keys_mu_);
+  auto it = keys_.find(key_id);
+  return it == keys_.end() ? nullptr : &it->second;
+}
+
+Submission<falcon::Signature> Dispatcher::submit_sign(std::uint64_t key_id,
+                                                      std::string message) {
+  CGS_CHECK_MSG(key(key_id) != nullptr,
+                "submit_sign: key_id not registered (add_key first)");
+  Lane<SignJob>& lane =
+      *sign_lanes_[mix64(key_id) % sign_lanes_.size()];
+  SignJob job;
+  job.key_id = key_id;
+  job.message = std::move(message);
+  job.submitted = std::chrono::steady_clock::now();
+  Submission<falcon::Signature> result;
+  result.future = job.promise.get_future();
+  result.status = lane.queue.try_push(std::move(job));
+  if (result.status == SubmitStatus::kOk) {
+    lane.counters.submitted.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    lane.counters.rejected.fetch_add(1, std::memory_order_relaxed);
+    result.future = {};
+  }
+  return result;
+}
+
+Submission<std::vector<std::int32_t>> Dispatcher::submit_gauss(
+    double sigma, double center, std::size_t n) {
+  CGS_CHECK_MSG(n >= 1, "submit_gauss: empty request");
+  Lane<GaussJob>& lane =
+      *gauss_lanes_[gauss_shard_key(sigma, center) % gauss_lanes_.size()];
+  GaussJob job;
+  job.sigma = sigma;
+  job.center = center;
+  job.n = n;
+  job.submitted = std::chrono::steady_clock::now();
+  Submission<std::vector<std::int32_t>> result;
+  result.future = job.promise.get_future();
+  result.status = lane.queue.try_push(std::move(job));
+  if (result.status == SubmitStatus::kOk) {
+    lane.counters.submitted.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    lane.counters.rejected.fetch_add(1, std::memory_order_relaxed);
+    result.future = {};
+  }
+  return result;
+}
+
+void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
+  MicroBatcher<SignJob> batcher(
+      lane.queue, options_.max_batch,
+      std::chrono::microseconds(options_.max_linger_us));
+  std::vector<SignJob> batch;
+  while (batcher.next_batch(batch)) {
+    // Group by tenant key, preserving arrival order within each group —
+    // one sign_many per key is what fills the engine's bit-sliced lanes.
+    std::map<std::uint64_t, std::vector<std::size_t>> by_key;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      by_key[batch[i].key_id].push_back(i);
+    for (const auto& [key_id, indices] : by_key) {
+      const falcon::KeyPair* kp = key(key_id);
+      std::vector<std::string_view> messages;
+      messages.reserve(indices.size());
+      for (std::size_t i : indices) messages.push_back(batch[i].message);
+      lane.counters.batches.fetch_add(1, std::memory_order_relaxed);
+      lane.counters.batched.fetch_add(indices.size(),
+                                      std::memory_order_relaxed);
+      try {
+        CGS_CHECK_MSG(kp != nullptr, "signing lane lost a registered key");
+        auto sigs = signing_->sign_many(*kp, messages);
+        for (std::size_t j = 0; j < indices.size(); ++j) {
+          SignJob& job = batch[indices[j]];
+          lane.counters.latency.record(elapsed_us(job.submitted));
+          lane.counters.completed.fetch_add(1, std::memory_order_relaxed);
+          job.promise.set_value(std::move(sigs[j]));
+        }
+      } catch (...) {
+        const auto error = std::current_exception();
+        for (std::size_t i : indices) {
+          lane.counters.failed.fetch_add(1, std::memory_order_relaxed);
+          batch[i].promise.set_exception(error);
+        }
+      }
+    }
+  }
+}
+
+void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
+  MicroBatcher<GaussJob> batcher(
+      lane.queue, options_.max_batch,
+      std::chrono::microseconds(options_.max_linger_us));
+  std::vector<GaussJob> batch;
+  while (batcher.next_batch(batch)) {
+    // Group by exact target bit patterns: one bulk sample() per distinct
+    // (sigma, center), split back across the requests afterwards.
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::vector<std::size_t>>
+        by_target;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      by_target[{std::bit_cast<std::uint64_t>(batch[i].sigma),
+                 std::bit_cast<std::uint64_t>(batch[i].center)}]
+          .push_back(i);
+    for (const auto& [target, indices] : by_target) {
+      std::size_t total = 0;
+      for (std::size_t i : indices) total += batch[i].n;
+      lane.counters.batches.fetch_add(1, std::memory_order_relaxed);
+      lane.counters.batched.fetch_add(indices.size(),
+                                      std::memory_order_relaxed);
+      try {
+        const GaussJob& head = batch[indices.front()];
+        const std::vector<std::int32_t> bulk =
+            gaussian_->sample(head.sigma, head.center, total);
+        std::size_t off = 0;
+        for (std::size_t i : indices) {
+          GaussJob& job = batch[i];
+          std::vector<std::int32_t> slice(
+              bulk.begin() + static_cast<std::ptrdiff_t>(off),
+              bulk.begin() + static_cast<std::ptrdiff_t>(off + job.n));
+          off += job.n;
+          lane.counters.latency.record(elapsed_us(job.submitted));
+          lane.counters.completed.fetch_add(1, std::memory_order_relaxed);
+          job.promise.set_value(std::move(slice));
+        }
+      } catch (...) {
+        const auto error = std::current_exception();
+        for (std::size_t i : indices) {
+          lane.counters.failed.fetch_add(1, std::memory_order_relaxed);
+          batch[i].promise.set_exception(error);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+template <typename LanePtr>
+void snapshot_lanes(const std::vector<LanePtr>& lanes,
+                    std::vector<LaneSnapshot>& out, LatencyBuckets& merged) {
+  for (const auto& lane : lanes) {
+    LaneSnapshot snap;
+    snap.submitted = lane->counters.submitted.load(std::memory_order_relaxed);
+    snap.rejected = lane->counters.rejected.load(std::memory_order_relaxed);
+    snap.completed = lane->counters.completed.load(std::memory_order_relaxed);
+    snap.failed = lane->counters.failed.load(std::memory_order_relaxed);
+    snap.batches = lane->counters.batches.load(std::memory_order_relaxed);
+    snap.batched = lane->counters.batched.load(std::memory_order_relaxed);
+    snap.queue_depth = lane->queue.size();
+    snap.p50_us = lane->counters.latency.quantile(0.50);
+    snap.p95_us = lane->counters.latency.quantile(0.95);
+    snap.p99_us = lane->counters.latency.quantile(0.99);
+    lane->counters.latency.merge_into(merged);
+    out.push_back(snap);
+  }
+}
+
+}  // namespace
+
+MetricsSnapshot Dispatcher::metrics() const {
+  MetricsSnapshot snap;
+  LatencyBuckets sign_merged{};
+  LatencyBuckets gauss_merged{};
+  snapshot_lanes(sign_lanes_, snap.sign_lanes, sign_merged);
+  snapshot_lanes(gauss_lanes_, snap.gauss_lanes, gauss_merged);
+  snap.p50_us = bucket_quantile(sign_merged, 0.50);
+  snap.p95_us = bucket_quantile(sign_merged, 0.95);
+  snap.p99_us = bucket_quantile(sign_merged, 0.99);
+  snap.gauss_p50_us = bucket_quantile(gauss_merged, 0.50);
+  snap.gauss_p95_us = bucket_quantile(gauss_merged, 0.95);
+  snap.gauss_p99_us = bucket_quantile(gauss_merged, 0.99);
+  return snap;
+}
+
+}  // namespace cgs::serve

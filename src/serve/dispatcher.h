@@ -1,0 +1,145 @@
+#pragma once
+// Dispatcher: the asynchronous front end that turns many small concurrent
+// requests into full bit-sliced batches. Clients submit and get a future;
+// admission is a bounded RequestQueue (typed backpressure, never a block);
+// per-lane threads run a MicroBatcher (close on max_batch or max_linger,
+// whichever first) and hand closed batches to the blocking services:
+//
+//   submit_sign ── shard by key fingerprint ──> sign lane ─┐
+//                                                          ├─ MicroBatcher
+//   submit_gauss ── shard by (sigma, c) key ──> gauss lane ┘      │
+//                                                                 ▼
+//        falcon::SigningService::sign_many / GaussianService::sample
+//
+// Sign lanes are sharded by falcon::key_fingerprint, so N tenant keys live
+// concurrently, each signing under its own cached ffLDL tree; a lane batch
+// that spans several keys is grouped into one sign_many per key (the
+// engine batches per key — that is what fills its lanes). Raw-Gaussian
+// requests shard by the canonical (sigma, center) recipe key and a lane
+// batch collapses into one GaussianService::sample per distinct target.
+// Because SigningService checks workers out per call instead of
+// serializing callers, two lanes' batches on different keys overlap on
+// disjoint worker subsets instead of convoying.
+//
+// Shutdown drains: queues stop admitting (kShutdown), lane threads finish
+// everything already accepted, and every outstanding future is fulfilled —
+// a submitted request is never silently dropped.
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/registry.h"
+#include "engine/service.h"
+#include "falcon/signing_service.h"
+#include "serve/batcher.h"
+#include "serve/metrics.h"
+#include "serve/queue.h"
+
+namespace cgs::serve {
+
+/// A submission attempt: on ok() the future is valid and will be
+/// fulfilled (value or exception) even across shutdown; otherwise
+/// `status` says why the request was not admitted.
+template <typename T>
+struct Submission {
+  SubmitStatus status = SubmitStatus::kShutdown;
+  std::future<T> future;
+  bool ok() const { return status == SubmitStatus::kOk; }
+};
+
+struct DispatcherOptions {
+  std::size_t queue_capacity = 1024;  // per lane
+  std::size_t max_batch = 64;        // requests per closed batch
+  std::uint64_t max_linger_us = 2000;
+  int sign_lanes = 2;
+  int gauss_lanes = 1;
+  falcon::SigningOptions signing;   // inner SigningService configuration
+  engine::ServiceOptions gaussian;  // inner GaussianService configuration
+};
+
+class Dispatcher {
+ public:
+  /// `registry` (not owned) must outlive the dispatcher; both inner
+  /// services plan/synthesize through it.
+  explicit Dispatcher(engine::SamplerRegistry& registry,
+                      DispatcherOptions options = {});
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Register a tenant key; returns its id (the key fingerprint) used in
+  /// submit_sign and on the wire. Idempotent for the same key material.
+  std::uint64_t add_key(falcon::KeyPair kp);
+  /// The registered key for an id; nullptr when unknown.
+  const falcon::KeyPair* key(std::uint64_t key_id) const;
+
+  /// Queue one message for signing under a registered key. Fails fast
+  /// with kQueueFull (backpressure) or kShutdown; throws cgs::Error only
+  /// on an unregistered key_id (caller bug, not load).
+  Submission<falcon::Signature> submit_sign(std::uint64_t key_id,
+                                            std::string message);
+
+  /// Queue a raw-Gaussian request for `n` samples at (sigma, center).
+  Submission<std::vector<std::int32_t>> submit_gauss(double sigma,
+                                                     double center,
+                                                     std::size_t n);
+
+  /// Point-in-time metrics across every lane.
+  MetricsSnapshot metrics() const;
+
+  /// Stop admitting, drain every queued request, join the lane threads.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  falcon::SigningService& signing_service() { return *signing_; }
+  engine::GaussianService& gaussian_service() { return *gaussian_; }
+  const DispatcherOptions& options() const { return options_; }
+
+ private:
+  struct SignJob {
+    std::uint64_t key_id = 0;
+    std::string message;
+    std::promise<falcon::Signature> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  struct GaussJob {
+    double sigma = 0, center = 0;
+    std::size_t n = 0;
+    std::promise<std::vector<std::int32_t>> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  template <typename Job>
+  struct Lane {
+    explicit Lane(std::size_t capacity) : queue(capacity) {}
+    RequestQueue<Job> queue;
+    LaneCounters counters;
+    std::thread thread;
+  };
+
+  void run_sign_lane(Lane<SignJob>& lane);
+  void run_gauss_lane(Lane<GaussJob>& lane);
+
+  engine::SamplerRegistry* registry_;
+  DispatcherOptions options_;
+  std::unique_ptr<falcon::SigningService> signing_;
+  std::unique_ptr<engine::GaussianService> gaussian_;
+
+  mutable std::mutex keys_mu_;
+  std::map<std::uint64_t, falcon::KeyPair> keys_;
+
+  std::vector<std::unique_ptr<Lane<SignJob>>> sign_lanes_;
+  std::vector<std::unique_ptr<Lane<GaussJob>>> gauss_lanes_;
+
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+};
+
+}  // namespace cgs::serve

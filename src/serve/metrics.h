@@ -1,0 +1,136 @@
+#pragma once
+// serve::Metrics: per-lane observability for the serving layer with no
+// locks on the hot path. Counters are relaxed atomics (each event is one
+// fetch_add; cross-counter consistency is not needed for monitoring) and
+// latencies go into a log2-bucketed histogram — 64 power-of-two buckets
+// cover 1us..2^63us, bucket index = bit_width(us), so recording is a
+// single lock-free increment and p50/p95/p99 are recovered by a bucket
+// walk with ~2x worst-case resolution (plenty to tell "one linger" from
+// "queue melt-down"). Lanes are cache-line separated so two lanes'
+// counters never false-share.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cgs::serve {
+
+/// 65 log2 buckets over microseconds: [0] holds 0us, [k] holds
+/// [2^(k-1), 2^k) us.
+using LatencyBuckets = std::array<std::uint64_t, 65>;
+
+/// Upper bound (us) of the bucket holding the q-quantile observation of a
+/// bucket array (q in [0, 1]); 0 when empty. Resolution is the bucket
+/// width (~2x).
+inline double bucket_quantile(const LatencyBuckets& buckets, double q) {
+  CGS_CHECK(q >= 0.0 && q <= 1.0);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  // rank in [1, total]: the +1 makes q=0 the min and q=1 the max.
+  const auto rank = static_cast<std::uint64_t>(q * (total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank)
+      return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+  }
+  return std::ldexp(1.0, 64);
+}
+
+/// Lock-free log2 latency histogram (microseconds).
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t us) {
+    const int bucket = std::bit_width(us);  // 0us -> 0, else 1 + floor(log2)
+    buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  double quantile(double q) const {
+    LatencyBuckets snap{};
+    merge_into(snap);
+    return bucket_quantile(snap, q);
+  }
+
+  void merge_into(LatencyBuckets& acc) const {
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      acc[i] += buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, 65> buckets_{};
+};
+
+/// One lane's counters. Submissions are counted by the submitting client
+/// thread (lock-free); batch/completion counters by the lane thread.
+struct alignas(64) LaneCounters {
+  std::atomic<std::uint64_t> submitted{0};   // accepted into the queue
+  std::atomic<std::uint64_t> rejected{0};    // not admitted (kQueueFull
+                                             // backpressure or kShutdown)
+  std::atomic<std::uint64_t> completed{0};   // promises fulfilled
+  std::atomic<std::uint64_t> failed{0};      // promises failed (exception)
+  std::atomic<std::uint64_t> batches{0};     // engine calls dispatched
+  std::atomic<std::uint64_t> batched{0};     // requests across those calls
+  LatencyHistogram latency;                  // submit -> promise fulfilled
+};
+
+/// Plain-value copy of one lane at a point in time.
+struct LaneSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched = 0;
+  std::size_t queue_depth = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+
+  /// Mean requests per dispatched engine batch — the "are the bit-sliced
+  /// lanes actually full" number.
+  double occupancy() const {
+    return batches ? static_cast<double>(batched) /
+                         static_cast<double>(batches)
+                   : 0.0;
+  }
+};
+
+/// Snapshot of the whole serving layer (see Dispatcher::metrics()).
+struct MetricsSnapshot {
+  std::vector<LaneSnapshot> sign_lanes;
+  std::vector<LaneSnapshot> gauss_lanes;
+  double p50_us = 0, p95_us = 0, p99_us = 0;  // sign latency, all lanes
+  double gauss_p50_us = 0, gauss_p95_us = 0, gauss_p99_us = 0;
+
+  std::uint64_t sign_submitted() const { return sum(&LaneSnapshot::submitted); }
+  std::uint64_t sign_rejected() const { return sum(&LaneSnapshot::rejected); }
+  std::uint64_t sign_completed() const { return sum(&LaneSnapshot::completed); }
+  std::uint64_t sign_batches() const { return sum(&LaneSnapshot::batches); }
+  std::uint64_t sign_batched() const { return sum(&LaneSnapshot::batched); }
+  double sign_occupancy() const {
+    const std::uint64_t b = sign_batches();
+    return b ? static_cast<double>(sign_batched()) / static_cast<double>(b)
+             : 0.0;
+  }
+
+ private:
+  std::uint64_t sum(std::uint64_t LaneSnapshot::* field) const {
+    std::uint64_t total = 0;
+    for (const auto& lane : sign_lanes) total += lane.*field;
+    return total;
+  }
+};
+
+}  // namespace cgs::serve

@@ -1,0 +1,120 @@
+#pragma once
+// RequestQueue: the serving layer's admission point — a bounded MPMC queue
+// with explicit backpressure. Producers never block: try_push either
+// accepts the item or returns a typed rejection (kQueueFull when the
+// caller should shed load or retry, kShutdown once close() has been
+// called), so a slow signing backend surfaces as rejected submissions
+// instead of an unbounded memory ramp or a convoy of blocked client
+// threads. Consumers (the MicroBatcher) block with a deadline, which is
+// what turns "wait a little for more requests" into full bit-sliced
+// batches.
+//
+// Plain mutex + two condition variables: the queue hand-off is thousands
+// of times cheaper than the Falcon signing work behind it, so lock-free
+// machinery would buy nothing here (the *metrics* counters on the hot
+// submit path are lock-free — see serve/metrics.h).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cgs::serve {
+
+/// Why a submission was not accepted (or, kOk, that it was).
+enum class SubmitStatus {
+  kOk,
+  kQueueFull,  // backpressure: capacity reached, caller sheds or retries
+  kShutdown,   // close() was called; no further work is accepted
+};
+
+inline const char* to_string(SubmitStatus s) {
+  switch (s) {
+    case SubmitStatus::kOk: return "ok";
+    case SubmitStatus::kQueueFull: return "queue-full";
+    case SubmitStatus::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {
+    CGS_CHECK_MSG(capacity_ >= 1, "request queue needs capacity >= 1");
+  }
+
+  /// Non-blocking admission; on kOk the item has been moved in and the
+  /// consumer is woken.
+  SubmitStatus try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return SubmitStatus::kShutdown;
+      if (items_.size() >= capacity_) return SubmitStatus::kQueueFull;
+      items_.push_back(std::move(item));
+    }
+    ready_cv_.notify_one();
+    return SubmitStatus::kOk;
+  }
+
+  /// Blocks until an item arrives or the queue is closed *and* drained.
+  /// Returns false only in the latter case — items queued before close()
+  /// are always delivered (shutdown drains, it does not drop).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Like pop() but gives up at `deadline`; false on timeout or on
+  /// closed-and-drained (check closed() to tell the two apart).
+  template <typename Clock, typename Duration>
+  bool pop_until(T& out,
+                 const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait_until(lock, deadline,
+                         [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stop accepting; wake every waiter. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Instantaneous depth (a gauge — racy by nature, exact at the instant).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cgs::serve

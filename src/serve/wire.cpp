@@ -1,0 +1,174 @@
+#include "serve/wire.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "falcon/codec.h"
+#include "serial/serial.h"
+
+namespace cgs::serve {
+
+namespace {
+
+// The u32 length prefix ahead of every serial frame.
+std::vector<std::uint8_t> length_prefixed(std::vector<std::uint8_t> frame) {
+  CGS_CHECK_MSG(frame.size() <= kMaxWireMessage - 4,
+                "wire message exceeds kMaxWireMessage");
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + frame.size());
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.insert(out.end(), frame.begin(), frame.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const SignRequestFrame& req) {
+  serial::Writer w;
+  w.u64(req.request_id);
+  w.u64(req.key_id);
+  w.str(req.message);
+  return length_prefixed(
+      serial::wrap(serial::TypeTag::kSignRequest, w.take()));
+}
+
+SignRequestFrame decode_sign_request(std::span<const std::uint8_t> frame) {
+  const auto payload =
+      serial::unwrap(frame, serial::TypeTag::kSignRequest);
+  serial::Reader r(payload);
+  SignRequestFrame req;
+  req.request_id = r.u64();
+  req.key_id = r.u64();
+  req.message = r.str();
+  r.finish();
+  return req;
+}
+
+SignResponseFrame SignResponseFrame::success(std::uint64_t request_id,
+                                             const falcon::Signature& sig) {
+  SignResponseFrame resp;
+  resp.request_id = request_id;
+  resp.ok = true;
+  resp.degree = sig.s1.size();
+  resp.nonce = sig.nonce;
+  resp.s1_compressed = falcon::compress_s1(sig.s1);
+  return resp;
+}
+
+SignResponseFrame SignResponseFrame::failure(std::uint64_t request_id,
+                                             std::string error) {
+  SignResponseFrame resp;
+  resp.request_id = request_id;
+  resp.error = std::move(error);
+  return resp;
+}
+
+falcon::Signature SignResponseFrame::to_signature() const {
+  if (!ok)
+    throw serial::SerialError("sign response is an error frame: " + error);
+  auto s1 = falcon::decompress_s1(s1_compressed, degree);
+  if (!s1 || s1->size() != degree)
+    throw serial::SerialError("sign response carries malformed s1 coding");
+  falcon::Signature sig;
+  sig.nonce = nonce;
+  sig.s1 = std::move(*s1);
+  return sig;
+}
+
+std::vector<std::uint8_t> encode(const SignResponseFrame& resp) {
+  serial::Writer w;
+  w.u64(resp.request_id);
+  w.boolean(resp.ok);
+  if (resp.ok) {
+    w.u64(resp.degree);
+    w.bytes(std::span(resp.nonce.data(), resp.nonce.size()));
+    w.u64(resp.s1_compressed.size());
+    w.bytes(resp.s1_compressed);
+  } else {
+    w.str(resp.error);
+  }
+  return length_prefixed(
+      serial::wrap(serial::TypeTag::kSignResponse, w.take()));
+}
+
+SignResponseFrame decode_sign_response(std::span<const std::uint8_t> frame) {
+  const auto payload =
+      serial::unwrap(frame, serial::TypeTag::kSignResponse);
+  serial::Reader r(payload);
+  SignResponseFrame resp;
+  resp.request_id = r.u64();
+  resp.ok = r.boolean();
+  if (resp.ok) {
+    resp.degree = r.u64();
+    if (resp.degree == 0 || resp.degree > (1u << 14))
+      throw serial::SerialError("sign response degree out of range");
+    const auto nonce = r.bytes(resp.nonce.size());
+    std::memcpy(resp.nonce.data(), nonce.data(), resp.nonce.size());
+    const std::uint64_t len = r.u64();
+    if (len > r.remaining())
+      throw serial::SerialError("sign response s1 length overruns payload");
+    const auto s1 = r.bytes(static_cast<std::size_t>(len));
+    resp.s1_compressed.assign(s1.begin(), s1.end());
+  } else {
+    resp.error = r.str();
+  }
+  r.finish();
+  return resp;
+}
+
+bool write_message(int fd, std::span<const std::uint8_t> encoded) {
+  std::size_t off = 0;
+  while (off < encoded.size()) {
+    const ssize_t n = ::write(fd, encoded.data() + off, encoded.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+// Pull exactly `len` bytes; 0 = clean EOF before any byte, -1 = error or
+// torn read, 1 = got them all.
+int read_exact(int fd, std::uint8_t* dst, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, dst + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return off == 0 ? 0 : -1;
+    off += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> read_message(int fd) {
+  std::uint8_t prefix[4];
+  switch (read_exact(fd, prefix, sizeof prefix)) {
+    case 0: return std::nullopt;  // clean EOF between messages
+    case -1: throw serial::SerialError("wire: torn length prefix");
+    default: break;
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t{prefix[i]} << (8 * i);
+  if (len > kMaxWireMessage)
+    throw serial::SerialError("wire: message length exceeds cap");
+  std::vector<std::uint8_t> frame(len);
+  if (len != 0 && read_exact(fd, frame.data(), len) != 1)
+    throw serial::SerialError("wire: torn message body");
+  return frame;
+}
+
+}  // namespace cgs::serve

@@ -1,0 +1,78 @@
+#pragma once
+// Wire protocol for the signing server: length-prefixed serial frames over
+// a byte stream. Each message is
+//
+//   u32 LE total frame length | serial frame (magic CGSB | version | tag |
+//   payload size | FNV-1a-64 checksum | payload)
+//
+// so a stream reader knows exactly how many bytes to pull before handing
+// the blob to serial::unwrap, which then rejects foreign, version-skewed
+// or corrupted messages before a single payload byte is parsed. Payloads
+// are encoded with the serial Reader/Writer like every other artifact:
+//
+//   kSignRequest:  request_id u64 | key_id u64 | message str
+//   kSignResponse: request_id u64 | ok bool | on ok: degree u64, nonce
+//                  40 bytes, compressed s1 (length-prefixed); else: error
+//                  string
+//
+// Signatures travel compressed (falcon/codec.h Golomb-Rice coding), the
+// same encoding a Falcon signature ships with anywhere else.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "falcon/sign.h"
+
+namespace cgs::serve {
+
+/// Hard cap on a single wire message (length prefix included). Sign
+/// requests are small; this bounds what a malformed or hostile length
+/// prefix can make the reader allocate.
+inline constexpr std::uint32_t kMaxWireMessage = 1u << 20;
+
+struct SignRequestFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t key_id = 0;  // falcon::key_fingerprint of a registered key
+  std::string message;
+};
+
+struct SignResponseFrame {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::uint64_t degree = 0;
+  std::array<std::uint8_t, 40> nonce{};
+  std::vector<std::uint8_t> s1_compressed;
+
+  static SignResponseFrame success(std::uint64_t request_id,
+                                   const falcon::Signature& sig);
+  static SignResponseFrame failure(std::uint64_t request_id,
+                                   std::string error);
+
+  /// Decompress back into a Signature; throws serial::SerialError when the
+  /// response is an error frame or the compressed s1 is malformed.
+  falcon::Signature to_signature() const;
+};
+
+/// Encode as a length-prefixed serial frame ready to write to a stream.
+std::vector<std::uint8_t> encode(const SignRequestFrame& req);
+std::vector<std::uint8_t> encode(const SignResponseFrame& resp);
+
+/// Decode the serial-frame part (no length prefix — the stream layer has
+/// already consumed it). Throws serial::SerialError on malformed input.
+SignRequestFrame decode_sign_request(std::span<const std::uint8_t> frame);
+SignResponseFrame decode_sign_response(std::span<const std::uint8_t> frame);
+
+/// Blocking stream I/O over a file descriptor (socket or pipe).
+/// write_message writes the already-encoded length-prefixed bytes; false
+/// on any short write / error. read_message pulls one length prefix plus
+/// frame; nullopt on clean EOF at a message boundary, throws
+/// serial::SerialError on a torn message or an oversized length.
+bool write_message(int fd, std::span<const std::uint8_t> encoded);
+std::optional<std::vector<std::uint8_t>> read_message(int fd);
+
+}  // namespace cgs::serve

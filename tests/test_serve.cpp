@@ -1,0 +1,466 @@
+// The async serving layer: queue backpressure, micro-batch close policy
+// (full batch vs linger), dispatcher shutdown-drain semantics, multi-key
+// shard isolation, concurrent-batch overlap through the signing service,
+// metrics accounting, and the length-prefixed wire frames.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/registry.h"
+#include "falcon/verify.h"
+#include "prng/chacha20.h"
+#include "serial/serial.h"
+#include "serve/batcher.h"
+#include "serve/dispatcher.h"
+#include "serve/metrics.h"
+#include "serve/queue.h"
+#include "serve/wire.h"
+
+namespace cgs::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+engine::SamplerRegistry& registry() {
+  // In-process memo only: these tests must not depend on (or pollute) the
+  // user's on-disk cache state.
+  static engine::SamplerRegistry reg({.cache_dir = "", .use_disk = false});
+  return reg;
+}
+
+const falcon::KeyPair& key_a() {
+  static const falcon::KeyPair kp = [] {
+    prng::ChaCha20Source rng(4242);
+    return falcon::keygen(falcon::FalconParams::for_degree(64), rng);
+  }();
+  return kp;
+}
+
+const falcon::KeyPair& key_b() {
+  static const falcon::KeyPair kp = [] {
+    prng::ChaCha20Source rng(999);
+    return falcon::keygen(falcon::FalconParams::for_degree(64), rng);
+  }();
+  return kp;
+}
+
+DispatcherOptions fast_options() {
+  DispatcherOptions opts;
+  opts.signing.backend = engine::Backend::kBitsliced;
+  opts.signing.num_threads = 2;
+  opts.signing.precision = 64;
+  opts.signing.root_seed = 7;
+  opts.gaussian.backend = engine::Backend::kBitsliced;
+  opts.gaussian.num_threads = 1;
+  opts.gaussian.root_seed = 7;
+  return opts;
+}
+
+// ------------------------------------------------------------- queue -----
+
+TEST(RequestQueue, BackpressureRejectsWhenFullAndAfterClose) {
+  RequestQueue<int> q(2);
+  EXPECT_EQ(q.try_push(1), SubmitStatus::kOk);
+  EXPECT_EQ(q.try_push(2), SubmitStatus::kOk);
+  EXPECT_EQ(q.try_push(3), SubmitStatus::kQueueFull);
+  EXPECT_EQ(q.size(), 2u);
+
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(q.try_push(4), SubmitStatus::kOk);  // capacity freed
+
+  q.close();
+  EXPECT_EQ(q.try_push(5), SubmitStatus::kShutdown);
+  // Items accepted before close still drain, in order.
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 4);
+  EXPECT_FALSE(q.pop(out));  // closed and drained
+}
+
+TEST(RequestQueue, PopUntilTimesOutOnEmpty) {
+  RequestQueue<int> q(1);
+  int out = 0;
+  const auto t0 = Clock::now();
+  EXPECT_FALSE(
+      q.pop_until(out, t0 + std::chrono::milliseconds(30)));
+  EXPECT_GE(Clock::now() - t0, std::chrono::milliseconds(25));
+}
+
+// ----------------------------------------------------------- batcher -----
+
+TEST(MicroBatcher, FullBatchClosesWithoutWaitingForLinger) {
+  RequestQueue<int> q(16);
+  // Linger far beyond any sane test runtime: if the batcher waited for it
+  // on a full batch, this test would time out rather than pass slowly.
+  MicroBatcher<int> batcher(q, 4, std::chrono::seconds(600));
+  for (int i = 0; i < 7; ++i) ASSERT_EQ(q.try_push(int(i)), SubmitStatus::kOk);
+
+  std::vector<int> batch;
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(batcher.next_batch(batch));
+  EXPECT_LT(Clock::now() - t0, std::chrono::seconds(10));
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));  // closed on max_batch
+  q.close();  // otherwise the partial leftovers batch would sit out the
+              // (deliberately absurd) linger
+  ASSERT_TRUE(batcher.next_batch(batch));
+  EXPECT_EQ(batch, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(MicroBatcher, LingerClosesPartialBatch) {
+  RequestQueue<int> q(16);
+  MicroBatcher<int> batcher(q, 64, std::chrono::milliseconds(40));
+  ASSERT_EQ(q.try_push(11), SubmitStatus::kOk);
+  std::vector<int> batch;
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(batcher.next_batch(batch));
+  const auto waited = Clock::now() - t0;
+  EXPECT_EQ(batch, std::vector<int>{11});
+  // Closed by the linger deadline: waited roughly max_linger, nowhere near
+  // "forever for 63 more requests".
+  EXPECT_GE(waited, std::chrono::milliseconds(35));
+  EXPECT_LT(waited, std::chrono::seconds(30));
+}
+
+// The leftovers batch above closes by linger too (queue empty): document
+// that a closed queue ends the loop instead.
+TEST(MicroBatcher, ClosedAndDrainedEndsTheLoop) {
+  RequestQueue<int> q(4);
+  MicroBatcher<int> batcher(q, 2, std::chrono::milliseconds(5));
+  ASSERT_EQ(q.try_push(1), SubmitStatus::kOk);
+  q.close();
+  std::vector<int> batch;
+  ASSERT_TRUE(batcher.next_batch(batch));  // drains the accepted item
+  EXPECT_EQ(batch, std::vector<int>{1});
+  EXPECT_FALSE(batcher.next_batch(batch));  // loop exit
+  EXPECT_TRUE(batch.empty());
+}
+
+// --------------------------------------------------------- histogram -----
+
+TEST(LatencyHistogram, QuantilesAreOrderedAndBucketed) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(100);   // bucket [64, 128)
+  for (int i = 0; i < 9; ++i) h.record(1000);   // bucket [512, 1024)
+  h.record(100000);                             // bucket [65536, 131072)
+  EXPECT_EQ(h.count(), 100u);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_EQ(p50, 128.0);     // upper bound of the 100us bucket
+  EXPECT_EQ(p95, 1024.0);    // the 1000us bucket
+  EXPECT_EQ(p99, 1024.0);    // nearest-rank: the 99th of 100 obs
+  EXPECT_EQ(h.quantile(0.0), 128.0);
+  EXPECT_EQ(h.quantile(1.0), 131072.0);  // the outlier bucket
+}
+
+// -------------------------------------------------------- dispatcher -----
+
+TEST(Dispatcher, ServesConcurrentClientsAndFillsBatches) {
+  DispatcherOptions opts = fast_options();
+  opts.max_batch = 8;
+  opts.max_linger_us = 3000;
+  opts.sign_lanes = 2;
+  Dispatcher d(registry(), opts);
+  const std::uint64_t id = d.add_key(key_a());
+
+  constexpr int kClients = 4, kPerClient = 6;
+  std::vector<std::future<falcon::Signature>> futures(
+      static_cast<std::size_t>(kClients * kPerClient));
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const int slot = c * kPerClient + i;
+        while (true) {
+          auto sub = d.submit_sign(id, "msg " + std::to_string(slot));
+          if (sub.ok()) {
+            futures[static_cast<std::size_t>(slot)] = std::move(sub.future);
+            break;
+          }
+          ASSERT_EQ(sub.status, SubmitStatus::kQueueFull);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const falcon::Verifier verifier(key_a().h, key_a().params);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const falcon::Signature sig = futures[i].get();
+    EXPECT_TRUE(verifier.verify("msg " + std::to_string(i), sig)) << i;
+  }
+
+  const MetricsSnapshot m = d.metrics();
+  EXPECT_EQ(m.sign_submitted(), futures.size());
+  EXPECT_EQ(m.sign_completed(), futures.size());
+  EXPECT_EQ(m.sign_batched(), futures.size());
+  EXPECT_GE(m.sign_batches(), 1u);
+  // Micro-batching must actually aggregate: strictly fewer engine calls
+  // than requests (24 requests, batch cap 8, so at least some grouping).
+  EXPECT_LT(m.sign_batches(), futures.size());
+  EXPECT_GT(m.sign_occupancy(), 1.0);
+  EXPECT_GT(m.p99_us, 0.0);
+}
+
+TEST(Dispatcher, ShutdownDrainsEveryAcceptedFuture) {
+  DispatcherOptions opts = fast_options();
+  opts.max_batch = 4;
+  opts.max_linger_us = 50000;  // long linger: shutdown must cut through it
+  Dispatcher d(registry(), opts);
+  const std::uint64_t id = d.add_key(key_a());
+
+  std::vector<std::future<falcon::Signature>> futures;
+  for (int i = 0; i < 10; ++i) {
+    auto sub = d.submit_sign(id, "drain " + std::to_string(i));
+    ASSERT_TRUE(sub.ok());
+    futures.push_back(std::move(sub.future));
+  }
+  auto gauss = d.submit_gauss(25.0, 0.0, 1000);
+  ASSERT_TRUE(gauss.ok());
+
+  d.shutdown();
+
+  // Everything accepted before shutdown resolves with a real result.
+  const falcon::Verifier verifier(key_a().h, key_a().params);
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    EXPECT_TRUE(
+        verifier.verify("drain " + std::to_string(i), futures[i].get()));
+  EXPECT_EQ(gauss.future.get().size(), 1000u);
+
+  // After shutdown: typed rejection, no future.
+  auto late = d.submit_sign(id, "too late");
+  EXPECT_EQ(late.status, SubmitStatus::kShutdown);
+  EXPECT_FALSE(late.future.valid());
+  auto late_gauss = d.submit_gauss(25.0, 0.0, 10);
+  EXPECT_EQ(late_gauss.status, SubmitStatus::kShutdown);
+
+  const MetricsSnapshot m = d.metrics();
+  EXPECT_EQ(m.sign_completed(), 10u);
+  EXPECT_EQ(m.sign_rejected(), 1u);
+}
+
+TEST(Dispatcher, MultiKeyShardIsolation) {
+  DispatcherOptions opts = fast_options();
+  opts.max_batch = 6;
+  opts.max_linger_us = 2000;
+  opts.sign_lanes = 2;
+  Dispatcher d(registry(), opts);
+  const std::uint64_t id_a = d.add_key(key_a());
+  const std::uint64_t id_b = d.add_key(key_b());
+  ASSERT_NE(id_a, id_b);
+  // add_key is idempotent for identical key material.
+  EXPECT_EQ(d.add_key(key_a()), id_a);
+
+  std::vector<std::future<falcon::Signature>> fa, fb;
+  for (int i = 0; i < 8; ++i) {
+    auto sa = d.submit_sign(id_a, "tenant A #" + std::to_string(i));
+    auto sb = d.submit_sign(id_b, "tenant B #" + std::to_string(i));
+    ASSERT_TRUE(sa.ok() && sb.ok());
+    fa.push_back(std::move(sa.future));
+    fb.push_back(std::move(sb.future));
+  }
+
+  // Each tenant's signatures verify under its own key and are rejected
+  // under the other tenant's key: interleaved batches never leak a tree.
+  const falcon::Verifier va(key_a().h, key_a().params);
+  const falcon::Verifier vb(key_b().h, key_b().params);
+  for (int i = 0; i < 8; ++i) {
+    const auto sig_a = fa[static_cast<std::size_t>(i)].get();
+    const auto sig_b = fb[static_cast<std::size_t>(i)].get();
+    const std::string ma = "tenant A #" + std::to_string(i);
+    const std::string mb = "tenant B #" + std::to_string(i);
+    EXPECT_TRUE(va.verify(ma, sig_a));
+    EXPECT_TRUE(vb.verify(mb, sig_b));
+    EXPECT_FALSE(vb.verify(ma, sig_a));
+    EXPECT_FALSE(va.verify(mb, sig_b));
+  }
+  // Both trees cached inside the one shared signing service.
+  EXPECT_EQ(d.signing_service().num_cached_trees(), 2u);
+
+  // Unregistered key id is a caller bug, reported loudly.
+  EXPECT_THROW((void)d.submit_sign(id_a ^ id_b ^ 1, "nobody"), Error);
+}
+
+TEST(Dispatcher, GaussRequestsBatchPerTargetAndSliceCorrectly) {
+  DispatcherOptions opts = fast_options();
+  opts.max_batch = 8;
+  opts.max_linger_us = 20000;
+  Dispatcher d(registry(), opts);
+
+  // Several concurrent requests against the same target should collapse
+  // into few bulk sample() calls and come back with the right sizes.
+  std::vector<std::future<std::vector<std::int32_t>>> futures;
+  std::vector<std::size_t> sizes = {100, 1, 77, 1024, 3, 500};
+  for (std::size_t n : sizes) {
+    auto sub = d.submit_gauss(30.0, -1.25, n);
+    ASSERT_TRUE(sub.ok());
+    futures.push_back(std::move(sub.future));
+  }
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto samples = futures[i].get();
+    ASSERT_EQ(samples.size(), sizes[i]);
+  }
+  // One stream materialized for the one distinct target.
+  EXPECT_EQ(d.gaussian_service().num_streams(), 1u);
+
+  const MetricsSnapshot m = d.metrics();
+  std::uint64_t gauss_completed = 0, gauss_batches = 0;
+  for (const auto& lane : m.gauss_lanes) {
+    gauss_completed += lane.completed;
+    gauss_batches += lane.batches;
+  }
+  EXPECT_EQ(gauss_completed, sizes.size());
+  EXPECT_LE(gauss_batches, sizes.size());
+}
+
+// Concurrent batches on different keys overlap on disjoint worker subsets
+// (the convoy fix): this is the raciest path in the service, so hammer it
+// from several threads and let TSan judge the interleavings.
+TEST(SigningServiceOverlap, ConcurrentBatchesOnTwoKeysAllVerify) {
+  falcon::SigningOptions opts;
+  opts.backend = engine::Backend::kBitsliced;
+  opts.num_threads = 2;
+  opts.precision = 64;
+  opts.root_seed = 31337;
+  falcon::SigningService svc(registry(), opts);
+
+  const falcon::Verifier va(key_a().h, key_a().params);
+  const falcon::Verifier vb(key_b().h, key_b().params);
+  std::atomic<int> failures{0};
+  const auto hammer = [&](const falcon::KeyPair& kp,
+                          const falcon::Verifier& verifier,
+                          const char* tag) {
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::string> storage;
+      std::vector<std::string_view> msgs;
+      for (int i = 0; i < 5; ++i)
+        storage.push_back(std::string(tag) + std::to_string(round * 5 + i));
+      for (const auto& s : storage) msgs.push_back(s);
+      const auto sigs = svc.sign_many(kp, msgs);
+      for (std::size_t i = 0; i < sigs.size(); ++i)
+        if (!verifier.verify(msgs[i], sigs[i])) failures.fetch_add(1);
+    }
+  };
+  std::thread ta(hammer, std::cref(key_a()), std::cref(va), "overlap A ");
+  std::thread tb(hammer, std::cref(key_b()), std::cref(vb), "overlap B ");
+  hammer(key_a(), va, "overlap main ");
+  ta.join();
+  tb.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Counters reconcile once everything is checked back in.
+  EXPECT_EQ(svc.base_calls(), svc.stats().base_samples);
+}
+
+// -------------------------------------------------------------- wire -----
+
+TEST(Wire, SignRequestRoundTrip) {
+  SignRequestFrame req;
+  req.request_id = 0x1122334455667788ull;
+  req.key_id = 0xdeadbeefcafef00dull;
+  req.message = "sign me, please \x01\x02";
+  const auto encoded = encode(req);
+  // Strip the u32 length prefix; the rest is a serial frame.
+  ASSERT_GT(encoded.size(), 4u);
+  const std::uint32_t len = encoded[0] | (encoded[1] << 8) |
+                            (encoded[2] << 16) |
+                            (std::uint32_t{encoded[3]} << 24);
+  ASSERT_EQ(len, encoded.size() - 4);
+  const auto decoded = decode_sign_request(
+      std::span(encoded).subspan(4));
+  EXPECT_EQ(decoded.request_id, req.request_id);
+  EXPECT_EQ(decoded.key_id, req.key_id);
+  EXPECT_EQ(decoded.message, req.message);
+}
+
+TEST(Wire, SignResponseRoundTripThroughSignature) {
+  // A real signature (so compress/decompress is exercised end to end).
+  DispatcherOptions opts = fast_options();
+  Dispatcher d(registry(), opts);
+  const std::uint64_t id = d.add_key(key_a());
+  auto sub = d.submit_sign(id, "wire me");
+  ASSERT_TRUE(sub.ok());
+  const falcon::Signature sig = sub.future.get();
+
+  const auto resp = SignResponseFrame::success(42, sig);
+  const auto encoded = encode(resp);
+  const auto decoded = decode_sign_response(std::span(encoded).subspan(4));
+  EXPECT_EQ(decoded.request_id, 42u);
+  ASSERT_TRUE(decoded.ok);
+  const falcon::Signature back = decoded.to_signature();
+  EXPECT_EQ(back.nonce, sig.nonce);
+  EXPECT_EQ(back.s1, sig.s1);
+  const falcon::Verifier verifier(key_a().h, key_a().params);
+  EXPECT_TRUE(verifier.verify("wire me", back));
+
+  const auto err = SignResponseFrame::failure(43, "queue-full");
+  const auto err_encoded = encode(err);
+  const auto err_decoded =
+      decode_sign_response(std::span(err_encoded).subspan(4));
+  EXPECT_EQ(err_decoded.request_id, 43u);
+  EXPECT_FALSE(err_decoded.ok);
+  EXPECT_EQ(err_decoded.error, "queue-full");
+  EXPECT_THROW((void)err_decoded.to_signature(), serial::SerialError);
+}
+
+TEST(Wire, CorruptionAndForeignFramesAreRejected) {
+  SignRequestFrame req;
+  req.request_id = 7;
+  req.key_id = 8;
+  req.message = "tamper target";
+  auto encoded = encode(req);
+  // Flip one payload byte: the frame checksum must catch it.
+  encoded.back() ^= 0x40;
+  EXPECT_THROW((void)decode_sign_request(std::span(encoded).subspan(4)),
+               serial::SerialError);
+  // A request frame is not a response frame (tag mismatch).
+  const auto intact = encode(req);
+  EXPECT_THROW((void)decode_sign_response(std::span(intact).subspan(4)),
+               serial::SerialError);
+}
+
+TEST(Wire, StreamMessagesOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  SignRequestFrame req;
+  req.request_id = 1;
+  req.key_id = 2;
+  req.message = "over the pipe";
+  ASSERT_TRUE(write_message(fds[1], encode(req)));
+  SignRequestFrame req2 = req;
+  req2.request_id = 2;
+  ASSERT_TRUE(write_message(fds[1], encode(req2)));
+  ::close(fds[1]);
+
+  auto m1 = read_message(fds[0]);
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(decode_sign_request(*m1).request_id, 1u);
+  auto m2 = read_message(fds[0]);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(decode_sign_request(*m2).message, "over the pipe");
+  EXPECT_FALSE(read_message(fds[0]).has_value());  // clean EOF
+  ::close(fds[0]);
+
+  // A torn message (EOF mid-body) is corruption, not EOF.
+  ASSERT_EQ(pipe(fds), 0);
+  const auto bytes = encode(req);
+  ASSERT_TRUE(write_message(
+      fds[1], std::span(bytes).subspan(0, bytes.size() - 3)));
+  ::close(fds[1]);
+  EXPECT_THROW((void)read_message(fds[0]), serial::SerialError);
+  ::close(fds[0]);
+}
+
+}  // namespace
+}  // namespace cgs::serve
