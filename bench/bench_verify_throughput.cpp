@@ -1,0 +1,183 @@
+// Batched vs scalar Falcon verification (ISSUE 5 acceptance): the same
+// bit-sliced-throughput argument the paper makes for sampling applies to
+// amortizing NTT work across a verify batch. At each degree the bench
+// signs a corpus once, then measures
+//
+//   scalar  — falcon::Verifier::verify per signature (the legacy path:
+//             three size-n transforms per verify, h re-transformed every
+//             call, fresh allocations);
+//   batched — VerificationService::verify_many at batch 64 (NTT-domain
+//             key cached per fingerprint, one forward + one inverse per
+//             signature, shared scratch, fused centering/norm pass,
+//             thread fan-out).
+//
+// Self-check gates:
+//   - batched verdicts bit-for-bit equal scalar's, on genuine AND
+//     tampered signatures                              (always gated)
+//   - batched throughput >= 2x scalar at batch 64      (timing gate;
+//     skipped when CGS_BENCH_SKIP_TIMING_GATE is set)
+//
+// Usage: bench_verify_throughput [signatures] [--json FILE]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/registry.h"
+#include "falcon/keygen.h"
+#include "falcon/signing_service.h"
+#include "falcon/verification_service.h"
+#include "falcon/verify.h"
+#include "prng/chacha20.h"
+
+namespace {
+
+using namespace cgs;
+using benchutil::Clock;
+using benchutil::ms_since;
+
+constexpr double kThroughputGate = 2.0;
+constexpr std::size_t kBatch = 64;
+
+struct DegreeResult {
+  std::size_t degree = 0;
+  std::size_t count = 0;
+  double scalar_us_per_verify = 0;
+  double batched_us_per_verify = 0;
+  double speedup = 0;
+  bool identical = false;
+};
+
+DegreeResult run_degree(engine::SamplerRegistry& registry, std::size_t degree,
+                        std::size_t count) {
+  DegreeResult r;
+  r.degree = degree;
+  r.count = count;
+
+  prng::ChaCha20Source rng(0xBE9C4 + degree);
+  const falcon::KeyPair kp =
+      falcon::keygen(falcon::FalconParams::for_degree(degree), rng);
+
+  falcon::SigningService signer(
+      registry, {.root_seed = 1234, .precision = 64});
+  std::vector<std::string> storage;
+  storage.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    storage.push_back("verify bench " + std::to_string(i));
+  std::vector<std::string_view> messages(storage.begin(), storage.end());
+  std::vector<falcon::Signature> sigs = signer.sign_many(kp, messages);
+
+  // A third of the corpus is tampered so both verdict paths are timed and
+  // differentially compared on both outcomes.
+  for (std::size_t i = 0; i < count; i += 3)
+    sigs[i].s1[i % sigs[i].s1.size()] += 1;
+
+  const falcon::Verifier scalar(kp.h, kp.params);
+  std::vector<std::uint8_t> scalar_verdicts(count);
+  const auto t_scalar = Clock::now();
+  for (std::size_t i = 0; i < count; ++i)
+    scalar_verdicts[i] = scalar.verify(messages[i], sigs[i]) ? 1 : 0;
+  const double scalar_ms = ms_since(t_scalar);
+
+  falcon::VerificationService service;
+  // Warm the key cache (the NTT-domain transform is a per-key cost, paid
+  // once per tenant, not per batch — keep it out of the timed region the
+  // same way the signer's tree cache is warmed by signing).
+  {
+    const std::string_view one[] = {messages[0]};
+    const falcon::Signature one_sig[] = {sigs[0]};
+    (void)service.verify_many(kp.h, kp.params, one, one_sig);
+  }
+  std::vector<std::uint8_t> batched_verdicts;
+  batched_verdicts.reserve(count);
+  const auto t_batched = Clock::now();
+  for (std::size_t off = 0; off < count; off += kBatch) {
+    const std::size_t len = std::min(kBatch, count - off);
+    const auto verdicts = service.verify_many(
+        kp.h, kp.params,
+        std::span(messages).subspan(off, len),
+        std::span(sigs).subspan(off, len));
+    batched_verdicts.insert(batched_verdicts.end(), verdicts.begin(),
+                            verdicts.end());
+  }
+  const double batched_ms = ms_since(t_batched);
+
+  r.identical = batched_verdicts == scalar_verdicts;
+  r.scalar_us_per_verify = 1000.0 * scalar_ms / static_cast<double>(count);
+  r.batched_us_per_verify = 1000.0 * batched_ms / static_cast<double>(count);
+  r.speedup = r.scalar_us_per_verify / r.batched_us_per_verify;
+
+  std::size_t accepted = 0;
+  for (std::uint8_t v : batched_verdicts) accepted += v;
+  std::printf(
+      "N=%4zu  %5zu sigs  scalar %7.2f us/verify  batched %7.2f us/verify  "
+      "speedup %.2fx  verdicts %s  (%zu accepted)\n",
+      degree, count, r.scalar_us_per_verify, r.batched_us_per_verify,
+      r.speedup, r.identical ? "identical" : "DIVERGED", accepted);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Args args = benchutil::parse(argc, argv);
+  const std::size_t count = args.n ? args.n : 2048;
+
+  engine::SamplerRegistry& registry = engine::SamplerRegistry::global();
+  std::vector<DegreeResult> results;
+  for (const std::size_t degree : {std::size_t{256}, std::size_t{512}})
+    results.push_back(run_degree(registry, degree, count));
+
+  bool ok = true;
+  for (const DegreeResult& r : results) {
+    if (!r.identical) {
+      std::printf("FAIL: batched verdicts diverged from scalar at N=%zu\n",
+                  r.degree);
+      ok = false;
+    }
+  }
+  const bool skip_timing =
+      std::getenv("CGS_BENCH_SKIP_TIMING_GATE") != nullptr;
+  for (const DegreeResult& r : results) {
+    if (r.speedup < kThroughputGate) {
+      if (skip_timing) {
+        std::printf(
+            "timing gate skipped at N=%zu (%.2fx < %.1fx, "
+            "CGS_BENCH_SKIP_TIMING_GATE)\n",
+            r.degree, r.speedup, kThroughputGate);
+      } else {
+        std::printf("FAIL: batched speedup %.2fx < %.1fx at N=%zu\n",
+                    r.speedup, kThroughputGate, r.degree);
+        ok = false;
+      }
+    }
+  }
+
+  if (!args.json_path.empty()) {
+    benchutil::JsonWriter json;
+    json.begin_object()
+        .field("bench", "verify_throughput")
+        .field("batch", kBatch)
+        .field("gate_speedup", kThroughputGate)
+        .field("timing_gate_enforced", !skip_timing)
+        .begin_array("degrees");
+    for (const DegreeResult& r : results) {
+      json.begin_object()
+          .field("degree", r.degree)
+          .field("signatures", r.count)
+          .field("scalar_us_per_verify", r.scalar_us_per_verify)
+          .field("batched_us_per_verify", r.batched_us_per_verify)
+          .field("speedup", r.speedup)
+          .field("verdicts_identical", r.identical)
+          .end_object();
+    }
+    json.end_array().end_object();
+    if (!json.write_file(args.json_path)) ok = false;
+  }
+
+  std::printf("%s\n", ok ? "bench self-checks passed" : "BENCH FAILED");
+  return ok ? 0 : 1;
+}

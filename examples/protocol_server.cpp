@@ -1,0 +1,404 @@
+// The full signature lifecycle over a real socket: an epoll server
+// (net::EpollServer) multiplexing every wire request type into the
+// Dispatcher's lanes, and concurrent pipelining clients (net::Client)
+// that each onboard a tenant key through the keygen lane, sign a burst of
+// messages, then ask the verify lane for verdicts — one good and one
+// tampered verify per signature, expecting accept and reject
+// respectively. Exits nonzero on any failure (this example doubles as a
+// ctest smoke test for the mixed-traffic path, including shutdown drain).
+//
+// Usage: protocol_server [degree] [clients] [requests_per_client]
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/registry.h"
+#include "falcon/verify.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serial/serial.h"
+#include "serve/dispatcher.h"
+#include "serve/wire.h"
+
+namespace {
+
+using namespace cgs;
+
+// Waits on dispatcher futures off the event loop and sends the responses
+// back through the server — the loop thread itself never blocks.
+class CompletionPool {
+ public:
+  explicit CompletionPool(int threads) {
+    for (int i = 0; i < threads; ++i)
+      workers_.emplace_back([this] { run(); });
+  }
+
+  ~CompletionPool() { join(); }
+
+  /// Drain the queue and join the workers. Idempotent. The pool outlives
+  /// the server object it posts sends to only if this runs before the
+  /// server is destroyed — main() calls it explicitly for that reason
+  /// (destructor order alone would tear the server down first).
+  void join() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_)
+      if (w.joinable()) w.join();
+  }
+
+  void post(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void run() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping and drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+// One frame in, one response out: decode by tag, submit to the matching
+// dispatcher lane, let the completion pool answer when the future lands.
+void handle_frame(serve::Dispatcher& dispatcher, net::EpollServer& server,
+                  CompletionPool& pool, std::uint64_t conn,
+                  std::vector<std::uint8_t> frame) {
+  try {
+    switch (serial::peek_tag(frame)) {
+      case serial::TypeTag::kKeygenRequest: {
+        const serve::KeygenRequestFrame req =
+            serve::decode_keygen_request(frame);
+        auto sub = std::make_shared<serve::Submission<serve::KeygenResult>>(
+            dispatcher.submit_keygen(
+                falcon::FalconParams::for_degree(
+                    static_cast<std::size_t>(req.degree)),
+                req.seed));
+        if (!sub->ok()) {
+          server.send(conn, serve::encode(serve::KeygenResponseFrame::failure(
+                                req.request_id, to_string(sub->status))));
+          return;
+        }
+        pool.post([&server, conn, id = req.request_id, sub] {
+          try {
+            const serve::KeygenResult result = sub->future.get();
+            server.send(conn,
+                        serve::encode(serve::KeygenResponseFrame::success(
+                            id, result.key_id, result.public_h,
+                            result.params.n)));
+          } catch (const std::exception& e) {
+            server.send(conn, serve::encode(
+                                  serve::KeygenResponseFrame::failure(
+                                      id, e.what())));
+          }
+        });
+        return;
+      }
+      case serial::TypeTag::kSignRequest: {
+        serve::SignRequestFrame req = serve::decode_sign_request(frame);
+        if (dispatcher.key(req.key_id) == nullptr) {
+          server.send(conn, serve::encode(serve::SignResponseFrame::failure(
+                                req.request_id, "unknown key")));
+          return;
+        }
+        auto sub = std::make_shared<serve::Submission<falcon::Signature>>(
+            dispatcher.submit_sign(req.key_id, std::move(req.message)));
+        if (!sub->ok()) {
+          server.send(conn, serve::encode(serve::SignResponseFrame::failure(
+                                req.request_id, to_string(sub->status))));
+          return;
+        }
+        pool.post([&server, conn, id = req.request_id, sub] {
+          try {
+            server.send(conn, serve::encode(serve::SignResponseFrame::success(
+                                  id, sub->future.get())));
+          } catch (const std::exception& e) {
+            server.send(conn, serve::encode(serve::SignResponseFrame::failure(
+                                  id, e.what())));
+          }
+        });
+        return;
+      }
+      case serial::TypeTag::kVerifyRequest: {
+        serve::VerifyRequestFrame req = serve::decode_verify_request(frame);
+        if (dispatcher.key(req.key_id) == nullptr) {
+          server.send(conn, serve::encode(serve::VerifyResponseFrame::failure(
+                                req.request_id, "unknown key")));
+          return;
+        }
+        auto sub = std::make_shared<serve::Submission<bool>>(
+            dispatcher.submit_verify(req.key_id, std::move(req.message),
+                                     req.to_signature()));
+        if (!sub->ok()) {
+          server.send(conn, serve::encode(serve::VerifyResponseFrame::failure(
+                                req.request_id, to_string(sub->status))));
+          return;
+        }
+        pool.post([&server, conn, id = req.request_id, sub] {
+          try {
+            server.send(conn, serve::encode(serve::VerifyResponseFrame::verdict(
+                                  id, sub->future.get())));
+          } catch (const std::exception& e) {
+            server.send(conn, serve::encode(serve::VerifyResponseFrame::failure(
+                                  id, e.what())));
+          }
+        });
+        return;
+      }
+      default:
+        server.send(conn, serve::encode(serve::VerifyResponseFrame::failure(
+                              0, "unsupported request type")));
+        return;
+    }
+  } catch (const std::exception& e) {
+    // Undecodable frame: still answer (the server core's drain accounting
+    // expects one response per frame) with an error of the response type
+    // matching the request's tag where readable, so the client's current
+    // decode phase can always parse it.
+    std::vector<std::uint8_t> resp;
+    try {
+      switch (serial::peek_tag(frame)) {
+        case serial::TypeTag::kKeygenRequest:
+          resp = serve::encode(
+              serve::KeygenResponseFrame::failure(0, e.what()));
+          break;
+        case serial::TypeTag::kSignRequest:
+          resp =
+              serve::encode(serve::SignResponseFrame::failure(0, e.what()));
+          break;
+        default:
+          resp = serve::encode(
+              serve::VerifyResponseFrame::failure(0, e.what()));
+          break;
+      }
+    } catch (const std::exception&) {
+      resp =
+          serve::encode(serve::VerifyResponseFrame::failure(0, e.what()));
+    }
+    server.send(conn, std::move(resp));
+  }
+}
+
+struct ClientOutcome {
+  bool keygen_ok = false;
+  int signed_ok = 0;
+  int local_verified = 0;
+  int good_accepted = 0;
+  int tampered_rejected = 0;
+  int protocol_errors = 0;
+};
+
+// keygen -> pipelined signs -> local verify -> pipelined verifies (one
+// good, one tampered per signature) -> half-close and drain.
+ClientOutcome run_client(std::uint16_t port, std::size_t degree,
+                         int client_idx, int requests) {
+  ClientOutcome outcome;
+  net::Client client(port);
+
+  serve::KeygenRequestFrame kg;
+  kg.request_id = 1;
+  kg.degree = degree;
+  kg.seed = 0xC0FFEE00u + static_cast<std::uint64_t>(client_idx);
+  if (!client.send(serve::encode(kg))) return outcome;
+  const auto kg_frame = client.read();
+  if (!kg_frame) return outcome;
+  const serve::KeygenResponseFrame key =
+      serve::decode_keygen_response(*kg_frame);
+  if (!key.ok) {
+    std::fprintf(stderr, "client %d: keygen failed: %s\n", client_idx,
+                 key.error.c_str());
+    return outcome;
+  }
+  outcome.keygen_ok = true;
+  const falcon::Verifier verifier(key.h,
+                                  falcon::FalconParams::for_degree(degree));
+
+  // Pipeline the whole sign burst, then read the responses back.
+  std::vector<std::string> messages;
+  for (int i = 0; i < requests; ++i) {
+    messages.push_back("client " + std::to_string(client_idx) + " message " +
+                       std::to_string(i));
+    serve::SignRequestFrame req;
+    req.request_id = 100 + static_cast<std::uint64_t>(i);
+    req.key_id = key.key_id;
+    req.message = messages.back();
+    if (!client.send(serve::encode(req))) return outcome;
+  }
+  std::map<std::uint64_t, falcon::Signature> sigs;
+  for (int i = 0; i < requests; ++i) {
+    const auto frame = client.read();
+    if (!frame) return outcome;
+    const serve::SignResponseFrame resp = serve::decode_sign_response(*frame);
+    if (!resp.ok) {
+      ++outcome.protocol_errors;
+      continue;
+    }
+    ++outcome.signed_ok;
+    falcon::Signature sig = resp.to_signature();
+    if (verifier.verify(messages[resp.request_id - 100], sig))
+      ++outcome.local_verified;
+    sigs.emplace(resp.request_id - 100, std::move(sig));
+  }
+
+  // Two verify requests per signature: the genuine article and a tamper
+  // (alternating message and s1 tampering), pipelined together.
+  int expect_good = 0, expect_tampered = 0;
+  for (const auto& [idx, sig] : sigs) {
+    client.send(serve::encode(serve::VerifyRequestFrame::make(
+        200 + idx, key.key_id, messages[idx], sig)));
+    ++expect_good;
+    if (idx % 2 == 0) {
+      client.send(serve::encode(serve::VerifyRequestFrame::make(
+          300 + idx, key.key_id, messages[idx] + " (tampered)", sig)));
+    } else {
+      falcon::Signature bent = sig;
+      bent.s1[static_cast<std::size_t>(idx) % bent.s1.size()] += 1;
+      client.send(serve::encode(serve::VerifyRequestFrame::make(
+          300 + idx, key.key_id, messages[idx], bent)));
+    }
+    ++expect_tampered;
+  }
+  client.half_close();
+  while (auto frame = client.read()) {
+    const serve::VerifyResponseFrame resp =
+        serve::decode_verify_response(*frame);
+    if (!resp.ok) {
+      ++outcome.protocol_errors;
+      continue;
+    }
+    if (resp.request_id >= 300) {
+      if (!resp.accepted) ++outcome.tampered_rejected;
+    } else {
+      if (resp.accepted) ++outcome.good_accepted;
+    }
+  }
+  if (outcome.good_accepted != expect_good ||
+      outcome.tampered_rejected != expect_tampered)
+    std::fprintf(stderr,
+                 "client %d: verdicts off: %d/%d good accepted, %d/%d "
+                 "tampered rejected\n",
+                 client_idx, outcome.good_accepted, expect_good,
+                 outcome.tampered_rejected, expect_tampered);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t degree =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
+  const int num_clients = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int per_client = argc > 3 ? std::atoi(argv[3]) : 6;
+
+  serve::DispatcherOptions opts;
+  opts.max_batch = 32;
+  opts.max_linger_us = 2000;
+  opts.sign_lanes = 2;
+  opts.verify_lanes = 2;
+  opts.signing.root_seed = 0x5E7F0;
+  serve::Dispatcher dispatcher(engine::SamplerRegistry::global(), opts);
+
+  CompletionPool pool(2);
+  net::EpollServer server(
+      [&](std::uint64_t conn, std::vector<std::uint8_t> frame) {
+        handle_frame(dispatcher, server, pool, conn, std::move(frame));
+      });
+  std::printf("== serving full protocol on 127.0.0.1:%u "
+              "(%d clients x %d requests, N = %zu) ==\n",
+              server.port(), num_clients, per_client, degree);
+
+  std::vector<std::thread> clients;
+  std::mutex outcomes_mu;
+  std::vector<ClientOutcome> outcomes;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientOutcome outcome;
+      try {
+        outcome = run_client(server.port(), degree, c, per_client);
+      } catch (const std::exception& e) {
+        // An unexpected frame or a torn stream is a failed client, not a
+        // process abort: the final checks report it.
+        std::fprintf(stderr, "client %d: protocol error: %s\n", c, e.what());
+        ++outcome.protocol_errors;
+      }
+      std::lock_guard<std::mutex> lock(outcomes_mu);
+      outcomes.push_back(outcome);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const std::size_t force_closed = server.shutdown();
+  dispatcher.shutdown();
+  // All futures are now resolved; run the last completion tasks (their
+  // sends land on the shut-down-but-alive server) and park the workers
+  // before `server` can go out of scope.
+  pool.join();
+
+  int keygens = 0, signed_ok = 0, local_verified = 0, good_accepted = 0,
+      tampered_rejected = 0, protocol_errors = 0;
+  for (const ClientOutcome& o : outcomes) {
+    keygens += o.keygen_ok ? 1 : 0;
+    signed_ok += o.signed_ok;
+    local_verified += o.local_verified;
+    good_accepted += o.good_accepted;
+    tampered_rejected += o.tampered_rejected;
+    protocol_errors += o.protocol_errors;
+  }
+
+  const serve::MetricsSnapshot m = dispatcher.metrics();
+  std::printf("\n== results ==\n");
+  std::printf("keygens: %d/%d  signed: %d  locally verified: %d\n", keygens,
+              num_clients, signed_ok, local_verified);
+  std::printf("server verdicts: %d good accepted, %d tampered rejected\n",
+              good_accepted, tampered_rejected);
+  std::printf("frames: %llu in / %llu out, force-closed conns: %zu\n",
+              static_cast<unsigned long long>(server.frames_received()),
+              static_cast<unsigned long long>(server.frames_sent()),
+              force_closed);
+  std::printf("sign lanes: occupancy %.1f, p99 %.0fus | verify lanes: "
+              "occupancy %.1f, p99 %.0fus | keygens completed: %llu\n",
+              m.sign_occupancy(), m.p99_us, m.verify_occupancy(),
+              m.verify_p99_us,
+              static_cast<unsigned long long>(m.keygen_completed()));
+  std::printf("cached trees: %zu, cached verify keys: %zu\n",
+              dispatcher.signing_service().num_cached_trees(),
+              dispatcher.verification_service().num_cached_keys());
+
+  const int total = num_clients * per_client;
+  const bool ok = keygens == num_clients && signed_ok == total &&
+                  local_verified == total && good_accepted == total &&
+                  tampered_rejected == total && protocol_errors == 0 &&
+                  force_closed == 0;
+  std::printf("\n%s\n", ok ? "all checks passed" : "A CHECK FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,8 +1,10 @@
 #include "engine/engine.h"
 
+#include <span>
 #include <thread>
 
 #include "common/check.h"
+#include "common/randombits.h"
 #include "ct/bitsliced_sampler.h"
 #include "ct/compiled_sampler.h"
 #include "ct/wide_sampler.h"
@@ -20,6 +22,33 @@ const char* backend_name(Backend b) {
   }
   return "?";
 }
+
+namespace {
+
+// Serves one 64-lane group its slice of a wide round's bulk word draw:
+// the wide sampler interleaves 4 words per input bit (then 4 sign words),
+// so group g's i-th word is slot 4i + g. Replaying through this adapter
+// makes a narrow backend reproduce the wide backend's exact lane values —
+// the engine's cross-backend stream identity.
+class StridedWordSource final : public RandomBitSource {
+ public:
+  StridedWordSource(std::span<const std::uint64_t> words, int group)
+      : words_(words), group_(static_cast<std::size_t>(group)) {}
+
+  std::uint64_t next_word() override {
+    const std::size_t slot = 4 * pos_++ + group_;
+    CGS_CHECK_MSG(slot < words_.size(),
+                  "engine: narrow batch drew past its wide-round words");
+    return words_[slot];
+  }
+
+ private:
+  std::span<const std::uint64_t> words_;
+  std::size_t group_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
 
 // One worker = one PRNG stream + one backend instance's worth of buffers.
 // The compiled kernel itself lives on the engine (stateless eval); the
@@ -85,6 +114,14 @@ struct SamplerEngine::Worker {
   /// Append valid signed samples until `out` is full. Invalid lanes (a DDG
   /// restart; ~never at cryptographic precision) are dropped, exactly like
   /// the buffered single-stream samplers.
+  ///
+  /// Every backend consumes the PRNG in the *wide* order — 4 interleaved
+  /// words per input bit, then 4 sign words — so for a fixed seed the
+  /// engine's sample stream is bit-identical across compiled / wide /
+  /// bitsliced (the cross-backend differential grid in test_service holds
+  /// this). The 64-lane backends get there by bulk-drawing one wide
+  /// round's words and replaying group g's strided slice (words 4k + g)
+  /// through four narrow batches.
   void fill(std::span<std::int32_t> out) {
     // At any real precision P(all 64 lanes invalid) is astronomically small,
     // so consecutive empty batches mean a pathological netlist — e.g. a
@@ -105,11 +142,21 @@ struct SamplerEngine::Worker {
         for (int lane = 0; lane < ct::WideBitslicedSampler::kBatch && pos < out.size(); ++lane)
           if ((mask[lane / 64] >> (lane % 64)) & 1u) out[pos++] = batch[lane];
       } else {
-        std::int32_t batch[ct::BitslicedSampler::kBatch];
-        const std::uint64_t valid = interp ? interp->sample_batch(rng, batch)
-                                           : compiled->sample_batch(rng, batch);
-        for (int lane = 0; lane < ct::BitslicedSampler::kBatch && pos < out.size(); ++lane)
-          if ((valid >> lane) & 1u) out[pos++] = batch[lane];
+        // One wide round's randomness: per narrow batch the sampler draws
+        // `precision` magnitude words plus one sign word.
+        const auto per_group =
+            static_cast<std::size_t>(engine_.synth_->precision) + 1;
+        round_words.resize(4 * per_group);
+        rng.fill_words(round_words);
+        for (int group = 0; group < 4; ++group) {
+          StridedWordSource src(round_words, group);
+          std::int32_t batch[ct::BitslicedSampler::kBatch];
+          const std::uint64_t valid = interp
+                                          ? interp->sample_batch(src, batch)
+                                          : compiled->sample_batch(src, batch);
+          for (int lane = 0; lane < ct::BitslicedSampler::kBatch && pos < out.size(); ++lane)
+            if ((valid >> lane) & 1u) out[pos++] = batch[lane];
+        }
       }
       empty_streak = pos == before ? empty_streak + 1 : 0;
       CGS_CHECK_MSG(empty_streak < kMaxEmptyBatches,
@@ -121,6 +168,7 @@ struct SamplerEngine::Worker {
   prng::ChaCha20Source rng;
   std::thread thread;                // pool thread (empty for worker 0 solo)
   std::span<std::int32_t> task;      // slice for the current generation
+  std::vector<std::uint64_t> round_words;  // 64-lane wide-round replay buffer
 
  private:
   SamplerEngine& engine_;

@@ -5,26 +5,86 @@
 
 namespace cgs::falcon {
 
-std::vector<std::uint32_t> hash_to_point(std::span<const std::uint8_t> nonce,
-                                         std::string_view message,
-                                         std::size_t n) {
+namespace {
+
+// Accept 16-bit big-endian chunks below k*q with k = floor(2^16/q) = 5;
+// reduce mod q. Rejection keeps the output exactly uniform.
+constexpr std::uint32_t kLimit = 5 * kQ;  // 61445
+constexpr std::size_t kRate = 136;        // SHAKE-256 rate in bytes
+
+// A padded, squeeze-ready SHAKE-256 state over nonce || message (the
+// first squeeze permutation not yet applied) — the one sponge
+// implementation lives in prng::Shake.
+std::array<std::uint64_t, 25> absorbed_state(
+    std::span<const std::uint8_t> nonce, std::string_view message) {
   prng::Shake shake(prng::Shake::Variant::kShake256);
   shake.absorb(nonce);
   shake.absorb(message);
+  return shake.finalize_state();
+}
 
-  // Accept 16-bit big-endian chunks below k*q with k = floor(2^16/q) = 5;
-  // reduce mod q. Rejection keeps the output exactly uniform.
-  constexpr std::uint32_t kLimit = 5 * kQ;  // 61445
-  std::vector<std::uint32_t> c;
-  c.reserve(n);
-  std::uint8_t chunk[2];
-  while (c.size() < n) {
-    shake.squeeze(std::span<std::uint8_t>(chunk, 2));
+// Feed one freshly squeezed rate-block through the rejection sampler.
+void consume_block(const std::uint8_t* block, std::size_t n,
+                   std::vector<std::uint32_t>& c) {
+  for (std::size_t off = 0; off + 1 < kRate && c.size() < n; off += 2) {
     const std::uint32_t v =
-        (static_cast<std::uint32_t>(chunk[0]) << 8) | chunk[1];
+        (static_cast<std::uint32_t>(block[off]) << 8) | block[off + 1];
     if (v < kLimit) c.push_back(v % kQ);
   }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> hash_to_point(std::span<const std::uint8_t> nonce,
+                                         std::string_view message,
+                                         std::size_t n) {
+  std::array<std::uint64_t, 25> state = absorbed_state(nonce, message);
+  std::vector<std::uint32_t> c;
+  c.reserve(n);
+  while (c.size() < n) {
+    prng::keccak_f1600(state);
+    consume_block(reinterpret_cast<const std::uint8_t*>(state.data()), n, c);
+  }
   return c;
+}
+
+void hash_to_point_x4(
+    const std::array<std::span<const std::uint8_t>, 4>& nonces,
+    const std::array<std::string_view, 4>& messages, std::size_t n,
+    std::array<std::vector<std::uint32_t>, 4>& out) {
+  std::array<std::array<std::uint64_t, 25>, 4> states;
+  for (int lane = 0; lane < 4; ++lane) {
+    states[lane] = absorbed_state(nonces[lane], messages[lane]);
+    out[lane].clear();
+    out[lane].reserve(n);
+  }
+  std::array<prng::U64x4, 25> vs;
+  for (int w = 0; w < 25; ++w)
+    vs[w] = prng::U64x4{states[0][w], states[1][w], states[2][w],
+                        states[3][w]};
+
+  // Each pass permutes all four sponges; lanes that already have their n
+  // coefficients simply discard their block (a lane's byte stream is the
+  // same as its scalar SHAKE's, so rejection sampling consumes it
+  // identically). The pass count is the max over lanes instead of the
+  // sum — the amortization.
+  for (;;) {
+    bool any_pending = false;
+    for (int lane = 0; lane < 4; ++lane)
+      any_pending |= out[lane].size() < n;
+    if (!any_pending) return;
+    prng::keccak_f1600_x4(vs);
+    std::uint8_t block[kRate];
+    for (int lane = 0; lane < 4; ++lane) {
+      if (out[lane].size() >= n) continue;
+      for (std::size_t w = 0; w < (kRate + 7) / 8; ++w) {
+        const std::uint64_t word = vs[w][lane];
+        for (int b = 0; b < 8 && 8 * w + b < kRate; ++b)
+          block[8 * w + b] = static_cast<std::uint8_t>(word >> (8 * b));
+      }
+      consume_block(block, n, out[lane]);
+    }
+  }
 }
 
 }  // namespace cgs::falcon

@@ -1,7 +1,11 @@
 #pragma once
 // SHAKE-256 hash-to-point: message + nonce -> uniform polynomial mod q
 // (rejection sampling of 16-bit chunks below 5*q, as in the Falcon spec).
+// The x4 form drives four sponges through one 4-lane vectorized
+// Keccak-f[1600] — the batched verification lane's hash amortization —
+// and is bit-identical to four scalar calls.
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -12,5 +16,14 @@ namespace cgs::falcon {
 std::vector<std::uint32_t> hash_to_point(std::span<const std::uint8_t> nonce,
                                          std::string_view message,
                                          std::size_t n);
+
+/// Four hash-to-points at once; out[k] == hash_to_point(nonces[k],
+/// messages[k], n) exactly. Absorption (tens of bytes) stays scalar per
+/// lane; the squeeze — where nearly every permutation lives — runs all
+/// four states per Keccak pass.
+void hash_to_point_x4(
+    const std::array<std::span<const std::uint8_t>, 4>& nonces,
+    const std::array<std::string_view, 4>& messages, std::size_t n,
+    std::array<std::vector<std::uint32_t>, 4>& out);
 
 }  // namespace cgs::falcon

@@ -1,5 +1,9 @@
 #include "falcon/ntt.h"
 
+#include <bit>
+#include <map>
+#include <mutex>
+
 #include "common/check.h"
 
 namespace cgs::falcon {
@@ -48,6 +52,107 @@ NttContext::NttContext(std::size_t n) : n_(n) {
     psi_inv_[i] = mul_mod(psi_inv_[i - 1], psi_i);
   }
   n_inv_ = pow_mod_q(static_cast<std::uint32_t>(n), kQ - 2);
+
+  // Fast-path tables: psi^brv(i) (and inverses) with Shoup companions.
+  const int log_n = std::countr_zero(n);
+  const auto brv = [log_n](std::size_t i) {
+    std::size_t r = 0;
+    for (int b = 0; b < log_n; ++b) r |= ((i >> b) & 1u) << (log_n - 1 - b);
+    return r;
+  };
+  const auto shoup = [](std::uint32_t w) { return shoup_factor(w); };
+  psi_rev_.resize(n);
+  psi_rev_shoup_.resize(n);
+  psi_inv_rev_.resize(n);
+  psi_inv_rev_shoup_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    psi_rev_[i] = psi_[brv(i)];
+    psi_rev_shoup_[i] = shoup(psi_rev_[i]);
+    psi_inv_rev_[i] = psi_inv_[brv(i)];
+    psi_inv_rev_shoup_[i] = shoup(psi_inv_rev_[i]);
+  }
+  n_inv_shoup_ = shoup(n_inv_);
+}
+
+namespace {
+
+// Shoup modular multiplication by a precomputed twiddle: two multiplies
+// and one conditional correction, no division. Requires x < q and
+// w_shoup = floor(w * 2^32 / q).
+inline std::uint32_t mul_mod_shoup(std::uint32_t x, std::uint32_t w,
+                                   std::uint32_t w_shoup) {
+  const auto hi =
+      static_cast<std::uint32_t>((std::uint64_t{x} * w_shoup) >> 32);
+  std::uint32_t r = x * w - hi * kQ;  // mod 2^32; lands in [0, 2q)
+  if (r >= kQ) r -= kQ;
+  return r;
+}
+
+inline std::uint32_t add_mod(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t s = a + b;
+  return s >= kQ ? s - kQ : s;
+}
+
+inline std::uint32_t sub_mod(std::uint32_t a, std::uint32_t b) {
+  return a >= b ? a - b : a + kQ - b;
+}
+
+}  // namespace
+
+std::uint32_t NttContext::shoup_factor(std::uint32_t w) {
+  return static_cast<std::uint32_t>((std::uint64_t{w} << 32) / kQ64);
+}
+
+void NttContext::pointwise_shoup(std::vector<std::uint32_t>& a,
+                                 const std::vector<std::uint32_t>& w,
+                                 const std::vector<std::uint32_t>& ws) const {
+  CGS_CHECK(a.size() == n_ && w.size() == n_ && ws.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    a[i] = mul_mod_shoup(a[i], w[i], ws[i]);
+}
+
+void NttContext::forward_br(std::vector<std::uint32_t>& a) const {
+  CGS_CHECK(a.size() == n_);
+  std::uint32_t* __restrict p = a.data();
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint32_t w = psi_rev_[m + i];
+      const std::uint32_t ws = psi_rev_shoup_[m + i];
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint32_t u = p[j];
+        const std::uint32_t v = mul_mod_shoup(p[j + t], w, ws);
+        p[j] = add_mod(u, v);
+        p[j + t] = sub_mod(u, v);
+      }
+    }
+  }
+}
+
+void NttContext::inverse_br(std::vector<std::uint32_t>& a) const {
+  CGS_CHECK(a.size() == n_);
+  std::uint32_t* __restrict p = a.data();
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    const std::size_t h = m >> 1;
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < h; ++i) {
+      const std::uint32_t w = psi_inv_rev_[h + i];
+      const std::uint32_t ws = psi_inv_rev_shoup_[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint32_t u = p[j];
+        const std::uint32_t v = p[j + t];
+        p[j] = add_mod(u, v);
+        p[j + t] = mul_mod_shoup(sub_mod(u, v), w, ws);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (std::size_t i = 0; i < n_; ++i)
+    p[i] = mul_mod_shoup(p[i], n_inv_, n_inv_shoup_);
 }
 
 void NttContext::forward(std::vector<std::uint32_t>& a) const {
@@ -106,6 +211,21 @@ std::vector<std::uint32_t> NttContext::multiply(
   for (std::size_t i = 0; i < n_; ++i) a[i] = mul_mod(a[i], b[i]);
   inverse(a);
   return a;
+}
+
+void NttContext::pointwise(std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b) const {
+  CGS_CHECK(a.size() == n_ && b.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) a[i] = mul_mod(a[i], b[i]);
+}
+
+std::shared_ptr<const NttContext> shared_ntt_context(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::shared_ptr<const NttContext>> contexts;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = contexts[n];
+  if (!slot) slot = std::make_shared<const NttContext>(n);
+  return slot;
 }
 
 bool NttContext::try_invert(const std::vector<std::uint32_t>& a,

@@ -4,6 +4,7 @@
 // q - 1 = 2^12 * 3, so negacyclic transforms exist for all N <= 2048.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace cgs::falcon {
@@ -28,6 +29,35 @@ class NttContext {
   std::vector<std::uint32_t> multiply(std::vector<std::uint32_t> a,
                                       std::vector<std::uint32_t> b) const;
 
+  /// a[i] = a[i] * b[i] mod q — NTT-domain pointwise product, for callers
+  /// that keep one operand pre-transformed (e.g. a cached public key).
+  void pointwise(std::vector<std::uint32_t>& a,
+                 const std::vector<std::uint32_t>& b) const;
+
+  // Fast path (the VerificationService's batched hot loop): merged-psi
+  // Cooley-Tukey/Gentleman-Sande butterflies with Shoup precomputed
+  // twiddles — two multiplies and a conditional correction per modmul
+  // instead of a division — and no separate pre-twist or bit-reversal
+  // passes. forward_br takes natural order to the bit-reversed NTT
+  // domain; inverse_br takes bit-reversed back to natural. Pointwise
+  // products are order-agnostic, so a key cached via forward_br composes
+  // directly: inverse_br(pointwise(forward_br(a), h_br)) is exactly
+  // multiply(a, h) — held differentially in test_falcon_fft.
+
+  /// In-place forward, natural order in, bit-reversed NTT domain out.
+  void forward_br(std::vector<std::uint32_t>& a) const;
+  /// In-place inverse, bit-reversed NTT domain in, natural order out.
+  void inverse_br(std::vector<std::uint32_t>& a) const;
+
+  /// The Shoup companion floor(w * 2^32 / q) of a fixed multiplicand —
+  /// precompute once for a cached operand (e.g. a public key), then
+  /// pointwise_shoup multiplies divisionlessly.
+  static std::uint32_t shoup_factor(std::uint32_t w);
+  /// a[i] = a[i] * w[i] mod q with ws[i] = shoup_factor(w[i]).
+  void pointwise_shoup(std::vector<std::uint32_t>& a,
+                       const std::vector<std::uint32_t>& w,
+                       const std::vector<std::uint32_t>& ws) const;
+
   /// Inverse of `a` in the ring if it exists (all NTT slots nonzero).
   bool try_invert(const std::vector<std::uint32_t>& a,
                   std::vector<std::uint32_t>& inv) const;
@@ -37,7 +67,19 @@ class NttContext {
   std::vector<std::uint32_t> psi_;      // psi^i, psi a primitive 2n-th root
   std::vector<std::uint32_t> psi_inv_;  // psi^-i
   std::uint32_t n_inv_;
+  // Fast-path tables: psi powers in bit-reversed order plus their Shoup
+  // companions floor(w * 2^32 / q).
+  std::vector<std::uint32_t> psi_rev_, psi_rev_shoup_;
+  std::vector<std::uint32_t> psi_inv_rev_, psi_inv_rev_shoup_;
+  std::uint32_t n_inv_shoup_;
 };
+
+/// One immutable NttContext per degree, shared process-wide. The twiddle
+/// tables are a pure function of n, so every Verifier / VerificationService
+/// tenant at the same degree shares one context instead of paying the
+/// psi-power setup per key (and per-instance table memory) in a
+/// multi-tenant verify lane.
+std::shared_ptr<const NttContext> shared_ntt_context(std::size_t n);
 
 /// Centered representative in (-q/2, q/2].
 inline std::int32_t center_mod_q(std::uint32_t v) {

@@ -6,7 +6,9 @@ namespace cgs::falcon {
 
 Verifier::Verifier(std::vector<std::uint32_t> public_key_h,
                    FalconParams params)
-    : h_(std::move(public_key_h)), params_(params), ntt_(params.n) {
+    : h_(std::move(public_key_h)),
+      params_(params),
+      ntt_(shared_ntt_context(params.n)) {
   CGS_CHECK(h_.size() == params_.n);
 }
 
@@ -16,7 +18,7 @@ bool Verifier::verify(std::string_view message, const Signature& sig) const {
 
   const std::vector<std::uint32_t> c = hash_to_point(sig.nonce, message, n);
   const std::vector<std::uint32_t> s1h =
-      ntt_.multiply(to_mod_q_poly(sig.s1), h_);
+      ntt_->multiply(to_mod_q_poly(sig.s1), h_);
   IPoly s0(n);
   for (std::size_t i = 0; i < n; ++i)
     s0[i] = center_mod_q((c[i] + kQ - s1h[i]) % kQ);

@@ -1,8 +1,12 @@
 #pragma once
 // Falcon verification: recompute s0 = c - s1 h mod q (centered) and accept
 // iff ||(s0, s1)||^2 stays under the signature bound. Needs only the public
-// key.
+// key. The NttContext is the per-degree shared immutable instance
+// (falcon/ntt.h), so standing up many Verifiers at one degree pays the
+// twiddle setup once. For the batched, multi-tenant front end see
+// falcon/verification_service.h.
 
+#include <memory>
 #include <string_view>
 
 #include "falcon/sign.h"
@@ -18,7 +22,7 @@ class Verifier {
  private:
   std::vector<std::uint32_t> h_;
   FalconParams params_;
-  NttContext ntt_;
+  std::shared_ptr<const NttContext> ntt_;
 };
 
 }  // namespace cgs::falcon

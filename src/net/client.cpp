@@ -1,0 +1,53 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cgs::net {
+
+Client::Client(std::uint16_t port, const std::string& host) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  CGS_CHECK_MSG(fd_ >= 0, "client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  CGS_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                "client: bad IPv4 address");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    CGS_CHECK_MSG(false, "client: connect() failed");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+bool Client::send(std::span<const std::uint8_t> encoded) {
+  return write_frame(fd_, encoded);
+}
+
+std::optional<std::vector<std::uint8_t>> Client::read() {
+  return read_frame(fd_);
+}
+
+void Client::half_close() { ::shutdown(fd_, SHUT_WR); }
+
+}  // namespace cgs::net

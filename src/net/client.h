@@ -1,0 +1,48 @@
+#pragma once
+// Pipelining client for the framed protocol: a thin blocking wrapper over
+// one TCP connection. Writes are immediate (pipeline as many requests as
+// you like before reading a single response), reads pull one frame at a
+// time, and half_close() tells the server the request stream is complete
+// without an in-band terminator. Matching responses to requests is the
+// message layer's job (request ids) — the transport makes no ordering
+// promise beyond the socket's.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/framing.h"
+
+namespace cgs::net {
+
+class Client {
+ public:
+  /// Connect to host:port (IPv4 dotted quad; throws cgs::Error on
+  /// failure). The loopback default pairs with EpollServer.
+  explicit Client(std::uint16_t port, const std::string& host = "127.0.0.1");
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Write one already-encoded length-prefixed message; false on error.
+  bool send(std::span<const std::uint8_t> encoded);
+
+  /// Block for the next response frame (without the length prefix).
+  /// nullopt on clean EOF; throws serial::SerialError on a torn message.
+  std::optional<std::vector<std::uint8_t>> read();
+
+  /// Half-close the write side: no more requests will follow.
+  void half_close();
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace cgs::net

@@ -1,0 +1,74 @@
+#include "net/framing.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "serial/serial.h"
+
+namespace cgs::net {
+
+std::vector<std::uint8_t> length_prefixed(std::vector<std::uint8_t> payload) {
+  CGS_CHECK_MSG(payload.size() <= kMaxFrameBytes - 4,
+                "framed message exceeds kMaxFrameBytes");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + payload.size());
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool write_frame(int fd, std::span<const std::uint8_t> encoded) {
+  std::size_t off = 0;
+  while (off < encoded.size()) {
+    const ssize_t n = ::write(fd, encoded.data() + off, encoded.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+// Pull exactly `len` bytes; 0 = clean EOF before any byte, -1 = error or
+// torn read, 1 = got them all.
+int read_exact(int fd, std::uint8_t* dst, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, dst + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return off == 0 ? 0 : -1;
+    off += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> read_frame(int fd) {
+  std::uint8_t prefix[4];
+  switch (read_exact(fd, prefix, sizeof prefix)) {
+    case 0: return std::nullopt;  // clean EOF between messages
+    case -1: throw serial::SerialError("wire: torn length prefix");
+    default: break;
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t{prefix[i]} << (8 * i);
+  if (len > kMaxFrameBytes)
+    throw serial::SerialError("wire: message length exceeds cap");
+  std::vector<std::uint8_t> frame(len);
+  if (len != 0 && read_exact(fd, frame.data(), len) != 1)
+    throw serial::SerialError("wire: torn message body");
+  return frame;
+}
+
+}  // namespace cgs::net

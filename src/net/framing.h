@@ -1,0 +1,33 @@
+#pragma once
+// Transport framing shared by every socket front end: each message is a
+// u32 LE length prefix followed by that many payload bytes (for this
+// project the payload is always a serial frame, which carries its own
+// magic/version/checksum — the prefix only tells the stream layer how many
+// bytes to pull). Blocking helpers here serve clients and tests; the
+// nonblocking epoll server (net/server.h) parses the same prefix out of
+// its per-connection buffers.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cgs::net {
+
+/// Hard cap on a single framed message (length prefix included). Bounds
+/// what a malformed or hostile length prefix can make a reader allocate.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Prepend the u32 LE length prefix to a payload.
+std::vector<std::uint8_t> length_prefixed(std::vector<std::uint8_t> payload);
+
+/// Write the already-encoded length-prefixed bytes to a (blocking) fd;
+/// false on any short write / error.
+bool write_frame(int fd, std::span<const std::uint8_t> encoded);
+
+/// Pull one length prefix plus payload from a (blocking) fd. nullopt on
+/// clean EOF at a message boundary; throws serial::SerialError on a torn
+/// message or an oversized length.
+std::optional<std::vector<std::uint8_t>> read_frame(int fd);
+
+}  // namespace cgs::net

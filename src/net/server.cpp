@@ -1,0 +1,381 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace cgs::net {
+
+namespace {
+
+// epoll user-data ids for the two non-connection fds.
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeId = 1;
+
+}  // namespace
+
+EpollServer::EpollServer(FrameHandler on_frame, ServerOptions options)
+    : on_frame_(std::move(on_frame)), options_(options) {
+  CGS_CHECK_MSG(on_frame_, "epoll server needs a frame handler");
+  CGS_CHECK_MSG(options_.max_frame >= 4, "max_frame too small to frame");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  CGS_CHECK_MSG(listen_fd_ >= 0, "epoll server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  CGS_CHECK_MSG(
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+          0,
+      "epoll server: bind() failed");
+  CGS_CHECK_MSG(::listen(listen_fd_, options_.backlog) == 0,
+                "epoll server: listen() failed");
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  CGS_CHECK_MSG(epoll_fd_ >= 0, "epoll server: epoll_create1() failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  CGS_CHECK_MSG(wake_fd_ >= 0, "epoll server: eventfd() failed");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  CGS_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+  ev.data.u64 = kWakeId;
+  CGS_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+
+  loop_ = std::thread([this] { run(); });
+}
+
+EpollServer::~EpollServer() { shutdown(); }
+
+void EpollServer::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+bool EpollServer::send(std::uint64_t conn_id,
+                       std::vector<std::uint8_t> encoded) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return false;
+    Connection& conn = *it->second;
+    conn.out.push_back(std::move(encoded));
+    if (conn.owed > 0) --conn.owed;
+    ++frames_sent_;
+  }
+  wake();
+  return true;
+}
+
+std::size_t EpollServer::shutdown() {
+  // The whole teardown runs under shutdown_mu_, so a concurrent second
+  // caller blocks until the first has joined the loop — force_closed_ is
+  // only ever read after the thread that writes it is gone.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (shut_down_) return force_closed_;
+  shut_down_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  wake();
+  if (loop_.joinable()) loop_.join();
+  ::close(listen_fd_);
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  return force_closed_;
+}
+
+std::size_t EpollServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conns_.size();
+}
+
+std::uint64_t EpollServer::frames_received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_received_;
+}
+
+std::uint64_t EpollServer::frames_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_sent_;
+}
+
+void EpollServer::handle_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (no more pending) or a transient accept error
+    }
+    std::uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      id = next_conn_id_++;
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      conns_.emplace(id, std::move(conn));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ::close(fd);
+      conns_.erase(id);
+    }
+  }
+}
+
+void EpollServer::handle_readable(std::uint64_t conn_id) {
+  // Pull everything available, then reassemble frames. The read buffer,
+  // fd and peer_eof flag are loop-thread-owned (only this thread reads,
+  // parses or erases connections), so the socket drain and reassembly
+  // run without mu_ — senders on other threads aren't serialized behind
+  // one connection's inbound burst. mu_ is taken only for the shared
+  // debt/counter state; delivery happens after that, so the handler is
+  // free to call send() inline.
+  auto found = conns_.end();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    found = conns_.find(conn_id);
+  }
+  if (found == conns_.end()) return;
+  Connection& conn = *found->second;
+
+  bool close_hard = false;
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+    if (n > 0) {
+      conn.in.insert(conn.in.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      conn.peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_hard = true;  // ECONNRESET and friends
+    break;
+  }
+  std::vector<std::vector<std::uint8_t>> complete;
+  std::size_t pos = 0;
+  while (!close_hard && conn.in.size() - pos >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+      len |= std::uint32_t{conn.in[pos + static_cast<std::size_t>(i)]}
+             << (8 * i);
+    if (len > options_.max_frame) {
+      close_hard = true;  // framing corruption: cannot resync
+      break;
+    }
+    if (conn.in.size() - pos < 4 + static_cast<std::size_t>(len)) break;
+    complete.emplace_back(conn.in.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                          conn.in.begin() +
+                              static_cast<std::ptrdiff_t>(pos + 4 + len));
+    pos += 4 + len;
+  }
+  if (pos > 0)
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(pos));
+  if (close_hard) {
+    close_connection(conn_id);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn.owed += complete.size();
+    frames_received_ += complete.size();
+    if (conn.peer_eof) {
+      // Half-closed: nothing more to read — drop EPOLLIN so the EOF
+      // condition doesn't spin the loop; EPOLLOUT re-arms on demand.
+      epoll_event ev{};
+      ev.events = conn.want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u;
+      ev.data.u64 = conn_id;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    }
+    maybe_close(conn_id, conn);
+  }
+  for (auto& frame : complete) on_frame_(conn_id, std::move(frame));
+}
+
+// mu_ held across the write() calls — cross-thread send()s queue behind
+// one flush sweep. Responses here are small (a frame or two per request)
+// so the writes are cheap; if large streamed responses ever appear,
+// swap the out-queue out under the lock and write unlocked (the loop
+// thread owns the fds), mirroring how handle_readable treats reads.
+void EpollServer::flush(std::uint64_t conn_id, Connection& conn) {
+  while (!conn.out.empty()) {
+    const std::vector<std::uint8_t>& front = conn.out.front();
+    while (conn.out_offset < front.size()) {
+      const ssize_t n = ::write(conn.fd, front.data() + conn.out_offset,
+                                front.size() - conn.out_offset);
+      if (n >= 0) {
+        conn.out_offset += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn.want_write) {
+          conn.want_write = true;
+          epoll_event ev{};
+          // A drain means reading stays stopped, whatever peer_eof says.
+          ev.events =
+              (conn.peer_eof || draining_ ? 0u : EPOLLIN) | EPOLLOUT;
+          ev.data.u64 = conn_id;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+        }
+        return;
+      }
+      conn.owed = 0;  // peer is gone; nothing left to deliver
+      conn.out.clear();
+      conn.out_offset = 0;
+      conn.peer_eof = true;
+      return;
+    }
+    conn.out.pop_front();
+    conn.out_offset = 0;
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    epoll_event ev{};
+    ev.events = conn.peer_eof || draining_ ? 0u : EPOLLIN;
+    ev.data.u64 = conn_id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+}
+
+void EpollServer::handle_writable(std::uint64_t conn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  flush(conn_id, *it->second);
+  maybe_close(conn_id, *it->second);
+}
+
+// mu_ held. A connection is done once no more requests can arrive —
+// the peer half-closed, or a drain stopped us reading — every delivered
+// frame has been answered, and the answer bytes have left the socket
+// buffer.
+void EpollServer::maybe_close(std::uint64_t conn_id, Connection& conn) {
+  if ((conn.peer_eof || draining_) && conn.owed == 0 && conn.out.empty()) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    conns_.erase(conn_id);
+  }
+}
+
+void EpollServer::close_connection(std::uint64_t conn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+}
+
+void EpollServer::run() {
+  bool drain_applied = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+  epoll_event events[64];
+  for (;;) {
+    int timeout_ms = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_) {
+        if (!drain_applied) {
+          // Stop accepting and stop reading; what is already in flight
+          // (owed responses, queued writes) still completes.
+          drain_applied = true;
+          drain_deadline =
+              std::chrono::steady_clock::now() + options_.drain_timeout;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          for (auto& [id, conn] : conns_) {
+            epoll_event ev{};
+            ev.events =
+                conn->want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u;
+            ev.data.u64 = id;
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+          }
+          // Connections that owe nothing and hold no bytes are done now
+          // — with reading stopped there is nothing left to wait for
+          // (e.g. accepted-but-never-read connections whose frames the
+          // drain cut off).
+          for (auto it = conns_.begin(); it != conns_.end();) {
+            auto cur = it++;
+            maybe_close(cur->first, *cur->second);
+          }
+        }
+        if (conns_.empty()) return;
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            drain_deadline - std::chrono::steady_clock::now());
+        if (left.count() <= 0) {
+          // Deadline: whoever still owes or holds bytes gets cut off.
+          force_closed_ = conns_.size();
+          for (auto& [id, conn] : conns_) {
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+            ::close(conn->fd);
+          }
+          conns_.clear();
+          return;
+        }
+        timeout_ms = static_cast<int>(left.count()) + 1;
+      }
+    }
+
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd itself failed; nothing sensible left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == kListenerId) {
+        handle_accept();
+      } else if (id == kWakeId) {
+        std::uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+        }
+        // A wake means "some connection has new queued output" (or a
+        // drain started): flush everything with pending bytes.
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto it = conns_.begin(); it != conns_.end();) {
+          auto cur = it++;
+          if (!cur->second->out.empty()) flush(cur->first, *cur->second);
+          maybe_close(cur->first, *cur->second);
+        }
+      } else if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        // EPOLLHUP without EPOLLIN data left: peer fully gone.
+        if (events[i].events & EPOLLIN) {
+          handle_readable(id);
+        } else {
+          close_connection(id);
+        }
+      } else {
+        if (events[i].events & EPOLLIN) handle_readable(id);
+        if (events[i].events & EPOLLOUT) handle_writable(id);
+      }
+    }
+  }
+}
+
+}  // namespace cgs::net

@@ -1,0 +1,130 @@
+#pragma once
+// EpollServer: the reusable event-loop core every socket front end runs
+// on. One thread owns an epoll set over a loopback TCP listener and all
+// accepted connections (everything nonblocking); per-connection read
+// buffers reassemble u32-length-prefixed frames (net/framing.h) and each
+// complete frame is handed to the application's FrameHandler; per-
+// connection write queues absorb responses from any thread via send(),
+// flushed by the loop under EPOLLOUT backpressure.
+//
+//                     ┌──────────────── event loop ────────────────┐
+//   accept ──────────>│ conn read buf ──frames──> FrameHandler     │
+//   client bytes ────>│ conn write buf <─send()─  (app, any thread)│
+//                     └───────── EPOLLIN/EPOLLOUT/eventfd ─────────┘
+//
+// Contract: the protocol is request/response — every frame delivered to
+// the handler owes the connection exactly one send() (the handler itself
+// may return immediately and fulfil the send from another thread later;
+// it must never block the loop). The server tracks that debt per
+// connection, which is what makes shutdown a *drain*: stop accepting,
+// stop reading, then keep the loop alive until every owed response has
+// been sent and flushed (or the drain deadline forces the stragglers
+// closed). A connection closes cleanly once the peer half-closed, no
+// response is owed, and its write buffer is empty.
+//
+// A frame whose length prefix exceeds max_frame, or a read/write error,
+// closes that connection hard — framing corruption is not resynchronizable
+// — without disturbing its neighbours. Payload validation (magic, version,
+// checksum) is the message layer's job (serial::unwrap); the core never
+// looks inside a frame.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/framing.h"
+
+namespace cgs::net {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  // 0 = kernel-assigned ephemeral (see port())
+  int backlog = 64;
+  std::uint32_t max_frame = kMaxFrameBytes;
+  /// How long shutdown() waits for owed responses and unflushed writes
+  /// before force-closing the remaining connections.
+  std::chrono::milliseconds drain_timeout{30000};
+};
+
+/// Invoked on the event-loop thread for every complete frame (without the
+/// length prefix). Must not block; must arrange exactly one
+/// send(conn_id, ...) per frame, now or from another thread later.
+using FrameHandler =
+    std::function<void(std::uint64_t conn_id, std::vector<std::uint8_t> frame)>;
+
+class EpollServer {
+ public:
+  /// Binds, listens and starts the loop thread; throws cgs::Error when the
+  /// socket setup fails. The handler may be invoked as soon as this
+  /// returns.
+  explicit EpollServer(FrameHandler on_frame, ServerOptions options = {});
+  ~EpollServer();
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  /// The bound port (resolves option port 0 to the kernel's pick).
+  std::uint16_t port() const { return port_; }
+
+  /// Queue one encoded (length-prefixed) response for a connection and
+  /// wake the loop to flush it. Thread-safe. False when the connection is
+  /// already gone (peer vanished mid-flight) — the response is dropped,
+  /// which is what a dead socket deserves.
+  bool send(std::uint64_t conn_id, std::vector<std::uint8_t> encoded);
+
+  /// Graceful drain: stop accepting and reading, deliver every owed
+  /// response, flush, close, join the loop. Returns the number of
+  /// connections force-closed by the drain deadline (0 = fully clean).
+  /// Idempotent; the destructor calls it.
+  std::size_t shutdown();
+
+  std::size_t active_connections() const;
+  std::uint64_t frames_received() const;
+  std::uint64_t frames_sent() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::vector<std::uint8_t> in;          // unparsed inbound bytes
+    std::deque<std::vector<std::uint8_t>> out;  // queued responses
+    std::size_t out_offset = 0;            // sent bytes of out.front()
+    std::uint64_t owed = 0;                // frames delivered - responses sent
+    bool peer_eof = false;
+    bool want_write = false;               // EPOLLOUT currently armed
+  };
+
+  void run();
+  void handle_accept();
+  void handle_readable(std::uint64_t conn_id);
+  void handle_writable(std::uint64_t conn_id);
+  void flush(std::uint64_t conn_id, Connection& conn);
+  void maybe_close(std::uint64_t conn_id, Connection& conn);
+  void close_connection(std::uint64_t conn_id);
+  void wake();
+
+  FrameHandler on_frame_;
+  ServerOptions options_;
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread loop_;
+
+  mutable std::mutex mu_;  // guards conns_, draining_, counters
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+  bool draining_ = false;
+  std::size_t force_closed_ = 0;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t frames_sent_ = 0;
+
+  std::mutex shutdown_mu_;  // serializes shutdown() callers
+  bool shut_down_ = false;
+};
+
+}  // namespace cgs::net

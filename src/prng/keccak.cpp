@@ -49,6 +49,65 @@ void keccak_f1600(std::array<std::uint64_t, 25>& a) {
   }
 }
 
+// Same clone-dispatch arrangement as chacha20.cpp: on generic x86-64
+// builds the 256-bit vectors lower to SSE pairs (~2 lanes' worth of win);
+// target_clones adds a runtime-dispatched AVX2 clone where supported.
+// IFUNC resolvers fire before the TSan runtime exists, so the dispatch is
+// compiled out under ThreadSanitizer.
+#if defined(__SANITIZE_THREAD__)
+#define CGS_KECCAK_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CGS_KECCAK_TSAN 1
+#endif
+#endif
+
+#if defined(__x86_64__) && defined(__ELF__) && defined(__has_attribute) && \
+    !defined(CGS_KECCAK_TSAN)
+#if __has_attribute(target_clones)
+#define CGS_KECCAK_CLONES __attribute__((target_clones("avx2", "default")))
+#endif
+#endif
+#ifndef CGS_KECCAK_CLONES
+#define CGS_KECCAK_CLONES
+#endif
+
+// A macro, not a helper function, on purpose: an out-of-line call from
+// the AVX2 clone into default-target code would pass the vectors through
+// a mismatched register ABI (garbage at -O0, where nothing inlines on
+// its own), and even an always_inline function with a vector return
+// draws gcc's -Wpsabi ABI note.
+#define CGS_ROTL_V(v, r) \
+  ((r) == 0 ? (v) : (U64x4)(((v) << (r)) | ((v) >> (64 - (r)))))
+
+CGS_KECCAK_CLONES
+void keccak_f1600_x4(std::array<U64x4, 25>& a) {
+  for (int round = 0; round < 24; ++round) {
+    // Theta
+    U64x4 c[5], d[5];
+    for (int x = 0; x < 5; ++x)
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ CGS_ROTL_V(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d[x];
+    }
+    // Rho + Pi
+    U64x4 b[25];
+    for (int x = 0; x < 5; ++x)
+      for (int y = 0; y < 5; ++y)
+        b[y + 5 * ((2 * x + 3 * y) % 5)] =
+            CGS_ROTL_V(a[x + 5 * y], kRho[x + 5 * y]);
+    // Chi
+    for (int y = 0; y < 5; ++y)
+      for (int x = 0; x < 5; ++x)
+        a[x + 5 * y] =
+            b[x + 5 * y] ^ ((~b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
+    // Iota
+    a[0] ^= U64x4{kRC[round], kRC[round], kRC[round], kRC[round]};
+  }
+}
+#undef CGS_ROTL_V
+
 Shake::Shake(Variant v)
     : rate_(v == Variant::kShake128 ? 168 : 136) {}
 
@@ -70,15 +129,19 @@ void Shake::permute_and_reset_pos() {
   pos_ = 0;
 }
 
+std::array<std::uint64_t, 25> Shake::finalize_state() {
+  CGS_CHECK_MSG(!squeezing_, "finalize after squeeze");
+  // SHAKE domain separation + pad10*1.
+  auto* bytes = reinterpret_cast<std::uint8_t*>(state_.data());
+  bytes[pos_] ^= 0x1f;
+  bytes[rate_ - 1] ^= 0x80;
+  squeezing_ = true;
+  pos_ = rate_;  // a later squeeze() permutes first, continuing the stream
+  return state_;
+}
+
 void Shake::squeeze(std::span<std::uint8_t> out) {
-  if (!squeezing_) {
-    // SHAKE domain separation + pad10*1.
-    auto* bytes = reinterpret_cast<std::uint8_t*>(state_.data());
-    bytes[pos_] ^= 0x1f;
-    bytes[rate_ - 1] ^= 0x80;
-    permute_and_reset_pos();
-    squeezing_ = true;
-  }
+  if (!squeezing_) (void)finalize_state();  // pos_ at rate: permute below
   for (auto& o : out) {
     if (pos_ == rate_) permute_and_reset_pos();
     o = reinterpret_cast<const std::uint8_t*>(state_.data())[pos_++];

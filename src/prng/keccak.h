@@ -16,6 +16,14 @@ namespace cgs::prng {
 /// In-place Keccak-f[1600] permutation on 25 lanes.
 void keccak_f1600(std::array<std::uint64_t, 25>& state);
 
+/// Four independent Keccak-f[1600] states permuted together, one state
+/// per SIMD lane (GCC vector extensions, like the 256-lane samplers).
+/// This is what lets a batched consumer — hash-to-point over a verify
+/// batch — amortize the permutation the way bit-slicing amortizes the
+/// sampler netlist.
+using U64x4 = std::uint64_t __attribute__((vector_size(32)));
+void keccak_f1600_x4(std::array<U64x4, 25>& states);
+
 /// Incremental SHAKE sponge (capacity fixed by the variant).
 class Shake {
  public:
@@ -29,6 +37,16 @@ class Shake {
 
   /// Switch to squeezing (idempotent) and emit `out.size()` bytes.
   void squeeze(std::span<std::uint8_t> out);
+
+  /// Apply the SHAKE padding and hand back the squeeze-ready sponge
+  /// state (the first squeeze permutation not yet applied). For batch
+  /// consumers that drive several sponges through one vectorized
+  /// keccak_f1600_x4 pass — each permutation of the returned state
+  /// yields the next rate-sized block of the same stream squeeze()
+  /// would produce. The Shake itself transitions to squeezing.
+  std::array<std::uint64_t, 25> finalize_state();
+
+  std::size_t rate() const { return rate_; }
 
   /// One-shot convenience.
   static std::vector<std::uint8_t> hash(Variant v,

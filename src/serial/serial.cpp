@@ -97,6 +97,22 @@ std::vector<std::uint8_t> wrap(TypeTag tag, std::vector<std::uint8_t> payload) {
   return w.take();
 }
 
+TypeTag peek_tag(std::span<const std::uint8_t> frame) {
+  Reader r(frame);
+  if (r.remaining() < 28) throw SerialError("serial: frame truncated (header)");
+  if (r.u32() != kMagic) throw SerialError("serial: bad magic");
+  if (r.u32() != kFormatVersion)
+    throw SerialError("serial: format version mismatch");
+  const std::uint32_t tag = r.u32();
+  if (tag < static_cast<std::uint32_t>(TypeTag::kNetlist) ||
+      tag > static_cast<std::uint32_t>(TypeTag::kKeygenResponse)) {
+    std::ostringstream os;
+    os << "serial: unknown type tag " << tag;
+    throw SerialError(os.str());
+  }
+  return static_cast<TypeTag>(tag);
+}
+
 std::span<const std::uint8_t> unwrap(std::span<const std::uint8_t> frame,
                                      TypeTag expected_tag) {
   Reader r(frame);

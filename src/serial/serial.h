@@ -47,7 +47,17 @@ enum class TypeTag : std::uint32_t {
   // gets magic/version/checksum validation for free.
   kSignRequest = 5,
   kSignResponse = 6,
+  kVerifyRequest = 7,
+  kVerifyResponse = 8,
+  kKeygenRequest = 9,
+  kKeygenResponse = 10,
 };
+
+/// The tag of a frame without validating its payload: header-only checks
+/// (magic, version, known tag). Servers multiplexing several request types
+/// on one stream peek here, then hand the frame to the matching decoder,
+/// which re-validates everything including the checksum via unwrap.
+TypeTag peek_tag(std::span<const std::uint8_t> frame);
 
 /// FNV-1a 64-bit over a byte range — the frame's content hash.
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);

@@ -1,10 +1,18 @@
 #include "serve/dispatcher.h"
 
+#ifdef __linux__
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 #include <algorithm>
 #include <bit>
+#include <string_view>
 #include <utility>
 
 #include "common/check.h"
+#include "prng/chacha20.h"
 
 namespace cgs::serve {
 
@@ -32,21 +40,46 @@ std::uint64_t gauss_shard_key(double sigma, double center) {
          mix64(~std::bit_cast<std::uint64_t>(center));
 }
 
+// The one push-or-reject admission sequence every submit_* shares: attach
+// the future, try the queue, account the outcome, detach the future again
+// when the request was not admitted.
+template <typename R, typename LaneT, typename Job>
+Submission<R> submit_to(LaneT& lane, Job job) {
+  Submission<R> result;
+  result.future = job.promise.get_future();
+  result.status = lane.queue.try_push(std::move(job));
+  if (result.status == SubmitStatus::kOk) {
+    lane.counters.submitted.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    lane.counters.rejected.fetch_add(1, std::memory_order_relaxed);
+    result.future = {};
+  }
+  return result;
+}
+
 }  // namespace
 
 Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
                        DispatcherOptions options)
     : registry_(&registry), options_(options) {
-  CGS_CHECK_MSG(options_.sign_lanes >= 1 && options_.gauss_lanes >= 1,
+  CGS_CHECK_MSG(options_.sign_lanes >= 1 && options_.verify_lanes >= 1 &&
+                    options_.gauss_lanes >= 1,
                 "dispatcher needs at least one lane of each kind");
   CGS_CHECK_MSG(options_.max_batch >= 1, "dispatcher needs max_batch >= 1");
   signing_ = std::make_unique<falcon::SigningService>(*registry_,
                                                       options_.signing);
+  verifier_ =
+      std::make_unique<falcon::VerificationService>(options_.verification);
   gaussian_ = std::make_unique<engine::GaussianService>(*registry_,
                                                         options_.gaussian);
   for (int i = 0; i < options_.sign_lanes; ++i)
     sign_lanes_.push_back(
         std::make_unique<Lane<SignJob>>(options_.queue_capacity));
+  for (int i = 0; i < options_.verify_lanes; ++i)
+    verify_lanes_.push_back(
+        std::make_unique<Lane<VerifyJob>>(options_.queue_capacity));
+  keygen_lanes_.push_back(
+      std::make_unique<Lane<KeygenJob>>(options_.queue_capacity));
   for (int i = 0; i < options_.gauss_lanes; ++i)
     gauss_lanes_.push_back(
         std::make_unique<Lane<GaussJob>>(options_.queue_capacity));
@@ -55,6 +88,14 @@ Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
   for (auto& lane : sign_lanes_) {
     Lane<SignJob>* l = lane.get();
     lane->thread = std::thread([this, l] { run_sign_lane(*l); });
+  }
+  for (auto& lane : verify_lanes_) {
+    Lane<VerifyJob>* l = lane.get();
+    lane->thread = std::thread([this, l] { run_verify_lane(*l); });
+  }
+  for (auto& lane : keygen_lanes_) {
+    Lane<KeygenJob>* l = lane.get();
+    lane->thread = std::thread([this, l] { run_keygen_lane(*l); });
   }
   for (auto& lane : gauss_lanes_) {
     Lane<GaussJob>* l = lane.get();
@@ -71,8 +112,14 @@ void Dispatcher::shutdown() {
     shut_down_ = true;
   }
   for (auto& lane : sign_lanes_) lane->queue.close();
+  for (auto& lane : verify_lanes_) lane->queue.close();
+  for (auto& lane : keygen_lanes_) lane->queue.close();
   for (auto& lane : gauss_lanes_) lane->queue.close();
   for (auto& lane : sign_lanes_)
+    if (lane->thread.joinable()) lane->thread.join();
+  for (auto& lane : verify_lanes_)
+    if (lane->thread.joinable()) lane->thread.join();
+  for (auto& lane : keygen_lanes_)
     if (lane->thread.joinable()) lane->thread.join();
   for (auto& lane : gauss_lanes_)
     if (lane->thread.joinable()) lane->thread.join();
@@ -109,16 +156,32 @@ Submission<falcon::Signature> Dispatcher::submit_sign(std::uint64_t key_id,
   job.key_id = key_id;
   job.message = std::move(message);
   job.submitted = std::chrono::steady_clock::now();
-  Submission<falcon::Signature> result;
-  result.future = job.promise.get_future();
-  result.status = lane.queue.try_push(std::move(job));
-  if (result.status == SubmitStatus::kOk) {
-    lane.counters.submitted.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    lane.counters.rejected.fetch_add(1, std::memory_order_relaxed);
-    result.future = {};
-  }
-  return result;
+  return submit_to<falcon::Signature>(lane, std::move(job));
+}
+
+Submission<bool> Dispatcher::submit_verify(std::uint64_t key_id,
+                                           std::string message,
+                                           falcon::Signature sig) {
+  CGS_CHECK_MSG(key(key_id) != nullptr,
+                "submit_verify: key_id not registered (add_key first)");
+  Lane<VerifyJob>& lane =
+      *verify_lanes_[mix64(key_id) % verify_lanes_.size()];
+  VerifyJob job;
+  job.key_id = key_id;
+  job.message = std::move(message);
+  job.sig = std::move(sig);
+  job.submitted = std::chrono::steady_clock::now();
+  return submit_to<bool>(lane, std::move(job));
+}
+
+Submission<KeygenResult> Dispatcher::submit_keygen(
+    falcon::FalconParams params, std::uint64_t seed) {
+  Lane<KeygenJob>& lane = *keygen_lanes_.front();
+  KeygenJob job;
+  job.params = params;
+  job.seed = seed;
+  job.submitted = std::chrono::steady_clock::now();
+  return submit_to<KeygenResult>(lane, std::move(job));
 }
 
 Submission<std::vector<std::int32_t>> Dispatcher::submit_gauss(
@@ -131,16 +194,7 @@ Submission<std::vector<std::int32_t>> Dispatcher::submit_gauss(
   job.center = center;
   job.n = n;
   job.submitted = std::chrono::steady_clock::now();
-  Submission<std::vector<std::int32_t>> result;
-  result.future = job.promise.get_future();
-  result.status = lane.queue.try_push(std::move(job));
-  if (result.status == SubmitStatus::kOk) {
-    lane.counters.submitted.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    lane.counters.rejected.fetch_add(1, std::memory_order_relaxed);
-    result.future = {};
-  }
-  return result;
+  return submit_to<std::vector<std::int32_t>>(lane, std::move(job));
 }
 
 void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
@@ -177,6 +231,88 @@ void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
           lane.counters.failed.fetch_add(1, std::memory_order_relaxed);
           batch[i].promise.set_exception(error);
         }
+      }
+    }
+  }
+}
+
+void Dispatcher::run_verify_lane(Lane<VerifyJob>& lane) {
+  MicroBatcher<VerifyJob> batcher(
+      lane.queue, options_.max_batch,
+      std::chrono::microseconds(options_.max_linger_us));
+  std::vector<VerifyJob> batch;
+  while (batcher.next_batch(batch)) {
+    // Group by tenant key like the sign lane: one verify_many per key runs
+    // the shared hash/NTT pipeline over the whole group against that key's
+    // cached NTT-domain public key.
+    std::map<std::uint64_t, std::vector<std::size_t>> by_key;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      by_key[batch[i].key_id].push_back(i);
+    for (const auto& [key_id, indices] : by_key) {
+      const falcon::KeyPair* kp = key(key_id);
+      std::vector<std::string_view> messages;
+      std::vector<falcon::Signature> sigs;
+      messages.reserve(indices.size());
+      sigs.reserve(indices.size());
+      for (std::size_t i : indices) {
+        messages.push_back(batch[i].message);
+        sigs.push_back(std::move(batch[i].sig));
+      }
+      lane.counters.batches.fetch_add(1, std::memory_order_relaxed);
+      lane.counters.batched.fetch_add(indices.size(),
+                                      std::memory_order_relaxed);
+      try {
+        CGS_CHECK_MSG(kp != nullptr, "verify lane lost a registered key");
+        const std::vector<std::uint8_t> verdicts =
+            verifier_->verify_many(kp->h, kp->params, messages, sigs);
+        for (std::size_t j = 0; j < indices.size(); ++j) {
+          VerifyJob& job = batch[indices[j]];
+          lane.counters.latency.record(elapsed_us(job.submitted));
+          lane.counters.completed.fetch_add(1, std::memory_order_relaxed);
+          job.promise.set_value(verdicts[j] != 0);
+        }
+      } catch (...) {
+        const auto error = std::current_exception();
+        for (std::size_t i : indices) {
+          lane.counters.failed.fetch_add(1, std::memory_order_relaxed);
+          batch[i].promise.set_exception(error);
+        }
+      }
+    }
+  }
+}
+
+void Dispatcher::run_keygen_lane(Lane<KeygenJob>& lane) {
+#ifdef __linux__
+  // Lowest scheduling priority: when keygen and a sign/verify lane compete
+  // for a core, the solver always loses — the lane's isolation guarantee
+  // is its own queue + thread, this makes it hold under CPU contention
+  // too. (Best-effort: EPERM etc. just leaves the default priority.)
+  ::setpriority(PRIO_PROCESS, static_cast<id_t>(::syscall(SYS_gettid)), 19);
+#endif
+  MicroBatcher<KeygenJob> batcher(
+      lane.queue, options_.max_batch,
+      std::chrono::microseconds(options_.max_linger_us));
+  std::vector<KeygenJob> batch;
+  while (batcher.next_batch(batch)) {
+    // Keygens are independent multi-hundred-millisecond solves — there is
+    // nothing to batch, the lane just drains them one by one.
+    for (KeygenJob& job : batch) {
+      lane.counters.batches.fetch_add(1, std::memory_order_relaxed);
+      lane.counters.batched.fetch_add(1, std::memory_order_relaxed);
+      try {
+        prng::ChaCha20Source rng(job.seed);
+        falcon::KeyPair kp = falcon::keygen(job.params, rng);
+        KeygenResult result;
+        result.params = kp.params;
+        result.public_h = kp.h;
+        result.key_id = add_key(std::move(kp));
+        lane.counters.latency.record(elapsed_us(job.submitted));
+        lane.counters.completed.fetch_add(1, std::memory_order_relaxed);
+        job.promise.set_value(std::move(result));
+      } catch (...) {
+        lane.counters.failed.fetch_add(1, std::memory_order_relaxed);
+        job.promise.set_exception(std::current_exception());
       }
     }
   }
@@ -256,12 +392,22 @@ void snapshot_lanes(const std::vector<LanePtr>& lanes,
 MetricsSnapshot Dispatcher::metrics() const {
   MetricsSnapshot snap;
   LatencyBuckets sign_merged{};
+  LatencyBuckets verify_merged{};
+  LatencyBuckets keygen_merged{};
   LatencyBuckets gauss_merged{};
   snapshot_lanes(sign_lanes_, snap.sign_lanes, sign_merged);
+  snapshot_lanes(verify_lanes_, snap.verify_lanes, verify_merged);
+  snapshot_lanes(keygen_lanes_, snap.keygen_lanes, keygen_merged);
   snapshot_lanes(gauss_lanes_, snap.gauss_lanes, gauss_merged);
   snap.p50_us = bucket_quantile(sign_merged, 0.50);
   snap.p95_us = bucket_quantile(sign_merged, 0.95);
   snap.p99_us = bucket_quantile(sign_merged, 0.99);
+  snap.verify_p50_us = bucket_quantile(verify_merged, 0.50);
+  snap.verify_p95_us = bucket_quantile(verify_merged, 0.95);
+  snap.verify_p99_us = bucket_quantile(verify_merged, 0.99);
+  snap.keygen_p50_us = bucket_quantile(keygen_merged, 0.50);
+  snap.keygen_p95_us = bucket_quantile(keygen_merged, 0.95);
+  snap.keygen_p99_us = bucket_quantile(keygen_merged, 0.99);
   snap.gauss_p50_us = bucket_quantile(gauss_merged, 0.50);
   snap.gauss_p95_us = bucket_quantile(gauss_merged, 0.95);
   snap.gauss_p99_us = bucket_quantile(gauss_merged, 0.99);

@@ -5,21 +5,30 @@
 // per-lane threads run a MicroBatcher (close on max_batch or max_linger,
 // whichever first) and hand closed batches to the blocking services:
 //
-//   submit_sign ── shard by key fingerprint ──> sign lane ─┐
-//                                                          ├─ MicroBatcher
-//   submit_gauss ── shard by (sigma, c) key ──> gauss lane ┘      │
-//                                                                 ▼
-//        falcon::SigningService::sign_many / GaussianService::sample
+//   submit_sign ──── shard by key fingerprint ──> sign lane ──┐
+//   submit_verify ── shard by key fingerprint ──> verify lane ├─ MicroBatcher
+//   submit_gauss ─── shard by (sigma, c) key ──> gauss lane ──┘      │
+//   submit_keygen ── dedicated low-priority ──> keygen lane ──┘      ▼
+//        falcon::SigningService::sign_many /
+//        falcon::VerificationService::verify_many /
+//        GaussianService::sample / falcon::keygen
 //
-// Sign lanes are sharded by falcon::key_fingerprint, so N tenant keys live
-// concurrently, each signing under its own cached ffLDL tree; a lane batch
-// that spans several keys is grouped into one sign_many per key (the
-// engine batches per key — that is what fills its lanes). Raw-Gaussian
-// requests shard by the canonical (sigma, center) recipe key and a lane
-// batch collapses into one GaussianService::sample per distinct target.
-// Because SigningService checks workers out per call instead of
+// Sign and verify lanes are sharded by falcon::key_fingerprint, so N
+// tenant keys live concurrently, each signing under its own cached ffLDL
+// tree and verifying against its own cached NTT-domain public key; a lane
+// batch that spans several keys is grouped into one sign_many/verify_many
+// per key (the engine batches per key — that is what fills its lanes).
+// Raw-Gaussian requests shard by the canonical (sigma, center) recipe key
+// and a lane batch collapses into one GaussianService::sample per distinct
+// target. Because SigningService checks workers out per call instead of
 // serializing callers, two lanes' batches on different keys overlap on
 // disjoint worker subsets instead of convoying.
+//
+// Keygen runs on its own dedicated lane (and, on Linux, at minimum thread
+// scheduling priority): an NTRU solve is hundreds of milliseconds of
+// number theory, so isolating it is what keeps a tenant onboarding from
+// stalling every sign/verify request behind it — the keygen queue, its
+// batcher and its thread share nothing with the latency-sensitive lanes.
 //
 // Shutdown drains: queues stop admitting (kShutdown), lane threads finish
 // everything already accepted, and every outstanding future is fulfilled —
@@ -38,6 +47,7 @@
 #include "engine/registry.h"
 #include "engine/service.h"
 #include "falcon/signing_service.h"
+#include "falcon/verification_service.h"
 #include "serve/batcher.h"
 #include "serve/metrics.h"
 #include "serve/queue.h"
@@ -59,9 +69,22 @@ struct DispatcherOptions {
   std::size_t max_batch = 64;        // requests per closed batch
   std::uint64_t max_linger_us = 2000;
   int sign_lanes = 2;
+  int verify_lanes = 1;
   int gauss_lanes = 1;
-  falcon::SigningOptions signing;   // inner SigningService configuration
-  engine::ServiceOptions gaussian;  // inner GaussianService configuration
+  // Exactly one keygen lane, always: its whole point is isolation, and a
+  // second one would only let two NTRU solves compete for cores.
+  falcon::SigningOptions signing;        // inner SigningService configuration
+  falcon::VerificationOptions verification;  // inner VerificationService
+  engine::ServiceOptions gaussian;       // inner GaussianService configuration
+};
+
+/// What a fulfilled keygen submission yields: the key is registered with
+/// the dispatcher under `key_id` (usable in submit_sign / submit_verify
+/// immediately); only public material leaves the serving layer.
+struct KeygenResult {
+  std::uint64_t key_id = 0;
+  falcon::FalconParams params;
+  std::vector<std::uint32_t> public_h;
 };
 
 class Dispatcher {
@@ -87,6 +110,19 @@ class Dispatcher {
   Submission<falcon::Signature> submit_sign(std::uint64_t key_id,
                                             std::string message);
 
+  /// Queue one signature for verification under a registered key; the
+  /// future yields the verdict (true = accepted). Fails fast with
+  /// kQueueFull / kShutdown; throws cgs::Error only on an unregistered
+  /// key_id (caller bug, not load — wire frontends check key() first).
+  Submission<bool> submit_verify(std::uint64_t key_id, std::string message,
+                                 falcon::Signature sig);
+
+  /// Queue a key generation at `params` from `seed` (deterministic per
+  /// seed). Runs on the dedicated low-priority keygen lane; the future's
+  /// KeygenResult names the registered key_id.
+  Submission<KeygenResult> submit_keygen(falcon::FalconParams params,
+                                         std::uint64_t seed);
+
   /// Queue a raw-Gaussian request for `n` samples at (sigma, center).
   Submission<std::vector<std::int32_t>> submit_gauss(double sigma,
                                                      double center,
@@ -100,6 +136,7 @@ class Dispatcher {
   void shutdown();
 
   falcon::SigningService& signing_service() { return *signing_; }
+  falcon::VerificationService& verification_service() { return *verifier_; }
   engine::GaussianService& gaussian_service() { return *gaussian_; }
   const DispatcherOptions& options() const { return options_; }
 
@@ -108,6 +145,19 @@ class Dispatcher {
     std::uint64_t key_id = 0;
     std::string message;
     std::promise<falcon::Signature> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  struct VerifyJob {
+    std::uint64_t key_id = 0;
+    std::string message;
+    falcon::Signature sig;
+    std::promise<bool> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  struct KeygenJob {
+    falcon::FalconParams params;
+    std::uint64_t seed = 0;
+    std::promise<KeygenResult> promise;
     std::chrono::steady_clock::time_point submitted;
   };
   struct GaussJob {
@@ -125,17 +175,22 @@ class Dispatcher {
   };
 
   void run_sign_lane(Lane<SignJob>& lane);
+  void run_verify_lane(Lane<VerifyJob>& lane);
+  void run_keygen_lane(Lane<KeygenJob>& lane);
   void run_gauss_lane(Lane<GaussJob>& lane);
 
   engine::SamplerRegistry* registry_;
   DispatcherOptions options_;
   std::unique_ptr<falcon::SigningService> signing_;
+  std::unique_ptr<falcon::VerificationService> verifier_;
   std::unique_ptr<engine::GaussianService> gaussian_;
 
   mutable std::mutex keys_mu_;
   std::map<std::uint64_t, falcon::KeyPair> keys_;
 
   std::vector<std::unique_ptr<Lane<SignJob>>> sign_lanes_;
+  std::vector<std::unique_ptr<Lane<VerifyJob>>> verify_lanes_;
+  std::vector<std::unique_ptr<Lane<KeygenJob>>> keygen_lanes_;
   std::vector<std::unique_ptr<Lane<GaussJob>>> gauss_lanes_;
 
   std::mutex shutdown_mu_;

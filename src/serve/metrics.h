@@ -110,26 +110,41 @@ struct LaneSnapshot {
 /// Snapshot of the whole serving layer (see Dispatcher::metrics()).
 struct MetricsSnapshot {
   std::vector<LaneSnapshot> sign_lanes;
+  std::vector<LaneSnapshot> verify_lanes;
+  std::vector<LaneSnapshot> keygen_lanes;
   std::vector<LaneSnapshot> gauss_lanes;
   double p50_us = 0, p95_us = 0, p99_us = 0;  // sign latency, all lanes
+  double verify_p50_us = 0, verify_p95_us = 0, verify_p99_us = 0;
+  double keygen_p50_us = 0, keygen_p95_us = 0, keygen_p99_us = 0;
   double gauss_p50_us = 0, gauss_p95_us = 0, gauss_p99_us = 0;
 
-  std::uint64_t sign_submitted() const { return sum(&LaneSnapshot::submitted); }
-  std::uint64_t sign_rejected() const { return sum(&LaneSnapshot::rejected); }
-  std::uint64_t sign_completed() const { return sum(&LaneSnapshot::completed); }
-  std::uint64_t sign_batches() const { return sum(&LaneSnapshot::batches); }
-  std::uint64_t sign_batched() const { return sum(&LaneSnapshot::batched); }
-  double sign_occupancy() const {
-    const std::uint64_t b = sign_batches();
-    return b ? static_cast<double>(sign_batched()) / static_cast<double>(b)
-             : 0.0;
-  }
+  std::uint64_t sign_submitted() const { return sum(sign_lanes, &LaneSnapshot::submitted); }
+  std::uint64_t sign_rejected() const { return sum(sign_lanes, &LaneSnapshot::rejected); }
+  std::uint64_t sign_completed() const { return sum(sign_lanes, &LaneSnapshot::completed); }
+  std::uint64_t sign_batches() const { return sum(sign_lanes, &LaneSnapshot::batches); }
+  std::uint64_t sign_batched() const { return sum(sign_lanes, &LaneSnapshot::batched); }
+  double sign_occupancy() const { return occupancy(sign_lanes); }
+
+  std::uint64_t verify_completed() const { return sum(verify_lanes, &LaneSnapshot::completed); }
+  std::uint64_t verify_failed() const { return sum(verify_lanes, &LaneSnapshot::failed); }
+  std::uint64_t verify_batches() const { return sum(verify_lanes, &LaneSnapshot::batches); }
+  double verify_occupancy() const { return occupancy(verify_lanes); }
+
+  std::uint64_t keygen_completed() const { return sum(keygen_lanes, &LaneSnapshot::completed); }
+  std::uint64_t keygen_failed() const { return sum(keygen_lanes, &LaneSnapshot::failed); }
 
  private:
-  std::uint64_t sum(std::uint64_t LaneSnapshot::* field) const {
+  static std::uint64_t sum(const std::vector<LaneSnapshot>& lanes,
+                           std::uint64_t LaneSnapshot::* field) {
     std::uint64_t total = 0;
-    for (const auto& lane : sign_lanes) total += lane.*field;
+    for (const auto& lane : lanes) total += lane.*field;
     return total;
+  }
+  static double occupancy(const std::vector<LaneSnapshot>& lanes) {
+    const std::uint64_t b = sum(lanes, &LaneSnapshot::batches);
+    return b ? static_cast<double>(sum(lanes, &LaneSnapshot::batched)) /
+                   static_cast<double>(b)
+             : 0.0;
   }
 };
 

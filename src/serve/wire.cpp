@@ -1,8 +1,5 @@
 #include "serve/wire.h"
 
-#include <errno.h>
-#include <unistd.h>
-
 #include <cstring>
 
 #include "falcon/codec.h"
@@ -12,17 +9,48 @@ namespace cgs::serve {
 
 namespace {
 
-// The u32 length prefix ahead of every serial frame.
-std::vector<std::uint8_t> length_prefixed(std::vector<std::uint8_t> frame) {
-  CGS_CHECK_MSG(frame.size() <= kMaxWireMessage - 4,
-                "wire message exceeds kMaxWireMessage");
-  const auto len = static_cast<std::uint32_t>(frame.size());
-  std::vector<std::uint8_t> out;
-  out.reserve(4 + frame.size());
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
-  out.insert(out.end(), frame.begin(), frame.end());
-  return out;
+using net::length_prefixed;
+
+// Shared field helpers for the frames that carry a signature: 40-byte
+// nonce + u64-length-prefixed compressed s1.
+void write_signature_fields(serial::Writer& w, std::uint64_t degree,
+                            const std::array<std::uint8_t, 40>& nonce,
+                            const std::vector<std::uint8_t>& s1_compressed) {
+  w.u64(degree);
+  w.bytes(std::span(nonce.data(), nonce.size()));
+  w.u64(s1_compressed.size());
+  w.bytes(s1_compressed);
+}
+
+void read_signature_fields(serial::Reader& r, std::uint64_t& degree,
+                           std::array<std::uint8_t, 40>& nonce,
+                           std::vector<std::uint8_t>& s1_compressed,
+                           const char* what) {
+  degree = r.u64();
+  if (degree == 0 || degree > (1u << 14))
+    throw serial::SerialError(std::string(what) + " degree out of range");
+  const auto nonce_bytes = r.bytes(nonce.size());
+  std::memcpy(nonce.data(), nonce_bytes.data(), nonce.size());
+  const std::uint64_t len = r.u64();
+  if (len > r.remaining())
+    throw serial::SerialError(std::string(what) +
+                              " s1 length overruns payload");
+  const auto s1 = r.bytes(static_cast<std::size_t>(len));
+  s1_compressed.assign(s1.begin(), s1.end());
+}
+
+falcon::Signature signature_from_fields(
+    std::uint64_t degree, const std::array<std::uint8_t, 40>& nonce,
+    const std::vector<std::uint8_t>& s1_compressed, const char* what) {
+  auto s1 = falcon::decompress_s1(s1_compressed,
+                                  static_cast<std::size_t>(degree));
+  if (!s1 || s1->size() != degree)
+    throw serial::SerialError(std::string(what) +
+                              " carries malformed s1 coding");
+  falcon::Signature sig;
+  sig.nonce = nonce;
+  sig.s1 = std::move(*s1);
+  return sig;
 }
 
 }  // namespace
@@ -70,13 +98,8 @@ SignResponseFrame SignResponseFrame::failure(std::uint64_t request_id,
 falcon::Signature SignResponseFrame::to_signature() const {
   if (!ok)
     throw serial::SerialError("sign response is an error frame: " + error);
-  auto s1 = falcon::decompress_s1(s1_compressed, degree);
-  if (!s1 || s1->size() != degree)
-    throw serial::SerialError("sign response carries malformed s1 coding");
-  falcon::Signature sig;
-  sig.nonce = nonce;
-  sig.s1 = std::move(*s1);
-  return sig;
+  return signature_from_fields(degree, nonce, s1_compressed,
+                               "sign response");
 }
 
 std::vector<std::uint8_t> encode(const SignResponseFrame& resp) {
@@ -84,10 +107,7 @@ std::vector<std::uint8_t> encode(const SignResponseFrame& resp) {
   w.u64(resp.request_id);
   w.boolean(resp.ok);
   if (resp.ok) {
-    w.u64(resp.degree);
-    w.bytes(std::span(resp.nonce.data(), resp.nonce.size()));
-    w.u64(resp.s1_compressed.size());
-    w.bytes(resp.s1_compressed);
+    write_signature_fields(w, resp.degree, resp.nonce, resp.s1_compressed);
   } else {
     w.str(resp.error);
   }
@@ -103,16 +123,8 @@ SignResponseFrame decode_sign_response(std::span<const std::uint8_t> frame) {
   resp.request_id = r.u64();
   resp.ok = r.boolean();
   if (resp.ok) {
-    resp.degree = r.u64();
-    if (resp.degree == 0 || resp.degree > (1u << 14))
-      throw serial::SerialError("sign response degree out of range");
-    const auto nonce = r.bytes(resp.nonce.size());
-    std::memcpy(resp.nonce.data(), nonce.data(), resp.nonce.size());
-    const std::uint64_t len = r.u64();
-    if (len > r.remaining())
-      throw serial::SerialError("sign response s1 length overruns payload");
-    const auto s1 = r.bytes(static_cast<std::size_t>(len));
-    resp.s1_compressed.assign(s1.begin(), s1.end());
+    read_signature_fields(r, resp.degree, resp.nonce, resp.s1_compressed,
+                          "sign response");
   } else {
     resp.error = r.str();
   }
@@ -120,55 +132,188 @@ SignResponseFrame decode_sign_response(std::span<const std::uint8_t> frame) {
   return resp;
 }
 
-bool write_message(int fd, std::span<const std::uint8_t> encoded) {
-  std::size_t off = 0;
-  while (off < encoded.size()) {
-    const ssize_t n = ::write(fd, encoded.data() + off, encoded.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
+VerifyRequestFrame VerifyRequestFrame::make(std::uint64_t request_id,
+                                            std::uint64_t key_id,
+                                            std::string message,
+                                            const falcon::Signature& sig) {
+  VerifyRequestFrame req;
+  req.request_id = request_id;
+  req.key_id = key_id;
+  req.message = std::move(message);
+  req.degree = sig.s1.size();
+  req.nonce = sig.nonce;
+  req.s1_compressed = falcon::compress_s1(sig.s1);
+  return req;
 }
 
-namespace {
-
-// Pull exactly `len` bytes; 0 = clean EOF before any byte, -1 = error or
-// torn read, 1 = got them all.
-int read_exact(int fd, std::uint8_t* dst, std::size_t len) {
-  std::size_t off = 0;
-  while (off < len) {
-    const ssize_t n = ::read(fd, dst + off, len - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    if (n == 0) return off == 0 ? 0 : -1;
-    off += static_cast<std::size_t>(n);
-  }
-  return 1;
+falcon::Signature VerifyRequestFrame::to_signature() const {
+  return signature_from_fields(degree, nonce, s1_compressed,
+                               "verify request");
 }
 
-}  // namespace
+std::vector<std::uint8_t> encode(const VerifyRequestFrame& req) {
+  serial::Writer w;
+  w.u64(req.request_id);
+  w.u64(req.key_id);
+  w.str(req.message);
+  write_signature_fields(w, req.degree, req.nonce, req.s1_compressed);
+  return length_prefixed(
+      serial::wrap(serial::TypeTag::kVerifyRequest, w.take()));
+}
 
-std::optional<std::vector<std::uint8_t>> read_message(int fd) {
-  std::uint8_t prefix[4];
-  switch (read_exact(fd, prefix, sizeof prefix)) {
-    case 0: return std::nullopt;  // clean EOF between messages
-    case -1: throw serial::SerialError("wire: torn length prefix");
-    default: break;
+VerifyRequestFrame decode_verify_request(
+    std::span<const std::uint8_t> frame) {
+  const auto payload =
+      serial::unwrap(frame, serial::TypeTag::kVerifyRequest);
+  serial::Reader r(payload);
+  VerifyRequestFrame req;
+  req.request_id = r.u64();
+  req.key_id = r.u64();
+  req.message = r.str();
+  read_signature_fields(r, req.degree, req.nonce, req.s1_compressed,
+                        "verify request");
+  r.finish();
+  return req;
+}
+
+VerifyResponseFrame VerifyResponseFrame::verdict(std::uint64_t request_id,
+                                                 bool accepted) {
+  VerifyResponseFrame resp;
+  resp.request_id = request_id;
+  resp.ok = true;
+  resp.accepted = accepted;
+  return resp;
+}
+
+VerifyResponseFrame VerifyResponseFrame::failure(std::uint64_t request_id,
+                                                 std::string error) {
+  VerifyResponseFrame resp;
+  resp.request_id = request_id;
+  resp.error = std::move(error);
+  return resp;
+}
+
+std::vector<std::uint8_t> encode(const VerifyResponseFrame& resp) {
+  serial::Writer w;
+  w.u64(resp.request_id);
+  w.boolean(resp.ok);
+  if (resp.ok) {
+    w.boolean(resp.accepted);
+  } else {
+    w.str(resp.error);
   }
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) len |= std::uint32_t{prefix[i]} << (8 * i);
-  if (len > kMaxWireMessage)
-    throw serial::SerialError("wire: message length exceeds cap");
-  std::vector<std::uint8_t> frame(len);
-  if (len != 0 && read_exact(fd, frame.data(), len) != 1)
-    throw serial::SerialError("wire: torn message body");
-  return frame;
+  return length_prefixed(
+      serial::wrap(serial::TypeTag::kVerifyResponse, w.take()));
+}
+
+VerifyResponseFrame decode_verify_response(
+    std::span<const std::uint8_t> frame) {
+  const auto payload =
+      serial::unwrap(frame, serial::TypeTag::kVerifyResponse);
+  serial::Reader r(payload);
+  VerifyResponseFrame resp;
+  resp.request_id = r.u64();
+  resp.ok = r.boolean();
+  if (resp.ok) {
+    resp.accepted = r.boolean();
+  } else {
+    resp.error = r.str();
+  }
+  r.finish();
+  return resp;
+}
+
+std::vector<std::uint8_t> encode(const KeygenRequestFrame& req) {
+  serial::Writer w;
+  w.u64(req.request_id);
+  w.u64(req.degree);
+  w.u64(req.seed);
+  return length_prefixed(
+      serial::wrap(serial::TypeTag::kKeygenRequest, w.take()));
+}
+
+KeygenRequestFrame decode_keygen_request(
+    std::span<const std::uint8_t> frame) {
+  const auto payload =
+      serial::unwrap(frame, serial::TypeTag::kKeygenRequest);
+  serial::Reader r(payload);
+  KeygenRequestFrame req;
+  req.request_id = r.u64();
+  req.degree = r.u64();
+  if (req.degree == 0 || req.degree > (1u << 14))
+    throw serial::SerialError("keygen request degree out of range");
+  req.seed = r.u64();
+  r.finish();
+  return req;
+}
+
+KeygenResponseFrame KeygenResponseFrame::success(
+    std::uint64_t request_id, std::uint64_t key_id,
+    const std::vector<std::uint32_t>& h, std::size_t degree) {
+  KeygenResponseFrame resp;
+  resp.request_id = request_id;
+  resp.ok = true;
+  resp.key_id = key_id;
+  resp.degree = degree;
+  resp.h = h;
+  return resp;
+}
+
+KeygenResponseFrame KeygenResponseFrame::failure(std::uint64_t request_id,
+                                                 std::string error) {
+  KeygenResponseFrame resp;
+  resp.request_id = request_id;
+  resp.error = std::move(error);
+  return resp;
+}
+
+std::vector<std::uint8_t> encode(const KeygenResponseFrame& resp) {
+  serial::Writer w;
+  w.u64(resp.request_id);
+  w.boolean(resp.ok);
+  if (resp.ok) {
+    CGS_CHECK_MSG(resp.h.size() == resp.degree,
+                  "keygen response public key length mismatch");
+    w.u64(resp.key_id);
+    w.u64(resp.degree);
+    // h lives in [0, q) with q = 12289 < 2^16: two bytes per coefficient.
+    for (std::uint32_t v : resp.h) w.u16(static_cast<std::uint16_t>(v));
+  } else {
+    w.str(resp.error);
+  }
+  return length_prefixed(
+      serial::wrap(serial::TypeTag::kKeygenResponse, w.take()));
+}
+
+KeygenResponseFrame decode_keygen_response(
+    std::span<const std::uint8_t> frame) {
+  const auto payload =
+      serial::unwrap(frame, serial::TypeTag::kKeygenResponse);
+  serial::Reader r(payload);
+  KeygenResponseFrame resp;
+  resp.request_id = r.u64();
+  resp.ok = r.boolean();
+  if (resp.ok) {
+    resp.key_id = r.u64();
+    resp.degree = r.u64();
+    if (resp.degree == 0 || resp.degree > (1u << 14))
+      throw serial::SerialError("keygen response degree out of range");
+    if (r.remaining() != 2 * resp.degree)
+      throw serial::SerialError(
+          "keygen response public key length mismatch");
+    resp.h.reserve(static_cast<std::size_t>(resp.degree));
+    for (std::uint64_t i = 0; i < resp.degree; ++i) {
+      const std::uint16_t v = r.u16();
+      if (v >= falcon::kQ)
+        throw serial::SerialError(
+            "keygen response public key coefficient out of range");
+      resp.h.push_back(v);
+    }
+  } else {
+    resp.error = r.str();
+  }
+  r.finish();
+  return resp;
 }
 
 }  // namespace cgs::serve

@@ -10,10 +10,21 @@
 // or corrupted messages before a single payload byte is parsed. Payloads
 // are encoded with the serial Reader/Writer like every other artifact:
 //
-//   kSignRequest:  request_id u64 | key_id u64 | message str
-//   kSignResponse: request_id u64 | ok bool | on ok: degree u64, nonce
-//                  40 bytes, compressed s1 (length-prefixed); else: error
-//                  string
+//   kSignRequest:    request_id u64 | key_id u64 | message str
+//   kSignResponse:   request_id u64 | ok bool | on ok: degree u64, nonce
+//                    40 bytes, compressed s1 (length-prefixed); else: error
+//                    string
+//   kVerifyRequest:  request_id u64 | key_id u64 | message str | degree
+//                    u64 | nonce 40 bytes | compressed s1 (length-prefixed)
+//   kVerifyResponse: request_id u64 | ok bool | on ok: accepted bool;
+//                    else: error string
+//   kKeygenRequest:  request_id u64 | degree u64 | seed u64
+//   kKeygenResponse: request_id u64 | ok bool | on ok: key_id u64, degree
+//                    u64, public h as degree u16 values; else: error string
+//
+// A kVerifyResponse's `ok` says the request was processed ("this is a
+// verdict"); `accepted` is the verdict itself — a rejected signature is a
+// successful verification that answered no.
 //
 // Signatures travel compressed (falcon/codec.h Golomb-Rice coding), the
 // same encoding a Falcon signature ships with anywhere else.
@@ -26,13 +37,15 @@
 #include <vector>
 
 #include "falcon/sign.h"
+#include "net/framing.h"
 
 namespace cgs::serve {
 
-/// Hard cap on a single wire message (length prefix included). Sign
-/// requests are small; this bounds what a malformed or hostile length
-/// prefix can make the reader allocate.
-inline constexpr std::uint32_t kMaxWireMessage = 1u << 20;
+/// Hard cap on a single wire message (length prefix included). Requests
+/// are small; this bounds what a malformed or hostile length prefix can
+/// make the reader allocate. (The transport framing itself lives in
+/// net/framing.h; this is its cap.)
+inline constexpr std::uint32_t kMaxWireMessage = net::kMaxFrameBytes;
 
 struct SignRequestFrame {
   std::uint64_t request_id = 0;
@@ -58,21 +71,86 @@ struct SignResponseFrame {
   falcon::Signature to_signature() const;
 };
 
+struct VerifyRequestFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t key_id = 0;  // the key the signature claims to be under
+  std::string message;
+  std::uint64_t degree = 0;
+  std::array<std::uint8_t, 40> nonce{};
+  std::vector<std::uint8_t> s1_compressed;
+
+  static VerifyRequestFrame make(std::uint64_t request_id,
+                                 std::uint64_t key_id, std::string message,
+                                 const falcon::Signature& sig);
+
+  /// Decompress back into a Signature; throws serial::SerialError when the
+  /// compressed s1 is malformed.
+  falcon::Signature to_signature() const;
+};
+
+struct VerifyResponseFrame {
+  std::uint64_t request_id = 0;
+  bool ok = false;       // the request was processed (verdict below)
+  bool accepted = false; // the verdict: signature verifies under the key
+  std::string error;     // set when !ok
+
+  static VerifyResponseFrame verdict(std::uint64_t request_id, bool accepted);
+  static VerifyResponseFrame failure(std::uint64_t request_id,
+                                     std::string error);
+};
+
+struct KeygenRequestFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t degree = 0;
+  std::uint64_t seed = 0;  // keygen entropy: deterministic per seed
+};
+
+struct KeygenResponseFrame {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::string error;       // set when !ok
+  std::uint64_t key_id = 0;  // registered fingerprint, valid in sign/verify
+  std::uint64_t degree = 0;
+  std::vector<std::uint32_t> h;  // public key, coefficient domain [0, q)
+
+  static KeygenResponseFrame success(std::uint64_t request_id,
+                                     std::uint64_t key_id,
+                                     const std::vector<std::uint32_t>& h,
+                                     std::size_t degree);
+  static KeygenResponseFrame failure(std::uint64_t request_id,
+                                     std::string error);
+};
+
 /// Encode as a length-prefixed serial frame ready to write to a stream.
 std::vector<std::uint8_t> encode(const SignRequestFrame& req);
 std::vector<std::uint8_t> encode(const SignResponseFrame& resp);
+std::vector<std::uint8_t> encode(const VerifyRequestFrame& req);
+std::vector<std::uint8_t> encode(const VerifyResponseFrame& resp);
+std::vector<std::uint8_t> encode(const KeygenRequestFrame& req);
+std::vector<std::uint8_t> encode(const KeygenResponseFrame& resp);
 
 /// Decode the serial-frame part (no length prefix — the stream layer has
 /// already consumed it). Throws serial::SerialError on malformed input.
 SignRequestFrame decode_sign_request(std::span<const std::uint8_t> frame);
 SignResponseFrame decode_sign_response(std::span<const std::uint8_t> frame);
+VerifyRequestFrame decode_verify_request(std::span<const std::uint8_t> frame);
+VerifyResponseFrame decode_verify_response(
+    std::span<const std::uint8_t> frame);
+KeygenRequestFrame decode_keygen_request(std::span<const std::uint8_t> frame);
+KeygenResponseFrame decode_keygen_response(
+    std::span<const std::uint8_t> frame);
 
-/// Blocking stream I/O over a file descriptor (socket or pipe).
-/// write_message writes the already-encoded length-prefixed bytes; false
-/// on any short write / error. read_message pulls one length prefix plus
-/// frame; nullopt on clean EOF at a message boundary, throws
-/// serial::SerialError on a torn message or an oversized length.
-bool write_message(int fd, std::span<const std::uint8_t> encoded);
-std::optional<std::vector<std::uint8_t>> read_message(int fd);
+/// Blocking stream I/O over a file descriptor (socket or pipe) — thin
+/// aliases of net::write_frame / net::read_frame, kept so message-layer
+/// callers read naturally. Same contracts: write_message is false on any
+/// short write / error; read_message is nullopt on clean EOF at a message
+/// boundary and throws serial::SerialError on a torn message or an
+/// oversized length.
+inline bool write_message(int fd, std::span<const std::uint8_t> encoded) {
+  return net::write_frame(fd, encoded);
+}
+inline std::optional<std::vector<std::uint8_t>> read_message(int fd) {
+  return net::read_frame(fd);
+}
 
 }  // namespace cgs::serve

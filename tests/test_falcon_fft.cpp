@@ -118,6 +118,35 @@ TEST(Ntt, ForwardInverseRoundTrip) {
   }
 }
 
+TEST(Ntt, FastBitReversedPathMatchesReference) {
+  // The Shoup fast path (forward_br / pointwise_shoup / inverse_br, the
+  // VerificationService hot loop) must compute exactly the reference
+  // multiply(), bit-reversed internal ordering and all.
+  for (std::size_t n : {4u, 16u, 64u, 512u, 1024u}) {
+    const NttContext ntt(n);
+    std::mt19937_64 gen(n + 1);
+    std::vector<std::uint32_t> a(n), b(n);
+    for (auto& v : a) v = static_cast<std::uint32_t>(gen() % kQ);
+    for (auto& v : b) v = static_cast<std::uint32_t>(gen() % kQ);
+
+    // Round trip alone.
+    auto r = a;
+    ntt.forward_br(r);
+    ntt.inverse_br(r);
+    EXPECT_EQ(r, a) << n;
+
+    // Full product against the reference transform.
+    auto x = a, w = b;
+    ntt.forward_br(x);
+    ntt.forward_br(w);
+    std::vector<std::uint32_t> ws(n);
+    for (std::size_t i = 0; i < n; ++i) ws[i] = NttContext::shoup_factor(w[i]);
+    ntt.pointwise_shoup(x, w, ws);
+    ntt.inverse_br(x);
+    EXPECT_EQ(x, ntt.multiply(a, b)) << n;
+  }
+}
+
 TEST(Ntt, MultiplyMatchesSchoolbookModQ) {
   const std::size_t n = 32;
   const NttContext ntt(n);

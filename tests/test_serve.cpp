@@ -229,6 +229,12 @@ TEST(Dispatcher, ShutdownDrainsEveryAcceptedFuture) {
   }
   auto gauss = d.submit_gauss(25.0, 0.0, 1000);
   ASSERT_TRUE(gauss.ok());
+  auto keygen = d.submit_keygen(falcon::FalconParams::for_degree(64), 808);
+  ASSERT_TRUE(keygen.ok());
+  const falcon::Signature presigned =
+      d.signing_service().sign(key_a(), "drain 0");
+  auto verify = d.submit_verify(id, "drain 0", presigned);
+  ASSERT_TRUE(verify.ok());
 
   d.shutdown();
 
@@ -238,6 +244,8 @@ TEST(Dispatcher, ShutdownDrainsEveryAcceptedFuture) {
     EXPECT_TRUE(
         verifier.verify("drain " + std::to_string(i), futures[i].get()));
   EXPECT_EQ(gauss.future.get().size(), 1000u);
+  EXPECT_NE(keygen.future.get().key_id, 0u);
+  EXPECT_TRUE(verify.future.get());
 
   // After shutdown: typed rejection, no future.
   auto late = d.submit_sign(id, "too late");
@@ -245,6 +253,10 @@ TEST(Dispatcher, ShutdownDrainsEveryAcceptedFuture) {
   EXPECT_FALSE(late.future.valid());
   auto late_gauss = d.submit_gauss(25.0, 0.0, 10);
   EXPECT_EQ(late_gauss.status, SubmitStatus::kShutdown);
+  auto late_verify = d.submit_verify(id, "too late", presigned);
+  EXPECT_EQ(late_verify.status, SubmitStatus::kShutdown);
+  auto late_keygen = d.submit_keygen(falcon::FalconParams::for_degree(64), 1);
+  EXPECT_EQ(late_keygen.status, SubmitStatus::kShutdown);
 
   const MetricsSnapshot m = d.metrics();
   EXPECT_EQ(m.sign_completed(), 10u);
@@ -323,6 +335,95 @@ TEST(Dispatcher, GaussRequestsBatchPerTargetAndSliceCorrectly) {
   }
   EXPECT_EQ(gauss_completed, sizes.size());
   EXPECT_LE(gauss_batches, sizes.size());
+}
+
+TEST(Dispatcher, VerifyLaneBatchesVerdictsPerKey) {
+  DispatcherOptions opts = fast_options();
+  opts.max_batch = 8;
+  opts.verify_lanes = 2;
+  Dispatcher d(registry(), opts);
+  const std::uint64_t id_a = d.add_key(key_a());
+  const std::uint64_t id_b = d.add_key(key_b());
+
+  // Material to judge: signatures from both tenants.
+  std::vector<std::string> msgs_a, msgs_b;
+  std::vector<falcon::Signature> sigs_a, sigs_b;
+  for (int i = 0; i < 4; ++i) {
+    msgs_a.push_back("verdict A #" + std::to_string(i));
+    msgs_b.push_back("verdict B #" + std::to_string(i));
+    auto sa = d.submit_sign(id_a, msgs_a.back());
+    auto sb = d.submit_sign(id_b, msgs_b.back());
+    ASSERT_TRUE(sa.ok() && sb.ok());
+    sigs_a.push_back(sa.future.get());
+    sigs_b.push_back(sb.future.get());
+  }
+
+  // One mixed burst: genuine, tampered, and cross-key (a valid signature
+  // under the *other* tenant's key must be a clean rejection, not an
+  // error) — futures collected first so the lane can batch.
+  std::vector<std::future<bool>> expect_true, expect_false;
+  for (int i = 0; i < 4; ++i) {
+    auto good_a = d.submit_verify(id_a, msgs_a[static_cast<std::size_t>(i)],
+                                  sigs_a[static_cast<std::size_t>(i)]);
+    auto good_b = d.submit_verify(id_b, msgs_b[static_cast<std::size_t>(i)],
+                                  sigs_b[static_cast<std::size_t>(i)]);
+    falcon::Signature bent = sigs_a[static_cast<std::size_t>(i)];
+    bent.s1[static_cast<std::size_t>(i)] += 1;
+    auto tampered =
+        d.submit_verify(id_a, msgs_a[static_cast<std::size_t>(i)], bent);
+    auto cross = d.submit_verify(id_b, msgs_a[static_cast<std::size_t>(i)],
+                                 sigs_a[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(good_a.ok() && good_b.ok() && tampered.ok() && cross.ok());
+    expect_true.push_back(std::move(good_a.future));
+    expect_true.push_back(std::move(good_b.future));
+    expect_false.push_back(std::move(tampered.future));
+    expect_false.push_back(std::move(cross.future));
+  }
+  for (auto& f : expect_true) EXPECT_TRUE(f.get());
+  for (auto& f : expect_false) EXPECT_FALSE(f.get());
+
+  const MetricsSnapshot m = d.metrics();
+  EXPECT_EQ(m.verify_completed(), 16u);
+  EXPECT_EQ(m.verify_failed(), 0u);  // a "reject" verdict is a success
+  EXPECT_EQ(d.verification_service().num_cached_keys(), 2u);
+
+  // Unregistered key id is a caller bug, reported loudly.
+  EXPECT_THROW((void)d.submit_verify(id_a ^ id_b ^ 1, "x", sigs_a[0]), Error);
+}
+
+TEST(Dispatcher, KeygenLaneOnboardsTenantsDeterministically) {
+  DispatcherOptions opts = fast_options();
+  Dispatcher d(registry(), opts);
+
+  auto kg1 = d.submit_keygen(falcon::FalconParams::for_degree(64), 4242);
+  auto kg2 = d.submit_keygen(falcon::FalconParams::for_degree(64), 4243);
+  ASSERT_TRUE(kg1.ok() && kg2.ok());
+  const KeygenResult r1 = kg1.future.get();
+  const KeygenResult r2 = kg2.future.get();
+  EXPECT_NE(r1.key_id, r2.key_id);  // distinct seeds, distinct tenants
+  EXPECT_EQ(r1.public_h.size(), 64u);
+  ASSERT_NE(d.key(r1.key_id), nullptr);  // registered and ready to serve
+
+  // Same seed replays the same key; add_key idempotence folds them.
+  auto kg3 = d.submit_keygen(falcon::FalconParams::for_degree(64), 4242);
+  ASSERT_TRUE(kg3.ok());
+  EXPECT_EQ(kg3.future.get().key_id, r1.key_id);
+
+  // The fresh tenant is immediately usable for the whole lifecycle.
+  auto sub = d.submit_sign(r1.key_id, "fresh tenant message");
+  ASSERT_TRUE(sub.ok());
+  const falcon::Signature sig = sub.future.get();
+  auto verdict = d.submit_verify(r1.key_id, "fresh tenant message", sig);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict.future.get());
+  // And the wire-facing public key verifies it too.
+  const falcon::Verifier verifier(r1.public_h, r1.params);
+  EXPECT_TRUE(verifier.verify("fresh tenant message", sig));
+
+  const MetricsSnapshot m = d.metrics();
+  EXPECT_EQ(m.keygen_completed(), 3u);
+  EXPECT_EQ(m.keygen_failed(), 0u);
+  ASSERT_EQ(m.keygen_lanes.size(), 1u);  // always exactly one: isolation
 }
 
 // Concurrent batches on different keys overlap on disjoint worker subsets
@@ -412,6 +513,65 @@ TEST(Wire, SignResponseRoundTripThroughSignature) {
   EXPECT_FALSE(err_decoded.ok);
   EXPECT_EQ(err_decoded.error, "queue-full");
   EXPECT_THROW((void)err_decoded.to_signature(), serial::SerialError);
+}
+
+TEST(Wire, VerifyFramesRoundTrip) {
+  DispatcherOptions opts = fast_options();
+  Dispatcher d(registry(), opts);
+  const std::uint64_t id = d.add_key(key_a());
+  auto sub = d.submit_sign(id, "verify wire");
+  ASSERT_TRUE(sub.ok());
+  const falcon::Signature sig = sub.future.get();
+
+  const auto req = VerifyRequestFrame::make(77, id, "verify wire", sig);
+  const auto encoded = encode(req);
+  EXPECT_EQ(serial::peek_tag(std::span(encoded).subspan(4)),
+            serial::TypeTag::kVerifyRequest);
+  const auto decoded = decode_verify_request(std::span(encoded).subspan(4));
+  EXPECT_EQ(decoded.request_id, 77u);
+  EXPECT_EQ(decoded.key_id, id);
+  EXPECT_EQ(decoded.message, "verify wire");
+  const falcon::Signature back = decoded.to_signature();
+  EXPECT_EQ(back.nonce, sig.nonce);
+  EXPECT_EQ(back.s1, sig.s1);
+
+  for (const bool accepted : {true, false}) {
+    const auto bytes = encode(VerifyResponseFrame::verdict(78, accepted));
+    const auto r = decode_verify_response(std::span(bytes).subspan(4));
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.accepted, accepted);
+  }
+  const auto err_bytes = encode(VerifyResponseFrame::failure(79, "queue-full"));
+  const auto err = decode_verify_response(std::span(err_bytes).subspan(4));
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.error, "queue-full");
+}
+
+TEST(Wire, KeygenFramesRoundTrip) {
+  KeygenRequestFrame req;
+  req.request_id = 5;
+  req.degree = 128;
+  req.seed = 0xfeed5eed;
+  const auto encoded = encode(req);
+  EXPECT_EQ(serial::peek_tag(std::span(encoded).subspan(4)),
+            serial::TypeTag::kKeygenRequest);
+  const auto decoded = decode_keygen_request(std::span(encoded).subspan(4));
+  EXPECT_EQ(decoded.request_id, 5u);
+  EXPECT_EQ(decoded.degree, 128u);
+  EXPECT_EQ(decoded.seed, 0xfeed5eedu);
+
+  const auto ok_bytes = encode(
+      KeygenResponseFrame::success(6, 0x1234, key_a().h, key_a().params.n));
+  const auto r = decode_keygen_response(std::span(ok_bytes).subspan(4));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.key_id, 0x1234u);
+  EXPECT_EQ(r.degree, key_a().params.n);
+  EXPECT_EQ(r.h, key_a().h);  // u16 coding is lossless below q
+
+  const auto err_bytes = encode(KeygenResponseFrame::failure(7, "solver died"));
+  const auto err = decode_keygen_response(std::span(err_bytes).subspan(4));
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.error, "solver died");
 }
 
 TEST(Wire, CorruptionAndForeignFramesAreRejected) {

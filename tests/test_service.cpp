@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <limits>
 
+#include "ct/compiled_sampler.h"
 #include "engine/registry.h"
 #include "engine/service.h"
 #include "serial/formats.h"
@@ -264,6 +265,64 @@ TEST(Service, NonSynthesizedTargetPassesAcceptance) {
   EXPECT_TRUE(acc.accepted()) << acc.describe();
   EXPECT_GE(acc.chi.p_value, 1e-4) << acc.describe();
   EXPECT_LE(acc.renyi, 1.0 + 1e-3) << acc.describe();
+}
+
+// -------------------------------------------- cross-backend differential ---
+
+// The engine consumes randomness in the wide order on every backend, so
+// the whole service stack above it — recipes, convolver, rounding — must
+// produce bit-identical streams whichever backend serves a target. A
+// (sigma, c) grid covering integer/fractional/negative centers and both
+// synthesized-adjacent and far targets, differentially across
+// compiled (when a host compiler exists) / wide / bitsliced.
+TEST(ServiceBackendDifferential, IdenticalStreamsAcrossBackendsOnSigmaCGrid) {
+  SamplerRegistry reg({.cache_dir = shared_dir()});
+  const struct {
+    double sigma, center;
+  } grid[] = {{20.0, 0.0}, {20.0, 0.5}, {271.4, 0.5}, {64.0, -3.25}};
+
+  for (const auto& target : grid) {
+    // The compiled backend joins on the first grid point only — hosting
+    // the netlist C costs seconds per target and the kernel is already
+    // held bit-identical to the interpreters at sampler level
+    // (test_compiled); one service-level point pins the integration.
+    std::vector<Backend> backends = {Backend::kWide, Backend::kBitsliced};
+    if (&target == &grid[0] && ct::CompiledKernel::is_available())
+      backends.push_back(Backend::kCompiled);
+
+    std::vector<std::vector<std::int32_t>> streams;
+    for (const Backend backend : backends) {
+      GaussianService svc(reg, {.backend = backend, .num_threads = 2,
+                                .root_seed = 616});
+      streams.push_back(svc.sample(target.sigma, target.center, 40000));
+    }
+    for (std::size_t b = 1; b < streams.size(); ++b)
+      EXPECT_EQ(streams[0], streams[b])
+          << "sigma=" << target.sigma << " c=" << target.center
+          << " backend " << backend_name(backends[b]) << " diverged from "
+          << backend_name(backends[0]);
+  }
+}
+
+// Chi-square + Renyi acceptance on the service path the verification lane
+// sits next to: what the dispatcher's gauss lane serves while sign/verify
+// traffic runs must still be the designed distribution, whichever
+// backend. (The signing-side base streams are covered by the signature
+// verification itself: every signature in test_verify's 1k differential
+// is a draw from these streams that verified.)
+TEST(ServiceBackendDifferential, GridTargetPassesAcceptanceOnBothInterpreters) {
+  SamplerRegistry reg({.cache_dir = shared_dir()});
+  for (const Backend backend : {Backend::kWide, Backend::kBitsliced}) {
+    GaussianService svc(reg, {.backend = backend, .num_threads = 2,
+                              .root_seed = 909});
+    const auto recipe = svc.plan(64.0, -3.25);
+    const auto v = svc.sample(64.0, -3.25, 200000);
+    const gauss::ProbMatrix base(recipe.base);
+    const auto acc = stats::accept_convolution(v, base, recipe);
+    EXPECT_TRUE(acc.accepted())
+        << backend_name(backend) << ": " << acc.describe();
+    EXPECT_GE(acc.chi.p_value, 1e-4) << acc.describe();
+  }
 }
 
 TEST(Acceptance, RenyiRejectsCombViolatingPlan) {
