@@ -12,13 +12,18 @@
 //      kQueueFull), which the MicroBatcher turns into full bit-sliced
 //      batches fanned across every worker;
 //   3. idle      — single in-flight requests (submit, wait, repeat): the
-//      price one lone client pays for batching is bounded by the linger.
+//      price one lone client pays for batching is bounded by the linger;
+//   4. tracing   — the same storm twice more on fresh dispatchers, once
+//      with request tracing disabled (sample_every = 0: the off path is a
+//      single branch per submit) and once at the default 1-in-64
+//      sampling, to price the observability layer itself.
 //
-// Self-check gates (ISSUE 4 acceptance):
+// Self-check gates (ISSUE 4 + PR 6 acceptance):
 //   - every returned signature verifies             (always gated)
 //   - mean achieved batch occupancy >= 32 at load   (always gated)
 //   - load throughput >= 2x the baseline            (timing gate)
 //   - idle p99 latency <= 2 * max_linger_us         (timing gate)
+//   - sampled-tracing throughput >= 0.90x tracing-off (timing gate)
 // Timing gates are skipped when CGS_BENCH_SKIP_TIMING_GATE is set (shared
 // CI runners jitter both wall-clock and core availability).
 //
@@ -170,9 +175,60 @@ int main(int argc, char** argv) {
   const double idle_p50 = idle_us[idle_us.size() / 2];
   const double idle_p99 = idle_us[idle_us.size() * 99 / 100];
   std::printf("idle:     p50 %.0f us, p99 %.0f us single in-flight "
-              "(linger %llu us)\n\n",
+              "(linger %llu us)\n",
               idle_p50, idle_p99,
               static_cast<unsigned long long>(kLingerUs));
+
+  // 4. Instrumentation overhead: identical storms on fresh dispatchers,
+  // tracing fully off vs sampled at the default rate. Everything else
+  // (lanes, batching, key, request count) held constant.
+  const auto storm_rate = [&](serve::Dispatcher& d, std::uint64_t kid) {
+    (void)d.submit_sign(kid, "warmup").future.get();
+    std::vector<std::future<falcon::Signature>> futs(n_requests);
+    std::atomic<std::size_t> idx{0};
+    const auto t0 = Clock::now();
+    std::vector<std::thread> storm;
+    for (unsigned c = 0; c < n_clients; ++c) {
+      storm.emplace_back([&] {
+        while (true) {
+          const std::size_t i = idx.fetch_add(1);
+          if (i >= n_requests) return;
+          while (true) {
+            auto sub = d.submit_sign(kid, "trace " + std::to_string(i));
+            if (sub.ok()) {
+              futs[i] = std::move(sub.future);
+              break;
+            }
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    for (auto& t : storm) t.join();
+    for (std::size_t i = 0; i < n_requests; ++i) {
+      const falcon::Signature sig = futs[i].get();
+      if (i % 17 == 0 && !verifier.verify("trace " + std::to_string(i), sig))
+        all_verified = false;
+    }
+    return static_cast<double>(n_requests) / ms_since(t0) * 1e3;
+  };
+  serve::DispatcherOptions off_opts = opts;
+  off_opts.trace.sample_every = 0;  // tracing off: one branch per submit
+  const std::uint32_t sample_every = opts.trace.sample_every;
+  double off_rate, traced_rate;
+  {
+    serve::Dispatcher off_dispatcher(reg, off_opts);
+    off_rate = storm_rate(off_dispatcher, off_dispatcher.add_key(kp));
+  }
+  {
+    serve::Dispatcher traced_dispatcher(reg, opts);
+    traced_rate =
+        storm_rate(traced_dispatcher, traced_dispatcher.add_key(kp));
+  }
+  const double tracing_overhead_pct = (1.0 - traced_rate / off_rate) * 100.0;
+  std::printf("tracing:  %8.0f signs/s off, %8.0f signs/s sampled 1-in-%u "
+              "(overhead %+.1f%%)\n\n",
+              off_rate, traced_rate, sample_every, tracing_overhead_pct);
 
   if (!args.json_path.empty()) {
     benchutil::JsonWriter json;
@@ -195,6 +251,10 @@ int main(int argc, char** argv) {
         .field("load_p99_us", after_load.p99_us)
         .field("idle_p50_us", idle_p50)
         .field("idle_p99_us", idle_p99)
+        .field("trace_sample_every", sample_every)
+        .field("tracing_off_signs_per_sec", off_rate)
+        .field("tracing_sampled_signs_per_sec", traced_rate)
+        .field("tracing_overhead_pct", tracing_overhead_pct)
         .field("all_verified", all_verified)
         .end_object();
     json.write_file(args.json_path);
@@ -224,6 +284,11 @@ int main(int argc, char** argv) {
   if (gate_timing && idle_p99 > 2.0 * static_cast<double>(kLingerUs)) {
     std::printf("FAIL: idle p99 %.0f us > 2x linger (%llu us)\n", idle_p99,
                 static_cast<unsigned long long>(2 * kLingerUs));
+    return 1;
+  }
+  if (gate_timing && traced_rate < 0.90 * off_rate) {
+    std::printf("FAIL: sampled tracing costs %.1f%% throughput (> 10%%)\n",
+                tracing_overhead_pct);
     return 1;
   }
   std::printf("OK: occupancy %.1f >= 32, every signature verified%s\n",

@@ -2,17 +2,20 @@
 // Shared plumbing for the standalone bench mains: steady-clock timing, the
 // common "[n_samples] [--json FILE]" argument convention, and the one JSON
 // writer every `--json` bench emits through — so the per-PR BENCH_*.json
-// artifacts parse and measure identically across benches.
+// artifacts parse and measure identically across benches. The writer
+// itself lives in common/json.h now (the obs exporters share it).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
-#include <vector>
+
+#include "common/json.h"
 
 namespace cgs::benchutil {
+
+using JsonWriter = cgs::JsonWriter;
 
 using Clock = std::chrono::steady_clock;
 
@@ -35,115 +38,5 @@ inline Args parse(int argc, char** argv) {
   }
   return args;
 }
-
-/// Streaming JSON emitter with automatic comma placement: begin/end nest,
-/// field() inside objects, item() inside arrays. Numbers round-trip
-/// (%.17g doubles), strings get minimal escaping. The writer trusts its
-/// caller to nest correctly — these are hand-assembled bench reports, not
-/// arbitrary data — but misnesting still produces visibly broken JSON
-/// rather than silent reordering.
-class JsonWriter {
- public:
-  JsonWriter& begin_object(const char* key = nullptr) {
-    open(key, '{');
-    return *this;
-  }
-  JsonWriter& end_object() { return close('}'); }
-  JsonWriter& begin_array(const char* key = nullptr) {
-    open(key, '[');
-    return *this;
-  }
-  JsonWriter& end_array() { return close(']'); }
-
-  JsonWriter& field(const char* key, double v) { return kv(key, num(v)); }
-  JsonWriter& field(const char* key, std::size_t v) {
-    return kv(key, std::to_string(v));
-  }
-  JsonWriter& field(const char* key, int v) {
-    return kv(key, std::to_string(v));
-  }
-  JsonWriter& field(const char* key, unsigned v) {
-    return kv(key, std::to_string(v));
-  }
-  JsonWriter& field(const char* key, bool v) {
-    return kv(key, v ? "true" : "false");
-  }
-  JsonWriter& field(const char* key, const char* v) {
-    return kv(key, quoted(v));
-  }
-  JsonWriter& field(const char* key, const std::string& v) {
-    return kv(key, quoted(v));
-  }
-
-  JsonWriter& item(double v) { return raw_item(num(v)); }
-  JsonWriter& item(std::size_t v) { return raw_item(std::to_string(v)); }
-  JsonWriter& item(int v) { return raw_item(std::to_string(v)); }
-  JsonWriter& item(const char* v) { return raw_item(quoted(v)); }
-
-  const std::string& str() const { return out_; }
-
-  /// Write the document and report where it went; false on I/O failure.
-  bool write_file(const std::string& path) const {
-    std::ofstream f(path);
-    if (!f) return false;
-    f << out_ << "\n";
-    if (!f) return false;
-    std::printf("json written to %s\n", path.c_str());
-    return true;
-  }
-
- private:
-  static std::string num(double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return buf;
-  }
-  static std::string quoted(const std::string& s) {
-    std::string q = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') {
-        q += '\\';
-        q += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof buf, "\\u%04x", c);
-        q += buf;
-      } else {
-        q += c;
-      }
-    }
-    return q + "\"";
-  }
-  void comma() {
-    if (!first_.empty()) {
-      if (!first_.back()) out_ += ", ";
-      first_.back() = false;
-    }
-  }
-  void open(const char* key, char brace) {
-    comma();
-    if (key) out_ += quoted(key) + ": ";
-    out_ += brace;
-    first_.push_back(true);
-  }
-  JsonWriter& close(char brace) {
-    first_.pop_back();
-    out_ += brace;
-    return *this;
-  }
-  JsonWriter& kv(const char* key, const std::string& rendered) {
-    comma();
-    out_ += quoted(key) + ": " + rendered;
-    return *this;
-  }
-  JsonWriter& raw_item(const std::string& rendered) {
-    comma();
-    out_ += rendered;
-    return *this;
-  }
-
-  std::string out_;
-  std::vector<bool> first_;
-};
 
 }  // namespace cgs::benchutil

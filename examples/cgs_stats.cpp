@@ -1,0 +1,123 @@
+// Scrape a running protocol server's metrics over the wire: connect,
+// send one kStatsRequest, print the exposition document. The default
+// output is the Prometheus text format (pipe it straight into a
+// file_sd-style bridge); --json asks the server for the JSON summary
+// instead.
+//
+// --check turns the tool into a smoke probe: after printing, it
+// asserts the exposition actually carries the instrumentation a
+// healthy server must expose — the per-stage trace histograms
+// (queue-wait / linger / compute), the open-connections gauge, and
+// hit/miss counters for all three per-key caches — and exits nonzero
+// when anything is missing. The ctest scrape smoke runs exactly this.
+//
+// Usage: cgs_stats <port> [--json] [--check]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "serve/wire.h"
+
+namespace {
+
+using namespace cgs;
+
+/// The metric names a live scrape must contain for --check to pass.
+/// Kept to names that exist in both exposition formats.
+const char* const kRequiredMetrics[] = {
+    // Per-stage request tracing (Dispatcher lifecycle histograms).
+    "cgs_trace_queue_wait_us",
+    "cgs_trace_linger_us",
+    "cgs_trace_compute_us",
+    // Transport health.
+    "cgs_net_connections_open",
+    // All three per-key caches, hits and misses.
+    "cgs_cache_ffldl_tree_hits_total",
+    "cgs_cache_ffldl_tree_misses_total",
+    "cgs_cache_ntt_key_hits_total",
+    "cgs_cache_ntt_key_misses_total",
+    "cgs_cache_recipe_hits_total",
+    "cgs_cache_recipe_misses_total",
+};
+
+int check_exposition(const std::string& text, serve::StatsFormat format) {
+  int missing = 0;
+  if (text.empty()) {
+    std::fprintf(stderr, "cgs_stats: check failed: empty exposition\n");
+    return 1;
+  }
+  if (format == serve::StatsFormat::kPrometheus &&
+      text.find("# TYPE") == std::string::npos) {
+    std::fprintf(stderr, "cgs_stats: check failed: no # TYPE lines\n");
+    ++missing;
+  }
+  for (const char* name : kRequiredMetrics) {
+    if (text.find(name) == std::string::npos) {
+      std::fprintf(stderr, "cgs_stats: check failed: missing metric %s\n",
+                   name);
+      ++missing;
+    }
+  }
+  return missing;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: cgs_stats <port> [--json] [--check]\n");
+    return 2;
+  }
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(std::strtoul(argv[1], nullptr, 10));
+  serve::StatsFormat format = serve::StatsFormat::kPrometheus;
+  bool check = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      format = serve::StatsFormat::kJson;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "cgs_stats: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  try {
+    net::Client client(port);
+    serve::StatsRequestFrame req;
+    req.request_id = 1;
+    req.format = format;
+    if (!client.send(serve::encode(req))) {
+      std::fprintf(stderr, "cgs_stats: send failed\n");
+      return 1;
+    }
+    const auto frame = client.read();
+    if (!frame) {
+      std::fprintf(stderr, "cgs_stats: connection closed before response\n");
+      return 1;
+    }
+    const serve::StatsResponseFrame resp = serve::decode_stats_response(*frame);
+    if (!resp.ok) {
+      std::fprintf(stderr, "cgs_stats: server error: %s\n",
+                   resp.error.c_str());
+      return 1;
+    }
+    std::fputs(resp.text.c_str(), stdout);
+    if (!resp.text.empty() && resp.text.back() != '\n') std::fputc('\n', stdout);
+    if (check) {
+      const int missing = check_exposition(resp.text, resp.format);
+      if (missing != 0) return 1;
+      std::fprintf(stderr, "cgs_stats: check passed (%zu required metrics)\n",
+                   sizeof(kRequiredMetrics) / sizeof(kRequiredMetrics[0]));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cgs_stats: %s\n", e.what());
+    return 1;
+  }
+}

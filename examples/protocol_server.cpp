@@ -7,12 +7,27 @@
 // respectively. Exits nonzero on any failure (this example doubles as a
 // ctest smoke test for the mixed-traffic path, including shutdown drain).
 //
+// The dispatcher and the epoll server share one obs::Registry, so a
+// kStatsRequest frame (or the cgs_stats CLI) sees serving-lane,
+// transport and cache metrics in a single exposition. After the client
+// storm the server prints that exposition — before shutdown, because
+// shutdown unregisters the callback-backed gauges (queue depths, open
+// connections, cache bridges).
+//
 // Usage: protocol_server [degree] [clients] [requests_per_client]
+//                        [--stats-exec <path-to-cgs_stats>]
+//
+// --stats-exec runs `<path> <port> --check` against the live server and
+// fails the run unless the scrape exits 0 — the ctest scrape smoke.
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
@@ -26,6 +41,8 @@
 #include "falcon/verify.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/export.h"
+#include "obs/registry.h"
 #include "serial/serial.h"
 #include "serve/dispatcher.h"
 #include "serve/wire.h"
@@ -175,6 +192,20 @@ void handle_frame(serve::Dispatcher& dispatcher, net::EpollServer& server,
         });
         return;
       }
+      case serial::TypeTag::kStatsRequest: {
+        // Answered inline on the loop thread: a registry walk is cheap
+        // and the handler runs with the server's lock released, so the
+        // connections-open gauge callback can re-enter active_connections
+        // without deadlocking.
+        const serve::StatsRequestFrame req = serve::decode_stats_request(frame);
+        const obs::Registry& registry = dispatcher.obs_registry();
+        std::string text = req.format == serve::StatsFormat::kJson
+                               ? obs::json_text(registry)
+                               : obs::prometheus_text(registry);
+        server.send(conn, serve::encode(serve::StatsResponseFrame::success(
+                              req.request_id, req.format, std::move(text))));
+        return;
+      }
       default:
         server.send(conn, serve::encode(serve::VerifyResponseFrame::failure(
                               0, "unsupported request type")));
@@ -315,10 +346,23 @@ ClientOutcome run_client(std::uint16_t port, std::size_t degree,
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<const char*> positional;
+  const char* stats_exec = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-exec") == 0 && i + 1 < argc) {
+      stats_exec = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
   const std::size_t degree =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
-  const int num_clients = argc > 2 ? std::atoi(argv[2]) : 4;
-  const int per_client = argc > 3 ? std::atoi(argv[3]) : 6;
+      positional.size() > 0 ? std::strtoull(positional[0], nullptr, 10) : 128;
+  const int num_clients = positional.size() > 1 ? std::atoi(positional[1]) : 4;
+  const int per_client = positional.size() > 2 ? std::atoi(positional[2]) : 6;
+
+  // One registry for everything: serving lanes, tracing, caches and the
+  // transport all expose through it, so one scrape sees the whole stack.
+  obs::Registry registry;
 
   serve::DispatcherOptions opts;
   opts.max_batch = 32;
@@ -326,13 +370,17 @@ int main(int argc, char** argv) {
   opts.sign_lanes = 2;
   opts.verify_lanes = 2;
   opts.signing.root_seed = 0x5E7F0;
+  opts.obs_registry = &registry;
   serve::Dispatcher dispatcher(engine::SamplerRegistry::global(), opts);
 
   CompletionPool pool(2);
+  net::ServerOptions sopts;
+  sopts.registry = &registry;
   net::EpollServer server(
       [&](std::uint64_t conn, std::vector<std::uint8_t> frame) {
         handle_frame(dispatcher, server, pool, conn, std::move(frame));
-      });
+      },
+      sopts);
   std::printf("== serving full protocol on 127.0.0.1:%u "
               "(%d clients x %d requests, N = %zu) ==\n",
               server.port(), num_clients, per_client, degree);
@@ -356,6 +404,33 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& t : clients) t.join();
+
+  // Live scrape against the still-serving socket: fork/exec the cgs_stats
+  // probe in --check mode and require a clean exit. Runs after the storm
+  // so lane, trace and cache counters are populated.
+  bool stats_ok = true;
+  if (stats_exec != nullptr) {
+    const std::string port_str = std::to_string(server.port());
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execl(stats_exec, stats_exec, port_str.c_str(), "--check",
+              static_cast<char*>(nullptr));
+      std::fprintf(stderr, "protocol_server: exec %s failed\n", stats_exec);
+      std::_Exit(127);
+    }
+    int wstatus = 0;
+    if (pid < 0 || ::waitpid(pid, &wstatus, 0) != pid ||
+        !WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+      std::fprintf(stderr, "protocol_server: stats scrape failed\n");
+      stats_ok = false;
+    }
+  }
+
+  // The exposition must print before shutdown: shutting down unregisters
+  // the callback-backed instruments (queue depths, cache bridges, open
+  // connections), which would otherwise vanish from the dump.
+  std::printf("\n== final metrics (prometheus exposition) ==\n%s",
+              obs::prometheus_text(registry).c_str());
 
   const std::size_t force_closed = server.shutdown();
   dispatcher.shutdown();
@@ -398,7 +473,7 @@ int main(int argc, char** argv) {
   const bool ok = keygens == num_clients && signed_ok == total &&
                   local_verified == total && good_accepted == total &&
                   tampered_rejected == total && protocol_errors == 0 &&
-                  force_closed == 0;
+                  force_closed == 0 && stats_ok;
   std::printf("\n%s\n", ok ? "all checks passed" : "A CHECK FAILED");
   return ok ? 0 : 1;
 }

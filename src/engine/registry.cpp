@@ -120,7 +120,12 @@ SamplerRegistry::SamplerPtr SamplerRegistry::get(
   const Entry& entry = future.get();  // rethrows a materialization failure
   // Only the call that did the work reports disk/synthesis; everyone later
   // (or anyone who waited on the in-flight future) got it from memory.
-  if (source) *source = creator ? entry.source : Source::kMemory;
+  const Source src = creator ? entry.source : Source::kMemory;
+  if (src == Source::kSynthesized)
+    netlist_misses_.fetch_add(1, std::memory_order_relaxed);
+  else
+    netlist_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (source) *source = src;
   return entry.sampler;
 }
 
@@ -176,6 +181,7 @@ gauss::ConvolutionRecipe SamplerRegistry::get_recipe(double target_sigma,
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (auto it = recipes_.find(key); it != recipes_.end()) {
+      recipe_hits_.fetch_add(1, std::memory_order_relaxed);
       if (source) *source = Source::kMemory;
       return it->second;
     }
@@ -204,6 +210,10 @@ gauss::ConvolutionRecipe SamplerRegistry::get_recipe(double target_sigma,
     }
   }
 
+  if (loaded)
+    recipe_hits_.fetch_add(1, std::memory_order_relaxed);
+  else
+    recipe_misses_.fetch_add(1, std::memory_order_relaxed);
   if (!loaded) {
     const auto bases = gauss::default_recipe_bases(base_precision);
     recipe = gauss::plan_recipe(target_sigma, target_center, bases, eps);
@@ -223,6 +233,24 @@ gauss::ConvolutionRecipe SamplerRegistry::get_recipe(double target_sigma,
   }
   if (source) *source = src;
   return recipe;
+}
+
+obs::CacheStats SamplerRegistry::netlist_cache_stats() const {
+  obs::CacheStats stats;
+  stats.hits = netlist_hits_.load(std::memory_order_relaxed);
+  stats.misses = netlist_misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.entries = cache_.size();
+  return stats;
+}
+
+obs::CacheStats SamplerRegistry::recipe_cache_stats() const {
+  obs::CacheStats stats;
+  stats.hits = recipe_hits_.load(std::memory_order_relaxed);
+  stats.misses = recipe_misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.entries = recipes_.size();
+  return stats;
 }
 
 void SamplerRegistry::clear_memory() {

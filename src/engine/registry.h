@@ -16,6 +16,7 @@
 // Corrupted, truncated or version-skewed cache files are rejected by the
 // serial layer and silently fall back to re-synthesis (then overwritten).
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,7 @@
 #include "ct/synthesis.h"
 #include "gauss/params.h"
 #include "gauss/recipe.h"
+#include "obs/metric.h"
 
 namespace cgs::engine {
 
@@ -88,6 +90,13 @@ class SamplerRegistry {
   /// cache-hierarchy benches.
   void clear_memory();
 
+  /// Netlist (synthesized-sampler) cache totals: a hit is a get() served
+  /// from the memo or from a disk frame, a miss is a synthesis.
+  obs::CacheStats netlist_cache_stats() const;
+  /// Recipe cache totals: a hit is a get_recipe() served from the memo or
+  /// a disk frame, a miss is a plan_recipe run.
+  obs::CacheStats recipe_cache_stats() const;
+
   /// Process-wide instance (reads $CGS_CACHE_DIR at first use).
   static SamplerRegistry& global();
 
@@ -102,7 +111,7 @@ class SamplerRegistry {
                     const std::string& key) const;
 
   Options options_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_future<Entry>> cache_;
   // Bumped by clear_memory(); a failed creator only erases its own entry if
   // the map has not been wiped (and possibly repopulated) since it inserted.
@@ -112,6 +121,12 @@ class SamplerRegistry {
   // the same mutex (no in-flight future machinery needed — a duplicated
   // concurrent plan is harmless and both sides compute the same recipe).
   std::unordered_map<std::string, gauss::ConvolutionRecipe> recipes_;
+
+  // Cache accounting (atomics: hits are counted after mu_ is dropped).
+  std::atomic<std::uint64_t> netlist_hits_{0};
+  std::atomic<std::uint64_t> netlist_misses_{0};
+  std::atomic<std::uint64_t> recipe_hits_{0};
+  std::atomic<std::uint64_t> recipe_misses_{0};
 };
 
 }  // namespace cgs::engine

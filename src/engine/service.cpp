@@ -83,6 +83,7 @@ GaussianService::Stream& GaussianService::stream_for(double sigma,
 void GaussianService::sample(double sigma, double center,
                              std::span<std::int32_t> out) {
   if (out.empty()) return;
+  samples_served_.fetch_add(out.size(), std::memory_order_relaxed);
   Stream& s = stream_for(sigma, center);
   std::lock_guard<std::mutex> lock(s.mu);
   for (std::size_t pos = 0; pos < out.size(); pos += kMaxChunk) {

@@ -17,6 +17,7 @@
 // and the canonical recipe key, so targets never share PRNG state and the
 // order targets are first requested in does not matter.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -64,6 +65,11 @@ class GaussianService {
   /// Number of distinct targets materialized so far.
   std::size_t num_streams() const;
 
+  /// Lifetime count of samples handed out across every target.
+  std::uint64_t samples_served() const {
+    return samples_served_.load(std::memory_order_relaxed);
+  }
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -91,6 +97,7 @@ class GaussianService {
   // (keyed by the registry-memoized synth instance): hosting the netlist C
   // takes seconds per compile, and two targets often share a ladder rung.
   std::map<const void*, std::shared_ptr<const ct::CompiledKernel>> kernels_;
+  std::atomic<std::uint64_t> samples_served_{0};
 };
 
 }  // namespace cgs::engine

@@ -86,8 +86,10 @@ std::shared_ptr<const FalconTree> SigningService::tree_for(
   if (auto it = trees_.find(fp); it != trees_.end()) {
     CGS_CHECK_MSG(it->second.f == kp.f && it->second.g == kp.g,
                   "key fingerprint collision in the tree cache");
+    ++tree_hits_;
     return it->second.tree;
   }
+  ++tree_misses_;
   auto tree = std::make_shared<const FalconTree>(kp);
   trees_.emplace(fp, TreeEntry{kp.f, kp.g, tree});
   return tree;
@@ -227,6 +229,11 @@ std::uint64_t SigningService::rejections() const {
 std::size_t SigningService::num_cached_trees() const {
   std::lock_guard<std::mutex> lock(tree_mu_);
   return trees_.size();
+}
+
+obs::CacheStats SigningService::tree_cache_stats() const {
+  std::lock_guard<std::mutex> lock(tree_mu_);
+  return {tree_hits_, tree_misses_, trees_.size()};
 }
 
 }  // namespace cgs::falcon

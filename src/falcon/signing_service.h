@@ -44,6 +44,7 @@
 #include "engine/engine.h"
 #include "engine/registry.h"
 #include "falcon/sign.h"
+#include "obs/metric.h"
 
 namespace cgs::falcon {
 
@@ -90,6 +91,10 @@ class SigningService {
   /// Number of distinct keys whose ffLDL tree is cached.
   std::size_t num_cached_trees() const;
 
+  /// ffLDL tree cache hit/miss/size totals (a miss is a tree build —
+  /// the expensive per-key setup the cache exists to amortize).
+  obs::CacheStats tree_cache_stats() const;
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
   engine::Backend backend() const;
   const SigningOptions& options() const { return options_; }
@@ -126,6 +131,8 @@ class SigningService {
   std::condition_variable pool_cv_;
   mutable std::mutex tree_mu_;
   std::map<std::uint64_t, TreeEntry> trees_;
+  std::uint64_t tree_hits_ = 0;    // guarded by tree_mu_
+  std::uint64_t tree_misses_ = 0;  // guarded by tree_mu_
 };
 
 }  // namespace cgs::falcon

@@ -48,8 +48,10 @@ VerificationService::entry_for(const std::vector<std::uint32_t>& h,
     CGS_CHECK_MSG(it->second->h == h &&
                       it->second->params.bound_sq() == params.bound_sq(),
                   "public key fingerprint collision in the verify cache");
+    ++key_hits_;
     return it->second;
   }
+  ++key_misses_;
   auto entry = std::make_shared<KeyEntry>();
   entry->h = h;
   entry->params = params;
@@ -206,6 +208,11 @@ std::vector<std::uint8_t> VerificationService::verify_many(
 std::size_t VerificationService::num_cached_keys() const {
   std::lock_guard<std::mutex> lock(keys_mu_);
   return keys_.size();
+}
+
+obs::CacheStats VerificationService::key_cache_stats() const {
+  std::lock_guard<std::mutex> lock(keys_mu_);
+  return {key_hits_, key_misses_, keys_.size()};
 }
 
 VerifyStats VerificationService::stats() const {

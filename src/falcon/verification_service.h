@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "falcon/sign.h"
+#include "obs/metric.h"
 
 namespace cgs::falcon {
 
@@ -76,6 +77,10 @@ class VerificationService {
   /// Number of distinct public keys cached in NTT form.
   std::size_t num_cached_keys() const;
 
+  /// NTT-domain key cache hit/miss/size totals (a miss is a forward
+  /// transform plus Shoup precomputation).
+  obs::CacheStats key_cache_stats() const;
+
   /// Lifetime totals (reflects completed calls).
   VerifyStats stats() const;
 
@@ -109,6 +114,8 @@ class VerificationService {
   VerificationOptions options_;
   mutable std::mutex keys_mu_;
   std::map<std::uint64_t, std::shared_ptr<const KeyEntry>> keys_;
+  std::uint64_t key_hits_ = 0;    // guarded by keys_mu_
+  std::uint64_t key_misses_ = 0;  // guarded by keys_mu_
   mutable std::mutex stats_mu_;
   VerifyStats stats_;
 };

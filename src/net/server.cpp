@@ -20,12 +20,33 @@ namespace {
 constexpr std::uint64_t kListenerId = 0;
 constexpr std::uint64_t kWakeId = 1;
 
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 EpollServer::EpollServer(FrameHandler on_frame, ServerOptions options)
-    : on_frame_(std::move(on_frame)), options_(options) {
+    : on_frame_(std::move(on_frame)),
+      options_(options),
+      owned_obs_(options.registry ? nullptr : new obs::Registry()),
+      obs_(options.registry ? options.registry : owned_obs_.get()),
+      conns_accepted_(obs_->counter("cgs_net_connections_accepted_total")),
+      conns_closed_(obs_->counter("cgs_net_connections_closed_total")),
+      bytes_in_(obs_->counter("cgs_net_bytes_read_total")),
+      bytes_out_(obs_->counter("cgs_net_bytes_written_total")),
+      frames_decoded_(obs_->counter("cgs_net_frames_decoded_total")),
+      frames_corrupt_(obs_->counter("cgs_net_frames_corrupt_total")),
+      write_buffer_hwm_(obs_->gauge("cgs_net_write_buffer_high_water_bytes")),
+      write_stall_us_(obs_->histogram("cgs_net_write_stall_us")) {
   CGS_CHECK_MSG(on_frame_, "epoll server needs a frame handler");
   CGS_CHECK_MSG(options_.max_frame >= 4, "max_frame too small to frame");
+  obs_->gauge_fn("cgs_net_connections_open", [this] {
+    return static_cast<double>(active_connections());
+  });
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
@@ -75,7 +96,9 @@ bool EpollServer::send(std::uint64_t conn_id,
     auto it = conns_.find(conn_id);
     if (it == conns_.end()) return false;
     Connection& conn = *it->second;
-    conn.out.push_back(std::move(encoded));
+    conn.out_bytes += encoded.size();
+    write_buffer_hwm_.max_of(static_cast<std::int64_t>(conn.out_bytes));
+    conn.out.push_back(Outgoing{std::move(encoded), now_us()});
     if (conn.owed > 0) --conn.owed;
     ++frames_sent_;
   }
@@ -99,6 +122,10 @@ std::size_t EpollServer::shutdown() {
   ::close(listen_fd_);
   ::close(wake_fd_);
   ::close(epoll_fd_);
+  // The one callback instrument reads `this`; drop it so a scrape of an
+  // external registry after this server dies never chases a dangling
+  // pointer (the owned counters stay, frozen).
+  obs_->unregister("cgs_net_connections_open");
   return force_closed_;
 }
 
@@ -133,6 +160,7 @@ void EpollServer::handle_accept() {
       conn->fd = fd;
       conns_.emplace(id, std::move(conn));
     }
+    conns_accepted_.add(1);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = id;
@@ -140,6 +168,7 @@ void EpollServer::handle_accept() {
       std::lock_guard<std::mutex> lock(mu_);
       ::close(fd);
       conns_.erase(id);
+      conns_closed_.add(1);
     }
   }
 }
@@ -165,6 +194,7 @@ void EpollServer::handle_readable(std::uint64_t conn_id) {
   for (;;) {
     const ssize_t n = ::read(conn.fd, buf, sizeof buf);
     if (n > 0) {
+      bytes_in_.add(static_cast<std::uint64_t>(n));
       conn.in.insert(conn.in.end(), buf, buf + n);
       continue;
     }
@@ -185,6 +215,7 @@ void EpollServer::handle_readable(std::uint64_t conn_id) {
       len |= std::uint32_t{conn.in[pos + static_cast<std::size_t>(i)]}
              << (8 * i);
     if (len > options_.max_frame) {
+      frames_corrupt_.add(1);
       close_hard = true;  // framing corruption: cannot resync
       break;
     }
@@ -201,6 +232,7 @@ void EpollServer::handle_readable(std::uint64_t conn_id) {
     close_connection(conn_id);
     return;
   }
+  frames_decoded_.add(complete.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     conn.owed += complete.size();
@@ -225,12 +257,14 @@ void EpollServer::handle_readable(std::uint64_t conn_id) {
 // thread owns the fds), mirroring how handle_readable treats reads.
 void EpollServer::flush(std::uint64_t conn_id, Connection& conn) {
   while (!conn.out.empty()) {
-    const std::vector<std::uint8_t>& front = conn.out.front();
-    while (conn.out_offset < front.size()) {
-      const ssize_t n = ::write(conn.fd, front.data() + conn.out_offset,
-                                front.size() - conn.out_offset);
+    const Outgoing& front = conn.out.front();
+    while (conn.out_offset < front.bytes.size()) {
+      const ssize_t n = ::write(conn.fd, front.bytes.data() + conn.out_offset,
+                                front.bytes.size() - conn.out_offset);
       if (n >= 0) {
+        bytes_out_.add(static_cast<std::uint64_t>(n));
         conn.out_offset += static_cast<std::size_t>(n);
+        conn.out_bytes -= static_cast<std::size_t>(n);
         continue;
       }
       if (errno == EINTR) continue;
@@ -249,9 +283,14 @@ void EpollServer::flush(std::uint64_t conn_id, Connection& conn) {
       conn.owed = 0;  // peer is gone; nothing left to deliver
       conn.out.clear();
       conn.out_offset = 0;
+      conn.out_bytes = 0;
       conn.peer_eof = true;
       return;
     }
+    const std::uint64_t done = now_us();
+    write_stall_us_.record(done > front.enqueued_us
+                               ? done - front.enqueued_us
+                               : 0);
     conn.out.pop_front();
     conn.out_offset = 0;
   }
@@ -281,6 +320,7 @@ void EpollServer::maybe_close(std::uint64_t conn_id, Connection& conn) {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
     ::close(conn.fd);
     conns_.erase(conn_id);
+    conns_closed_.add(1);
   }
 }
 
@@ -291,6 +331,7 @@ void EpollServer::close_connection(std::uint64_t conn_id) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
   ::close(it->second->fd);
   conns_.erase(it);
+  conns_closed_.add(1);
 }
 
 void EpollServer::run() {
@@ -331,6 +372,7 @@ void EpollServer::run() {
         if (left.count() <= 0) {
           // Deadline: whoever still owes or holds bytes gets cut off.
           force_closed_ = conns_.size();
+          conns_closed_.add(conns_.size());
           for (auto& [id, conn] : conns_) {
             ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
             ::close(conn->fd);

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "net/framing.h"
+#include "obs/registry.h"
 
 namespace cgs::net {
 
@@ -49,6 +50,12 @@ struct ServerOptions {
   /// How long shutdown() waits for owed responses and unflushed writes
   /// before force-closing the remaining connections.
   std::chrono::milliseconds drain_timeout{30000};
+  /// Registry for the server's transport metrics (cgs_net_*: connection
+  /// churn, byte/frame counters, write-buffer high-water, write-stall
+  /// latency). nullptr -> the server owns a private registry. An external
+  /// registry must outlive the server; the server unregisters its one
+  /// callback gauge (open connections) at shutdown.
+  obs::Registry* registry = nullptr;
 };
 
 /// Invoked on the event-loop thread for every complete frame (without the
@@ -87,12 +94,24 @@ class EpollServer {
   std::uint64_t frames_received() const;
   std::uint64_t frames_sent() const;
 
+  /// The registry the cgs_net_* instruments live in (the private one when
+  /// none was supplied in options).
+  obs::Registry& obs_registry() { return *obs_; }
+  const obs::Registry& obs_registry() const { return *obs_; }
+
  private:
+  /// One queued response plus when it entered the queue — the write-stall
+  /// histogram measures enqueue -> last byte handed to the kernel.
+  struct Outgoing {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t enqueued_us = 0;
+  };
   struct Connection {
     int fd = -1;
     std::vector<std::uint8_t> in;          // unparsed inbound bytes
-    std::deque<std::vector<std::uint8_t>> out;  // queued responses
+    std::deque<Outgoing> out;              // queued responses
     std::size_t out_offset = 0;            // sent bytes of out.front()
+    std::size_t out_bytes = 0;             // total queued unsent bytes
     std::uint64_t owed = 0;                // frames delivered - responses sent
     bool peer_eof = false;
     bool want_write = false;               // EPOLLOUT currently armed
@@ -109,6 +128,18 @@ class EpollServer {
 
   FrameHandler on_frame_;
   ServerOptions options_;
+  // Registry first, instruments after: the references below bind into it
+  // during member initialization.
+  std::unique_ptr<obs::Registry> owned_obs_;  // when no external registry
+  obs::Registry* obs_ = nullptr;
+  obs::Counter& conns_accepted_;
+  obs::Counter& conns_closed_;
+  obs::Counter& bytes_in_;
+  obs::Counter& bytes_out_;
+  obs::Counter& frames_decoded_;
+  obs::Counter& frames_corrupt_;
+  obs::Gauge& write_buffer_hwm_;     // worst queued-bytes level seen
+  obs::Histogram& write_stall_us_;
   int epoll_fd_ = -1;
   int listen_fd_ = -1;
   int wake_fd_ = -1;

@@ -1,0 +1,104 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace cgs::obs {
+
+namespace {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string format_double(double v) {
+  // Integral values (the common case: counts, byte totals) print without
+  // a fractional part so golden tests and humans see "42", not "42.0".
+  // Range-check before the cast: a negative or huge double to uint64_t
+  // is undefined behavior.
+  if (v >= 0 && v < 1e18 && v == static_cast<std::uint64_t>(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64,
+                  static_cast<std::uint64_t>(v));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Upper bound (us) of histogram bucket `i`: bucket 0 holds exactly 0us,
+/// bucket k holds [2^(k-1), 2^k) integer us, so its inclusive `le` bound
+/// is 2^k - 1. Bucket 64 is the overflow bucket and maps to +Inf.
+std::string bucket_le(std::size_t i) {
+  if (i == 0) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64,
+                (i >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << i) - 1));
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_text(const Registry& registry) {
+  std::string out;
+  for (const Sample& s : registry.collect()) {
+    out += "# TYPE " + s.name + " " + kind_name(s.kind) + "\n";
+    if (!s.is_histogram) {
+      out += s.name + " " + format_double(s.value) + "\n";
+      continue;
+    }
+    // Cumulative buckets; collapse trailing empties into the final +Inf
+    // line so an idle histogram is 3 lines, not 67.
+    std::size_t last_nonzero = 0;
+    for (std::size_t i = 0; i < s.buckets.size(); ++i)
+      if (s.buckets[i] != 0) last_nonzero = i;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= last_nonzero && i + 1 < s.buckets.size();
+         ++i) {
+      cumulative += s.buckets[i];
+      out += s.name + "_bucket{le=\"" + bucket_le(i) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += s.name + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) + "\n";
+    out += s.name + "_sum " + std::to_string(s.sum_us) + "\n";
+    out += s.name + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+std::string json_text(const Registry& registry) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("metrics");
+  for (const Sample& s : registry.collect()) {
+    w.begin_object();
+    w.field("name", s.name);
+    w.field("type", kind_name(s.kind));
+    if (s.is_histogram) {
+      w.field("count", static_cast<std::size_t>(s.count));
+      w.field("sum_us", static_cast<std::size_t>(s.sum_us));
+      w.field("p50_us", bucket_quantile(s.buckets, 0.50));
+      w.field("p95_us", bucket_quantile(s.buckets, 0.95));
+      w.field("p99_us", bucket_quantile(s.buckets, 0.99));
+    } else {
+      w.field("value", s.value);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cgs::obs

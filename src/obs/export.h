@@ -1,0 +1,25 @@
+#pragma once
+// Exposition formats for an obs::Registry snapshot. Two exporters, one
+// registry walk each:
+//
+//   prometheus_text — the Prometheus text exposition format (# TYPE line
+//     per metric; histograms expand into cumulative _bucket{le="..."}
+//     series plus _sum/_count). This is what kStatsResponse carries and
+//     what `cgs_stats` prints, so a real Prometheus scraper pointed at a
+//     bridge ingests it unchanged.
+//
+//   json_text — the same snapshot in the bench_util.h JSON idiom
+//     (cgs::JsonWriter), with histograms summarized to count/sum/p50/
+//     p95/p99 — handy for dashboards and for diffing against BENCH_*.json
+//     artifacts.
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace cgs::obs {
+
+std::string prometheus_text(const Registry& registry);
+std::string json_text(const Registry& registry);
+
+}  // namespace cgs::obs

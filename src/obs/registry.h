@@ -1,0 +1,96 @@
+#pragma once
+// obs::Registry: the process's unified metrics namespace. Subsystems ask
+// for named instruments once at setup (counter()/gauge()/histogram() —
+// create-or-get under a mutex, cold path only) and keep the returned
+// reference for their hot paths; exporters (obs/export.h) call collect()
+// to walk every instrument at scrape time. Instruments are owned by the
+// registry and never move or die before it, so a reference taken at
+// setup stays valid for the registry's lifetime — a subsystem that dies
+// first simply leaves its counters frozen at their final values, which
+// is exactly what a post-shutdown scrape should see.
+//
+// Callback instruments (gauge_fn / counter_fn) are for values that live
+// in someone else's data structure — cache sizes, queue depths, pool
+// occupancy — and are evaluated at collect() time. Because they read
+// external state, whoever registered one MUST unregister it (unregister /
+// unregister_prefix) before that state is destroyed; the owned atomic
+// instruments have no such obligation. Callbacks must not call back into
+// the same registry (collect() holds the registry lock).
+//
+// Names follow the Prometheus data model ([a-zA-Z_:][a-zA-Z0-9_:]*);
+// asking for an existing name with the same kind returns the same
+// instrument (two subsystems may deliberately share a counter), asking
+// with a different kind is a caller bug and throws.
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metric.h"
+
+namespace cgs::obs {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+/// One instrument's value at collect() time.
+struct Sample {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0;  // counter/gauge (callback or owned)
+  bool is_histogram = false;
+  HistogramBuckets buckets{};  // histogram only
+  std::uint64_t count = 0;     // histogram only
+  std::uint64_t sum_us = 0;    // histogram only
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Create-or-get an owned instrument. The reference stays valid for the
+  /// registry's lifetime. Throws cgs::Error on a kind mismatch or an
+  /// invalid name.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Register a callback evaluated at collect() time. Replaces an
+  /// existing callback under the same name (a restarted subsystem
+  /// re-binds its gauges); throws if the name is held by an owned
+  /// instrument.
+  void gauge_fn(const std::string& name, std::function<double()> fn);
+  void counter_fn(const std::string& name, std::function<double()> fn);
+
+  /// Drop one instrument / every instrument whose name starts with
+  /// `prefix`. Required for callbacks before their backing state dies;
+  /// legal (but rarely wanted) for owned instruments.
+  void unregister(const std::string& name);
+  void unregister_prefix(const std::string& prefix);
+
+  /// Snapshot every instrument, sorted by name (stable exposition order).
+  std::vector<Sample> collect() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Slot {
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> fn;  // callback instruments only
+  };
+
+  Slot& slot_for(const std::string& name, Kind kind, bool callback);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace cgs::obs

@@ -51,6 +51,10 @@ enum class TypeTag : std::uint32_t {
   kVerifyResponse = 8,
   kKeygenRequest = 9,
   kKeygenResponse = 10,
+  // Observability scrape (serve/wire.h): a client asks for the server's
+  // metrics exposition in one of the supported formats.
+  kStatsRequest = 11,
+  kStatsResponse = 12,
 };
 
 /// The tag of a frame without validating its payload: header-only checks

@@ -42,16 +42,18 @@ std::uint64_t gauss_shard_key(double sigma, double center) {
 
 // The one push-or-reject admission sequence every submit_* shares: attach
 // the future, try the queue, account the outcome, detach the future again
-// when the request was not admitted.
+// when the request was not admitted. (The enqueued stamp lands just before
+// the push — a rejected job's trace simply dies with the job.)
 template <typename R, typename LaneT, typename Job>
 Submission<R> submit_to(LaneT& lane, Job job) {
   Submission<R> result;
   result.future = job.promise.get_future();
+  job.trace.stamp(obs::Stage::kEnqueued);
   result.status = lane.queue.try_push(std::move(job));
   if (result.status == SubmitStatus::kOk) {
-    lane.counters.submitted.fetch_add(1, std::memory_order_relaxed);
+    lane.counters.submitted.add(1);
   } else {
-    lane.counters.rejected.fetch_add(1, std::memory_order_relaxed);
+    lane.counters.rejected.add(1);
     result.future = {};
   }
   return result;
@@ -66,23 +68,34 @@ Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
                     options_.gauss_lanes >= 1,
                 "dispatcher needs at least one lane of each kind");
   CGS_CHECK_MSG(options_.max_batch >= 1, "dispatcher needs max_batch >= 1");
+  if (options_.obs_registry) {
+    obs_ = options_.obs_registry;
+  } else {
+    owned_obs_ = std::make_unique<obs::Registry>();
+    obs_ = owned_obs_.get();
+  }
+  tracer_ = std::make_unique<obs::Tracer>(*obs_, options_.trace);
   signing_ = std::make_unique<falcon::SigningService>(*registry_,
                                                       options_.signing);
   verifier_ =
       std::make_unique<falcon::VerificationService>(options_.verification);
   gaussian_ = std::make_unique<engine::GaussianService>(*registry_,
                                                         options_.gaussian);
+  const auto lane_prefix = [](const char* kind, int i) {
+    return "cgs_serve_" + std::string(kind) + "_lane" + std::to_string(i);
+  };
   for (int i = 0; i < options_.sign_lanes; ++i)
-    sign_lanes_.push_back(
-        std::make_unique<Lane<SignJob>>(options_.queue_capacity));
+    sign_lanes_.push_back(std::make_unique<Lane<SignJob>>(
+        options_.queue_capacity, *obs_, lane_prefix("sign", i)));
   for (int i = 0; i < options_.verify_lanes; ++i)
-    verify_lanes_.push_back(
-        std::make_unique<Lane<VerifyJob>>(options_.queue_capacity));
-  keygen_lanes_.push_back(
-      std::make_unique<Lane<KeygenJob>>(options_.queue_capacity));
+    verify_lanes_.push_back(std::make_unique<Lane<VerifyJob>>(
+        options_.queue_capacity, *obs_, lane_prefix("verify", i)));
+  keygen_lanes_.push_back(std::make_unique<Lane<KeygenJob>>(
+      options_.queue_capacity, *obs_, lane_prefix("keygen", 0)));
   for (int i = 0; i < options_.gauss_lanes; ++i)
-    gauss_lanes_.push_back(
-        std::make_unique<Lane<GaussJob>>(options_.queue_capacity));
+    gauss_lanes_.push_back(std::make_unique<Lane<GaussJob>>(
+        options_.queue_capacity, *obs_, lane_prefix("gauss", i)));
+  register_bridges();
   // Lanes start only after every queue exists — a lane thread never sees a
   // half-constructed dispatcher.
   for (auto& lane : sign_lanes_) {
@@ -105,12 +118,70 @@ Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
 
 Dispatcher::~Dispatcher() { shutdown(); }
 
+// Callback instruments that read dispatcher-owned state (queues, the
+// services' cache stats). Registered once at construction, unregistered at
+// shutdown so a scrape of an external registry after this dispatcher dies
+// never chases dangling pointers — the owned lane counters stay behind,
+// frozen at their final values.
+void Dispatcher::register_bridges() {
+  const auto gauge = [this](std::string name, std::function<double()> fn) {
+    obs_->gauge_fn(name, std::move(fn));
+    callback_metrics_.push_back(std::move(name));
+  };
+  const auto counter = [this](std::string name, std::function<double()> fn) {
+    obs_->counter_fn(name, std::move(fn));
+    callback_metrics_.push_back(std::move(name));
+  };
+  const auto lane_depths = [this, &gauge](const auto& lanes,
+                                          const char* kind) {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      auto* lane = lanes[i].get();
+      gauge("cgs_serve_" + std::string(kind) + "_lane" + std::to_string(i) +
+                "_queue_depth",
+            [lane] { return static_cast<double>(lane->queue.size()); });
+    }
+  };
+  lane_depths(sign_lanes_, "sign");
+  lane_depths(verify_lanes_, "verify");
+  lane_depths(keygen_lanes_, "keygen");
+  lane_depths(gauss_lanes_, "gauss");
+
+  const auto cache = [&](const std::string& name, auto stats_fn) {
+    counter("cgs_cache_" + name + "_hits_total",
+            [stats_fn] { return static_cast<double>(stats_fn().hits); });
+    counter("cgs_cache_" + name + "_misses_total",
+            [stats_fn] { return static_cast<double>(stats_fn().misses); });
+    gauge("cgs_cache_" + name + "_entries",
+          [stats_fn] { return static_cast<double>(stats_fn().entries); });
+  };
+  cache("ffldl_tree",
+        [svc = signing_.get()] { return svc->tree_cache_stats(); });
+  cache("ntt_key", [svc = verifier_.get()] { return svc->key_cache_stats(); });
+  cache("recipe", [reg = registry_] { return reg->recipe_cache_stats(); });
+  cache("netlist", [reg = registry_] { return reg->netlist_cache_stats(); });
+
+  counter("cgs_signing_base_calls_total", [svc = signing_.get()] {
+    return static_cast<double>(svc->base_calls());
+  });
+  counter("cgs_signing_base_rejections_total", [svc = signing_.get()] {
+    return static_cast<double>(svc->rejections());
+  });
+  counter("cgs_gauss_samples_served_total", [svc = gaussian_.get()] {
+    return static_cast<double>(svc->samples_served());
+  });
+  gauge("cgs_gauss_streams", [svc = gaussian_.get()] {
+    return static_cast<double>(svc->num_streams());
+  });
+}
+
 void Dispatcher::shutdown() {
   {
     std::lock_guard<std::mutex> lock(shutdown_mu_);
     if (shut_down_) return;
     shut_down_ = true;
   }
+  for (const std::string& name : callback_metrics_) obs_->unregister(name);
+  callback_metrics_.clear();
   for (auto& lane : sign_lanes_) lane->queue.close();
   for (auto& lane : verify_lanes_) lane->queue.close();
   for (auto& lane : keygen_lanes_) lane->queue.close();
@@ -156,6 +227,7 @@ Submission<falcon::Signature> Dispatcher::submit_sign(std::uint64_t key_id,
   job.key_id = key_id;
   job.message = std::move(message);
   job.submitted = std::chrono::steady_clock::now();
+  job.trace = tracer_->begin();
   return submit_to<falcon::Signature>(lane, std::move(job));
 }
 
@@ -171,6 +243,7 @@ Submission<bool> Dispatcher::submit_verify(std::uint64_t key_id,
   job.message = std::move(message);
   job.sig = std::move(sig);
   job.submitted = std::chrono::steady_clock::now();
+  job.trace = tracer_->begin();
   return submit_to<bool>(lane, std::move(job));
 }
 
@@ -181,6 +254,7 @@ Submission<KeygenResult> Dispatcher::submit_keygen(
   job.params = params;
   job.seed = seed;
   job.submitted = std::chrono::steady_clock::now();
+  job.trace = tracer_->begin();
   return submit_to<KeygenResult>(lane, std::move(job));
 }
 
@@ -194,6 +268,7 @@ Submission<std::vector<std::int32_t>> Dispatcher::submit_gauss(
   job.center = center;
   job.n = n;
   job.submitted = std::chrono::steady_clock::now();
+  job.trace = tracer_->begin();
   return submit_to<std::vector<std::int32_t>>(lane, std::move(job));
 }
 
@@ -203,6 +278,9 @@ void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
       std::chrono::microseconds(options_.max_linger_us));
   std::vector<SignJob> batch;
   while (batcher.next_batch(batch)) {
+    const std::uint64_t closed_us = obs::Trace::now_us();
+    for (SignJob& job : batch)
+      job.trace.stamp_at(obs::Stage::kBatchClosed, closed_us);
     // Group by tenant key, preserving arrival order within each group —
     // one sign_many per key is what fills the engine's bit-sliced lanes.
     std::map<std::uint64_t, std::vector<std::size_t>> by_key;
@@ -213,22 +291,27 @@ void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
       std::vector<std::string_view> messages;
       messages.reserve(indices.size());
       for (std::size_t i : indices) messages.push_back(batch[i].message);
-      lane.counters.batches.fetch_add(1, std::memory_order_relaxed);
-      lane.counters.batched.fetch_add(indices.size(),
-                                      std::memory_order_relaxed);
+      lane.counters.batches.add(1);
+      lane.counters.batched.add(indices.size());
+      for (std::size_t i : indices)
+        batch[i].trace.stamp(obs::Stage::kEngineStart);
       try {
         CGS_CHECK_MSG(kp != nullptr, "signing lane lost a registered key");
         auto sigs = signing_->sign_many(*kp, messages);
+        for (std::size_t i : indices)
+          batch[i].trace.stamp(obs::Stage::kEngineEnd);
         for (std::size_t j = 0; j < indices.size(); ++j) {
           SignJob& job = batch[indices[j]];
           lane.counters.latency.record(elapsed_us(job.submitted));
-          lane.counters.completed.fetch_add(1, std::memory_order_relaxed);
+          lane.counters.completed.add(1);
+          job.trace.stamp(obs::Stage::kFulfilled);
           job.promise.set_value(std::move(sigs[j]));
+          tracer_->finish(job.trace);
         }
       } catch (...) {
         const auto error = std::current_exception();
         for (std::size_t i : indices) {
-          lane.counters.failed.fetch_add(1, std::memory_order_relaxed);
+          lane.counters.failed.add(1);
           batch[i].promise.set_exception(error);
         }
       }
@@ -242,6 +325,9 @@ void Dispatcher::run_verify_lane(Lane<VerifyJob>& lane) {
       std::chrono::microseconds(options_.max_linger_us));
   std::vector<VerifyJob> batch;
   while (batcher.next_batch(batch)) {
+    const std::uint64_t closed_us = obs::Trace::now_us();
+    for (VerifyJob& job : batch)
+      job.trace.stamp_at(obs::Stage::kBatchClosed, closed_us);
     // Group by tenant key like the sign lane: one verify_many per key runs
     // the shared hash/NTT pipeline over the whole group against that key's
     // cached NTT-domain public key.
@@ -258,23 +344,28 @@ void Dispatcher::run_verify_lane(Lane<VerifyJob>& lane) {
         messages.push_back(batch[i].message);
         sigs.push_back(std::move(batch[i].sig));
       }
-      lane.counters.batches.fetch_add(1, std::memory_order_relaxed);
-      lane.counters.batched.fetch_add(indices.size(),
-                                      std::memory_order_relaxed);
+      lane.counters.batches.add(1);
+      lane.counters.batched.add(indices.size());
+      for (std::size_t i : indices)
+        batch[i].trace.stamp(obs::Stage::kEngineStart);
       try {
         CGS_CHECK_MSG(kp != nullptr, "verify lane lost a registered key");
         const std::vector<std::uint8_t> verdicts =
             verifier_->verify_many(kp->h, kp->params, messages, sigs);
+        for (std::size_t i : indices)
+          batch[i].trace.stamp(obs::Stage::kEngineEnd);
         for (std::size_t j = 0; j < indices.size(); ++j) {
           VerifyJob& job = batch[indices[j]];
           lane.counters.latency.record(elapsed_us(job.submitted));
-          lane.counters.completed.fetch_add(1, std::memory_order_relaxed);
+          lane.counters.completed.add(1);
+          job.trace.stamp(obs::Stage::kFulfilled);
           job.promise.set_value(verdicts[j] != 0);
+          tracer_->finish(job.trace);
         }
       } catch (...) {
         const auto error = std::current_exception();
         for (std::size_t i : indices) {
-          lane.counters.failed.fetch_add(1, std::memory_order_relaxed);
+          lane.counters.failed.add(1);
           batch[i].promise.set_exception(error);
         }
       }
@@ -295,23 +386,30 @@ void Dispatcher::run_keygen_lane(Lane<KeygenJob>& lane) {
       std::chrono::microseconds(options_.max_linger_us));
   std::vector<KeygenJob> batch;
   while (batcher.next_batch(batch)) {
+    const std::uint64_t closed_us = obs::Trace::now_us();
+    for (KeygenJob& job : batch)
+      job.trace.stamp_at(obs::Stage::kBatchClosed, closed_us);
     // Keygens are independent multi-hundred-millisecond solves — there is
     // nothing to batch, the lane just drains them one by one.
     for (KeygenJob& job : batch) {
-      lane.counters.batches.fetch_add(1, std::memory_order_relaxed);
-      lane.counters.batched.fetch_add(1, std::memory_order_relaxed);
+      lane.counters.batches.add(1);
+      lane.counters.batched.add(1);
+      job.trace.stamp(obs::Stage::kEngineStart);
       try {
         prng::ChaCha20Source rng(job.seed);
         falcon::KeyPair kp = falcon::keygen(job.params, rng);
+        job.trace.stamp(obs::Stage::kEngineEnd);
         KeygenResult result;
         result.params = kp.params;
         result.public_h = kp.h;
         result.key_id = add_key(std::move(kp));
         lane.counters.latency.record(elapsed_us(job.submitted));
-        lane.counters.completed.fetch_add(1, std::memory_order_relaxed);
+        lane.counters.completed.add(1);
+        job.trace.stamp(obs::Stage::kFulfilled);
         job.promise.set_value(std::move(result));
+        tracer_->finish(job.trace);
       } catch (...) {
-        lane.counters.failed.fetch_add(1, std::memory_order_relaxed);
+        lane.counters.failed.add(1);
         job.promise.set_exception(std::current_exception());
       }
     }
@@ -324,6 +422,9 @@ void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
       std::chrono::microseconds(options_.max_linger_us));
   std::vector<GaussJob> batch;
   while (batcher.next_batch(batch)) {
+    const std::uint64_t closed_us = obs::Trace::now_us();
+    for (GaussJob& job : batch)
+      job.trace.stamp_at(obs::Stage::kBatchClosed, closed_us);
     // Group by exact target bit patterns: one bulk sample() per distinct
     // (sigma, center), split back across the requests afterwards.
     std::map<std::pair<std::uint64_t, std::uint64_t>,
@@ -336,13 +437,16 @@ void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
     for (const auto& [target, indices] : by_target) {
       std::size_t total = 0;
       for (std::size_t i : indices) total += batch[i].n;
-      lane.counters.batches.fetch_add(1, std::memory_order_relaxed);
-      lane.counters.batched.fetch_add(indices.size(),
-                                      std::memory_order_relaxed);
+      lane.counters.batches.add(1);
+      lane.counters.batched.add(indices.size());
+      for (std::size_t i : indices)
+        batch[i].trace.stamp(obs::Stage::kEngineStart);
       try {
         const GaussJob& head = batch[indices.front()];
         const std::vector<std::int32_t> bulk =
             gaussian_->sample(head.sigma, head.center, total);
+        for (std::size_t i : indices)
+          batch[i].trace.stamp(obs::Stage::kEngineEnd);
         std::size_t off = 0;
         for (std::size_t i : indices) {
           GaussJob& job = batch[i];
@@ -351,13 +455,15 @@ void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
               bulk.begin() + static_cast<std::ptrdiff_t>(off + job.n));
           off += job.n;
           lane.counters.latency.record(elapsed_us(job.submitted));
-          lane.counters.completed.fetch_add(1, std::memory_order_relaxed);
+          lane.counters.completed.add(1);
+          job.trace.stamp(obs::Stage::kFulfilled);
           job.promise.set_value(std::move(slice));
+          tracer_->finish(job.trace);
         }
       } catch (...) {
         const auto error = std::current_exception();
         for (std::size_t i : indices) {
-          lane.counters.failed.fetch_add(1, std::memory_order_relaxed);
+          lane.counters.failed.add(1);
           batch[i].promise.set_exception(error);
         }
       }
@@ -372,17 +478,21 @@ void snapshot_lanes(const std::vector<LanePtr>& lanes,
                     std::vector<LaneSnapshot>& out, LatencyBuckets& merged) {
   for (const auto& lane : lanes) {
     LaneSnapshot snap;
-    snap.submitted = lane->counters.submitted.load(std::memory_order_relaxed);
-    snap.rejected = lane->counters.rejected.load(std::memory_order_relaxed);
-    snap.completed = lane->counters.completed.load(std::memory_order_relaxed);
-    snap.failed = lane->counters.failed.load(std::memory_order_relaxed);
-    snap.batches = lane->counters.batches.load(std::memory_order_relaxed);
-    snap.batched = lane->counters.batched.load(std::memory_order_relaxed);
+    snap.submitted = lane->counters.submitted.value();
+    snap.rejected = lane->counters.rejected.value();
+    snap.completed = lane->counters.completed.value();
+    snap.failed = lane->counters.failed.value();
+    snap.batches = lane->counters.batches.value();
+    snap.batched = lane->counters.batched.value();
     snap.queue_depth = lane->queue.size();
-    snap.p50_us = lane->counters.latency.quantile(0.50);
-    snap.p95_us = lane->counters.latency.quantile(0.95);
-    snap.p99_us = lane->counters.latency.quantile(0.99);
-    lane->counters.latency.merge_into(merged);
+    // One bucket snapshot per lane: all three quantiles and the merge come
+    // from the same copy (the old path re-read the live buckets once per
+    // quantile, so p50/p95/p99 could disagree about the total).
+    const LatencyBuckets buckets = lane->counters.latency.snapshot();
+    snap.p50_us = bucket_quantile(buckets, 0.50);
+    snap.p95_us = bucket_quantile(buckets, 0.95);
+    snap.p99_us = bucket_quantile(buckets, 0.99);
+    for (std::size_t i = 0; i < merged.size(); ++i) merged[i] += buckets[i];
     out.push_back(snap);
   }
 }
@@ -411,6 +521,13 @@ MetricsSnapshot Dispatcher::metrics() const {
   snap.gauss_p50_us = bucket_quantile(gauss_merged, 0.50);
   snap.gauss_p95_us = bucket_quantile(gauss_merged, 0.95);
   snap.gauss_p99_us = bucket_quantile(gauss_merged, 0.99);
+  snap.ffldl_tree_cache = signing_->tree_cache_stats();
+  snap.ntt_key_cache = verifier_->key_cache_stats();
+  snap.recipe_cache = registry_->recipe_cache_stats();
+  snap.netlist_cache = registry_->netlist_cache_stats();
+  snap.base_calls = signing_->base_calls();
+  snap.base_rejections = signing_->rejections();
+  snap.gauss_samples_served = gaussian_->samples_served();
   return snap;
 }
 

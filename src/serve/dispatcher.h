@@ -48,6 +48,8 @@
 #include "engine/service.h"
 #include "falcon/signing_service.h"
 #include "falcon/verification_service.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/metrics.h"
 #include "serve/queue.h"
@@ -76,6 +78,15 @@ struct DispatcherOptions {
   falcon::SigningOptions signing;        // inner SigningService configuration
   falcon::VerificationOptions verification;  // inner VerificationService
   engine::ServiceOptions gaussian;       // inner GaussianService configuration
+  /// Metrics registry to bind every lane counter / trace histogram /
+  /// cache bridge into. nullptr -> the dispatcher owns a private registry
+  /// (obs_registry() exposes it either way). An external registry must
+  /// outlive the dispatcher; sharing one registry between two dispatchers
+  /// makes them share lane counters name-for-name — usually not wanted.
+  obs::Registry* obs_registry = nullptr;
+  /// Per-request stage tracing (see obs/trace.h). sample_every = 0 turns
+  /// the tracer off entirely (one predictable branch per request).
+  obs::TraceOptions trace;
 };
 
 /// What a fulfilled keygen submission yields: the key is registered with
@@ -128,8 +139,18 @@ class Dispatcher {
                                                      double center,
                                                      std::size_t n);
 
-  /// Point-in-time metrics across every lane.
+  /// Point-in-time metrics across every lane (plus the cache stats of
+  /// the three per-key caches underneath).
   MetricsSnapshot metrics() const;
+
+  /// The registry every serve-layer instrument lives in — scrape with
+  /// obs::prometheus_text / obs::json_text. Valid for the dispatcher's
+  /// lifetime (longer, when an external registry was supplied).
+  obs::Registry& obs_registry() { return *obs_; }
+  const obs::Registry& obs_registry() const { return *obs_; }
+
+  /// The request tracer (slowest() for the retained worst traces).
+  obs::Tracer& tracer() { return *tracer_; }
 
   /// Stop admitting, drain every queued request, join the lane threads.
   /// Idempotent; the destructor calls it.
@@ -146,6 +167,7 @@ class Dispatcher {
     std::string message;
     std::promise<falcon::Signature> promise;
     std::chrono::steady_clock::time_point submitted;
+    obs::Trace trace;
   };
   struct VerifyJob {
     std::uint64_t key_id = 0;
@@ -153,22 +175,27 @@ class Dispatcher {
     falcon::Signature sig;
     std::promise<bool> promise;
     std::chrono::steady_clock::time_point submitted;
+    obs::Trace trace;
   };
   struct KeygenJob {
     falcon::FalconParams params;
     std::uint64_t seed = 0;
     std::promise<KeygenResult> promise;
     std::chrono::steady_clock::time_point submitted;
+    obs::Trace trace;
   };
   struct GaussJob {
     double sigma = 0, center = 0;
     std::size_t n = 0;
     std::promise<std::vector<std::int32_t>> promise;
     std::chrono::steady_clock::time_point submitted;
+    obs::Trace trace;
   };
   template <typename Job>
   struct Lane {
-    explicit Lane(std::size_t capacity) : queue(capacity) {}
+    Lane(std::size_t capacity, obs::Registry& registry,
+         const std::string& prefix)
+        : queue(capacity), counters(registry, prefix) {}
     RequestQueue<Job> queue;
     LaneCounters counters;
     std::thread thread;
@@ -179,8 +206,14 @@ class Dispatcher {
   void run_keygen_lane(Lane<KeygenJob>& lane);
   void run_gauss_lane(Lane<GaussJob>& lane);
 
+  void register_bridges();
+
   engine::SamplerRegistry* registry_;
   DispatcherOptions options_;
+  std::unique_ptr<obs::Registry> owned_obs_;  // when no external registry
+  obs::Registry* obs_ = nullptr;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::vector<std::string> callback_metrics_;  // unregistered at shutdown
   std::unique_ptr<falcon::SigningService> signing_;
   std::unique_ptr<falcon::VerificationService> verifier_;
   std::unique_ptr<engine::GaussianService> gaussian_;

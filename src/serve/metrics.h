@@ -1,90 +1,53 @@
 #pragma once
-// serve::Metrics: per-lane observability for the serving layer with no
-// locks on the hot path. Counters are relaxed atomics (each event is one
-// fetch_add; cross-counter consistency is not needed for monitoring) and
-// latencies go into a log2-bucketed histogram — 64 power-of-two buckets
-// cover 1us..2^63us, bucket index = bit_width(us), so recording is a
-// single lock-free increment and p50/p95/p99 are recovered by a bucket
-// walk with ~2x worst-case resolution (plenty to tell "one linger" from
-// "queue melt-down"). Lanes are cache-line separated so two lanes'
-// counters never false-share.
+// serve metrics, now thin bindings over the unified obs layer: the
+// instrument types (obs::Counter / obs::Histogram, relaxed atomics, log2
+// latency buckets) live in obs/metric.h, and every lane's counters are
+// *named registry instruments* — the same storage the Prometheus/JSON
+// exporters walk at scrape time. The serve layer keeps its plain-value
+// MetricsSnapshot view (tests and benches want numbers, not exposition
+// text), which now also carries the per-key cache stats of the three
+// caches underneath the dispatcher.
 
-#include <array>
-#include <atomic>
-#include <bit>
-#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
-#include "common/check.h"
+#include "obs/metric.h"
+#include "obs/registry.h"
 
 namespace cgs::serve {
 
-/// 65 log2 buckets over microseconds: [0] holds 0us, [k] holds
-/// [2^(k-1), 2^k) us.
-using LatencyBuckets = std::array<std::uint64_t, 65>;
+// Historical serve-layer names; the types moved to obs/metric.h when the
+// registry unified all telemetry (tests and benches keep compiling).
+using LatencyBuckets = obs::HistogramBuckets;
+using LatencyHistogram = obs::Histogram;
+using obs::bucket_quantile;
 
-/// Upper bound (us) of the bucket holding the q-quantile observation of a
-/// bucket array (q in [0, 1]); 0 when empty. Resolution is the bucket
-/// width (~2x).
-inline double bucket_quantile(const LatencyBuckets& buckets, double q) {
-  CGS_CHECK(q >= 0.0 && q <= 1.0);
-  std::uint64_t total = 0;
-  for (std::uint64_t b : buckets) total += b;
-  if (total == 0) return 0.0;
-  // rank in [1, total]: the +1 makes q=0 the min and q=1 the max.
-  const auto rank = static_cast<std::uint64_t>(q * (total - 1)) + 1;
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    seen += buckets[i];
-    if (seen >= rank)
-      return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
-  }
-  return std::ldexp(1.0, 64);
-}
+/// One lane's counters, bound by name into an obs::Registry under
+/// `<prefix>_*`. The registry owns the storage, so these references stay
+/// valid for the registry's lifetime and the same counters show up in the
+/// exposition endpoints with no second accounting path. Submissions are
+/// counted by the submitting client thread (lock-free); batch/completion
+/// counters by the lane thread.
+struct LaneCounters {
+  LaneCounters(obs::Registry& registry, const std::string& prefix)
+      : submitted(registry.counter(prefix + "_submitted_total")),
+        rejected(registry.counter(prefix + "_rejected_total")),
+        completed(registry.counter(prefix + "_completed_total")),
+        failed(registry.counter(prefix + "_failed_total")),
+        batches(registry.counter(prefix + "_batches_total")),
+        batched(registry.counter(prefix + "_batched_total")),
+        latency(registry.histogram(prefix + "_latency_us")) {}
 
-/// Lock-free log2 latency histogram (microseconds).
-class LatencyHistogram {
- public:
-  void record(std::uint64_t us) {
-    const int bucket = std::bit_width(us);  // 0us -> 0, else 1 + floor(log2)
-    buckets_[static_cast<std::size_t>(bucket)].fetch_add(
-        1, std::memory_order_relaxed);
-  }
-
-  std::uint64_t count() const {
-    std::uint64_t n = 0;
-    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
-    return n;
-  }
-
-  double quantile(double q) const {
-    LatencyBuckets snap{};
-    merge_into(snap);
-    return bucket_quantile(snap, q);
-  }
-
-  void merge_into(LatencyBuckets& acc) const {
-    for (std::size_t i = 0; i < acc.size(); ++i)
-      acc[i] += buckets_[i].load(std::memory_order_relaxed);
-  }
-
- private:
-  std::array<std::atomic<std::uint64_t>, 65> buckets_{};
-};
-
-/// One lane's counters. Submissions are counted by the submitting client
-/// thread (lock-free); batch/completion counters by the lane thread.
-struct alignas(64) LaneCounters {
-  std::atomic<std::uint64_t> submitted{0};   // accepted into the queue
-  std::atomic<std::uint64_t> rejected{0};    // not admitted (kQueueFull
-                                             // backpressure or kShutdown)
-  std::atomic<std::uint64_t> completed{0};   // promises fulfilled
-  std::atomic<std::uint64_t> failed{0};      // promises failed (exception)
-  std::atomic<std::uint64_t> batches{0};     // engine calls dispatched
-  std::atomic<std::uint64_t> batched{0};     // requests across those calls
-  LatencyHistogram latency;                  // submit -> promise fulfilled
+  obs::Counter& submitted;  // accepted into the queue
+  obs::Counter& rejected;   // not admitted (kQueueFull backpressure or
+                            // kShutdown)
+  obs::Counter& completed;  // promises fulfilled
+  obs::Counter& failed;     // promises failed (exception)
+  obs::Counter& batches;    // engine calls dispatched
+  obs::Counter& batched;    // requests across those calls
+  obs::Histogram& latency;  // submit -> promise fulfilled
 };
 
 /// Plain-value copy of one lane at a point in time.
@@ -117,6 +80,16 @@ struct MetricsSnapshot {
   double verify_p50_us = 0, verify_p95_us = 0, verify_p99_us = 0;
   double keygen_p50_us = 0, keygen_p95_us = 0, keygen_p99_us = 0;
   double gauss_p50_us = 0, gauss_p95_us = 0, gauss_p99_us = 0;
+
+  // Per-key caches underneath the dispatcher (prerequisite numbers for
+  // bounding them — ROADMAP eviction work).
+  obs::CacheStats ffldl_tree_cache;  // SigningService
+  obs::CacheStats ntt_key_cache;     // VerificationService
+  obs::CacheStats recipe_cache;      // SamplerRegistry recipes
+  obs::CacheStats netlist_cache;     // SamplerRegistry netlists
+  std::uint64_t base_calls = 0;      // engine base-sampler invocations
+  std::uint64_t base_rejections = 0;
+  std::uint64_t gauss_samples_served = 0;
 
   std::uint64_t sign_submitted() const { return sum(sign_lanes, &LaneSnapshot::submitted); }
   std::uint64_t sign_rejected() const { return sum(sign_lanes, &LaneSnapshot::rejected); }

@@ -316,4 +316,84 @@ KeygenResponseFrame decode_keygen_response(
   return resp;
 }
 
+namespace {
+
+StatsFormat stats_format_from(std::uint8_t v, const char* what) {
+  if (v > static_cast<std::uint8_t>(StatsFormat::kJson))
+    throw serial::SerialError(std::string(what) + " unknown stats format");
+  return static_cast<StatsFormat>(v);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const StatsRequestFrame& req) {
+  serial::Writer w;
+  w.u64(req.request_id);
+  w.u8(static_cast<std::uint8_t>(req.format));
+  return length_prefixed(
+      serial::wrap(serial::TypeTag::kStatsRequest, w.take()));
+}
+
+StatsRequestFrame decode_stats_request(std::span<const std::uint8_t> frame) {
+  const auto payload =
+      serial::unwrap(frame, serial::TypeTag::kStatsRequest);
+  serial::Reader r(payload);
+  StatsRequestFrame req;
+  req.request_id = r.u64();
+  req.format = stats_format_from(r.u8(), "stats request");
+  r.finish();
+  return req;
+}
+
+StatsResponseFrame StatsResponseFrame::success(std::uint64_t request_id,
+                                               StatsFormat format,
+                                               std::string text) {
+  StatsResponseFrame resp;
+  resp.request_id = request_id;
+  resp.ok = true;
+  resp.format = format;
+  resp.text = std::move(text);
+  return resp;
+}
+
+StatsResponseFrame StatsResponseFrame::failure(std::uint64_t request_id,
+                                               std::string error) {
+  StatsResponseFrame resp;
+  resp.request_id = request_id;
+  resp.error = std::move(error);
+  return resp;
+}
+
+std::vector<std::uint8_t> encode(const StatsResponseFrame& resp) {
+  serial::Writer w;
+  w.u64(resp.request_id);
+  w.boolean(resp.ok);
+  if (resp.ok) {
+    w.u8(static_cast<std::uint8_t>(resp.format));
+    w.str(resp.text);
+  } else {
+    w.str(resp.error);
+  }
+  return length_prefixed(
+      serial::wrap(serial::TypeTag::kStatsResponse, w.take()));
+}
+
+StatsResponseFrame decode_stats_response(
+    std::span<const std::uint8_t> frame) {
+  const auto payload =
+      serial::unwrap(frame, serial::TypeTag::kStatsResponse);
+  serial::Reader r(payload);
+  StatsResponseFrame resp;
+  resp.request_id = r.u64();
+  resp.ok = r.boolean();
+  if (resp.ok) {
+    resp.format = stats_format_from(r.u8(), "stats response");
+    resp.text = r.str();
+  } else {
+    resp.error = r.str();
+  }
+  r.finish();
+  return resp;
+}
+
 }  // namespace cgs::serve

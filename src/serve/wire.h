@@ -21,6 +21,10 @@
 //   kKeygenRequest:  request_id u64 | degree u64 | seed u64
 //   kKeygenResponse: request_id u64 | ok bool | on ok: key_id u64, degree
 //                    u64, public h as degree u16 values; else: error string
+//   kStatsRequest:   request_id u64 | format u8 (0 = Prometheus text,
+//                    1 = JSON)
+//   kStatsResponse:  request_id u64 | ok bool | on ok: format u8,
+//                    exposition text str; else: error string
 //
 // A kVerifyResponse's `ok` says the request was processed ("this is a
 // verdict"); `accepted` is the verdict itself — a rejected signature is a
@@ -121,6 +125,29 @@ struct KeygenResponseFrame {
                                      std::string error);
 };
 
+/// Exposition format selector carried by the stats frames.
+enum class StatsFormat : std::uint8_t { kPrometheus = 0, kJson = 1 };
+
+/// Ask the server for its metrics exposition — the wire face of
+/// obs::prometheus_text / obs::json_text over the server's registry.
+struct StatsRequestFrame {
+  std::uint64_t request_id = 0;
+  StatsFormat format = StatsFormat::kPrometheus;
+};
+
+struct StatsResponseFrame {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::string error;  // set when !ok
+  StatsFormat format = StatsFormat::kPrometheus;
+  std::string text;   // the exposition document
+
+  static StatsResponseFrame success(std::uint64_t request_id,
+                                    StatsFormat format, std::string text);
+  static StatsResponseFrame failure(std::uint64_t request_id,
+                                    std::string error);
+};
+
 /// Encode as a length-prefixed serial frame ready to write to a stream.
 std::vector<std::uint8_t> encode(const SignRequestFrame& req);
 std::vector<std::uint8_t> encode(const SignResponseFrame& resp);
@@ -128,6 +155,8 @@ std::vector<std::uint8_t> encode(const VerifyRequestFrame& req);
 std::vector<std::uint8_t> encode(const VerifyResponseFrame& resp);
 std::vector<std::uint8_t> encode(const KeygenRequestFrame& req);
 std::vector<std::uint8_t> encode(const KeygenResponseFrame& resp);
+std::vector<std::uint8_t> encode(const StatsRequestFrame& req);
+std::vector<std::uint8_t> encode(const StatsResponseFrame& resp);
 
 /// Decode the serial-frame part (no length prefix — the stream layer has
 /// already consumed it). Throws serial::SerialError on malformed input.
@@ -139,6 +168,8 @@ VerifyResponseFrame decode_verify_response(
 KeygenRequestFrame decode_keygen_request(std::span<const std::uint8_t> frame);
 KeygenResponseFrame decode_keygen_response(
     std::span<const std::uint8_t> frame);
+StatsRequestFrame decode_stats_request(std::span<const std::uint8_t> frame);
+StatsResponseFrame decode_stats_response(std::span<const std::uint8_t> frame);
 
 /// Blocking stream I/O over a file descriptor (socket or pipe) — thin
 /// aliases of net::write_frame / net::read_frame, kept so message-layer

@@ -1,0 +1,346 @@
+// The observability layer: registry create-or-get semantics and name/kind
+// validation, lock-free instruments under contention (run under TSan in
+// CI), the Prometheus/JSON exposition formats, sampled request tracing
+// (stage histograms, slow-trace ring), and the kStatsRequest /
+// kStatsResponse wire frames.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metric.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "serial/serial.h"
+#include "serve/wire.h"
+
+namespace cgs::obs {
+namespace {
+
+// ------------------------------------------------------------- registry ---
+
+TEST(Registry, CreateOrGetReturnsSameInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("cgs_test_total");
+  Counter& b = reg.counter("cgs_test_total");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  reg.counter("cgs_test_total");
+  EXPECT_THROW(reg.gauge("cgs_test_total"), Error);
+  EXPECT_THROW(reg.histogram("cgs_test_total"), Error);
+  EXPECT_THROW(reg.gauge_fn("cgs_test_total", [] { return 0.0; }), Error);
+}
+
+TEST(Registry, InvalidNameThrows) {
+  Registry reg;
+  EXPECT_THROW(reg.counter(""), Error);
+  EXPECT_THROW(reg.counter("9starts_with_digit"), Error);
+  EXPECT_THROW(reg.counter("has space"), Error);
+  EXPECT_THROW(reg.counter("has-dash"), Error);
+  (void)reg.counter("ok_name:with_colon_0");  // the full legal alphabet
+}
+
+TEST(Registry, CallbackInstrumentsAndUnregister) {
+  Registry reg;
+  double depth = 7;
+  reg.gauge_fn("cgs_test_depth", [&depth] { return depth; });
+  reg.counter_fn("cgs_test_hits_total", [] { return 41.0; });
+
+  auto find = [&](const std::string& name) -> std::optional<Sample> {
+    for (const Sample& s : reg.collect())
+      if (s.name == name) return s;
+    return std::nullopt;
+  };
+  const std::optional<Sample> g = find("cgs_test_depth");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->kind, Kind::kGauge);
+  EXPECT_EQ(g->value, 7.0);
+
+  depth = 9;  // callbacks re-evaluate at collect time
+  EXPECT_EQ(find("cgs_test_depth")->value, 9.0);
+
+  // Re-binding a callback name replaces the callback (restart semantics).
+  reg.gauge_fn("cgs_test_depth", [] { return 1.0; });
+  EXPECT_EQ(find("cgs_test_depth")->value, 1.0);
+
+  reg.unregister("cgs_test_depth");
+  EXPECT_FALSE(find("cgs_test_depth").has_value());
+  EXPECT_TRUE(find("cgs_test_hits_total").has_value());
+  reg.unregister_prefix("cgs_test_");
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Registry, CollectIsNameSorted) {
+  Registry reg;
+  reg.counter("cgs_z_total");
+  reg.counter("cgs_a_total");
+  reg.gauge("cgs_m");
+  const std::vector<Sample> samples = reg.collect();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "cgs_a_total");
+  EXPECT_EQ(samples[1].name, "cgs_m");
+  EXPECT_EQ(samples[2].name, "cgs_z_total");
+}
+
+// Run under TSan in CI: concurrent add() on shared instruments must be
+// race-free and lose no increments.
+TEST(Registry, ConcurrentIncrementsAreLossless) {
+  Registry reg;
+  Counter& c = reg.counter("cgs_test_total");
+  Gauge& churn = reg.gauge("cgs_test_level");
+  Gauge& hwm = reg.gauge("cgs_test_high_water");
+  Histogram& h = reg.histogram("cgs_test_us");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        churn.add(t % 2 == 0 ? 1 : -1);  // half up, half down -> net 0
+        hwm.max_of(static_cast<std::int64_t>(i));
+        h.record(i % 1024);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(churn.value(), 0);
+  EXPECT_EQ(hwm.value(), static_cast<std::int64_t>(kPerThread) - 1);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+// --------------------------------------------------------------- metrics ---
+
+TEST(Histogram, BucketsAndQuantiles) {
+  Histogram h;
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 1
+  h.record(3);    // bucket 2: [2, 4)
+  h.record(100);  // bucket 7: [64, 128)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 104u);
+  const HistogramBuckets snap = h.snapshot();
+  EXPECT_EQ(snap[0], 1u);
+  EXPECT_EQ(snap[1], 1u);
+  EXPECT_EQ(snap[2], 1u);
+  EXPECT_EQ(snap[7], 1u);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 128.0);  // bucket 7's upper bound
+}
+
+TEST(Histogram, OverflowLandsInTheLastBucket) {
+  // Satellite (b): us >= 2^63 must clamp into bucket 64, never index
+  // past the array, and keep the quantile walk finite.
+  Histogram h;
+  h.record(~std::uint64_t{0});
+  h.record(std::uint64_t{1} << 63);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.snapshot()[64], 2u);
+  EXPECT_EQ(h.quantile(0.99), std::ldexp(1.0, 64));
+}
+
+TEST(Histogram, QuantileFromOneSnapshot) {
+  // bucket_quantile over an explicit merged array — the snapshot-once
+  // pattern the dispatcher uses so p50/p95/p99 agree on one copy.
+  Histogram a, b;
+  for (int i = 0; i < 90; ++i) a.record(10);   // bucket 4
+  for (int i = 0; i < 10; ++i) b.record(1000); // bucket 10
+  HistogramBuckets merged{};
+  a.merge_into(merged);
+  b.merge_into(merged);
+  EXPECT_EQ(bucket_quantile(merged, 0.50), 16.0);
+  EXPECT_EQ(bucket_quantile(merged, 0.99), 1024.0);
+  EXPECT_EQ(bucket_quantile(merged, 0.0), 16.0);
+}
+
+// ------------------------------------------------------------ exposition ---
+
+TEST(Export, PrometheusGolden) {
+  Registry reg;
+  reg.counter("cgs_events_total").add(42);
+  reg.gauge("cgs_depth").set(-3);
+  Histogram& h = reg.histogram("cgs_lat_us");
+  h.record(0);
+  h.record(3);
+  h.record(3);
+  const std::string expected =
+      "# TYPE cgs_depth gauge\n"
+      "cgs_depth -3\n"
+      "# TYPE cgs_events_total counter\n"
+      "cgs_events_total 42\n"
+      "# TYPE cgs_lat_us histogram\n"
+      "cgs_lat_us_bucket{le=\"0\"} 1\n"
+      "cgs_lat_us_bucket{le=\"1\"} 1\n"
+      "cgs_lat_us_bucket{le=\"3\"} 3\n"
+      "cgs_lat_us_bucket{le=\"+Inf\"} 3\n"
+      "cgs_lat_us_sum 6\n"
+      "cgs_lat_us_count 3\n";
+  EXPECT_EQ(prometheus_text(reg), expected);
+}
+
+TEST(Export, EmptyHistogramIsCompact) {
+  Registry reg;
+  reg.histogram("cgs_idle_us");
+  const std::string text = prometheus_text(reg);
+  // Trailing empty buckets collapse: le="0", +Inf, sum, count and the
+  // TYPE line only.
+  EXPECT_EQ(text,
+            "# TYPE cgs_idle_us histogram\n"
+            "cgs_idle_us_bucket{le=\"0\"} 0\n"
+            "cgs_idle_us_bucket{le=\"+Inf\"} 0\n"
+            "cgs_idle_us_sum 0\n"
+            "cgs_idle_us_count 0\n");
+}
+
+TEST(Export, JsonCarriesEveryMetric) {
+  Registry reg;
+  reg.counter("cgs_events_total").add(5);
+  reg.histogram("cgs_lat_us").record(100);
+  const std::string json = json_text(reg);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"cgs_events_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"cgs_lat_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\": 128"), std::string::npos);
+}
+
+// --------------------------------------------------------------- tracing ---
+
+TEST(Trace, DisabledTracerCostsOneBranch) {
+  Registry reg;
+  Tracer tracer(reg, TraceOptions{.sample_every = 0, .slow_ring = 4});
+  EXPECT_FALSE(tracer.enabled());
+  Trace t = tracer.begin();
+  EXPECT_FALSE(t.active);
+  t.stamp(Stage::kEnqueued);  // all no-ops on an inert trace
+  EXPECT_EQ(t.at(Stage::kEnqueued), 0u);
+  tracer.finish(t);
+  EXPECT_EQ(reg.histogram("cgs_trace_total_us").count(), 0u);
+  EXPECT_TRUE(tracer.slowest().empty());
+}
+
+TEST(Trace, SampledStampsAreMonotoneAndRecorded) {
+  Registry reg;
+  Tracer tracer(reg, TraceOptions{.sample_every = 1, .slow_ring = 4});
+  Trace t = tracer.begin();
+  ASSERT_TRUE(t.active);
+  EXPECT_GT(t.at(Stage::kReceived), 0u);  // begin() stamps received
+  for (Stage s : {Stage::kEnqueued, Stage::kBatchClosed, Stage::kEngineStart,
+                  Stage::kEngineEnd, Stage::kFulfilled, Stage::kFlushed})
+    t.stamp(s);
+  // steady_clock stamps taken in order never decrease.
+  for (std::size_t i = 1; i < kNumStages; ++i)
+    EXPECT_GE(t.stamps[i], t.stamps[i - 1]);
+  tracer.finish(t);
+  EXPECT_EQ(reg.counter("cgs_trace_sampled_total").value(), 1u);
+  EXPECT_EQ(reg.histogram("cgs_trace_queue_wait_us").count(), 1u);
+  EXPECT_EQ(reg.histogram("cgs_trace_compute_us").count(), 1u);
+  EXPECT_EQ(reg.histogram("cgs_trace_write_stall_us").count(), 1u);
+  EXPECT_EQ(reg.histogram("cgs_trace_total_us").count(), 1u);
+}
+
+TEST(Trace, WriteStallOnlyRecordsWhenFlushed) {
+  Registry reg;
+  Tracer tracer(reg, TraceOptions{.sample_every = 1, .slow_ring = 0});
+  Trace t = tracer.begin();
+  ASSERT_TRUE(t.active);
+  t.stamp(Stage::kFulfilled);  // fulfilled but never flushed (no transport)
+  tracer.finish(t);
+  EXPECT_EQ(reg.histogram("cgs_trace_write_stall_us").count(), 0u);
+  EXPECT_EQ(reg.histogram("cgs_trace_total_us").count(), 1u);
+}
+
+TEST(Trace, SamplingRateIsOneInN) {
+  Registry reg;
+  Tracer tracer(reg, TraceOptions{.sample_every = 8, .slow_ring = 0});
+  int active = 0;
+  for (int i = 0; i < 64; ++i)
+    if (tracer.begin().active) ++active;
+  EXPECT_EQ(active, 8);
+}
+
+TEST(Trace, SlowRingKeepsTheSlowestAndStaysBounded) {
+  Registry reg;
+  constexpr std::size_t kRing = 4;
+  Tracer tracer(reg, TraceOptions{.sample_every = 1, .slow_ring = kRing});
+  // 20 traces with hand-built totals 1..20us (stamp_at for determinism).
+  for (std::uint64_t total = 1; total <= 20; ++total) {
+    Trace t = tracer.begin();
+    ASSERT_TRUE(t.active);
+    const std::uint64_t start = t.at(Stage::kReceived);
+    t.stamp_at(Stage::kFulfilled, start + total);
+    tracer.finish(t);
+  }
+  const std::vector<SlowTrace> slow = tracer.slowest();
+  ASSERT_EQ(slow.size(), kRing);
+  for (std::size_t i = 0; i < slow.size(); ++i) {
+    EXPECT_EQ(slow[i].total_us, 20 - i);  // slowest first: 20, 19, 18, 17
+    EXPECT_GT(slow[i].stamps[0], 0u);
+  }
+}
+
+// ----------------------------------------------------------- wire frames ---
+
+TEST(StatsWire, RequestRoundTrip) {
+  serve::StatsRequestFrame req;
+  req.request_id = 77;
+  req.format = serve::StatsFormat::kJson;
+  const std::vector<std::uint8_t> encoded = serve::encode(req);
+  // Strip the u32 length prefix the stream layer owns.
+  const std::span<const std::uint8_t> frame(encoded.data() + 4,
+                                            encoded.size() - 4);
+  EXPECT_EQ(serial::peek_tag(frame), serial::TypeTag::kStatsRequest);
+  const serve::StatsRequestFrame back = serve::decode_stats_request(frame);
+  EXPECT_EQ(back.request_id, 77u);
+  EXPECT_EQ(back.format, serve::StatsFormat::kJson);
+}
+
+TEST(StatsWire, ResponseRoundTripSuccessAndFailure) {
+  const serve::StatsResponseFrame ok = serve::StatsResponseFrame::success(
+      5, serve::StatsFormat::kPrometheus, "# TYPE x counter\nx 1\n");
+  std::vector<std::uint8_t> encoded = serve::encode(ok);
+  serve::StatsResponseFrame back = serve::decode_stats_response(
+      std::span<const std::uint8_t>(encoded.data() + 4, encoded.size() - 4));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.request_id, 5u);
+  EXPECT_EQ(back.format, serve::StatsFormat::kPrometheus);
+  EXPECT_EQ(back.text, "# TYPE x counter\nx 1\n");
+
+  const serve::StatsResponseFrame bad =
+      serve::StatsResponseFrame::failure(6, "no registry");
+  encoded = serve::encode(bad);
+  back = serve::decode_stats_response(
+      std::span<const std::uint8_t>(encoded.data() + 4, encoded.size() - 4));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.request_id, 6u);
+  EXPECT_EQ(back.error, "no registry");
+}
+
+TEST(StatsWire, MalformedFormatByteThrows) {
+  serve::StatsRequestFrame req;
+  req.request_id = 1;
+  req.format = static_cast<serve::StatsFormat>(9);  // not a valid selector
+  const std::vector<std::uint8_t> encoded = serve::encode(req);
+  EXPECT_THROW(
+      serve::decode_stats_request(std::span<const std::uint8_t>(
+          encoded.data() + 4, encoded.size() - 4)),
+      serial::SerialError);
+}
+
+}  // namespace
+}  // namespace cgs::obs

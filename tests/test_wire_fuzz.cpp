@@ -75,6 +75,19 @@ std::vector<Sample> make_samples(prng::SplitMix64Source& rng) {
   samples.push_back({serial::TypeTag::kKeygenResponse,
                      encode(KeygenResponseFrame::failure(50, "solver died"))});
 
+  StatsRequestFrame stats_req;
+  stats_req.request_id = 51;
+  stats_req.format = StatsFormat::kJson;
+  samples.push_back({serial::TypeTag::kStatsRequest, encode(stats_req)});
+
+  samples.push_back(
+      {serial::TypeTag::kStatsResponse,
+       encode(StatsResponseFrame::success(
+           52, StatsFormat::kPrometheus,
+           "# TYPE cgs_events_total counter\ncgs_events_total 3\n"))});
+  samples.push_back({serial::TypeTag::kStatsResponse,
+                     encode(StatsResponseFrame::failure(53, "draining"))});
+
   return samples;
 }
 
@@ -95,6 +108,8 @@ void decode_as(serial::TypeTag tag, std::span<const std::uint8_t> frame) {
     case serial::TypeTag::kVerifyResponse: decode_verify_response(frame); break;
     case serial::TypeTag::kKeygenRequest: decode_keygen_request(frame); break;
     case serial::TypeTag::kKeygenResponse: decode_keygen_response(frame); break;
+    case serial::TypeTag::kStatsRequest: decode_stats_request(frame); break;
+    case serial::TypeTag::kStatsResponse: decode_stats_response(frame); break;
     default: FAIL() << "unexpected sample tag";
   }
 }
