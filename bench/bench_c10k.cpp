@@ -1,0 +1,521 @@
+// C10K gate for the multi-reactor front door: >=2000 concurrent
+// pipelining connections driving mixed keygen/sign/verify traffic through
+// net::Server -> serve::route_frame -> Dispatcher, measured once against
+// a single reactor and once against a multi-reactor server on the same
+// dispatcher. Three gates:
+//
+//   - correctness (always): every sign response decodes and comes back
+//     accepted when round-tripped through the verify lane (the server
+//     verifies every signature it produced), spot-checked locally against
+//     the public key; queue-full admission failures are retried, never
+//     dropped.
+//   - scaling (wall-clock, skipped when CGS_BENCH_SKIP_TIMING_GATE is
+//     set): multi-reactor throughput >= 1.0x the single-reactor run —
+//     adding event loops must never cost throughput.
+//   - overload (always): with max_connections far below the offered
+//     connection count, every connection over the cap observes a typed
+//     kOverloaded frame before its close — zero silent closes, and the
+//     server's shed counter agrees with what the clients saw.
+//
+// Usage: bench_c10k [n_connections] [--json FILE]
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/registry.h"
+#include "falcon/verify.h"
+#include "net/client.h"
+#include "net/overload.h"
+#include "net/server.h"
+#include "serial/serial.h"
+#include "serve/dispatcher.h"
+#include "serve/router.h"
+#include "serve/wire.h"
+
+namespace {
+
+using namespace cgs;
+using benchutil::Clock;
+
+constexpr std::size_t kDegree = 64;
+constexpr int kThreads = 16;
+constexpr int kSignsPerConn = 4;  // pipelined window per connection
+constexpr int kRetryLimit = 10;   // per request, on queue-full admission
+
+/// Raise RLIMIT_NOFILE toward `wanted`; returns the achieved soft limit.
+std::size_t raise_nofile(std::size_t wanted) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur < wanted) {
+    rlimit raised = lim;
+    raised.rlim_cur =
+        lim.rlim_max == RLIM_INFINITY
+            ? wanted
+            : std::min<rlim_t>(static_cast<rlim_t>(wanted), lim.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return static_cast<std::size_t>(lim.rlim_cur);
+}
+
+struct PhaseTotals {
+  std::atomic<std::uint64_t> signs{0}, verifies{0}, keygens{0}, retries{0};
+  std::atomic<std::uint64_t> decode_failures{0}, verdict_failures{0},
+      local_verify_failures{0};
+  double secs = 0.0;
+  double rps() const {
+    const double reqs = static_cast<double>(signs.load() + verifies.load() +
+                                            keygens.load());
+    return secs > 0 ? reqs / secs : 0.0;
+  }
+};
+
+// One driver thread: owns `n_conns` pipelining connections. It pipelines
+// a window of sign requests down every connection (a keygen rides along
+// on connection 0 — a tenant onboarding mid-storm), reads the signatures
+// back, then feeds every one through the verify lane and demands an
+// accept — the server re-verifies every signature this bench produced.
+// Responses arrive in completion order, not request order (lanes batch
+// and interleave), so frames are classified by tag and slotted by
+// request_id; queue-full admission failures are re-sent, never dropped.
+void drive(std::uint16_t port, int n_conns, std::uint64_t key_id,
+           const falcon::Verifier& verifier, std::atomic<int>& ready,
+           const std::atomic<bool>& go, PhaseTotals& totals) {
+  net::ClientOptions copts;
+  copts.connect_timeout = std::chrono::milliseconds(15000);
+  copts.read_timeout = std::chrono::milliseconds(60000);
+  std::vector<net::Client> clients;
+  clients.reserve(static_cast<std::size_t>(n_conns));
+  for (int c = 0; c < n_conns; ++c) clients.emplace_back(port, copts);
+  ++ready;
+  while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  serve::KeygenRequestFrame kg;
+  kg.request_id = 9999;
+  kg.degree = kDegree;
+  kg.seed = 0x1000u + static_cast<std::uint64_t>(port);
+  clients[0].send(serve::encode(kg));
+
+  std::vector<std::vector<std::string>> messages(
+      static_cast<std::size_t>(n_conns));
+  std::vector<std::vector<falcon::Signature>> sigs(
+      static_cast<std::size_t>(n_conns));
+
+  // Window of signs down every connection before reading anything back:
+  // all connections have requests in flight at once.
+  for (int c = 0; c < n_conns; ++c) {
+    sigs[c].resize(kSignsPerConn);
+    for (int i = 0; i < kSignsPerConn; ++i) {
+      messages[c].push_back("c10k conn " + std::to_string(c) + " msg " +
+                            std::to_string(i));
+      serve::SignRequestFrame req;
+      req.request_id = static_cast<std::uint64_t>(i);
+      req.key_id = key_id;
+      req.message = messages[c].back();
+      clients[c].send(serve::encode(req));
+    }
+  }
+  bool local_checked = false;
+  std::vector<std::vector<bool>> have(static_cast<std::size_t>(n_conns));
+  for (int c = 0; c < n_conns; ++c) {
+    have[c].assign(kSignsPerConn, false);
+    net::Client& client = clients[static_cast<std::size_t>(c)];
+    int frames_due = kSignsPerConn + (c == 0 ? 1 : 0);  // + the keygen
+    std::vector<int> attempts(kSignsPerConn, 0);
+    while (frames_due > 0) {
+      std::optional<std::vector<std::uint8_t>> frame;
+      try {
+        frame = client.read();
+      } catch (const std::exception&) {
+        frame.reset();
+      }
+      if (!frame) {
+        totals.decode_failures += static_cast<std::uint64_t>(frames_due);
+        break;
+      }
+      --frames_due;
+      try {
+        if (serial::peek_tag(*frame) == serial::TypeTag::kKeygenResponse) {
+          if (serve::decode_keygen_response(*frame).ok)
+            ++totals.keygens;
+          else
+            ++totals.decode_failures;
+          continue;
+        }
+        const serve::SignResponseFrame resp =
+            serve::decode_sign_response(*frame);
+        const std::size_t id = static_cast<std::size_t>(resp.request_id);
+        if (id >= static_cast<std::size_t>(kSignsPerConn)) {
+          ++totals.decode_failures;
+        } else if (resp.ok) {
+          ++totals.signs;
+          sigs[c][id] = resp.to_signature();
+          have[c][id] = true;
+          if (!local_checked) {
+            local_checked = true;
+            if (!verifier.verify(messages[c][id], sigs[c][id]))
+              ++totals.local_verify_failures;
+          }
+        } else if (attempts[id]++ < kRetryLimit) {
+          // Queue-full admission: back off briefly and re-send the same
+          // message, expecting one more response frame on this connection.
+          ++totals.retries;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(attempts[id]));
+          serve::SignRequestFrame retry;
+          retry.request_id = id;
+          retry.key_id = key_id;
+          retry.message = messages[c][id];
+          client.send(serve::encode(retry));
+          ++frames_due;
+        } else {
+          ++totals.decode_failures;
+        }
+      } catch (const std::exception&) {
+        ++totals.decode_failures;
+      }
+    }
+  }
+  // Round-trip every signature through the verify lane; all must accept.
+  // Slots whose sign never succeeded are already counted as failures.
+  for (int c = 0; c < n_conns; ++c) {
+    for (int i = 0; i < kSignsPerConn; ++i)
+      if (have[c][i])
+        clients[c].send(serve::encode(serve::VerifyRequestFrame::make(
+            static_cast<std::uint64_t>(i), key_id, messages[c][i],
+            sigs[c][i])));
+  }
+  for (int c = 0; c < n_conns; ++c) {
+    net::Client& client = clients[static_cast<std::size_t>(c)];
+    int frames_due = 0;
+    for (int i = 0; i < kSignsPerConn; ++i) frames_due += have[c][i] ? 1 : 0;
+    std::vector<int> attempts(kSignsPerConn, 0);
+    while (frames_due > 0) {
+      std::optional<std::vector<std::uint8_t>> frame;
+      try {
+        frame = client.read();
+      } catch (const std::exception&) {
+        frame.reset();
+      }
+      if (!frame) {
+        totals.decode_failures += static_cast<std::uint64_t>(frames_due);
+        break;
+      }
+      --frames_due;
+      try {
+        const serve::VerifyResponseFrame resp =
+            serve::decode_verify_response(*frame);
+        const std::size_t id = static_cast<std::size_t>(resp.request_id);
+        if (resp.ok && resp.accepted) {
+          ++totals.verifies;
+        } else if (!resp.ok && id < static_cast<std::size_t>(kSignsPerConn) &&
+                   attempts[id]++ < kRetryLimit) {
+          ++totals.retries;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(attempts[id]));
+          client.send(serve::encode(serve::VerifyRequestFrame::make(
+              static_cast<std::uint64_t>(id), key_id, messages[c][id],
+              sigs[c][id])));
+          ++frames_due;
+        } else {
+          ++totals.verdict_failures;
+        }
+      } catch (const std::exception&) {
+        ++totals.decode_failures;
+      }
+    }
+  }
+}
+
+/// One measured phase: a server with `reactors` event loops, `n_conns`
+/// concurrent connections across kThreads drivers, each signing under its
+/// own tenant key (keys shard across the dispatcher's sign lanes — one
+/// shared key would funnel every sign into a single lane's queue). The
+/// clock starts once every connection is open (setup is not throughput).
+void run_phase(serve::Dispatcher& dispatcher, int reactors, int n_conns,
+               const std::vector<std::uint64_t>& key_ids,
+               const std::vector<falcon::Verifier>& verifiers,
+               PhaseTotals& totals, int* reactors_used) {
+  serve::CompletionPool pool(4);
+  net::ServerOptions sopts;
+  sopts.reactors = reactors;
+  sopts.backlog = 512;
+  sopts.registry = &dispatcher.obs_registry();
+  net::Server server(
+      [&](net::ResponseToken token, std::vector<std::uint8_t> frame) {
+        serve::route_frame(dispatcher, pool, std::move(token),
+                           std::move(frame));
+      },
+      sopts);
+  *reactors_used = server.reactors();
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  const int per_thread = n_conns / kThreads;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      drive(server.port(), per_thread + (t == 0 ? n_conns % kThreads : 0),
+            key_ids[static_cast<std::size_t>(t) % key_ids.size()],
+            verifiers[static_cast<std::size_t>(t) % verifiers.size()], ready,
+            go, totals);
+    });
+  while (ready.load() < kThreads) std::this_thread::yield();
+  const auto t0 = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  totals.secs = benchutil::ms_since(t0) / 1000.0;
+
+  server.shutdown();
+  pool.join();  // settle any straggler tokens before `server` dies
+}
+
+struct OverloadResult {
+  int attempted = 0;
+  int served = 0;
+  int sheds_observed = 0;
+  int silent_closes = 0;
+  std::uint64_t sheds_counted = 0;  // the server's own counter
+};
+
+/// Offer 4x more connections than the cap admits. Every over-cap
+/// connection must read a typed kOverloaded frame — a timeout or a bare
+/// EOF is a silent close, and the gate is zero of them.
+OverloadResult run_overload(serve::Dispatcher& dispatcher,
+                            std::uint64_t key_id) {
+  OverloadResult result;
+  serve::CompletionPool pool(2);
+  net::ServerOptions sopts;
+  sopts.reactors = 2;
+  sopts.backlog = 512;
+  sopts.limits.max_connections = 64;
+  sopts.timeouts.shed_linger = std::chrono::milliseconds(10000);
+  net::Server server(
+      [&](net::ResponseToken token, std::vector<std::uint8_t> frame) {
+        serve::route_frame(dispatcher, pool, std::move(token),
+                           std::move(frame));
+      },
+      sopts);
+
+  result.attempted = 256;
+  net::ClientOptions copts;
+  copts.read_timeout = std::chrono::milliseconds(10000);
+  std::vector<net::Client> conns;
+  conns.reserve(static_cast<std::size_t>(result.attempted));
+  for (int i = 0; i < result.attempted; ++i) conns.emplace_back(server.port(), copts);
+
+  // Every connection asks for work; admitted ones get the signature,
+  // over-cap ones already have the typed shed frame queued (their request
+  // bytes are discarded by the shedding connection).
+  for (int i = 0; i < result.attempted; ++i) {
+    serve::SignRequestFrame req;
+    req.request_id = static_cast<std::uint64_t>(i);
+    req.key_id = key_id;
+    req.message = "overload probe " + std::to_string(i);
+    try {
+      conns[static_cast<std::size_t>(i)].send(serve::encode(req));
+    } catch (const net::ClientError&) {
+      // Connection torn down before the frame left: judged on read below.
+    }
+  }
+  for (int i = 0; i < result.attempted; ++i) {
+    try {
+      const auto frame = conns[static_cast<std::size_t>(i)].read();
+      if (!frame) {
+        ++result.silent_closes;  // EOF with no answer
+      } else if (net::is_overloaded(*frame)) {
+        ++result.sheds_observed;
+      } else {
+        const serve::SignResponseFrame resp =
+            serve::decode_sign_response(*frame);
+        if (resp.ok) ++result.served;
+      }
+    } catch (const net::ClientError&) {
+      ++result.silent_closes;  // timeout or reset with no answer
+    }
+  }
+  result.sheds_counted = server.stats().sheds_accept_cap;
+  conns.clear();
+  server.shutdown();
+  pool.join();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Args args = benchutil::parse(argc, argv);
+  int n_conns = args.n > 0 ? static_cast<int>(args.n) : 2048;
+
+  // 1 client fd + 1 server fd per connection, plus epoll/eventfd/listener
+  // overhead and the process's own files.
+  const std::size_t fd_budget =
+      raise_nofile(static_cast<std::size_t>(2 * n_conns) + 256);
+  if (fd_budget < static_cast<std::size_t>(2 * n_conns) + 256) {
+    const int fit = static_cast<int>((fd_budget - 256) / 2);
+    std::printf("nofile limit %zu too low for %d connections; dropping to %d\n",
+                fd_budget, n_conns, fit);
+    n_conns = fit;
+  }
+
+  serve::DispatcherOptions dopts;
+  dopts.queue_capacity = 4096;
+  dopts.max_batch = 64;
+  dopts.max_linger_us = 2000;
+  dopts.sign_lanes = 4;
+  dopts.verify_lanes = 4;
+  dopts.signing.root_seed = 0xC10C;
+  serve::Dispatcher dispatcher(engine::SamplerRegistry::global(), dopts);
+
+  // One tenant key per driver thread, registered through the keygen lane
+  // (blocking — key setup is not part of any measured phase). Distinct
+  // keys shard the sign load across lanes, like real multi-tenant
+  // traffic; each thread locally verifies against its own public key.
+  std::vector<std::uint64_t> key_ids;
+  std::vector<falcon::Verifier> verifiers;
+  for (int t = 0; t < kThreads; ++t) {
+    serve::KeygenRequest kreq;
+    kreq.params = falcon::FalconParams::for_degree(kDegree);
+    kreq.seed = 0x5EEDC10Cu + static_cast<std::uint64_t>(t);
+    const serve::KeygenResult key = dispatcher.submit(std::move(kreq)).future.get();
+    key_ids.push_back(key.key_id);
+    verifiers.emplace_back(key.public_h,
+                           falcon::FalconParams::for_degree(kDegree));
+  }
+
+  const int multi_reactors =
+      std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+
+  std::printf("== c10k: %d connections, %d driver threads, %d signs/conn ==\n",
+              n_conns, kThreads, kSignsPerConn);
+  PhaseTotals single, multi;
+  int single_used = 0, multi_used = 0;
+  run_phase(dispatcher, 1, n_conns, key_ids, verifiers, single, &single_used);
+  std::printf("single reactor : %7.0f req/s (%llu signs, %llu verifies, "
+              "%llu keygens, %llu retries) in %.2fs\n",
+              single.rps(),
+              static_cast<unsigned long long>(single.signs.load()),
+              static_cast<unsigned long long>(single.verifies.load()),
+              static_cast<unsigned long long>(single.keygens.load()),
+              static_cast<unsigned long long>(single.retries.load()),
+              single.secs);
+  run_phase(dispatcher, multi_reactors, n_conns, key_ids, verifiers, multi,
+            &multi_used);
+  std::printf("%d reactors     : %7.0f req/s (%llu signs, %llu verifies, "
+              "%llu keygens, %llu retries) in %.2fs\n",
+              multi_used, multi.rps(),
+              static_cast<unsigned long long>(multi.signs.load()),
+              static_cast<unsigned long long>(multi.verifies.load()),
+              static_cast<unsigned long long>(multi.keygens.load()),
+              static_cast<unsigned long long>(multi.retries.load()),
+              multi.secs);
+  const double speedup = single.rps() > 0 ? multi.rps() / single.rps() : 0.0;
+  std::printf("scaling        : %.2fx\n", speedup);
+
+  const OverloadResult overload = run_overload(dispatcher, key_ids[0]);
+  std::printf("overload       : %d offered / cap 64 -> %d served, %d typed "
+              "sheds (server counted %llu), %d silent closes\n",
+              overload.attempted, overload.served, overload.sheds_observed,
+              static_cast<unsigned long long>(overload.sheds_counted),
+              overload.silent_closes);
+
+  dispatcher.shutdown();
+
+  const char* skip_env = std::getenv("CGS_BENCH_SKIP_TIMING_GATE");
+  const bool gate_timing = !(skip_env && *skip_env && *skip_env != '0');
+
+  if (!args.json_path.empty()) {
+    benchutil::JsonWriter json;
+    json.begin_object()
+        .field("bench", "c10k")
+        .field("connections", n_conns)
+        .field("driver_threads", kThreads)
+        .field("signs_per_conn", kSignsPerConn)
+        .field("single_reactor_rps", single.rps())
+        .field("multi_reactors", multi_used)
+        .field("multi_reactor_rps", multi.rps())
+        .field("speedup", speedup)
+        .field("signs",
+               static_cast<std::size_t>(single.signs + multi.signs))
+        .field("verifies",
+               static_cast<std::size_t>(single.verifies + multi.verifies))
+        .field("keygens",
+               static_cast<std::size_t>(single.keygens + multi.keygens))
+        .field("retries",
+               static_cast<std::size_t>(single.retries + multi.retries))
+        .field("decode_failures",
+               static_cast<std::size_t>(single.decode_failures +
+                                        multi.decode_failures))
+        .field("verdict_failures",
+               static_cast<std::size_t>(single.verdict_failures +
+                                        multi.verdict_failures))
+        .field("overload_offered", overload.attempted)
+        .field("overload_served", overload.served)
+        .field("overload_typed_sheds", overload.sheds_observed)
+        .field("overload_silent_closes", overload.silent_closes)
+        .field("timing_gated", gate_timing)
+        .end_object();
+    json.write_file(args.json_path);
+  }
+
+  // Correctness gates — never skipped.
+  const std::uint64_t bad_decodes =
+      single.decode_failures + multi.decode_failures;
+  const std::uint64_t bad_verdicts =
+      single.verdict_failures + multi.verdict_failures;
+  const std::uint64_t bad_local =
+      single.local_verify_failures + multi.local_verify_failures;
+  if (bad_decodes != 0 || bad_verdicts != 0 || bad_local != 0) {
+    std::printf("FAIL: %llu undecodable/failed responses, %llu rejected "
+                "verdicts, %llu local verify failures\n",
+                static_cast<unsigned long long>(bad_decodes),
+                static_cast<unsigned long long>(bad_verdicts),
+                static_cast<unsigned long long>(bad_local));
+    return 1;
+  }
+  if (overload.silent_closes != 0) {
+    std::printf("FAIL: %d connections closed without a typed answer\n",
+                overload.silent_closes);
+    return 1;
+  }
+  if (overload.sheds_observed !=
+          static_cast<int>(overload.sheds_counted) ||
+      overload.served + overload.sheds_observed != overload.attempted) {
+    std::printf("FAIL: shed accounting off: %d observed, %llu counted, "
+                "%d served of %d\n",
+                overload.sheds_observed,
+                static_cast<unsigned long long>(overload.sheds_counted),
+                overload.served, overload.attempted);
+    return 1;
+  }
+  // Scale and scaling gates — wall-clock-sensitive, honor the skip env.
+  if (gate_timing && n_conns < 2000) {
+    std::printf("FAIL: only %d concurrent connections (< 2000 gate)\n",
+                n_conns);
+    return 1;
+  }
+  // On a single-core host every reactor time-slices the same CPU, so
+  // "more event loops must not cost throughput" cannot be measured — the
+  // scaling gate needs at least two cores to mean anything.
+  const bool gate_scaling =
+      gate_timing && std::thread::hardware_concurrency() >= 2;
+  if (gate_scaling && speedup < 1.0) {
+    std::printf("FAIL: multi-reactor throughput %.2fx single-reactor "
+                "(< 1.0x gate)\n",
+                speedup);
+    return 1;
+  }
+  std::printf("OK: every response verified, zero silent closes%s\n",
+              gate_scaling
+                  ? ", scaling gate passed"
+                  : (gate_timing ? " (single-core host: scaling gate n/a)"
+                                 : " (timing gates skipped)"));
+  return 0;
+}

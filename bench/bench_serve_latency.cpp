@@ -126,7 +126,9 @@ int main(int argc, char** argv) {
         if (i >= n_requests) return;
         while (true) {
           auto sub =
-              dispatcher.submit_sign(key_id, "load " + std::to_string(i));
+              dispatcher.submit(serve::SignRequest{
+                  .key_id = key_id,
+                  .message = "load " + std::to_string(i)});
           if (sub.ok()) {
             futures[i] = std::move(sub.future);
             break;
@@ -162,11 +164,11 @@ int main(int argc, char** argv) {
   // second dispatcher so the load phase's latencies don't pollute p99).
   serve::Dispatcher idle_dispatcher(reg, opts);
   const std::uint64_t idle_key = idle_dispatcher.add_key(kp);
-  (void)idle_dispatcher.submit_sign(idle_key, "warmup").future.get();
+  (void)idle_dispatcher.submit(serve::SignRequest{.key_id = idle_key, .message = "warmup"}).future.get();
   std::vector<double> idle_us;
   for (std::size_t i = 0; i < n_idle; ++i) {
     const auto t0 = Clock::now();
-    auto sub = idle_dispatcher.submit_sign(idle_key, "idle");
+    auto sub = idle_dispatcher.submit(serve::SignRequest{.key_id = idle_key, .message = "idle"});
     const falcon::Signature sig = sub.future.get();
     idle_us.push_back(ms_since(t0) * 1e3);
     if (i % 9 == 0 && !verifier.verify("idle", sig)) all_verified = false;
@@ -183,7 +185,7 @@ int main(int argc, char** argv) {
   // tracing fully off vs sampled at the default rate. Everything else
   // (lanes, batching, key, request count) held constant.
   const auto storm_rate = [&](serve::Dispatcher& d, std::uint64_t kid) {
-    (void)d.submit_sign(kid, "warmup").future.get();
+    (void)d.submit(serve::SignRequest{.key_id = kid, .message = "warmup"}).future.get();
     std::vector<std::future<falcon::Signature>> futs(n_requests);
     std::atomic<std::size_t> idx{0};
     const auto t0 = Clock::now();
@@ -194,7 +196,7 @@ int main(int argc, char** argv) {
           const std::size_t i = idx.fetch_add(1);
           if (i >= n_requests) return;
           while (true) {
-            auto sub = d.submit_sign(kid, "trace " + std::to_string(i));
+            auto sub = d.submit(serve::SignRequest{.key_id = kid, .message = "trace " + std::to_string(i)});
             if (sub.ok()) {
               futs[i] = std::move(sub.future);
               break;

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -88,20 +89,18 @@ int main(int argc, char** argv) {
   }
 
   try {
-    net::Client client(port);
+    net::ClientOptions copts;
+    copts.connect_timeout = std::chrono::milliseconds(2000);
+    copts.read_timeout = std::chrono::milliseconds(5000);
+    net::Client client(port, copts);
     serve::StatsRequestFrame req;
     req.request_id = 1;
     req.format = format;
-    if (!client.send(serve::encode(req))) {
-      std::fprintf(stderr, "cgs_stats: send failed\n");
-      return 1;
-    }
-    const auto frame = client.read();
-    if (!frame) {
-      std::fprintf(stderr, "cgs_stats: connection closed before response\n");
-      return 1;
-    }
-    const serve::StatsResponseFrame resp = serve::decode_stats_response(*frame);
+    // request() is the whole scrape: one frame out, one back, with a
+    // typed ClientError (connect refusal, deadline, overload shed) on
+    // anything but a proper response.
+    const serve::StatsResponseFrame resp =
+        serve::decode_stats_response(client.request(serve::encode(req)));
     if (!resp.ok) {
       std::fprintf(stderr, "cgs_stats: server error: %s\n",
                    resp.error.c_str());

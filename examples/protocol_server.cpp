@@ -1,13 +1,14 @@
-// The full signature lifecycle over a real socket: an epoll server
-// (net::EpollServer) multiplexing every wire request type into the
-// Dispatcher's lanes, and concurrent pipelining clients (net::Client)
-// that each onboard a tenant key through the keygen lane, sign a burst of
-// messages, then ask the verify lane for verdicts — one good and one
-// tampered verify per signature, expecting accept and reject
-// respectively. Exits nonzero on any failure (this example doubles as a
-// ctest smoke test for the mixed-traffic path, including shutdown drain).
+// The full signature lifecycle over a real socket: the multi-reactor
+// server (net::Server) multiplexing every wire request type into the
+// Dispatcher's lanes through the shared serve::route_frame switch, and
+// concurrent pipelining clients (net::Client) that each onboard a tenant
+// key through the keygen lane, sign a burst of messages, then ask the
+// verify lane for verdicts — one good and one tampered verify per
+// signature, expecting accept and reject respectively. Exits nonzero on
+// any failure (this example doubles as a ctest smoke test for the
+// mixed-traffic path, including shutdown drain).
 //
-// The dispatcher and the epoll server share one obs::Registry, so a
+// The dispatcher and the server share one obs::Registry, so a
 // kStatsRequest frame (or the cgs_stats CLI) sees serving-lane,
 // transport and cache metrics in a single exposition. After the client
 // storm the server prints that exposition — before shutdown, because
@@ -23,15 +24,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
-#include <functional>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -43,202 +39,13 @@
 #include "net/server.h"
 #include "obs/export.h"
 #include "obs/registry.h"
-#include "serial/serial.h"
 #include "serve/dispatcher.h"
+#include "serve/router.h"
 #include "serve/wire.h"
 
 namespace {
 
 using namespace cgs;
-
-// Waits on dispatcher futures off the event loop and sends the responses
-// back through the server — the loop thread itself never blocks.
-class CompletionPool {
- public:
-  explicit CompletionPool(int threads) {
-    for (int i = 0; i < threads; ++i)
-      workers_.emplace_back([this] { run(); });
-  }
-
-  ~CompletionPool() { join(); }
-
-  /// Drain the queue and join the workers. Idempotent. The pool outlives
-  /// the server object it posts sends to only if this runs before the
-  /// server is destroyed — main() calls it explicitly for that reason
-  /// (destructor order alone would tear the server down first).
-  void join() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stopping_ = true;
-    }
-    cv_.notify_all();
-    for (auto& w : workers_)
-      if (w.joinable()) w.join();
-  }
-
-  void post(std::function<void()> task) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      tasks_.push_back(std::move(task));
-    }
-    cv_.notify_one();
-  }
-
- private:
-  void run() {
-    for (;;) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-        if (tasks_.empty()) return;  // stopping and drained
-        task = std::move(tasks_.front());
-        tasks_.pop_front();
-      }
-      task();
-    }
-  }
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  std::vector<std::thread> workers_;
-  bool stopping_ = false;
-};
-
-// One frame in, one response out: decode by tag, submit to the matching
-// dispatcher lane, let the completion pool answer when the future lands.
-void handle_frame(serve::Dispatcher& dispatcher, net::EpollServer& server,
-                  CompletionPool& pool, std::uint64_t conn,
-                  std::vector<std::uint8_t> frame) {
-  try {
-    switch (serial::peek_tag(frame)) {
-      case serial::TypeTag::kKeygenRequest: {
-        const serve::KeygenRequestFrame req =
-            serve::decode_keygen_request(frame);
-        auto sub = std::make_shared<serve::Submission<serve::KeygenResult>>(
-            dispatcher.submit_keygen(
-                falcon::FalconParams::for_degree(
-                    static_cast<std::size_t>(req.degree)),
-                req.seed));
-        if (!sub->ok()) {
-          server.send(conn, serve::encode(serve::KeygenResponseFrame::failure(
-                                req.request_id, to_string(sub->status))));
-          return;
-        }
-        pool.post([&server, conn, id = req.request_id, sub] {
-          try {
-            const serve::KeygenResult result = sub->future.get();
-            server.send(conn,
-                        serve::encode(serve::KeygenResponseFrame::success(
-                            id, result.key_id, result.public_h,
-                            result.params.n)));
-          } catch (const std::exception& e) {
-            server.send(conn, serve::encode(
-                                  serve::KeygenResponseFrame::failure(
-                                      id, e.what())));
-          }
-        });
-        return;
-      }
-      case serial::TypeTag::kSignRequest: {
-        serve::SignRequestFrame req = serve::decode_sign_request(frame);
-        if (dispatcher.key(req.key_id) == nullptr) {
-          server.send(conn, serve::encode(serve::SignResponseFrame::failure(
-                                req.request_id, "unknown key")));
-          return;
-        }
-        auto sub = std::make_shared<serve::Submission<falcon::Signature>>(
-            dispatcher.submit_sign(req.key_id, std::move(req.message)));
-        if (!sub->ok()) {
-          server.send(conn, serve::encode(serve::SignResponseFrame::failure(
-                                req.request_id, to_string(sub->status))));
-          return;
-        }
-        pool.post([&server, conn, id = req.request_id, sub] {
-          try {
-            server.send(conn, serve::encode(serve::SignResponseFrame::success(
-                                  id, sub->future.get())));
-          } catch (const std::exception& e) {
-            server.send(conn, serve::encode(serve::SignResponseFrame::failure(
-                                  id, e.what())));
-          }
-        });
-        return;
-      }
-      case serial::TypeTag::kVerifyRequest: {
-        serve::VerifyRequestFrame req = serve::decode_verify_request(frame);
-        if (dispatcher.key(req.key_id) == nullptr) {
-          server.send(conn, serve::encode(serve::VerifyResponseFrame::failure(
-                                req.request_id, "unknown key")));
-          return;
-        }
-        auto sub = std::make_shared<serve::Submission<bool>>(
-            dispatcher.submit_verify(req.key_id, std::move(req.message),
-                                     req.to_signature()));
-        if (!sub->ok()) {
-          server.send(conn, serve::encode(serve::VerifyResponseFrame::failure(
-                                req.request_id, to_string(sub->status))));
-          return;
-        }
-        pool.post([&server, conn, id = req.request_id, sub] {
-          try {
-            server.send(conn, serve::encode(serve::VerifyResponseFrame::verdict(
-                                  id, sub->future.get())));
-          } catch (const std::exception& e) {
-            server.send(conn, serve::encode(serve::VerifyResponseFrame::failure(
-                                  id, e.what())));
-          }
-        });
-        return;
-      }
-      case serial::TypeTag::kStatsRequest: {
-        // Answered inline on the loop thread: a registry walk is cheap
-        // and the handler runs with the server's lock released, so the
-        // connections-open gauge callback can re-enter active_connections
-        // without deadlocking.
-        const serve::StatsRequestFrame req = serve::decode_stats_request(frame);
-        const obs::Registry& registry = dispatcher.obs_registry();
-        std::string text = req.format == serve::StatsFormat::kJson
-                               ? obs::json_text(registry)
-                               : obs::prometheus_text(registry);
-        server.send(conn, serve::encode(serve::StatsResponseFrame::success(
-                              req.request_id, req.format, std::move(text))));
-        return;
-      }
-      default:
-        server.send(conn, serve::encode(serve::VerifyResponseFrame::failure(
-                              0, "unsupported request type")));
-        return;
-    }
-  } catch (const std::exception& e) {
-    // Undecodable frame: still answer (the server core's drain accounting
-    // expects one response per frame) with an error of the response type
-    // matching the request's tag where readable, so the client's current
-    // decode phase can always parse it.
-    std::vector<std::uint8_t> resp;
-    try {
-      switch (serial::peek_tag(frame)) {
-        case serial::TypeTag::kKeygenRequest:
-          resp = serve::encode(
-              serve::KeygenResponseFrame::failure(0, e.what()));
-          break;
-        case serial::TypeTag::kSignRequest:
-          resp =
-              serve::encode(serve::SignResponseFrame::failure(0, e.what()));
-          break;
-        default:
-          resp = serve::encode(
-              serve::VerifyResponseFrame::failure(0, e.what()));
-          break;
-      }
-    } catch (const std::exception&) {
-      resp =
-          serve::encode(serve::VerifyResponseFrame::failure(0, e.what()));
-    }
-    server.send(conn, std::move(resp));
-  }
-}
 
 struct ClientOutcome {
   bool keygen_ok = false;
@@ -250,7 +57,8 @@ struct ClientOutcome {
 };
 
 // keygen -> pipelined signs -> local verify -> pipelined verifies (one
-// good, one tampered per signature) -> half-close and drain.
+// good, one tampered per signature) -> half-close and drain. Transport
+// failures (timeouts, resets) throw ClientError; the caller counts them.
 ClientOutcome run_client(std::uint16_t port, std::size_t degree,
                          int client_idx, int requests) {
   ClientOutcome outcome;
@@ -260,11 +68,8 @@ ClientOutcome run_client(std::uint16_t port, std::size_t degree,
   kg.request_id = 1;
   kg.degree = degree;
   kg.seed = 0xC0FFEE00u + static_cast<std::uint64_t>(client_idx);
-  if (!client.send(serve::encode(kg))) return outcome;
-  const auto kg_frame = client.read();
-  if (!kg_frame) return outcome;
   const serve::KeygenResponseFrame key =
-      serve::decode_keygen_response(*kg_frame);
+      serve::decode_keygen_response(client.request(serve::encode(kg)));
   if (!key.ok) {
     std::fprintf(stderr, "client %d: keygen failed: %s\n", client_idx,
                  key.error.c_str());
@@ -283,7 +88,7 @@ ClientOutcome run_client(std::uint16_t port, std::size_t degree,
     req.request_id = 100 + static_cast<std::uint64_t>(i);
     req.key_id = key.key_id;
     req.message = messages.back();
-    if (!client.send(serve::encode(req))) return outcome;
+    client.send(serve::encode(req));
   }
   std::map<std::uint64_t, falcon::Signature> sigs;
   for (int i = 0; i < requests; ++i) {
@@ -373,17 +178,20 @@ int main(int argc, char** argv) {
   opts.obs_registry = &registry;
   serve::Dispatcher dispatcher(engine::SamplerRegistry::global(), opts);
 
-  CompletionPool pool(2);
+  serve::CompletionPool pool(2);
   net::ServerOptions sopts;
   sopts.registry = &registry;
-  net::EpollServer server(
-      [&](std::uint64_t conn, std::vector<std::uint8_t> frame) {
-        handle_frame(dispatcher, server, pool, conn, std::move(frame));
+  net::Server server(
+      [&](net::ResponseToken token, std::vector<std::uint8_t> frame) {
+        serve::route_frame(dispatcher, pool, std::move(token),
+                           std::move(frame));
       },
       sopts);
   std::printf("== serving full protocol on 127.0.0.1:%u "
-              "(%d clients x %d requests, N = %zu) ==\n",
-              server.port(), num_clients, per_client, degree);
+              "(%d reactors%s; %d clients x %d requests, N = %zu) ==\n",
+              server.port(), server.reactors(),
+              server.reuse_port() ? ", SO_REUSEPORT" : ", hand-off",
+              num_clients, per_client, degree);
 
   std::vector<std::thread> clients;
   std::mutex outcomes_mu;
@@ -435,8 +243,8 @@ int main(int argc, char** argv) {
   const std::size_t force_closed = server.shutdown();
   dispatcher.shutdown();
   // All futures are now resolved; run the last completion tasks (their
-  // sends land on the shut-down-but-alive server) and park the workers
-  // before `server` can go out of scope.
+  // token sends land on the shut-down-but-alive server) and park the
+  // workers before `server` can go out of scope.
   pool.join();
 
   int keygens = 0, signed_ok = 0, local_verified = 0, good_accepted = 0,

@@ -1,28 +1,92 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <errno.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <utility>
 
-#include "common/check.h"
+#include "net/overload.h"
 
 namespace cgs::net {
 
-Client::Client(std::uint16_t port, const std::string& host) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  CGS_CHECK_MSG(fd_ >= 0, "client: socket() failed");
+namespace {
+using Clock = std::chrono::steady_clock;
+using Kind = ClientError::Kind;
+
+[[noreturn]] void fail(Kind kind, const std::string& what) {
+  throw ClientError(kind, what);
+}
+}  // namespace
+
+const char* to_string(ClientError::Kind kind) {
+  switch (kind) {
+    case Kind::kConnect:
+      return "connect";
+    case Kind::kTimeout:
+      return "timeout";
+    case Kind::kPeerClosed:
+      return "peer-closed";
+    case Kind::kOverloaded:
+      return "overloaded";
+    case Kind::kProtocol:
+      return "protocol";
+  }
+  return "unknown";
+}
+
+bool Client::wait(short events, Clock::time_point deadline) {
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return false;
+    pollfd pfd{fd_, events, 0};
+    const int n = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+    if (n > 0) return true;  // ready, or POLLERR/POLLHUP — let the I/O see it
+    if (n == 0) return false;
+    if (errno != EINTR) fail(Kind::kPeerClosed, "client: poll() failed");
+  }
+}
+
+Client::Client(std::uint16_t port, ClientOptions options)
+    : options_(std::move(options)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail(Kind::kConnect, "client: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  CGS_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
-                "client: bad IPv4 address");
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd_);
     fd_ = -1;
-    CGS_CHECK_MSG(false, "client: connect() failed");
+    fail(Kind::kConnect, "client: bad IPv4 address " + options_.host);
+  }
+  const auto deadline = Clock::now() + options_.connect_timeout;
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno == EINPROGRESS) {
+    if (!wait(POLLOUT, deadline)) {
+      ::close(fd_);
+      fd_ = -1;
+      fail(Kind::kConnect, "client: connect timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    rc = err == 0 ? 0 : -1;
+    errno = err;
+  }
+  if (rc != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    fail(Kind::kConnect,
+         std::string("client: connect failed: ") + std::strerror(saved));
   }
 }
 
@@ -30,24 +94,97 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      options_(std::move(other.options_)),
+      buf_(std::move(other.buf_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    options_ = std::move(other.options_);
+    buf_ = std::move(other.buf_);
   }
   return *this;
 }
 
-bool Client::send(std::span<const std::uint8_t> encoded) {
-  return write_frame(fd_, encoded);
+void Client::send(std::span<const std::uint8_t> encoded) {
+  if (fd_ < 0) fail(Kind::kPeerClosed, "client: send on closed connection");
+  const auto deadline = Clock::now() + options_.write_timeout;
+  std::size_t off = 0;
+  while (off < encoded.size()) {
+    const ssize_t n = ::write(fd_, encoded.data() + off, encoded.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait(POLLOUT, deadline))
+        fail(Kind::kTimeout, "client: write deadline expired");
+      continue;
+    }
+    fail(Kind::kPeerClosed, "client: peer closed during write");
+  }
 }
 
 std::optional<std::vector<std::uint8_t>> Client::read() {
-  return read_frame(fd_);
+  if (fd_ < 0) fail(Kind::kPeerClosed, "client: read on closed connection");
+  const auto deadline = Clock::now() + options_.read_timeout;
+  for (;;) {
+    // Serve from the buffer first — pipelined responses coalesce.
+    if (buf_.size() >= 4) {
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i)
+        len |= std::uint32_t{buf_[static_cast<std::size_t>(i)]} << (8 * i);
+      if (len > kMaxFrameBytes)
+        fail(Kind::kProtocol, "client: oversized length prefix");
+      if (buf_.size() >= 4 + static_cast<std::size_t>(len)) {
+        std::vector<std::uint8_t> frame(
+            buf_.begin() + 4, buf_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+        return frame;
+      }
+    }
+    std::uint8_t chunk[65536];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      buf_.insert(buf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      if (buf_.empty()) return std::nullopt;  // clean EOF at a boundary
+      fail(Kind::kPeerClosed, "client: EOF inside a frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait(POLLIN, deadline))
+        fail(Kind::kTimeout, "client: read deadline expired");
+      continue;
+    }
+    fail(Kind::kPeerClosed, "client: peer reset the connection");
+  }
 }
 
-void Client::half_close() { ::shutdown(fd_, SHUT_WR); }
+std::vector<std::uint8_t> Client::request(
+    std::span<const std::uint8_t> encoded) {
+  send(encoded);
+  auto frame = read();
+  if (!frame)
+    fail(Kind::kPeerClosed, "client: stream ended instead of answering");
+  if (is_overloaded(*frame)) {
+    const OverloadedFrame shed = decode_overloaded(*frame);
+    throw ClientError(Kind::kOverloaded,
+                      "client: request shed by server (" + shed.reason + ")",
+                      shed.retry_after_ms);
+  }
+  return std::move(*frame);
+}
+
+void Client::half_close() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
 
 }  // namespace cgs::net

@@ -1,15 +1,23 @@
 #pragma once
-// Pipelining client for the framed protocol: a thin blocking wrapper over
-// one TCP connection. Writes are immediate (pipeline as many requests as
-// you like before reading a single response), reads pull one frame at a
-// time, and half_close() tells the server the request stream is complete
-// without an in-band terminator. Matching responses to requests is the
-// message layer's job (request ids) — the transport makes no ordering
-// promise beyond the socket's.
+// Pipelining client for the framed protocol, rebuilt around deadlines and
+// a typed error taxonomy. One TCP connection; writes pipeline freely,
+// read() pulls one frame at a time, request() is the send-one/read-one
+// round trip that most callers (examples, cgs_stats) actually want.
+//
+// Every socket operation runs nonblocking under a poll() deadline from
+// ClientOptions, and failures surface as ClientError with a Kind a caller
+// can switch on: a connect refusal, a deadline expiry, the peer hanging
+// up, or — the one the multi-reactor server makes interesting — a typed
+// kOverloaded shed, which request() turns into kOverloaded carrying the
+// server's retry-after hint. read() stays non-judgmental and hands shed
+// frames back as bytes (net/overload.h::is_overloaded to test), so
+// hygiene tests can observe exactly what the server put on the wire.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,11 +25,46 @@
 
 namespace cgs::net {
 
+struct ClientOptions {
+  std::string host = "127.0.0.1";  // IPv4 dotted quad
+  std::chrono::milliseconds connect_timeout{5000};
+  /// Deadline for one read() / the response half of request().
+  std::chrono::milliseconds read_timeout{30000};
+  /// Deadline for one send() to be fully handed to the kernel.
+  std::chrono::milliseconds write_timeout{5000};
+};
+
+class ClientError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kConnect,     // refused / unreachable / connect deadline
+    kTimeout,     // read or write deadline expired, connection still up
+    kPeerClosed,  // EOF or reset where a response was due
+    kOverloaded,  // the server answered a typed kOverloaded shed
+    kProtocol,    // framing violation (oversized length prefix)
+  };
+  ClientError(Kind kind, const std::string& what,
+              std::uint32_t retry_after_ms = 0)
+      : std::runtime_error(what),
+        kind_(kind),
+        retry_after_ms_(retry_after_ms) {}
+
+  Kind kind() const { return kind_; }
+  /// The server's back-off hint; meaningful for kOverloaded only.
+  std::uint32_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  Kind kind_;
+  std::uint32_t retry_after_ms_;
+};
+
+const char* to_string(ClientError::Kind kind);
+
 class Client {
  public:
-  /// Connect to host:port (IPv4 dotted quad; throws cgs::Error on
-  /// failure). The loopback default pairs with EpollServer.
-  explicit Client(std::uint16_t port, const std::string& host = "127.0.0.1");
+  /// Connect to options.host:port within connect_timeout; throws
+  /// ClientError(kConnect) on failure.
+  explicit Client(std::uint16_t port, ClientOptions options = {});
   ~Client();
 
   Client(Client&& other) noexcept;
@@ -29,12 +72,21 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Write one already-encoded length-prefixed message; false on error.
-  bool send(std::span<const std::uint8_t> encoded);
+  /// Write one already-encoded length-prefixed message. Throws
+  /// ClientError(kTimeout) when the write deadline expires with bytes
+  /// still queued, (kPeerClosed) when the peer is gone.
+  void send(std::span<const std::uint8_t> encoded);
 
-  /// Block for the next response frame (without the length prefix).
-  /// nullopt on clean EOF; throws serial::SerialError on a torn message.
+  /// Pull the next response frame (without the length prefix). nullopt on
+  /// clean EOF at a frame boundary; throws kTimeout / kPeerClosed /
+  /// kProtocol. Overload sheds come back as ordinary frames — callers
+  /// that care use is_overloaded()/decode_overloaded().
   std::optional<std::vector<std::uint8_t>> read();
+
+  /// send() one request and read() its response, throwing
+  /// ClientError(kOverloaded, retry-after hint) when the server shed it
+  /// and (kPeerClosed) when the stream ended instead of answering.
+  std::vector<std::uint8_t> request(std::span<const std::uint8_t> encoded);
 
   /// Half-close the write side: no more requests will follow.
   void half_close();
@@ -42,7 +94,12 @@ class Client {
   int fd() const { return fd_; }
 
  private:
+  /// Wait for `events` (POLLIN/POLLOUT) until `deadline`; false on expiry.
+  bool wait(short events, std::chrono::steady_clock::time_point deadline);
+
   int fd_ = -1;
+  ClientOptions options_;
+  std::vector<std::uint8_t> buf_;  // coalesced-but-unconsumed inbound bytes
 };
 
 }  // namespace cgs::net

@@ -1,0 +1,33 @@
+#include "net/overload.h"
+
+#include "net/framing.h"
+#include "serial/serial.h"
+
+namespace cgs::net {
+
+std::vector<std::uint8_t> encode_overloaded(const OverloadedFrame& frame) {
+  serial::Writer w;
+  w.u32(frame.retry_after_ms);
+  w.str(frame.reason);
+  return length_prefixed(serial::wrap(serial::TypeTag::kOverloaded, w.take()));
+}
+
+OverloadedFrame decode_overloaded(std::span<const std::uint8_t> frame) {
+  const auto payload = serial::unwrap(frame, serial::TypeTag::kOverloaded);
+  serial::Reader r(payload);
+  OverloadedFrame out;
+  out.retry_after_ms = r.u32();
+  out.reason = r.str();
+  r.finish();
+  return out;
+}
+
+bool is_overloaded(std::span<const std::uint8_t> frame) {
+  try {
+    return serial::peek_tag(frame) == serial::TypeTag::kOverloaded;
+  } catch (const serial::SerialError&) {
+    return false;
+  }
+}
+
+}  // namespace cgs::net

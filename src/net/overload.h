@@ -1,0 +1,41 @@
+#pragma once
+// The transport's typed overload answer. When the multi-reactor server
+// (net/server.h) cannot take a request on — the connection cap tripped at
+// accept, a connection exceeded its owed-responses or queued-write-bytes
+// budget, or hygiene evicted it (idle / read-progress deadline) — it
+// answers with a kOverloaded frame instead of silently closing. The frame
+// carries a retry-after hint so a well-behaved client can back off, and a
+// human-readable reason naming which limit tripped.
+//
+// This lives in net (not serve/wire.h) because the server *core* emits it:
+// shedding is a transport decision, made before the application handler
+// ever sees the frame.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cgs::net {
+
+struct OverloadedFrame {
+  /// How long the peer should wait before retrying (0 = "your call").
+  std::uint32_t retry_after_ms = 0;
+  /// Which limit tripped, e.g. "connection cap" or "idle timeout".
+  std::string reason;
+};
+
+/// Encode as a length-prefixed serial frame ready to write to a stream.
+std::vector<std::uint8_t> encode_overloaded(const OverloadedFrame& frame);
+
+/// Decode the serial-frame part (no length prefix). Throws
+/// serial::SerialError on malformed input.
+OverloadedFrame decode_overloaded(std::span<const std::uint8_t> frame);
+
+/// True when `frame` (no length prefix) is a kOverloaded shed — the
+/// header-only peek a client runs on every pipelined response before
+/// handing it to the decoder it expected. Never throws: garbage is
+/// simply not an overload frame.
+bool is_overloaded(std::span<const std::uint8_t> frame);
+
+}  // namespace cgs::net

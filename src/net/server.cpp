@@ -3,199 +3,469 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.h"
+#include "net/overload.h"
 
 namespace cgs::net {
 
 namespace {
 
-// epoll user-data ids for the two non-connection fds.
+// epoll user-data ids for the two non-connection fds. Connection ids carry
+// (reactor index + 1) in bits 48+, so they never collide with these.
 constexpr std::uint64_t kListenerId = 0;
 constexpr std::uint64_t kWakeId = 1;
 
-std::uint64_t now_us() {
+std::uint64_t ms_to_us(std::chrono::milliseconds ms) {
+  return static_cast<std::uint64_t>(ms.count()) * 1000;
+}
+
+int make_listener(std::uint16_t port, int backlog, bool reuse_port,
+                  std::uint16_t* bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuse_port &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+void ServerOptions::validate() const {
+  CGS_CHECK_MSG(limits.max_frame >= 4, "max_frame too small to frame");
+  CGS_CHECK_MSG(limits.max_connections >= 1, "max_connections must be >= 1");
+  CGS_CHECK_MSG(limits.max_owed_responses >= 1,
+                "max_owed_responses must be >= 1");
+  CGS_CHECK_MSG(limits.max_queued_write_bytes >= 64,
+                "max_queued_write_bytes too small to hold a shed frame");
+  CGS_CHECK_MSG(backlog >= 1, "backlog must be >= 1");
+  CGS_CHECK_MSG(reactors >= 0, "reactors must be >= 0 (0 = auto)");
+  CGS_CHECK_MSG(timeouts.idle.count() > 0 &&
+                    timeouts.read_progress.count() > 0 &&
+                    timeouts.shed_linger.count() > 0,
+                "idle / read_progress / shed_linger timeouts must be > 0");
+  CGS_CHECK_MSG(timeouts.drain.count() >= 0, "drain timeout must be >= 0");
+}
+
+std::uint64_t Server::now_us() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
 
-}  // namespace
+Server::Server(Handler on_frame, ServerOptions options)
+    : on_frame_(std::move(on_frame)), options_(options) {
+  CGS_CHECK_MSG(on_frame_, "server needs a frame handler");
+  options_.validate();
+  owned_obs_ = options_.registry ? nullptr : std::make_unique<obs::Registry>();
+  obs_ = options_.registry ? options_.registry : owned_obs_.get();
 
-EpollServer::EpollServer(FrameHandler on_frame, ServerOptions options)
-    : on_frame_(std::move(on_frame)),
-      options_(options),
-      owned_obs_(options.registry ? nullptr : new obs::Registry()),
-      obs_(options.registry ? options.registry : owned_obs_.get()),
-      conns_accepted_(obs_->counter("cgs_net_connections_accepted_total")),
-      conns_closed_(obs_->counter("cgs_net_connections_closed_total")),
-      bytes_in_(obs_->counter("cgs_net_bytes_read_total")),
-      bytes_out_(obs_->counter("cgs_net_bytes_written_total")),
-      frames_decoded_(obs_->counter("cgs_net_frames_decoded_total")),
-      frames_corrupt_(obs_->counter("cgs_net_frames_corrupt_total")),
-      write_buffer_hwm_(obs_->gauge("cgs_net_write_buffer_high_water_bytes")),
-      write_stall_us_(obs_->histogram("cgs_net_write_stall_us")) {
-  CGS_CHECK_MSG(on_frame_, "epoll server needs a frame handler");
-  CGS_CHECK_MSG(options_.max_frame >= 4, "max_frame too small to frame");
-  obs_->gauge_fn("cgs_net_connections_open", [this] {
-    return static_cast<double>(active_connections());
-  });
+  int n = options_.reactors;
+  if (n <= 0)
+    n = std::max(1u, std::thread::hardware_concurrency());
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  CGS_CHECK_MSG(listen_fd_ >= 0, "epoll server: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  CGS_CHECK_MSG(
-      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
-          0,
-      "epoll server: bind() failed");
-  CGS_CHECK_MSG(::listen(listen_fd_, options_.backlog) == 0,
-                "epoll server: listen() failed");
-  socklen_t addr_len = sizeof addr;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  port_ = ntohs(addr.sin_port);
+  // Listener setup. kReusePort/kAuto: one listening socket per reactor,
+  // all bound to the same port with SO_REUSEPORT so the kernel spreads
+  // accepts. kHandoff (or kAuto fallback): reactor 0 owns the only
+  // listener and hands accepted fds round-robin.
+  using AcceptMode = ServerOptions::AcceptMode;
+  std::vector<int> listeners;
+  const bool try_reuse = options_.accept_mode != AcceptMode::kHandoff;
+  if (try_reuse) {
+    const int fd =
+        make_listener(options_.port, options_.backlog, true, &port_);
+    if (fd >= 0) {
+      listeners.push_back(fd);
+      reuse_port_ = true;
+      for (int i = 1; i < n; ++i) {
+        std::uint16_t same = 0;
+        const int extra = make_listener(port_, options_.backlog, true, &same);
+        if (extra < 0) {
+          // SO_REUSEPORT sharing is unavailable: fall back to hand-off.
+          for (int l : listeners) ::close(l);
+          listeners.clear();
+          reuse_port_ = false;
+          break;
+        }
+        listeners.push_back(extra);
+      }
+    }
+    CGS_CHECK_MSG(!(options_.accept_mode == AcceptMode::kReusePort &&
+                    !reuse_port_),
+                  "server: SO_REUSEPORT listener setup failed");
+  }
+  if (!reuse_port_) {
+    const int fd =
+        make_listener(options_.port, options_.backlog, false, &port_);
+    CGS_CHECK_MSG(fd >= 0, "server: listener bind/listen failed");
+    listeners.push_back(fd);
+  }
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  CGS_CHECK_MSG(epoll_fd_ >= 0, "epoll server: epoll_create1() failed");
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  CGS_CHECK_MSG(wake_fd_ >= 0, "epoll server: eventfd() failed");
+  for (int i = 0; i < n; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->server = this;
+    r->index = i;
+    r->listen_fd =
+        reuse_port_ ? listeners[static_cast<std::size_t>(i)]
+                    : (i == 0 ? listeners[0] : -1);
+    r->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    CGS_CHECK_MSG(r->epoll_fd >= 0, "server: epoll_create1() failed");
+    r->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    CGS_CHECK_MSG(r->wake_fd >= 0, "server: eventfd() failed");
+    epoll_event ev{};
+    if (r->listen_fd >= 0) {
+      ev.events = EPOLLIN;
+      ev.data.u64 = kListenerId;
+      CGS_CHECK(::epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->listen_fd, &ev) ==
+                0);
+    }
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeId;
+    CGS_CHECK(::epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->wake_fd, &ev) == 0);
+    reactors_.push_back(std::move(r));
+  }
 
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenerId;
-  CGS_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
-  ev.data.u64 = kWakeId;
-  CGS_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  register_instruments();
 
-  loop_ = std::thread([this] { run(); });
+  for (auto& r : reactors_) {
+    Reactor* rp = r.get();
+    rp->thread = std::thread([this, rp] { run(*rp); });
+  }
 }
 
-EpollServer::~EpollServer() { shutdown(); }
+Server::~Server() { shutdown(); }
 
-void EpollServer::wake() {
+void Server::wake(Reactor& r) {
   const std::uint64_t one = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  [[maybe_unused]] const ssize_t n = ::write(r.wake_fd, &one, sizeof one);
 }
 
-bool EpollServer::send(std::uint64_t conn_id,
-                       std::vector<std::uint8_t> encoded) {
+void Server::register_instruments() {
+  const auto sum = [this](std::atomic<std::uint64_t> ReactorStats::*field) {
+    return [this, field] {
+      std::uint64_t total = 0;
+      for (const auto& r : reactors_)
+        total += (r->stats.*field).load(std::memory_order_relaxed);
+      return static_cast<double>(total);
+    };
+  };
+  const auto counter = [this](std::string name, std::function<double()> fn) {
+    obs_->counter_fn(name, std::move(fn));
+    callback_metrics_.push_back(std::move(name));
+  };
+  const auto gauge = [this](std::string name, std::function<double()> fn) {
+    obs_->gauge_fn(name, std::move(fn));
+    callback_metrics_.push_back(std::move(name));
+  };
+  counter("cgs_net_connections_accepted_total", sum(&ReactorStats::accepted));
+  counter("cgs_net_connections_closed_total", sum(&ReactorStats::closed));
+  counter("cgs_net_bytes_read_total", sum(&ReactorStats::bytes_in));
+  counter("cgs_net_bytes_written_total", sum(&ReactorStats::bytes_out));
+  counter("cgs_net_frames_decoded_total",
+          sum(&ReactorStats::frames_received));
+  counter("cgs_net_frames_corrupt_total", sum(&ReactorStats::frames_corrupt));
+  counter("cgs_net_idle_evictions_total", sum(&ReactorStats::idle_evictions));
+  counter("cgs_net_read_timeout_evictions_total",
+          sum(&ReactorStats::read_timeout_evictions));
+  counter("cgs_net_overload_sheds_total",
+          [this] { return static_cast<double>(stats().sheds_total()); });
+  gauge("cgs_net_connections_open", [this] {
+    return static_cast<double>(open_conns_.load(std::memory_order_relaxed));
+  });
+  gauge("cgs_net_write_buffer_high_water_bytes", [this] {
+    std::int64_t hwm = 0;
+    for (const auto& r : reactors_)
+      hwm = std::max(hwm, r->stats.write_hwm.load(std::memory_order_relaxed));
+    return static_cast<double>(hwm);
+  });
+  gauge("cgs_net_reactors",
+        [this] { return static_cast<double>(reactors_.size()); });
+  write_stall_us_ = &obs_->histogram("cgs_net_write_stall_us");
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  for (const auto& r : reactors_) {
+    const ReactorStats& rs = r->stats;
+    s.connections_accepted += rs.accepted.load(std::memory_order_relaxed);
+    s.connections_closed += rs.closed.load(std::memory_order_relaxed);
+    s.frames_received += rs.frames_received.load(std::memory_order_relaxed);
+    s.frames_sent += rs.frames_sent.load(std::memory_order_relaxed);
+    s.frames_corrupt += rs.frames_corrupt.load(std::memory_order_relaxed);
+    s.bytes_read += rs.bytes_in.load(std::memory_order_relaxed);
+    s.bytes_written += rs.bytes_out.load(std::memory_order_relaxed);
+    s.sheds_accept_cap += rs.sheds_accept.load(std::memory_order_relaxed);
+    s.sheds_owed_cap += rs.sheds_owed.load(std::memory_order_relaxed);
+    s.sheds_write_cap += rs.sheds_write.load(std::memory_order_relaxed);
+    s.sheds_dropped_token += rs.sheds_dropped.load(std::memory_order_relaxed);
+    s.idle_evictions += rs.idle_evictions.load(std::memory_order_relaxed);
+    s.read_timeout_evictions +=
+        rs.read_timeout_evictions.load(std::memory_order_relaxed);
+  }
+  s.open_connections = open_conns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ------------------------------------------------------- reply plumbing ---
+
+ResponseToken& ResponseToken::operator=(ResponseToken&& other) noexcept {
+  if (this != &other) {
+    if (server_ != nullptr)
+      server_->shed_reply(conn_id_, "response dropped", nullptr);
+    server_ = other.server_;
+    conn_id_ = other.conn_id_;
+    other.server_ = nullptr;
+  }
+  return *this;
+}
+
+ResponseToken::~ResponseToken() {
+  if (server_ == nullptr) return;
+  Server* s = server_;
+  server_ = nullptr;
+  const std::size_t ri = s->reactor_of(conn_id_);
+  s->shed_reply(conn_id_, "response dropped",
+                ri < s->reactors_.size()
+                    ? &s->reactors_[ri]->stats.sheds_dropped
+                    : nullptr);
+}
+
+bool ResponseToken::send(std::vector<std::uint8_t> encoded) {
+  if (server_ == nullptr) return false;
+  Server* s = server_;
+  server_ = nullptr;
+  return s->fulfil(conn_id_, std::move(encoded));
+}
+
+bool ResponseToken::shed(const std::string& reason) {
+  if (server_ == nullptr) return false;
+  Server* s = server_;
+  server_ = nullptr;
+  return s->shed_reply(conn_id_, reason, nullptr);
+}
+
+std::vector<std::uint8_t> Server::overload_frame(
+    const std::string& reason) const {
+  OverloadedFrame frame;
+  frame.retry_after_ms = static_cast<std::uint32_t>(
+      options_.timeouts.overload_retry_after.count());
+  frame.reason = reason;
+  return encode_overloaded(frame);
+}
+
+bool Server::fulfil(std::uint64_t conn_id, std::vector<std::uint8_t> encoded,
+                    bool counts_as_sent) {
+  const std::size_t ri = reactor_of(conn_id);
+  if (ri >= reactors_.size()) return false;
+  Reactor& r = *reactors_[ri];
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = conns_.find(conn_id);
-    if (it == conns_.end()) return false;
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.conns.find(conn_id);
+    if (it == r.conns.end()) return false;
     Connection& conn = *it->second;
     conn.out_bytes += encoded.size();
-    write_buffer_hwm_.max_of(static_cast<std::int64_t>(conn.out_bytes));
+    r.stats.write_hwm.store(
+        std::max(r.stats.write_hwm.load(std::memory_order_relaxed),
+                 static_cast<std::int64_t>(conn.out_bytes)),
+        std::memory_order_relaxed);
     conn.out.push_back(Outgoing{std::move(encoded), now_us()});
     if (conn.owed > 0) --conn.owed;
-    ++frames_sent_;
+    if (counts_as_sent)
+      r.stats.frames_sent.fetch_add(1, std::memory_order_relaxed);
   }
-  wake();
+  wake(r);
   return true;
 }
 
-std::size_t EpollServer::shutdown() {
+bool Server::shed_reply(std::uint64_t conn_id, const std::string& reason,
+                        std::atomic<std::uint64_t>* stat) {
+  if (stat != nullptr) stat->fetch_add(1, std::memory_order_relaxed);
+  return fulfil(conn_id, overload_frame(reason));
+}
+
+// ------------------------------------------------------------- shutdown ---
+
+std::size_t Server::shutdown() {
   // The whole teardown runs under shutdown_mu_, so a concurrent second
-  // caller blocks until the first has joined the loop — force_closed_ is
-  // only ever read after the thread that writes it is gone.
+  // caller blocks until the first has joined every reactor; force_closed_
+  // is only read after the threads that feed it are gone.
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   if (shut_down_) return force_closed_;
   shut_down_ = true;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    draining_ = true;
+  for (auto& r : reactors_) {
+    {
+      std::lock_guard<std::mutex> lock(r->mu);
+      r->draining = true;
+    }
+    wake(*r);
   }
-  wake();
-  if (loop_.joinable()) loop_.join();
-  ::close(listen_fd_);
-  ::close(wake_fd_);
-  ::close(epoll_fd_);
-  // The one callback instrument reads `this`; drop it so a scrape of an
+  force_closed_ = 0;
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+    force_closed_ += r->force_closed;
+    if (r->listen_fd >= 0) ::close(r->listen_fd);
+    ::close(r->wake_fd);
+    ::close(r->epoll_fd);
+  }
+  // The callback instruments read `this`; drop them so a scrape of an
   // external registry after this server dies never chases a dangling
-  // pointer (the owned counters stay, frozen).
-  obs_->unregister("cgs_net_connections_open");
+  // pointer. stats() remains for the final numbers.
+  for (const std::string& name : callback_metrics_) obs_->unregister(name);
+  callback_metrics_.clear();
   return force_closed_;
 }
 
-std::size_t EpollServer::active_connections() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return conns_.size();
-}
+// ------------------------------------------------------------ accepting ---
 
-std::uint64_t EpollServer::frames_received() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return frames_received_;
-}
-
-std::uint64_t EpollServer::frames_sent() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return frames_sent_;
-}
-
-void EpollServer::handle_accept() {
+void Server::handle_accept(Reactor& r) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+    const int fd = ::accept4(r.listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN (no more pending) or a transient accept error
     }
-    std::uint64_t id;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      id = next_conn_id_++;
-      auto conn = std::make_unique<Connection>();
-      conn->fd = fd;
-      conns_.emplace(id, std::move(conn));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (options_.limits.sndbuf_bytes > 0)
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.limits.sndbuf_bytes,
+                   sizeof options_.limits.sndbuf_bytes);
+    if (!reuse_port_ && reactors_.size() > 1) {
+      // Hand-off mode: spread accepted fds round-robin; the owning
+      // reactor adopts them on its next loop iteration.
+      const std::size_t target =
+          handoff_rr_.fetch_add(1, std::memory_order_relaxed) %
+          reactors_.size();
+      if (target != static_cast<std::size_t>(r.index)) {
+        Reactor& t = *reactors_[target];
+        {
+          std::lock_guard<std::mutex> lock(t.mu);
+          if (t.draining) {
+            ::close(fd);
+            continue;
+          }
+          t.handoff.push_back(fd);
+        }
+        wake(t);
+        continue;
+      }
     }
-    conns_accepted_.add(1);
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = id;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ::close(fd);
-      conns_.erase(id);
-      conns_closed_.add(1);
-    }
+    adopt(r, fd);
   }
 }
 
-void EpollServer::handle_readable(std::uint64_t conn_id) {
+void Server::handle_handoff(Reactor& r) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    fds.swap(r.handoff);
+  }
+  for (int fd : fds) adopt(r, fd);
+}
+
+void Server::adopt(Reactor& r, int fd) {
+  const std::size_t open =
+      open_conns_.fetch_add(1, std::memory_order_relaxed);
+  const bool over_cap = open >= options_.limits.max_connections;
+  std::uint64_t id;
+  Connection* conn_ptr;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    id = (static_cast<std::uint64_t>(r.index) + 1) << 48 | (2 + r.next_conn++);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->last_activity_us = now_us();
+    conn_ptr = conn.get();
+    r.conns.emplace(id, std::move(conn));
+  }
+  r.stats.accepted.fetch_add(1, std::memory_order_relaxed);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = id;
+  if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard<std::mutex> lock(r.mu);
+    ::close(fd);
+    r.conns.erase(id);
+    r.stats.closed.fetch_add(1, std::memory_order_relaxed);
+    open_conns_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.conns.find(id) == r.conns.end()) return;  // raced away
+  Connection& conn = *conn_ptr;
+  if (over_cap) {
+    // The connection cap tripped: answer kOverloaded and shed cleanly.
+    // The conn stays registered (reads discarded) until the frame flushed
+    // and the peer hung up, or the linger deadline passes.
+    begin_shed_locked(r, conn, "connection cap", r.stats.sheds_accept);
+    flush(r, id, conn);
+    maybe_close(r, id, conn);
+  }
+  auto it = r.conns.find(id);
+  if (it != r.conns.end() && !it->second->timer_armed) {
+    it->second->timer_armed = true;
+    r.wheel.schedule(id, conn.shed_close
+                             ? conn.shed_deadline_us
+                             : conn.last_activity_us +
+                                   ms_to_us(options_.timeouts.idle));
+  }
+}
+
+// --------------------------------------------------------------- reading ---
+
+void Server::handle_readable(Reactor& r, std::uint64_t conn_id) {
   // Pull everything available, then reassemble frames. The read buffer,
   // fd and peer_eof flag are loop-thread-owned (only this thread reads,
-  // parses or erases connections), so the socket drain and reassembly
-  // run without mu_ — senders on other threads aren't serialized behind
-  // one connection's inbound burst. mu_ is taken only for the shared
-  // debt/counter state; delivery happens after that, so the handler is
-  // free to call send() inline.
-  auto found = conns_.end();
+  // parses or erases connections), so the socket drain and reassembly run
+  // without mu — senders on other threads aren't serialized behind one
+  // connection's inbound burst. mu is taken only for the shared debt /
+  // out-queue state; delivery happens after that, so the handler is free
+  // to settle its token inline.
+  Connection* conn_ptr = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    found = conns_.find(conn_id);
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.conns.find(conn_id);
+    if (it == r.conns.end()) return;
+    conn_ptr = it->second.get();
   }
-  if (found == conns_.end()) return;
-  Connection& conn = *found->second;
+  Connection& conn = *conn_ptr;
 
   bool close_hard = false;
+  std::uint64_t got = 0;
   std::uint8_t buf[65536];
   for (;;) {
     const ssize_t n = ::read(conn.fd, buf, sizeof buf);
     if (n > 0) {
-      bytes_in_.add(static_cast<std::uint64_t>(n));
-      conn.in.insert(conn.in.end(), buf, buf + n);
+      got += static_cast<std::uint64_t>(n);
+      if (!conn.shed_close)
+        conn.in.insert(conn.in.end(), buf, buf + n);
       continue;
     }
     if (n == 0) {
@@ -207,6 +477,10 @@ void EpollServer::handle_readable(std::uint64_t conn_id) {
     close_hard = true;  // ECONNRESET and friends
     break;
   }
+  if (got > 0) {
+    r.stats.bytes_in.fetch_add(got, std::memory_order_relaxed);
+    conn.last_activity_us = now_us();
+  }
   std::vector<std::vector<std::uint8_t>> complete;
   std::size_t pos = 0;
   while (!close_hard && conn.in.size() - pos >= 4) {
@@ -214,69 +488,120 @@ void EpollServer::handle_readable(std::uint64_t conn_id) {
     for (int i = 0; i < 4; ++i)
       len |= std::uint32_t{conn.in[pos + static_cast<std::size_t>(i)]}
              << (8 * i);
-    if (len > options_.max_frame) {
-      frames_corrupt_.add(1);
+    if (len > options_.limits.max_frame) {
+      r.stats.frames_corrupt.fetch_add(1, std::memory_order_relaxed);
       close_hard = true;  // framing corruption: cannot resync
       break;
     }
     if (conn.in.size() - pos < 4 + static_cast<std::size_t>(len)) break;
-    complete.emplace_back(conn.in.begin() + static_cast<std::ptrdiff_t>(pos + 4),
-                          conn.in.begin() +
-                              static_cast<std::ptrdiff_t>(pos + 4 + len));
+    complete.emplace_back(
+        conn.in.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+        conn.in.begin() + static_cast<std::ptrdiff_t>(pos + 4 + len));
     pos += 4 + len;
   }
   if (pos > 0)
     conn.in.erase(conn.in.begin(),
                   conn.in.begin() + static_cast<std::ptrdiff_t>(pos));
+  // Slowloris bookkeeping: a nonempty buffer is a frame in progress — the
+  // read-progress deadline runs from its first byte until it completes.
+  bool read_deadline_started = false;
+  if (conn.in.empty()) {
+    conn.read_started_us = 0;
+  } else if (conn.read_started_us == 0) {
+    conn.read_started_us = now_us();
+    read_deadline_started = true;
+  }
   if (close_hard) {
-    close_connection(conn_id);
+    std::lock_guard<std::mutex> lock(r.mu);
+    close_connection(r, conn_id);
     return;
   }
-  frames_decoded_.add(complete.size());
+  // Admission per frame: over either per-connection budget the frame is
+  // answered kOverloaded right here and never reaches the handler; under
+  // budget it becomes a delivery owing one response.
+  std::vector<std::vector<std::uint8_t>> deliver;
+  bool queued_shed = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    conn.owed += complete.size();
-    frames_received_ += complete.size();
+    std::lock_guard<std::mutex> lock(r.mu);
+    // The armed wheel entry may point at the (much later) idle deadline;
+    // a frame that just started reading needs its read-progress deadline
+    // filed now. A duplicate entry is fine — fires re-derive the real
+    // deadline and stale ones re-schedule.
+    if (read_deadline_started && !conn.shed_close)
+      r.wheel.schedule(conn_id,
+                       conn.read_started_us +
+                           ms_to_us(options_.timeouts.read_progress));
+    r.stats.frames_received.fetch_add(complete.size(),
+                                      std::memory_order_relaxed);
+    for (auto& frame : complete) {
+      if (conn.shed_close) continue;  // raced in before the shed; dropping
+      if (conn.owed >= options_.limits.max_owed_responses) {
+        conn.out.push_back(
+            Outgoing{overload_frame("owed-responses cap"), now_us()});
+        conn.out_bytes += conn.out.back().bytes.size();
+        r.stats.sheds_owed.fetch_add(1, std::memory_order_relaxed);
+        r.stats.frames_sent.fetch_add(1, std::memory_order_relaxed);
+        queued_shed = true;
+      } else if (conn.out_bytes >= options_.limits.max_queued_write_bytes) {
+        conn.out.push_back(
+            Outgoing{overload_frame("queued-write-bytes cap"), now_us()});
+        conn.out_bytes += conn.out.back().bytes.size();
+        r.stats.sheds_write.fetch_add(1, std::memory_order_relaxed);
+        r.stats.frames_sent.fetch_add(1, std::memory_order_relaxed);
+        queued_shed = true;
+      } else {
+        ++conn.owed;
+        deliver.push_back(std::move(frame));
+      }
+    }
     if (conn.peer_eof) {
       // Half-closed: nothing more to read — drop EPOLLIN so the EOF
       // condition doesn't spin the loop; EPOLLOUT re-arms on demand.
       epoll_event ev{};
       ev.events = conn.want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u;
       ev.data.u64 = conn_id;
-      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+      ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
     }
-    maybe_close(conn_id, conn);
+    if (queued_shed) flush(r, conn_id, conn);
+    maybe_close(r, conn_id, conn);
   }
-  for (auto& frame : complete) on_frame_(conn_id, std::move(frame));
+  for (auto& frame : deliver)
+    on_frame_(ResponseToken(this, conn_id), std::move(frame));
 }
 
-// mu_ held across the write() calls — cross-thread send()s queue behind
-// one flush sweep. Responses here are small (a frame or two per request)
-// so the writes are cheap; if large streamed responses ever appear,
-// swap the out-queue out under the lock and write unlocked (the loop
-// thread owns the fds), mirroring how handle_readable treats reads.
-void EpollServer::flush(std::uint64_t conn_id, Connection& conn) {
+// --------------------------------------------------------------- writing ---
+
+// mu held across the write() calls — cross-thread sends queue behind one
+// flush sweep. Responses here are small (a frame or two per request) so
+// the writes are cheap; if large streamed responses ever appear, swap the
+// out-queue out under the lock and write unlocked (the loop thread owns
+// the fds), mirroring how handle_readable treats reads.
+void Server::flush(Reactor& r, std::uint64_t conn_id, Connection& conn) {
+  bool wrote = false;
   while (!conn.out.empty()) {
     const Outgoing& front = conn.out.front();
     while (conn.out_offset < front.bytes.size()) {
       const ssize_t n = ::write(conn.fd, front.bytes.data() + conn.out_offset,
                                 front.bytes.size() - conn.out_offset);
       if (n >= 0) {
-        bytes_out_.add(static_cast<std::uint64_t>(n));
+        r.stats.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                    std::memory_order_relaxed);
         conn.out_offset += static_cast<std::size_t>(n);
         conn.out_bytes -= static_cast<std::size_t>(n);
+        wrote = true;
         continue;
       }
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (wrote) conn.last_activity_us = now_us();
         if (!conn.want_write) {
           conn.want_write = true;
           epoll_event ev{};
-          // A drain means reading stays stopped, whatever peer_eof says.
-          ev.events =
-              (conn.peer_eof || draining_ ? 0u : EPOLLIN) | EPOLLOUT;
+          // Draining or shedding means reading stays stopped regardless.
+          const bool no_read = conn.peer_eof || r.draining;
+          ev.events = (no_read ? 0u : EPOLLIN) | EPOLLOUT;
           ev.data.u64 = conn_id;
-          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+          ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
         }
         return;
       }
@@ -288,103 +613,193 @@ void EpollServer::flush(std::uint64_t conn_id, Connection& conn) {
       return;
     }
     const std::uint64_t done = now_us();
-    write_stall_us_.record(done > front.enqueued_us
-                               ? done - front.enqueued_us
-                               : 0);
+    write_stall_us_->record(done > front.enqueued_us
+                                ? done - front.enqueued_us
+                                : 0);
     conn.out.pop_front();
     conn.out_offset = 0;
   }
+  if (wrote) conn.last_activity_us = now_us();
   if (conn.want_write) {
     conn.want_write = false;
     epoll_event ev{};
-    ev.events = conn.peer_eof || draining_ ? 0u : EPOLLIN;
+    ev.events = conn.peer_eof || r.draining ? 0u : EPOLLIN;
     ev.data.u64 = conn_id;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
   }
 }
 
-void EpollServer::handle_writable(std::uint64_t conn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  flush(conn_id, *it->second);
-  maybe_close(conn_id, *it->second);
+void Server::handle_writable(Reactor& r, std::uint64_t conn_id) {
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.conns.find(conn_id);
+  if (it == r.conns.end()) return;
+  flush(r, conn_id, *it->second);
+  maybe_close(r, conn_id, *it->second);
 }
 
-// mu_ held. A connection is done once no more requests can arrive —
-// the peer half-closed, or a drain stopped us reading — every delivered
-// frame has been answered, and the answer bytes have left the socket
-// buffer.
-void EpollServer::maybe_close(std::uint64_t conn_id, Connection& conn) {
-  if ((conn.peer_eof || draining_) && conn.owed == 0 && conn.out.empty()) {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
-    ::close(conn.fd);
-    conns_.erase(conn_id);
-    conns_closed_.add(1);
-  }
+// ------------------------------------------------------ hygiene / timers ---
+
+// mu held. Queue the typed shed answer and put the connection into
+// shed_close: reads are discarded from here on, the conn closes once the
+// frame flushed and the peer hung up, or at the linger deadline.
+void Server::begin_shed_locked(Reactor& r, Connection& conn,
+                               const std::string& why,
+                               std::atomic<std::uint64_t>& stat) {
+  if (conn.shed_close) return;
+  conn.shed_close = true;
+  conn.shed_deadline_us =
+      now_us() + ms_to_us(options_.timeouts.shed_linger);
+  conn.owed = 0;  // nothing further will be delivered or answered
+  conn.out.push_back(Outgoing{overload_frame(why), now_us()});
+  conn.out_bytes += conn.out.back().bytes.size();
+  stat.fetch_add(1, std::memory_order_relaxed);
+  r.stats.frames_sent.fetch_add(1, std::memory_order_relaxed);
 }
 
-void EpollServer::close_connection(std::uint64_t conn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+void Server::handle_timers(Reactor& r) {
+  const std::uint64_t now = now_us();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.wheel.advance(now, [&](std::uint64_t conn_id) {
+    auto it = r.conns.find(conn_id);
+    if (it == r.conns.end()) return;  // stale entry: conn already gone
+    Connection& conn = *it->second;
+    conn.timer_armed = false;
+    // Re-derive the connection's actual deadline — the wheel entry is a
+    // hint, activity since it was filed pushes the real deadline out.
+    const std::uint64_t idle_us = ms_to_us(options_.timeouts.idle);
+    std::uint64_t deadline;
+    bool reading_stalled = false;
+    if (conn.shed_close) {
+      deadline = conn.shed_deadline_us;
+    } else if (conn.read_started_us != 0) {
+      deadline =
+          conn.read_started_us + ms_to_us(options_.timeouts.read_progress);
+      reading_stalled = true;
+    } else if (conn.owed == 0 && conn.out.empty()) {
+      deadline = conn.last_activity_us + idle_us;  // truly idle
+    } else {
+      deadline = now + idle_us;  // busy serving: just re-check later
+    }
+    if (deadline > now) {
+      conn.timer_armed = true;
+      r.wheel.schedule(conn_id, deadline);
+      return;
+    }
+    if (conn.shed_close) {
+      // Linger expired: the peer never read its shed frame. Cut it off.
+      close_connection(r, conn_id);
+      return;
+    }
+    begin_shed_locked(r, conn,
+                      reading_stalled ? "read-progress timeout"
+                                      : "idle timeout",
+                      reading_stalled ? r.stats.read_timeout_evictions
+                                      : r.stats.idle_evictions);
+    flush(r, conn_id, conn);
+    auto again = r.conns.find(conn_id);
+    if (again != r.conns.end()) {
+      maybe_close(r, conn_id, *again->second);
+      auto still = r.conns.find(conn_id);
+      if (still != r.conns.end() && !still->second->timer_armed) {
+        still->second->timer_armed = true;
+        r.wheel.schedule(conn_id, still->second->shed_deadline_us);
+      }
+    }
+  });
+}
+
+// --------------------------------------------------------------- closing ---
+
+// mu held. A connection is done once no more requests can arrive — the
+// peer half-closed, a drain stopped us reading, or it is shedding — every
+// delivered frame has been answered, and the answer bytes have left the
+// socket buffer.
+void Server::maybe_close(Reactor& r, std::uint64_t conn_id, Connection& conn) {
+  const bool drained =
+      conn.out.empty() && conn.owed == 0 && (conn.peer_eof || r.draining);
+  const bool shed_done =
+      conn.shed_close && conn.out.empty() && conn.peer_eof;
+  if (drained || shed_done) close_connection(r, conn_id);
+}
+
+// mu held.
+void Server::close_connection(Reactor& r, std::uint64_t conn_id) {
+  auto it = r.conns.find(conn_id);
+  if (it == r.conns.end()) return;
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, it->second->fd, nullptr);
   ::close(it->second->fd);
-  conns_.erase(it);
-  conns_closed_.add(1);
+  r.conns.erase(it);
+  r.stats.closed.fetch_add(1, std::memory_order_relaxed);
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void EpollServer::run() {
+// mu held. Stop accepting and reading; what is already in flight (owed
+// responses, queued writes, shed frames) still completes.
+void Server::apply_drain(Reactor& r) {
+  if (r.listen_fd >= 0)
+    ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, r.listen_fd, nullptr);
+  for (int fd : r.handoff) ::close(fd);  // accepted, never adopted
+  r.handoff.clear();
+  for (auto& [id, conn] : r.conns) {
+    epoll_event ev{};
+    ev.events = conn->want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u;
+    ev.data.u64 = id;
+    ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+  // Connections that owe nothing and hold no bytes are done now — with
+  // reading stopped there is nothing left to wait for.
+  for (auto it = r.conns.begin(); it != r.conns.end();) {
+    auto cur = it++;
+    maybe_close(r, cur->first, *cur->second);
+  }
+}
+
+// ------------------------------------------------------------- the loop ---
+
+void Server::run(Reactor& r) {
   bool drain_applied = false;
   std::chrono::steady_clock::time_point drain_deadline{};
   epoll_event events[64];
   for (;;) {
     int timeout_ms = -1;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (draining_) {
+      std::lock_guard<std::mutex> lock(r.mu);
+      if (r.draining) {
         if (!drain_applied) {
-          // Stop accepting and stop reading; what is already in flight
-          // (owed responses, queued writes) still completes.
           drain_applied = true;
           drain_deadline =
-              std::chrono::steady_clock::now() + options_.drain_timeout;
-          ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-          for (auto& [id, conn] : conns_) {
-            epoll_event ev{};
-            ev.events =
-                conn->want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u;
-            ev.data.u64 = id;
-            ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
-          }
-          // Connections that owe nothing and hold no bytes are done now
-          // — with reading stopped there is nothing left to wait for
-          // (e.g. accepted-but-never-read connections whose frames the
-          // drain cut off).
-          for (auto it = conns_.begin(); it != conns_.end();) {
-            auto cur = it++;
-            maybe_close(cur->first, *cur->second);
-          }
+              std::chrono::steady_clock::now() + options_.timeouts.drain;
+          apply_drain(r);
         }
-        if (conns_.empty()) return;
-        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-            drain_deadline - std::chrono::steady_clock::now());
+        if (r.conns.empty()) return;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                drain_deadline - std::chrono::steady_clock::now());
         if (left.count() <= 0) {
           // Deadline: whoever still owes or holds bytes gets cut off.
-          force_closed_ = conns_.size();
-          conns_closed_.add(conns_.size());
-          for (auto& [id, conn] : conns_) {
-            ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+          r.force_closed = r.conns.size();
+          r.stats.closed.fetch_add(r.conns.size(),
+                                   std::memory_order_relaxed);
+          open_conns_.fetch_sub(r.conns.size(), std::memory_order_relaxed);
+          for (auto& [id, conn] : r.conns) {
+            ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
             ::close(conn->fd);
           }
-          conns_.clear();
+          r.conns.clear();
           return;
         }
         timeout_ms = static_cast<int>(left.count()) + 1;
       }
+      // The timer wheel needs periodic sweeps while anything is filed;
+      // one tick of latency on a deadline is within its contract.
+      if (r.wheel.size() > 0) {
+        const int tick_ms =
+            std::max(1, static_cast<int>(r.wheel.tick_us() / 1000));
+        timeout_ms = timeout_ms < 0 ? tick_ms : std::min(timeout_ms, tick_ms);
+      }
     }
 
-    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    const int n = ::epoll_wait(r.epoll_fd, events, 64, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;  // epoll fd itself failed; nothing sensible left to do
@@ -392,31 +807,34 @@ void EpollServer::run() {
     for (int i = 0; i < n; ++i) {
       const std::uint64_t id = events[i].data.u64;
       if (id == kListenerId) {
-        handle_accept();
+        handle_accept(r);
       } else if (id == kWakeId) {
         std::uint64_t drained;
-        while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+        while (::read(r.wake_fd, &drained, sizeof drained) > 0) {
         }
+        handle_handoff(r);
         // A wake means "some connection has new queued output" (or a
         // drain started): flush everything with pending bytes.
-        std::lock_guard<std::mutex> lock(mu_);
-        for (auto it = conns_.begin(); it != conns_.end();) {
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (auto it = r.conns.begin(); it != r.conns.end();) {
           auto cur = it++;
-          if (!cur->second->out.empty()) flush(cur->first, *cur->second);
-          maybe_close(cur->first, *cur->second);
+          if (!cur->second->out.empty()) flush(r, cur->first, *cur->second);
+          maybe_close(r, cur->first, *cur->second);
         }
       } else if (events[i].events & (EPOLLERR | EPOLLHUP)) {
         // EPOLLHUP without EPOLLIN data left: peer fully gone.
         if (events[i].events & EPOLLIN) {
-          handle_readable(id);
+          handle_readable(r, id);
         } else {
-          close_connection(id);
+          std::lock_guard<std::mutex> lock(r.mu);
+          close_connection(r, id);
         }
       } else {
-        if (events[i].events & EPOLLIN) handle_readable(id);
-        if (events[i].events & EPOLLOUT) handle_writable(id);
+        if (events[i].events & EPOLLIN) handle_readable(r, id);
+        if (events[i].events & EPOLLOUT) handle_writable(r, id);
       }
     }
+    handle_timers(r);
   }
 }
 

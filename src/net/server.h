@@ -1,33 +1,59 @@
 #pragma once
-// EpollServer: the reusable event-loop core every socket front end runs
-// on. One thread owns an epoll set over a loopback TCP listener and all
-// accepted connections (everything nonblocking); per-connection read
-// buffers reassemble u32-length-prefixed frames (net/framing.h) and each
-// complete frame is handed to the application's FrameHandler; per-
-// connection write queues absorb responses from any thread via send(),
-// flushed by the loop under EPOLLOUT backpressure.
+// Multi-reactor socket front door. N event-loop threads ("reactors"), each
+// owning a private epoll set, share one listening port via SO_REUSEPORT so
+// the kernel spreads incoming connections across them and one core is no
+// longer the ceiling; where SO_REUSEPORT binding fails (or kHandoff is
+// forced), reactor 0 accepts and hands fds to its peers round-robin. Each
+// reactor reassembles u32-length-prefixed frames (net/framing.h) from its
+// connections' read buffers and hands every complete frame to the
+// application handler; responses queue per connection and flush under
+// EPOLLOUT backpressure.
 //
-//                     ┌──────────────── event loop ────────────────┐
-//   accept ──────────>│ conn read buf ──frames──> FrameHandler     │
-//   client bytes ────>│ conn write buf <─send()─  (app, any thread)│
-//                     └───────── EPOLLIN/EPOLLOUT/eventfd ─────────┘
+//            ┌─ reactor 0: epoll ── conns ── timer wheel ─┐
+//   accept ──┼─ reactor 1: epoll ── conns ── timer wheel ─┼── Handler
+//  (REUSEPORT│      ...                                   │ (ResponseToken,
+//   or hand- └─ reactor N: epoll ── conns ── timer wheel ─┘   frame)
+//    off)
 //
-// Contract: the protocol is request/response — every frame delivered to
-// the handler owes the connection exactly one send() (the handler itself
-// may return immediately and fulfil the send from another thread later;
-// it must never block the loop). The server tracks that debt per
-// connection, which is what makes shutdown a *drain*: stop accepting,
-// stop reading, then keep the loop alive until every owed response has
-// been sent and flushed (or the drain deadline forces the stragglers
-// closed). A connection closes cleanly once the peer half-closed, no
-// response is owed, and its write buffer is empty.
+// ## The reply debt: ResponseToken
 //
-// A frame whose length prefix exceeds max_frame, or a read/write error,
-// closes that connection hard — framing corruption is not resynchronizable
-// — without disturbing its neighbours. Payload validation (magic, version,
-// checksum) is the message layer's job (serial::unwrap); the core never
-// looks inside a frame.
+// The protocol is request/response — every frame delivered to the handler
+// owes its connection exactly one reply. The handler receives that debt as
+// a move-only ResponseToken: fulfil it with send() from any thread (the
+// token routes itself to the owning reactor; no global lock — the reactor
+// index lives in the connection id's high bits), or shed() it explicitly.
+// A token destroyed unfulfilled auto-replies a typed kOverloaded frame, so
+// a handler that drops a request on the floor (exception, shutdown race)
+// still settles the debt and the peer still hears an answer. Tokens must
+// be settled before the Server is destroyed.
+//
+// Debt tracking is what makes shutdown() a true drain: stop accepting,
+// stop reading, deliver every owed response, flush, then close — the
+// drain deadline force-closes only stragglers.
+//
+// ## Connection hygiene and overload
+//
+// Every limit answers with a kOverloaded frame (retry-after hint + reason,
+// net/overload.h) before the connection sheds — never a silent close:
+//   - limits.max_connections: accepted-over-cap connections get the frame,
+//     then close once it flushed and the peer hung up (or the linger
+//     deadline passed).
+//   - limits.max_owed_responses / limits.max_queued_write_bytes: a frame
+//     arriving over either per-connection budget is answered kOverloaded
+//     directly instead of reaching the handler.
+//   - timeouts.idle / timeouts.read_progress: a connection that owes
+//     nothing and stays silent past `idle`, or trickles a partial frame
+//     for longer than `read_progress` (slowloris), is evicted with the
+//     frame. Deadlines ride a per-reactor timer wheel; activity never
+//     touches it (the wheel entry re-derives the real deadline on fire).
+// Framing corruption (length prefix beyond max_frame, socket error) still
+// closes hard — a corrupted stream cannot be resynchronized, let alone
+// answered.
+//
+// Payload validation (magic, version, checksum) remains the message
+// layer's job (serial::unwrap); the core never looks inside a frame.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -39,60 +65,172 @@
 #include <vector>
 
 #include "net/framing.h"
+#include "net/timer_wheel.h"
 #include "obs/registry.h"
 
 namespace cgs::net {
 
-struct ServerOptions {
-  std::uint16_t port = 0;  // 0 = kernel-assigned ephemeral (see port())
-  int backlog = 64;
+/// Per-connection and server-wide resource caps. Every cap answers with a
+/// typed kOverloaded frame when it trips (see header comment).
+struct ServerLimits {
+  /// Open connections across all reactors (shed conns count until gone).
+  std::size_t max_connections = 4096;
+  /// Per connection: responses owed (delivered frames not yet answered).
+  std::uint64_t max_owed_responses = 256;
+  /// Per connection: queued-but-unsent response bytes.
+  std::size_t max_queued_write_bytes = 8u << 20;
+  /// Hard cap on a single frame (length prefix included).
   std::uint32_t max_frame = kMaxFrameBytes;
-  /// How long shutdown() waits for owed responses and unflushed writes
-  /// before force-closing the remaining connections.
-  std::chrono::milliseconds drain_timeout{30000};
-  /// Registry for the server's transport metrics (cgs_net_*: connection
-  /// churn, byte/frame counters, write-buffer high-water, write-stall
-  /// latency). nullptr -> the server owns a private registry. An external
-  /// registry must outlive the server; the server unregisters its one
-  /// callback gauge (open connections) at shutdown.
-  obs::Registry* registry = nullptr;
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Mostly a
+  /// test knob — a small send buffer makes write backpressure observable.
+  int sndbuf_bytes = 0;
 };
 
-/// Invoked on the event-loop thread for every complete frame (without the
-/// length prefix). Must not block; must arrange exactly one
-/// send(conn_id, ...) per frame, now or from another thread later.
-using FrameHandler =
-    std::function<void(std::uint64_t conn_id, std::vector<std::uint8_t> frame)>;
+/// Connection deadlines (timer-wheel granularity, ~10ms).
+struct ServerTimeouts {
+  /// Evict a connection that owes nothing and has been silent this long.
+  std::chrono::milliseconds idle{30000};
+  /// A started frame (partial bytes buffered) must complete within this —
+  /// the slowloris deadline.
+  std::chrono::milliseconds read_progress{10000};
+  /// How long shutdown() waits for owed responses and unflushed writes
+  /// before force-closing the remaining connections.
+  std::chrono::milliseconds drain{30000};
+  /// How long a shed connection may linger waiting for the peer to read
+  /// its kOverloaded frame and hang up.
+  std::chrono::milliseconds shed_linger{2000};
+  /// The retry-after hint carried by every kOverloaded frame.
+  std::chrono::milliseconds overload_retry_after{250};
+};
 
-class EpollServer {
+struct ServerOptions {
+  std::uint16_t port = 0;  // 0 = kernel-assigned ephemeral (see port())
+  int backlog = 128;
+  /// Event-loop threads. 0 = hardware_concurrency (at least 1).
+  int reactors = 0;
+  /// How the reactors share the listener. kAuto tries SO_REUSEPORT (one
+  /// listening socket per reactor, kernel load-balanced) and falls back to
+  /// kHandoff (reactor 0 accepts, hands fds round-robin) when the second
+  /// bind fails; the explicit values force one path (tests cover both).
+  enum class AcceptMode { kAuto, kReusePort, kHandoff };
+  AcceptMode accept_mode = AcceptMode::kAuto;
+  ServerLimits limits;
+  ServerTimeouts timeouts;
+  /// Registry for the server's transport metrics (cgs_net_*). The counters
+  /// are per-reactor atomics aggregated through callback instruments at
+  /// collect() time; the server unregisters them all at shutdown (scrape
+  /// before shutdown — Server::stats() stays available after). nullptr ->
+  /// the server owns a private registry, which must then outlive nothing.
+  obs::Registry* registry = nullptr;
+
+  /// Throws cgs::Error on an inconsistent configuration; the constructor
+  /// calls this, callers may too (e.g. to validate config files early).
+  void validate() const;
+};
+
+/// Aggregated transport counters (sum over reactors), available before and
+/// after shutdown.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_received = 0;   // delivered + shed
+  std::uint64_t frames_sent = 0;       // responses + shed answers
+  std::uint64_t frames_corrupt = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t sheds_accept_cap = 0;  // kOverloaded at accept (conn cap)
+  std::uint64_t sheds_owed_cap = 0;    // kOverloaded per frame (owed cap)
+  std::uint64_t sheds_write_cap = 0;   // kOverloaded per frame (write cap)
+  std::uint64_t sheds_dropped_token = 0;  // auto-replies from dead tokens
+  std::uint64_t idle_evictions = 0;
+  std::uint64_t read_timeout_evictions = 0;  // slowloris
+  std::size_t open_connections = 0;
+  std::uint64_t sheds_total() const {
+    return sheds_accept_cap + sheds_owed_cap + sheds_write_cap +
+           sheds_dropped_token + idle_evictions + read_timeout_evictions;
+  }
+};
+
+class Server;
+
+/// The reply debt for one delivered frame. Move-only; fulfil exactly once
+/// with send() or shed() from any thread. Destroying a live token sheds
+/// automatically (kOverloaded, "response dropped"), so every code path —
+/// including exceptions between delivery and reply — answers the peer.
+class ResponseToken {
  public:
-  /// Binds, listens and starts the loop thread; throws cgs::Error when the
-  /// socket setup fails. The handler may be invoked as soon as this
-  /// returns.
-  explicit EpollServer(FrameHandler on_frame, ServerOptions options = {});
-  ~EpollServer();
+  ResponseToken() = default;
+  ResponseToken(ResponseToken&& other) noexcept
+      : server_(other.server_), conn_id_(other.conn_id_) {
+    other.server_ = nullptr;
+  }
+  ResponseToken& operator=(ResponseToken&& other) noexcept;
+  ResponseToken(const ResponseToken&) = delete;
+  ResponseToken& operator=(const ResponseToken&) = delete;
+  ~ResponseToken();
 
-  EpollServer(const EpollServer&) = delete;
-  EpollServer& operator=(const EpollServer&) = delete;
+  /// Queue the encoded (length-prefixed) response and wake the owning
+  /// reactor. False when the connection is already gone (the response is
+  /// dropped — a dead socket deserves nothing else); the debt is settled
+  /// either way and the token goes invalid.
+  bool send(std::vector<std::uint8_t> encoded);
 
-  /// The bound port (resolves option port 0 to the kernel's pick).
+  /// Settle with a typed kOverloaded frame instead of a response — the
+  /// application-level shed (e.g. dispatcher queue full).
+  bool shed(const std::string& reason);
+
+  /// True until the debt is settled (send/shed/moved-from).
+  bool valid() const { return server_ != nullptr; }
+  /// The connection this token answers to (reactor index in bits 48+).
+  std::uint64_t conn_id() const { return conn_id_; }
+
+ private:
+  friend class Server;
+  ResponseToken(Server* server, std::uint64_t conn_id)
+      : server_(server), conn_id_(conn_id) {}
+  Server* server_ = nullptr;
+  std::uint64_t conn_id_ = 0;
+};
+
+/// Invoked on the owning reactor's loop thread for every complete frame
+/// (without the length prefix). Must not block; settle the token now or
+/// hand it to another thread to settle later.
+using Handler =
+    std::function<void(ResponseToken token, std::vector<std::uint8_t> frame)>;
+
+class Server {
+ public:
+  /// Binds, listens and starts the reactor threads; throws cgs::Error when
+  /// socket setup or option validation fails. The handler may be invoked
+  /// as soon as this returns.
+  explicit Server(Handler on_frame, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves option port 0 to the kernel's pick; all
+  /// reactors share it).
   std::uint16_t port() const { return port_; }
-
-  /// Queue one encoded (length-prefixed) response for a connection and
-  /// wake the loop to flush it. Thread-safe. False when the connection is
-  /// already gone (peer vanished mid-flight) — the response is dropped,
-  /// which is what a dead socket deserves.
-  bool send(std::uint64_t conn_id, std::vector<std::uint8_t> encoded);
+  /// Resolved reactor count.
+  int reactors() const { return static_cast<int>(reactors_.size()); }
+  /// True when the reactors share the port via SO_REUSEPORT; false in
+  /// accept-and-hand-off fallback mode.
+  bool reuse_port() const { return reuse_port_; }
 
   /// Graceful drain: stop accepting and reading, deliver every owed
-  /// response, flush, close, join the loop. Returns the number of
+  /// response, flush, close, join every reactor. Returns the number of
   /// connections force-closed by the drain deadline (0 = fully clean).
   /// Idempotent; the destructor calls it.
   std::size_t shutdown();
 
-  std::size_t active_connections() const;
-  std::uint64_t frames_received() const;
-  std::uint64_t frames_sent() const;
+  std::size_t active_connections() const {
+    return open_conns_.load(std::memory_order_relaxed);
+  }
+  /// Aggregate counters; valid (and frozen) after shutdown too.
+  ServerStats stats() const;
+  std::uint64_t frames_received() const { return stats().frames_received; }
+  std::uint64_t frames_sent() const { return stats().frames_sent; }
 
   /// The registry the cgs_net_* instruments live in (the private one when
   /// none was supplied in options).
@@ -100,6 +238,8 @@ class EpollServer {
   const obs::Registry& obs_registry() const { return *obs_; }
 
  private:
+  friend class ResponseToken;
+
   /// One queued response plus when it entered the queue — the write-stall
   /// histogram measures enqueue -> last byte handed to the kernel.
   struct Outgoing {
@@ -108,51 +248,95 @@ class EpollServer {
   };
   struct Connection {
     int fd = -1;
-    std::vector<std::uint8_t> in;          // unparsed inbound bytes
-    std::deque<Outgoing> out;              // queued responses
-    std::size_t out_offset = 0;            // sent bytes of out.front()
-    std::size_t out_bytes = 0;             // total queued unsent bytes
-    std::uint64_t owed = 0;                // frames delivered - responses sent
+    std::vector<std::uint8_t> in;  // unparsed inbound bytes
+    std::deque<Outgoing> out;      // queued responses
+    std::size_t out_offset = 0;    // sent bytes of out.front()
+    std::size_t out_bytes = 0;     // total queued unsent bytes
+    std::uint64_t owed = 0;        // live tokens for this connection
     bool peer_eof = false;
-    bool want_write = false;               // EPOLLOUT currently armed
+    bool want_write = false;  // EPOLLOUT currently armed
+    bool shed_close = false;  // closing: flush out, discard reads
+    bool timer_armed = false;
+    std::uint64_t last_activity_us = 0;  // last byte in or out
+    std::uint64_t read_started_us = 0;   // partial frame began; 0 = none
+    std::uint64_t shed_deadline_us = 0;  // shed_close force-close point
+  };
+  /// Per-reactor monotonically increasing counters; aggregated by
+  /// Server::stats() and the cgs_net_* callback instruments. Padded so two
+  /// reactors' hot counters never share a cache line.
+  struct alignas(64) ReactorStats {
+    std::atomic<std::uint64_t> accepted{0}, closed{0}, frames_received{0},
+        frames_sent{0}, frames_corrupt{0}, bytes_in{0}, bytes_out{0},
+        sheds_accept{0}, sheds_owed{0}, sheds_write{0}, sheds_dropped{0},
+        idle_evictions{0}, read_timeout_evictions{0};
+    std::atomic<std::int64_t> write_hwm{0};
+  };
+  struct Reactor {
+    Server* server = nullptr;
+    int index = 0;
+    int epoll_fd = -1;
+    int listen_fd = -1;  // -1 in handoff mode for reactors != 0
+    int wake_fd = -1;
+    std::thread thread;
+    TimerWheel wheel;
+    ReactorStats stats;
+
+    std::mutex mu;  // guards conns, handoff, draining
+    std::map<std::uint64_t, std::unique_ptr<Connection>> conns;
+    std::uint64_t next_conn = 0;
+    std::vector<int> handoff;  // fds from the acceptor (handoff mode)
+    bool draining = false;
+    /// Connections this reactor force-closed at the drain deadline;
+    /// written by the loop thread on exit, read after join().
+    std::size_t force_closed = 0;
   };
 
-  void run();
-  void handle_accept();
-  void handle_readable(std::uint64_t conn_id);
-  void handle_writable(std::uint64_t conn_id);
-  void flush(std::uint64_t conn_id, Connection& conn);
-  void maybe_close(std::uint64_t conn_id, Connection& conn);
-  void close_connection(std::uint64_t conn_id);
-  void wake();
+  static std::uint64_t now_us();
+  std::size_t reactor_of(std::uint64_t conn_id) const {
+    return static_cast<std::size_t>((conn_id >> 48) - 1);
+  }
 
-  FrameHandler on_frame_;
+  // Reactor loop and its pieces (all run on that reactor's thread).
+  void run(Reactor& r);
+  void handle_accept(Reactor& r);
+  void adopt(Reactor& r, int fd);  // register an accepted fd with r
+  void handle_handoff(Reactor& r);
+  void handle_readable(Reactor& r, std::uint64_t conn_id);
+  void handle_writable(Reactor& r, std::uint64_t conn_id);
+  void handle_timers(Reactor& r);
+  void flush(Reactor& r, std::uint64_t conn_id, Connection& conn);
+  void maybe_close(Reactor& r, std::uint64_t conn_id, Connection& conn);
+  void close_connection(Reactor& r, std::uint64_t conn_id);
+  void apply_drain(Reactor& r);
+  static void wake(Reactor& r);
+
+  /// Mark a connection shedding: queue the kOverloaded frame, stop
+  /// delivering, arm the linger deadline. mu held by caller.
+  void begin_shed_locked(Reactor& r, Connection& conn, const std::string& why,
+                         std::atomic<std::uint64_t>& stat);
+  std::vector<std::uint8_t> overload_frame(const std::string& reason) const;
+
+  // Cross-thread reply paths (ResponseToken).
+  bool fulfil(std::uint64_t conn_id, std::vector<std::uint8_t> encoded,
+              bool counts_as_sent = true);
+  bool shed_reply(std::uint64_t conn_id, const std::string& reason,
+                  std::atomic<std::uint64_t>* stat);
+
+  void register_instruments();
+
+  Handler on_frame_;
   ServerOptions options_;
-  // Registry first, instruments after: the references below bind into it
-  // during member initialization.
   std::unique_ptr<obs::Registry> owned_obs_;  // when no external registry
   obs::Registry* obs_ = nullptr;
-  obs::Counter& conns_accepted_;
-  obs::Counter& conns_closed_;
-  obs::Counter& bytes_in_;
-  obs::Counter& bytes_out_;
-  obs::Counter& frames_decoded_;
-  obs::Counter& frames_corrupt_;
-  obs::Gauge& write_buffer_hwm_;     // worst queued-bytes level seen
-  obs::Histogram& write_stall_us_;
-  int epoll_fd_ = -1;
-  int listen_fd_ = -1;
-  int wake_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::thread loop_;
+  obs::Histogram* write_stall_us_ = nullptr;  // owned instrument, survives
+  std::vector<std::string> callback_metrics_;  // unregistered at shutdown
 
-  mutable std::mutex mu_;  // guards conns_, draining_, counters
-  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
-  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
-  bool draining_ = false;
-  std::size_t force_closed_ = 0;
-  std::uint64_t frames_received_ = 0;
-  std::uint64_t frames_sent_ = 0;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::uint16_t port_ = 0;
+  bool reuse_port_ = false;
+  std::atomic<std::size_t> open_conns_{0};
+  std::atomic<std::size_t> handoff_rr_{0};  // round-robin accept cursor
+  std::size_t force_closed_ = 0;  // written by shutdown() before readers
 
   std::mutex shutdown_mu_;  // serializes shutdown() callers
   bool shut_down_ = false;

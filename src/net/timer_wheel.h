@@ -1,0 +1,94 @@
+#pragma once
+// A hashed timer wheel for connection deadlines. Each reactor owns one and
+// drives it from its event loop: schedule() files a (key, deadline) entry
+// into the slot its deadline hashes to, advance() sweeps every slot between
+// the last sweep and `now` and hands expired entries to the callback.
+// Entries whose deadline lies beyond one wheel revolution simply stay in
+// their slot and are re-filed on the sweep that reaches them — the classic
+// "rounds" scheme, without storing a round counter.
+//
+// Cancellation is lazy: the wheel never removes an entry early. The owner
+// cancels by making the callback a no-op — here, the reactor re-derives a
+// connection's *actual* deadline when an entry fires and either evicts or
+// re-schedules, so a connection keeps exactly one live entry and stale
+// fires cost one map lookup. That is what makes schedule() O(1) with no
+// per-activity bookkeeping on the hot read/write paths.
+//
+// Single-threaded by design (the owning reactor's loop); no locks.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cgs::net {
+
+class TimerWheel {
+ public:
+  /// `tick_us` is the wheel's resolution (a deadline fires up to one tick
+  /// late); `slots` x `tick_us` is one revolution.
+  explicit TimerWheel(std::uint64_t tick_us = 10'000, std::size_t slots = 512)
+      : tick_us_(tick_us), slots_(slots) {
+    CGS_CHECK_MSG(tick_us_ > 0 && slots_.size() >= 2,
+                  "timer wheel needs a positive tick and >= 2 slots");
+  }
+
+  /// File `key` to fire at `deadline_us` (absolute, same clock as
+  /// advance()). A deadline already in the past fires on the next sweep.
+  void schedule(std::uint64_t key, std::uint64_t deadline_us) {
+    slots_[slot_of(deadline_us)].push_back(Entry{key, deadline_us});
+    ++size_;
+  }
+
+  /// Sweep up to `now_us`: every entry with deadline <= now is removed and
+  /// handed to `cb(key)`; later entries in swept slots are re-filed.
+  template <typename Fn>
+  void advance(std::uint64_t now_us, Fn&& cb) {
+    if (size_ == 0) {
+      last_sweep_us_ = now_us;
+      return;
+    }
+    // Sweep at most one full revolution — beyond that every slot has been
+    // visited once and re-filed entries must not be visited again this
+    // call (their deadline is in the future by definition of re-filing).
+    const std::uint64_t first_tick = last_sweep_us_ / tick_us_;
+    std::uint64_t last_tick = now_us / tick_us_;
+    if (last_tick - first_tick >= slots_.size())
+      last_tick = first_tick + slots_.size() - 1;
+    for (std::uint64_t t = first_tick; t <= last_tick; ++t) {
+      std::vector<Entry>& slot = slots_[t % slots_.size()];
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        if (slot[i].deadline_us <= now_us) {
+          --size_;
+          cb(slot[i].key);
+        } else {
+          slot[keep++] = slot[i];
+        }
+      }
+      slot.resize(keep);
+    }
+    last_sweep_us_ = now_us;
+  }
+
+  std::size_t size() const { return size_; }
+  std::uint64_t tick_us() const { return tick_us_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t deadline_us = 0;
+  };
+
+  std::size_t slot_of(std::uint64_t deadline_us) const {
+    return static_cast<std::size_t>(deadline_us / tick_us_) % slots_.size();
+  }
+
+  std::uint64_t tick_us_;
+  std::vector<std::vector<Entry>> slots_;
+  std::uint64_t last_sweep_us_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cgs::net

@@ -55,6 +55,11 @@ enum class TypeTag : std::uint32_t {
   // metrics exposition in one of the supported formats.
   kStatsRequest = 11,
   kStatsResponse = 12,
+  // Transport-level overload shed (net/overload.h): the server answers a
+  // request it cannot take on — connection cap, owed-responses cap, write
+  // cap, idle or read-progress eviction — with this frame (retry-after
+  // hint + reason) instead of a silent close.
+  kOverloaded = 13,
 };
 
 /// The tag of a frame without validating its payload: header-only checks

@@ -40,13 +40,21 @@ std::uint64_t gauss_shard_key(double sigma, double center) {
          mix64(~std::bit_cast<std::uint64_t>(center));
 }
 
-// The one push-or-reject admission sequence every submit_* shares: attach
-// the future, try the queue, account the outcome, detach the future again
-// when the request was not admitted. (The enqueued stamp lands just before
-// the push — a rejected job's trace simply dies with the job.)
-template <typename R, typename LaneT, typename Job>
-Submission<R> submit_to(LaneT& lane, Job job) {
-  Submission<R> result;
+}  // namespace
+
+// The one push-or-reject admission sequence every submit() overload
+// shares: wrap the envelope, attach the future, try the queue, account
+// the outcome, detach the future again when the request was not admitted.
+// (The enqueued stamp lands just before the push — a rejected job's trace
+// simply dies with the job.)
+template <typename Req>
+Submission<typename Req::Result> Dispatcher::submit_impl(Lane<Job<Req>>& lane,
+                                                         Req req) {
+  Job<Req> job;
+  job.req = std::move(req);
+  job.submitted = std::chrono::steady_clock::now();
+  job.trace = tracer_->begin();
+  Submission<typename Req::Result> result;
   result.future = job.promise.get_future();
   job.trace.stamp(obs::Stage::kEnqueued);
   result.status = lane.queue.try_push(std::move(job));
@@ -58,8 +66,6 @@ Submission<R> submit_to(LaneT& lane, Job job) {
   }
   return result;
 }
-
-}  // namespace
 
 Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
                        DispatcherOptions options)
@@ -217,59 +223,32 @@ const falcon::KeyPair* Dispatcher::key(std::uint64_t key_id) const {
   return it == keys_.end() ? nullptr : &it->second;
 }
 
-Submission<falcon::Signature> Dispatcher::submit_sign(std::uint64_t key_id,
-                                                      std::string message) {
-  CGS_CHECK_MSG(key(key_id) != nullptr,
-                "submit_sign: key_id not registered (add_key first)");
-  Lane<SignJob>& lane =
-      *sign_lanes_[mix64(key_id) % sign_lanes_.size()];
-  SignJob job;
-  job.key_id = key_id;
-  job.message = std::move(message);
-  job.submitted = std::chrono::steady_clock::now();
-  job.trace = tracer_->begin();
-  return submit_to<falcon::Signature>(lane, std::move(job));
+Submission<falcon::Signature> Dispatcher::submit(SignRequest req) {
+  CGS_CHECK_MSG(key(req.key_id) != nullptr,
+                "submit(SignRequest): key_id not registered (add_key first)");
+  Lane<SignJob>& lane = *sign_lanes_[mix64(req.key_id) % sign_lanes_.size()];
+  return submit_impl(lane, std::move(req));
 }
 
-Submission<bool> Dispatcher::submit_verify(std::uint64_t key_id,
-                                           std::string message,
-                                           falcon::Signature sig) {
-  CGS_CHECK_MSG(key(key_id) != nullptr,
-                "submit_verify: key_id not registered (add_key first)");
+Submission<bool> Dispatcher::submit(VerifyRequest req) {
+  CGS_CHECK_MSG(
+      key(req.key_id) != nullptr,
+      "submit(VerifyRequest): key_id not registered (add_key first)");
   Lane<VerifyJob>& lane =
-      *verify_lanes_[mix64(key_id) % verify_lanes_.size()];
-  VerifyJob job;
-  job.key_id = key_id;
-  job.message = std::move(message);
-  job.sig = std::move(sig);
-  job.submitted = std::chrono::steady_clock::now();
-  job.trace = tracer_->begin();
-  return submit_to<bool>(lane, std::move(job));
+      *verify_lanes_[mix64(req.key_id) % verify_lanes_.size()];
+  return submit_impl(lane, std::move(req));
 }
 
-Submission<KeygenResult> Dispatcher::submit_keygen(
-    falcon::FalconParams params, std::uint64_t seed) {
-  Lane<KeygenJob>& lane = *keygen_lanes_.front();
-  KeygenJob job;
-  job.params = params;
-  job.seed = seed;
-  job.submitted = std::chrono::steady_clock::now();
-  job.trace = tracer_->begin();
-  return submit_to<KeygenResult>(lane, std::move(job));
+Submission<KeygenResult> Dispatcher::submit(KeygenRequest req) {
+  return submit_impl(*keygen_lanes_.front(), std::move(req));
 }
 
-Submission<std::vector<std::int32_t>> Dispatcher::submit_gauss(
-    double sigma, double center, std::size_t n) {
-  CGS_CHECK_MSG(n >= 1, "submit_gauss: empty request");
+Submission<std::vector<std::int32_t>> Dispatcher::submit(GaussRequest req) {
+  CGS_CHECK_MSG(req.n >= 1, "submit(GaussRequest): empty request");
   Lane<GaussJob>& lane =
-      *gauss_lanes_[gauss_shard_key(sigma, center) % gauss_lanes_.size()];
-  GaussJob job;
-  job.sigma = sigma;
-  job.center = center;
-  job.n = n;
-  job.submitted = std::chrono::steady_clock::now();
-  job.trace = tracer_->begin();
-  return submit_to<std::vector<std::int32_t>>(lane, std::move(job));
+      *gauss_lanes_[gauss_shard_key(req.sigma, req.center) %
+                    gauss_lanes_.size()];
+  return submit_impl(lane, std::move(req));
 }
 
 void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
@@ -285,12 +264,12 @@ void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
     // one sign_many per key is what fills the engine's bit-sliced lanes.
     std::map<std::uint64_t, std::vector<std::size_t>> by_key;
     for (std::size_t i = 0; i < batch.size(); ++i)
-      by_key[batch[i].key_id].push_back(i);
+      by_key[batch[i].req.key_id].push_back(i);
     for (const auto& [key_id, indices] : by_key) {
       const falcon::KeyPair* kp = key(key_id);
       std::vector<std::string_view> messages;
       messages.reserve(indices.size());
-      for (std::size_t i : indices) messages.push_back(batch[i].message);
+      for (std::size_t i : indices) messages.push_back(batch[i].req.message);
       lane.counters.batches.add(1);
       lane.counters.batched.add(indices.size());
       for (std::size_t i : indices)
@@ -333,7 +312,7 @@ void Dispatcher::run_verify_lane(Lane<VerifyJob>& lane) {
     // cached NTT-domain public key.
     std::map<std::uint64_t, std::vector<std::size_t>> by_key;
     for (std::size_t i = 0; i < batch.size(); ++i)
-      by_key[batch[i].key_id].push_back(i);
+      by_key[batch[i].req.key_id].push_back(i);
     for (const auto& [key_id, indices] : by_key) {
       const falcon::KeyPair* kp = key(key_id);
       std::vector<std::string_view> messages;
@@ -341,8 +320,8 @@ void Dispatcher::run_verify_lane(Lane<VerifyJob>& lane) {
       messages.reserve(indices.size());
       sigs.reserve(indices.size());
       for (std::size_t i : indices) {
-        messages.push_back(batch[i].message);
-        sigs.push_back(std::move(batch[i].sig));
+        messages.push_back(batch[i].req.message);
+        sigs.push_back(std::move(batch[i].req.sig));
       }
       lane.counters.batches.add(1);
       lane.counters.batched.add(indices.size());
@@ -396,8 +375,8 @@ void Dispatcher::run_keygen_lane(Lane<KeygenJob>& lane) {
       lane.counters.batched.add(1);
       job.trace.stamp(obs::Stage::kEngineStart);
       try {
-        prng::ChaCha20Source rng(job.seed);
-        falcon::KeyPair kp = falcon::keygen(job.params, rng);
+        prng::ChaCha20Source rng(job.req.seed);
+        falcon::KeyPair kp = falcon::keygen(job.req.params, rng);
         job.trace.stamp(obs::Stage::kEngineEnd);
         KeygenResult result;
         result.params = kp.params;
@@ -431,12 +410,12 @@ void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
              std::vector<std::size_t>>
         by_target;
     for (std::size_t i = 0; i < batch.size(); ++i)
-      by_target[{std::bit_cast<std::uint64_t>(batch[i].sigma),
-                 std::bit_cast<std::uint64_t>(batch[i].center)}]
+      by_target[{std::bit_cast<std::uint64_t>(batch[i].req.sigma),
+                 std::bit_cast<std::uint64_t>(batch[i].req.center)}]
           .push_back(i);
     for (const auto& [target, indices] : by_target) {
       std::size_t total = 0;
-      for (std::size_t i : indices) total += batch[i].n;
+      for (std::size_t i : indices) total += batch[i].req.n;
       lane.counters.batches.add(1);
       lane.counters.batched.add(indices.size());
       for (std::size_t i : indices)
@@ -444,7 +423,7 @@ void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
       try {
         const GaussJob& head = batch[indices.front()];
         const std::vector<std::int32_t> bulk =
-            gaussian_->sample(head.sigma, head.center, total);
+            gaussian_->sample(head.req.sigma, head.req.center, total);
         for (std::size_t i : indices)
           batch[i].trace.stamp(obs::Stage::kEngineEnd);
         std::size_t off = 0;
@@ -452,8 +431,8 @@ void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
           GaussJob& job = batch[i];
           std::vector<std::int32_t> slice(
               bulk.begin() + static_cast<std::ptrdiff_t>(off),
-              bulk.begin() + static_cast<std::ptrdiff_t>(off + job.n));
-          off += job.n;
+              bulk.begin() + static_cast<std::ptrdiff_t>(off + job.req.n));
+          off += job.req.n;
           lane.counters.latency.record(elapsed_us(job.submitted));
           lane.counters.completed.add(1);
           job.trace.stamp(obs::Stage::kFulfilled);

@@ -5,10 +5,10 @@
 // per-lane threads run a MicroBatcher (close on max_batch or max_linger,
 // whichever first) and hand closed batches to the blocking services:
 //
-//   submit_sign ──── shard by key fingerprint ──> sign lane ──┐
-//   submit_verify ── shard by key fingerprint ──> verify lane ├─ MicroBatcher
-//   submit_gauss ─── shard by (sigma, c) key ──> gauss lane ──┘      │
-//   submit_keygen ── dedicated low-priority ──> keygen lane ──┘      ▼
+//   submit(SignRequest) ──── shard by key fingerprint ──> sign lane ──┐
+//   submit(VerifyRequest) ── shard by key fingerprint ──> verify lane ├─ MicroBatcher
+//   submit(GaussRequest) ─── shard by (sigma, c) key ──> gauss lane ──┘   │
+//   submit(KeygenRequest) ── dedicated low-priority ──> keygen lane ──┘   ▼
 //        falcon::SigningService::sign_many /
 //        falcon::VerificationService::verify_many /
 //        GaussianService::sample / falcon::keygen
@@ -90,12 +90,52 @@ struct DispatcherOptions {
 };
 
 /// What a fulfilled keygen submission yields: the key is registered with
-/// the dispatcher under `key_id` (usable in submit_sign / submit_verify
+/// the dispatcher under `key_id` (usable in sign / verify submissions
 /// immediately); only public material leaves the serving layer.
 struct KeygenResult {
   std::uint64_t key_id = 0;
   falcon::FalconParams params;
   std::vector<std::uint32_t> public_h;
+};
+
+// ----------------------------------------------------------------------
+// The typed request envelopes. One struct per operation, each naming its
+// Result type, so the dispatcher exposes a single submit() overload set
+// and a wire frontend's frame -> lane plumbing is one switch that builds
+// an envelope — not four parallel call paths. Every envelope rides the
+// same Job<Req> internally (promise + submit stamp + trace), and every
+// submission shares one admission sequence.
+
+/// Sign `message` under a registered key (add_key / a fulfilled keygen).
+struct SignRequest {
+  using Result = falcon::Signature;
+  std::uint64_t key_id = 0;
+  std::string message;
+};
+
+/// Verify `sig` over `message` against a registered key; yields the
+/// verdict (true = accepted).
+struct VerifyRequest {
+  using Result = bool;
+  std::uint64_t key_id = 0;
+  std::string message;
+  falcon::Signature sig;
+};
+
+/// Generate a key at `params` from `seed` (deterministic per seed). Runs
+/// on the dedicated low-priority keygen lane.
+struct KeygenRequest {
+  using Result = KeygenResult;
+  falcon::FalconParams params;
+  std::uint64_t seed = 0;
+};
+
+/// `n` raw Gaussian samples at (sigma, center).
+struct GaussRequest {
+  using Result = std::vector<std::int32_t>;
+  double sigma = 0;
+  double center = 0;
+  std::size_t n = 0;
 };
 
 class Dispatcher {
@@ -115,29 +155,14 @@ class Dispatcher {
   /// The registered key for an id; nullptr when unknown.
   const falcon::KeyPair* key(std::uint64_t key_id) const;
 
-  /// Queue one message for signing under a registered key. Fails fast
-  /// with kQueueFull (backpressure) or kShutdown; throws cgs::Error only
-  /// on an unregistered key_id (caller bug, not load).
-  Submission<falcon::Signature> submit_sign(std::uint64_t key_id,
-                                            std::string message);
-
-  /// Queue one signature for verification under a registered key; the
-  /// future yields the verdict (true = accepted). Fails fast with
-  /// kQueueFull / kShutdown; throws cgs::Error only on an unregistered
-  /// key_id (caller bug, not load — wire frontends check key() first).
-  Submission<bool> submit_verify(std::uint64_t key_id, std::string message,
-                                 falcon::Signature sig);
-
-  /// Queue a key generation at `params` from `seed` (deterministic per
-  /// seed). Runs on the dedicated low-priority keygen lane; the future's
-  /// KeygenResult names the registered key_id.
-  Submission<KeygenResult> submit_keygen(falcon::FalconParams params,
-                                         std::uint64_t seed);
-
-  /// Queue a raw-Gaussian request for `n` samples at (sigma, center).
-  Submission<std::vector<std::int32_t>> submit_gauss(double sigma,
-                                                     double center,
-                                                     std::size_t n);
+  /// The one entry point: queue a typed request envelope on its lane.
+  /// Fails fast with kQueueFull (backpressure) or kShutdown; throws
+  /// cgs::Error only on an unregistered key_id in a sign/verify envelope
+  /// (caller bug, not load — wire frontends check key() first).
+  Submission<falcon::Signature> submit(SignRequest req);
+  Submission<bool> submit(VerifyRequest req);
+  Submission<KeygenResult> submit(KeygenRequest req);
+  Submission<std::vector<std::int32_t>> submit(GaussRequest req);
 
   /// Point-in-time metrics across every lane (plus the cache stats of
   /// the three per-key caches underneath).
@@ -162,35 +187,20 @@ class Dispatcher {
   const DispatcherOptions& options() const { return options_; }
 
  private:
-  struct SignJob {
-    std::uint64_t key_id = 0;
-    std::string message;
-    std::promise<falcon::Signature> promise;
+  /// Every envelope travels its lane in the same wrapper: the request,
+  /// the promise its Submission future hangs off, the admission stamp
+  /// for the latency histogram, and the per-request trace.
+  template <typename Req>
+  struct Job {
+    Req req;
+    std::promise<typename Req::Result> promise;
     std::chrono::steady_clock::time_point submitted;
     obs::Trace trace;
   };
-  struct VerifyJob {
-    std::uint64_t key_id = 0;
-    std::string message;
-    falcon::Signature sig;
-    std::promise<bool> promise;
-    std::chrono::steady_clock::time_point submitted;
-    obs::Trace trace;
-  };
-  struct KeygenJob {
-    falcon::FalconParams params;
-    std::uint64_t seed = 0;
-    std::promise<KeygenResult> promise;
-    std::chrono::steady_clock::time_point submitted;
-    obs::Trace trace;
-  };
-  struct GaussJob {
-    double sigma = 0, center = 0;
-    std::size_t n = 0;
-    std::promise<std::vector<std::int32_t>> promise;
-    std::chrono::steady_clock::time_point submitted;
-    obs::Trace trace;
-  };
+  using SignJob = Job<SignRequest>;
+  using VerifyJob = Job<VerifyRequest>;
+  using KeygenJob = Job<KeygenRequest>;
+  using GaussJob = Job<GaussRequest>;
   template <typename Job>
   struct Lane {
     Lane(std::size_t capacity, obs::Registry& registry,
@@ -200,6 +210,11 @@ class Dispatcher {
     LaneCounters counters;
     std::thread thread;
   };
+
+  /// The one admission sequence behind every submit() overload: stamp,
+  /// trace, try the lane queue, account the outcome.
+  template <typename Req>
+  Submission<typename Req::Result> submit_impl(Lane<Job<Req>>& lane, Req req);
 
   void run_sign_lane(Lane<SignJob>& lane);
   void run_verify_lane(Lane<VerifyJob>& lane);

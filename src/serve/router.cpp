@@ -1,0 +1,187 @@
+#include "serve/router.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "obs/export.h"
+#include "serial/serial.h"
+#include "serve/wire.h"
+
+namespace cgs::serve {
+
+CompletionPool::CompletionPool(int threads) {
+  for (int i = 0; i < threads; ++i) workers_.emplace_back([this] { run(); });
+}
+
+CompletionPool::~CompletionPool() { join(); }
+
+void CompletionPool::join() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+void CompletionPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void CompletionPool::run() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// The shared tail of every request type: reject unadmitted submissions
+// now, otherwise park (token, future) on the pool and answer — success
+// or error — when the future lands. `ok` and `err` encode the response
+// frames; the token travels through std::function via shared_ptr (the
+// pool's tasks must be copyable, the token is move-only).
+template <typename R, typename Ok, typename Err>
+void settle_async(CompletionPool& pool, net::ResponseToken token,
+                  Submission<R> sub, std::uint64_t request_id, Ok ok,
+                  Err err) {
+  if (!sub.ok()) {
+    token.send(err(request_id, to_string(sub.status)));
+    return;
+  }
+  auto tok = std::make_shared<net::ResponseToken>(std::move(token));
+  auto fut = std::make_shared<std::future<R>>(std::move(sub.future));
+  pool.post([tok, fut, request_id, ok, err] {
+    try {
+      tok->send(ok(request_id, fut->get()));
+    } catch (const std::exception& e) {
+      tok->send(err(request_id, std::string(e.what())));
+    }
+  });
+}
+
+std::vector<std::uint8_t> sign_err(std::uint64_t id, const std::string& e) {
+  return encode(SignResponseFrame::failure(id, e));
+}
+std::vector<std::uint8_t> verify_err(std::uint64_t id, const std::string& e) {
+  return encode(VerifyResponseFrame::failure(id, e));
+}
+std::vector<std::uint8_t> keygen_err(std::uint64_t id, const std::string& e) {
+  return encode(KeygenResponseFrame::failure(id, e));
+}
+
+}  // namespace
+
+void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
+                 net::ResponseToken token, std::vector<std::uint8_t> frame) {
+  try {
+    switch (serial::peek_tag(frame)) {
+      case serial::TypeTag::kKeygenRequest: {
+        const KeygenRequestFrame req = decode_keygen_request(frame);
+        KeygenRequest env;
+        env.params = falcon::FalconParams::for_degree(
+            static_cast<std::size_t>(req.degree));
+        env.seed = req.seed;
+        settle_async(
+            pool, std::move(token), dispatcher.submit(std::move(env)),
+            req.request_id,
+            [](std::uint64_t id, const KeygenResult& r) {
+              return encode(KeygenResponseFrame::success(
+                  id, r.key_id, r.public_h, r.params.n));
+            },
+            keygen_err);
+        return;
+      }
+      case serial::TypeTag::kSignRequest: {
+        SignRequestFrame req = decode_sign_request(frame);
+        if (dispatcher.key(req.key_id) == nullptr) {
+          token.send(sign_err(req.request_id, "unknown key"));
+          return;
+        }
+        SignRequest env;
+        env.key_id = req.key_id;
+        env.message = std::move(req.message);
+        settle_async(
+            pool, std::move(token), dispatcher.submit(std::move(env)),
+            req.request_id,
+            [](std::uint64_t id, const falcon::Signature& sig) {
+              return encode(SignResponseFrame::success(id, sig));
+            },
+            sign_err);
+        return;
+      }
+      case serial::TypeTag::kVerifyRequest: {
+        VerifyRequestFrame req = decode_verify_request(frame);
+        if (dispatcher.key(req.key_id) == nullptr) {
+          token.send(verify_err(req.request_id, "unknown key"));
+          return;
+        }
+        VerifyRequest env;
+        env.key_id = req.key_id;
+        env.sig = req.to_signature();
+        env.message = std::move(req.message);
+        settle_async(
+            pool, std::move(token), dispatcher.submit(std::move(env)),
+            req.request_id,
+            [](std::uint64_t id, bool accepted) {
+              return encode(VerifyResponseFrame::verdict(id, accepted));
+            },
+            verify_err);
+        return;
+      }
+      case serial::TypeTag::kStatsRequest: {
+        // Answered inline on the loop thread: a registry walk is cheap.
+        const StatsRequestFrame req = decode_stats_request(frame);
+        const obs::Registry& registry = dispatcher.obs_registry();
+        std::string text = req.format == StatsFormat::kJson
+                               ? obs::json_text(registry)
+                               : obs::prometheus_text(registry);
+        token.send(encode(StatsResponseFrame::success(
+            req.request_id, req.format, std::move(text))));
+        return;
+      }
+      default:
+        token.send(verify_err(0, "unsupported request type"));
+        return;
+    }
+  } catch (const std::exception& e) {
+    // Undecodable frame: still answer (the transport owes one response
+    // per delivered frame) with an error of the response type matching
+    // the request's tag where readable, so the client's current decode
+    // phase can always parse it.
+    if (!token.valid()) return;
+    std::vector<std::uint8_t> resp;
+    try {
+      switch (serial::peek_tag(frame)) {
+        case serial::TypeTag::kKeygenRequest:
+          resp = keygen_err(0, e.what());
+          break;
+        case serial::TypeTag::kSignRequest:
+          resp = sign_err(0, e.what());
+          break;
+        default:
+          resp = verify_err(0, e.what());
+          break;
+      }
+    } catch (const std::exception&) {
+      resp = verify_err(0, e.what());
+    }
+    token.send(std::move(resp));
+  }
+}
+
+}  // namespace cgs::serve

@@ -183,7 +183,7 @@ TEST(Dispatcher, ServesConcurrentClientsAndFillsBatches) {
       for (int i = 0; i < kPerClient; ++i) {
         const int slot = c * kPerClient + i;
         while (true) {
-          auto sub = d.submit_sign(id, "msg " + std::to_string(slot));
+          auto sub = d.submit(serve::SignRequest{.key_id = id, .message = "msg " + std::to_string(slot)});
           if (sub.ok()) {
             futures[static_cast<std::size_t>(slot)] = std::move(sub.future);
             break;
@@ -223,17 +223,17 @@ TEST(Dispatcher, ShutdownDrainsEveryAcceptedFuture) {
 
   std::vector<std::future<falcon::Signature>> futures;
   for (int i = 0; i < 10; ++i) {
-    auto sub = d.submit_sign(id, "drain " + std::to_string(i));
+    auto sub = d.submit(serve::SignRequest{.key_id = id, .message = "drain " + std::to_string(i)});
     ASSERT_TRUE(sub.ok());
     futures.push_back(std::move(sub.future));
   }
-  auto gauss = d.submit_gauss(25.0, 0.0, 1000);
+  auto gauss = d.submit(serve::GaussRequest{.sigma = 25.0, .center = 0.0, .n = 1000});
   ASSERT_TRUE(gauss.ok());
-  auto keygen = d.submit_keygen(falcon::FalconParams::for_degree(64), 808);
+  auto keygen = d.submit(serve::KeygenRequest{.params = falcon::FalconParams::for_degree(64), .seed = 808});
   ASSERT_TRUE(keygen.ok());
   const falcon::Signature presigned =
       d.signing_service().sign(key_a(), "drain 0");
-  auto verify = d.submit_verify(id, "drain 0", presigned);
+  auto verify = d.submit(serve::VerifyRequest{.key_id = id, .message = "drain 0", .sig = presigned});
   ASSERT_TRUE(verify.ok());
 
   d.shutdown();
@@ -248,14 +248,14 @@ TEST(Dispatcher, ShutdownDrainsEveryAcceptedFuture) {
   EXPECT_TRUE(verify.future.get());
 
   // After shutdown: typed rejection, no future.
-  auto late = d.submit_sign(id, "too late");
+  auto late = d.submit(serve::SignRequest{.key_id = id, .message = "too late"});
   EXPECT_EQ(late.status, SubmitStatus::kShutdown);
   EXPECT_FALSE(late.future.valid());
-  auto late_gauss = d.submit_gauss(25.0, 0.0, 10);
+  auto late_gauss = d.submit(serve::GaussRequest{.sigma = 25.0, .center = 0.0, .n = 10});
   EXPECT_EQ(late_gauss.status, SubmitStatus::kShutdown);
-  auto late_verify = d.submit_verify(id, "too late", presigned);
+  auto late_verify = d.submit(serve::VerifyRequest{.key_id = id, .message = "too late", .sig = presigned});
   EXPECT_EQ(late_verify.status, SubmitStatus::kShutdown);
-  auto late_keygen = d.submit_keygen(falcon::FalconParams::for_degree(64), 1);
+  auto late_keygen = d.submit(serve::KeygenRequest{.params = falcon::FalconParams::for_degree(64), .seed = 1});
   EXPECT_EQ(late_keygen.status, SubmitStatus::kShutdown);
 
   const MetricsSnapshot m = d.metrics();
@@ -277,8 +277,8 @@ TEST(Dispatcher, MultiKeyShardIsolation) {
 
   std::vector<std::future<falcon::Signature>> fa, fb;
   for (int i = 0; i < 8; ++i) {
-    auto sa = d.submit_sign(id_a, "tenant A #" + std::to_string(i));
-    auto sb = d.submit_sign(id_b, "tenant B #" + std::to_string(i));
+    auto sa = d.submit(serve::SignRequest{.key_id = id_a, .message = "tenant A #" + std::to_string(i)});
+    auto sb = d.submit(serve::SignRequest{.key_id = id_b, .message = "tenant B #" + std::to_string(i)});
     ASSERT_TRUE(sa.ok() && sb.ok());
     fa.push_back(std::move(sa.future));
     fb.push_back(std::move(sb.future));
@@ -302,7 +302,7 @@ TEST(Dispatcher, MultiKeyShardIsolation) {
   EXPECT_EQ(d.signing_service().num_cached_trees(), 2u);
 
   // Unregistered key id is a caller bug, reported loudly.
-  EXPECT_THROW((void)d.submit_sign(id_a ^ id_b ^ 1, "nobody"), Error);
+  EXPECT_THROW((void)d.submit(serve::SignRequest{.key_id = id_a ^ id_b ^ 1, .message = "nobody"}), Error);
 }
 
 TEST(Dispatcher, GaussRequestsBatchPerTargetAndSliceCorrectly) {
@@ -316,7 +316,7 @@ TEST(Dispatcher, GaussRequestsBatchPerTargetAndSliceCorrectly) {
   std::vector<std::future<std::vector<std::int32_t>>> futures;
   std::vector<std::size_t> sizes = {100, 1, 77, 1024, 3, 500};
   for (std::size_t n : sizes) {
-    auto sub = d.submit_gauss(30.0, -1.25, n);
+    auto sub = d.submit(serve::GaussRequest{.sigma = 30.0, .center = -1.25, .n = n});
     ASSERT_TRUE(sub.ok());
     futures.push_back(std::move(sub.future));
   }
@@ -351,8 +351,8 @@ TEST(Dispatcher, VerifyLaneBatchesVerdictsPerKey) {
   for (int i = 0; i < 4; ++i) {
     msgs_a.push_back("verdict A #" + std::to_string(i));
     msgs_b.push_back("verdict B #" + std::to_string(i));
-    auto sa = d.submit_sign(id_a, msgs_a.back());
-    auto sb = d.submit_sign(id_b, msgs_b.back());
+    auto sa = d.submit(serve::SignRequest{.key_id = id_a, .message = msgs_a.back()});
+    auto sb = d.submit(serve::SignRequest{.key_id = id_b, .message = msgs_b.back()});
     ASSERT_TRUE(sa.ok() && sb.ok());
     sigs_a.push_back(sa.future.get());
     sigs_b.push_back(sb.future.get());
@@ -363,16 +363,13 @@ TEST(Dispatcher, VerifyLaneBatchesVerdictsPerKey) {
   // error) — futures collected first so the lane can batch.
   std::vector<std::future<bool>> expect_true, expect_false;
   for (int i = 0; i < 4; ++i) {
-    auto good_a = d.submit_verify(id_a, msgs_a[static_cast<std::size_t>(i)],
-                                  sigs_a[static_cast<std::size_t>(i)]);
-    auto good_b = d.submit_verify(id_b, msgs_b[static_cast<std::size_t>(i)],
-                                  sigs_b[static_cast<std::size_t>(i)]);
+    auto good_a = d.submit(serve::VerifyRequest{.key_id = id_a, .message = msgs_a[static_cast<std::size_t>(i)], .sig = sigs_a[static_cast<std::size_t>(i)]});
+    auto good_b = d.submit(serve::VerifyRequest{.key_id = id_b, .message = msgs_b[static_cast<std::size_t>(i)], .sig = sigs_b[static_cast<std::size_t>(i)]});
     falcon::Signature bent = sigs_a[static_cast<std::size_t>(i)];
     bent.s1[static_cast<std::size_t>(i)] += 1;
     auto tampered =
-        d.submit_verify(id_a, msgs_a[static_cast<std::size_t>(i)], bent);
-    auto cross = d.submit_verify(id_b, msgs_a[static_cast<std::size_t>(i)],
-                                 sigs_a[static_cast<std::size_t>(i)]);
+        d.submit(serve::VerifyRequest{.key_id = id_a, .message = msgs_a[static_cast<std::size_t>(i)], .sig = bent});
+    auto cross = d.submit(serve::VerifyRequest{.key_id = id_b, .message = msgs_a[static_cast<std::size_t>(i)], .sig = sigs_a[static_cast<std::size_t>(i)]});
     ASSERT_TRUE(good_a.ok() && good_b.ok() && tampered.ok() && cross.ok());
     expect_true.push_back(std::move(good_a.future));
     expect_true.push_back(std::move(good_b.future));
@@ -388,15 +385,15 @@ TEST(Dispatcher, VerifyLaneBatchesVerdictsPerKey) {
   EXPECT_EQ(d.verification_service().num_cached_keys(), 2u);
 
   // Unregistered key id is a caller bug, reported loudly.
-  EXPECT_THROW((void)d.submit_verify(id_a ^ id_b ^ 1, "x", sigs_a[0]), Error);
+  EXPECT_THROW((void)d.submit(serve::VerifyRequest{.key_id = id_a ^ id_b ^ 1, .message = "x", .sig = sigs_a[0]}), Error);
 }
 
 TEST(Dispatcher, KeygenLaneOnboardsTenantsDeterministically) {
   DispatcherOptions opts = fast_options();
   Dispatcher d(registry(), opts);
 
-  auto kg1 = d.submit_keygen(falcon::FalconParams::for_degree(64), 4242);
-  auto kg2 = d.submit_keygen(falcon::FalconParams::for_degree(64), 4243);
+  auto kg1 = d.submit(serve::KeygenRequest{.params = falcon::FalconParams::for_degree(64), .seed = 4242});
+  auto kg2 = d.submit(serve::KeygenRequest{.params = falcon::FalconParams::for_degree(64), .seed = 4243});
   ASSERT_TRUE(kg1.ok() && kg2.ok());
   const KeygenResult r1 = kg1.future.get();
   const KeygenResult r2 = kg2.future.get();
@@ -405,15 +402,15 @@ TEST(Dispatcher, KeygenLaneOnboardsTenantsDeterministically) {
   ASSERT_NE(d.key(r1.key_id), nullptr);  // registered and ready to serve
 
   // Same seed replays the same key; add_key idempotence folds them.
-  auto kg3 = d.submit_keygen(falcon::FalconParams::for_degree(64), 4242);
+  auto kg3 = d.submit(serve::KeygenRequest{.params = falcon::FalconParams::for_degree(64), .seed = 4242});
   ASSERT_TRUE(kg3.ok());
   EXPECT_EQ(kg3.future.get().key_id, r1.key_id);
 
   // The fresh tenant is immediately usable for the whole lifecycle.
-  auto sub = d.submit_sign(r1.key_id, "fresh tenant message");
+  auto sub = d.submit(serve::SignRequest{.key_id = r1.key_id, .message = "fresh tenant message"});
   ASSERT_TRUE(sub.ok());
   const falcon::Signature sig = sub.future.get();
-  auto verdict = d.submit_verify(r1.key_id, "fresh tenant message", sig);
+  auto verdict = d.submit(serve::VerifyRequest{.key_id = r1.key_id, .message = "fresh tenant message", .sig = sig});
   ASSERT_TRUE(verdict.ok());
   EXPECT_TRUE(verdict.future.get());
   // And the wire-facing public key verifies it too.
@@ -490,7 +487,7 @@ TEST(Wire, SignResponseRoundTripThroughSignature) {
   DispatcherOptions opts = fast_options();
   Dispatcher d(registry(), opts);
   const std::uint64_t id = d.add_key(key_a());
-  auto sub = d.submit_sign(id, "wire me");
+  auto sub = d.submit(serve::SignRequest{.key_id = id, .message = "wire me"});
   ASSERT_TRUE(sub.ok());
   const falcon::Signature sig = sub.future.get();
 
@@ -519,7 +516,7 @@ TEST(Wire, VerifyFramesRoundTrip) {
   DispatcherOptions opts = fast_options();
   Dispatcher d(registry(), opts);
   const std::uint64_t id = d.add_key(key_a());
-  auto sub = d.submit_sign(id, "verify wire");
+  auto sub = d.submit(serve::SignRequest{.key_id = id, .message = "verify wire"});
   ASSERT_TRUE(sub.ok());
   const falcon::Signature sig = sub.future.get();
 

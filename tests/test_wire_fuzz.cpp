@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "net/overload.h"
 #include "prng/splitmix.h"
 #include "serial/serial.h"
 #include "serve/wire.h"
@@ -88,6 +89,13 @@ std::vector<Sample> make_samples(prng::SplitMix64Source& rng) {
   samples.push_back({serial::TypeTag::kStatsResponse,
                      encode(StatsResponseFrame::failure(53, "draining"))});
 
+  // The transport's typed shed answer (net/overload.h) shares the serial
+  // frame format and the clients' decode path — fuzz it with the rest.
+  net::OverloadedFrame shed;
+  shed.retry_after_ms = 250;
+  shed.reason = "owed-responses cap";
+  samples.push_back({serial::TypeTag::kOverloaded, net::encode_overloaded(shed)});
+
   return samples;
 }
 
@@ -110,7 +118,12 @@ void decode_as(serial::TypeTag tag, std::span<const std::uint8_t> frame) {
     case serial::TypeTag::kKeygenResponse: decode_keygen_response(frame); break;
     case serial::TypeTag::kStatsRequest: decode_stats_request(frame); break;
     case serial::TypeTag::kStatsResponse: decode_stats_response(frame); break;
-    default: FAIL() << "unexpected sample tag";
+    case serial::TypeTag::kOverloaded: net::decode_overloaded(frame); break;
+    default:
+      // Cache-layer tags (netlist, sampler, ...) are valid serial frames
+      // but not wire messages; a mutation steering a frame there gets the
+      // same typed rejection a server's router would produce.
+      throw serial::SerialError("no wire decoder for this tag");
   }
 }
 
