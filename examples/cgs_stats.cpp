@@ -43,6 +43,14 @@ const char* const kRequiredMetrics[] = {
     "cgs_cache_ntt_key_misses_total",
     "cgs_cache_recipe_hits_total",
     "cgs_cache_recipe_misses_total",
+    // Bounded-cache lifecycle: evictions under budget pressure and
+    // warm starts from the persistent key-state store.
+    "cgs_cache_ffldl_tree_evictions_total",
+    "cgs_cache_ffldl_tree_warm_starts_total",
+    "cgs_cache_ntt_key_evictions_total",
+    "cgs_cache_ntt_key_warm_starts_total",
+    "cgs_cache_recipe_evictions_total",
+    "cgs_cache_recipe_warm_starts_total",
 };
 
 int check_exposition(const std::string& text, serve::StatsFormat format) {

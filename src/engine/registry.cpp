@@ -37,6 +37,45 @@ std::string hex_bits(double v) {
   return os.str();
 }
 
+// Approximate resident cost of a synthesized sampler: the netlist's node
+// and output arrays plus its eval scratch dominate.
+std::size_t sampler_footprint_bytes(const ct::SynthesizedSampler& s) {
+  return sizeof(ct::SynthesizedSampler) +
+         s.netlist.nodes().capacity() * sizeof(bf::Node) +
+         s.netlist.outputs().capacity() * sizeof(std::int32_t) +
+         s.netlist.nodes().size() * sizeof(std::uint64_t);
+}
+
+SamplerRegistry::Source to_source(
+    store::BoundedCache<std::string, ct::SynthesizedSampler>::Outcome o) {
+  using Outcome =
+      store::BoundedCache<std::string, ct::SynthesizedSampler>::Outcome;
+  switch (o) {
+    case Outcome::kHit:
+      return SamplerRegistry::Source::kMemory;
+    case Outcome::kWarmStart:
+      return SamplerRegistry::Source::kDisk;
+    case Outcome::kBuilt:
+      break;
+  }
+  return SamplerRegistry::Source::kSynthesized;
+}
+
+SamplerRegistry::Source to_source(
+    store::BoundedCache<std::string, gauss::ConvolutionRecipe>::Outcome o) {
+  using Outcome =
+      store::BoundedCache<std::string, gauss::ConvolutionRecipe>::Outcome;
+  switch (o) {
+    case Outcome::kHit:
+      return SamplerRegistry::Source::kMemory;
+    case Outcome::kWarmStart:
+      return SamplerRegistry::Source::kDisk;
+    case Outcome::kBuilt:
+      break;
+  }
+  return SamplerRegistry::Source::kSynthesized;
+}
+
 }  // namespace
 
 std::string cache_key(const gauss::GaussianParams& p,
@@ -76,7 +115,9 @@ std::string default_cache_dir() {
 }
 
 SamplerRegistry::SamplerRegistry(Options options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      netlists_(options_.netlist_cache),
+      recipes_(options_.recipe_cache) {
   if (options_.cache_dir.empty()) options_.cache_dir = default_cache_dir();
 }
 
@@ -85,90 +126,54 @@ SamplerRegistry::SamplerPtr SamplerRegistry::get(
     Source* source) {
   const std::string key = cache_key(params, config);
 
-  std::promise<Entry> promise;
-  std::shared_future<Entry> future;
-  bool creator = false;
-  std::uint64_t epoch = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      future = it->second;
-    } else {
-      creator = true;
-      epoch = epoch_;
-      future = promise.get_future().share();
-      cache_.emplace(key, future);
-    }
-  }
+  // Materialization runs outside the cache lock (single-flight per key): a
+  // slow synthesis for one key never blocks lookups — or syntheses — for
+  // different keys, and a synthesis that throws is evicted so the next
+  // request retries instead of replaying the failure.
+  auto pinned = netlists_.get_or_build(key, [&]() -> NetlistCache::Built {
+    namespace fs = std::filesystem;
+    const std::string path = options_.cache_dir + "/" + key + ".cgs";
 
-  if (creator) {
-    // Materialize outside the lock: a slow synthesis for one key must not
-    // block lookups (or other syntheses) for different keys.
-    try {
-      promise.set_value(materialize(params, config, key));
-    } catch (...) {
-      promise.set_exception(std::current_exception());
-      std::lock_guard<std::mutex> lock(mu_);
-      // Allow a later retry — but only drop OUR entry: if clear_memory()
-      // ran meanwhile, the key may now hold another thread's fresh
-      // in-flight future, which must survive.
-      if (epoch == epoch_) cache_.erase(key);
-    }
-  }
-
-  const Entry& entry = future.get();  // rethrows a materialization failure
-  // Only the call that did the work reports disk/synthesis; everyone later
-  // (or anyone who waited on the in-flight future) got it from memory.
-  const Source src = creator ? entry.source : Source::kMemory;
-  if (src == Source::kSynthesized)
-    netlist_misses_.fetch_add(1, std::memory_order_relaxed);
-  else
-    netlist_hits_.fetch_add(1, std::memory_order_relaxed);
-  if (source) *source = src;
-  return entry.sampler;
-}
-
-SamplerRegistry::Entry SamplerRegistry::materialize(
-    const gauss::GaussianParams& params, const ct::SynthesisConfig& config,
-    const std::string& key) const {
-  namespace fs = std::filesystem;
-  const std::string path = options_.cache_dir + "/" + key + ".cgs";
-
-  if (options_.use_disk) {
-    if (auto bytes = serial::read_file(path)) {
-      try {
-        serial::SamplerFrame frame = serial::deserialize_sampler(*bytes);
-        // The frame embeds the (params, config) it was synthesized for; a
-        // valid file renamed under the wrong key (sync script, manual copy,
-        // cache_key format change) must count as a miss, not silently serve
-        // the wrong distribution.
-        if (cache_key(frame.params, frame.config) == key) {
-          auto sampler = std::make_shared<ct::SynthesizedSampler>(
-              std::move(frame.sampler));
-          return {std::move(sampler), Source::kDisk};
+    if (options_.use_disk) {
+      if (auto bytes = serial::read_file(path)) {
+        try {
+          serial::SamplerFrame frame = serial::deserialize_sampler(*bytes);
+          // The frame embeds the (params, config) it was synthesized for; a
+          // valid file renamed under the wrong key (sync script, manual
+          // copy, cache_key format change) must count as a miss, not
+          // silently serve the wrong distribution.
+          if (cache_key(frame.params, frame.config) == key) {
+            auto sampler = std::make_shared<ct::SynthesizedSampler>(
+                std::move(frame.sampler));
+            const std::size_t cost = sampler_footprint_bytes(*sampler);
+            return {std::move(sampler), cost, /*warm_start=*/true};
+          }
+        } catch (const Error&) {
+          // Bad magic / version skew / checksum or shape corruption: treat
+          // as a miss, re-synthesize below and overwrite the bad file.
         }
-      } catch (const Error&) {
-        // Bad magic / version skew / checksum or shape corruption: treat as
-        // a miss, re-synthesize below and overwrite the bad file.
       }
     }
-  }
 
-  const gauss::ProbMatrix matrix(params);
-  auto sampler =
-      std::make_shared<ct::SynthesizedSampler>(ct::synthesize(matrix, config));
+    const gauss::ProbMatrix matrix(params);
+    auto sampler = std::make_shared<ct::SynthesizedSampler>(
+        ct::synthesize(matrix, config));
 
-  if (options_.use_disk) {
-    std::error_code ec;
-    fs::create_directories(options_.cache_dir, ec);
-    // Persist best-effort: an unwritable cache directory degrades to
-    // synthesize-per-process, never to an error.
-    if (!ec)
-      serial::write_file_atomic(path,
-                                serial::serialize(params, config, *sampler));
-  }
-  return {std::move(sampler), Source::kSynthesized};
+    if (options_.use_disk) {
+      std::error_code ec;
+      fs::create_directories(options_.cache_dir, ec);
+      // Persist best-effort: an unwritable cache directory degrades to
+      // synthesize-per-process, never to an error.
+      if (!ec)
+        serial::write_file_atomic(
+            path, serial::serialize(params, config, *sampler));
+    }
+    const std::size_t cost = sampler_footprint_bytes(*sampler);
+    return {std::move(sampler), cost, /*warm_start=*/false};
+  });
+
+  if (source) *source = to_source(pinned.outcome());
+  return pinned.value();
 }
 
 gauss::ConvolutionRecipe SamplerRegistry::get_recipe(double target_sigma,
@@ -178,86 +183,55 @@ gauss::ConvolutionRecipe SamplerRegistry::get_recipe(double target_sigma,
                                                      Source* source) {
   const std::string key =
       recipe_cache_key(target_sigma, target_center, eps, base_precision);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (auto it = recipes_.find(key); it != recipes_.end()) {
-      recipe_hits_.fetch_add(1, std::memory_order_relaxed);
-      if (source) *source = Source::kMemory;
-      return it->second;
-    }
-  }
 
-  namespace fs = std::filesystem;
-  const std::string path = options_.cache_dir + "/" + key + ".cgs";
-  gauss::ConvolutionRecipe recipe;
-  Source src = Source::kSynthesized;  // "planned" for recipes
-  bool loaded = false;
-  if (options_.use_disk) {
-    if (auto bytes = serial::read_file(path)) {
-      try {
-        gauss::ConvolutionRecipe cand = serial::deserialize_recipe(*bytes);
-        // Like sampler frames: a valid frame misfiled under the wrong key
-        // must count as a miss, not serve the wrong target.
-        if (recipe_cache_key(cand.target_sigma, cand.target_center, cand.eps,
-                             cand.base.precision) == key) {
-          recipe = std::move(cand);
-          src = Source::kDisk;
-          loaded = true;
+  auto pinned = recipes_.get_or_build(key, [&]() -> RecipeCache::Built {
+    namespace fs = std::filesystem;
+    const std::string path = options_.cache_dir + "/" + key + ".cgs";
+    const std::size_t cost = sizeof(gauss::ConvolutionRecipe) + key.size();
+    if (options_.use_disk) {
+      if (auto bytes = serial::read_file(path)) {
+        try {
+          gauss::ConvolutionRecipe cand = serial::deserialize_recipe(*bytes);
+          // Like sampler frames: a valid frame misfiled under the wrong key
+          // must count as a miss, not serve the wrong target.
+          if (recipe_cache_key(cand.target_sigma, cand.target_center,
+                               cand.eps, cand.base.precision) == key) {
+            return {std::make_shared<gauss::ConvolutionRecipe>(
+                        std::move(cand)),
+                    cost, /*warm_start=*/true};
+          }
+        } catch (const Error&) {
+          // Corrupted/foreign frame: replan below and overwrite.
         }
-      } catch (const Error&) {
-        // Corrupted/foreign frame: replan below and overwrite.
       }
     }
-  }
 
-  if (loaded)
-    recipe_hits_.fetch_add(1, std::memory_order_relaxed);
-  else
-    recipe_misses_.fetch_add(1, std::memory_order_relaxed);
-  if (!loaded) {
     const auto bases = gauss::default_recipe_bases(base_precision);
-    recipe = gauss::plan_recipe(target_sigma, target_center, bases, eps);
+    auto recipe = std::make_shared<gauss::ConvolutionRecipe>(
+        gauss::plan_recipe(target_sigma, target_center, bases, eps));
     if (options_.use_disk) {
       std::error_code ec;
       fs::create_directories(options_.cache_dir, ec);
-      if (!ec) serial::write_file_atomic(path, serial::serialize(recipe));
+      if (!ec) serial::write_file_atomic(path, serial::serialize(*recipe));
     }
-  }
+    return {std::move(recipe), cost, /*warm_start=*/false};
+  });
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = recipes_.emplace(key, recipe);
-    // A concurrent planner may have won the race; both computed the same
-    // deterministic recipe, so either value serves.
-    (void)inserted;
-  }
-  if (source) *source = src;
-  return recipe;
+  if (source) *source = to_source(pinned.outcome());
+  return *pinned;
 }
 
 obs::CacheStats SamplerRegistry::netlist_cache_stats() const {
-  obs::CacheStats stats;
-  stats.hits = netlist_hits_.load(std::memory_order_relaxed);
-  stats.misses = netlist_misses_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  stats.entries = cache_.size();
-  return stats;
+  return netlists_.stats();
 }
 
 obs::CacheStats SamplerRegistry::recipe_cache_stats() const {
-  obs::CacheStats stats;
-  stats.hits = recipe_hits_.load(std::memory_order_relaxed);
-  stats.misses = recipe_misses_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  stats.entries = recipes_.size();
-  return stats;
+  return recipes_.stats();
 }
 
 void SamplerRegistry::clear_memory() {
-  std::lock_guard<std::mutex> lock(mu_);
-  cache_.clear();
+  netlists_.clear();
   recipes_.clear();
-  ++epoch_;
 }
 
 SamplerRegistry& SamplerRegistry::global() {

@@ -16,17 +16,14 @@
 // Corrupted, truncated or version-skewed cache files are rejected by the
 // serial layer and silently fall back to re-synthesis (then overwritten).
 
-#include <atomic>
-#include <future>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 
 #include "ct/synthesis.h"
 #include "gauss/params.h"
 #include "gauss/recipe.h"
 #include "obs/metric.h"
+#include "store/bounded_cache.h"
 
 namespace cgs::engine {
 
@@ -54,6 +51,12 @@ class SamplerRegistry {
   struct Options {
     std::string cache_dir;  // empty -> default_cache_dir()
     bool use_disk = true;   // false -> in-process memoization only
+    /// Budget for the in-process netlist memo. Default unbounded (legacy
+    /// behavior); under a budget an evicted netlist warm-starts from its
+    /// per-key disk frame instead of a re-synthesis.
+    store::CacheBudget netlist_cache;
+    /// Budget for the in-process recipe memo (same warm-start path).
+    store::CacheBudget recipe_cache;
   };
 
   /// Where a get() result was materialized from.
@@ -101,32 +104,18 @@ class SamplerRegistry {
   static SamplerRegistry& global();
 
  private:
-  struct Entry {
-    SamplerPtr sampler;
-    Source source;
-  };
-
-  Entry materialize(const gauss::GaussianParams& params,
-                    const ct::SynthesisConfig& config,
-                    const std::string& key) const;
+  // Both memos ride the shared bounded-cache core: single-flight
+  // deduplication (a failed synthesis is evicted, so the next request
+  // retries instead of replaying the failure), 2Q eviction under a budget,
+  // and hit/miss/eviction/warm-start accounting. The per-key disk frames
+  // are the persistent layer: an evicted entry's next get() decodes the
+  // frame (warm start) rather than re-synthesizing.
+  using NetlistCache = store::BoundedCache<std::string, ct::SynthesizedSampler>;
+  using RecipeCache = store::BoundedCache<std::string, gauss::ConvolutionRecipe>;
 
   Options options_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_future<Entry>> cache_;
-  // Bumped by clear_memory(); a failed creator only erases its own entry if
-  // the map has not been wiped (and possibly repopulated) since it inserted.
-  std::uint64_t epoch_ = 0;
-
-  // Recipe memo: planning is cheap and deterministic, so plain values under
-  // the same mutex (no in-flight future machinery needed — a duplicated
-  // concurrent plan is harmless and both sides compute the same recipe).
-  std::unordered_map<std::string, gauss::ConvolutionRecipe> recipes_;
-
-  // Cache accounting (atomics: hits are counted after mu_ is dropped).
-  std::atomic<std::uint64_t> netlist_hits_{0};
-  std::atomic<std::uint64_t> netlist_misses_{0};
-  std::atomic<std::uint64_t> recipe_hits_{0};
-  std::atomic<std::uint64_t> recipe_misses_{0};
+  NetlistCache netlists_;
+  RecipeCache recipes_;
 };
 
 }  // namespace cgs::engine

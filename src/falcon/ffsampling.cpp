@@ -64,6 +64,21 @@ FalconTree::FalconTree(const KeyPair& kp) {
                 "tree leaf sigma escaped the base-sampler envelope");
 }
 
+FalconTree FalconTree::from_parts(std::unique_ptr<FfNode> root, CVec b00,
+                                  CVec b01, CVec b10, CVec b11,
+                                  double min_sigma, double max_sigma) {
+  CGS_CHECK(root != nullptr);
+  FalconTree tree;
+  tree.root_ = std::move(root);
+  tree.b00_ = std::move(b00);
+  tree.b01_ = std::move(b01);
+  tree.b10_ = std::move(b10);
+  tree.b11_ = std::move(b11);
+  tree.min_sigma_ = min_sigma;
+  tree.max_sigma_ = max_sigma;
+  return tree;
+}
+
 void FfScratch::prepare(std::size_t dim) {
   if (n == dim) return;
   levels.clear();

@@ -27,6 +27,15 @@ class FalconTree {
   /// [sigma_min, sigma_max] (keygen guarantees it does not).
   explicit FalconTree(const KeyPair& kp);
 
+  /// Reassemble a tree from previously-computed parts (the disk codec's
+  /// decode path — falcon/state_codec.h). The caller vouches that the
+  /// parts came from a real build; no numeric re-derivation happens here,
+  /// which is what makes a warm start bit-identical to the tree that was
+  /// evicted.
+  static FalconTree from_parts(std::unique_ptr<FfNode> root, CVec b00,
+                               CVec b01, CVec b10, CVec b11, double min_sigma,
+                               double max_sigma);
+
   const FfNode& root() const { return *root_; }
 
   /// Basis rows in FFT: b = [[g, -f], [G, -F]].
@@ -39,6 +48,8 @@ class FalconTree {
   double max_leaf_sigma() const { return max_sigma_; }
 
  private:
+  FalconTree() = default;  // from_parts fills every member
+
   std::unique_ptr<FfNode> build(const CVec& g00, const CVec& g01,
                                 const CVec& g11, double sigma_sig);
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "falcon/state_codec.h"
 #include "gauss/params.h"
 #include "prng/splitmix.h"
 #include "serial/serial.h"
@@ -39,7 +40,7 @@ std::uint64_t key_fingerprint(const KeyPair& kp) {
 
 SigningService::SigningService(engine::SamplerRegistry& registry,
                                SigningOptions options)
-    : options_(options) {
+    : options_(options), trees_(options.tree_cache) {
   CGS_CHECK_MSG(options_.precision >= 1 && options_.block >= 1,
                 "signing service needs positive precision and block size");
   int threads = options_.num_threads;
@@ -79,20 +80,43 @@ engine::Backend SigningService::backend() const {
   return workers_.front()->engine->backend();
 }
 
-std::shared_ptr<const FalconTree> SigningService::tree_for(
-    const KeyPair& kp) {
+SigningService::TreeCache::Pinned SigningService::tree_for(const KeyPair& kp) {
   const std::uint64_t fp = key_fingerprint(kp);
-  std::lock_guard<std::mutex> lock(tree_mu_);
-  if (auto it = trees_.find(fp); it != trees_.end()) {
-    CGS_CHECK_MSG(it->second.f == kp.f && it->second.g == kp.g,
-                  "key fingerprint collision in the tree cache");
-    ++tree_hits_;
-    return it->second.tree;
-  }
-  ++tree_misses_;
-  auto tree = std::make_shared<const FalconTree>(kp);
-  trees_.emplace(fp, TreeEntry{kp.f, kp.g, tree});
-  return tree;
+  store::KvStore* kv = options_.key_state;
+  auto pinned = trees_.get_or_build(fp, [&]() -> TreeCache::Built {
+    const std::string state_key = tree_state_key(fp);
+    if (kv) {
+      if (const auto bytes = kv->get(state_key)) {
+        try {
+          TreeRecord rec = decode_tree(*bytes);
+          // The stored (f, g) must match the key in hand — a stale record
+          // (re-keyed tenant) or a fingerprint collision falls through to
+          // a rebuild, which then overwrites the record.
+          if (rec.f == kp.f && rec.g == kp.g) {
+            auto entry = std::make_shared<TreeEntry>(
+                TreeEntry{kp.f, kp.g, std::move(rec.tree)});
+            const std::size_t cost =
+                tree_footprint_bytes(*entry->tree) + sizeof(TreeEntry) +
+                2 * kp.params.n * sizeof(std::int32_t);
+            return {std::move(entry), cost, /*warm_start=*/true};
+          }
+        } catch (const serial::SerialError&) {
+          // Corrupt record: rebuild (and overwrite it below).
+        }
+      }
+    }
+    auto tree = std::make_shared<const FalconTree>(kp);
+    if (kv) kv->put(state_key, encode_tree(kp, *tree));  // best-effort
+    auto entry =
+        std::make_shared<TreeEntry>(TreeEntry{kp.f, kp.g, std::move(tree)});
+    const std::size_t cost = tree_footprint_bytes(*entry->tree) +
+                             sizeof(TreeEntry) +
+                             2 * kp.params.n * sizeof(std::int32_t);
+    return {std::move(entry), cost, /*warm_start=*/false};
+  });
+  CGS_CHECK_MSG(pinned->f == kp.f && pinned->g == kp.g,
+                "key fingerprint collision in the tree cache");
+  return pinned;
 }
 
 std::vector<SigningService::Worker*> SigningService::checkout(
@@ -130,7 +154,10 @@ void SigningService::checkin(std::span<Worker* const> taken) {
 std::vector<Signature> SigningService::sign_many(
     const KeyPair& kp, std::span<const std::string_view> messages,
     SignStats* stats) {
-  const auto tree = tree_for(kp);
+  // The pin keeps this key's tree in the cache for the whole batch —
+  // eviction pressure from other tenants defers around in-flight work.
+  const TreeCache::Pinned entry = tree_for(kp);
+  const FalconTree& tree = *entry->tree;
   std::vector<Signature> out(messages.size());
   if (messages.empty()) return out;
 
@@ -153,7 +180,7 @@ std::vector<Signature> SigningService::sign_many(
     try {
       Worker& w = *taken[t];
       for (std::size_t i = t; i < messages.size(); i += k)
-        out[i] = sign_with(kp, *tree, messages[i], *w.samplerz, w.scratch,
+        out[i] = sign_with(kp, tree, messages[i], *w.samplerz, w.scratch,
                            &call_stats[t]);
     } catch (...) {
       errors[t] = std::current_exception();
@@ -226,14 +253,10 @@ std::uint64_t SigningService::rejections() const {
   return total;
 }
 
-std::size_t SigningService::num_cached_trees() const {
-  std::lock_guard<std::mutex> lock(tree_mu_);
-  return trees_.size();
-}
+std::size_t SigningService::num_cached_trees() const { return trees_.size(); }
 
 obs::CacheStats SigningService::tree_cache_stats() const {
-  std::lock_guard<std::mutex> lock(tree_mu_);
-  return {tree_hits_, tree_misses_, trees_.size()};
+  return trees_.stats();
 }
 
 }  // namespace cgs::falcon

@@ -33,7 +33,6 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -45,6 +44,8 @@
 #include "engine/registry.h"
 #include "falcon/sign.h"
 #include "obs/metric.h"
+#include "store/bounded_cache.h"
+#include "store/kvstore.h"
 
 namespace cgs::falcon {
 
@@ -60,6 +61,13 @@ struct SigningOptions {
   std::uint64_t root_seed = 0;  // per-worker streams derived from this
   int precision = 128;          // base sampler probability precision
   std::size_t block = 1024;     // base samples prefetched per ring refill
+  /// Budget for the per-key ffLDL tree cache. Default unbounded — the
+  /// legacy every-key-resident behavior.
+  store::CacheBudget tree_cache;
+  /// Optional persistent key-state store (not owned; must outlive the
+  /// service). When set, built trees are written through and an evicted
+  /// key warm-starts from a decode instead of an O(n log n) rebuild.
+  store::KvStore* key_state = nullptr;
 };
 
 class SigningService {
@@ -117,8 +125,12 @@ class SigningService {
     IPoly f, g;  // fingerprint collision guard (the tree's actual inputs)
     std::shared_ptr<const FalconTree> tree;
   };
+  using TreeCache = store::BoundedCache<std::uint64_t, TreeEntry>;
 
-  std::shared_ptr<const FalconTree> tree_for(const KeyPair& kp);
+  /// The (pinned) tree entry for kp: memory hit, KvStore warm start, or
+  /// build — in that order. sign_many holds the pin for its whole batch,
+  /// so a hot tree is never evicted mid-batch.
+  TreeCache::Pinned tree_for(const KeyPair& kp);
 
   /// Blocks until at least one worker is free, then takes up to `want` of
   /// them in index order. Never holds pool_mu_ while signing runs.
@@ -129,10 +141,7 @@ class SigningService {
   std::vector<std::unique_ptr<Worker>> workers_;
   mutable std::mutex pool_mu_;  // guards Worker::busy + published counters
   std::condition_variable pool_cv_;
-  mutable std::mutex tree_mu_;
-  std::map<std::uint64_t, TreeEntry> trees_;
-  std::uint64_t tree_hits_ = 0;    // guarded by tree_mu_
-  std::uint64_t tree_misses_ = 0;  // guarded by tree_mu_
+  TreeCache trees_;
 };
 
 }  // namespace cgs::falcon

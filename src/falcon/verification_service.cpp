@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "falcon/state_codec.h"
 #include "serial/serial.h"
 
 namespace cgs::falcon {
@@ -27,7 +28,7 @@ std::uint64_t public_key_fingerprint(std::span<const std::uint32_t> h,
 }
 
 VerificationService::VerificationService(VerificationOptions options)
-    : options_(options) {
+    : options_(options), keys_(options.key_cache) {
   int threads = options_.num_threads;
   if (threads <= 0)
     threads =
@@ -37,32 +38,57 @@ VerificationService::VerificationService(VerificationOptions options)
                 "verification service needs min_batch_per_thread >= 1");
 }
 
-std::shared_ptr<const VerificationService::KeyEntry>
-VerificationService::entry_for(const std::vector<std::uint32_t>& h,
-                               const FalconParams& params) {
+VerificationService::KeyCache::Pinned VerificationService::entry_for(
+    const std::vector<std::uint32_t>& h, const FalconParams& params) {
   CGS_CHECK_MSG(h.size() == params.n,
                 "public key length does not match the degree");
   const std::uint64_t fp = public_key_fingerprint(h, params);
-  std::lock_guard<std::mutex> lock(keys_mu_);
-  if (auto it = keys_.find(fp); it != keys_.end()) {
-    CGS_CHECK_MSG(it->second->h == h &&
-                      it->second->params.bound_sq() == params.bound_sq(),
-                  "public key fingerprint collision in the verify cache");
-    ++key_hits_;
-    return it->second;
-  }
-  ++key_misses_;
-  auto entry = std::make_shared<KeyEntry>();
-  entry->h = h;
-  entry->params = params;
-  entry->ntt = shared_ntt_context(params.n);
-  entry->h_ntt = h;
-  entry->ntt->forward_br(entry->h_ntt);  // cached in the bit-reversed domain
-  entry->h_ntt_shoup.reserve(entry->h_ntt.size());
-  for (const std::uint32_t w : entry->h_ntt)
-    entry->h_ntt_shoup.push_back(NttContext::shoup_factor(w));
-  keys_.emplace(fp, entry);
-  return entry;
+  store::KvStore* kv = options_.key_state;
+  auto pinned = keys_.get_or_build(fp, [&]() -> KeyCache::Built {
+    const std::size_t cost = ntt_key_footprint_bytes(params.n);
+    const std::string state_key = ntt_state_key(fp);
+    if (kv) {
+      if (const auto bytes = kv->get(state_key)) {
+        try {
+          NttKeyRecord rec = decode_ntt_key(*bytes);
+          // The stored public material must match the key in hand — a
+          // stale or colliding record falls through to a transform, which
+          // then overwrites it.
+          if (rec.h == h && rec.params.n == params.n &&
+              rec.params.bound_sq() == params.bound_sq() &&
+              rec.h_ntt.size() == params.n &&
+              rec.h_ntt_shoup.size() == params.n) {
+            auto entry = std::make_shared<KeyEntry>();
+            entry->h = std::move(rec.h);
+            entry->h_ntt = std::move(rec.h_ntt);
+            entry->h_ntt_shoup = std::move(rec.h_ntt_shoup);
+            entry->params = params;
+            entry->ntt = shared_ntt_context(params.n);
+            return {std::move(entry), cost, /*warm_start=*/true};
+          }
+        } catch (const serial::SerialError&) {
+          // Corrupt record: re-transform (and overwrite it below).
+        }
+      }
+    }
+    auto entry = std::make_shared<KeyEntry>();
+    entry->h = h;
+    entry->params = params;
+    entry->ntt = shared_ntt_context(params.n);
+    entry->h_ntt = h;
+    entry->ntt->forward_br(entry->h_ntt);  // cached in the bit-reversed domain
+    entry->h_ntt_shoup.reserve(entry->h_ntt.size());
+    for (const std::uint32_t w : entry->h_ntt)
+      entry->h_ntt_shoup.push_back(NttContext::shoup_factor(w));
+    if (kv) {
+      NttKeyRecord rec{entry->h, entry->h_ntt, entry->h_ntt_shoup, params};
+      kv->put(state_key, encode_ntt_key(rec));  // best-effort
+    }
+    return {std::move(entry), cost, /*warm_start=*/false};
+  });
+  CGS_CHECK_MSG(pinned->h == h && pinned->params.bound_sq() == params.bound_sq(),
+                "public key fingerprint collision in the verify cache");
+  return pinned;
 }
 
 bool VerificationService::verify_one(const KeyEntry& key,
@@ -206,13 +232,11 @@ std::vector<std::uint8_t> VerificationService::verify_many(
 }
 
 std::size_t VerificationService::num_cached_keys() const {
-  std::lock_guard<std::mutex> lock(keys_mu_);
   return keys_.size();
 }
 
 obs::CacheStats VerificationService::key_cache_stats() const {
-  std::lock_guard<std::mutex> lock(keys_mu_);
-  return {key_hits_, key_misses_, keys_.size()};
+  return keys_.stats();
 }
 
 VerifyStats VerificationService::stats() const {

@@ -23,7 +23,6 @@
 // and per-call scratch.
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -32,6 +31,8 @@
 
 #include "falcon/sign.h"
 #include "obs/metric.h"
+#include "store/bounded_cache.h"
+#include "store/kvstore.h"
 
 namespace cgs::falcon {
 
@@ -55,6 +56,14 @@ struct VerificationOptions {
   /// threads for a handful of sub-millisecond checks costs more than it
   /// saves.
   std::size_t min_batch_per_thread = 8;
+  /// Budget for the NTT-domain key cache. Default unbounded — the legacy
+  /// every-key-resident behavior.
+  store::CacheBudget key_cache;
+  /// Optional persistent key-state store (not owned; must outlive the
+  /// service). When set, transformed keys are written through and an
+  /// evicted key warm-starts from a decode instead of a forward NTT +
+  /// Shoup precompute.
+  store::KvStore* key_state = nullptr;
 };
 
 class VerificationService {
@@ -95,8 +104,13 @@ class VerificationService {
     std::shared_ptr<const NttContext> ntt;  // shared per-degree context
   };
 
-  std::shared_ptr<const KeyEntry> entry_for(
-      const std::vector<std::uint32_t>& h, const FalconParams& params);
+  using KeyCache = store::BoundedCache<std::uint64_t, KeyEntry>;
+
+  /// The (pinned) NTT-domain entry for (h, params): memory hit, KvStore
+  /// warm start, or forward transform. Callers hold the pin for the whole
+  /// verify/verify_many call, so a key in use is never evicted mid-batch.
+  KeyCache::Pinned entry_for(const std::vector<std::uint32_t>& h,
+                             const FalconParams& params);
 
   /// The fused scalar kernel both paths run: c - s1 h via the cached
   /// NTT-domain key, centering + norm accumulation in one pass. `scratch`
@@ -112,10 +126,7 @@ class VerificationService {
                             std::vector<std::uint32_t>& scratch);
 
   VerificationOptions options_;
-  mutable std::mutex keys_mu_;
-  std::map<std::uint64_t, std::shared_ptr<const KeyEntry>> keys_;
-  std::uint64_t key_hits_ = 0;    // guarded by keys_mu_
-  std::uint64_t key_misses_ = 0;  // guarded by keys_mu_
+  KeyCache keys_;
   mutable std::mutex stats_mu_;
   VerifyStats stats_;
 };

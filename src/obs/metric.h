@@ -120,12 +120,19 @@ class alignas(64) Histogram {
 };
 
 /// Point-in-time view of a bounded keyed cache — the shape every per-key
-/// cache (ffLDL trees, NTT keys, recipes, netlists) reports so eviction
-/// work (ROADMAP item 2) has its before/after numbers.
+/// cache (ffLDL trees, NTT keys, recipes, netlists) reports. A `hit` is a
+/// lookup served from memory; a `miss` ran the builder, and `warm_starts`
+/// counts the misses the builder satisfied by decoding the persistent
+/// store (store::KvStore / a registry disk frame) instead of recomputing.
+/// `evictions` counts entries dropped under capacity pressure and `bytes`
+/// is the cache's approximate resident cost under its byte budget.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::size_t entries = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t warm_starts = 0;
+  std::size_t bytes = 0;
 };
 
 }  // namespace cgs::obs

@@ -3,7 +3,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <bit>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 namespace cgs::serial {
@@ -15,6 +17,27 @@ std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
     h *= 0x100000001b3ull;
   }
   return h;
+}
+
+std::uint64_t hash64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = (h ^ w) * kPrime;
+    p += 8;
+    n -= 8;
+  }
+  if (n != 0) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h = (h ^ tail) * kPrime;
+  }
+  // Mix the length so a zero tail and zero padding cannot alias.
+  return (h ^ bytes.size()) * kPrime;
 }
 
 void Writer::u16(std::uint16_t v) {
@@ -37,6 +60,24 @@ void Writer::bytes(std::span<const std::uint8_t> v) {
 void Writer::str(const std::string& v) {
   u64(v.size());
   buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void Writer::u32s(std::span<const std::uint32_t> v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(std::uint32_t));
+  } else {
+    for (std::uint32_t x : v) u32(x);
+  }
+}
+
+void Writer::f64_bits(std::span<const double> v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(double));
+  } else {
+    for (double x : v) u64(std::bit_cast<std::uint64_t>(x));
+  }
 }
 
 std::uint8_t Reader::u8() {
@@ -81,6 +122,42 @@ std::string Reader::str() {
   return std::string(s.begin(), s.end());
 }
 
+std::vector<std::uint32_t> Reader::u32s(std::size_t count) {
+  if (count > remaining() / sizeof(std::uint32_t))
+    throw SerialError("serial: u32 array length exceeds data");
+  const auto raw = bytes(count * sizeof(std::uint32_t));
+  std::vector<std::uint32_t> v(count);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(v.data(), raw.data(), raw.size());
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint32_t x = 0;
+      for (int b = 0; b < 4; ++b)
+        x |= static_cast<std::uint32_t>(raw[4 * i + b]) << (8 * b);
+      v[i] = x;
+    }
+  }
+  return v;
+}
+
+std::vector<double> Reader::f64_bits(std::size_t count) {
+  if (count > remaining() / sizeof(double))
+    throw SerialError("serial: f64 array length exceeds data");
+  const auto raw = bytes(count * sizeof(double));
+  std::vector<double> v(count);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(v.data(), raw.data(), raw.size());
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t x = 0;
+      for (int b = 0; b < 8; ++b)
+        x |= static_cast<std::uint64_t>(raw[8 * i + b]) << (8 * b);
+      v[i] = std::bit_cast<double>(x);
+    }
+  }
+  return v;
+}
+
 void Reader::finish() const {
   if (pos_ != data_.size())
     throw SerialError("serial: trailing bytes after payload");
@@ -92,7 +169,7 @@ std::vector<std::uint8_t> wrap(TypeTag tag, std::vector<std::uint8_t> payload) {
   w.u32(kFormatVersion);
   w.u32(static_cast<std::uint32_t>(tag));
   w.u64(payload.size());
-  w.u64(fnv1a64(payload));
+  w.u64(hash64(payload));
   w.bytes(payload);
   return w.take();
 }
@@ -105,7 +182,7 @@ TypeTag peek_tag(std::span<const std::uint8_t> frame) {
     throw SerialError("serial: format version mismatch");
   const std::uint32_t tag = r.u32();
   if (tag < static_cast<std::uint32_t>(TypeTag::kNetlist) ||
-      tag > static_cast<std::uint32_t>(TypeTag::kOverloaded)) {
+      tag > static_cast<std::uint32_t>(TypeTag::kKvRecord)) {
     std::ostringstream os;
     os << "serial: unknown type tag " << tag;
     throw SerialError(os.str());
@@ -137,7 +214,7 @@ std::span<const std::uint8_t> unwrap(std::span<const std::uint8_t> frame,
   if (size != r.remaining())
     throw SerialError("serial: payload size mismatch (truncated or padded)");
   auto payload = r.bytes(static_cast<std::size_t>(size));
-  if (fnv1a64(payload) != checksum)
+  if (hash64(payload) != checksum)
     throw SerialError("serial: checksum mismatch (corrupted payload)");
   return payload;
 }

@@ -81,6 +81,24 @@ Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
     obs_ = owned_obs_.get();
   }
   tracer_ = std::make_unique<obs::Tracer>(*obs_, options_.trace);
+  // Key-state plumbing: one shared persistent store behind both per-tenant
+  // caches, and a 60/40 byte-budget split (trees are the heavier artifact)
+  // unless the caller budgeted a cache directly.
+  if (!options_.key_state.dir.empty()) {
+    key_state_ = std::make_unique<store::KvStore>(options_.key_state);
+    if (!options_.signing.key_state)
+      options_.signing.key_state = key_state_.get();
+    if (!options_.verification.key_state)
+      options_.verification.key_state = key_state_.get();
+  }
+  if (options_.key_state_budget_bytes != 0) {
+    if (!options_.signing.tree_cache.bounded())
+      options_.signing.tree_cache.max_bytes =
+          options_.key_state_budget_bytes * 3 / 5;
+    if (!options_.verification.key_cache.bounded())
+      options_.verification.key_cache.max_bytes =
+          options_.key_state_budget_bytes * 2 / 5;
+  }
   signing_ = std::make_unique<falcon::SigningService>(*registry_,
                                                       options_.signing);
   verifier_ =
@@ -157,14 +175,35 @@ void Dispatcher::register_bridges() {
             [stats_fn] { return static_cast<double>(stats_fn().hits); });
     counter("cgs_cache_" + name + "_misses_total",
             [stats_fn] { return static_cast<double>(stats_fn().misses); });
+    counter("cgs_cache_" + name + "_evictions_total",
+            [stats_fn] { return static_cast<double>(stats_fn().evictions); });
+    counter(
+        "cgs_cache_" + name + "_warm_starts_total",
+        [stats_fn] { return static_cast<double>(stats_fn().warm_starts); });
     gauge("cgs_cache_" + name + "_entries",
           [stats_fn] { return static_cast<double>(stats_fn().entries); });
+    gauge("cgs_cache_" + name + "_bytes",
+          [stats_fn] { return static_cast<double>(stats_fn().bytes); });
   };
   cache("ffldl_tree",
         [svc = signing_.get()] { return svc->tree_cache_stats(); });
   cache("ntt_key", [svc = verifier_.get()] { return svc->key_cache_stats(); });
   cache("recipe", [reg = registry_] { return reg->recipe_cache_stats(); });
   cache("netlist", [reg = registry_] { return reg->netlist_cache_stats(); });
+
+  if (key_state_) {
+    store::KvStore* kv = key_state_.get();
+    counter("cgs_kvstore_gets_total",
+            [kv] { return static_cast<double>(kv->stats().gets); });
+    counter("cgs_kvstore_puts_total",
+            [kv] { return static_cast<double>(kv->stats().puts); });
+    counter("cgs_kvstore_compactions_total",
+            [kv] { return static_cast<double>(kv->stats().compactions); });
+    gauge("cgs_kvstore_file_bytes",
+          [kv] { return static_cast<double>(kv->stats().file_bytes); });
+    gauge("cgs_kvstore_entries",
+          [kv] { return static_cast<double>(kv->stats().entries); });
+  }
 
   counter("cgs_signing_base_calls_total", [svc = signing_.get()] {
     return static_cast<double>(svc->base_calls());

@@ -78,6 +78,19 @@ struct DispatcherOptions {
   falcon::SigningOptions signing;        // inner SigningService configuration
   falcon::VerificationOptions verification;  // inner VerificationService
   engine::ServiceOptions gaussian;       // inner GaussianService configuration
+  /// Combined RAM budget (approximate bytes) for the two per-tenant key
+  /// caches, split 60/40 between ffLDL trees (the heavier artifact) and
+  /// NTT keys. 0 = unbounded (legacy every-key-resident behavior). A
+  /// budget set directly on signing.tree_cache / verification.key_cache
+  /// wins over the split.
+  std::size_t key_state_budget_bytes = 0;
+  /// Persistent key-state store configuration; an empty dir disables
+  /// persistence. When set, the dispatcher owns one store::KvStore shared
+  /// by both key caches (wired into signing.key_state /
+  /// verification.key_state unless the caller already supplied one), so
+  /// evicted trees and NTT keys warm-start from disk — across requests
+  /// AND across process restarts.
+  store::KvStoreOptions key_state;
   /// Metrics registry to bind every lane counter / trace histogram /
   /// cache bridge into. nullptr -> the dispatcher owns a private registry
   /// (obs_registry() exposes it either way). An external registry must
@@ -184,6 +197,9 @@ class Dispatcher {
   falcon::SigningService& signing_service() { return *signing_; }
   falcon::VerificationService& verification_service() { return *verifier_; }
   engine::GaussianService& gaussian_service() { return *gaussian_; }
+  /// The dispatcher-owned persistent key-state store; nullptr when
+  /// key_state.dir was empty (or the caller supplied external stores).
+  store::KvStore* key_state() { return key_state_.get(); }
   const DispatcherOptions& options() const { return options_; }
 
  private:
@@ -225,6 +241,7 @@ class Dispatcher {
 
   engine::SamplerRegistry* registry_;
   DispatcherOptions options_;
+  std::unique_ptr<store::KvStore> key_state_;  // shared by both key caches
   std::unique_ptr<obs::Registry> owned_obs_;  // when no external registry
   obs::Registry* obs_ = nullptr;
   std::unique_ptr<obs::Tracer> tracer_;

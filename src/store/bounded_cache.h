@@ -1,0 +1,348 @@
+#pragma once
+// store::BoundedCache<K, V>: the one capacity-bounded, thread-safe cache
+// template every per-key cache in the system sits on (ffLDL trees, NTT
+// keys, netlists, recipes). It exists because an unordered_map per cache is
+// wrong at millions of churning tenants: memory must be bounded, a cold
+// scan must not flush the hot working set, and concurrent misses on one
+// key must coalesce into one build.
+//
+// Admission/eviction is simplified 2Q: a new entry lands in a
+// *probationary* FIFO; a second reference promotes it to the *protected*
+// LRU. Under budget pressure the probationary FIFO is drained first, so a
+// one-shot sweep of cold tenants churns through probation and never
+// displaces the protected working set. Budgets are cost-aware: a cap on
+// entries AND on approximate bytes (an ffLDL tree is ~100x a recipe), with
+// either cap 0 meaning unbounded — the default, which makes the template a
+// drop-in for the unbounded maps it replaces.
+//
+// Build-on-miss is single-flight: the first miss for a key runs the
+// builder outside the lock, later arrivals for the same key wait on a
+// shared future (misses on other keys proceed in parallel). A builder that
+// THROWS is never cached — the in-flight entry is removed before the
+// exception propagates, so the next request retries instead of replaying a
+// stale failure forever. The builder reports whether it recomputed the
+// value or warm-started it from a persistent store (store::KvStore), which
+// is what the warm_starts counter in obs::CacheStats tracks.
+//
+// get_or_build returns a Pinned handle: while any handle for an entry is
+// alive the entry cannot be evicted, so a sign_many/verify_many batch
+// running against a tree/key never has it swept out from under its feet
+// mid-batch (the shared_ptr would keep the object alive anyway, but the
+// memory budget would lie and the next request would rebuild state that is
+// demonstrably hot). A fully-pinned cache may transiently exceed its
+// budget; eviction resumes as pins release.
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metric.h"
+
+namespace cgs::store {
+
+/// Capacity budget for one cache. 0 = unbounded on that axis; both 0 (the
+/// default) reproduces the legacy unbounded-map behavior.
+struct CacheBudget {
+  std::size_t max_entries = 0;
+  std::size_t max_bytes = 0;
+  bool bounded() const { return max_entries != 0 || max_bytes != 0; }
+};
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class BoundedCache {
+ public:
+  /// Where a get_or_build() result came from: memory, a persistent-store
+  /// decode, or a full recompute.
+  enum class Outcome { kHit, kWarmStart, kBuilt };
+
+  /// What a builder returns: the value, its approximate resident cost
+  /// (counted against max_bytes; 0 is allowed under an entries-only
+  /// budget), and whether it was decoded from a persistent store rather
+  /// than recomputed.
+  struct Built {
+    std::shared_ptr<const V> value;
+    std::size_t bytes = 0;
+    bool warm_start = false;
+  };
+
+  /// A pinned reference to a cache entry. While alive, the entry is
+  /// exempt from eviction; destruction unpins (and resumes any eviction
+  /// the pin was blocking). Outlives eviction/clear safely — the value
+  /// stays valid through the shared_ptr even if the entry is gone.
+  class Pinned {
+   public:
+    Pinned() = default;
+    Pinned(Pinned&& o) noexcept { *this = std::move(o); }
+    Pinned& operator=(Pinned&& o) noexcept {
+      if (this != &o) {
+        release();
+        cache_ = std::exchange(o.cache_, nullptr);
+        key_ = std::move(o.key_);
+        gen_ = o.gen_;
+        value_ = std::move(o.value_);
+        outcome_ = o.outcome_;
+      }
+      return *this;
+    }
+    Pinned(const Pinned&) = delete;
+    Pinned& operator=(const Pinned&) = delete;
+    ~Pinned() { release(); }
+
+    const std::shared_ptr<const V>& value() const { return value_; }
+    const V& operator*() const { return *value_; }
+    const V* operator->() const { return value_.get(); }
+    explicit operator bool() const { return value_ != nullptr; }
+    Outcome outcome() const { return outcome_; }
+
+   private:
+    friend class BoundedCache;
+    Pinned(BoundedCache* cache, K key, std::uint64_t gen,
+           std::shared_ptr<const V> value, Outcome outcome)
+        : cache_(cache),
+          key_(std::move(key)),
+          gen_(gen),
+          value_(std::move(value)),
+          outcome_(outcome) {}
+
+    void release() {
+      if (cache_) cache_->unpin(key_, gen_);
+      cache_ = nullptr;
+      value_.reset();
+    }
+
+    BoundedCache* cache_ = nullptr;  // null: handle shares the value unpinned
+    K key_{};
+    std::uint64_t gen_ = 0;
+    std::shared_ptr<const V> value_;
+    Outcome outcome_ = Outcome::kHit;
+  };
+
+  explicit BoundedCache(CacheBudget budget = {}) : budget_(budget) {}
+  BoundedCache(const BoundedCache&) = delete;
+  BoundedCache& operator=(const BoundedCache&) = delete;
+
+  /// The entry for `key`, built on first contact. `build` is a callable
+  /// returning Built; it runs outside the cache lock, concurrent misses on
+  /// this key wait for it (single-flight), and a throw propagates to every
+  /// waiter but is never cached. The returned handle pins the entry.
+  template <typename Builder>
+  Pinned get_or_build(const K& key, Builder&& build) {
+    std::promise<Built> promise;
+    std::shared_future<Built> future;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (auto it = map_.find(key); it != map_.end()) {
+          Node& node = it->second;
+          touch(node);
+          ++node.pins;
+          ++hits_;
+          return Pinned(this, key, node.gen, node.value, Outcome::kHit);
+        }
+        auto fit = inflight_.find(key);
+        if (fit == inflight_.end()) break;
+        future = fit->second;
+        lock.unlock();
+        const Built shared = future.get();  // rethrows a build failure
+        lock.lock();
+        // The completer inserted the entry; pin it if it is still there.
+        // (It may already have been evicted or cleared under a tiny budget
+        // — then hand back the shared value unpinned, which is still a
+        // memory hit: this call never ran a builder.)
+        if (auto it = map_.find(key); it != map_.end()) {
+          Node& node = it->second;
+          touch(node);
+          ++node.pins;
+          ++hits_;
+          return Pinned(this, key, node.gen, node.value, Outcome::kHit);
+        }
+        ++hits_;
+        return Pinned(nullptr, key, 0, shared.value, Outcome::kHit);
+      }
+      future = promise.get_future().share();
+      inflight_.emplace(key, future);
+    }
+
+    Built built;
+    try {
+      built = build();
+      CGS_CHECK_MSG(built.value != nullptr,
+                    "BoundedCache builder returned a null value");
+    } catch (...) {
+      {
+        // A failed build must not poison the key: drop the in-flight
+        // future so the NEXT request retries. Current waiters still see
+        // this failure (they were concurrent with it).
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+
+    const Outcome outcome =
+        built.warm_start ? Outcome::kWarmStart : Outcome::kBuilt;
+    std::shared_ptr<const V> value = built.value;
+    std::uint64_t gen;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+      ++misses_;
+      if (built.warm_start) ++warm_starts_;
+      gen = insert_locked(key, built);
+    }
+    promise.set_value(std::move(built));
+    return Pinned(this, key, gen, std::move(value), outcome);
+  }
+
+  /// The cached value without counting a hit, promoting, or building.
+  std::shared_ptr<const V> peek(const K& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second.value;
+  }
+
+  /// Drop one entry (pinned entries are dropped too — the pins then
+  /// outlive the entry harmlessly). Returns whether it was present.
+  bool erase(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    remove_locked(it, /*count_eviction=*/false);
+    return true;
+  }
+
+  /// Drop every entry (disk state untouched; outstanding pins become
+  /// no-ops via their generation stamps).
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    probation_.clear();
+    protected_.clear();
+    bytes_ = 0;
+  }
+
+  obs::CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    obs::CacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = map_.size();
+    s.evictions = evictions_;
+    s.warm_starts = warm_starts_;
+    s.bytes = bytes_;
+    return s;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  std::size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+  const CacheBudget& budget() const { return budget_; }
+
+ private:
+  struct Node {
+    std::shared_ptr<const V> value;
+    std::size_t bytes = 0;
+    std::uint32_t pins = 0;
+    std::uint64_t gen = 0;         // pin tokens bind to this, not the key
+    bool in_protected = false;
+    typename std::list<K>::iterator pos;
+  };
+  using Map = std::unordered_map<K, Node, Hash>;
+
+  /// Second reference: promote probation -> protected; refresh protected
+  /// recency. (Probation itself is FIFO — no reordering on first touch.)
+  void touch(Node& node) {
+    if (node.in_protected) {
+      protected_.splice(protected_.end(), protected_, node.pos);
+    } else {
+      protected_.splice(protected_.end(), probation_, node.pos);
+      node.in_protected = true;
+    }
+    node.pos = std::prev(protected_.end());
+  }
+
+  std::uint64_t insert_locked(const K& key, const Built& built) {
+    Node node;
+    node.value = built.value;
+    node.bytes = built.bytes;
+    node.pins = 1;  // the handle get_or_build returns
+    node.gen = ++gen_;
+    probation_.push_back(key);
+    node.pos = std::prev(probation_.end());
+    bytes_ += node.bytes;
+    const std::uint64_t gen = node.gen;
+    map_.emplace(key, std::move(node));
+    evict_locked();
+    return gen;
+  }
+
+  void remove_locked(typename Map::iterator it, bool count_eviction) {
+    Node& node = it->second;
+    bytes_ -= node.bytes;
+    (node.in_protected ? protected_ : probation_).erase(node.pos);
+    if (count_eviction) ++evictions_;
+    map_.erase(it);
+  }
+
+  bool over_budget_locked() const {
+    return (budget_.max_entries != 0 && map_.size() > budget_.max_entries) ||
+           (budget_.max_bytes != 0 && bytes_ > budget_.max_bytes);
+  }
+
+  /// Oldest unpinned entry of `queue`, or map_.end().
+  typename Map::iterator victim_in(const std::list<K>& queue) {
+    for (const K& key : queue) {
+      auto it = map_.find(key);
+      if (it->second.pins == 0) return it;
+    }
+    return map_.end();
+  }
+
+  void evict_locked() {
+    while (over_budget_locked()) {
+      auto victim = victim_in(probation_);
+      if (victim == map_.end()) victim = victim_in(protected_);
+      if (victim == map_.end()) return;  // everything pinned: defer to unpin
+      remove_locked(victim, /*count_eviction=*/true);
+    }
+  }
+
+  void unpin(const K& key, std::uint64_t gen) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    // The generation stamp keeps a stale pin (entry evicted then re-built
+    // under the same key) from corrupting the new entry's pin count.
+    if (it == map_.end() || it->second.gen != gen) return;
+    CGS_CHECK(it->second.pins > 0);
+    --it->second.pins;
+    // This pin may have been the only thing blocking eviction.
+    if (it->second.pins == 0) evict_locked();
+  }
+
+  const CacheBudget budget_;
+  mutable std::mutex mu_;
+  Map map_;
+  std::list<K> probation_;   // FIFO: front = next eviction candidate
+  std::list<K> protected_;   // LRU: front = least recent
+  std::unordered_map<K, std::shared_future<Built>, Hash> inflight_;
+  std::size_t bytes_ = 0;
+  std::uint64_t gen_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t warm_starts_ = 0;
+};
+
+}  // namespace cgs::store

@@ -1,0 +1,311 @@
+#include "store/kvstore.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/check.h"
+#include "serial/serial.h"
+
+namespace cgs::store {
+
+namespace {
+
+// Frame header size (magic + version + tag + payload size + checksum) —
+// the minimum bytes a record needs before its payload length is known.
+constexpr std::uint64_t kHeaderBytes = 28;
+
+std::vector<std::uint8_t> encode_record(std::string_view key, bool tombstone,
+                                        std::span<const std::uint8_t> value) {
+  serial::Writer w;
+  w.str(std::string(key));
+  w.boolean(tombstone);
+  if (!tombstone) {
+    w.u64(value.size());
+    w.bytes(value);
+  }
+  return serial::wrap(serial::TypeTag::kKvRecord, w.take());
+}
+
+struct Record {
+  std::string key;
+  bool tombstone = false;
+  std::vector<std::uint8_t> value;
+};
+
+Record decode_record(std::span<const std::uint8_t> frame) {
+  serial::Reader r(serial::unwrap(frame, serial::TypeTag::kKvRecord));
+  Record rec;
+  rec.key = r.str();
+  rec.tombstone = r.boolean();
+  if (!rec.tombstone) {
+    const std::uint64_t len = r.u64();
+    if (len != r.remaining())
+      throw serial::SerialError("kvstore: record value length mismatch");
+    const auto bytes = r.bytes(len);
+    rec.value.assign(bytes.begin(), bytes.end());
+  }
+  r.finish();
+  return rec;
+}
+
+bool pread_exact(int fd, std::uint8_t* buf, std::uint64_t len,
+                 std::uint64_t offset) {
+  std::uint64_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, buf + done, len - done, offset + done);
+    if (n <= 0) return false;
+    done += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* buf, std::uint64_t len,
+               std::uint64_t offset) {
+  std::uint64_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, buf + done, len - done, offset + done);
+    if (n < 0) return false;
+    done += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+KvStore::KvStore(KvStoreOptions options) : options_(std::move(options)) {
+  CGS_CHECK_MSG(!options_.dir.empty(), "KvStore needs a directory");
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  CGS_CHECK_MSG(!ec, "KvStore: cannot create directory " + options_.dir);
+  path_ = options_.dir + "/" + options_.filename;
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  CGS_CHECK_MSG(fd_ >= 0, "KvStore: cannot open " + path_);
+  std::lock_guard<std::mutex> lock(mu_);
+  replay_locked();
+}
+
+KvStore::~KvStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+// Forward scan of the whole log: every record revalidated (magic,
+// version, tag, checksum) before it is applied; the first invalid byte
+// marks the torn tail and everything from there is truncated away.
+void KvStore::replay_locked() {
+  struct ::stat st {};
+  CGS_CHECK_MSG(::fstat(fd_, &st) == 0, "KvStore: fstat failed");
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+  std::vector<std::uint8_t> log(file_size);
+  if (file_size != 0 && !pread_exact(fd_, log.data(), file_size, 0)) {
+    // Unreadable log: start over rather than serve garbage.
+    log.clear();
+  }
+
+  index_.clear();
+  live_bytes_ = 0;
+  std::uint64_t off = 0;
+  while (off + kHeaderBytes <= log.size()) {
+    const std::span<const std::uint8_t> rest(log.data() + off,
+                                             log.size() - off);
+    std::uint64_t total = 0;
+    try {
+      serial::Reader header(rest.subspan(0, kHeaderBytes));
+      if (header.u32() != serial::kMagic)
+        throw serial::SerialError("kvstore: bad magic");
+      if (header.u32() != serial::kFormatVersion)
+        throw serial::SerialError("kvstore: version skew");
+      if (header.u32() !=
+          static_cast<std::uint32_t>(serial::TypeTag::kKvRecord))
+        throw serial::SerialError("kvstore: foreign frame in log");
+      const std::uint64_t payload = header.u64();
+      total = kHeaderBytes + payload;
+      if (payload > rest.size() - kHeaderBytes)
+        throw serial::SerialError("kvstore: torn record");
+      const Record rec = decode_record(rest.subspan(0, total));
+      if (rec.tombstone) {
+        if (auto it = index_.find(rec.key); it != index_.end()) {
+          live_bytes_ -= it->second.size;
+          index_.erase(it);
+        }
+      } else {
+        auto [it, inserted] = index_.try_emplace(rec.key);
+        if (!inserted) live_bytes_ -= it->second.size;
+        it->second = Slot{off, total};
+        live_bytes_ += total;
+      }
+    } catch (const serial::SerialError&) {
+      break;  // torn tail (or bit rot) starts here
+    }
+    off += total;
+  }
+
+  if (off < log.size()) {
+    stats_.truncated_bytes += log.size() - off;
+    // Drop the invalid tail so the next append starts on a clean frame
+    // boundary (a torn record would otherwise corrupt every later one).
+    if (::ftruncate(fd_, static_cast<off_t>(off)) != 0) {
+      // Cannot truncate: re-scan would hit the same tail; appending after
+      // it would be unreadable. Safe fallback: treat the log as full and
+      // rewrite it from the live set.
+      end_ = off;
+      compact_locked();
+      return;
+    }
+  }
+  end_ = off;
+  stats_.file_bytes = end_;
+  stats_.live_bytes = live_bytes_;
+  stats_.entries = index_.size();
+}
+
+std::optional<std::vector<std::uint8_t>> KvStore::get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gets;
+  const auto it = index_.find(std::string(key));
+  if (it == index_.end()) return std::nullopt;
+  std::vector<std::uint8_t> frame(it->second.size);
+  if (!pread_exact(fd_, frame.data(), frame.size(), it->second.offset))
+    return std::nullopt;
+  try {
+    Record rec = decode_record(frame);
+    if (rec.key != key || rec.tombstone) return std::nullopt;
+    ++stats_.hits;
+    return std::move(rec.value);
+  } catch (const serial::SerialError&) {
+    // In-place bit rot since open: a miss, never an error.
+    return std::nullopt;
+  }
+}
+
+bool KvStore::put(std::string_view key, std::span<const std::uint8_t> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.puts;
+  if (!append_locked(key, /*tombstone=*/false, value)) return false;
+  maybe_compact_locked();
+  return true;
+}
+
+bool KvStore::erase(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.erases;
+  if (!index_.count(std::string(key))) return true;  // nothing to do
+  if (!append_locked(key, /*tombstone=*/true, {})) return false;
+  maybe_compact_locked();
+  return true;
+}
+
+bool KvStore::append_locked(std::string_view key, bool tombstone,
+                            std::span<const std::uint8_t> value) {
+  const std::vector<std::uint8_t> frame = encode_record(key, tombstone, value);
+  if (!write_all(fd_, frame.data(), frame.size(), end_)) {
+    // Partial append: cut the file back to the last good record so the
+    // in-memory state and the log agree.
+    (void)::ftruncate(fd_, static_cast<off_t>(end_));
+    return false;
+  }
+  if (options_.fsync_writes && ::fsync(fd_) != 0) {
+    (void)::ftruncate(fd_, static_cast<off_t>(end_));
+    return false;
+  }
+  const std::string k(key);
+  if (tombstone) {
+    if (auto it = index_.find(k); it != index_.end()) {
+      live_bytes_ -= it->second.size;
+      index_.erase(it);
+    }
+  } else {
+    auto [it, inserted] = index_.try_emplace(k);
+    if (!inserted) live_bytes_ -= it->second.size;
+    it->second = Slot{end_, frame.size()};
+    live_bytes_ += frame.size();
+  }
+  end_ += frame.size();
+  stats_.file_bytes = end_;
+  stats_.live_bytes = live_bytes_;
+  stats_.entries = index_.size();
+  return true;
+}
+
+void KvStore::maybe_compact_locked() {
+  if (options_.compact_garbage_ratio <= 0.0) return;
+  if (end_ < options_.compact_min_bytes) return;
+  const std::uint64_t garbage = end_ - live_bytes_;
+  if (static_cast<double>(garbage) >
+      options_.compact_garbage_ratio * static_cast<double>(end_))
+    compact_locked();
+}
+
+void KvStore::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  compact_locked();
+}
+
+// Copy every live record (raw frame bytes — already validated at index
+// time) into a temp log, fsync, atomically swap it in, reindex. On any
+// failure the old log stays authoritative.
+void KvStore::compact_locked() {
+  const std::string tmp_path = path_ + ".compact";
+  const int tmp = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tmp < 0) return;
+  std::uint64_t tmp_end = 0;
+  std::unordered_map<std::string, Slot> new_index;
+  new_index.reserve(index_.size());
+  bool ok = true;
+  std::vector<std::uint8_t> frame;
+  for (const auto& [key, slot] : index_) {
+    frame.resize(slot.size);
+    if (!pread_exact(fd_, frame.data(), frame.size(), slot.offset) ||
+        !write_all(tmp, frame.data(), frame.size(), tmp_end)) {
+      ok = false;
+      break;
+    }
+    new_index[key] = Slot{tmp_end, slot.size};
+    tmp_end += frame.size();
+  }
+  if (!ok || ::fsync(tmp) != 0 ||
+      ::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::close(tmp);
+    ::unlink(tmp_path.c_str());
+    return;
+  }
+  fsync_dir(options_.dir);
+  ::close(fd_);
+  fd_ = tmp;
+  end_ = tmp_end;
+  index_ = std::move(new_index);
+  live_bytes_ = tmp_end;
+  ++stats_.compactions;
+  stats_.file_bytes = end_;
+  stats_.live_bytes = live_bytes_;
+  stats_.entries = index_.size();
+}
+
+bool KvStore::contains(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(std::string(key)) != 0;
+}
+
+std::size_t KvStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+KvStoreStats KvStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cgs::store

@@ -1,0 +1,119 @@
+#pragma once
+// store::KvStore: the persistent layer behind the bounded per-key caches —
+// a single append-log file plus an in-memory index, in the dbwrapper
+// spirit but with zero external dependencies. Values are opaque byte
+// blobs (callers store serial frames: ffLDL trees, NTT keys, netlists,
+// recipes), so an evicted key warm-starts from one pread + decode instead
+// of a recompute.
+//
+// On-disk form: a sequence of serial kKvRecord frames (magic + version +
+// checksum each), one per put/erase. Recovery is a forward scan at open:
+// the first record that fails any header or checksum check marks the torn
+// tail and the file is truncated there — a crash mid-append loses at most
+// the record being written, never an earlier one. Writes go through the
+// log fd and (by default) fsync before the index is updated, so an
+// acknowledged put survives power loss.
+//
+// Overwrites and tombstones leave garbage behind in the log; when the
+// garbage ratio crosses compact_garbage_ratio (and the log is big enough
+// to care), the live set is rewritten to a temp file which atomically
+// replaces the log — readers never observe a half-compacted store.
+//
+// Thread-safe (one mutex; reads pread under it). Every operation is
+// best-effort from the caller's perspective: an unwritable directory
+// degrades the system to compute-per-miss, never to an error on the
+// serving path.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cgs::store {
+
+struct KvStoreOptions {
+  std::string dir;                  // required: the store's directory
+  std::string filename = "kv.log";  // log file name inside dir
+  /// fsync the log after every put/erase. Turn off for bulk loads and
+  /// benches; torn-tail recovery still holds either way (the OS may just
+  /// lose more acknowledged tail records on power loss).
+  bool fsync_writes = true;
+  /// Compact when garbage/total exceeds this AND the log has at least
+  /// compact_min_bytes. <= 0 disables auto-compaction (compact() still
+  /// works).
+  double compact_garbage_ratio = 0.5;
+  std::uint64_t compact_min_bytes = 1u << 20;
+};
+
+struct KvStoreStats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;      // gets that returned a value
+  std::uint64_t puts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t truncated_bytes = 0;  // torn tail dropped at open
+  std::uint64_t file_bytes = 0;       // current log size
+  std::uint64_t live_bytes = 0;       // log bytes owned by live records
+  std::size_t entries = 0;
+};
+
+class KvStore {
+ public:
+  /// Opens (creating the directory/log as needed) and replays the log.
+  /// Throws cgs::Error only when the directory/log cannot be created or
+  /// opened at all; a corrupt log never throws — it is truncated to its
+  /// last valid prefix.
+  explicit KvStore(KvStoreOptions options);
+  ~KvStore();
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// The value last put under `key`; nullopt when absent (or the stored
+  /// record fails re-validation — treated as a miss, never an error).
+  std::optional<std::vector<std::uint8_t>> get(std::string_view key);
+
+  /// Durably record key -> value (last write wins). Returns false on an
+  /// I/O failure, in which case the store's previous state is intact.
+  bool put(std::string_view key, std::span<const std::uint8_t> value);
+
+  /// Tombstone `key`. Returns false on I/O failure.
+  bool erase(std::string_view key);
+
+  bool contains(std::string_view key) const;
+  std::size_t size() const;
+
+  /// Rewrite the log to just the live set (atomic swap). Best-effort: on
+  /// failure the old log remains authoritative.
+  void compact();
+
+  KvStoreStats stats() const;
+  const std::string& log_path() const { return path_; }
+
+ private:
+  struct Slot {
+    std::uint64_t offset = 0;  // whole-frame span in the log
+    std::uint64_t size = 0;
+  };
+
+  void replay_locked();
+  bool append_locked(std::string_view key, bool tombstone,
+                     std::span<const std::uint8_t> value);
+  void maybe_compact_locked();
+  void compact_locked();
+
+  KvStoreOptions options_;
+  std::string path_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::uint64_t end_ = 0;        // append offset == current file size
+  std::uint64_t live_bytes_ = 0;
+  std::unordered_map<std::string, Slot> index_;
+  KvStoreStats stats_;
+};
+
+}  // namespace cgs::store
