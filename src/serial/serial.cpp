@@ -19,6 +19,27 @@ std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
   return h;
 }
 
+namespace {
+
+// Words are hashed as little-endian values so the frame checksum is the
+// same on every host — a store written on LE must validate on BE.
+inline std::uint64_t word_le(std::uint64_t w) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return w;
+  } else {
+    return ((w & 0x00000000000000ffull) << 56) |
+           ((w & 0x000000000000ff00ull) << 40) |
+           ((w & 0x0000000000ff0000ull) << 24) |
+           ((w & 0x00000000ff000000ull) << 8) |
+           ((w & 0x000000ff00000000ull) >> 8) |
+           ((w & 0x0000ff0000000000ull) >> 24) |
+           ((w & 0x00ff000000000000ull) >> 40) |
+           ((w & 0xff00000000000000ull) >> 56);
+  }
+}
+
+}  // namespace
+
 std::uint64_t hash64(std::span<const std::uint8_t> bytes) {
   std::uint64_t h = 0xcbf29ce484222325ull;
   constexpr std::uint64_t kPrime = 0x100000001b3ull;
@@ -27,14 +48,14 @@ std::uint64_t hash64(std::span<const std::uint8_t> bytes) {
   while (n >= 8) {
     std::uint64_t w;
     std::memcpy(&w, p, 8);
-    h = (h ^ w) * kPrime;
+    h = (h ^ word_le(w)) * kPrime;
     p += 8;
     n -= 8;
   }
   if (n != 0) {
     std::uint64_t tail = 0;
     std::memcpy(&tail, p, n);
-    h = (h ^ tail) * kPrime;
+    h = (h ^ word_le(tail)) * kPrime;
   }
   // Mix the length so a zero tail and zero padding cannot alias.
   return (h ^ bytes.size()) * kPrime;

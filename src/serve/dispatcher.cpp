@@ -83,8 +83,12 @@ Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
   tracer_ = std::make_unique<obs::Tracer>(*obs_, options_.trace);
   // Key-state plumbing: one shared persistent store behind both per-tenant
   // caches, and a 60/40 byte-budget split (trees are the heavier artifact)
-  // unless the caller budgeted a cache directly.
-  if (!options_.key_state.dir.empty()) {
+  // unless the caller budgeted a cache directly. When BOTH services already
+  // have external stores wired, key_state.dir is moot: opening an owned
+  // KvStore then would register cgs_kvstore_* series for a store no cache
+  // touches, scraping as misleading zeros.
+  if (!options_.key_state.dir.empty() &&
+      (!options_.signing.key_state || !options_.verification.key_state)) {
     key_state_ = std::make_unique<store::KvStore>(options_.key_state);
     if (!options_.signing.key_state)
       options_.signing.key_state = key_state_.get();

@@ -75,6 +75,14 @@ class BoundedCache {
   /// exempt from eviction; destruction unpins (and resumes any eviction
   /// the pin was blocking). Outlives eviction/clear safely — the value
   /// stays valid through the shared_ptr even if the entry is gone.
+  ///
+  /// Lifetime contract: a Pinned handle holds a raw pointer to its cache
+  /// and MUST NOT outlive the BoundedCache that issued it — destroying
+  /// (or releasing) a handle after the cache is gone dereferences a
+  /// dangling pointer. Every in-tree holder is scoped to one batch call
+  /// inside a service that owns its cache, which satisfies this by
+  /// construction; callers that stash handles must tie their lifetime to
+  /// the owning service's.
   class Pinned {
    public:
     Pinned() = default;

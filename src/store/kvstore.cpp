@@ -91,8 +91,13 @@ KvStore::KvStore(KvStoreOptions options) : options_(std::move(options)) {
   std::filesystem::create_directories(options_.dir, ec);
   CGS_CHECK_MSG(!ec, "KvStore: cannot create directory " + options_.dir);
   path_ = options_.dir + "/" + options_.filename;
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  // 0600: the log persists secret signing state (ffLDL trees carry the
+  // NTRU (f, g) polynomials) — it must never be readable by other users.
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0600);
   CGS_CHECK_MSG(fd_ >= 0, "KvStore: cannot open " + path_);
+  // O_CREAT's mode only applies to new files: tighten a pre-existing log
+  // that was created under a laxer umask or an older build.
+  (void)::fchmod(fd_, 0600);
   std::lock_guard<std::mutex> lock(mu_);
   replay_locked();
 }
@@ -258,7 +263,10 @@ void KvStore::compact() {
 // failure the old log stays authoritative.
 void KvStore::compact_locked() {
   const std::string tmp_path = path_ + ".compact";
-  const int tmp = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  // Same 0600 as the log proper: the temp file holds the same secret
+  // key material until the rename swaps it in.
+  const int tmp =
+      ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
   if (tmp < 0) return;
   std::uint64_t tmp_end = 0;
   std::unordered_map<std::string, Slot> new_index;

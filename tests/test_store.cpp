@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -263,6 +264,29 @@ TEST(KvStore, PutGetEraseRoundTrip) {
   EXPECT_EQ(kv.get("a"), std::nullopt);
   EXPECT_FALSE(kv.contains("a"));
   EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStore, LogIsOwnerOnlyIncludingAfterCompaction) {
+  // The log persists secret signing state (encoded trees carry f and g),
+  // so it must never be readable by other local users — including the
+  // compaction temp file that gets renamed over it, and a pre-existing
+  // log created lax by an older build.
+  const std::string dir = fresh_dir("perms");
+  struct ::stat st {};
+  {
+    KvStore kv({.dir = dir});
+    kv.put("k", blob({1, 2, 3}));
+    ASSERT_EQ(::stat(kv.log_path().c_str(), &st), 0);
+    EXPECT_EQ(st.st_mode & 0777u, 0600u);
+    kv.compact();
+    ASSERT_EQ(::stat(kv.log_path().c_str(), &st), 0);
+    EXPECT_EQ(st.st_mode & 0777u, 0600u);
+    ASSERT_EQ(::chmod(kv.log_path().c_str(), 0644), 0);
+  }
+  KvStore reopened({.dir = dir});
+  ASSERT_EQ(::stat(reopened.log_path().c_str(), &st), 0);
+  EXPECT_EQ(st.st_mode & 0777u, 0600u);
+  EXPECT_EQ(reopened.get("k"), blob({1, 2, 3}));
 }
 
 TEST(KvStore, PersistsAcrossReopen) {
