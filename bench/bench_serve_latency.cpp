@@ -13,17 +13,23 @@
 //      batches fanned across every worker;
 //   3. idle      — single in-flight requests (submit, wait, repeat): the
 //      price one lone client pays for batching is bounded by the linger;
-//   4. tracing   — the same storm twice more on fresh dispatchers, once
-//      with request tracing disabled (sample_every = 0: the off path is a
-//      single branch per submit) and once at the default 1-in-64
-//      sampling, to price the observability layer itself.
+//   4. telemetry — the same storm twice more on fresh dispatchers, once
+//      with the whole obs layer priced out (tracing sample_every = 0 AND
+//      tenant_metrics off: submits cost one branch) and once with the
+//      full PR 9 telemetry on — labeled per-tenant counter families,
+//      windowed latency histograms, SLO counters, 1-in-64 tracing;
+//   5. tenant cardinality storm — 10^5 distinct tenants hammered into
+//      one labeled counter family from every client thread: the series
+//      count must stay bounded at top-K (+ the `other` overflow cell)
+//      and the labeled series must re-add exactly to the global.
 //
-// Self-check gates (ISSUE 4 + PR 6 acceptance):
+// Self-check gates (ISSUE 4 + PR 6 + PR 9 acceptance):
 //   - every returned signature verifies             (always gated)
 //   - mean achieved batch occupancy >= 32 at load   (always gated)
+//   - labeled series bounded + sum exactly to global (always gated)
 //   - load throughput >= 2x the baseline            (timing gate)
 //   - idle p99 latency <= 2 * max_linger_us         (timing gate)
-//   - sampled-tracing throughput >= 0.90x tracing-off (timing gate)
+//   - full-telemetry throughput >= 0.90x obs-off    (timing gate)
 // Timing gates are skipped when CGS_BENCH_SKIP_TIMING_GATE is set (shared
 // CI runners jitter both wall-clock and core availability).
 //
@@ -44,6 +50,8 @@
 #include "engine/registry.h"
 #include "falcon/keygen.h"
 #include "falcon/verify.h"
+#include "obs/labels.h"
+#include "obs/registry.h"
 #include "prng/chacha20.h"
 #include "serve/dispatcher.h"
 
@@ -182,8 +190,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(kLingerUs));
 
   // 4. Instrumentation overhead: identical storms on fresh dispatchers,
-  // tracing fully off vs sampled at the default rate. Everything else
-  // (lanes, batching, key, request count) held constant.
+  // the whole obs layer off vs the full telemetry configuration (labeled
+  // tenant families + windowed histograms + SLO counters + 1-in-64
+  // tracing). Everything else (lanes, batching, key, request count) held
+  // constant.
   const auto storm_rate = [&](serve::Dispatcher& d, std::uint64_t kid) {
     (void)d.submit(serve::SignRequest{.key_id = kid, .message = "warmup"}).future.get();
     std::vector<std::future<falcon::Signature>> futs(n_requests);
@@ -215,7 +225,8 @@ int main(int argc, char** argv) {
     return static_cast<double>(n_requests) / ms_since(t0) * 1e3;
   };
   serve::DispatcherOptions off_opts = opts;
-  off_opts.trace.sample_every = 0;  // tracing off: one branch per submit
+  off_opts.trace.sample_every = 0;   // tracing off: one branch per submit
+  off_opts.tenant_metrics = false;   // no labeled / windowed / SLO updates
   const std::uint32_t sample_every = opts.trace.sample_every;
   double off_rate, traced_rate;
   {
@@ -228,9 +239,57 @@ int main(int argc, char** argv) {
         storm_rate(traced_dispatcher, traced_dispatcher.add_key(kp));
   }
   const double tracing_overhead_pct = (1.0 - traced_rate / off_rate) * 100.0;
-  std::printf("tracing:  %8.0f signs/s off, %8.0f signs/s sampled 1-in-%u "
-              "(overhead %+.1f%%)\n\n",
+  std::printf("telemetry: %7.0f signs/s obs-off, %8.0f signs/s with labeled"
+              " + windowed + 1-in-%u tracing (overhead %+.1f%%)\n",
               off_rate, traced_rate, sample_every, tracing_overhead_pct);
+
+  // 5. Tenant cardinality storm, straight at the labeled-family layer:
+  // 10^5 distinct tenants (plus a recurring hot set that must survive the
+  // churn) from every client thread. The two invariants the family
+  // promises — bounded live series, fold-don't-drop — are checked at
+  // quiescence, where the sum is exact.
+  constexpr std::uint64_t kStormTenants = 100'000;
+  obs::Registry storm_registry;
+  obs::CounterFamily& storm_family =
+      storm_registry.counter_family("cgs_tenant_sign_requests_total");
+  std::atomic<std::uint64_t> storm_next{0};
+  const auto t_storm = Clock::now();
+  std::vector<std::thread> storm_threads;
+  for (unsigned c = 0; c < n_clients; ++c) {
+    storm_threads.emplace_back([&] {
+      while (true) {
+        const std::uint64_t t = storm_next.fetch_add(1);
+        if (t >= kStormTenants) return;
+        storm_family.add(
+            obs::LabelSet{{"tenant", obs::tenant_label(0xBEEF + t * 0x9E37)}});
+        // Every 16th iteration also touches a hot tenant, keeping the
+        // top-K protected set warm while the cold sweep churns.
+        if (t % 16 == 0)
+          storm_family.add(
+              obs::LabelSet{{"tenant", obs::tenant_label(t % 8)}});
+      }
+    });
+  }
+  for (auto& t : storm_threads) t.join();
+  const double storm_ms = ms_since(t_storm);
+  const std::uint64_t storm_adds =
+      kStormTenants + (kStormTenants + 15) / 16;
+  std::uint64_t labeled_sum = 0;
+  const auto storm_cells = storm_family.collect();
+  for (const auto& cell : storm_cells) labeled_sum += cell.value;
+  std::uint64_t storm_global = 0;
+  for (const obs::Sample& s : storm_registry.collect())
+    if (s.name == "cgs_tenant_sign_requests_total" && s.labels.empty())
+      storm_global = static_cast<std::uint64_t>(s.value);
+  std::printf("tenants:  %7.0f adds/s over %llu distinct tenants -> %zu live"
+              " series + other (%llu folds), labeled sum %llu vs global "
+              "%llu\n\n",
+              static_cast<double>(storm_adds) / storm_ms * 1e3,
+              static_cast<unsigned long long>(kStormTenants),
+              storm_family.series(),
+              static_cast<unsigned long long>(storm_family.folds()),
+              static_cast<unsigned long long>(labeled_sum),
+              static_cast<unsigned long long>(storm_global));
 
   if (!args.json_path.empty()) {
     benchutil::JsonWriter json;
@@ -254,9 +313,15 @@ int main(int argc, char** argv) {
         .field("idle_p50_us", idle_p50)
         .field("idle_p99_us", idle_p99)
         .field("trace_sample_every", sample_every)
-        .field("tracing_off_signs_per_sec", off_rate)
-        .field("tracing_sampled_signs_per_sec", traced_rate)
-        .field("tracing_overhead_pct", tracing_overhead_pct)
+        .field("telemetry_off_signs_per_sec", off_rate)
+        .field("telemetry_on_signs_per_sec", traced_rate)
+        .field("telemetry_overhead_pct", tracing_overhead_pct)
+        .field("tenant_storm_tenants", kStormTenants)
+        .field("tenant_storm_adds_per_sec",
+               static_cast<double>(storm_adds) / storm_ms * 1e3)
+        .field("tenant_live_series",
+               static_cast<std::uint64_t>(storm_family.series()))
+        .field("tenant_folds", storm_family.folds())
         .field("all_verified", all_verified)
         .end_object();
     json.write_file(args.json_path);
@@ -289,11 +354,31 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (gate_timing && traced_rate < 0.90 * off_rate) {
-    std::printf("FAIL: sampled tracing costs %.1f%% throughput (> 10%%)\n",
+    std::printf("FAIL: full telemetry costs %.1f%% throughput (> 10%%)\n",
                 tracing_overhead_pct);
     return 1;
   }
-  std::printf("OK: occupancy %.1f >= 32, every signature verified%s\n",
+  // Cardinality gates are correctness, not wall-clock: always enforced.
+  if (storm_family.series() > 32) {
+    std::printf("FAIL: tenant storm grew %zu live series (> max_series 32)\n",
+                storm_family.series());
+    return 1;
+  }
+  if (storm_cells.size() > 33) {
+    std::printf("FAIL: tenant storm exposes %zu series (> top-K + other)\n",
+                storm_cells.size());
+    return 1;
+  }
+  if (labeled_sum != storm_adds || storm_global != storm_adds) {
+    std::printf("FAIL: labeled sum %llu / global %llu != %llu adds — an "
+                "observation was dropped\n",
+                static_cast<unsigned long long>(labeled_sum),
+                static_cast<unsigned long long>(storm_global),
+                static_cast<unsigned long long>(storm_adds));
+    return 1;
+  }
+  std::printf("OK: occupancy %.1f >= 32, every signature verified, labeled "
+              "series bounded and sum to global%s\n",
               occupancy,
               gate_timing ? ", throughput and idle-latency gates passed"
                           : " (timing gates skipped)");

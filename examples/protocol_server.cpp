@@ -17,13 +17,18 @@
 //
 // Usage: protocol_server [degree] [clients] [requests_per_client]
 //                        [--stats-exec <path-to-cgs_stats>]
+//                        [--stats-interval <seconds>]
 //
 // --stats-exec runs `<path> <port> --check` against the live server and
 // fails the run unless the scrape exits 0 — the ctest scrape smoke.
+// --stats-interval dumps the Prometheus exposition to stderr every
+// <seconds> while serving (the poor operator's sidecar scraper).
 
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +54,7 @@ using namespace cgs;
 
 struct ClientOutcome {
   bool keygen_ok = false;
+  bool health_ok = false;
   int signed_ok = 0;
   int local_verified = 0;
   int good_accepted = 0;
@@ -79,6 +85,17 @@ ClientOutcome run_client(std::uint16_t port, std::size_t degree,
   const falcon::Verifier verifier(key.h,
                                   falcon::FalconParams::for_degree(degree));
 
+  // One health probe per client: answered inline by the router (never
+  // queued), and a freshly keyed, lightly loaded server must be ready.
+  serve::HealthRequestFrame hq;
+  hq.request_id = 2;
+  const serve::HealthResponseFrame health =
+      serve::decode_health_response(client.request(serve::encode(hq)));
+  outcome.health_ok = health.ok && health.healthy && !health.components.empty();
+  if (!outcome.health_ok)
+    std::fprintf(stderr, "client %d: health probe not ready (%zu components)\n",
+                 client_idx, health.components.size());
+
   // Pipeline the whole sign burst, then read the responses back.
   std::vector<std::string> messages;
   for (int i = 0; i < requests; ++i) {
@@ -88,6 +105,12 @@ ClientOutcome run_client(std::uint16_t port, std::size_t degree,
     req.request_id = 100 + static_cast<std::uint64_t>(i);
     req.key_id = key.key_id;
     req.message = messages.back();
+    // Exercise the optional wire trace context on a slice of the burst:
+    // a caller-supplied id forces sampling, so these requests land in the
+    // slow ring / exemplars tagged with an id we chose client-side.
+    if (i % 4 == 0)
+      req.trace_id = (static_cast<std::uint64_t>(client_idx + 1) << 32) |
+                     static_cast<std::uint64_t>(i + 1);
     client.send(serve::encode(req));
   }
   std::map<std::uint64_t, falcon::Signature> sigs;
@@ -153,9 +176,12 @@ ClientOutcome run_client(std::uint16_t port, std::size_t degree,
 int main(int argc, char** argv) {
   std::vector<const char*> positional;
   const char* stats_exec = nullptr;
+  long stats_interval_s = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats-exec") == 0 && i + 1 < argc) {
       stats_exec = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats-interval") == 0 && i + 1 < argc) {
+      stats_interval_s = std::strtol(argv[++i], nullptr, 10);
     } else {
       positional.push_back(argv[i]);
     }
@@ -192,6 +218,26 @@ int main(int argc, char** argv) {
               server.port(), server.reactors(),
               server.reuse_port() ? ", SO_REUSEPORT" : ", hand-off",
               num_clients, per_client, degree);
+
+  // --stats-interval: periodic exposition dumps to stderr while serving —
+  // what an operator tailing the box would see between scrapes. Runs for
+  // the whole storm and stops before shutdown (same callback-lifetime
+  // rule as the final dump below).
+  std::atomic<bool> stats_dumping{stats_interval_s > 0};
+  std::thread stats_dumper;
+  if (stats_interval_s > 0) {
+    stats_dumper = std::thread([&] {
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(stats_interval_s);
+      while (stats_dumping.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += std::chrono::seconds(stats_interval_s);
+        std::fprintf(stderr, "-- periodic stats --\n%s",
+                     obs::prometheus_text(registry).c_str());
+      }
+    });
+  }
 
   std::vector<std::thread> clients;
   std::mutex outcomes_mu;
@@ -234,6 +280,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (stats_dumper.joinable()) {
+    stats_dumping.store(false, std::memory_order_relaxed);
+    stats_dumper.join();
+  }
+
   // The exposition must print before shutdown: shutting down unregisters
   // the callback-backed instruments (queue depths, cache bridges, open
   // connections), which would otherwise vanish from the dump.
@@ -247,10 +298,11 @@ int main(int argc, char** argv) {
   // workers before `server` can go out of scope.
   pool.join();
 
-  int keygens = 0, signed_ok = 0, local_verified = 0, good_accepted = 0,
-      tampered_rejected = 0, protocol_errors = 0;
+  int keygens = 0, healths = 0, signed_ok = 0, local_verified = 0,
+      good_accepted = 0, tampered_rejected = 0, protocol_errors = 0;
   for (const ClientOutcome& o : outcomes) {
     keygens += o.keygen_ok ? 1 : 0;
+    healths += o.health_ok ? 1 : 0;
     signed_ok += o.signed_ok;
     local_verified += o.local_verified;
     good_accepted += o.good_accepted;
@@ -260,8 +312,10 @@ int main(int argc, char** argv) {
 
   const serve::MetricsSnapshot m = dispatcher.metrics();
   std::printf("\n== results ==\n");
-  std::printf("keygens: %d/%d  signed: %d  locally verified: %d\n", keygens,
-              num_clients, signed_ok, local_verified);
+  std::printf("keygens: %d/%d  health probes ok: %d/%d  signed: %d  "
+              "locally verified: %d\n",
+              keygens, num_clients, healths, num_clients, signed_ok,
+              local_verified);
   std::printf("server verdicts: %d good accepted, %d tampered rejected\n",
               good_accepted, tampered_rejected);
   std::printf("frames: %llu in / %llu out, force-closed conns: %zu\n",
@@ -278,7 +332,8 @@ int main(int argc, char** argv) {
               dispatcher.verification_service().num_cached_keys());
 
   const int total = num_clients * per_client;
-  const bool ok = keygens == num_clients && signed_ok == total &&
+  const bool ok = keygens == num_clients && healths == num_clients &&
+                  signed_ok == total &&
                   local_verified == total && good_accepted == total &&
                   tampered_rejected == total && protocol_errors == 0 &&
                   force_closed == 0 && stats_ok;

@@ -55,6 +55,8 @@ bool Client::wait(short events, Clock::time_point deadline) {
 
 Client::Client(std::uint16_t port, ClientOptions options)
     : options_(std::move(options)) {
+  if (options_.registry != nullptr)
+    rtt_us_ = &options_.registry->histogram("cgs_client_rtt_us");
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd_ < 0) fail(Kind::kConnect, "client: socket() failed");
   const int one = 1;
@@ -97,7 +99,8 @@ Client::~Client() {
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       options_(std::move(other.options_)),
-      buf_(std::move(other.buf_)) {}
+      buf_(std::move(other.buf_)),
+      rtt_us_(std::exchange(other.rtt_us_, nullptr)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -105,6 +108,7 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     options_ = std::move(other.options_);
     buf_ = std::move(other.buf_);
+    rtt_us_ = std::exchange(other.rtt_us_, nullptr);
   }
   return *this;
 }
@@ -170,8 +174,14 @@ std::optional<std::vector<std::uint8_t>> Client::read() {
 
 std::vector<std::uint8_t> Client::request(
     std::span<const std::uint8_t> encoded) {
+  const auto started = Clock::now();
   send(encoded);
   auto frame = read();
+  if (rtt_us_ != nullptr) {
+    const auto rtt = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - started);
+    rtt_us_->record(static_cast<std::uint64_t>(rtt.count()));
+  }
   if (!frame)
     fail(Kind::kPeerClosed, "client: stream ended instead of answering");
   if (is_overloaded(*frame)) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/framing.h"
+#include "obs/registry.h"
 
 namespace cgs::net {
 
@@ -32,6 +33,11 @@ struct ClientOptions {
   std::chrono::milliseconds read_timeout{30000};
   /// Deadline for one send() to be fully handed to the kernel.
   std::chrono::milliseconds write_timeout{5000};
+  /// Optional: when set, request() records its send-to-response round
+  /// trip into a `cgs_client_rtt_us` histogram in this registry — the
+  /// client-observed latency next to the server-side stage histograms.
+  /// Must outlive the Client.
+  obs::Registry* registry = nullptr;
 };
 
 class ClientError : public std::runtime_error {
@@ -100,6 +106,7 @@ class Client {
   int fd_ = -1;
   ClientOptions options_;
   std::vector<std::uint8_t> buf_;  // coalesced-but-unconsumed inbound bytes
+  obs::Histogram* rtt_us_ = nullptr;  // resolved once from options.registry
 };
 
 }  // namespace cgs::net

@@ -23,6 +23,14 @@ namespace {
 // (reactor index + 1) in bits 48+, so they never collide with these.
 constexpr std::uint64_t kListenerId = 0;
 constexpr std::uint64_t kWakeId = 1;
+// Timer-wheel key of the per-reactor loop-lag probe (same reserved-id
+// space as the epoll ids above — never a connection id).
+constexpr std::uint64_t kLoopProbeId = 2;
+// How often each reactor re-files its loop-lag probe. The measured lag is
+// "how long past the probe's deadline the loop reached its timer sweep",
+// so a loop stuck in handlers (or starved of CPU) shows up within one
+// probe period + one wheel tick.
+constexpr std::uint64_t kLoopProbeIntervalUs = 250'000;
 
 std::uint64_t ms_to_us(std::chrono::milliseconds ms) {
   return static_cast<std::uint64_t>(ms.count()) * 1000;
@@ -86,6 +94,7 @@ Server::Server(Handler on_frame, ServerOptions options)
   options_.validate();
   owned_obs_ = options_.registry ? nullptr : std::make_unique<obs::Registry>();
   obs_ = options_.registry ? options_.registry : owned_obs_.get();
+  events_ = &obs_->events();
 
   int n = options_.reactors;
   if (n <= 0)
@@ -207,6 +216,13 @@ void Server::register_instruments() {
   });
   gauge("cgs_net_reactors",
         [this] { return static_cast<double>(reactors_.size()); });
+  gauge("cgs_net_loop_lag_us", [this] {
+    std::uint64_t worst = 0;
+    for (const auto& r : reactors_)
+      worst = std::max(worst,
+                       r->stats.loop_lag_us.load(std::memory_order_relaxed));
+    return static_cast<double>(worst);
+  });
   write_stall_us_ = &obs_->histogram("cgs_net_write_stall_us");
 }
 
@@ -654,12 +670,30 @@ void Server::begin_shed_locked(Reactor& r, Connection& conn,
   conn.out_bytes += conn.out.back().bytes.size();
   stat.fetch_add(1, std::memory_order_relaxed);
   r.stats.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  // Every shed is a structured event too — emit() is wait-free, so it is
+  // safe under r.mu.
+  events_->emit(obs::EventKind::kOverloadShed,
+                static_cast<std::uint64_t>(r.index),
+                static_cast<std::uint64_t>(
+                    options_.timeouts.overload_retry_after.count()),
+                why);
 }
 
 void Server::handle_timers(Reactor& r) {
   const std::uint64_t now = now_us();
   std::lock_guard<std::mutex> lock(r.mu);
   r.wheel.advance(now, [&](std::uint64_t conn_id) {
+    if (conn_id == kLoopProbeId) {
+      // Loop-lag probe: how far past its deadline did the loop get here?
+      // (Quantized to the wheel tick, ~10ms — the health threshold sits
+      // far above that noise floor.)
+      r.stats.loop_lag_us.store(
+          now > r.probe_deadline_us ? now - r.probe_deadline_us : 0,
+          std::memory_order_relaxed);
+      r.probe_deadline_us = now + kLoopProbeIntervalUs;
+      r.wheel.schedule(kLoopProbeId, r.probe_deadline_us);
+      return;
+    }
     auto it = r.conns.find(conn_id);
     if (it == r.conns.end()) return;  // stale entry: conn already gone
     Connection& conn = *it->second;
@@ -760,6 +794,14 @@ void Server::run(Reactor& r) {
   bool drain_applied = false;
   std::chrono::steady_clock::time_point drain_deadline{};
   epoll_event events[64];
+  {
+    // File the loop-lag probe. It keeps the wheel non-empty, so the loop
+    // always wakes at wheel-tick granularity — that steady heartbeat is
+    // exactly what makes the lag measurement meaningful.
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.probe_deadline_us = now_us() + kLoopProbeIntervalUs;
+    r.wheel.schedule(kLoopProbeId, r.probe_deadline_us);
+  }
   for (;;) {
     int timeout_ms = -1;
     {

@@ -270,6 +270,10 @@ class Server {
         sheds_accept{0}, sheds_owed{0}, sheds_write{0}, sheds_dropped{0},
         idle_evictions{0}, read_timeout_evictions{0};
     std::atomic<std::int64_t> write_hwm{0};
+    /// Last measured loop lag (us): how late the loop reached its timer
+    /// sweep relative to the recurring wheel probe's deadline. Exposed as
+    /// the cgs_net_loop_lag_us gauge (worst reactor) and in health frames.
+    std::atomic<std::uint64_t> loop_lag_us{0};
   };
   struct Reactor {
     Server* server = nullptr;
@@ -285,6 +289,7 @@ class Server {
     std::map<std::uint64_t, std::unique_ptr<Connection>> conns;
     std::uint64_t next_conn = 0;
     std::vector<int> handoff;  // fds from the acceptor (handoff mode)
+    std::uint64_t probe_deadline_us = 0;  // loop-lag probe (mu held)
     bool draining = false;
     /// Connections this reactor force-closed at the drain deadline;
     /// written by the loop thread on exit, read after join().
@@ -328,6 +333,7 @@ class Server {
   ServerOptions options_;
   std::unique_ptr<obs::Registry> owned_obs_;  // when no external registry
   obs::Registry* obs_ = nullptr;
+  obs::EventLog* events_ = nullptr;   // registry-owned; sheds emit here
   obs::Histogram* write_stall_us_ = nullptr;  // owned instrument, survives
   std::vector<std::string> callback_metrics_;  // unregistered at shutdown
 

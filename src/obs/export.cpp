@@ -48,18 +48,34 @@ std::string bucket_le(std::size_t i) {
   return buf;
 }
 
+std::string hex_id(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, id);
+  return buf;
+}
+
 }  // namespace
 
 std::string prometheus_text(const Registry& registry) {
   std::string out;
   for (const Sample& s : registry.collect()) {
-    out += "# TYPE " + s.name + " " + kind_name(s.kind) + "\n";
+    // A labeled sample belongs to the family whose (unlabeled) global
+    // sample — and TYPE line — immediately precedes it in collect order.
+    if (s.labels.empty())
+      out += "# TYPE " + s.name + " " + kind_name(s.kind) + "\n";
     if (!s.is_histogram) {
-      out += s.name + " " + format_double(s.value) + "\n";
+      if (s.labels.empty())
+        out += s.name + " " + format_double(s.value) + "\n";
+      else
+        out += s.name + "{" + s.labels + "} " + format_double(s.value) + "\n";
       continue;
     }
     // Cumulative buckets; collapse trailing empties into the final +Inf
-    // line so an idle histogram is 3 lines, not 67.
+    // line so an idle histogram is 3 lines, not 67. Labels (if any) ride
+    // in front of `le` on every series of the expansion.
+    const std::string lbl = s.labels.empty() ? "" : s.labels + ",";
+    const std::string suffix =
+        s.labels.empty() ? "" : "{" + s.labels + "}";
     std::size_t last_nonzero = 0;
     for (std::size_t i = 0; i < s.buckets.size(); ++i)
       if (s.buckets[i] != 0) last_nonzero = i;
@@ -67,12 +83,35 @@ std::string prometheus_text(const Registry& registry) {
     for (std::size_t i = 0; i <= last_nonzero && i + 1 < s.buckets.size();
          ++i) {
       cumulative += s.buckets[i];
-      out += s.name + "_bucket{le=\"" + bucket_le(i) + "\"} " +
+      out += s.name + "_bucket{" + lbl + "le=\"" + bucket_le(i) + "\"} " +
              std::to_string(cumulative) + "\n";
     }
-    out += s.name + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) + "\n";
-    out += s.name + "_sum " + std::to_string(s.sum_us) + "\n";
-    out += s.name + "_count " + std::to_string(s.count) + "\n";
+    out += s.name + "_bucket{" + lbl + "le=\"+Inf\"} " +
+           std::to_string(s.count) + "\n";
+    out += s.name + "_sum" + suffix + " " + std::to_string(s.sum_us) + "\n";
+    out += s.name + "_count" + suffix + " " + std::to_string(s.count) + "\n";
+    // Exemplars as comment lines (plain-Prometheus parsers skip unknown
+    // comments; goldens are untouched because an exemplar-free histogram
+    // emits none).
+    for (std::size_t i = 0; i < s.exemplars.size(); ++i) {
+      if (s.exemplars[i] == 0) continue;
+      out += "# exemplar " + s.name + "_bucket{" + lbl + "le=\"" +
+             bucket_le(i) + "\"} trace_id=\"" + hex_id(s.exemplars[i]) +
+             "\"\n";
+    }
+  }
+  // Structured events: lifetime per-kind counters (the ring itself is
+  // JSON-only). Only present once something has been emitted.
+  if (const EventLog* events = registry.events_or_null();
+      events != nullptr && events->total() != 0) {
+    out += "# TYPE cgs_obs_events_total counter\n";
+    for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+      const auto kind = static_cast<EventKind>(k);
+      const std::uint64_t n = events->count(kind);
+      if (n == 0) continue;
+      out += std::string("cgs_obs_events_total{kind=\"") +
+             event_kind_name(kind) + "\"} " + std::to_string(n) + "\n";
+    }
   }
   return out;
 }
@@ -84,6 +123,7 @@ std::string json_text(const Registry& registry) {
   for (const Sample& s : registry.collect()) {
     w.begin_object();
     w.field("name", s.name);
+    if (!s.labels.empty()) w.field("labels", s.labels);
     w.field("type", kind_name(s.kind));
     if (s.is_histogram) {
       w.field("count", static_cast<std::size_t>(s.count));
@@ -91,12 +131,34 @@ std::string json_text(const Registry& registry) {
       w.field("p50_us", bucket_quantile(s.buckets, 0.50));
       w.field("p95_us", bucket_quantile(s.buckets, 0.95));
       w.field("p99_us", bucket_quantile(s.buckets, 0.99));
+      // Highest-bucket exemplar: the trace id behind the worst latency.
+      for (std::size_t i = s.exemplars.size(); i-- > 0;) {
+        if (s.exemplars[i] != 0) {
+          w.field("tail_exemplar_trace_id", hex_id(s.exemplars[i]));
+          break;
+        }
+      }
     } else {
       w.field("value", s.value);
     }
     w.end_object();
   }
   w.end_array();
+  if (const EventLog* events = registry.events_or_null();
+      events != nullptr && events->total() != 0) {
+    w.begin_array("events");
+    for (const Event& e : events->snapshot()) {
+      w.begin_object();
+      w.field("seq", static_cast<std::size_t>(e.seq));
+      w.field("ts_us", static_cast<std::size_t>(e.ts_us));
+      w.field("kind", event_kind_name(e.kind));
+      w.field("a", static_cast<std::size_t>(e.a));
+      w.field("b", static_cast<std::size_t>(e.b));
+      w.field("detail", std::string(e.detail));
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   return w.str();
 }

@@ -77,9 +77,12 @@ inline double bucket_quantile(const HistogramBuckets& buckets, double q) {
 }
 
 /// Lock-free log2 latency histogram (microseconds) with a running sum.
+/// Each bucket additionally keeps the most recent non-zero exemplar id
+/// recorded into it (a trace id), so a scrape can link a tail bucket to
+/// an actual slow request.
 class alignas(64) Histogram {
  public:
-  void record(std::uint64_t us) {
+  void record(std::uint64_t us, std::uint64_t exemplar_id = 0) {
     // bit_width(us) is in [0, 64] for any u64, but clamp explicitly so a
     // future widening of the input type (or a narrower bucket array) can
     // never index past the overflow bucket — us >= 2^63 lands in [64].
@@ -88,6 +91,9 @@ class alignas(64) Histogram {
     buckets_[static_cast<std::size_t>(bucket)].fetch_add(
         1, std::memory_order_relaxed);
     sum_.fetch_add(us, std::memory_order_relaxed);
+    if (exemplar_id != 0)
+      exemplars_[static_cast<std::size_t>(bucket)].store(
+          exemplar_id, std::memory_order_relaxed);
   }
 
   std::uint64_t count() const {
@@ -114,8 +120,28 @@ class alignas(64) Histogram {
       acc[i] += buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Fold a whole bucket array (plus its sum) into this histogram in one
+  /// pass — used when a labeled family evicts a per-tenant series into
+  /// its `other` overflow cell without losing a single observation.
+  void merge_from(const HistogramBuckets& buckets, std::uint64_t sum) {
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+      if (buckets[i] != 0)
+        buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+  }
+
+  /// Per-bucket latest exemplar ids (0 = none recorded). Same indexing as
+  /// snapshot(); reuses HistogramBuckets as a plain u64 array.
+  HistogramBuckets exemplar_snapshot() const {
+    HistogramBuckets snap{};
+    for (std::size_t i = 0; i < snap.size(); ++i)
+      snap[i] = exemplars_[i].load(std::memory_order_relaxed);
+    return snap;
+  }
+
  private:
   std::array<std::atomic<std::uint64_t>, 65> buckets_{};
+  std::array<std::atomic<std::uint64_t>, 65> exemplars_{};
   std::atomic<std::uint64_t> sum_{0};
 };
 

@@ -63,6 +63,71 @@ Histogram& Registry::histogram(const std::string& name) {
   return *slot.histogram;
 }
 
+CounterFamily& Registry::counter_family(const std::string& name,
+                                        FamilyOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slot_for(name, Kind::kCounter, /*callback=*/false);
+  if (!slot.counter) slot.counter = std::make_unique<Counter>();
+  if (!slot.counter_family) {
+    if (options.events == nullptr) {
+      if (!events_) events_ = std::make_unique<EventLog>();
+      options.events = events_.get();
+    }
+    slot.counter_family = std::make_unique<CounterFamily>(
+        name, *slot.counter, std::move(options));
+  }
+  return *slot.counter_family;
+}
+
+HistogramFamily& Registry::histogram_family(const std::string& name,
+                                            FamilyOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slot_for(name, Kind::kHistogram, /*callback=*/false);
+  if (!slot.histogram) slot.histogram = std::make_unique<Histogram>();
+  if (!slot.histogram_family) {
+    if (options.events == nullptr) {
+      if (!events_) events_ = std::make_unique<EventLog>();
+      options.events = events_.get();
+    }
+    slot.histogram_family = std::make_unique<HistogramFamily>(
+        name, *slot.histogram, std::move(options));
+  }
+  return *slot.histogram_family;
+}
+
+WindowedCounter& Registry::windowed_counter(const std::string& name,
+                                            WindowOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slot_for(name, Kind::kCounter, /*callback=*/false);
+  if (!slot.counter) slot.counter = std::make_unique<Counter>();
+  if (!slot.windowed_counter)
+    slot.windowed_counter =
+        std::make_unique<WindowedCounter>(*slot.counter, options);
+  return *slot.windowed_counter;
+}
+
+WindowedHistogram& Registry::windowed_histogram(const std::string& name,
+                                                WindowOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slot_for(name, Kind::kHistogram, /*callback=*/false);
+  if (!slot.histogram) slot.histogram = std::make_unique<Histogram>();
+  if (!slot.windowed_histogram)
+    slot.windowed_histogram =
+        std::make_unique<WindowedHistogram>(*slot.histogram, options);
+  return *slot.windowed_histogram;
+}
+
+EventLog& Registry::events() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!events_) events_ = std::make_unique<EventLog>();
+  return *events_;
+}
+
+const EventLog* Registry::events_or_null() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.get();
+}
+
 void Registry::gauge_fn(const std::string& name, std::function<double()> fn) {
   CGS_CHECK_MSG(static_cast<bool>(fn), "obs: null gauge callback");
   std::lock_guard<std::mutex> lock(mu_);
@@ -109,10 +174,60 @@ std::vector<Sample> Registry::collect() const {
       s.buckets = slot.histogram->snapshot();
       for (std::uint64_t b : s.buckets) s.count += b;
       s.sum_us = slot.histogram->sum();
+      s.exemplars = slot.histogram->exemplar_snapshot();
     }
     out.push_back(std::move(s));
+    // Labeled cells ride directly behind their family's global sample so
+    // exporters emit them under the one TYPE line.
+    if (slot.counter_family) {
+      for (auto& cell : slot.counter_family->collect()) {
+        Sample c;
+        c.name = name;
+        c.labels = std::move(cell.labels);
+        c.kind = Kind::kCounter;
+        c.value = static_cast<double>(cell.value);
+        out.push_back(std::move(c));
+      }
+    }
+    if (slot.histogram_family) {
+      for (auto& cell : slot.histogram_family->collect()) {
+        Sample c;
+        c.name = name;
+        c.labels = std::move(cell.labels);
+        c.kind = Kind::kHistogram;
+        c.is_histogram = true;
+        c.buckets = cell.buckets;
+        c.count = cell.count;
+        c.sum_us = cell.sum_us;
+        out.push_back(std::move(c));
+      }
+    }
+    // Derived window gauges (rates / last-window quantiles). Computed at
+    // scrape time from the rings; names extend the base instrument's.
+    auto derived = [&out](const std::string& n, double v) {
+      Sample d;
+      d.name = n;
+      d.kind = Kind::kGauge;
+      d.value = v;
+      out.push_back(std::move(d));
+    };
+    if (slot.windowed_counter) {
+      const WindowedCounter& w = *slot.windowed_counter;
+      derived(name + "_win_count", static_cast<double>(w.window_count()));
+      derived(name + "_win_rate", w.rate_per_s());
+    }
+    if (slot.windowed_histogram) {
+      const WindowedHistogram& w = *slot.windowed_histogram;
+      const HistogramBuckets wb = w.window_buckets();
+      std::uint64_t wc = 0;
+      for (std::uint64_t b : wb) wc += b;
+      derived(name + "_win_count", static_cast<double>(wc));
+      derived(name + "_win_p50_us", bucket_quantile(wb, 0.50));
+      derived(name + "_win_p95_us", bucket_quantile(wb, 0.95));
+      derived(name + "_win_p99_us", bucket_quantile(wb, 0.99));
+    }
   }
-  return out;  // map iteration: already name-sorted
+  return out;  // map iteration keeps families/derived adjacent to their base
 }
 
 std::size_t Registry::size() const {

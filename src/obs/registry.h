@@ -30,21 +30,29 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.h"
+#include "obs/labels.h"
 #include "obs/metric.h"
+#include "obs/window.h"
 
 namespace cgs::obs {
 
 enum class Kind { kCounter, kGauge, kHistogram };
 
-/// One instrument's value at collect() time.
+/// One instrument's value at collect() time. A labeled family appears as
+/// its global (labels empty) sample followed by one sample per live cell
+/// (labels = canonical rendering); exporters fold the labels into the
+/// series name, never into a separate TYPE line.
 struct Sample {
   std::string name;
+  std::string labels;  // canonical label rendering; empty = unlabeled
   Kind kind = Kind::kCounter;
   double value = 0;  // counter/gauge (callback or owned)
   bool is_histogram = false;
-  HistogramBuckets buckets{};  // histogram only
-  std::uint64_t count = 0;     // histogram only
-  std::uint64_t sum_us = 0;    // histogram only
+  HistogramBuckets buckets{};    // histogram only
+  HistogramBuckets exemplars{};  // histogram only: per-bucket trace ids
+  std::uint64_t count = 0;       // histogram only
+  std::uint64_t sum_us = 0;      // histogram only
 };
 
 class Registry {
@@ -59,6 +67,32 @@ class Registry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  /// Create-or-get a labeled family over `name`. The family wraps the
+  /// owned instrument of the same name (created on demand): every labeled
+  /// add/record also lands in the global series, so labeled cells always
+  /// sum to it. `options` applies only on first creation; when
+  /// options.events is null the registry wires in its own event log.
+  CounterFamily& counter_family(const std::string& name,
+                                FamilyOptions options = {});
+  HistogramFamily& histogram_family(const std::string& name,
+                                    FamilyOptions options = {});
+
+  /// Create-or-get a sliding-window companion over `name` (same wrapping
+  /// contract as families: one call feeds both the cumulative instrument
+  /// and the window ring). collect() emits derived `<name>_win_*` gauges.
+  WindowedCounter& windowed_counter(const std::string& name,
+                                    WindowOptions options = {});
+  WindowedHistogram& windowed_histogram(const std::string& name,
+                                        WindowOptions options = {});
+
+  /// The registry's structured event log (created on first use). Emit
+  /// from any thread; drained by the exporters. Stable for the registry's
+  /// lifetime once created.
+  EventLog& events();
+  /// Null until events() has been called — exporters use this so a
+  /// registry that never emitted an event exposes no event section.
+  const EventLog* events_or_null() const;
 
   /// Register a callback evaluated at collect() time. Replaces an
   /// existing callback under the same name (a restarted subsystem
@@ -85,12 +119,18 @@ class Registry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
     std::function<double()> fn;  // callback instruments only
+    // Optional companions wrapping the owned instrument above.
+    std::unique_ptr<CounterFamily> counter_family;
+    std::unique_ptr<HistogramFamily> histogram_family;
+    std::unique_ptr<WindowedCounter> windowed_counter;
+    std::unique_ptr<WindowedHistogram> windowed_histogram;
   };
 
   Slot& slot_for(const std::string& name, Kind kind, bool callback);
 
   mutable std::mutex mu_;
   std::map<std::string, Slot> slots_;
+  std::unique_ptr<EventLog> events_;  // created on first events() call
 };
 
 }  // namespace cgs::obs

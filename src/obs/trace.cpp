@@ -37,7 +37,10 @@ void Tracer::finish(const Trace& t) {
   sampled_.add(1);
   queue_wait_.record(delta(t, Stage::kEnqueued, Stage::kBatchClosed));
   linger_.record(delta(t, Stage::kBatchClosed, Stage::kEngineStart));
-  compute_.record(delta(t, Stage::kEngineStart, Stage::kEngineEnd));
+  // Exemplars on the stages operators chase tails in: a scrape's p99
+  // compute/total bucket then names an actual trace id.
+  compute_.record(delta(t, Stage::kEngineStart, Stage::kEngineEnd),
+                  t.trace_id);
   fulfil_.record(delta(t, Stage::kEngineEnd, Stage::kFulfilled));
   // write_stall only exists for requests whose flush was observed.
   if (t.at(Stage::kFlushed) != 0)
@@ -47,7 +50,7 @@ void Tracer::finish(const Trace& t) {
   for (std::uint64_t s : t.stamps) last = std::max(last, s);
   const std::uint64_t first = t.at(Stage::kReceived);
   const std::uint64_t total_us = (first != 0 && last > first) ? last - first : 0;
-  total_.record(total_us);
+  total_.record(total_us, t.trace_id);
   offer_slow(t, total_us);
 }
 
@@ -73,6 +76,10 @@ void Tracer::offer_slow(const Trace& t, std::uint64_t total_us) {
                                             std::memory_order_acquire))
     return;  // lost the race; drop
   slot.stamps = t.stamps;
+  slot.trace_id = t.trace_id;
+  slot.request_id = t.request_id;
+  slot.tenant = t.tenant;
+  slot.req_class = t.req_class;
   slot.total.store(total_us, std::memory_order_relaxed);
   slot.version.store(v + 2, std::memory_order_release);
 }
@@ -86,6 +93,10 @@ std::vector<SlowTrace> Tracer::slowest() const {
     if (v1 & 1u) continue;  // writer inside
     SlowTrace st;
     st.total_us = slot.total.load(std::memory_order_relaxed);
+    st.trace_id = slot.trace_id;
+    st.request_id = slot.request_id;
+    st.tenant = slot.tenant;
+    st.req_class = slot.req_class;
     st.stamps = slot.stamps;
     std::atomic_thread_fence(std::memory_order_acquire);
     if (slot.version.load(std::memory_order_relaxed) != v1) continue;  // torn

@@ -41,10 +41,41 @@ enum class Stage : std::uint8_t {
 };
 inline constexpr std::size_t kNumStages = 7;
 
-/// One request's stage stamps. Cheap to carry by value inside a job; all
-/// methods no-op unless the trace was sampled.
+/// What kind of work a traced request was — kept with the trace so the
+/// slow ring can say "the worst request was a keygen", not just "slow".
+enum class RequestClass : std::uint8_t {
+  kOther = 0,
+  kSign,
+  kVerify,
+  kKeygen,
+  kGauss,
+};
+
+inline const char* request_class_name(RequestClass c) {
+  switch (c) {
+    case RequestClass::kOther:
+      return "other";
+    case RequestClass::kSign:
+      return "sign";
+    case RequestClass::kVerify:
+      return "verify";
+    case RequestClass::kKeygen:
+      return "keygen";
+    case RequestClass::kGauss:
+      return "gauss";
+  }
+  return "other";
+}
+
+/// One request's stage stamps plus its identity (trace id, wire request
+/// id, request class, tenant fingerprint). Cheap to carry by value inside
+/// a job; all stamping methods no-op unless the trace was sampled.
 struct Trace {
   bool active = false;
+  std::uint64_t trace_id = 0;    // non-zero iff active; may come off the wire
+  std::uint64_t request_id = 0;  // caller-assigned wire request id
+  std::uint64_t tenant = 0;      // key fingerprint / shard key; 0 = none
+  RequestClass req_class = RequestClass::kOther;
   std::array<std::uint64_t, kNumStages> stamps{};  // us; 0 = not stamped
 
   static std::uint64_t now_us() {
@@ -75,9 +106,14 @@ struct TraceOptions {
   std::size_t slow_ring = 16;
 };
 
-/// A finished trace as read back from the slow ring.
+/// A finished trace as read back from the slow ring, identity included —
+/// enough for cgs_stats to name the worst request, not just time it.
 struct SlowTrace {
   std::uint64_t total_us = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t tenant = 0;
+  RequestClass req_class = RequestClass::kOther;
   std::array<std::uint64_t, kNumStages> stamps{};
 };
 
@@ -95,15 +131,35 @@ class Tracer {
 
   bool enabled() const { return options_.sample_every != 0; }
 
-  /// Hand out a Trace, sampled 1-in-sample_every. Thread-safe.
-  Trace begin() {
+  /// Hand out a Trace, sampled 1-in-sample_every. A non-zero
+  /// `wire_trace_id` (the client propagated trace context) forces the
+  /// sample and reuses the wire id, so a distributed trace is never cut
+  /// short server-side; otherwise a sampled trace gets a fresh id.
+  /// Thread-safe. sample_every == 0 disables everything, wire ids
+  /// included (the off path stays one branch).
+  Trace begin(std::uint64_t wire_trace_id = 0) {
     Trace t;
     if (options_.sample_every == 0) return t;  // one branch when off
-    t.active =
-        seq_.fetch_add(1, std::memory_order_relaxed) % options_.sample_every ==
-        0;
+    const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    if (wire_trace_id != 0) {
+      t.active = true;
+      t.trace_id = wire_trace_id;
+    } else if (seq % options_.sample_every == 0) {
+      t.active = true;
+      t.trace_id = make_trace_id(seq);
+    }
     if (t.active) t.stamps[0] = Trace::now_us();  // received
     return t;
+  }
+
+  /// Deterministic non-zero id from the sampling sequence (SplitMix64
+  /// finalizer — the same mixer the dispatcher shards with).
+  static std::uint64_t make_trace_id(std::uint64_t seq) {
+    std::uint64_t x = seq + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x == 0 ? 1 : x;
   }
 
   /// Fold a finished trace into the stage histograms and, if it is among
@@ -120,6 +176,10 @@ class Tracer {
   struct alignas(64) Slot {
     std::atomic<std::uint32_t> version{0};
     std::atomic<std::uint64_t> total{0};
+    std::uint64_t trace_id = 0;
+    std::uint64_t request_id = 0;
+    std::uint64_t tenant = 0;
+    RequestClass req_class = RequestClass::kOther;
     std::array<std::uint64_t, kNumStages> stamps{};
   };
 

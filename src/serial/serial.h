@@ -71,6 +71,12 @@ enum class TypeTag : std::uint32_t {
   // the log is a sequence of these frames, so torn tails and bit rot are
   // detected by the same header/checksum validation as every other frame.
   kKvRecord = 16,
+  // Health surface (serve/wire.h): per-subsystem readiness — queue
+  // saturation, reactor loop lag, kvstore garbage ratio — answered inline
+  // by the router without touching the dispatch queues, so health stays
+  // answerable while the serving path is saturated.
+  kHealthRequest = 17,
+  kHealthResponse = 18,
 };
 
 /// The tag of a frame without validating its payload: header-only checks

@@ -48,12 +48,16 @@ std::uint64_t gauss_shard_key(double sigma, double center) {
 // (The enqueued stamp lands just before the push — a rejected job's trace
 // simply dies with the job.)
 template <typename Req>
-Submission<typename Req::Result> Dispatcher::submit_impl(Lane<Job<Req>>& lane,
-                                                         Req req) {
+Submission<typename Req::Result> Dispatcher::submit_impl(
+    Lane<Job<Req>>& lane, Req req, obs::RequestClass cls,
+    std::uint64_t tenant) {
   Job<Req> job;
   job.req = std::move(req);
   job.submitted = std::chrono::steady_clock::now();
-  job.trace = tracer_->begin();
+  job.trace = tracer_->begin(job.req.trace_id);
+  job.trace.request_id = job.req.request_id;
+  job.trace.tenant = tenant;
+  job.trace.req_class = cls;
   Submission<typename Req::Result> result;
   result.future = job.promise.get_future();
   job.trace.stamp(obs::Stage::kEnqueued);
@@ -81,6 +85,25 @@ Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
     obs_ = owned_obs_.get();
   }
   tracer_ = std::make_unique<obs::Tracer>(*obs_, options_.trace);
+  events_ = &obs_->events();
+  if (options_.tenant_metrics) {
+    const auto klass = [this](const char* c) {
+      ClassTelemetry t;
+      obs::FamilyOptions fam;
+      fam.max_series = options_.tenant_series;
+      t.requests = &obs_->counter_family(
+          "cgs_tenant_" + std::string(c) + "_requests_total", fam);
+      t.latency = &obs_->windowed_histogram("cgs_serve_" + std::string(c) +
+                                            "_latency_us");
+      t.slo_good = &obs_->counter("cgs_slo_" + std::string(c) + "_good_total");
+      t.slo_bad = &obs_->counter("cgs_slo_" + std::string(c) + "_bad_total");
+      return t;
+    };
+    sign_telemetry_ = klass("sign");
+    verify_telemetry_ = klass("verify");
+    keygen_telemetry_ = klass("keygen");
+    gauss_telemetry_ = klass("gauss");
+  }
   // Key-state plumbing: one shared persistent store behind both per-tenant
   // caches, and a 60/40 byte-budget split (trees are the heavier artifact)
   // unless the caller budgeted a cache directly. When BOTH services already
@@ -89,6 +112,8 @@ Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
   // touches, scraping as misleading zeros.
   if (!options_.key_state.dir.empty() &&
       (!options_.signing.key_state || !options_.verification.key_state)) {
+    if (options_.key_state.events == nullptr)
+      options_.key_state.events = events_;
     key_state_ = std::make_unique<store::KvStore>(options_.key_state);
     if (!options_.signing.key_state)
       options_.signing.key_state = key_state_.get();
@@ -179,8 +204,20 @@ void Dispatcher::register_bridges() {
             [stats_fn] { return static_cast<double>(stats_fn().hits); });
     counter("cgs_cache_" + name + "_misses_total",
             [stats_fn] { return static_cast<double>(stats_fn().misses); });
+    // The eviction bridge doubles as the eviction event source: the cache
+    // itself has no hook, so the delta between scrapes becomes one
+    // kCacheEviction event (a/b = entries/bytes after). Event granularity
+    // is scrape granularity; the lifetime counter stays exact.
     counter("cgs_cache_" + name + "_evictions_total",
-            [stats_fn] { return static_cast<double>(stats_fn().evictions); });
+            [stats_fn, name, events = events_,
+             last = std::make_shared<std::atomic<std::uint64_t>>(0)] {
+              const auto st = stats_fn();
+              const std::uint64_t prev = last->exchange(st.evictions);
+              if (st.evictions > prev)
+                events->emit(obs::EventKind::kCacheEviction, st.entries,
+                             st.bytes, name);
+              return static_cast<double>(st.evictions);
+            });
     counter(
         "cgs_cache_" + name + "_warm_starts_total",
         [stats_fn] { return static_cast<double>(stats_fn().warm_starts); });
@@ -266,11 +303,24 @@ const falcon::KeyPair* Dispatcher::key(std::uint64_t key_id) const {
   return it == keys_.end() ? nullptr : &it->second;
 }
 
+// One completed request's class telemetry. The trace id rides along as
+// the latency exemplar, so a scraped tail bucket can name a trace that
+// actually landed in it.
+void Dispatcher::record_class(const ClassTelemetry& t, std::uint64_t tenant,
+                              std::uint64_t latency_us,
+                              std::uint64_t trace_id) {
+  if (t.requests == nullptr) return;
+  t.requests->add(obs::LabelSet{{"tenant", obs::tenant_label(tenant)}});
+  t.latency->record(latency_us, trace_id);
+  (latency_us <= options_.slo_latency_us ? *t.slo_good : *t.slo_bad).add(1);
+}
+
 Submission<falcon::Signature> Dispatcher::submit(SignRequest req) {
   CGS_CHECK_MSG(key(req.key_id) != nullptr,
                 "submit(SignRequest): key_id not registered (add_key first)");
   Lane<SignJob>& lane = *sign_lanes_[mix64(req.key_id) % sign_lanes_.size()];
-  return submit_impl(lane, std::move(req));
+  const std::uint64_t tenant = req.key_id;
+  return submit_impl(lane, std::move(req), obs::RequestClass::kSign, tenant);
 }
 
 Submission<bool> Dispatcher::submit(VerifyRequest req) {
@@ -279,19 +329,22 @@ Submission<bool> Dispatcher::submit(VerifyRequest req) {
       "submit(VerifyRequest): key_id not registered (add_key first)");
   Lane<VerifyJob>& lane =
       *verify_lanes_[mix64(req.key_id) % verify_lanes_.size()];
-  return submit_impl(lane, std::move(req));
+  const std::uint64_t tenant = req.key_id;
+  return submit_impl(lane, std::move(req), obs::RequestClass::kVerify, tenant);
 }
 
 Submission<KeygenResult> Dispatcher::submit(KeygenRequest req) {
-  return submit_impl(*keygen_lanes_.front(), std::move(req));
+  // Tenant unknown until the solve finishes — the keygen lane fills it in
+  // once the fingerprint exists.
+  return submit_impl(*keygen_lanes_.front(), std::move(req),
+                     obs::RequestClass::kKeygen, 0);
 }
 
 Submission<std::vector<std::int32_t>> Dispatcher::submit(GaussRequest req) {
   CGS_CHECK_MSG(req.n >= 1, "submit(GaussRequest): empty request");
-  Lane<GaussJob>& lane =
-      *gauss_lanes_[gauss_shard_key(req.sigma, req.center) %
-                    gauss_lanes_.size()];
-  return submit_impl(lane, std::move(req));
+  const std::uint64_t tenant = gauss_shard_key(req.sigma, req.center);
+  Lane<GaussJob>& lane = *gauss_lanes_[tenant % gauss_lanes_.size()];
+  return submit_impl(lane, std::move(req), obs::RequestClass::kGauss, tenant);
 }
 
 void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
@@ -324,7 +377,9 @@ void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
           batch[i].trace.stamp(obs::Stage::kEngineEnd);
         for (std::size_t j = 0; j < indices.size(); ++j) {
           SignJob& job = batch[indices[j]];
-          lane.counters.latency.record(elapsed_us(job.submitted));
+          const std::uint64_t latency = elapsed_us(job.submitted);
+          lane.counters.latency.record(latency);
+          record_class(sign_telemetry_, key_id, latency, job.trace.trace_id);
           lane.counters.completed.add(1);
           job.trace.stamp(obs::Stage::kFulfilled);
           job.promise.set_value(std::move(sigs[j]));
@@ -378,7 +433,9 @@ void Dispatcher::run_verify_lane(Lane<VerifyJob>& lane) {
           batch[i].trace.stamp(obs::Stage::kEngineEnd);
         for (std::size_t j = 0; j < indices.size(); ++j) {
           VerifyJob& job = batch[indices[j]];
-          lane.counters.latency.record(elapsed_us(job.submitted));
+          const std::uint64_t latency = elapsed_us(job.submitted);
+          lane.counters.latency.record(latency);
+          record_class(verify_telemetry_, key_id, latency, job.trace.trace_id);
           lane.counters.completed.add(1);
           job.trace.stamp(obs::Stage::kFulfilled);
           job.promise.set_value(verdicts[j] != 0);
@@ -417,6 +474,11 @@ void Dispatcher::run_keygen_lane(Lane<KeygenJob>& lane) {
       lane.counters.batches.add(1);
       lane.counters.batched.add(1);
       job.trace.stamp(obs::Stage::kEngineStart);
+      // A keygen start is a discrete, operationally loud happening (an
+      // NTRU solve is about to eat a core for hundreds of ms) — exactly
+      // what the event ring exists for.
+      events_->emit(obs::EventKind::kKeygenStart, job.req.params.n, 0,
+                    "keygen lane");
       try {
         prng::ChaCha20Source rng(job.req.seed);
         falcon::KeyPair kp = falcon::keygen(job.req.params, rng);
@@ -425,7 +487,13 @@ void Dispatcher::run_keygen_lane(Lane<KeygenJob>& lane) {
         result.params = kp.params;
         result.public_h = kp.h;
         result.key_id = add_key(std::move(kp));
-        lane.counters.latency.record(elapsed_us(job.submitted));
+        // The tenant only exists once the solve finishes — backfill the
+        // trace so the slow ring can still name it.
+        job.trace.tenant = result.key_id;
+        const std::uint64_t latency = elapsed_us(job.submitted);
+        lane.counters.latency.record(latency);
+        record_class(keygen_telemetry_, result.key_id, latency,
+                     job.trace.trace_id);
         lane.counters.completed.add(1);
         job.trace.stamp(obs::Stage::kFulfilled);
         job.promise.set_value(std::move(result));
@@ -465,6 +533,8 @@ void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
         batch[i].trace.stamp(obs::Stage::kEngineStart);
       try {
         const GaussJob& head = batch[indices.front()];
+        const std::uint64_t tenant =
+            gauss_shard_key(head.req.sigma, head.req.center);
         const std::vector<std::int32_t> bulk =
             gaussian_->sample(head.req.sigma, head.req.center, total);
         for (std::size_t i : indices)
@@ -476,7 +546,9 @@ void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
               bulk.begin() + static_cast<std::ptrdiff_t>(off),
               bulk.begin() + static_cast<std::ptrdiff_t>(off + job.req.n));
           off += job.req.n;
-          lane.counters.latency.record(elapsed_us(job.submitted));
+          const std::uint64_t latency = elapsed_us(job.submitted);
+          lane.counters.latency.record(latency);
+          record_class(gauss_telemetry_, tenant, latency, job.trace.trace_id);
           lane.counters.completed.add(1);
           job.trace.stamp(obs::Stage::kFulfilled);
           job.promise.set_value(std::move(slice));
@@ -551,6 +623,42 @@ MetricsSnapshot Dispatcher::metrics() const {
   snap.base_rejections = signing_->rejections();
   snap.gauss_samples_served = gaussian_->samples_served();
   return snap;
+}
+
+std::vector<HealthComponent> Dispatcher::health() const {
+  std::vector<HealthComponent> out;
+  const auto queues = [&](const auto& lanes, const char* kind) {
+    double worst = 0;
+    for (const auto& lane : lanes)
+      worst = std::max(worst,
+                       static_cast<double>(lane->queue.size()) /
+                           static_cast<double>(options_.queue_capacity));
+    HealthComponent c;
+    c.name = std::string(kind) + "_queue";
+    c.value = worst;
+    c.ok = worst < 0.9;
+    c.detail = "worst lane depth / capacity";
+    out.push_back(std::move(c));
+  };
+  queues(sign_lanes_, "sign");
+  queues(verify_lanes_, "verify");
+  queues(keygen_lanes_, "keygen");
+  queues(gauss_lanes_, "gauss");
+  if (key_state_) {
+    const store::KvStoreStats st = key_state_->stats();
+    HealthComponent c;
+    c.name = "kvstore_garbage";
+    c.value = st.file_bytes == 0
+                  ? 0.0
+                  : 1.0 - static_cast<double>(st.live_bytes) /
+                              static_cast<double>(st.file_bytes);
+    // Compaction keeps the ratio near compact_garbage_ratio; a ratio
+    // pinned far above it means compaction is failing (disk, rename).
+    c.ok = c.value < 0.9;
+    c.detail = "dead bytes / log bytes";
+    out.push_back(std::move(c));
+  }
+  return out;
 }
 
 }  // namespace cgs::serve

@@ -100,6 +100,30 @@ struct DispatcherOptions {
   /// Per-request stage tracing (see obs/trace.h). sample_every = 0 turns
   /// the tracer off entirely (one predictable branch per request).
   obs::TraceOptions trace;
+  /// Tenant-sliced, time-windowed telemetry. When on, every request class
+  /// registers: a tenant-labeled request counter
+  /// (`cgs_tenant_<class>_requests_total{tenant="<hex16>"}`, top
+  /// `tenant_series` tenants + an `other` overflow cell — labeled cells
+  /// always sum to the unlabeled global), a windowed end-to-end latency
+  /// histogram (`cgs_serve_<class>_latency_us` + derived `_win_*` gauges),
+  /// and SLO verdict counters (`cgs_slo_<class>_{good,bad}_total` against
+  /// `slo_latency_us`). Off registers none of them — the telemetry-pricing
+  /// baseline the bench compares against.
+  bool tenant_metrics = true;
+  std::size_t tenant_series = 32;
+  std::uint64_t slo_latency_us = 50'000;
+};
+
+/// One subsystem's readiness as reported by Dispatcher::health(). `value`
+/// is the load measure (lane queue saturation or kvstore garbage ratio,
+/// both in [0,1]); `ok` is the component's verdict against its threshold.
+/// The wire health frame (serve/wire.h) is built from these, plus the
+/// transport components the server layer appends.
+struct HealthComponent {
+  std::string name;
+  bool ok = true;
+  double value = 0;
+  std::string detail;
 };
 
 /// What a fulfilled keygen submission yields: the key is registered with
@@ -120,10 +144,17 @@ struct KeygenResult {
 // submission shares one admission sequence.
 
 /// Sign `message` under a registered key (add_key / a fulfilled keygen).
+/// Every envelope also carries its wire identity: the caller's request id
+/// and an optional propagated trace id (non-zero forces the request's
+/// trace to be sampled under that id — see obs::Tracer::begin). Both are
+/// threaded into the job's Trace so the slow ring and exemplars can name
+/// the request, its tenant and its class.
 struct SignRequest {
   using Result = falcon::Signature;
   std::uint64_t key_id = 0;
   std::string message;
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
 };
 
 /// Verify `sig` over `message` against a registered key; yields the
@@ -133,6 +164,8 @@ struct VerifyRequest {
   std::uint64_t key_id = 0;
   std::string message;
   falcon::Signature sig;
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
 };
 
 /// Generate a key at `params` from `seed` (deterministic per seed). Runs
@@ -141,6 +174,8 @@ struct KeygenRequest {
   using Result = KeygenResult;
   falcon::FalconParams params;
   std::uint64_t seed = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
 };
 
 /// `n` raw Gaussian samples at (sigma, center).
@@ -149,6 +184,8 @@ struct GaussRequest {
   double sigma = 0;
   double center = 0;
   std::size_t n = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
 };
 
 class Dispatcher {
@@ -180,6 +217,13 @@ class Dispatcher {
   /// Point-in-time metrics across every lane (plus the cache stats of
   /// the three per-key caches underneath).
   MetricsSnapshot metrics() const;
+
+  /// Per-subsystem readiness: the worst lane queue saturation of each
+  /// request class (depth / capacity, not-ok at >= 0.9) and, when the
+  /// dispatcher owns a key-state store, its log garbage ratio. Reads only
+  /// atomics and the store's stats mutex — safe to call while every lane
+  /// is saturated, which is exactly when it matters.
+  std::vector<HealthComponent> health() const;
 
   /// The registry every serve-layer instrument lives in — scrape with
   /// obs::prometheus_text / obs::json_text. Valid for the dispatcher's
@@ -227,10 +271,27 @@ class Dispatcher {
     std::thread thread;
   };
 
+  /// Per-class telemetry bundle (see DispatcherOptions::tenant_metrics).
+  /// All-null when tenant metrics are off — record_class is then one
+  /// branch per completion.
+  struct ClassTelemetry {
+    obs::CounterFamily* requests = nullptr;
+    obs::WindowedHistogram* latency = nullptr;
+    obs::Counter* slo_good = nullptr;
+    obs::Counter* slo_bad = nullptr;
+  };
+
   /// The one admission sequence behind every submit() overload: stamp,
-  /// trace, try the lane queue, account the outcome.
+  /// trace (identity included), try the lane queue, account the outcome.
   template <typename Req>
-  Submission<typename Req::Result> submit_impl(Lane<Job<Req>>& lane, Req req);
+  Submission<typename Req::Result> submit_impl(Lane<Job<Req>>& lane, Req req,
+                                               obs::RequestClass cls,
+                                               std::uint64_t tenant);
+
+  /// One completed request's class telemetry: tenant-labeled count,
+  /// windowed latency (exemplar = the request's trace id), SLO verdict.
+  void record_class(const ClassTelemetry& t, std::uint64_t tenant,
+                    std::uint64_t latency_us, std::uint64_t trace_id);
 
   void run_sign_lane(Lane<SignJob>& lane);
   void run_verify_lane(Lane<VerifyJob>& lane);
@@ -245,6 +306,11 @@ class Dispatcher {
   std::unique_ptr<obs::Registry> owned_obs_;  // when no external registry
   obs::Registry* obs_ = nullptr;
   std::unique_ptr<obs::Tracer> tracer_;
+  obs::EventLog* events_ = nullptr;  // the registry's event log
+  ClassTelemetry sign_telemetry_;
+  ClassTelemetry verify_telemetry_;
+  ClassTelemetry keygen_telemetry_;
+  ClassTelemetry gauss_telemetry_;
   std::vector<std::string> callback_metrics_;  // unregistered at shutdown
   std::unique_ptr<falcon::SigningService> signing_;
   std::unique_ptr<falcon::VerificationService> verifier_;

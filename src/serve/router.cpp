@@ -96,6 +96,8 @@ void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
         env.params = falcon::FalconParams::for_degree(
             static_cast<std::size_t>(req.degree));
         env.seed = req.seed;
+        env.request_id = req.request_id;
+        env.trace_id = req.trace_id;
         settle_async(
             pool, std::move(token), dispatcher.submit(std::move(env)),
             req.request_id,
@@ -115,6 +117,8 @@ void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
         SignRequest env;
         env.key_id = req.key_id;
         env.message = std::move(req.message);
+        env.request_id = req.request_id;
+        env.trace_id = req.trace_id;
         settle_async(
             pool, std::move(token), dispatcher.submit(std::move(env)),
             req.request_id,
@@ -134,6 +138,8 @@ void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
         env.key_id = req.key_id;
         env.sig = req.to_signature();
         env.message = std::move(req.message);
+        env.request_id = req.request_id;
+        env.trace_id = req.trace_id;
         settle_async(
             pool, std::move(token), dispatcher.submit(std::move(env)),
             req.request_id,
@@ -154,6 +160,37 @@ void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
             req.request_id, req.format, std::move(text))));
         return;
       }
+      case serial::TypeTag::kHealthRequest: {
+        // Answered inline like stats — never queued, so health stays
+        // answerable while every dispatch lane is saturated (which is
+        // exactly when a load balancer needs the answer).
+        const HealthRequestFrame req = decode_health_request(frame);
+        std::vector<HealthComponentFrame> components;
+        for (const HealthComponent& c : dispatcher.health()) {
+          HealthComponentFrame f;
+          f.name = c.name;
+          f.ok = c.ok;
+          f.value = c.value;
+          f.detail = c.detail;
+          components.push_back(std::move(f));
+        }
+        // Transport readiness: the reactors publish their worst recent
+        // loop lag as a gauge (net::Server's timer-wheel probe); fold it
+        // in when a server registered one against this registry.
+        for (const obs::Sample& s : dispatcher.obs_registry().collect()) {
+          if (s.name == "cgs_net_loop_lag_us" && s.labels.empty()) {
+            HealthComponentFrame f;
+            f.name = "net_loop_lag";
+            f.value = s.value;
+            f.ok = s.value < 100'000;  // a loop 100ms behind is not ready
+            f.detail = "worst reactor loop lag (us)";
+            components.push_back(std::move(f));
+          }
+        }
+        token.send(encode(HealthResponseFrame::success(
+            req.request_id, std::move(components))));
+        return;
+      }
       default:
         token.send(verify_err(0, "unsupported request type"));
         return;
@@ -172,6 +209,9 @@ void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
           break;
         case serial::TypeTag::kSignRequest:
           resp = sign_err(0, e.what());
+          break;
+        case serial::TypeTag::kHealthRequest:
+          resp = encode(HealthResponseFrame::failure(0, e.what()));
           break;
         default:
           resp = verify_err(0, e.what());

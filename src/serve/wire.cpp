@@ -39,6 +39,28 @@ void read_signature_fields(serial::Reader& r, std::uint64_t& degree,
   s1_compressed.assign(s1.begin(), s1.end());
 }
 
+// Optional trailing trace-context block on request frames: absent when
+// trace_id == 0 (byte-identical to the pre-trace encoding), otherwise
+// `ctx_version u8 | trace_id u64`. The decoder accepts absence, the
+// current version, and nothing else — a future ctx_version is a typed
+// decode error, not silent misparsing.
+constexpr std::uint8_t kTraceCtxVersion = 1;
+
+void write_trace_ctx(serial::Writer& w, std::uint64_t trace_id) {
+  if (trace_id == 0) return;
+  w.u8(kTraceCtxVersion);
+  w.u64(trace_id);
+}
+
+std::uint64_t read_trace_ctx(serial::Reader& r, const char* what) {
+  if (r.remaining() == 0) return 0;  // pre-trace peer: no block
+  const std::uint8_t version = r.u8();
+  if (version != kTraceCtxVersion)
+    throw serial::SerialError(std::string(what) +
+                              " unknown trace context version");
+  return r.u64();
+}
+
 falcon::Signature signature_from_fields(
     std::uint64_t degree, const std::array<std::uint8_t, 40>& nonce,
     const std::vector<std::uint8_t>& s1_compressed, const char* what) {
@@ -60,6 +82,7 @@ std::vector<std::uint8_t> encode(const SignRequestFrame& req) {
   w.u64(req.request_id);
   w.u64(req.key_id);
   w.str(req.message);
+  write_trace_ctx(w, req.trace_id);
   return length_prefixed(
       serial::wrap(serial::TypeTag::kSignRequest, w.take()));
 }
@@ -72,6 +95,7 @@ SignRequestFrame decode_sign_request(std::span<const std::uint8_t> frame) {
   req.request_id = r.u64();
   req.key_id = r.u64();
   req.message = r.str();
+  req.trace_id = read_trace_ctx(r, "sign request");
   r.finish();
   return req;
 }
@@ -157,6 +181,7 @@ std::vector<std::uint8_t> encode(const VerifyRequestFrame& req) {
   w.u64(req.key_id);
   w.str(req.message);
   write_signature_fields(w, req.degree, req.nonce, req.s1_compressed);
+  write_trace_ctx(w, req.trace_id);
   return length_prefixed(
       serial::wrap(serial::TypeTag::kVerifyRequest, w.take()));
 }
@@ -172,6 +197,7 @@ VerifyRequestFrame decode_verify_request(
   req.message = r.str();
   read_signature_fields(r, req.degree, req.nonce, req.s1_compressed,
                         "verify request");
+  req.trace_id = read_trace_ctx(r, "verify request");
   r.finish();
   return req;
 }
@@ -228,6 +254,7 @@ std::vector<std::uint8_t> encode(const KeygenRequestFrame& req) {
   w.u64(req.request_id);
   w.u64(req.degree);
   w.u64(req.seed);
+  write_trace_ctx(w, req.trace_id);
   return length_prefixed(
       serial::wrap(serial::TypeTag::kKeygenRequest, w.take()));
 }
@@ -243,6 +270,7 @@ KeygenRequestFrame decode_keygen_request(
   if (req.degree == 0 || req.degree > (1u << 14))
     throw serial::SerialError("keygen request degree out of range");
   req.seed = r.u64();
+  req.trace_id = read_trace_ctx(r, "keygen request");
   r.finish();
   return req;
 }
@@ -389,6 +417,97 @@ StatsResponseFrame decode_stats_response(
   if (resp.ok) {
     resp.format = stats_format_from(r.u8(), "stats response");
     resp.text = r.str();
+  } else {
+    resp.error = r.str();
+  }
+  r.finish();
+  return resp;
+}
+
+HealthResponseFrame HealthResponseFrame::success(
+    std::uint64_t request_id, std::vector<HealthComponentFrame> components) {
+  HealthResponseFrame resp;
+  resp.request_id = request_id;
+  resp.ok = true;
+  resp.healthy = true;
+  for (const HealthComponentFrame& c : components)
+    resp.healthy = resp.healthy && c.ok;
+  resp.components = std::move(components);
+  return resp;
+}
+
+HealthResponseFrame HealthResponseFrame::failure(std::uint64_t request_id,
+                                                 std::string error) {
+  HealthResponseFrame resp;
+  resp.request_id = request_id;
+  resp.error = std::move(error);
+  return resp;
+}
+
+std::vector<std::uint8_t> encode(const HealthRequestFrame& req) {
+  serial::Writer w;
+  w.u64(req.request_id);
+  return length_prefixed(
+      serial::wrap(serial::TypeTag::kHealthRequest, w.take()));
+}
+
+HealthRequestFrame decode_health_request(std::span<const std::uint8_t> frame) {
+  const auto payload =
+      serial::unwrap(frame, serial::TypeTag::kHealthRequest);
+  serial::Reader r(payload);
+  HealthRequestFrame req;
+  req.request_id = r.u64();
+  r.finish();
+  return req;
+}
+
+std::vector<std::uint8_t> encode(const HealthResponseFrame& resp) {
+  serial::Writer w;
+  w.u64(resp.request_id);
+  w.boolean(resp.ok);
+  if (resp.ok) {
+    w.boolean(resp.healthy);
+    w.u32(static_cast<std::uint32_t>(resp.components.size()));
+    for (const HealthComponentFrame& c : resp.components) {
+      w.str(c.name);
+      w.boolean(c.ok);
+      const double v = c.value;
+      w.f64_bits(std::span(&v, 1));
+      w.str(c.detail);
+    }
+  } else {
+    w.str(resp.error);
+  }
+  return length_prefixed(
+      serial::wrap(serial::TypeTag::kHealthResponse, w.take()));
+}
+
+HealthResponseFrame decode_health_response(
+    std::span<const std::uint8_t> frame) {
+  const auto payload =
+      serial::unwrap(frame, serial::TypeTag::kHealthResponse);
+  serial::Reader r(payload);
+  HealthResponseFrame resp;
+  resp.request_id = r.u64();
+  resp.ok = r.boolean();
+  if (resp.ok) {
+    resp.healthy = r.boolean();
+    const std::uint32_t count = r.u32();
+    // Each component is at least 18 bytes (two u64 string lengths, a bool
+    // and the f64): reject a count the remaining payload cannot hold
+    // before reserving anything.
+    if (count > r.remaining() / 18)
+      throw serial::SerialError(
+          "health response component count overruns payload");
+    resp.components.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      HealthComponentFrame c;
+      c.name = r.str();
+      c.ok = r.boolean();
+      c.value = r.f64_bits(1).front();
+      c.detail = r.str();
+      resp.components.push_back(std::move(c));
+    }
   } else {
     resp.error = r.str();
   }

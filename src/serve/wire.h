@@ -25,6 +25,19 @@
 //                    1 = JSON)
 //   kStatsResponse:  request_id u64 | ok bool | on ok: format u8,
 //                    exposition text str; else: error string
+//   kHealthRequest:  request_id u64
+//   kHealthResponse: request_id u64 | ok bool | on ok: healthy bool,
+//                    component count u32, per component: name str | ok
+//                    bool | value f64 bits | detail str; else: error string
+//
+// Trace context (wire revision 1 of this protocol, serial format version
+// unchanged): kSignRequest, kVerifyRequest and kKeygenRequest may carry an
+// OPTIONAL trailing block `ctx_version u8 (= 1) | trace_id u64` after the
+// fields above. A request without the block decodes exactly as before, so
+// peers that never send trace context interoperate unchanged; a receiver
+// that sees an unknown ctx_version rejects the frame. The block sits
+// inside the checksummed payload, so a corrupted trace id is caught like
+// any other field.
 //
 // A kVerifyResponse's `ok` says the request was processed ("this is a
 // verdict"); `accepted` is the verdict itself — a rejected signature is a
@@ -55,6 +68,10 @@ struct SignRequestFrame {
   std::uint64_t request_id = 0;
   std::uint64_t key_id = 0;  // falcon::key_fingerprint of a registered key
   std::string message;
+  /// Optional trace context: non-zero = propagate this id server-side
+  /// (forces the server to sample the request's trace). 0 = absent, and
+  /// the frame encodes byte-identically to the pre-trace wire format.
+  std::uint64_t trace_id = 0;
 };
 
 struct SignResponseFrame {
@@ -82,6 +99,7 @@ struct VerifyRequestFrame {
   std::uint64_t degree = 0;
   std::array<std::uint8_t, 40> nonce{};
   std::vector<std::uint8_t> s1_compressed;
+  std::uint64_t trace_id = 0;  // optional trace context (see header note)
 
   static VerifyRequestFrame make(std::uint64_t request_id,
                                  std::uint64_t key_id, std::string message,
@@ -107,6 +125,7 @@ struct KeygenRequestFrame {
   std::uint64_t request_id = 0;
   std::uint64_t degree = 0;
   std::uint64_t seed = 0;  // keygen entropy: deterministic per seed
+  std::uint64_t trace_id = 0;  // optional trace context (see header note)
 };
 
 struct KeygenResponseFrame {
@@ -148,6 +167,37 @@ struct StatsResponseFrame {
                                     std::string error);
 };
 
+/// One subsystem's readiness as reported in a health response. `value`
+/// is the component's load measure (queue saturation in [0,1], reactor
+/// loop lag in us, kvstore garbage ratio in [0,1]); `ok` is the
+/// component's own verdict against its threshold.
+struct HealthComponentFrame {
+  std::string name;
+  bool ok = true;
+  double value = 0;
+  std::string detail;
+};
+
+/// Ask the server whether it is ready for traffic. Answered inline by the
+/// router (never queued), so a saturated dispatcher still reports its
+/// saturation instead of timing out the probe.
+struct HealthRequestFrame {
+  std::uint64_t request_id = 0;
+};
+
+struct HealthResponseFrame {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::string error;     // set when !ok
+  bool healthy = false;  // AND over every component's ok
+  std::vector<HealthComponentFrame> components;
+
+  static HealthResponseFrame success(
+      std::uint64_t request_id, std::vector<HealthComponentFrame> components);
+  static HealthResponseFrame failure(std::uint64_t request_id,
+                                     std::string error);
+};
+
 /// Encode as a length-prefixed serial frame ready to write to a stream.
 std::vector<std::uint8_t> encode(const SignRequestFrame& req);
 std::vector<std::uint8_t> encode(const SignResponseFrame& resp);
@@ -157,6 +207,8 @@ std::vector<std::uint8_t> encode(const KeygenRequestFrame& req);
 std::vector<std::uint8_t> encode(const KeygenResponseFrame& resp);
 std::vector<std::uint8_t> encode(const StatsRequestFrame& req);
 std::vector<std::uint8_t> encode(const StatsResponseFrame& resp);
+std::vector<std::uint8_t> encode(const HealthRequestFrame& req);
+std::vector<std::uint8_t> encode(const HealthResponseFrame& resp);
 
 /// Decode the serial-frame part (no length prefix — the stream layer has
 /// already consumed it). Throws serial::SerialError on malformed input.
@@ -170,6 +222,9 @@ KeygenResponseFrame decode_keygen_response(
     std::span<const std::uint8_t> frame);
 StatsRequestFrame decode_stats_request(std::span<const std::uint8_t> frame);
 StatsResponseFrame decode_stats_response(std::span<const std::uint8_t> frame);
+HealthRequestFrame decode_health_request(std::span<const std::uint8_t> frame);
+HealthResponseFrame decode_health_response(
+    std::span<const std::uint8_t> frame);
 
 /// Blocking stream I/O over a file descriptor (socket or pipe) — thin
 /// aliases of net::write_frame / net::read_frame, kept so message-layer

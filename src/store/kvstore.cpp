@@ -159,6 +159,9 @@ void KvStore::replay_locked() {
 
   if (off < log.size()) {
     stats_.truncated_bytes += log.size() - off;
+    if (options_.events != nullptr)
+      options_.events->emit(obs::EventKind::kTornTailRecovery,
+                            log.size() - off, off, options_.filename);
     // Drop the invalid tail so the next append starts on a clean frame
     // boundary (a torn record would otherwise corrupt every later one).
     if (::ftruncate(fd_, static_cast<off_t>(off)) != 0) {
@@ -299,6 +302,9 @@ void KvStore::compact_locked() {
   stats_.file_bytes = end_;
   stats_.live_bytes = live_bytes_;
   stats_.entries = index_.size();
+  if (options_.events != nullptr)
+    options_.events->emit(obs::EventKind::kKvCompaction, end_, index_.size(),
+                          options_.filename);
 }
 
 bool KvStore::contains(std::string_view key) const {

@@ -33,6 +33,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/events.h"
+
 namespace cgs::store {
 
 struct KvStoreOptions {
@@ -47,6 +49,11 @@ struct KvStoreOptions {
   /// works).
   double compact_garbage_ratio = 0.5;
   std::uint64_t compact_min_bytes = 1u << 20;
+  /// Optional structured event log (obs/events.h): compactions emit
+  /// kKvCompaction and torn-tail recoveries emit kTornTailRecovery,
+  /// tagged with `filename`. Must outlive the store. The counters in
+  /// stats() are unaffected either way.
+  obs::EventLog* events = nullptr;
 };
 
 struct KvStoreStats {

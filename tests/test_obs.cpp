@@ -14,10 +14,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/events.h"
 #include "obs/export.h"
+#include "obs/labels.h"
 #include "obs/metric.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "serial/serial.h"
 #include "serve/wire.h"
 
@@ -292,6 +295,259 @@ TEST(Trace, SlowRingKeepsTheSlowestAndStaysBounded) {
     EXPECT_EQ(slow[i].total_us, 20 - i);  // slowest first: 20, 19, 18, 17
     EXPECT_GT(slow[i].stamps[0], 0u);
   }
+}
+
+// ------------------------------------------------------ windowed metrics ---
+
+TEST(Windowed, CounterAgesOutOldEpochs) {
+  Registry reg;
+  WindowOptions w;
+  w.epoch_us = 1000;  // 1 ms epochs so the test can steer time by hand
+  w.epochs = 4;
+  WindowedCounter& wc = reg.windowed_counter("cgs_win_reqs_total", w);
+
+  // Three epochs of traffic at synthetic timestamps.
+  wc.add_at(5, 10'500);   // epoch 10
+  wc.add_at(7, 11'500);   // epoch 11
+  wc.add_at(1, 12'500);   // epoch 12
+  EXPECT_EQ(wc.window_count(12'999), 13u);  // window = epochs 9..12
+
+  // Two epochs later, epoch 10 has aged out (window = 11..14).
+  EXPECT_EQ(wc.window_count(14'500), 8u);
+  // Far in the future everything ages out; the cumulative global keeps all.
+  EXPECT_EQ(wc.window_count(1'000'000), 0u);
+  const double rate = wc.rate_per_s(12'999);
+  EXPECT_NEAR(rate, 13.0 / (4 * 0.001), 1e-6);
+}
+
+TEST(Windowed, HistogramWindowQuantilesMatchGlobal) {
+  Registry reg;
+  WindowedHistogram& wh = reg.windowed_histogram("cgs_win_lat_us");
+  for (int i = 0; i < 90; ++i) wh.record(100);
+  for (int i = 0; i < 10; ++i) wh.record(9000);
+  // All records land in the current (10 s) epoch: window == lifetime.
+  EXPECT_EQ(wh.window_count(), 100u);
+  EXPECT_LE(wh.window_quantile(0.50), 128.0);
+  EXPECT_GT(wh.window_quantile(0.99), 8000.0);
+  // The wrapped cumulative histogram saw every record too.
+  bool found = false;
+  for (const Sample& s : reg.collect()) {
+    if (s.name == "cgs_win_lat_us" && s.labels.empty()) {
+      EXPECT_EQ(s.count, 100u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// The TSan job's target: 8 threads hammer one windowed counter and one
+// windowed histogram through live rotations (tiny epochs force thousands
+// of CAS rotations). The invariant rotation must preserve: the cumulative
+// global loses nothing, and window reads never see the rotation sentinel.
+TEST(Windowed, RotationUnderEightThreadHammer) {
+  Registry reg;
+  WindowOptions w;
+  w.epoch_us = 100;  // 0.1 ms epochs -> rotations every few iterations
+  w.epochs = 4;
+  WindowedCounter& wc = reg.windowed_counter("cgs_win_hammer_total", w);
+  WindowedHistogram& wh = reg.windowed_histogram("cgs_win_hammer_us", w);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        wc.add(1);
+        wh.record(static_cast<std::uint64_t>((t * kPerThread + i) % 512));
+        if (i % 64 == 0) {
+          (void)wc.window_count();
+          (void)wh.window_quantile(0.95);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  std::uint64_t global_counter = 0, global_hist = 0;
+  for (const Sample& s : reg.collect()) {
+    if (s.name == "cgs_win_hammer_total" && s.labels.empty())
+      global_counter = static_cast<std::uint64_t>(s.value);
+    if (s.name == "cgs_win_hammer_us" && s.labels.empty())
+      global_hist = s.count;
+  }
+  EXPECT_EQ(global_counter, kTotal);  // the global never loses a count
+  EXPECT_EQ(global_hist, kTotal);
+  // Window slices are a subset of history, and reading them mid- or
+  // post-hammer must not deadlock or return sentinel garbage.
+  EXPECT_LE(wc.window_count(), kTotal);
+  EXPECT_LE(wh.window_count(), kTotal);
+}
+
+// ------------------------------------------------------ labeled families ---
+
+TEST(Labels, CanonicalRenderingSortsAndEscapes) {
+  LabelSet ls{{"zeta", "b"}, {"alpha", "say \"hi\"\n"}};
+  EXPECT_EQ(ls.canonical(), "alpha=\"say \\\"hi\\\"\\n\",zeta=\"b\"");
+  EXPECT_THROW(LabelSet{}.set("9bad", "v"), Error);
+  EXPECT_THROW(LabelSet{}.set("has space", "v"), Error);
+  EXPECT_EQ(tenant_label(0xdeadbeefull), "00000000deadbeef");
+}
+
+TEST(Labels, FamilySumsToGlobalUnderChurnAndStaysBounded) {
+  Registry reg;
+  FamilyOptions fo;
+  fo.max_series = 8;
+  CounterFamily& fam = reg.counter_family("cgs_tenant_test_total", fo);
+
+  // Two hot tenants touched repeatedly (promoted), then a churn sweep of
+  // one-shot tenants far beyond the cap.
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 10; ++i) {
+    fam.add(LabelSet{{"tenant", tenant_label(1)}});
+    fam.add(LabelSet{{"tenant", tenant_label(2)}});
+    expected += 2;
+  }
+  for (std::uint64_t t = 100; t < 600; ++t) {
+    fam.add(LabelSet{{"tenant", tenant_label(t)}});
+    ++expected;
+  }
+
+  EXPECT_LE(fam.series(), fo.max_series);
+  EXPECT_GT(fam.folds(), 0u);
+
+  // Folding means no observation is ever dropped: labeled cells plus the
+  // overflow cell re-add exactly to the global.
+  std::uint64_t labeled_sum = 0;
+  bool hot_survived = false;
+  for (const auto& cell : fam.collect()) {
+    labeled_sum += cell.value;
+    if (cell.labels.find(tenant_label(1)) != std::string::npos)
+      hot_survived = true;
+  }
+  EXPECT_EQ(labeled_sum, expected);
+  EXPECT_TRUE(hot_survived) << "churn displaced a protected hot tenant";
+
+  std::uint64_t global = 0;
+  for (const Sample& s : reg.collect())
+    if (s.name == "cgs_tenant_test_total" && s.labels.empty())
+      global = static_cast<std::uint64_t>(s.value);
+  EXPECT_EQ(global, expected);
+}
+
+TEST(Labels, HistogramFamilyFoldsPreserveCounts) {
+  Registry reg;
+  FamilyOptions fo;
+  fo.max_series = 4;
+  HistogramFamily& fam = reg.histogram_family("cgs_tenant_lat_us", fo);
+  std::uint64_t expected = 0;
+  for (std::uint64_t t = 0; t < 32; ++t) {
+    fam.record(LabelSet{{"tenant", tenant_label(t)}}, 100 + t);
+    ++expected;
+  }
+  EXPECT_LE(fam.series(), fo.max_series);
+  std::uint64_t labeled_count = 0;
+  for (const auto& cell : fam.collect()) labeled_count += cell.count;
+  EXPECT_EQ(labeled_count, expected);
+}
+
+TEST(Labels, FoldsEmitSeriesFoldEvents) {
+  Registry reg;
+  CounterFamily& fam =
+      reg.counter_family("cgs_tenant_fold_total", {.max_series = 2});
+  for (std::uint64_t t = 0; t < 10; ++t)
+    fam.add(LabelSet{{"tenant", tenant_label(t)}});
+  // The registry wired its own event log into the family.
+  EXPECT_EQ(reg.events().count(EventKind::kSeriesFold), fam.folds());
+  EXPECT_GT(fam.folds(), 0u);
+}
+
+// -------------------------------------------------------------- event log ---
+
+TEST(Events, EmitSnapshotAndLifetimeCounts) {
+  EventLog log;
+  log.emit(EventKind::kOverloadShed, 3, 250, "reactor 3");
+  log.emit(EventKind::kKvCompaction, 4096, 17, "key_state.log");
+  log.emit(EventKind::kOverloadShed, 1, 250);
+
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kOverloadShed);
+  EXPECT_EQ(events[0].a, 3u);
+  EXPECT_EQ(events[0].b, 250u);
+  EXPECT_STREQ(events[0].detail, "reactor 3");
+  EXPECT_EQ(events[1].kind, EventKind::kKvCompaction);
+  EXPECT_STREQ(events[1].detail, "key_state.log");
+  EXPECT_STREQ(events[2].detail, "");
+  EXPECT_EQ(log.count(EventKind::kOverloadShed), 2u);
+  EXPECT_EQ(log.count(EventKind::kKvCompaction), 1u);
+  EXPECT_EQ(log.total(), 3u);
+
+  // Oversized detail strings truncate into the inline buffer, no alloc.
+  log.emit(EventKind::kKeygenStart, 512, 0, std::string(200, 'x'));
+  const std::vector<Event> after = log.snapshot();
+  EXPECT_EQ(std::strlen(after.back().detail), sizeof(Event{}.detail) - 1);
+}
+
+TEST(Events, RingWrapKeepsMostRecentCountsEverything) {
+  EventLog log(8);
+  for (std::uint64_t i = 1; i <= 20; ++i)
+    log.emit(EventKind::kCacheEviction, i);
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 13 + i);  // the 8 most recent, oldest first
+    EXPECT_EQ(events[i].a, 13 + i);
+  }
+  EXPECT_EQ(log.total(), 20u);                               // never wraps
+  EXPECT_EQ(log.count(EventKind::kCacheEviction), 20u);
+}
+
+TEST(Events, PrometheusExpositionCarriesPerKindCounters) {
+  Registry reg;
+  reg.events().emit(EventKind::kTornTailRecovery, 128, 4096, "kv.log");
+  reg.events().emit(EventKind::kKeygenStart, 512);
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("cgs_obs_events_total{kind=\"torn_tail_recovery\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cgs_obs_events_total{kind=\"keygen_start\"} 1"),
+            std::string::npos);
+  const std::string json = json_text(reg);
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+  EXPECT_NE(json.find("torn_tail_recovery"), std::string::npos);
+}
+
+// ------------------------------------------------- trace context & exemplars ---
+
+TEST(Trace, WireTraceIdForcesSamplingAndSurvives) {
+  Registry reg;
+  TraceOptions topts;
+  topts.sample_every = 1'000'000;  // local sampling effectively off
+  Tracer tracer(reg, topts);
+  Trace t = tracer.begin(0x7ace1dull);
+  EXPECT_TRUE(t.active);
+  EXPECT_EQ(t.trace_id, 0x7ace1dull);
+
+  // sample_every == 0 is the global off switch: even wire ids are ignored.
+  TraceOptions off;
+  off.sample_every = 0;
+  Tracer disabled(reg, off);
+  EXPECT_FALSE(disabled.begin(0x7ace1dull).active);
+}
+
+TEST(Trace, ExemplarTraceIdsSurfaceInExposition) {
+  Registry reg;
+  Histogram& h = reg.histogram("cgs_exemplar_us");
+  h.record(100, 0xdeadbeefull);
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("# exemplar cgs_exemplar_us_bucket"), std::string::npos);
+  EXPECT_NE(text.find("trace_id=\"00000000deadbeef\""), std::string::npos);
+  const std::string json = json_text(reg);
+  EXPECT_NE(json.find("tail_exemplar_trace_id"), std::string::npos);
 }
 
 // ----------------------------------------------------------- wire frames ---

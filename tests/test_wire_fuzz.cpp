@@ -54,9 +54,20 @@ std::vector<Sample> make_samples(prng::SplitMix64Source& rng) {
   samples.push_back({serial::TypeTag::kSignResponse,
                      encode(SignResponseFrame::failure(44, "queue-full"))});
 
+  // Trace-carrying variant: the optional trailing context block (the
+  // wire-revision corner — old frames have no block, these do).
+  SignRequestFrame traced_sign = sign_req;
+  traced_sign.request_id = 142;
+  traced_sign.trace_id = 0x7ace1d7ace1d7aceull;
+  samples.push_back({serial::TypeTag::kSignRequest, encode(traced_sign)});
+
   samples.push_back(
       {serial::TypeTag::kVerifyRequest,
        encode(VerifyRequestFrame::make(45, 7, "verify this", sig))});
+  VerifyRequestFrame traced_verify =
+      VerifyRequestFrame::make(145, 7, "verify this too", sig);
+  traced_verify.trace_id = 0xf00dd00ff00dd00full;
+  samples.push_back({serial::TypeTag::kVerifyRequest, encode(traced_verify)});
   samples.push_back({serial::TypeTag::kVerifyResponse,
                      encode(VerifyResponseFrame::verdict(46, true))});
   samples.push_back({serial::TypeTag::kVerifyResponse,
@@ -67,6 +78,10 @@ std::vector<Sample> make_samples(prng::SplitMix64Source& rng) {
   kg_req.degree = 64;
   kg_req.seed = 0x5eed;
   samples.push_back({serial::TypeTag::kKeygenRequest, encode(kg_req)});
+  KeygenRequestFrame traced_kg = kg_req;
+  traced_kg.request_id = 148;
+  traced_kg.trace_id = 0xbead5eedbead5eedull;
+  samples.push_back({serial::TypeTag::kKeygenRequest, encode(traced_kg)});
 
   std::vector<std::uint32_t> h(64);
   for (auto& v : h)
@@ -88,6 +103,21 @@ std::vector<Sample> make_samples(prng::SplitMix64Source& rng) {
            "# TYPE cgs_events_total counter\ncgs_events_total 3\n"))});
   samples.push_back({serial::TypeTag::kStatsResponse,
                      encode(StatsResponseFrame::failure(53, "draining"))});
+
+  // Health surface: the request is near-minimal (one u64 — truncations
+  // bite fast), the response carries a variable component list whose
+  // count field is a favorite target for length lies.
+  HealthRequestFrame health_req;
+  health_req.request_id = 54;
+  samples.push_back({serial::TypeTag::kHealthRequest, encode(health_req)});
+
+  std::vector<HealthComponentFrame> components;
+  components.push_back({"sign_queue", true, 0.25, "worst lane depth"});
+  components.push_back({"net_loop_lag", false, 250000.0, "reactor 3 stalled"});
+  samples.push_back({serial::TypeTag::kHealthResponse,
+                     encode(HealthResponseFrame::success(55, components))});
+  samples.push_back({serial::TypeTag::kHealthResponse,
+                     encode(HealthResponseFrame::failure(56, "draining"))});
 
   // The transport's typed shed answer (net/overload.h) shares the serial
   // frame format and the clients' decode path — fuzz it with the rest.
@@ -118,6 +148,10 @@ void decode_as(serial::TypeTag tag, std::span<const std::uint8_t> frame) {
     case serial::TypeTag::kKeygenResponse: decode_keygen_response(frame); break;
     case serial::TypeTag::kStatsRequest: decode_stats_request(frame); break;
     case serial::TypeTag::kStatsResponse: decode_stats_response(frame); break;
+    case serial::TypeTag::kHealthRequest: decode_health_request(frame); break;
+    case serial::TypeTag::kHealthResponse:
+      decode_health_response(frame);
+      break;
     case serial::TypeTag::kOverloaded: net::decode_overloaded(frame); break;
     default:
       // Cache-layer tags (netlist, sampler, ...) are valid serial frames
