@@ -1,0 +1,479 @@
+// QoS replay gate for the admission policy: open-loop Poisson arrivals
+// (latency is measured from each request's *intended* arrival time, so
+// queueing delay is never coordinated away) driving two tenants through
+// net::Server -> serve::route_frame -> a single shared sign lane — the
+// worst case for fair-share, since every request contends for one queue.
+//
+//   phase A (solo)  : the victim tenant at its base rate — the baseline
+//                     interactive tail.
+//   phase B (storm) : the same victim, plus an aggressor tenant offering
+//                     10x the victim's rate under a diurnal ramp
+//                     (sinusoidal rate modulation).
+//
+// Both phases also carry background keygens on the wire and bulk gauss
+// batches in-process, so all three QoS bands hold work throughout AND the
+// heavy background CPU load (an NTRU solve burns a core for most of a
+// second) is identical across phases — the aggressor is the only variable
+// the solo/storm tail comparison sees.
+//
+// Gates:
+//   - conservation (always): served + typed sheds == offered, exactly,
+//     per tenant per phase — no request vanishes without a typed answer.
+//   - shed hygiene (always): every admission shed carries a nonzero
+//     retry-after hint (a shed with no hint is a guess, not an answer).
+//   - inversions (always): the dispatcher's priority-inversion counter —
+//     a lower band served while a higher band had unaged work — is zero.
+//   - isolation (wall-clock, skipped when CGS_BENCH_SKIP_TIMING_GATE is
+//     set): the storm sheds the aggressor, never the victim, and leaves
+//     the victim's interactive p99 within 3x its solo p99.
+//
+// Usage: bench_qos_replay [victim_requests] [--json FILE]
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/registry.h"
+#include "net/client.h"
+#include "net/overload.h"
+#include "net/server.h"
+#include "prng/splitmix.h"
+#include "serial/serial.h"
+#include "serve/dispatcher.h"
+#include "serve/router.h"
+#include "serve/wire.h"
+
+namespace {
+
+using namespace cgs;
+using benchutil::Clock;
+
+constexpr std::size_t kDegree = 64;
+constexpr double kVictimRate = 400.0;   // req/s, constant
+constexpr int kAggressorRatio = 10;     // offered-rate and count multiplier
+constexpr double kDiurnalSwing = 0.6;   // aggressor rate swings +-60%
+constexpr int kKeygens = 4;             // background class, on the wire
+constexpr int kGaussBatches = 12;       // bulk class, in-process
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+/// One tenant's ledger for one phase. Offered is fixed up front; every
+/// offered request ends up in exactly one of served / sheds / errors —
+/// the conservation gate checks the sum.
+struct TenantLedger {
+  std::uint64_t offered = 0;
+  std::atomic<std::uint64_t> served{0}, sheds{0}, zero_retry_sheds{0},
+      errors{0};
+  std::mutex mu;
+  std::vector<double> latency_ms;  // served only, from intended arrival
+};
+
+/// Precomputed open-loop arrival schedule: exponential inter-arrivals at
+/// base_rate, optionally modulated by one full sinusoidal "day" over the
+/// schedule (the diurnal ramp). Deterministic per seed.
+std::vector<double> arrival_schedule(int count, double base_rate,
+                                     bool diurnal, std::uint64_t seed) {
+  prng::SplitMix64Source rng(seed);
+  const double expected_secs = static_cast<double>(count) / base_rate;
+  std::vector<double> at(static_cast<std::size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    double rate = base_rate;
+    if (diurnal)
+      rate *= 1.0 + kDiurnalSwing *
+                        std::sin(2.0 * M_PI * t / expected_secs);
+    const double u =
+        static_cast<double>(rng.next_word() >> 11) * 0x1.0p-53;
+    t += -std::log1p(-u) / rate;
+    at[static_cast<std::size_t>(i)] = t;
+  }
+  return at;
+}
+
+/// Drive one tenant through one phase: a sender thread paces sign
+/// requests down `n_conns` pipelined connections on the precomputed
+/// schedule; one reader per connection settles responses by request_id.
+/// Every response is either a sign success (served, latency from the
+/// intended arrival), a typed kOverloaded shed, or an error.
+void run_tenant(std::uint16_t port, std::uint64_t key_id, int count,
+                int n_conns, const std::vector<double>& schedule,
+                const std::atomic<bool>& go, Clock::time_point t0,
+                TenantLedger& ledger) {
+  net::ClientOptions copts;
+  copts.connect_timeout = std::chrono::milliseconds(15000);
+  copts.read_timeout = std::chrono::milliseconds(60000);
+  std::vector<net::Client> clients;
+  clients.reserve(static_cast<std::size_t>(n_conns));
+  for (int c = 0; c < n_conns; ++c) clients.emplace_back(port, copts);
+  while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  std::vector<std::thread> readers;
+  for (int c = 0; c < n_conns; ++c)
+    readers.emplace_back([&, c] {
+      // Request i rides connection i % n_conns, so this reader owes
+      // exactly the schedule slots congruent to c.
+      int due = count / n_conns + (c < count % n_conns ? 1 : 0);
+      net::Client& client = clients[static_cast<std::size_t>(c)];
+      while (due > 0) {
+        std::optional<std::vector<std::uint8_t>> frame;
+        try {
+          frame = client.read();
+        } catch (const std::exception&) {
+          frame.reset();
+        }
+        if (!frame) {
+          ledger.errors += static_cast<std::uint64_t>(due);
+          return;
+        }
+        --due;
+        try {
+          if (net::is_overloaded(*frame)) {
+            const net::OverloadedFrame shed = net::decode_overloaded(*frame);
+            ++ledger.sheds;
+            if (shed.retry_after_ms == 0) ++ledger.zero_retry_sheds;
+            continue;
+          }
+          const serve::SignResponseFrame resp =
+              serve::decode_sign_response(*frame);
+          const std::size_t id = static_cast<std::size_t>(resp.request_id);
+          if (!resp.ok || id >= schedule.size()) {
+            ++ledger.errors;
+            continue;
+          }
+          const double intended_ms = schedule[id] * 1000.0;
+          const double done_ms = benchutil::ms_since(t0);
+          ++ledger.served;
+          std::lock_guard<std::mutex> lock(ledger.mu);
+          ledger.latency_ms.push_back(done_ms - intended_ms);
+        } catch (const std::exception&) {
+          ++ledger.errors;
+        }
+      }
+    });
+
+  // Open loop: each request leaves at its intended instant whether or not
+  // earlier ones have been answered. Falling behind the schedule only
+  // ever inflates measured latency — never deflates it.
+  for (int i = 0; i < count; ++i) {
+    const auto intended =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(
+                     schedule[static_cast<std::size_t>(i)]));
+    std::this_thread::sleep_until(intended);
+    serve::SignRequestFrame req;
+    req.request_id = static_cast<std::uint64_t>(i);
+    req.key_id = key_id;
+    req.message = "qos replay " + std::to_string(key_id % 1000) + " #" +
+                  std::to_string(i);
+    try {
+      clients[static_cast<std::size_t>(i % n_conns)].send(
+          serve::encode(req));
+    } catch (const std::exception&) {
+      ++ledger.errors;  // the reader will time out on the missing frame
+    }
+  }
+  for (auto& r : readers) r.join();
+}
+
+struct PhaseOut {
+  double secs = 0.0;
+  std::vector<double> keygen_ms;  // background class (wire)
+  std::vector<double> gauss_ms;   // bulk class (in-process)
+};
+
+/// One measured phase against a fresh front door over the shared
+/// dispatcher. Background keygens and bulk gauss run in every phase; the
+/// storm phase adds the aggressor.
+PhaseOut run_phase(serve::Dispatcher& dispatcher, bool storm,
+                   std::uint64_t victim_key, std::uint64_t aggressor_key,
+                   int victim_count, TenantLedger& victim,
+                   TenantLedger& aggressor) {
+  PhaseOut out;
+  serve::CompletionPool pool(4);
+  net::ServerOptions sopts;
+  sopts.reactors = 2;
+  sopts.backlog = 256;
+  net::Server server(
+      [&](net::ResponseToken token, std::vector<std::uint8_t> frame) {
+        serve::route_frame(dispatcher, pool, std::move(token),
+                           std::move(frame));
+      },
+      sopts);
+
+  const int aggressor_count = victim_count * kAggressorRatio;
+  victim.offered = static_cast<std::uint64_t>(victim_count);
+  const std::vector<double> victim_at =
+      arrival_schedule(victim_count, kVictimRate, false, 0x5010 + storm);
+  std::vector<double> aggressor_at;
+  if (storm) {
+    aggressor.offered = static_cast<std::uint64_t>(aggressor_count);
+    aggressor_at = arrival_schedule(
+        aggressor_count, kVictimRate * kAggressorRatio, true, 0xA99);
+  }
+
+  std::atomic<bool> go{false};
+  const auto t0 = Clock::now() + std::chrono::milliseconds(50);
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    run_tenant(server.port(), victim_key, victim_count, 2, victim_at, go,
+               t0, victim);
+  });
+  if (storm) {
+    threads.emplace_back([&] {
+      run_tenant(server.port(), aggressor_key, aggressor_count, 4,
+                 aggressor_at, go, t0, aggressor);
+    });
+  }
+  threads.emplace_back([&] {  // background: keygens over the wire
+    net::ClientOptions copts;
+    copts.read_timeout = std::chrono::milliseconds(60000);
+    net::Client client(server.port(), copts);
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (int i = 0; i < kKeygens; ++i) {
+      serve::KeygenRequestFrame req;
+      req.request_id = static_cast<std::uint64_t>(i);
+      req.degree = kDegree;
+      // Phase-distinct seeds: both phases pay for real solves.
+      req.seed = (storm ? 0xB0B0u : 0x50B0u) + static_cast<std::uint64_t>(i);
+      const auto sent = Clock::now();
+      try {
+        const serve::KeygenResponseFrame resp =
+            serve::decode_keygen_response(
+                client.request(serve::encode(req)));
+        if (resp.ok) out.keygen_ms.push_back(benchutil::ms_since(sent));
+      } catch (const std::exception&) {
+        // Counted by absence: background latency is reported, not gated.
+      }
+    }
+  });
+  threads.emplace_back([&] {  // bulk: gauss batches, closed loop
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (int i = 0; i < kGaussBatches; ++i) {
+      serve::GaussRequest greq;
+      greq.sigma = 1.7;
+      greq.center = 0.0;
+      greq.n = 2048;
+      greq.request_id = static_cast<std::uint64_t>(i);
+      const auto sent = Clock::now();
+      try {
+        auto sub = dispatcher.submit(std::move(greq));
+        if (sub.ok()) {
+          sub.future.get();
+          out.gauss_ms.push_back(benchutil::ms_since(sent));
+        }
+      } catch (const std::exception&) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  out.secs = benchutil::ms_since(t0) / 1000.0;
+
+  server.shutdown();
+  pool.join();
+  return out;
+}
+
+void print_ledger(const char* name, const TenantLedger& ledger) {
+  std::printf(
+      "%-14s: offered %5llu -> served %5llu, typed sheds %4llu "
+      "(zero-retry %llu), errors %llu | p50 %7.1fms p95 %7.1fms p99 %7.1fms\n",
+      name, static_cast<unsigned long long>(ledger.offered),
+      static_cast<unsigned long long>(ledger.served.load()),
+      static_cast<unsigned long long>(ledger.sheds.load()),
+      static_cast<unsigned long long>(ledger.zero_retry_sheds.load()),
+      static_cast<unsigned long long>(ledger.errors.load()),
+      percentile(ledger.latency_ms, 50), percentile(ledger.latency_ms, 95),
+      percentile(ledger.latency_ms, 99));
+}
+
+bool conserved(const TenantLedger& ledger) {
+  return ledger.served.load() + ledger.sheds.load() +
+             ledger.errors.load() ==
+         ledger.offered;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Args args = benchutil::parse(argc, argv);
+  const int victim_count = args.n > 0 ? static_cast<int>(args.n) : 400;
+
+  // One sign lane on purpose: both tenants contend for the same queue, so
+  // isolation can only come from the admission policy — per-tenant DRR
+  // and the tenant depth cap — not from lane sharding.
+  serve::DispatcherOptions dopts;
+  dopts.queue_capacity = 512;
+  dopts.max_batch = 16;
+  dopts.max_linger_us = 2000;
+  dopts.sign_lanes = 1;
+  dopts.verify_lanes = 1;
+  dopts.tenant_capacity = 8;  // the storm hits this; the victim never does
+  dopts.drr_quantum = 2;
+  dopts.signing.root_seed = 0x005;
+  // One engine thread: the lane's service rate must sit below the storm's
+  // offered rate, or the admission policy never has anything to decide.
+  dopts.signing.num_threads = 1;
+  serve::Dispatcher dispatcher(engine::SamplerRegistry::global(), dopts);
+
+  serve::KeygenRequest vreq;
+  vreq.params = falcon::FalconParams::for_degree(kDegree);
+  vreq.seed = 0x71C71;
+  const std::uint64_t victim_key =
+      dispatcher.submit(std::move(vreq)).future.get().key_id;
+  serve::KeygenRequest areq;
+  areq.params = falcon::FalconParams::for_degree(kDegree);
+  areq.seed = 0xA99E5;
+  const std::uint64_t aggressor_key =
+      dispatcher.submit(std::move(areq)).future.get().key_id;
+
+  std::printf("== qos replay: victim %d req @ %.0f/s, aggressor %dx under "
+              "diurnal ramp, 1 sign lane, tenant cap %zu ==\n",
+              victim_count, kVictimRate, kAggressorRatio,
+              dopts.tenant_capacity);
+
+  TenantLedger solo_victim, solo_aggressor;  // aggressor idle in phase A
+  const PhaseOut solo = run_phase(dispatcher, false, victim_key,
+                                  aggressor_key, victim_count, solo_victim,
+                                  solo_aggressor);
+  std::printf("-- solo (%.2fs) --\n", solo.secs);
+  print_ledger("victim", solo_victim);
+
+  TenantLedger storm_victim, storm_aggressor;
+  const PhaseOut storm = run_phase(dispatcher, true, victim_key,
+                                   aggressor_key, victim_count,
+                                   storm_victim, storm_aggressor);
+  std::printf("-- storm (%.2fs) --\n", storm.secs);
+  print_ledger("victim", storm_victim);
+  print_ledger("aggressor", storm_aggressor);
+  std::printf("background    : %zu/%d keygens served, p99 %.1fms | bulk: "
+              "%zu/%d gauss batches, p99 %.1fms\n",
+              storm.keygen_ms.size(), kKeygens,
+              percentile(storm.keygen_ms, 99), storm.gauss_ms.size(),
+              kGaussBatches, percentile(storm.gauss_ms, 99));
+
+  const serve::MetricsSnapshot m = dispatcher.metrics();
+  const double solo_p99 = percentile(solo_victim.latency_ms, 99);
+  const double storm_p99 = percentile(storm_victim.latency_ms, 99);
+  const double tail_ratio = solo_p99 > 0 ? storm_p99 / solo_p99 : 0.0;
+  std::printf("isolation     : victim p99 solo %.1fms -> storm %.1fms "
+              "(%.2fx), inversions %llu, aged promotions %llu, tenant "
+              "rejections %llu\n",
+              solo_p99, storm_p99, tail_ratio,
+              static_cast<unsigned long long>(m.priority_inversions()),
+              static_cast<unsigned long long>(m.aged_promotions()),
+              static_cast<unsigned long long>(m.tenant_rejections()));
+
+  dispatcher.shutdown();
+
+  const char* skip_env = std::getenv("CGS_BENCH_SKIP_TIMING_GATE");
+  const bool gate_timing = !(skip_env && *skip_env && *skip_env != '0');
+
+  if (!args.json_path.empty()) {
+    benchutil::JsonWriter json;
+    json.begin_object()
+        .field("bench", "qos_replay")
+        .field("victim_requests", victim_count)
+        .field("aggressor_requests", victim_count * kAggressorRatio)
+        .field("victim_rate_rps", kVictimRate)
+        .field("aggressor_ratio", kAggressorRatio)
+        .field("solo_victim_p50_ms", percentile(solo_victim.latency_ms, 50))
+        .field("solo_victim_p95_ms", percentile(solo_victim.latency_ms, 95))
+        .field("solo_victim_p99_ms", solo_p99)
+        .field("storm_victim_p50_ms",
+               percentile(storm_victim.latency_ms, 50))
+        .field("storm_victim_p95_ms",
+               percentile(storm_victim.latency_ms, 95))
+        .field("storm_victim_p99_ms", storm_p99)
+        .field("storm_aggressor_p50_ms",
+               percentile(storm_aggressor.latency_ms, 50))
+        .field("storm_aggressor_p99_ms",
+               percentile(storm_aggressor.latency_ms, 99))
+        .field("background_keygen_p99_ms", percentile(storm.keygen_ms, 99))
+        .field("bulk_gauss_p99_ms", percentile(storm.gauss_ms, 99))
+        .field("victim_tail_ratio", tail_ratio)
+        .field("victim_sheds",
+               static_cast<std::size_t>(solo_victim.sheds +
+                                        storm_victim.sheds))
+        .field("aggressor_sheds",
+               static_cast<std::size_t>(storm_aggressor.sheds))
+        .field("zero_retry_sheds",
+               static_cast<std::size_t>(solo_victim.zero_retry_sheds +
+                                        storm_victim.zero_retry_sheds +
+                                        storm_aggressor.zero_retry_sheds))
+        .field("priority_inversions",
+               static_cast<std::size_t>(m.priority_inversions()))
+        .field("aged_promotions",
+               static_cast<std::size_t>(m.aged_promotions()))
+        .field("tenant_rejections",
+               static_cast<std::size_t>(m.tenant_rejections()))
+        .field("timing_gated", gate_timing)
+        .end_object();
+    json.write_file(args.json_path);
+  }
+
+  // Conservation and shed-hygiene gates — never skipped.
+  if (solo_victim.errors != 0 || storm_victim.errors != 0 ||
+      storm_aggressor.errors != 0) {
+    std::printf("FAIL: %llu responses missing or undecodable\n",
+                static_cast<unsigned long long>(solo_victim.errors +
+                                                storm_victim.errors +
+                                                storm_aggressor.errors));
+    return 1;
+  }
+  if (!conserved(solo_victim) || !conserved(storm_victim) ||
+      !conserved(storm_aggressor)) {
+    std::printf("FAIL: served + typed sheds != offered\n");
+    return 1;
+  }
+  if (solo_victim.zero_retry_sheds + storm_victim.zero_retry_sheds +
+          storm_aggressor.zero_retry_sheds !=
+      0) {
+    std::printf("FAIL: admission shed with a zero retry-after hint\n");
+    return 1;
+  }
+  if (m.priority_inversions() != 0) {
+    std::printf("FAIL: %llu priority inversions\n",
+                static_cast<unsigned long long>(m.priority_inversions()));
+    return 1;
+  }
+  // Isolation gates — wall-clock-sensitive, honor the skip env.
+  if (gate_timing) {
+    if (storm_aggressor.sheds == 0) {
+      std::printf("FAIL: the storm never overloaded (no aggressor sheds); "
+                  "gates did not bite\n");
+      return 1;
+    }
+    if (storm_victim.sheds != 0 || solo_victim.sheds != 0) {
+      std::printf("FAIL: the victim was shed %llu times — fair-share did "
+                  "not protect it\n",
+                  static_cast<unsigned long long>(storm_victim.sheds +
+                                                  solo_victim.sheds));
+      return 1;
+    }
+    if (solo_p99 > 0 && tail_ratio > 3.0) {
+      std::printf("FAIL: victim storm p99 %.2fx solo (> 3x gate)\n",
+                  tail_ratio);
+      return 1;
+    }
+  }
+  std::printf("OK: conservation exact, typed sheds carry retry hints, "
+              "zero inversions%s\n",
+              gate_timing ? ", victim tail within gate"
+                          : " (timing gates skipped)");
+  return 0;
+}

@@ -9,6 +9,7 @@ std::vector<std::uint8_t> encode_overloaded(const OverloadedFrame& frame) {
   serial::Writer w;
   w.u32(frame.retry_after_ms);
   w.str(frame.reason);
+  if (frame.request_id != 0) w.u64(frame.request_id);
   return length_prefixed(serial::wrap(serial::TypeTag::kOverloaded, w.take()));
 }
 
@@ -18,6 +19,7 @@ OverloadedFrame decode_overloaded(std::span<const std::uint8_t> frame) {
   OverloadedFrame out;
   out.retry_after_ms = r.u32();
   out.reason = r.str();
+  if (r.remaining() != 0) out.request_id = r.u64();
   r.finish();
   return out;
 }

@@ -23,6 +23,13 @@ struct OverloadedFrame {
   std::uint32_t retry_after_ms = 0;
   /// Which limit tripped, e.g. "connection cap" or "idle timeout".
   std::string reason;
+  /// The request this shed answers, when the shedder could read one — an
+  /// application-layer shed (queue-full, tenant-full, deadline-expired)
+  /// names the request so a pipelining client can settle it by id.
+  /// OPTIONAL trailing field: 0 = absent, and the frame encodes
+  /// byte-identically to the transport-level (id-less) encoding, so old
+  /// peers interoperate unchanged.
+  std::uint64_t request_id = 0;
 };
 
 /// Encode as a length-prefixed serial frame ready to write to a stream.

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <functional>
+#include <span>
 #include <string_view>
 #include <utility>
 
@@ -42,6 +44,33 @@ std::uint64_t gauss_shard_key(double sigma, double center) {
 
 }  // namespace
 
+// Absolute expiry for a job: submitted + the request's relative budget,
+// or "never" when the request carries none.
+template <typename Req>
+static std::chrono::steady_clock::time_point job_deadline(
+    const Req& req, std::chrono::steady_clock::time_point submitted) {
+  if (req.deadline_us == 0)
+    return std::chrono::steady_clock::time_point::max();
+  return submitted + std::chrono::microseconds(req.deadline_us);
+}
+
+template <typename JobT>
+void Dispatcher::drop_expired(std::vector<JobT>& batch,
+                              LaneCounters& counters) {
+  const auto now = std::chrono::steady_clock::now();
+  auto keep = batch.begin();
+  for (auto it = batch.begin(); it != batch.end(); ++it) {
+    if (it->deadline <= now) {
+      counters.expired.add(1);
+      it->promise.set_exception(std::make_exception_ptr(DeadlineExpired()));
+      continue;
+    }
+    if (keep != it) *keep = std::move(*it);
+    ++keep;
+  }
+  batch.erase(keep, batch.end());
+}
+
 // The one push-or-reject admission sequence every submit() overload
 // shares: wrap the envelope, attach the future, try the queue, account
 // the outcome, detach the future again when the request was not admitted.
@@ -54,19 +83,29 @@ Submission<typename Req::Result> Dispatcher::submit_impl(
   Job<Req> job;
   job.req = std::move(req);
   job.submitted = std::chrono::steady_clock::now();
+  job.deadline = job_deadline(job.req, job.submitted);
   job.trace = tracer_->begin(job.req.trace_id);
   job.trace.request_id = job.req.request_id;
   job.trace.tenant = tenant;
   job.trace.req_class = cls;
+  const Priority priority = job.req.priority;
   Submission<typename Req::Result> result;
   result.future = job.promise.get_future();
   job.trace.stamp(obs::Stage::kEnqueued);
-  result.status = lane.queue.try_push(std::move(job));
+  result.status = lane.queue.try_push(std::move(job), priority, tenant);
   if (result.status == SubmitStatus::kOk) {
     lane.counters.submitted.add(1);
   } else {
     lane.counters.rejected.add(1);
     result.future = {};
+    if (result.status != SubmitStatus::kShutdown) {
+      // Backoff hint: how long this lane needs to drain its current depth
+      // at one batch per linger — never 0, a full queue always means wait.
+      const std::uint64_t batches_ahead =
+          lane.queue.size() / options_.max_batch + 1;
+      result.retry_after_ms = static_cast<std::uint32_t>(std::max<
+          std::uint64_t>(1, batches_ahead * options_.max_linger_us / 1000));
+    }
   }
   return result;
 }
@@ -128,26 +167,39 @@ Dispatcher::Dispatcher(engine::SamplerRegistry& registry,
       options_.verification.key_cache.max_bytes =
           options_.key_state_budget_bytes * 2 / 5;
   }
+  // The verify crew replaces the service's inner per-call fan-out: slices
+  // already run concurrently (crew workers + thieving sign lanes), so the
+  // service itself defaults to straight-line execution per slice.
+  if (options_.verification.num_threads == 0)
+    options_.verification.num_threads = 1;
   signing_ = std::make_unique<falcon::SigningService>(*registry_,
                                                       options_.signing);
   verifier_ =
       std::make_unique<falcon::VerificationService>(options_.verification);
   gaussian_ = std::make_unique<engine::GaussianService>(*registry_,
                                                         options_.gaussian);
+  verify_crew_ =
+      std::make_unique<TaskCrew>(std::max(0, options_.verify_steal_workers));
+  QosQueueOptions qos;
+  qos.capacity = options_.queue_capacity;
+  qos.tenant_capacity = options_.tenant_capacity;
+  qos.max_tenants = options_.max_tenant_slots;
+  qos.age_promote_us = options_.age_promote_us;
+  qos.drr_quantum = options_.drr_quantum;
   const auto lane_prefix = [](const char* kind, int i) {
     return "cgs_serve_" + std::string(kind) + "_lane" + std::to_string(i);
   };
   for (int i = 0; i < options_.sign_lanes; ++i)
     sign_lanes_.push_back(std::make_unique<Lane<SignJob>>(
-        options_.queue_capacity, *obs_, lane_prefix("sign", i)));
+        qos, *obs_, lane_prefix("sign", i)));
   for (int i = 0; i < options_.verify_lanes; ++i)
     verify_lanes_.push_back(std::make_unique<Lane<VerifyJob>>(
-        options_.queue_capacity, *obs_, lane_prefix("verify", i)));
+        qos, *obs_, lane_prefix("verify", i)));
   keygen_lanes_.push_back(std::make_unique<Lane<KeygenJob>>(
-      options_.queue_capacity, *obs_, lane_prefix("keygen", 0)));
+      qos, *obs_, lane_prefix("keygen", 0)));
   for (int i = 0; i < options_.gauss_lanes; ++i)
     gauss_lanes_.push_back(std::make_unique<Lane<GaussJob>>(
-        options_.queue_capacity, *obs_, lane_prefix("gauss", i)));
+        qos, *obs_, lane_prefix("gauss", i)));
   register_bridges();
   // Lanes start only after every queue exists — a lane thread never sees a
   // half-constructed dispatcher.
@@ -185,19 +237,38 @@ void Dispatcher::register_bridges() {
     obs_->counter_fn(name, std::move(fn));
     callback_metrics_.push_back(std::move(name));
   };
-  const auto lane_depths = [this, &gauge](const auto& lanes,
-                                          const char* kind) {
+  const auto lane_depths = [&gauge, &counter](const auto& lanes,
+                                              const char* kind) {
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       auto* lane = lanes[i].get();
-      gauge("cgs_serve_" + std::string(kind) + "_lane" + std::to_string(i) +
-                "_queue_depth",
+      const std::string prefix =
+          "cgs_serve_" + std::string(kind) + "_lane" + std::to_string(i);
+      gauge(prefix + "_queue_depth",
             [lane] { return static_cast<double>(lane->queue.size()); });
+      // The QosQueue policy counters, scraped alongside the depth so an
+      // operator sees WHY a lane sheds, not just that it is deep.
+      counter(prefix + "_aged_promotions_total", [lane] {
+        return static_cast<double>(lane->queue.stats().aged_promotions);
+      });
+      counter(prefix + "_priority_inversions_total", [lane] {
+        return static_cast<double>(lane->queue.stats().priority_inversions);
+      });
+      counter(prefix + "_tenant_rejections_total", [lane] {
+        return static_cast<double>(lane->queue.stats().tenant_rejections);
+      });
+      gauge(prefix + "_tenant_slots", [lane] {
+        return static_cast<double>(lane->queue.stats().tenant_slots);
+      });
     }
   };
   lane_depths(sign_lanes_, "sign");
   lane_depths(verify_lanes_, "verify");
   lane_depths(keygen_lanes_, "keygen");
   lane_depths(gauss_lanes_, "gauss");
+
+  counter("cgs_serve_verify_slices_stolen_total", [crew = verify_crew_.get()] {
+    return static_cast<double>(crew->stolen());
+  });
 
   const auto cache = [&](const std::string& name, auto stats_fn) {
     counter("cgs_cache_" + name + "_hits_total",
@@ -348,14 +419,20 @@ Submission<std::vector<std::int32_t>> Dispatcher::submit(GaussRequest req) {
 }
 
 void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
-  MicroBatcher<SignJob> batcher(
+  MicroBatcher<SignJob, QosQueue<SignJob>> batcher(
       lane.queue, options_.max_batch,
       std::chrono::microseconds(options_.max_linger_us));
+  // While this lane's queue is empty, lend the thread to the verify crew:
+  // a lingering verify batch's slices finish on otherwise-idle cores.
+  batcher.set_idle_work(
+      [crew = verify_crew_.get()] { return crew->try_help_one(); });
   std::vector<SignJob> batch;
   while (batcher.next_batch(batch)) {
     const std::uint64_t closed_us = obs::Trace::now_us();
     for (SignJob& job : batch)
       job.trace.stamp_at(obs::Stage::kBatchClosed, closed_us);
+    drop_expired(batch, lane.counters);
+    if (batch.empty()) continue;
     // Group by tenant key, preserving arrival order within each group —
     // one sign_many per key is what fills the engine's bit-sliced lanes.
     std::map<std::uint64_t, std::vector<std::size_t>> by_key;
@@ -397,15 +474,19 @@ void Dispatcher::run_sign_lane(Lane<SignJob>& lane) {
 }
 
 void Dispatcher::run_verify_lane(Lane<VerifyJob>& lane) {
-  MicroBatcher<VerifyJob> batcher(
+  MicroBatcher<VerifyJob, QosQueue<VerifyJob>> batcher(
       lane.queue, options_.max_batch,
       std::chrono::microseconds(options_.max_linger_us));
+  const std::size_t slice =
+      std::max<std::size_t>(1, options_.verify_steal_slice);
   std::vector<VerifyJob> batch;
   while (batcher.next_batch(batch)) {
     const std::uint64_t closed_us = obs::Trace::now_us();
     for (VerifyJob& job : batch)
       job.trace.stamp_at(obs::Stage::kBatchClosed, closed_us);
-    // Group by tenant key like the sign lane: one verify_many per key runs
+    drop_expired(batch, lane.counters);
+    if (batch.empty()) continue;
+    // Group by tenant key like the sign lane: one verify pass per key runs
     // the shared hash/NTT pipeline over the whole group against that key's
     // cached NTT-domain public key.
     std::map<std::uint64_t, std::vector<std::size_t>> by_key;
@@ -427,8 +508,46 @@ void Dispatcher::run_verify_lane(Lane<VerifyJob>& lane) {
         batch[i].trace.stamp(obs::Stage::kEngineStart);
       try {
         CGS_CHECK_MSG(kp != nullptr, "verify lane lost a registered key");
-        const std::vector<std::uint8_t> verdicts =
-            verifier_->verify_many(kp->h, kp->params, messages, sigs);
+        // Large groups split into crew slices: each task verifies a
+        // disjoint subrange and writes a disjoint region of `verdicts`,
+        // so crew workers (and thieving idle sign lanes) run them with no
+        // shared mutable state. run() returns only when every slice is
+        // done — the lane thread itself executes whatever was not stolen.
+        std::vector<std::uint8_t> verdicts(indices.size());
+        if (indices.size() <= slice) {
+          const auto v = verifier_->verify_many(kp->h, kp->params, messages,
+                                                sigs);
+          std::copy(v.begin(), v.end(), verdicts.begin());
+        } else {
+          const std::size_t tasks_n = (indices.size() + slice - 1) / slice;
+          std::vector<std::exception_ptr> errors(tasks_n);
+          std::vector<std::function<void()>> tasks;
+          tasks.reserve(tasks_n);
+          for (std::size_t t = 0; t < tasks_n; ++t) {
+            const std::size_t begin = t * slice;
+            const std::size_t count =
+                std::min(slice, indices.size() - begin);
+            tasks.push_back([this, kp, &messages, &sigs, &verdicts, &errors,
+                             t, begin, count] {
+              try {
+                const auto v = verifier_->verify_many(
+                    kp->h, kp->params,
+                    std::span<const std::string_view>(messages)
+                        .subspan(begin, count),
+                    std::span<const falcon::Signature>(sigs)
+                        .subspan(begin, count));
+                std::copy(v.begin(), v.end(), verdicts.begin() +
+                                                  static_cast<std::ptrdiff_t>(
+                                                      begin));
+              } catch (...) {
+                errors[t] = std::current_exception();
+              }
+            });
+          }
+          verify_crew_->run(std::move(tasks));
+          for (const auto& e : errors)
+            if (e) std::rethrow_exception(e);
+        }
         for (std::size_t i : indices)
           batch[i].trace.stamp(obs::Stage::kEngineEnd);
         for (std::size_t j = 0; j < indices.size(); ++j) {
@@ -460,7 +579,7 @@ void Dispatcher::run_keygen_lane(Lane<KeygenJob>& lane) {
   // too. (Best-effort: EPERM etc. just leaves the default priority.)
   ::setpriority(PRIO_PROCESS, static_cast<id_t>(::syscall(SYS_gettid)), 19);
 #endif
-  MicroBatcher<KeygenJob> batcher(
+  MicroBatcher<KeygenJob, QosQueue<KeygenJob>> batcher(
       lane.queue, options_.max_batch,
       std::chrono::microseconds(options_.max_linger_us));
   std::vector<KeygenJob> batch;
@@ -468,6 +587,7 @@ void Dispatcher::run_keygen_lane(Lane<KeygenJob>& lane) {
     const std::uint64_t closed_us = obs::Trace::now_us();
     for (KeygenJob& job : batch)
       job.trace.stamp_at(obs::Stage::kBatchClosed, closed_us);
+    drop_expired(batch, lane.counters);
     // Keygens are independent multi-hundred-millisecond solves — there is
     // nothing to batch, the lane just drains them one by one.
     for (KeygenJob& job : batch) {
@@ -507,7 +627,7 @@ void Dispatcher::run_keygen_lane(Lane<KeygenJob>& lane) {
 }
 
 void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
-  MicroBatcher<GaussJob> batcher(
+  MicroBatcher<GaussJob, QosQueue<GaussJob>> batcher(
       lane.queue, options_.max_batch,
       std::chrono::microseconds(options_.max_linger_us));
   std::vector<GaussJob> batch;
@@ -515,6 +635,8 @@ void Dispatcher::run_gauss_lane(Lane<GaussJob>& lane) {
     const std::uint64_t closed_us = obs::Trace::now_us();
     for (GaussJob& job : batch)
       job.trace.stamp_at(obs::Stage::kBatchClosed, closed_us);
+    drop_expired(batch, lane.counters);
+    if (batch.empty()) continue;
     // Group by exact target bit patterns: one bulk sample() per distinct
     // (sigma, center), split back across the requests afterwards.
     std::map<std::pair<std::uint64_t, std::uint64_t>,
@@ -576,9 +698,15 @@ void snapshot_lanes(const std::vector<LanePtr>& lanes,
     snap.rejected = lane->counters.rejected.value();
     snap.completed = lane->counters.completed.value();
     snap.failed = lane->counters.failed.value();
+    snap.expired = lane->counters.expired.value();
     snap.batches = lane->counters.batches.value();
     snap.batched = lane->counters.batched.value();
     snap.queue_depth = lane->queue.size();
+    const QosQueueStats qos = lane->queue.stats();
+    snap.aged_promotions = qos.aged_promotions;
+    snap.priority_inversions = qos.priority_inversions;
+    snap.tenant_rejections = qos.tenant_rejections;
+    snap.tenant_slots = qos.tenant_slots;
     // One bucket snapshot per lane: all three quantiles and the merge come
     // from the same copy (the old path re-read the live buckets once per
     // quantile, so p50/p95/p99 could disagree about the total).

@@ -30,6 +30,17 @@
 // stalling every sign/verify request behind it — the keygen queue, its
 // batcher and its thread share nothing with the latency-sensitive lanes.
 //
+// Admission is policy, not just a depth check. Every lane queue is a
+// QosQueue: three strict-priority bands (interactive sign/verify, bulk
+// gauss, background keygen) with an aging valve so bulk/background can
+// never starve, and DRR fair-share across per-tenant sub-queues inside a
+// band — a storming tenant hits its own depth cap (kTenantFull, with a
+// retry-after hint) while every other tenant keeps admitting. Requests
+// may carry a relative deadline; work whose budget lapsed while queued is
+// dropped at batch close with a typed DeadlineExpired instead of running
+// late. Verify batches split into slices on a work-stealing crew, and
+// idle sign-lane batchers steal verify slices while they linger.
+//
 // Shutdown drains: queues stop admitting (kShutdown), lane threads finish
 // everything already accepted, and every outstanding future is fulfilled —
 // a submitted request is never silently dropped.
@@ -53,17 +64,31 @@
 #include "serve/batcher.h"
 #include "serve/metrics.h"
 #include "serve/queue.h"
+#include "serve/steal.h"
 
 namespace cgs::serve {
 
 /// A submission attempt: on ok() the future is valid and will be
 /// fulfilled (value or exception) even across shutdown; otherwise
-/// `status` says why the request was not admitted.
+/// `status` says why the request was not admitted and `retry_after_ms`
+/// is the dispatcher's backoff hint (how long the rejecting lane needs
+/// to drain one batch's worth of depth — 0 when retrying is pointless,
+/// i.e. shutdown).
 template <typename T>
 struct Submission {
   SubmitStatus status = SubmitStatus::kShutdown;
   std::future<T> future;
+  std::uint32_t retry_after_ms = 0;
   bool ok() const { return status == SubmitStatus::kOk; }
+};
+
+/// What a deadline-carrying request's future yields when its budget
+/// lapsed while it was still queued: the lane dropped it at batch close
+/// instead of running it late. Wire frontends map this to a typed
+/// kOverloaded shed ("deadline-expired") rather than a generic failure.
+class DeadlineExpired : public Error {
+ public:
+  DeadlineExpired() : Error("deadline-expired") {}
 };
 
 struct DispatcherOptions {
@@ -73,6 +98,27 @@ struct DispatcherOptions {
   int sign_lanes = 2;
   int verify_lanes = 1;
   int gauss_lanes = 1;
+  // --- QoS admission policy (see serve/queue.h QosQueue) ---------------
+  /// Per-tenant depth cap inside each lane queue: one storming tenant
+  /// hits kTenantFull while every other tenant still admits. 0 = no
+  /// per-tenant cap beyond queue_capacity (the pre-QoS behavior).
+  std::size_t tenant_capacity = 0;
+  /// Bounded tenant-slot table per lane (beyond it, rare tenants share a
+  /// FIFO overflow sub-queue instead of growing the table without bound).
+  std::size_t max_tenant_slots = 32;
+  /// Strict-priority aging valve: a lower-band request older than this
+  /// is served ahead of the higher bands (counts as aged, never as an
+  /// inversion). 0 = strict priority with no aging.
+  std::uint64_t age_promote_us = 10'000;
+  /// DRR quantum (requests) for the per-tenant round-robin within a band.
+  std::uint32_t drr_quantum = 4;
+  /// Work-stealing verify crew: dedicated helper threads (0 = none; the
+  /// verify lane thread still drives its own batches, and idle sign-lane
+  /// batchers steal single slices either way).
+  int verify_steal_workers = 1;
+  /// Verify batches with more than this many requests for one key are
+  /// split into crew tasks of at most this size.
+  std::size_t verify_steal_slice = 16;
   // Exactly one keygen lane, always: its whole point is isolation, and a
   // second one would only let two NTRU solves compete for cores.
   falcon::SigningOptions signing;        // inner SigningService configuration
@@ -155,6 +201,11 @@ struct SignRequest {
   std::string message;
   std::uint64_t request_id = 0;
   std::uint64_t trace_id = 0;
+  /// QoS class (see serve/queue.h). Signing answers a waiting caller.
+  Priority priority = Priority::kInteractive;
+  /// Relative latency budget in microseconds from admission; 0 = none.
+  /// Still queued when it lapses -> the future fails DeadlineExpired.
+  std::uint64_t deadline_us = 0;
 };
 
 /// Verify `sig` over `message` against a registered key; yields the
@@ -166,6 +217,8 @@ struct VerifyRequest {
   falcon::Signature sig;
   std::uint64_t request_id = 0;
   std::uint64_t trace_id = 0;
+  Priority priority = Priority::kInteractive;
+  std::uint64_t deadline_us = 0;  // relative budget; 0 = none
 };
 
 /// Generate a key at `params` from `seed` (deterministic per seed). Runs
@@ -176,6 +229,9 @@ struct KeygenRequest {
   std::uint64_t seed = 0;
   std::uint64_t request_id = 0;
   std::uint64_t trace_id = 0;
+  /// Tenant onboarding: nothing interactive ever waits on it.
+  Priority priority = Priority::kBackground;
+  std::uint64_t deadline_us = 0;  // relative budget; 0 = none
 };
 
 /// `n` raw Gaussian samples at (sigma, center).
@@ -186,6 +242,9 @@ struct GaussRequest {
   std::size_t n = 0;
   std::uint64_t request_id = 0;
   std::uint64_t trace_id = 0;
+  /// Bulk sampling: throughput work, below interactive sign/verify.
+  Priority priority = Priority::kBulk;
+  std::uint64_t deadline_us = 0;  // relative budget; 0 = none
 };
 
 class Dispatcher {
@@ -255,6 +314,9 @@ class Dispatcher {
     Req req;
     std::promise<typename Req::Result> promise;
     std::chrono::steady_clock::time_point submitted;
+    /// Absolute expiry (submitted + deadline_us); time_point::max() when
+    /// the request carries no budget.
+    std::chrono::steady_clock::time_point deadline;
     obs::Trace trace;
   };
   using SignJob = Job<SignRequest>;
@@ -263,10 +325,10 @@ class Dispatcher {
   using GaussJob = Job<GaussRequest>;
   template <typename Job>
   struct Lane {
-    Lane(std::size_t capacity, obs::Registry& registry,
+    Lane(const QosQueueOptions& qos, obs::Registry& registry,
          const std::string& prefix)
-        : queue(capacity), counters(registry, prefix) {}
-    RequestQueue<Job> queue;
+        : queue(qos), counters(registry, prefix) {}
+    QosQueue<Job> queue;
     LaneCounters counters;
     std::thread thread;
   };
@@ -298,6 +360,12 @@ class Dispatcher {
   void run_keygen_lane(Lane<KeygenJob>& lane);
   void run_gauss_lane(Lane<GaussJob>& lane);
 
+  /// Drop every job in `batch` whose deadline already passed: fail the
+  /// promise with DeadlineExpired, count it, keep the rest in order.
+  /// Called at batch close — the one moment a lane inspects jobs anyway.
+  template <typename JobT>
+  void drop_expired(std::vector<JobT>& batch, LaneCounters& counters);
+
   void register_bridges();
 
   engine::SamplerRegistry* registry_;
@@ -315,6 +383,9 @@ class Dispatcher {
   std::unique_ptr<falcon::SigningService> signing_;
   std::unique_ptr<falcon::VerificationService> verifier_;
   std::unique_ptr<engine::GaussianService> gaussian_;
+  /// Work-stealing crew for verify slices (declared before the lanes, so
+  /// lane threads — which post to and steal from it — join first).
+  std::unique_ptr<TaskCrew> verify_crew_;
 
   mutable std::mutex keys_mu_;
   std::map<std::uint64_t, falcon::KeyPair> keys_;

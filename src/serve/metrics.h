@@ -36,15 +36,17 @@ struct LaneCounters {
         rejected(registry.counter(prefix + "_rejected_total")),
         completed(registry.counter(prefix + "_completed_total")),
         failed(registry.counter(prefix + "_failed_total")),
+        expired(registry.counter(prefix + "_expired_total")),
         batches(registry.counter(prefix + "_batches_total")),
         batched(registry.counter(prefix + "_batched_total")),
         latency(registry.histogram(prefix + "_latency_us")) {}
 
   obs::Counter& submitted;  // accepted into the queue
-  obs::Counter& rejected;   // not admitted (kQueueFull backpressure or
-                            // kShutdown)
+  obs::Counter& rejected;   // not admitted (kQueueFull / kTenantFull
+                            // backpressure or kShutdown)
   obs::Counter& completed;  // promises fulfilled
   obs::Counter& failed;     // promises failed (exception)
+  obs::Counter& expired;    // dropped at batch close: deadline already past
   obs::Counter& batches;    // engine calls dispatched
   obs::Counter& batched;    // requests across those calls
   obs::Histogram& latency;  // submit -> promise fulfilled
@@ -56,9 +58,15 @@ struct LaneSnapshot {
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
   std::uint64_t batches = 0;
   std::uint64_t batched = 0;
   std::size_t queue_depth = 0;
+  // The lane's QosQueue policy counters (see QosQueueStats).
+  std::uint64_t aged_promotions = 0;
+  std::uint64_t priority_inversions = 0;  // invariant: stays 0
+  std::uint64_t tenant_rejections = 0;
+  std::size_t tenant_slots = 0;
   double p50_us = 0, p95_us = 0, p99_us = 0;
 
   /// Mean requests per dispatched engine batch — the "are the bit-sliced
@@ -105,6 +113,30 @@ struct MetricsSnapshot {
 
   std::uint64_t keygen_completed() const { return sum(keygen_lanes, &LaneSnapshot::completed); }
   std::uint64_t keygen_failed() const { return sum(keygen_lanes, &LaneSnapshot::failed); }
+
+  std::uint64_t sign_expired() const { return sum(sign_lanes, &LaneSnapshot::expired); }
+  std::uint64_t verify_expired() const { return sum(verify_lanes, &LaneSnapshot::expired); }
+
+  /// Priority inversions across every lane of every class — the QoS
+  /// invariant the replay bench gates at exactly zero.
+  std::uint64_t priority_inversions() const {
+    return sum(sign_lanes, &LaneSnapshot::priority_inversions) +
+           sum(verify_lanes, &LaneSnapshot::priority_inversions) +
+           sum(keygen_lanes, &LaneSnapshot::priority_inversions) +
+           sum(gauss_lanes, &LaneSnapshot::priority_inversions);
+  }
+  std::uint64_t aged_promotions() const {
+    return sum(sign_lanes, &LaneSnapshot::aged_promotions) +
+           sum(verify_lanes, &LaneSnapshot::aged_promotions) +
+           sum(keygen_lanes, &LaneSnapshot::aged_promotions) +
+           sum(gauss_lanes, &LaneSnapshot::aged_promotions);
+  }
+  std::uint64_t tenant_rejections() const {
+    return sum(sign_lanes, &LaneSnapshot::tenant_rejections) +
+           sum(verify_lanes, &LaneSnapshot::tenant_rejections) +
+           sum(keygen_lanes, &LaneSnapshot::tenant_rejections) +
+           sum(gauss_lanes, &LaneSnapshot::tenant_rejections);
+  }
 
  private:
   static std::uint64_t sum(const std::vector<LaneSnapshot>& lanes,

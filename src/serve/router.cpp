@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "net/overload.h"
 #include "obs/export.h"
 #include "serial/serial.h"
 #include "serve/wire.h"
@@ -55,12 +56,28 @@ namespace {
 // or error — when the future lands. `ok` and `err` encode the response
 // frames; the token travels through std::function via shared_ptr (the
 // pool's tasks must be copyable, the token is move-only).
+// An admission shed on the wire: the same typed kOverloaded frame the
+// transport itself sheds with, not a response-type-specific failure
+// string — one frame kind means "back off", whoever shed it. It names
+// the request (pipelining clients settle by id) and carries the
+// dispatcher's drain-time retry hint.
+std::vector<std::uint8_t> overloaded(std::uint64_t request_id,
+                                     std::string reason,
+                                     std::uint32_t retry_after_ms) {
+  net::OverloadedFrame shed;
+  shed.retry_after_ms = retry_after_ms;
+  shed.reason = std::move(reason);
+  shed.request_id = request_id;
+  return net::encode_overloaded(shed);
+}
+
 template <typename R, typename Ok, typename Err>
 void settle_async(CompletionPool& pool, net::ResponseToken token,
                   Submission<R> sub, std::uint64_t request_id, Ok ok,
                   Err err) {
   if (!sub.ok()) {
-    token.send(err(request_id, to_string(sub.status)));
+    token.send(
+        overloaded(request_id, to_string(sub.status), sub.retry_after_ms));
     return;
   }
   auto tok = std::make_shared<net::ResponseToken>(std::move(token));
@@ -68,6 +85,11 @@ void settle_async(CompletionPool& pool, net::ResponseToken token,
   pool.post([tok, fut, request_id, ok, err] {
     try {
       tok->send(ok(request_id, fut->get()));
+    } catch (const DeadlineExpired& e) {
+      // The budget lapsed while queued — a load answer, not a failure of
+      // the operation. retry_after 0: only the client knows whether the
+      // deadline itself can move.
+      tok->send(overloaded(request_id, e.what(), 0));
     } catch (const std::exception& e) {
       tok->send(err(request_id, std::string(e.what())));
     }
@@ -84,6 +106,20 @@ std::vector<std::uint8_t> keygen_err(std::uint64_t id, const std::string& e) {
   return encode(KeygenResponseFrame::failure(id, e));
 }
 
+// Best-effort request id recovery from a frame we could not (or will not)
+// decode. Every request payload leads with `request_id u64 LE` right
+// after the 28-byte serial header, so even a frame whose tail is
+// corrupted usually still names itself — the id only stays 0 when the
+// frame is too short to contain one. Never throws.
+std::uint64_t readable_request_id(std::span<const std::uint8_t> frame) {
+  constexpr std::size_t kHeader = 28;  // magic|version|tag|size|hash64
+  if (frame.size() < kHeader + 8) return 0;
+  std::uint64_t id = 0;
+  for (int i = 7; i >= 0; --i)
+    id = (id << 8) | frame[kHeader + static_cast<std::size_t>(i)];
+  return id;
+}
+
 }  // namespace
 
 void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
@@ -98,6 +134,7 @@ void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
         env.seed = req.seed;
         env.request_id = req.request_id;
         env.trace_id = req.trace_id;
+        env.deadline_us = req.deadline_us;
         settle_async(
             pool, std::move(token), dispatcher.submit(std::move(env)),
             req.request_id,
@@ -119,6 +156,7 @@ void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
         env.message = std::move(req.message);
         env.request_id = req.request_id;
         env.trace_id = req.trace_id;
+        env.deadline_us = req.deadline_us;
         settle_async(
             pool, std::move(token), dispatcher.submit(std::move(env)),
             req.request_id,
@@ -140,6 +178,7 @@ void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
         env.message = std::move(req.message);
         env.request_id = req.request_id;
         env.trace_id = req.trace_id;
+        env.deadline_us = req.deadline_us;
         settle_async(
             pool, std::move(token), dispatcher.submit(std::move(env)),
             req.request_id,
@@ -192,33 +231,42 @@ void route_frame(Dispatcher& dispatcher, CompletionPool& pool,
         return;
       }
       default:
-        token.send(verify_err(0, "unsupported request type"));
+        // A well-formed frame whose tag is simply not a request (a
+        // response tag, say). Pretending it was a verify that failed
+        // made the client's sign/keygen decode phase choke on a
+        // VerifyResponse for id 0 — answer with the one frame kind every
+        // decode phase accepts, naming the id the frame itself carries.
+        token.send(overloaded(readable_request_id(frame),
+                              "unsupported request type", 0));
         return;
     }
   } catch (const std::exception& e) {
     // Undecodable frame: still answer (the transport owes one response
     // per delivered frame) with an error of the response type matching
     // the request's tag where readable, so the client's current decode
-    // phase can always parse it.
+    // phase can always parse it. The id is recovered best-effort from
+    // the frame prefix — a torn tail should not anonymize the response
+    // and wedge a pipelining client waiting on that id.
     if (!token.valid()) return;
+    const std::uint64_t id = readable_request_id(frame);
     std::vector<std::uint8_t> resp;
     try {
       switch (serial::peek_tag(frame)) {
         case serial::TypeTag::kKeygenRequest:
-          resp = keygen_err(0, e.what());
+          resp = keygen_err(id, e.what());
           break;
         case serial::TypeTag::kSignRequest:
-          resp = sign_err(0, e.what());
+          resp = sign_err(id, e.what());
           break;
         case serial::TypeTag::kHealthRequest:
-          resp = encode(HealthResponseFrame::failure(0, e.what()));
+          resp = encode(HealthResponseFrame::failure(id, e.what()));
           break;
         default:
-          resp = verify_err(0, e.what());
+          resp = verify_err(id, e.what());
           break;
       }
     } catch (const std::exception&) {
-      resp = verify_err(0, e.what());
+      resp = verify_err(id, e.what());
     }
     token.send(std::move(resp));
   }

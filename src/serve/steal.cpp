@@ -1,0 +1,102 @@
+#include "serve/steal.h"
+
+#include <utility>
+
+namespace cgs::serve {
+
+TaskCrew::TaskCrew(int workers) {
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+TaskCrew::~TaskCrew() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  // Any batch still pending belongs to a run() caller, and run() never
+  // returns before its batch drains — so by the time a TaskCrew can be
+  // destroyed, pending_ holds nothing whose owner is still waiting.
+}
+
+void TaskCrew::finish(Task task) {
+  // Tasks are contractually noexcept (slices capture their own errors),
+  // but the batch accounting must settle even if one slips through —
+  // a lost decrement would park run() forever.
+  try {
+    task.fn();
+  } catch (...) {
+  }
+  bool batch_done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_done = (--task.batch->remaining == 0);
+  }
+  if (batch_done) done_cv_.notify_all();
+}
+
+void TaskCrew::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  BatchState batch;
+  batch.remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& fn : tasks) pending_.push_back(Task{std::move(fn), &batch});
+  }
+  work_cv_.notify_all();
+  // Join the crew: execute pending tasks (this batch's or another's —
+  // helping a neighbor drains the pool that our own stragglers sit in)
+  // until every task of THIS batch has completed somewhere.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (batch.remaining != 0) {
+    if (!pending_.empty()) {
+      Task task = std::move(pending_.front());
+      pending_.pop_front();
+      lock.unlock();
+      finish(std::move(task));
+      lock.lock();
+    } else {
+      // Our tasks are all claimed but some are still in flight on other
+      // threads; wait for a completion (or for new work we can help with).
+      done_cv_.wait(lock,
+                    [&] { return batch.remaining == 0 || !pending_.empty(); });
+    }
+  }
+}
+
+bool TaskCrew::try_help_one() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) return false;
+    task = std::move(pending_.front());
+    pending_.pop_front();
+    ++stolen_;
+  }
+  finish(std::move(task));
+  return true;
+}
+
+std::uint64_t TaskCrew::stolen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stolen_;
+}
+
+void TaskCrew::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) return;  // stopping and drained
+    Task task = std::move(pending_.front());
+    pending_.pop_front();
+    ++stolen_;
+    lock.unlock();
+    finish(std::move(task));
+    lock.lock();
+  }
+}
+
+}  // namespace cgs::serve

@@ -1,0 +1,72 @@
+#pragma once
+// TaskCrew: a checkqueue-style work crew for batch fan-out. The thread
+// that owns a batch (the verify lane) does not hand work off and block —
+// it posts the batch's tasks to a shared pool and then *joins the crew*,
+// executing tasks itself until its batch is complete. Dedicated workers
+// (possibly zero) drain the same pool, and any other thread with a spare
+// moment lends a hand through try_help_one() — that is how an idle sign
+// lane steals verify slices between its own batches.
+//
+// run() is batch-scoped: it returns exactly when every task it posted has
+// finished executing, no matter which thread ran each one. Multiple
+// threads may run() concurrently; their batches interleave in the shared
+// pool and each caller waits only for its own. Tasks must not throw —
+// callers capture failures into their own slots (a slice records its
+// exception_ptr; the batch owner rethrows after run()).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgs::serve {
+
+class TaskCrew {
+ public:
+  /// `workers` dedicated threads (0 is valid: the batch owner plus
+  /// helpers do all the work).
+  explicit TaskCrew(int workers = 0);
+  ~TaskCrew();
+
+  TaskCrew(const TaskCrew&) = delete;
+  TaskCrew& operator=(const TaskCrew&) = delete;
+
+  /// Post `tasks` and execute alongside the crew until all of them have
+  /// completed. The calling thread is part of the crew for the duration —
+  /// it never parks while its batch still has unclaimed tasks.
+  void run(std::vector<std::function<void()>> tasks);
+
+  /// Claim and execute one pending task, if any; true when work was done.
+  /// The lending thread runs the task inline — keep tasks slice-sized.
+  bool try_help_one();
+
+  /// Tasks executed by a thread other than the one that posted them
+  /// (dedicated workers and try_help_one lenders both count).
+  std::uint64_t stolen() const;
+
+ private:
+  struct BatchState {
+    std::size_t remaining = 0;  // guarded by the crew mutex
+  };
+  struct Task {
+    std::function<void()> fn;
+    BatchState* batch = nullptr;
+  };
+
+  void worker_loop();
+  /// Execute `task` (mutex NOT held), then settle its batch accounting.
+  void finish(Task task);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // pending_ gained a task / stopping
+  std::condition_variable done_cv_;  // some batch's remaining hit zero
+  std::deque<Task> pending_;
+  std::vector<std::thread> workers_;
+  std::uint64_t stolen_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace cgs::serve

@@ -39,26 +39,47 @@ void read_signature_fields(serial::Reader& r, std::uint64_t& degree,
   s1_compressed.assign(s1.begin(), s1.end());
 }
 
-// Optional trailing trace-context block on request frames: absent when
-// trace_id == 0 (byte-identical to the pre-trace encoding), otherwise
-// `ctx_version u8 | trace_id u64`. The decoder accepts absence, the
-// current version, and nothing else — a future ctx_version is a typed
-// decode error, not silent misparsing.
+// Optional trailing request-context block on request frames (see the
+// header comment): v1 carries the trace id, v2 adds the deadline budget.
+// Encoders emit the oldest version that holds the fields actually set —
+// absent when both are zero — so the bytes match what a pre-context (or
+// pre-deadline) peer would have produced whenever the newer fields are
+// unused. The decoder accepts absence and both known versions, nothing
+// else: a future ctx_version is a typed decode error, not silent
+// misparsing.
 constexpr std::uint8_t kTraceCtxVersion = 1;
+constexpr std::uint8_t kDeadlineCtxVersion = 2;
 
-void write_trace_ctx(serial::Writer& w, std::uint64_t trace_id) {
-  if (trace_id == 0) return;
-  w.u8(kTraceCtxVersion);
-  w.u64(trace_id);
+struct RequestCtx {
+  std::uint64_t trace_id = 0;
+  std::uint64_t deadline_us = 0;
+};
+
+void write_request_ctx(serial::Writer& w, const RequestCtx& ctx) {
+  if (ctx.deadline_us != 0) {
+    w.u8(kDeadlineCtxVersion);
+    w.u64(ctx.trace_id);
+    w.u64(ctx.deadline_us);
+  } else if (ctx.trace_id != 0) {
+    w.u8(kTraceCtxVersion);
+    w.u64(ctx.trace_id);
+  }
 }
 
-std::uint64_t read_trace_ctx(serial::Reader& r, const char* what) {
-  if (r.remaining() == 0) return 0;  // pre-trace peer: no block
+RequestCtx read_request_ctx(serial::Reader& r, const char* what) {
+  RequestCtx ctx;
+  if (r.remaining() == 0) return ctx;  // pre-context peer: no block
   const std::uint8_t version = r.u8();
-  if (version != kTraceCtxVersion)
+  if (version == kTraceCtxVersion) {
+    ctx.trace_id = r.u64();
+  } else if (version == kDeadlineCtxVersion) {
+    ctx.trace_id = r.u64();
+    ctx.deadline_us = r.u64();
+  } else {
     throw serial::SerialError(std::string(what) +
-                              " unknown trace context version");
-  return r.u64();
+                              " unknown request context version");
+  }
+  return ctx;
 }
 
 falcon::Signature signature_from_fields(
@@ -82,7 +103,7 @@ std::vector<std::uint8_t> encode(const SignRequestFrame& req) {
   w.u64(req.request_id);
   w.u64(req.key_id);
   w.str(req.message);
-  write_trace_ctx(w, req.trace_id);
+  write_request_ctx(w, {req.trace_id, req.deadline_us});
   return length_prefixed(
       serial::wrap(serial::TypeTag::kSignRequest, w.take()));
 }
@@ -95,7 +116,9 @@ SignRequestFrame decode_sign_request(std::span<const std::uint8_t> frame) {
   req.request_id = r.u64();
   req.key_id = r.u64();
   req.message = r.str();
-  req.trace_id = read_trace_ctx(r, "sign request");
+  const RequestCtx ctx = read_request_ctx(r, "sign request");
+  req.trace_id = ctx.trace_id;
+  req.deadline_us = ctx.deadline_us;
   r.finish();
   return req;
 }
@@ -181,7 +204,7 @@ std::vector<std::uint8_t> encode(const VerifyRequestFrame& req) {
   w.u64(req.key_id);
   w.str(req.message);
   write_signature_fields(w, req.degree, req.nonce, req.s1_compressed);
-  write_trace_ctx(w, req.trace_id);
+  write_request_ctx(w, {req.trace_id, req.deadline_us});
   return length_prefixed(
       serial::wrap(serial::TypeTag::kVerifyRequest, w.take()));
 }
@@ -197,7 +220,9 @@ VerifyRequestFrame decode_verify_request(
   req.message = r.str();
   read_signature_fields(r, req.degree, req.nonce, req.s1_compressed,
                         "verify request");
-  req.trace_id = read_trace_ctx(r, "verify request");
+  const RequestCtx ctx = read_request_ctx(r, "verify request");
+  req.trace_id = ctx.trace_id;
+  req.deadline_us = ctx.deadline_us;
   r.finish();
   return req;
 }
@@ -254,7 +279,7 @@ std::vector<std::uint8_t> encode(const KeygenRequestFrame& req) {
   w.u64(req.request_id);
   w.u64(req.degree);
   w.u64(req.seed);
-  write_trace_ctx(w, req.trace_id);
+  write_request_ctx(w, {req.trace_id, req.deadline_us});
   return length_prefixed(
       serial::wrap(serial::TypeTag::kKeygenRequest, w.take()));
 }
@@ -270,7 +295,9 @@ KeygenRequestFrame decode_keygen_request(
   if (req.degree == 0 || req.degree > (1u << 14))
     throw serial::SerialError("keygen request degree out of range");
   req.seed = r.u64();
-  req.trace_id = read_trace_ctx(r, "keygen request");
+  const RequestCtx ctx = read_request_ctx(r, "keygen request");
+  req.trace_id = ctx.trace_id;
+  req.deadline_us = ctx.deadline_us;
   r.finish();
   return req;
 }

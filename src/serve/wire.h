@@ -30,14 +30,25 @@
 //                    component count u32, per component: name str | ok
 //                    bool | value f64 bits | detail str; else: error string
 //
-// Trace context (wire revision 1 of this protocol, serial format version
-// unchanged): kSignRequest, kVerifyRequest and kKeygenRequest may carry an
-// OPTIONAL trailing block `ctx_version u8 (= 1) | trace_id u64` after the
-// fields above. A request without the block decodes exactly as before, so
-// peers that never send trace context interoperate unchanged; a receiver
-// that sees an unknown ctx_version rejects the frame. The block sits
-// inside the checksummed payload, so a corrupted trace id is caught like
-// any other field.
+// Request context (wire revisions 1 and 2 of this protocol, serial format
+// version unchanged): kSignRequest, kVerifyRequest and kKeygenRequest may
+// carry an OPTIONAL trailing block after the fields above —
+//
+//   ctx_version 1:  u8 (= 1) | trace_id u64
+//   ctx_version 2:  u8 (= 2) | trace_id u64 | deadline_us u64
+//
+// A request without the block decodes exactly as before, so peers that
+// never send context interoperate unchanged; encoders emit the OLDEST
+// version that carries the fields actually set (no deadline -> v1, no
+// trace either -> no block), so a frame is byte-identical to what an
+// older peer would have produced whenever the newer fields are absent. A
+// receiver that sees an unknown ctx_version rejects the frame. The block
+// sits inside the checksummed payload, so a corrupted trace id or
+// deadline is caught like any other field. `deadline_us` is the
+// requester's RELATIVE latency budget (microseconds from server receipt,
+// not a wall-clock timestamp — no clock sync assumed); work still queued
+// when it lapses is answered with a typed expired shed, never run late
+// and never dropped silently.
 //
 // A kVerifyResponse's `ok` says the request was processed ("this is a
 // verdict"); `accepted` is the verdict itself — a rejected signature is a
@@ -72,6 +83,8 @@ struct SignRequestFrame {
   /// (forces the server to sample the request's trace). 0 = absent, and
   /// the frame encodes byte-identically to the pre-trace wire format.
   std::uint64_t trace_id = 0;
+  /// Optional latency budget in microseconds (see header note). 0 = none.
+  std::uint64_t deadline_us = 0;
 };
 
 struct SignResponseFrame {
@@ -100,6 +113,7 @@ struct VerifyRequestFrame {
   std::array<std::uint8_t, 40> nonce{};
   std::vector<std::uint8_t> s1_compressed;
   std::uint64_t trace_id = 0;  // optional trace context (see header note)
+  std::uint64_t deadline_us = 0;  // optional latency budget (header note)
 
   static VerifyRequestFrame make(std::uint64_t request_id,
                                  std::uint64_t key_id, std::string message,
@@ -126,6 +140,7 @@ struct KeygenRequestFrame {
   std::uint64_t degree = 0;
   std::uint64_t seed = 0;  // keygen entropy: deterministic per seed
   std::uint64_t trace_id = 0;  // optional trace context (see header note)
+  std::uint64_t deadline_us = 0;  // optional latency budget (header note)
 };
 
 struct KeygenResponseFrame {

@@ -24,12 +24,19 @@
 #include <vector>
 
 #include "common/check.h"
+#include "engine/registry.h"
+#include "falcon/keygen.h"
 #include "net/client.h"
 #include "net/framing.h"
 #include "net/overload.h"
 #include "net/server.h"
 #include "net/timer_wheel.h"
 #include "obs/registry.h"
+#include "prng/chacha20.h"
+#include "serial/serial.h"
+#include "serve/dispatcher.h"
+#include "serve/router.h"
+#include "serve/wire.h"
 
 namespace cgs::net {
 namespace {
@@ -67,9 +74,32 @@ TEST(Overload, CodecRoundTripAndPeek) {
   const OverloadedFrame back = decode_overloaded(frame);
   EXPECT_EQ(back.retry_after_ms, 750u);
   EXPECT_EQ(back.reason, "connection cap");
+  EXPECT_EQ(back.request_id, 0u);  // id-less transport shed
   // A non-overload frame and garbage both peek false, never throw.
   EXPECT_FALSE(is_overloaded(payload_of("not a frame")));
   EXPECT_FALSE(is_overloaded({}));
+}
+
+TEST(Overload, OptionalRequestIdRoundTripsAndStaysByteCompatible) {
+  // id = 0 encodes byte-identically to the pre-id frame (old peers
+  // interoperate unchanged)...
+  OverloadedFrame idless;
+  idless.retry_after_ms = 10;
+  idless.reason = "queue-full";
+  OverloadedFrame zero = idless;
+  zero.request_id = 0;
+  EXPECT_EQ(encode_overloaded(idless), encode_overloaded(zero));
+  // ...and a set id rides as a trailing field an old decoder would have
+  // simply never read.
+  OverloadedFrame named = idless;
+  named.request_id = 0xfeedfacecafe0123ull;
+  const auto encoded = encode_overloaded(named);
+  EXPECT_EQ(encoded.size(), encode_overloaded(idless).size() + 8);
+  const OverloadedFrame back =
+      decode_overloaded(std::span(encoded).subspan(4));
+  EXPECT_EQ(back.retry_after_ms, 10u);
+  EXPECT_EQ(back.reason, "queue-full");
+  EXPECT_EQ(back.request_id, 0xfeedfacecafe0123ull);
 }
 
 TEST(TimerWheelTest, FiresAtDeadlineAndNotBefore) {
@@ -686,6 +716,135 @@ TEST(ClientErrors, ConnectRefusedIsTyped) {
   } catch (const ClientError& e) {
     EXPECT_EQ(e.kind(), ClientError::Kind::kConnect);
   }
+}
+
+// -------------------------------------------------------- router wire ----
+// The router's overload wire semantics, end to end over real sockets:
+// every shed — admission reject, lapsed deadline, unsupported tag — is
+// the same typed kOverloaded frame the transport sheds with, and it
+// names the request it answers so pipelining clients can settle by id.
+
+engine::SamplerRegistry& sampler_registry() {
+  // In-process memo only: these tests must not depend on (or pollute) the
+  // user's on-disk cache state.
+  static engine::SamplerRegistry reg({.cache_dir = "", .use_disk = false});
+  return reg;
+}
+
+const falcon::KeyPair& wire_key() {
+  static const falcon::KeyPair kp = [] {
+    prng::ChaCha20Source rng(31337);
+    return falcon::keygen(falcon::FalconParams::for_degree(64), rng);
+  }();
+  return kp;
+}
+
+serve::DispatcherOptions router_options() {
+  serve::DispatcherOptions opts;
+  opts.signing.backend = engine::Backend::kBitsliced;
+  opts.signing.num_threads = 2;
+  opts.signing.precision = 64;
+  opts.signing.root_seed = 7;
+  opts.gaussian.backend = engine::Backend::kBitsliced;
+  opts.gaussian.num_threads = 1;
+  opts.gaussian.root_seed = 7;
+  opts.max_linger_us = 20'000;
+  return opts;
+}
+
+// A live protocol stack: Dispatcher behind route_frame behind a Server,
+// torn down in the one safe order (stop accepting, drain lanes, then
+// join the settlers once no future can still land).
+struct RouterStack {
+  serve::Dispatcher dispatcher;
+  serve::CompletionPool pool;
+  Server server;
+
+  RouterStack()
+      : dispatcher(sampler_registry(), router_options()),
+        pool(2),
+        server([this](ResponseToken token, std::vector<std::uint8_t> frame) {
+          serve::route_frame(dispatcher, pool, std::move(token),
+                             std::move(frame));
+        }) {}
+
+  ~RouterStack() {
+    server.shutdown();
+    dispatcher.shutdown();
+    pool.join();
+  }
+};
+
+TEST(RouterWire, AdmissionShedIsTypedAndNamesTheRequest) {
+  RouterStack stack;
+  const std::uint64_t key_id = stack.dispatcher.add_key(wire_key());
+  stack.dispatcher.shutdown();  // every submit now sheds kShutdown
+
+  serve::SignRequestFrame req;
+  req.request_id = 0xabcd;
+  req.key_id = key_id;
+  req.message = "after close";
+  Client client(stack.server.port());
+  client.send(serve::encode(req));
+  const auto frame = client.read();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_TRUE(is_overloaded(*frame));
+  const OverloadedFrame shed = decode_overloaded(*frame);
+  EXPECT_EQ(shed.reason, "shutdown");
+  EXPECT_EQ(shed.retry_after_ms, 0u);  // no drain hint: retrying won't help
+  EXPECT_EQ(shed.request_id, 0xabcdu);
+}
+
+TEST(RouterWire, ExpiredDeadlineShedsTypedOnTheWire) {
+  RouterStack stack;
+  const std::uint64_t key_id = stack.dispatcher.add_key(wire_key());
+  serve::SignRequestFrame req;
+  req.request_id = 77;
+  req.key_id = key_id;
+  req.message = "too late";
+  req.deadline_us = 1;  // lapses long before the batch can close
+  Client client(stack.server.port());
+  client.send(serve::encode(req));
+  const auto frame = client.read();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_TRUE(is_overloaded(*frame));
+  const OverloadedFrame shed = decode_overloaded(*frame);
+  EXPECT_EQ(shed.reason, "deadline-expired");
+  EXPECT_EQ(shed.request_id, 77u);
+}
+
+TEST(RouterWire, UnsupportedTagAnswersTypedOverloadNotVerifyFailure) {
+  RouterStack stack;
+  // A perfectly well-formed frame that is just not a request: a response
+  // tag arriving at the server. The old router answered with a
+  // VerifyResponse for id 0 — poison for a client mid sign decode.
+  Client client(stack.server.port());
+  client.send(
+      serve::encode(serve::SignResponseFrame::failure(0x1234, "backwards")));
+  const auto frame = client.read();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_TRUE(is_overloaded(*frame));
+  const OverloadedFrame shed = decode_overloaded(*frame);
+  EXPECT_EQ(shed.reason, "unsupported request type");
+  EXPECT_EQ(shed.request_id, 0x1234u);  // read out of the frame prefix
+}
+
+TEST(RouterWire, UndecodableFrameStillNamesItsRequestId) {
+  RouterStack stack;
+  const std::uint64_t key_id = stack.dispatcher.add_key(wire_key());
+  serve::SignRequestFrame req;
+  req.request_id = 0x99;
+  req.key_id = key_id;
+  req.message = "about to be torn";
+  auto msg = serve::encode(req);
+  msg.back() ^= 0xff;  // tear the payload tail: the hash check rejects it
+  Client client(stack.server.port());
+  client.send(msg);
+  const auto frame = client.read();
+  ASSERT_TRUE(frame.has_value());
+  const serve::SignResponseFrame resp = serve::decode_sign_response(*frame);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.request_id, 0x99u);  // recovered from the intact prefix
 }
 
 TEST(ClientErrors, ReadDeadlineIsTypedTimeout) {

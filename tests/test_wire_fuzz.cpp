@@ -60,6 +60,12 @@ std::vector<Sample> make_samples(prng::SplitMix64Source& rng) {
   traced_sign.request_id = 142;
   traced_sign.trace_id = 0x7ace1d7ace1d7aceull;
   samples.push_back({serial::TypeTag::kSignRequest, encode(traced_sign)});
+  // Deadline-carrying variant: forces the v2 context block (trace +
+  // deadline), the widest trailing-block shape a mutation can tear.
+  SignRequestFrame deadline_sign = sign_req;
+  deadline_sign.request_id = 242;
+  deadline_sign.deadline_us = 15'000;
+  samples.push_back({serial::TypeTag::kSignRequest, encode(deadline_sign)});
 
   samples.push_back(
       {serial::TypeTag::kVerifyRequest,
@@ -68,6 +74,12 @@ std::vector<Sample> make_samples(prng::SplitMix64Source& rng) {
       VerifyRequestFrame::make(145, 7, "verify this too", sig);
   traced_verify.trace_id = 0xf00dd00ff00dd00full;
   samples.push_back({serial::TypeTag::kVerifyRequest, encode(traced_verify)});
+  VerifyRequestFrame deadline_verify =
+      VerifyRequestFrame::make(245, 7, "verify on a budget", sig);
+  deadline_verify.trace_id = 0x7ace000000000245ull;
+  deadline_verify.deadline_us = 2'500;
+  samples.push_back(
+      {serial::TypeTag::kVerifyRequest, encode(deadline_verify)});
   samples.push_back({serial::TypeTag::kVerifyResponse,
                      encode(VerifyResponseFrame::verdict(46, true))});
   samples.push_back({serial::TypeTag::kVerifyResponse,
@@ -82,6 +94,10 @@ std::vector<Sample> make_samples(prng::SplitMix64Source& rng) {
   traced_kg.request_id = 148;
   traced_kg.trace_id = 0xbead5eedbead5eedull;
   samples.push_back({serial::TypeTag::kKeygenRequest, encode(traced_kg)});
+  KeygenRequestFrame deadline_kg = kg_req;
+  deadline_kg.request_id = 248;
+  deadline_kg.deadline_us = 500'000;
+  samples.push_back({serial::TypeTag::kKeygenRequest, encode(deadline_kg)});
 
   std::vector<std::uint32_t> h(64);
   for (auto& v : h)
@@ -125,6 +141,14 @@ std::vector<Sample> make_samples(prng::SplitMix64Source& rng) {
   shed.retry_after_ms = 250;
   shed.reason = "owed-responses cap";
   samples.push_back({serial::TypeTag::kOverloaded, net::encode_overloaded(shed)});
+  // Admission sheds name the request they answer via the optional
+  // trailing id — another trailing-field shape for mutations to chew on.
+  net::OverloadedFrame named_shed;
+  named_shed.retry_after_ms = 8;
+  named_shed.reason = "tenant-full";
+  named_shed.request_id = 0x1d1d1d1d1d1d1d1dull;
+  samples.push_back(
+      {serial::TypeTag::kOverloaded, net::encode_overloaded(named_shed)});
 
   return samples;
 }
